@@ -1,0 +1,55 @@
+//===- bench/BenchUtil.cpp - Shared benchmark-harness helpers -------------===//
+
+#include "BenchUtil.h"
+
+#include <cstdio>
+
+using namespace icores;
+using namespace icores::bench;
+
+// Table 1 / Table 3 of the paper (seconds for 50 steps, P = 1..14).
+const std::array<double, 14> icores::bench::PaperOriginalSerialInit = {
+    30.4, 44.5, 58.2, 61.5, 64.3, 70.1, 71.6,
+    73.7, 75.4, 77.6, 78.4, 78.2, 80.6, 82.2};
+const std::array<double, 14> icores::bench::PaperOriginalFirstTouch = {
+    30.4, 15.4, 10.5, 7.87, 6.55, 5.61, 4.95,
+    4.27, 4.01, 3.58, 3.31, 3.14, 2.95, 2.81};
+const std::array<double, 14> icores::bench::PaperBlock31D = {
+    9.00, 8.20, 7.38, 7.98, 7.06, 7.22, 7.26,
+    7.69, 9.11, 9.48, 10.2, 10.1, 10.3, 10.4};
+const std::array<double, 14> icores::bench::PaperIslands = {
+    9.00, 5.62, 4.17, 2.93, 2.34, 1.97, 1.72,
+    1.49, 1.36, 1.25, 1.12, 1.06, 1.05, 1.01};
+
+// Table 2 of the paper (percent extra elements).
+const std::array<double, 14> icores::bench::PaperExtraVariantA = {
+    0.00, 0.25, 0.49, 0.74, 0.99, 1.24, 1.48,
+    1.73, 1.98, 2.22, 2.47, 2.72, 2.96, 3.21};
+const std::array<double, 14> icores::bench::PaperExtraVariantB = {
+    0.00, 0.49, 0.99, 1.48, 1.98, 2.47, 2.96,
+    3.46, 3.95, 4.45, 4.94, 5.43, 5.93, 6.42};
+
+// Table 4 of the paper (Gflop/s; the paper omits P=13, interpolated here).
+const std::array<double, 14> icores::bench::PaperSustainedGflops = {
+    42.7,  68.5,  92.5,  131.9, 165.5, 197.0, 226.1,
+    261.4, 287.0, 325.9, 349.8, 370.3, 380.0, 390.1};
+
+SimResult icores::bench::simulatePaperRun(const MpdataProgram &M,
+                                          const MachineModel &Uv,
+                                          Strategy Strat, int Sockets,
+                                          PagePlacement Placement,
+                                          PartitionVariant Variant) {
+  PlanConfig Config;
+  Config.Strat = Strat;
+  Config.Sockets = Sockets;
+  Config.Placement = Placement;
+  Config.Variant = Variant;
+  Box3 Grid = Box3::fromExtents(PaperNI, PaperNJ, PaperNK);
+  ExecutionPlan Plan = buildPlan(M.Program, Grid, Uv, Config);
+  return simulate(Plan, M.Program, Uv, PaperSteps);
+}
+
+int icores::bench::shapeCheck(bool Ok, const char *Description) {
+  std::printf("  [%s] %s\n", Ok ? "PASS" : "FAIL", Description);
+  return Ok ? 0 : 1;
+}

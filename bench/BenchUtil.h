@@ -1,0 +1,60 @@
+//===- bench/BenchUtil.h - Shared benchmark-harness helpers -----*- C++ -*-===//
+//
+// Part of the icores project: islands-of-cores for heterogeneous stencils.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the table-reproduction benchmarks: the paper's
+/// published numbers (for side-by-side printing), a one-call wrapper that
+/// plans and simulates a strategy on the UV 2000 model, and shape checks
+/// that flag regressions in the reproduced trends.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICORES_BENCH_BENCHUTIL_H
+#define ICORES_BENCH_BENCHUTIL_H
+
+#include "core/PlanBuilder.h"
+#include "machine/MachineModel.h"
+#include "mpdata/MpdataProgram.h"
+#include "sim/Simulator.h"
+
+#include <array>
+
+namespace icores {
+namespace bench {
+
+/// The paper's benchmark configuration: grid 1024x512x64, 50 time steps.
+inline constexpr int PaperNI = 1024;
+inline constexpr int PaperNJ = 512;
+inline constexpr int PaperNK = 64;
+inline constexpr int PaperSteps = 50;
+inline constexpr int PaperMaxCpus = 14;
+
+/// Published numbers, indexed by P-1 (Tables 1, 3 and 4 of the paper).
+extern const std::array<double, 14> PaperOriginalSerialInit;
+extern const std::array<double, 14> PaperOriginalFirstTouch;
+extern const std::array<double, 14> PaperBlock31D;
+extern const std::array<double, 14> PaperIslands;
+extern const std::array<double, 14> PaperExtraVariantA; // Table 2, percent.
+extern const std::array<double, 14> PaperExtraVariantB;
+extern const std::array<double, 14> PaperSustainedGflops; // Table 4 (P=13
+                                                          // interpolated).
+
+/// One-call wrapper: builds the plan for (Strat, Sockets, Placement) on
+/// the paper's grid and simulates 50 steps on the UV 2000 model.
+SimResult simulatePaperRun(const MpdataProgram &M, const MachineModel &Uv,
+                           Strategy Strat, int Sockets,
+                           PagePlacement Placement =
+                               PagePlacement::FirstTouch,
+                           PartitionVariant Variant = PartitionVariant::A);
+
+/// Prints a "shape check" verdict line: PASS/FAIL with a description.
+/// Returns 0 for pass, 1 for fail (accumulate into main's exit code).
+int shapeCheck(bool Ok, const char *Description);
+
+} // namespace bench
+} // namespace icores
+
+#endif // ICORES_BENCH_BENCHUTIL_H

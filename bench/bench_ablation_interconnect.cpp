@@ -1,0 +1,75 @@
+//===- bench/bench_ablation_interconnect.cpp - Interconnect ablation ------===//
+//
+// Sect. 4.1 of the paper frames the two parallelization scenarios as a
+// trade-off governed by the machine: replicated computation (scenario 2)
+// pays off on "powerful computing resources with relatively less efficient
+// interconnects", while halo exchange (scenario 1) suits "systems with
+// more efficient networks". This ablation sweeps the interconnect quality
+// of the UV 2000 model and reports how the islands-of-cores advantage over
+// the pure (3+1)D decomposition responds.
+//
+// Expected shape: S_pr at P=14 shrinks monotonically as the interconnect
+// (and cross-socket synchronization) gets faster — with a dramatically
+// better network the exchange-based (3+1)D catches up.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "support/Format.h"
+#include "support/OStream.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace icores;
+using namespace icores::bench;
+
+int main() {
+  std::printf("=== Ablation: interconnect quality vs the "
+              "computation/communication trade-off ===\n");
+  std::printf("1024x512x64, 50 steps, P=14; scaling NUMAlink bandwidth and "
+              "cross-socket sync cost together\n\n");
+
+  MpdataProgram M = buildMpdataProgram();
+
+  TablePrinter Table({"link scale", "link GB/s", "(3+1)D [s]",
+                      "islands [s]", "S_pr"});
+  double PrevSPr = 1e9;
+  bool Monotone = true;
+  double FirstSPr = 0.0, LastSPr = 0.0;
+  for (double Scale : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+    MachineModel Uv = makeSgiUv2000();
+    Uv.LinkBandwidth *= Scale;
+    // A better interconnect also lowers cross-socket coherence costs.
+    Uv.BarrierPerSocket /= Scale;
+    Uv.BarrierQuadratic /= Scale;
+    double Blocked =
+        simulatePaperRun(M, Uv, Strategy::Block31D, 14).TotalSeconds;
+    double Isl =
+        simulatePaperRun(M, Uv, Strategy::IslandsOfCores, 14).TotalSeconds;
+    double SPr = Blocked / Isl;
+    Table.addRow({formatString("%.2fx", Scale),
+                  formatString("%.1f", Uv.LinkBandwidth / 1e9),
+                  formatString("%.2f", Blocked), formatString("%.2f", Isl),
+                  formatString("%.2f", SPr)});
+    if (SPr > PrevSPr * 1.001)
+      Monotone = false;
+    PrevSPr = SPr;
+    if (FirstSPr == 0.0)
+      FirstSPr = SPr;
+    LastSPr = SPr;
+  }
+  Table.print(outs());
+
+  std::printf("\nshape checks:\n");
+  int Failures = 0;
+  Failures += shapeCheck(Monotone,
+                         "islands advantage shrinks as the interconnect "
+                         "improves (scenario trade-off)");
+  Failures += shapeCheck(FirstSPr > 10.0,
+                         "slow interconnect: replication wins by >10x");
+  Failures += shapeCheck(LastSPr < 4.0,
+                         "16x faster interconnect: exchange-based (3+1)D "
+                         "within 4x");
+  return Failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,85 @@
+//===- bench/bench_ablation_intracpu.cpp - Intra-CPU islands ablation -----===//
+//
+// The paper's future work: "the proposed islands-of-cores approach can be
+// applied to optimize computations within every multicore CPU (or manycore
+// accelerator)". This ablation sweeps islands-per-socket on two machine
+// models:
+//
+//  - SGI UV 2000 (8-core CPUs, cheap intra-socket barrier): sub-socket
+//    islands change little — one island per CPU is already near-optimal;
+//  - Xeon Phi KNC (60 cores, expensive all-thread barrier): intra-chip
+//    islands pay off clearly, validating the future-work hypothesis.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "support/Format.h"
+#include "support/OStream.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace icores;
+using namespace icores::bench;
+
+namespace {
+
+double timeWithIslandsPerSocket(const MpdataProgram &M,
+                                const MachineModel &Machine, int Sockets,
+                                int PerSocket) {
+  PlanConfig Config;
+  Config.Strat = Strategy::IslandsOfCores;
+  Config.Sockets = Sockets;
+  Config.IslandsPerSocket = PerSocket;
+  Box3 Grid = Box3::fromExtents(PaperNI, PaperNJ, PaperNK);
+  ExecutionPlan Plan = buildPlan(M.Program, Grid, Machine, Config);
+  return simulate(Plan, M.Program, Machine, PaperSteps).TotalSeconds;
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Ablation: islands *within* each CPU (future work, "
+              "Sect. 6) ===\n");
+  std::printf("1024x512x64, 50 steps\n\n");
+
+  MpdataProgram M = buildMpdataProgram();
+  MachineModel Uv = makeSgiUv2000();
+  MachineModel Knc = makeXeonPhiKnc();
+
+  TablePrinter Table({"islands/CPU", "UV 2000, P=14 [s]",
+                      "Xeon Phi KNC [s]"});
+  double UvBase = 0.0, UvBest = 1e300;
+  double KncBase = 0.0, KncBest = 1e300;
+  for (int PerSocket : {1, 2, 4}) {
+    double UvTime = timeWithIslandsPerSocket(M, Uv, 14, PerSocket);
+    double KncTime = timeWithIslandsPerSocket(M, Knc, 1, PerSocket);
+    Table.addRow({formatString("%d", PerSocket),
+                  formatString("%.3f", UvTime),
+                  formatString("%.3f", KncTime)});
+    if (PerSocket == 1) {
+      UvBase = UvTime;
+      KncBase = KncTime;
+    }
+    UvBest = std::min(UvBest, UvTime);
+    KncBest = std::min(KncBest, KncTime);
+  }
+  // KNC has more divisors worth trying.
+  for (int PerSocket : {6, 10, 12}) {
+    double KncTime = timeWithIslandsPerSocket(M, Knc, 1, PerSocket);
+    Table.addRow({formatString("%d", PerSocket), "-",
+                  formatString("%.3f", KncTime)});
+    KncBest = std::min(KncBest, KncTime);
+  }
+  Table.print(outs());
+
+  std::printf("\nshape checks:\n");
+  int Failures = 0;
+  Failures += shapeCheck(KncBest < KncBase / 1.5,
+                         "intra-chip islands win clearly on the manycore "
+                         "KNC (>1.5x)");
+  Failures += shapeCheck(UvBest > UvBase * 0.7,
+                         "on 8-core CPUs sub-socket islands change little "
+                         "(<1.4x either way)");
+  return Failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,93 @@
+//===- bench/bench_ablation_partition.cpp - Partitioning ablation ---------===//
+//
+// Ablation over the island partitioning scheme: the paper's 1D variants A
+// and B (Table 2 / Sect. 5) plus the 2D island grids it defers to future
+// work. Reports redundant work and simulated time per configuration.
+//
+// Expected shape: variant A beats variant B everywhere (smaller boundary
+// cross-section on the 1024x512 grid); 2D grids pay more redundant work at
+// these island counts and do not beat 1D-A on this aspect ratio.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "core/Partition.h"
+#include "stencil/ExtraElements.h"
+#include "support/Format.h"
+#include "support/OStream.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace icores;
+using namespace icores::bench;
+
+namespace {
+
+struct CaseResult {
+  double ExtraPercent = 0.0;
+  double Seconds = 0.0;
+};
+
+CaseResult runCase(const MpdataProgram &M, const MachineModel &Uv,
+                   int Sockets, PartitionVariant Variant, int GridI,
+                   int GridJ) {
+  Box3 Grid = Box3::fromExtents(PaperNI, PaperNJ, PaperNK);
+  PlanConfig Config;
+  Config.Strat = Strategy::IslandsOfCores;
+  Config.Sockets = Sockets;
+  Config.Variant = Variant;
+  Config.GridPartsI = GridI;
+  Config.GridPartsJ = GridJ;
+  ExecutionPlan Plan = buildPlan(M.Program, Grid, Uv, Config);
+
+  std::vector<Box3> Parts;
+  for (const IslandPlan &Island : Plan.Islands)
+    Parts.push_back(Island.Part);
+  CaseResult R;
+  R.ExtraPercent =
+      countExtraElements(M.Program, Grid, Parts).extraFraction() * 100.0;
+  R.Seconds = simulate(Plan, M.Program, Uv, PaperSteps).TotalSeconds;
+  return R;
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Ablation: island partitioning (1D-A vs 1D-B vs 2D "
+              "grids) ===\n");
+  std::printf("1024x512x64, 50 steps, SGI UV 2000 model\n\n");
+
+  MpdataProgram M = buildMpdataProgram();
+  MachineModel Uv = makeSgiUv2000();
+
+  TablePrinter Table({"#islands", "1D-A extra[%]", "1D-A time[s]",
+                      "1D-B extra[%]", "1D-B time[s]", "2D grid",
+                      "2D extra[%]", "2D time[s]"});
+  int Failures = 0;
+  for (int P : {2, 4, 6, 8, 12, 14}) {
+    CaseResult A = runCase(M, Uv, P, PartitionVariant::A, 0, 0);
+    CaseResult B = runCase(M, Uv, P, PartitionVariant::B, 0, 0);
+    auto [Gi, Gj] = factorForGrid(P);
+    CaseResult G = runCase(M, Uv, P, PartitionVariant::A, Gi, Gj);
+    Table.addRow({formatString("%d", P),
+                  formatString("%.2f", A.ExtraPercent),
+                  formatString("%.3f", A.Seconds),
+                  formatString("%.2f", B.ExtraPercent),
+                  formatString("%.3f", B.Seconds),
+                  formatString("%dx%d", Gi, Gj),
+                  formatString("%.2f", G.ExtraPercent),
+                  formatString("%.3f", G.Seconds)});
+    if (A.ExtraPercent >= B.ExtraPercent)
+      ++Failures;
+    if (A.Seconds > B.Seconds * 1.001)
+      ++Failures;
+  }
+  Table.print(outs());
+
+  std::printf("\nshape checks:\n");
+  Failures += shapeCheck(Failures == 0,
+                         "variant A cheaper than B in both redundant work "
+                         "and simulated time at every island count");
+  return Failures == 0 ? 0 : 1;
+}

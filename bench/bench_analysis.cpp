@@ -1,0 +1,95 @@
+//===- bench/bench_analysis.cpp - Host timings of planning/analysis -------===//
+//
+// google-benchmark timings of the compile-time-style machinery: backward
+// halo analysis, extra-element accounting, block planning and full plan
+// construction. These all sit on the application's startup path, so they
+// should be microseconds-to-milliseconds even at paper scale.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BlockPlanner.h"
+#include "core/PlanBuilder.h"
+#include "core/Partition.h"
+#include "machine/MachineModel.h"
+#include "mpdata/MpdataProgram.h"
+#include "sim/Simulator.h"
+#include "stencil/ExtraElements.h"
+#include "stencil/HaloAnalysis.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace icores;
+
+namespace {
+
+const Box3 PaperGrid = Box3::fromExtents(1024, 512, 64);
+
+void BM_BuildProgram(benchmark::State &S) {
+  for (auto _ : S) {
+    MpdataProgram M = buildMpdataProgram();
+    benchmark::DoNotOptimize(M);
+  }
+}
+
+void BM_ComputeRequirements(benchmark::State &S) {
+  MpdataProgram M = buildMpdataProgram();
+  for (auto _ : S) {
+    RegionRequirements R = computeRequirements(M.Program, PaperGrid);
+    benchmark::DoNotOptimize(R);
+  }
+}
+
+void BM_ExtraElements14(benchmark::State &S) {
+  MpdataProgram M = buildMpdataProgram();
+  std::vector<Box3> Parts = partition1D(PaperGrid, 14, 0);
+  for (auto _ : S) {
+    ExtraElementsReport R = countExtraElements(M.Program, PaperGrid, Parts);
+    benchmark::DoNotOptimize(R);
+  }
+}
+
+void BM_PlanIslandBlocks(benchmark::State &S) {
+  MpdataProgram M = buildMpdataProgram();
+  Box3 Part = partition1D(PaperGrid, 14, 0)[6];
+  for (auto _ : S) {
+    std::vector<BlockTask> Blocks =
+        planIslandBlocks(M.Program, Part, PaperGrid, 2);
+    benchmark::DoNotOptimize(Blocks);
+  }
+}
+
+void BM_BuildFullPlan(benchmark::State &S) {
+  MpdataProgram M = buildMpdataProgram();
+  MachineModel Uv = makeSgiUv2000();
+  PlanConfig Config;
+  Config.Strat = Strategy::IslandsOfCores;
+  Config.Sockets = 14;
+  for (auto _ : S) {
+    ExecutionPlan Plan = buildPlan(M.Program, PaperGrid, Uv, Config);
+    benchmark::DoNotOptimize(Plan);
+  }
+}
+
+void BM_SimulateStep(benchmark::State &S) {
+  MpdataProgram M = buildMpdataProgram();
+  MachineModel Uv = makeSgiUv2000();
+  PlanConfig Config;
+  Config.Strat = Strategy::IslandsOfCores;
+  Config.Sockets = 14;
+  ExecutionPlan Plan = buildPlan(M.Program, PaperGrid, Uv, Config);
+  for (auto _ : S) {
+    SimResult R = simulate(Plan, M.Program, Uv, 50);
+    benchmark::DoNotOptimize(R);
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_BuildProgram);
+BENCHMARK(BM_ComputeRequirements);
+BENCHMARK(BM_ExtraElements14);
+BENCHMARK(BM_PlanIslandBlocks);
+BENCHMARK(BM_BuildFullPlan)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulateStep)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+//===- bench/bench_cluster.cpp - Multi-node scaling (future work) ---------===//
+//
+// The paper's future work: "we plan to study the usage of MPI for
+// extending the scalability of our approach for much larger system
+// configurations". This bench scales the islands-of-cores approach across
+// a cluster of UV 2000 IRUs with explicit per-step halo messages, for both
+// the paper's grid and an 8x larger one.
+//
+// Expected shape: the paper's grid saturates quickly — 1D islands become
+// slivers and the redundant cone work blows up (quantified in the last
+// column), motivating the 2D decomposition the paper also defers to future
+// work. The larger grid keeps scaling further.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "dist/ClusterSim.h"
+#include "support/Format.h"
+#include "support/OStream.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace icores;
+using namespace icores::bench;
+
+int main() {
+  std::printf("=== Future work: cluster of UV 2000 nodes (MPI-style halo "
+              "exchange) ===\n\n");
+
+  MpdataProgram M = buildMpdataProgram();
+  ClusterModel Cluster;
+  Cluster.Node = makeSgiUv2000();
+
+  int Failures = 0;
+  for (const Box3 &Grid : {Box3::fromExtents(1024, 512, 64),
+                           Box3::fromExtents(4096, 1024, 64)}) {
+    std::printf("grid %dx%dx%d, 50 steps:\n", Grid.extent(0),
+                Grid.extent(1), Grid.extent(2));
+    TablePrinter Table({"nodes", "sockets", "time [s]", "Gflop/s",
+                        "comm/step", "redundant work [%]"});
+    double FirstGflops = 0.0;
+    double PrevTime = 1e300;
+    bool Monotone = true;
+    int64_t UsefulFlops = 0;
+    for (int Nodes : {1, 2, 4, 8, 16}) {
+      Cluster.NumNodes = Nodes;
+      ClusterSimResult R =
+          simulateCluster(M.Program, Grid, Cluster, 14, PaperSteps);
+      if (UsefulFlops == 0)
+        UsefulFlops = R.FlopsPerStep; // Nodes=1 still has 14 islands.
+      double Redundant =
+          (static_cast<double>(R.FlopsPerStep) / UsefulFlops - 1.0) * 100.0;
+      Table.addRow({formatString("%d", Nodes),
+                    formatString("%d", Nodes * 14),
+                    formatString("%.3f", R.TotalSeconds),
+                    formatString("%.0f", R.sustainedGflops()),
+                    formatSeconds(R.CommSecondsPerStep),
+                    formatString("%.1f", Redundant)});
+      if (FirstGflops == 0.0)
+        FirstGflops = R.sustainedGflops();
+      if (R.TotalSeconds > PrevTime)
+        Monotone = false;
+      PrevTime = R.TotalSeconds;
+    }
+    Table.print(outs());
+    Failures += shapeCheck(Monotone, "time keeps falling as nodes grow");
+    std::printf("\n");
+  }
+
+  // --- 1D vs 2D node grids at 16 nodes ---------------------------------
+  std::printf("1D vs 2D node decomposition at 16 nodes (square "
+              "1024x1024x64 grid):\n");
+  Box3 Square = Box3::fromExtents(1024, 1024, 64);
+  Cluster.NumNodes = 16;
+  ClusterSimResult R1D =
+      simulateCluster(M.Program, Square, Cluster, 14, PaperSteps);
+  ClusterSimResult R2D =
+      simulateCluster2D(M.Program, Square, Cluster, 4, 4, 14, PaperSteps);
+  TablePrinter Grid2D({"decomposition", "time [s]", "Gflop/s",
+                       "flops/step (redundancy included)"});
+  Grid2D.addRow({"16x1 (1D slabs)", formatString("%.3f", R1D.TotalSeconds),
+                 formatString("%.0f", R1D.sustainedGflops()),
+                 formatString("%.2fe9", R1D.FlopsPerStep / 1e9)});
+  Grid2D.addRow({"4x4 (2D grid)", formatString("%.3f", R2D.TotalSeconds),
+                 formatString("%.0f", R2D.sustainedGflops()),
+                 formatString("%.2fe9", R2D.FlopsPerStep / 1e9)});
+  Grid2D.print(outs());
+  Failures += shapeCheck(R2D.TotalSeconds < R1D.TotalSeconds,
+                         "2D node grid beats 1D slabs at 16 nodes "
+                         "(the sliver fix)");
+  return Failures == 0 ? 0 : 1;
+}

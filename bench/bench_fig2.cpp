@@ -1,0 +1,85 @@
+//===- bench/bench_fig2.cpp - Reproduce Figure 2 --------------------------===//
+//
+// Figure 2: (a) execution-time curves of the three MPDATA versions over
+// P = 1..14, and (b) the partial (S_pr) and overall (S_ov) speedup curves
+// of the islands-of-cores approach. Emits the series as CSV so the plot
+// can be regenerated directly, plus an ASCII rendering of the trends.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace icores;
+using namespace icores::bench;
+
+namespace {
+
+/// Minimal ASCII bar chart: one row per P, proportional bar for value.
+void asciiSeries(const char *Name, const std::array<double, 14> &Values) {
+  double Max = *std::max_element(Values.begin(), Values.end());
+  std::printf("%s\n", Name);
+  for (int P = 1; P <= PaperMaxCpus; ++P) {
+    int Bars = static_cast<int>(Values[P - 1] / Max * 50.0 + 0.5);
+    std::printf("  P=%2d %7.2f |%s\n", P, Values[P - 1],
+                std::string(static_cast<size_t>(Bars), '#').c_str());
+  }
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Figure 2: performance curves (1024x512x64, 50 steps) "
+              "===\n\n");
+
+  MpdataProgram M = buildMpdataProgram();
+  MachineModel Uv = makeSgiUv2000();
+
+  std::array<double, 14> Orig{}, Blocked{}, Isl{}, SPr{}, SOv{};
+  for (int P = 1; P <= PaperMaxCpus; ++P) {
+    Orig[P - 1] = simulatePaperRun(M, Uv, Strategy::Original, P).TotalSeconds;
+    Blocked[P - 1] =
+        simulatePaperRun(M, Uv, Strategy::Block31D, P).TotalSeconds;
+    Isl[P - 1] =
+        simulatePaperRun(M, Uv, Strategy::IslandsOfCores, P).TotalSeconds;
+    SPr[P - 1] = Blocked[P - 1] / Isl[P - 1];
+    SOv[P - 1] = Orig[P - 1] / Isl[P - 1];
+  }
+
+  std::printf("--- Fig. 2(a) series (CSV) ---\n");
+  std::printf("P,original,31d,islands\n");
+  for (int P = 1; P <= PaperMaxCpus; ++P)
+    std::printf("%d,%.3f,%.3f,%.3f\n", P, Orig[P - 1], Blocked[P - 1],
+                Isl[P - 1]);
+
+  std::printf("\n--- Fig. 2(b) series (CSV) ---\n");
+  std::printf("P,S_pr,S_ov\n");
+  for (int P = 1; P <= PaperMaxCpus; ++P)
+    std::printf("%d,%.3f,%.3f\n", P, SPr[P - 1], SOv[P - 1]);
+
+  std::printf("\n");
+  asciiSeries("execution time: original [s]", Orig);
+  asciiSeries("execution time: (3+1)D [s]", Blocked);
+  asciiSeries("execution time: islands-of-cores [s]", Isl);
+  asciiSeries("partial speedup S_pr", SPr);
+  asciiSeries("overall speedup S_ov", SOv);
+
+  std::printf("\nshape checks:\n");
+  int Failures = 0;
+  bool SPrGrows = true;
+  for (int P = 2; P <= PaperMaxCpus; ++P)
+    if (SPr[P - 1] <= SPr[P - 2] * 0.9)
+      SPrGrows = false;
+  Failures += shapeCheck(SPrGrows,
+                         "S_pr grows (near-monotonically) with P");
+  Failures += shapeCheck(SPr[13] > 8.0, "S_pr exceeds ~10x at P=14");
+  double SOvSpread =
+      *std::max_element(SOv.begin() + 1, SOv.end()) /
+      *std::min_element(SOv.begin() + 1, SOv.end());
+  Failures += shapeCheck(SOvSpread < 1.5,
+                         "S_ov flat across P (spread < 1.5x)");
+  return Failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,98 @@
+//===- bench/bench_kernels.cpp - Host microbenchmarks of the kernels ------===//
+//
+// google-benchmark timings of the 17 MPDATA stage kernels on this host
+// (real execution, not simulation). Useful for checking the relative flop
+// weights assigned in the IR against measured per-point costs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "stencil/FieldStore.h"
+#include "mpdata/Kernels.h"
+#include "mpdata/MpdataProgram.h"
+#include "support/Random.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace icores;
+
+namespace {
+
+/// Shared setup: one field store with all arrays allocated and filled.
+struct KernelBenchState {
+  MpdataProgram M = buildMpdataProgram();
+  Box3 Target = Box3::fromExtents(48, 48, 48);
+  FieldStore Fields{M.Program.numArrays()};
+
+  KernelBenchState() {
+    Box3 Alloc = Target.grownAll(4);
+    SplitMix64 Rng(7);
+    for (unsigned A = 0; A != M.Program.numArrays(); ++A) {
+      Fields.allocateOwned(static_cast<ArrayId>(A), Alloc);
+      Array3D &Arr = Fields.get(static_cast<ArrayId>(A));
+      for (int I = Alloc.Lo[0]; I != Alloc.Hi[0]; ++I)
+        for (int J = Alloc.Lo[1]; J != Alloc.Hi[1]; ++J)
+          for (int K = Alloc.Lo[2]; K != Alloc.Hi[2]; ++K)
+            Arr.at(I, J, K) = Rng.nextInRange(0.1, 1.0);
+    }
+    // Velocities must be small Courant numbers for realistic branches.
+    for (ArrayId Vel : {M.U1, M.U2, M.U3}) {
+      Array3D &Arr = Fields.get(Vel);
+      for (int I = Alloc.Lo[0]; I != Alloc.Hi[0]; ++I)
+        for (int J = Alloc.Lo[1]; J != Alloc.Hi[1]; ++J)
+          for (int K = Alloc.Lo[2]; K != Alloc.Hi[2]; ++K)
+            Arr.at(I, J, K) = Rng.nextInRange(-0.3, 0.3);
+    }
+  }
+};
+
+KernelBenchState &state() {
+  static KernelBenchState S;
+  return S;
+}
+
+void runStageBench(benchmark::State &BState, KernelVariant Variant) {
+  KernelBenchState &S = state();
+  StageId Stage = static_cast<StageId>(BState.range(0));
+  for (auto _ : BState) {
+    runMpdataStage(S.M, S.Fields, Stage, S.Target, Variant);
+    benchmark::ClobberMemory();
+  }
+  BState.SetItemsProcessed(BState.iterations() * S.Target.numPoints());
+  BState.SetLabel(S.M.Program.stage(Stage).Name);
+}
+
+void BM_Stage(benchmark::State &BState) {
+  runStageBench(BState, KernelVariant::Reference);
+}
+
+void BM_StageOpt(benchmark::State &BState) {
+  runStageBench(BState, KernelVariant::Optimized);
+}
+
+void runFullStepBench(benchmark::State &BState, KernelVariant Variant) {
+  KernelBenchState &S = state();
+  for (auto _ : BState) {
+    for (unsigned Stage = 0; Stage != S.M.Program.numStages(); ++Stage)
+      runMpdataStage(S.M, S.Fields, static_cast<StageId>(Stage), S.Target,
+                     Variant);
+    benchmark::ClobberMemory();
+  }
+  BState.SetItemsProcessed(BState.iterations() * S.Target.numPoints());
+}
+
+void BM_FullStep(benchmark::State &BState) {
+  runFullStepBench(BState, KernelVariant::Reference);
+}
+
+void BM_FullStepOpt(benchmark::State &BState) {
+  runFullStepBench(BState, KernelVariant::Optimized);
+}
+
+} // namespace
+
+BENCHMARK(BM_Stage)->DenseRange(0, 16)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_StageOpt)->DenseRange(0, 16)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_FullStep)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FullStepOpt)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

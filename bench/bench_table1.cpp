@@ -1,0 +1,74 @@
+//===- bench/bench_table1.cpp - Reproduce Table 1 -------------------------===//
+//
+// Table 1: execution times of 50 MPDATA steps on the 1024x512x64 grid for
+// the original version with serial initialization, the original version
+// with first-touch parallel initialization, and the pure (3+1)D
+// decomposition, for P = 1..14 processors of the SGI UV 2000.
+//
+// The paper's headline observations this run must reproduce:
+//  - serial-init original gets *slower* as processors are added;
+//  - first-touch original scales;
+//  - pure (3+1)D beats the original only for P <= ~3 and is beaten for
+//    larger P.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "support/Format.h"
+#include "support/OStream.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace icores;
+using namespace icores::bench;
+
+int main() {
+  std::printf("=== Table 1: original vs (3+1)D on SGI UV 2000 "
+              "(1024x512x64, 50 steps) ===\n");
+  std::printf("paper values in parentheses; simulated seconds\n\n");
+
+  MpdataProgram M = buildMpdataProgram();
+  MachineModel Uv = makeSgiUv2000();
+
+  TablePrinter Table({"#CPUs", "Original (serial init)",
+                      "Original (first touch)", "(3+1)D"});
+  std::array<double, 14> Serial{}, FirstTouch{}, Blocked{};
+  for (int P = 1; P <= PaperMaxCpus; ++P) {
+    Serial[P - 1] = simulatePaperRun(M, Uv, Strategy::Original, P,
+                                     PagePlacement::SerialInit)
+                        .TotalSeconds;
+    FirstTouch[P - 1] =
+        simulatePaperRun(M, Uv, Strategy::Original, P).TotalSeconds;
+    Blocked[P - 1] =
+        simulatePaperRun(M, Uv, Strategy::Block31D, P).TotalSeconds;
+    Table.addRow({formatString("%d", P),
+                  formatString("%5.1f (%5.1f)", Serial[P - 1],
+                               PaperOriginalSerialInit[P - 1]),
+                  formatString("%5.2f (%5.2f)", FirstTouch[P - 1],
+                               PaperOriginalFirstTouch[P - 1]),
+                  formatString("%5.2f (%5.2f)", Blocked[P - 1],
+                               PaperBlock31D[P - 1])});
+  }
+  Table.print(outs());
+
+  std::printf("\nshape checks:\n");
+  int Failures = 0;
+  Failures += shapeCheck(Serial[13] > Serial[0] * 2.0,
+                         "serial-init original degrades with P "
+                         "(>2x slower at P=14)");
+  Failures += shapeCheck(FirstTouch[13] < FirstTouch[0] / 8.0,
+                         "first-touch original scales (>8x at P=14)");
+  Failures += shapeCheck(Blocked[0] < FirstTouch[0] / 2.0,
+                         "(3+1)D wins clearly at P=1");
+  Failures += shapeCheck(Blocked[13] > FirstTouch[13] * 2.0,
+                         "(3+1)D loses clearly at P=14");
+  bool CrossoverFound = false;
+  for (int P = 2; P <= PaperMaxCpus; ++P)
+    if (Blocked[P - 1] > FirstTouch[P - 1] && Blocked[P - 2] <=
+        FirstTouch[P - 2])
+      CrossoverFound = true;
+  Failures += shapeCheck(CrossoverFound,
+                         "original/(3+1)D crossover exists at small P");
+  return Failures == 0 ? 0 : 1;
+}

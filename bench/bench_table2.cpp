@@ -1,0 +1,74 @@
+//===- bench/bench_table2.cpp - Reproduce Table 2 -------------------------===//
+//
+// Table 2: total redundantly computed elements (percent of the original
+// version's work) for mapping the 1024x512x64 MPDATA grid onto 1D island
+// grids along the first (variant A) or second (variant B) dimension, for
+// 1..14 islands. This is a pure dependence-analysis result — no simulation
+// involved — computed exactly from the 17-stage stencil IR.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "core/Partition.h"
+#include "stencil/ExtraElements.h"
+#include "support/Format.h"
+#include "support/OStream.h"
+#include "support/Table.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace icores;
+using namespace icores::bench;
+
+int main() {
+  std::printf("=== Table 2: redundant elements of the islands-of-cores "
+              "approach (1024x512x64) ===\n");
+  std::printf("percent extra vs original; paper values in parentheses\n\n");
+
+  MpdataProgram M = buildMpdataProgram();
+  Box3 Grid = Box3::fromExtents(PaperNI, PaperNJ, PaperNK);
+
+  TablePrinter Table({"# islands", "Variant A [%]", "Variant B [%]"});
+  std::array<double, 14> A{}, B{};
+  for (int Islands = 1; Islands <= PaperMaxCpus; ++Islands) {
+    A[Islands - 1] = countExtraElements(M.Program, Grid,
+                                        partition1D(Grid, Islands, 0))
+                         .extraFraction() *
+                     100.0;
+    B[Islands - 1] = countExtraElements(M.Program, Grid,
+                                        partition1D(Grid, Islands, 1))
+                         .extraFraction() *
+                     100.0;
+    Table.addRow({formatString("%d", Islands),
+                  formatString("%.2f (%.2f)", A[Islands - 1],
+                               PaperExtraVariantA[Islands - 1]),
+                  formatString("%.2f (%.2f)", B[Islands - 1],
+                               PaperExtraVariantB[Islands - 1])});
+  }
+  Table.print(outs());
+
+  std::printf("\nshape checks:\n");
+  int Failures = 0;
+  Failures += shapeCheck(A[0] == 0.0 && B[0] == 0.0,
+                         "one island computes nothing extra");
+  bool LinearA = true;
+  for (int Islands = 3; Islands <= PaperMaxCpus; ++Islands) {
+    double PerBoundary = A[Islands - 1] / (Islands - 1);
+    if (std::fabs(PerBoundary - A[1]) > 1e-9)
+      LinearA = false;
+  }
+  Failures += shapeCheck(LinearA, "variant A grows linearly per boundary");
+  bool ALessB = true;
+  for (int Islands = 2; Islands <= PaperMaxCpus; ++Islands)
+    if (A[Islands - 1] >= B[Islands - 1])
+      ALessB = false;
+  Failures += shapeCheck(ALessB,
+                         "variant A always cheaper than variant B");
+  Failures += shapeCheck(std::fabs(B[1] / A[1] - 2.0) < 0.05,
+                         "variant B/A ratio ~2 (boundary-area ratio)");
+  Failures += shapeCheck(A[13] > 1.0 && A[13] < 6.0,
+                         "variant A at 14 islands in the paper's "
+                         "few-percent range");
+  return Failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,83 @@
+//===- bench/bench_table3.cpp - Reproduce Table 3 -------------------------===//
+//
+// Table 3: execution times for the original version, the pure (3+1)D
+// decomposition and the islands-of-cores approach, plus the partial
+// speedup S_pr (islands vs (3+1)D) and overall speedup S_ov (islands vs
+// original), for P = 1..14 processors.
+//
+// Headline shape: S_pr grows with P and exceeds 10x at P=14, while S_ov
+// stays roughly constant (~2.7-3) — the islands approach preserves the
+// (3+1)D cache gain at every machine size.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "support/Format.h"
+#include "support/OStream.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace icores;
+using namespace icores::bench;
+
+int main() {
+  std::printf("=== Table 3: strategy comparison on SGI UV 2000 "
+              "(1024x512x64, 50 steps) ===\n");
+  std::printf("paper values in parentheses; simulated seconds\n\n");
+
+  MpdataProgram M = buildMpdataProgram();
+  MachineModel Uv = makeSgiUv2000();
+
+  TablePrinter Table({"#CPUs", "Original", "(3+1)D", "Islands", "S_pr",
+                      "S_ov"});
+  std::array<double, 14> Orig{}, Blocked{}, Isl{};
+  for (int P = 1; P <= PaperMaxCpus; ++P) {
+    Orig[P - 1] = simulatePaperRun(M, Uv, Strategy::Original, P).TotalSeconds;
+    Blocked[P - 1] =
+        simulatePaperRun(M, Uv, Strategy::Block31D, P).TotalSeconds;
+    Isl[P - 1] =
+        simulatePaperRun(M, Uv, Strategy::IslandsOfCores, P).TotalSeconds;
+    double SPr = Blocked[P - 1] / Isl[P - 1];
+    double SOv = Orig[P - 1] / Isl[P - 1];
+    double PaperSPr = PaperBlock31D[P - 1] / PaperIslands[P - 1];
+    double PaperSOv = PaperOriginalFirstTouch[P - 1] / PaperIslands[P - 1];
+    Table.addRow(
+        {formatString("%d", P),
+         formatString("%5.2f (%5.2f)", Orig[P - 1],
+                      PaperOriginalFirstTouch[P - 1]),
+         formatString("%5.2f (%5.2f)", Blocked[P - 1], PaperBlock31D[P - 1]),
+         formatString("%5.2f (%5.2f)", Isl[P - 1], PaperIslands[P - 1]),
+         formatString("%5.2f (%5.2f)", SPr, PaperSPr),
+         formatString("%5.2f (%5.2f)", SOv, PaperSOv)});
+  }
+  Table.print(outs());
+
+  std::printf("\nshape checks:\n");
+  int Failures = 0;
+  Failures += shapeCheck(Isl[0] == Blocked[0],
+                         "islands == (3+1)D at P=1 (same plan)");
+  bool Monotone = true;
+  for (int P = 2; P <= PaperMaxCpus; ++P)
+    if (Isl[P - 1] >= Isl[P - 2])
+      Monotone = false;
+  Failures += shapeCheck(Monotone, "islands times fall monotonically in P");
+  bool FastestEverywhere = true;
+  for (int P = 2; P <= PaperMaxCpus; ++P)
+    if (Isl[P - 1] >= Orig[P - 1] || Isl[P - 1] >= Blocked[P - 1])
+      FastestEverywhere = false;
+  Failures += shapeCheck(FastestEverywhere,
+                         "islands fastest of the three for all P >= 2");
+  double SPr14 = Blocked[13] / Isl[13];
+  Failures += shapeCheck(SPr14 > 8.0,
+                         "S_pr approaches the paper's >10x at P=14");
+  double SOvMin = 1e9, SOvMax = 0.0;
+  for (int P = 2; P <= PaperMaxCpus; ++P) {
+    double SOv = Orig[P - 1] / Isl[P - 1];
+    SOvMin = SOv < SOvMin ? SOv : SOvMin;
+    SOvMax = SOv > SOvMax ? SOv : SOvMax;
+  }
+  Failures += shapeCheck(SOvMax / SOvMin < 1.5,
+                         "S_ov roughly constant across P (within 1.5x)");
+  return Failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,77 @@
+//===- bench/bench_traffic.cpp - Reproduce the Sect. 3.2 traffic study ----===//
+//
+// Sect. 3.2 of the paper: on a single Intel Xeon E5-2660v2 with the
+// 256x256x64 grid and 50 time steps, the (3+1)D decomposition reduces the
+// main-memory traffic from 133 GB to 30 GB (measured with likwid-perfctr)
+// and accelerates the computation about 2.8x.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "support/Format.h"
+
+#include <cstdio>
+
+using namespace icores;
+using namespace icores::bench;
+
+int main() {
+  std::printf("=== Sect. 3.2: DRAM traffic study (E5-2660v2, 256x256x64, "
+              "50 steps) ===\n\n");
+
+  MpdataProgram M = buildMpdataProgram();
+  MachineModel Xeon = makeXeonE5_2660v2();
+  Box3 Grid = Box3::fromExtents(256, 256, 64);
+
+  auto runCase = [&](Strategy Strat) {
+    PlanConfig Config;
+    Config.Strat = Strat;
+    Config.Sockets = 1;
+    ExecutionPlan Plan = buildPlan(M.Program, Grid, Xeon, Config);
+    return simulate(Plan, M.Program, Xeon, 50);
+  };
+
+  SimResult Orig = runCase(Strategy::Original);
+  SimResult Blocked = runCase(Strategy::Block31D);
+
+  double OrigGB = static_cast<double>(Orig.totalDramBytes()) / 1e9;
+  double BlockedGB = static_cast<double>(Blocked.totalDramBytes()) / 1e9;
+  double Speedup = Orig.TotalSeconds / Blocked.TotalSeconds;
+
+  std::printf("main-memory traffic, original:  %6.1f GB  (paper: 133 GB)\n",
+              OrigGB);
+  std::printf("main-memory traffic, (3+1)D:    %6.1f GB  (paper:  30 GB)\n",
+              BlockedGB);
+  std::printf("traffic reduction:              %6.2fx (paper: ~4.4x)\n",
+              OrigGB / BlockedGB);
+  std::printf("execution time, original:       %6.2f s\n", Orig.TotalSeconds);
+  std::printf("execution time, (3+1)D:         %6.2f s\n",
+              Blocked.TotalSeconds);
+  std::printf("speedup:                        %6.2fx (paper: ~2.8x)\n\n",
+              Speedup);
+
+  std::printf("per-step breakdown (original):  compute %s, dram %s\n",
+              formatSeconds(Orig.CriticalIsland.Compute).c_str(),
+              formatSeconds(Orig.CriticalIsland.Dram).c_str());
+  std::printf("per-step breakdown ((3+1)D):    compute %s, dram %s, "
+              "barrier %s\n\n",
+              formatSeconds(Blocked.CriticalIsland.Compute).c_str(),
+              formatSeconds(Blocked.CriticalIsland.Dram).c_str(),
+              formatSeconds(Blocked.CriticalIsland.Barrier).c_str());
+
+  std::printf("shape checks:\n");
+  int Failures = 0;
+  Failures += shapeCheck(OrigGB > 100.0 && OrigGB < 170.0,
+                         "original traffic in the paper's ~133 GB range");
+  Failures += shapeCheck(BlockedGB > 15.0 && BlockedGB < 45.0,
+                         "(3+1)D traffic in the paper's ~30 GB range");
+  Failures += shapeCheck(Speedup > 2.0 && Speedup < 4.0,
+                         "speedup near the paper's ~2.8x");
+  Failures += shapeCheck(Orig.CriticalIsland.Dram >
+                             Orig.CriticalIsland.Compute,
+                         "original is memory-bound");
+  Failures += shapeCheck(Blocked.CriticalIsland.Compute >
+                             Blocked.CriticalIsland.Dram,
+                         "(3+1)D is compute-bound");
+  return Failures == 0 ? 0 : 1;
+}

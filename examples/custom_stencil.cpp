@@ -1,0 +1,115 @@
+//===- examples/custom_stencil.cpp - Bring your own stencil program -------===//
+//
+// Shows how a downstream user plugs a NEW set of heterogeneous stencils
+// into the islands-of-cores machinery: describe the stages once in the IR,
+// register kernels, and every library facility — dependence-cone analysis,
+// redundancy accounting, planning, static verification, threaded execution
+// and performance prediction — works unchanged. The application here is
+// the bundled advection-diffusion RK2 demo (8 stages).
+//
+// Run:  ./custom_stencil [--islands=2 --steps=30]
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/AdvectionDiffusion.h"
+#include "core/PlanBuilder.h"
+#include "core/PlanPrinter.h"
+#include "core/PlanVerifier.h"
+#include "exec/ProgramExecutor.h"
+#include "machine/MachineModel.h"
+#include "sim/Simulator.h"
+#include "stencil/GraphExport.h"
+#include "stencil/SerialStepper.h"
+#include "support/CommandLine.h"
+#include "support/OStream.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace icores;
+
+int main(int Argc, char **Argv) {
+  CommandLine CL;
+  CL.registerOption("islands", "number of islands (default 2)");
+  CL.registerOption("steps", "time steps (default 30)");
+  std::string Error;
+  if (!CL.parse(Argc, Argv, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  int Islands = static_cast<int>(CL.getInt("islands", 2));
+  int Steps = static_cast<int>(CL.getInt("steps", 30));
+
+  // --- 1. The program: 8 heterogeneous stages, described once ----------
+  AdvDiffProgram A = buildAdvDiffProgram();
+  std::printf("a user-defined 8-stage advection-diffusion program:\n");
+  exportProgramText(A.Program, outs());
+  std::printf("\ninput halo depth from the dependence-cone analysis: %d\n\n",
+              advDiffHaloDepth());
+
+  // --- 2. Plan + verify the islands-of-cores schedule ------------------
+  const int N = 48;
+  Domain Dom(N, N, 16, advDiffHaloDepth());
+  MachineModel Machine = makeToyMachine();
+  Machine.NumSockets = Islands;
+  PlanConfig Config;
+  Config.Strat = Strategy::IslandsOfCores;
+  Config.Sockets = Islands;
+  ExecutionPlan Plan = buildPlan(A.Program, Dom.coreBox(), Machine, Config);
+  PlanVerification V = verifyPlan(Plan, A.Program);
+  std::printf("static plan verification: %s\n",
+              V.Ok ? "OK" : V.FirstError.c_str());
+  printPlanSummary(Plan, A.Program, outs());
+  std::printf("\n");
+
+  // --- 3. Execute with threads; check against the serial oracle --------
+  auto init = [&](auto &Runner) {
+    Box3 Core = Dom.coreBox();
+    for (int I = Core.Lo[0]; I != Core.Hi[0]; ++I)
+      for (int J = Core.Lo[1]; J != Core.Hi[1]; ++J)
+        for (int K = Core.Lo[2]; K != Core.Hi[2]; ++K) {
+          double DI = (I - N / 3.0) / 6.0, DJ = (J - N / 2.0) / 6.0;
+          Runner.array(A.Phi).at(I, J, K) =
+              0.1 + std::exp(-(DI * DI + DJ * DJ));
+          // Diffusivity varies in space: strong in one half of the domain.
+          Runner.array(A.Kappa).at(I, J, K) = I < N / 2 ? 0.02 : 0.10;
+        }
+    Runner.array(A.U1).fill(0.3);
+    Runner.array(A.U2).fill(0.15);
+    Runner.array(A.U3).fill(0.0);
+    Runner.prepareInputs();
+  };
+
+  SerialStepper Oracle(A.Program, buildAdvDiffKernels(), Dom);
+  init(Oracle);
+  Oracle.run(Steps);
+
+  ProgramExecutor Exec(A.Program, buildAdvDiffKernels(), Dom,
+                       std::move(Plan));
+  init(Exec);
+  Exec.run(Steps);
+
+  double MaxDiff =
+      Exec.array(A.Phi).maxAbsDiff(Oracle.array(A.Phi), Dom.coreBox());
+  std::printf("max |islands - serial| after %d steps: %.3e %s\n\n", Steps,
+              MaxDiff, MaxDiff == 0.0 ? "(bit-exact)" : "");
+
+  // --- 4. Predict paper-scale performance for this program -------------
+  MachineModel Uv = makeSgiUv2000();
+  Box3 Big = Box3::fromExtents(1024, 512, 64);
+  std::printf("predicted times on the UV 2000 model (1024x512x64, 50 "
+              "steps):\n");
+  for (Strategy Strat : {Strategy::Original, Strategy::Block31D,
+                         Strategy::IslandsOfCores}) {
+    PlanConfig C;
+    C.Strat = Strat;
+    C.Sockets = 14;
+    ExecutionPlan P = buildPlan(A.Program, Big, Uv, C);
+    SimResult R = simulate(P, A.Program, Uv, 50);
+    std::printf("  %-18s %7.2f s  (%.0f Gflop/s)\n", strategyName(Strat),
+                R.TotalSeconds, R.sustainedGflops());
+  }
+  std::printf("\nthe same trade-off as MPDATA, at this program's (lower) "
+              "arithmetic intensity.\n");
+  return MaxDiff == 0.0 ? 0 : 1;
+}

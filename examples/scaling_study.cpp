@@ -1,0 +1,100 @@
+//===- examples/scaling_study.cpp - Strategy selection across machines ----===//
+//
+// A capacity-planning study: for a family of SMP/NUMA machine shapes
+// (varying socket counts and interconnect quality), predict the execution
+// time of the three MPDATA strategies with the performance model and
+// report which one a scheduler should pick. Demonstrates using the
+// library's planner + simulator as a what-if tool rather than a
+// reproduction harness.
+//
+// Run:  ./scaling_study [--ni=1024 --nj=512 --nk=64 --steps=50]
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PlanBuilder.h"
+#include "machine/MachineModel.h"
+#include "mpdata/MpdataProgram.h"
+#include "sim/Simulator.h"
+#include "support/CommandLine.h"
+#include "support/Format.h"
+#include "support/OStream.h"
+#include "support/Table.h"
+
+#include <cstdio>
+
+using namespace icores;
+
+int main(int Argc, char **Argv) {
+  CommandLine CL;
+  CL.registerOption("ni", "grid cells along i (default 1024)");
+  CL.registerOption("nj", "grid cells along j (default 512)");
+  CL.registerOption("nk", "grid cells along k (default 64)");
+  CL.registerOption("steps", "time steps (default 50)");
+  std::string Error;
+  if (!CL.parse(Argc, Argv, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  int NI = static_cast<int>(CL.getInt("ni", 1024));
+  int NJ = static_cast<int>(CL.getInt("nj", 512));
+  int NK = static_cast<int>(CL.getInt("nk", 64));
+  int Steps = static_cast<int>(CL.getInt("steps", 50));
+  Box3 Grid = Box3::fromExtents(NI, NJ, NK);
+
+  std::printf("strategy selection study: %dx%dx%d grid, %d steps\n\n", NI,
+              NJ, NK, Steps);
+
+  MpdataProgram M = buildMpdataProgram();
+
+  struct MachineCase {
+    const char *Label;
+    double LinkScale;
+    int Sockets;
+  };
+  const MachineCase Cases[] = {
+      {"1-socket workstation", 1.0, 1},
+      {"2-socket server", 4.0, 2}, // QPI-class: fast local interconnect.
+      {"4-socket server", 2.0, 4},
+      {"8-node NUMA (fast links)", 4.0, 8},
+      {"8-node NUMA (slow links)", 0.5, 8},
+      {"UV 2000 (14 nodes)", 1.0, 14},
+  };
+
+  TablePrinter Table({"machine", "original [s]", "(3+1)D [s]",
+                      "islands [s]", "best strategy", "vs runner-up"});
+  for (const MachineCase &C : Cases) {
+    MachineModel Machine = makeSgiUv2000();
+    Machine.LinkBandwidth *= C.LinkScale;
+    Machine.BarrierPerSocket /= C.LinkScale;
+    Machine.BarrierQuadratic /= C.LinkScale;
+
+    double Times[3];
+    Strategy Strategies[3] = {Strategy::Original, Strategy::Block31D,
+                              Strategy::IslandsOfCores};
+    for (int S = 0; S != 3; ++S) {
+      PlanConfig Config;
+      Config.Strat = Strategies[S];
+      Config.Sockets = C.Sockets;
+      ExecutionPlan Plan = buildPlan(M.Program, Grid, Machine, Config);
+      Times[S] = simulate(Plan, M.Program, Machine, Steps).TotalSeconds;
+    }
+    int Best = 0;
+    for (int S = 1; S != 3; ++S)
+      if (Times[S] < Times[Best])
+        Best = S;
+    double RunnerUp = 1e300;
+    for (int S = 0; S != 3; ++S)
+      if (S != Best && Times[S] < RunnerUp)
+        RunnerUp = Times[S];
+    Table.addRow({C.Label, formatString("%.2f", Times[0]),
+                  formatString("%.2f", Times[1]),
+                  formatString("%.2f", Times[2]),
+                  strategyName(Strategies[Best]),
+                  formatString("%.2fx", RunnerUp / Times[Best])});
+  }
+  Table.print(outs());
+  std::printf("\nreading: islands-of-cores dominates multi-socket NUMA "
+              "shapes; on one socket it degenerates to the (3+1)D "
+              "decomposition, which is the right choice there.\n");
+  return 0;
+}

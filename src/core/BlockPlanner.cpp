@@ -1,0 +1,123 @@
+//===- core/BlockPlanner.cpp - (3+1)D block construction ------------------===//
+
+#include "core/BlockPlanner.h"
+
+#include "stencil/HaloAnalysis.h"
+#include "support/Error.h"
+#include "support/MathUtil.h"
+
+#include <algorithm>
+
+using namespace icores;
+
+namespace {
+
+/// Stage regions of \p Part clipped to the global stage regions: nothing
+/// outside what the original version computes is ever produced.
+std::vector<Box3> clippedStageRegions(const StencilProgram &Program,
+                                      const Box3 &Part,
+                                      const Box3 &GlobalTarget) {
+  RegionRequirements Local = computeRequirements(Program, Part);
+  RegionRequirements Global = computeRequirements(Program, GlobalTarget);
+  std::vector<Box3> Regions(Program.numStages());
+  for (unsigned S = 0; S != Program.numStages(); ++S)
+    Regions[S] = Local.StageRegion[S].intersect(Global.StageRegion[S]);
+  return Regions;
+}
+
+} // namespace
+
+int icores::blockThickness(const StencilProgram &Program, const Box3 &Part,
+                           int64_t CacheBudgetBytes) {
+  ICORES_CHECK(CacheBudgetBytes > 0, "cache budget must be positive");
+  // Cross-section: the slab area in the j-k plane, conservatively grown by
+  // the widest stage cone.
+  std::vector<StageSideMargins> Margins = stageSideMargins(Program);
+  int GrowJ = 0;
+  int GrowK = 0;
+  for (const StageSideMargins &M : Margins) {
+    GrowJ = std::max(GrowJ, M.Lo[1] + M.Hi[1]);
+    GrowK = std::max(GrowK, M.Lo[2] + M.Hi[2]);
+  }
+  int64_t CrossSection = static_cast<int64_t>(Part.extent(1) + GrowJ) *
+                         (Part.extent(2) + GrowK);
+  int64_t BytesPerPlane = 0;
+  for (unsigned A = 0; A != Program.numArrays(); ++A)
+    BytesPerPlane += CrossSection * Program.array(static_cast<ArrayId>(A))
+                                        .ElementBytes;
+  ICORES_CHECK(BytesPerPlane > 0, "degenerate cross-section");
+  int Thickness = static_cast<int>(CacheBudgetBytes / BytesPerPlane);
+  return std::max(1, Thickness);
+}
+
+std::vector<BlockTask>
+icores::planIslandBlocks(const StencilProgram &Program, const Box3 &Part,
+                         const Box3 &GlobalTarget, int Thickness) {
+  ICORES_CHECK(!Part.empty(), "cannot plan blocks for an empty part");
+  ICORES_CHECK(Thickness >= 1, "block thickness must be at least 1");
+
+  std::vector<Box3> Regions = clippedStageRegions(Program, Part, GlobalTarget);
+  std::vector<StageSideMargins> Margins = stageSideMargins(Program);
+
+  int NumBlocks = static_cast<int>(
+      ceilDiv(Part.extent(0), static_cast<int64_t>(Thickness)));
+  std::vector<BlockTask> Blocks;
+  Blocks.reserve(static_cast<size_t>(NumBlocks));
+
+  // Per-stage high-water marks along dimension 0.
+  std::vector<int> Hwm(Program.numStages());
+  for (unsigned S = 0; S != Program.numStages(); ++S)
+    Hwm[S] = Regions[S].Lo[0];
+
+  for (int B = 0; B != NumBlocks; ++B) {
+    BlockTask Block;
+    Block.Target = Part;
+    Block.Target.Lo[0] = Part.Lo[0] + B * Thickness;
+    Block.Target.Hi[0] = std::min(Part.Hi[0], Block.Target.Lo[0] + Thickness);
+    bool Last = B + 1 == NumBlocks;
+
+    for (unsigned S = 0; S != Program.numStages(); ++S) {
+      const Box3 &R = Regions[S];
+      if (R.empty())
+        continue;
+      int End = Last ? R.Hi[0]
+                     : std::clamp(Block.Target.Hi[0] + Margins[S].Hi[0],
+                                  R.Lo[0], R.Hi[0]);
+      if (End <= Hwm[S])
+        continue; // Nothing new for this stage in this block.
+      StagePass Pass;
+      Pass.Stage = static_cast<StageId>(S);
+      Pass.Region = R;
+      Pass.Region.Lo[0] = Hwm[S];
+      Pass.Region.Hi[0] = End;
+      Hwm[S] = End;
+      Block.Passes.push_back(Pass);
+    }
+    Blocks.push_back(std::move(Block));
+  }
+
+  // Every stage must end exactly at its region's upper bound.
+  for (unsigned S = 0; S != Program.numStages(); ++S)
+    ICORES_CHECK(Regions[S].empty() || Hwm[S] == Regions[S].Hi[0],
+                 "high-water-mark schedule did not cover a stage region");
+  return Blocks;
+}
+
+std::vector<BlockTask>
+icores::planSingleBlock(const StencilProgram &Program, const Box3 &Part,
+                        const Box3 &GlobalTarget) {
+  std::vector<Box3> Regions = clippedStageRegions(Program, Part, GlobalTarget);
+  BlockTask Block;
+  Block.Target = Part;
+  for (unsigned S = 0; S != Program.numStages(); ++S) {
+    if (Regions[S].empty())
+      continue;
+    StagePass Pass;
+    Pass.Stage = static_cast<StageId>(S);
+    Pass.Region = Regions[S];
+    Block.Passes.push_back(Pass);
+  }
+  std::vector<BlockTask> Result;
+  Result.push_back(std::move(Block));
+  return Result;
+}

@@ -1,0 +1,57 @@
+//===- core/BlockPlanner.h - (3+1)D block construction ----------*- C++ -*-===//
+//
+// Part of the icores project: islands-of-cores for heterogeneous stencils.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the ordered (3+1)D block tasks for one island part. Blocks are
+/// slabs along the first dimension, sized so the intermediate working set
+/// fits the team's cache budget. Within an island the planner uses a
+/// skewed high-water-mark schedule: stage s of block b runs exactly from
+/// where block b-1 left that stage to the block's target end plus the
+/// stage's forward dependence margin. Consecutive blocks therefore share
+/// intermediate planes through (cache) memory — the paper's scenario 1 —
+/// and no point of any stage is ever computed twice *within* an island.
+/// Redundant computation (scenario 2) happens only across island
+/// boundaries, where the island's stage regions include the full
+/// dependence cone of its part.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICORES_CORE_BLOCKPLANNER_H
+#define ICORES_CORE_BLOCKPLANNER_H
+
+#include "core/ExecutionPlan.h"
+#include "grid/Box3.h"
+#include "stencil/StencilIR.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace icores {
+
+/// Slab thickness (cells along dimension 0) whose full working set —
+/// every program array over the slab cross-section — fits in
+/// \p CacheBudgetBytes. At least 1.
+int blockThickness(const StencilProgram &Program, const Box3 &Part,
+                   int64_t CacheBudgetBytes);
+
+/// Builds the block tasks for \p Part. Stage regions are the island's
+/// dependence cones clipped to the global stage regions of
+/// \p GlobalTarget. \p Thickness is the target slab thickness along
+/// dimension 0 (use blockThickness()).
+std::vector<BlockTask> planIslandBlocks(const StencilProgram &Program,
+                                        const Box3 &Part,
+                                        const Box3 &GlobalTarget,
+                                        int Thickness);
+
+/// A single block covering the entire part: the Original strategy's
+/// stage-major sweep expressed in plan form.
+std::vector<BlockTask> planSingleBlock(const StencilProgram &Program,
+                                       const Box3 &Part,
+                                       const Box3 &GlobalTarget);
+
+} // namespace icores
+
+#endif // ICORES_CORE_BLOCKPLANNER_H

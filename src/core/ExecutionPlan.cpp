@@ -1,0 +1,44 @@
+//===- core/ExecutionPlan.cpp - Strategy-agnostic execution plans --------===//
+
+#include "core/ExecutionPlan.h"
+
+#include "support/Error.h"
+
+using namespace icores;
+
+const char *icores::strategyName(Strategy S) {
+  switch (S) {
+  case Strategy::Original:
+    return "original";
+  case Strategy::Block31D:
+    return "(3+1)D";
+  case Strategy::IslandsOfCores:
+    return "islands-of-cores";
+  }
+  ICORES_UNREACHABLE("unknown strategy");
+}
+
+int64_t IslandPlan::passPoints() const {
+  int64_t Total = 0;
+  for (const BlockTask &Block : Blocks)
+    for (const StagePass &Pass : Block.Passes)
+      Total += Pass.Region.numPoints();
+  return Total;
+}
+
+int64_t ExecutionPlan::totalPassPoints() const {
+  int64_t Total = 0;
+  for (const IslandPlan &Island : Islands)
+    Total += Island.passPoints();
+  return Total;
+}
+
+int64_t ExecutionPlan::totalFlops(const StencilProgram &Program) const {
+  int64_t Total = 0;
+  for (const IslandPlan &Island : Islands)
+    for (const BlockTask &Block : Island.Blocks)
+      for (const StagePass &Pass : Block.Passes)
+        Total += Pass.Region.numPoints() *
+                 Program.stage(Pass.Stage).FlopsPerPoint;
+  return Total;
+}

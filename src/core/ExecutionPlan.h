@@ -1,0 +1,95 @@
+//===- core/ExecutionPlan.h - Strategy-agnostic execution plans -*- C++ -*-===//
+//
+// Part of the icores project: islands-of-cores for heterogeneous stencils.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ExecutionPlan is the common currency between the planners (core), the
+/// threaded executor (exec) and the performance simulator (sim). One plan
+/// describes one MPDATA *time step*: a set of islands running concurrently,
+/// each processing an ordered list of blocks, each block an ordered list of
+/// stage passes. The three strategies of the paper reduce to three plan
+/// shapes:
+///
+///  - Original:        1 island (all sockets), 1 block, 17 full-domain
+///                     passes; intermediates live in main memory.
+///  - (3+1)D:          1 island (all sockets), many cache-sized blocks.
+///  - Islands-of-cores: P islands (1 socket each), per-island blocks;
+///                     island pass regions include the inter-island
+///                     dependence cones (redundant computation).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICORES_CORE_EXECUTIONPLAN_H
+#define ICORES_CORE_EXECUTIONPLAN_H
+
+#include "grid/Box3.h"
+#include "stencil/StencilIR.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace icores {
+
+/// The three execution strategies the paper compares.
+enum class Strategy {
+  Original,       ///< Stage-major over the full domain.
+  Block31D,       ///< The pure (3+1)D decomposition.
+  IslandsOfCores, ///< The paper's contribution.
+};
+
+/// Returns a human-readable strategy name.
+const char *strategyName(Strategy S);
+
+/// Where the pages of the shared arrays live (affects the simulator only;
+/// Table 1 contrasts the two for the Original strategy).
+enum class PagePlacement {
+  SerialInit, ///< All pages on socket 0 (naive serial initialization).
+  FirstTouch, ///< Distributed by first touch with parallel initialization.
+};
+
+/// One stage evaluated over one region by one island's work team. The team
+/// splits the region among its threads and barriers afterwards.
+struct StagePass {
+  StageId Stage = 0;
+  Box3 Region; ///< Empty passes are skipped.
+};
+
+/// One (3+1)D block: the passes completing one slab of the step output.
+struct BlockTask {
+  Box3 Target; ///< The slab of the island part this block finishes.
+  std::vector<StagePass> Passes;
+};
+
+/// One island: a work team of contiguous sockets processing one part of
+/// the domain independently within the time step.
+struct IslandPlan {
+  int Index = 0;
+  int HomeSocket = 0; ///< First socket of the team (affinity anchor).
+  int NumSockets = 1; ///< Sockets spanned by the team.
+  int NumThreads = 1; ///< Total threads (cores) in the team.
+  Box3 Part;          ///< Target part of the step output.
+  std::vector<BlockTask> Blocks;
+
+  /// Points computed by this island's passes in one step.
+  int64_t passPoints() const;
+};
+
+/// A complete single-time-step plan.
+struct ExecutionPlan {
+  Strategy Strat = Strategy::Original;
+  PagePlacement Placement = PagePlacement::FirstTouch;
+  Box3 GlobalTarget;
+  std::vector<IslandPlan> Islands;
+
+  /// Total points computed across all islands (redundant work included).
+  int64_t totalPassPoints() const;
+
+  /// Total flops per step given per-stage flop weights from \p Program.
+  int64_t totalFlops(const StencilProgram &Program) const;
+};
+
+} // namespace icores
+
+#endif // ICORES_CORE_EXECUTIONPLAN_H

@@ -1,0 +1,55 @@
+//===- core/Partition.cpp - Island domain partitioning --------------------===//
+
+#include "core/Partition.h"
+
+#include "support/Error.h"
+#include "support/MathUtil.h"
+
+using namespace icores;
+
+int icores::partitionDim(PartitionVariant Variant) {
+  return Variant == PartitionVariant::A ? 0 : 1;
+}
+
+std::vector<Box3> icores::partition1D(const Box3 &Target, int Parts,
+                                      int Dim) {
+  ICORES_CHECK(Parts >= 1, "need at least one part");
+  ICORES_CHECK(Dim >= 0 && Dim < 3, "dimension out of range");
+  ICORES_CHECK(Parts <= Target.extent(Dim),
+               "more parts than cells along the split dimension");
+  std::vector<Box3> Result;
+  Result.reserve(static_cast<size_t>(Parts));
+  int Extent = Target.extent(Dim);
+  for (int P = 0; P != Parts; ++P) {
+    Box3 Part = Target;
+    Part.Lo[Dim] =
+        Target.Lo[Dim] + static_cast<int>(chunkBegin(Extent, Parts, P));
+    Part.Hi[Dim] =
+        Target.Lo[Dim] + static_cast<int>(chunkBegin(Extent, Parts, P + 1));
+    Result.push_back(Part);
+  }
+  return Result;
+}
+
+std::vector<Box3> icores::partition2D(const Box3 &Target, int PartsI,
+                                      int PartsJ) {
+  ICORES_CHECK(PartsI >= 1 && PartsJ >= 1, "need at least one part per dim");
+  std::vector<Box3> Rows = partition1D(Target, PartsI, 0);
+  std::vector<Box3> Result;
+  Result.reserve(static_cast<size_t>(PartsI) * PartsJ);
+  for (const Box3 &Row : Rows)
+    for (const Box3 &Cell : partition1D(Row, PartsJ, 1))
+      Result.push_back(Cell);
+  return Result;
+}
+
+std::pair<int, int> icores::factorForGrid(int Parts) {
+  ICORES_CHECK(Parts >= 1, "need at least one part");
+  int Best = 1;
+  for (int F = 1; F * F <= Parts; ++F)
+    if (Parts % F == 0)
+      Best = F;
+  // Best is the largest factor <= sqrt(Parts); put the larger cofactor on
+  // dimension 0 where cone margins are cheapest.
+  return {Parts / Best, Best};
+}

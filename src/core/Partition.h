@@ -1,0 +1,49 @@
+//===- core/Partition.h - Island domain partitioning ------------*- C++ -*-===//
+//
+// Part of the icores project: islands-of-cores for heterogeneous stencils.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Partitioning of the MPDATA domain into island parts. The paper evaluates
+/// 1D partitionings along the first (variant A) and second (variant B)
+/// dimensions; 2D partitionings are its stated future work and are provided
+/// here for the ablation benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICORES_CORE_PARTITION_H
+#define ICORES_CORE_PARTITION_H
+
+#include "grid/Box3.h"
+
+#include <vector>
+
+namespace icores {
+
+/// The paper's 1D mapping variants.
+enum class PartitionVariant {
+  A, ///< Split across the first (i) dimension.
+  B, ///< Split across the second (j) dimension.
+};
+
+/// Dimension split by a 1D variant.
+int partitionDim(PartitionVariant Variant);
+
+/// Splits \p Target into \p Parts nearly equal slabs along \p Dim.
+/// Parts may exceed the extent; surplus parts come back empty-free: the
+/// call requires Parts <= extent(Dim).
+std::vector<Box3> partition1D(const Box3 &Target, int Parts, int Dim);
+
+/// Splits \p Target into a PartsI x PartsJ grid of boxes over dimensions
+/// 0 and 1 (row-major order: part (a, b) at index a * PartsJ + b).
+std::vector<Box3> partition2D(const Box3 &Target, int PartsI, int PartsJ);
+
+/// Chooses a near-square 2D factorization (Pi, Pj) of \p Parts for
+/// partition2D, preferring more parts along dimension 0 (cheaper cones,
+/// cf. Table 2). Returns {Parts, 1} when Parts is prime.
+std::pair<int, int> factorForGrid(int Parts);
+
+} // namespace icores
+
+#endif // ICORES_CORE_PARTITION_H

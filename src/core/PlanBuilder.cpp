@@ -1,0 +1,87 @@
+//===- core/PlanBuilder.cpp - Strategy plan construction ------------------===//
+
+#include "core/PlanBuilder.h"
+
+#include "core/BlockPlanner.h"
+#include "machine/MachineModel.h"
+#include "support/Error.h"
+
+using namespace icores;
+
+namespace {
+
+/// Cache budget available to a team spanning \p Sockets sockets.
+int64_t teamCacheBudget(const MachineModel &Machine, int Sockets) {
+  return static_cast<int64_t>(static_cast<double>(Machine.LlcBytesPerSocket) *
+                              Sockets * Machine.CacheBudgetFraction);
+}
+
+} // namespace
+
+ExecutionPlan icores::buildPlan(const StencilProgram &Program,
+                                const Box3 &GlobalTarget,
+                                const MachineModel &Machine,
+                                const PlanConfig &Config) {
+  ICORES_CHECK(Config.Sockets >= 1 && Config.Sockets <= Machine.NumSockets,
+               "socket count exceeds the machine");
+
+  ExecutionPlan Plan;
+  Plan.Strat = Config.Strat;
+  Plan.Placement = Config.Placement;
+  Plan.GlobalTarget = GlobalTarget;
+
+  if (Config.Strat == Strategy::Original ||
+      Config.Strat == Strategy::Block31D) {
+    // One team: all participating sockets cooperate on every pass.
+    IslandPlan Island;
+    Island.Index = 0;
+    Island.HomeSocket = 0;
+    Island.NumSockets = Config.Sockets;
+    Island.NumThreads = Config.Sockets * Machine.CoresPerSocket;
+    Island.Part = GlobalTarget;
+    if (Config.Strat == Strategy::Original) {
+      Island.Blocks = planSingleBlock(Program, GlobalTarget, GlobalTarget);
+    } else {
+      int Thickness =
+          blockThickness(Program, GlobalTarget,
+                         teamCacheBudget(Machine, Config.Sockets));
+      Island.Blocks =
+          planIslandBlocks(Program, GlobalTarget, GlobalTarget, Thickness);
+    }
+    Plan.Islands.push_back(std::move(Island));
+    return Plan;
+  }
+
+  // Islands-of-cores: IslandsPerSocket islands per socket (one by
+  // default); neighbor parts land on adjacent islands, and thus on
+  // adjacent sockets (affinity-aware placement along NUMAlink).
+  ICORES_CHECK(Config.IslandsPerSocket >= 1 &&
+                   Machine.CoresPerSocket % Config.IslandsPerSocket == 0,
+               "islands per socket must divide the cores per socket");
+  int NumIslands = Config.Sockets * Config.IslandsPerSocket;
+  std::vector<Box3> Parts;
+  if (Config.GridPartsI > 0 && Config.GridPartsJ > 0) {
+    ICORES_CHECK(Config.GridPartsI * Config.GridPartsJ == NumIslands,
+                 "2D island grid must use exactly the configured islands");
+    Parts = partition2D(GlobalTarget, Config.GridPartsI, Config.GridPartsJ);
+  } else {
+    Parts =
+        partition1D(GlobalTarget, NumIslands, partitionDim(Config.Variant));
+  }
+
+  int64_t IslandBudget =
+      teamCacheBudget(Machine, 1) / Config.IslandsPerSocket;
+  for (int P = 0; P != NumIslands; ++P) {
+    IslandPlan Island;
+    Island.Index = P;
+    Island.HomeSocket = P / Config.IslandsPerSocket;
+    Island.NumSockets = 1;
+    Island.NumThreads = Machine.CoresPerSocket / Config.IslandsPerSocket;
+    Island.Part = Parts[static_cast<size_t>(P)];
+    int Thickness = blockThickness(Program, Island.Part, IslandBudget);
+    Island.Blocks =
+        planIslandBlocks(Program, Island.Part, GlobalTarget, Thickness);
+    Plan.Islands.push_back(std::move(Island));
+  }
+  return Plan;
+}

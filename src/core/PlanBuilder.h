@@ -1,0 +1,51 @@
+//===- core/PlanBuilder.h - Strategy plan construction ----------*- C++ -*-===//
+//
+// Part of the icores project: islands-of-cores for heterogeneous stencils.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds a complete ExecutionPlan for one of the paper's three strategies
+/// on a given machine configuration. This is where the islands-of-cores
+/// policy decisions live: one island per socket, neighbor parts on adjacent
+/// sockets, per-socket cache budgets, and the choice of partition variant.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICORES_CORE_PLANBUILDER_H
+#define ICORES_CORE_PLANBUILDER_H
+
+#include "core/ExecutionPlan.h"
+#include "core/Partition.h"
+
+namespace icores {
+
+struct MachineModel;
+
+/// Configuration of one planned run.
+struct PlanConfig {
+  Strategy Strat = Strategy::IslandsOfCores;
+  /// Number of processors (sockets) participating; 1..machine sockets.
+  int Sockets = 1;
+  PagePlacement Placement = PagePlacement::FirstTouch;
+  /// 1D mapping variant for islands (Table 2's A or B).
+  PartitionVariant Variant = PartitionVariant::A;
+  /// When both are > 0, use a GridPartsI x GridPartsJ 2D island grid
+  /// instead of the 1D variant (the paper's future work; must multiply to
+  /// the total island count).
+  int GridPartsI = 0;
+  int GridPartsJ = 0;
+  /// Islands per socket (the paper's future work of applying the approach
+  /// *within* each multicore CPU). Must divide the cores per socket; the
+  /// total island count becomes Sockets * IslandsPerSocket.
+  int IslandsPerSocket = 1;
+};
+
+/// Builds the per-time-step plan for \p Config over \p GlobalTarget.
+ExecutionPlan buildPlan(const StencilProgram &Program,
+                        const Box3 &GlobalTarget, const MachineModel &Machine,
+                        const PlanConfig &Config);
+
+} // namespace icores
+
+#endif // ICORES_CORE_PLANBUILDER_H

@@ -1,0 +1,62 @@
+//===- core/PlanPrinter.cpp - Plan dumps and summary statistics -----------===//
+
+#include "core/PlanPrinter.h"
+
+#include "stencil/HaloAnalysis.h"
+#include "support/Format.h"
+#include "support/OStream.h"
+
+using namespace icores;
+
+PlanStats icores::computePlanStats(const ExecutionPlan &Plan,
+                                   const StencilProgram &Program) {
+  PlanStats Stats;
+  Stats.NumIslands = static_cast<int>(Plan.Islands.size());
+  for (const IslandPlan &Island : Plan.Islands) {
+    Stats.TotalThreads += Island.NumThreads;
+    Stats.NumBlocks += static_cast<int64_t>(Island.Blocks.size());
+    for (const BlockTask &Block : Island.Blocks)
+      Stats.NumPasses += static_cast<int64_t>(Block.Passes.size());
+  }
+  Stats.TotalPoints = Plan.totalPassPoints();
+  Stats.TotalFlops = Plan.totalFlops(Program);
+
+  RegionRequirements Global =
+      computeRequirements(Program, Plan.GlobalTarget);
+  int64_t Baseline = Global.totalStagePoints();
+  if (Baseline > 0)
+    Stats.RedundancyFraction =
+        static_cast<double>(Stats.TotalPoints - Baseline) /
+        static_cast<double>(Baseline);
+  return Stats;
+}
+
+void icores::printPlanSummary(const ExecutionPlan &Plan,
+                              const StencilProgram &Program, OStream &OS) {
+  PlanStats Stats = computePlanStats(Plan, Program);
+  OS << strategyName(Plan.Strat) << " plan over "
+     << Plan.GlobalTarget.str() << ": " << Stats.NumIslands << " island(s), "
+     << Stats.TotalThreads << " thread(s), " << Stats.NumBlocks
+     << " block(s), " << Stats.NumPasses << " pass(es), "
+     << Stats.TotalPoints << " points ("
+     << formatPercent(Stats.RedundancyFraction, 2)
+     << "% redundant), " << Stats.TotalFlops << " flops/step\n";
+}
+
+void icores::printPlan(const ExecutionPlan &Plan,
+                       const StencilProgram &Program, OStream &OS) {
+  printPlanSummary(Plan, Program, OS);
+  for (const IslandPlan &Island : Plan.Islands) {
+    OS << "island " << Island.Index << " (socket " << Island.HomeSocket
+       << ", " << Island.NumThreads << " threads): part "
+       << Island.Part.str() << '\n';
+    for (size_t B = 0; B != Island.Blocks.size(); ++B) {
+      const BlockTask &Block = Island.Blocks[B];
+      OS << "  block " << static_cast<uint64_t>(B) << " target "
+         << Block.Target.str() << '\n';
+      for (const StagePass &Pass : Block.Passes)
+        OS << "    " << Program.stage(Pass.Stage).Name << " over "
+           << Pass.Region.str() << '\n';
+    }
+  }
+}

@@ -1,0 +1,53 @@
+//===- core/PlanPrinter.h - Plan dumps and summary statistics ---*- C++ -*-===//
+//
+// Part of the icores project: islands-of-cores for heterogeneous stencils.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Human-readable rendering of ExecutionPlans (for debugging transformed
+/// schedules) and aggregate statistics (for reports and examples).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICORES_CORE_PLANPRINTER_H
+#define ICORES_CORE_PLANPRINTER_H
+
+#include "core/ExecutionPlan.h"
+#include "stencil/StencilIR.h"
+
+#include <cstdint>
+#include <string>
+
+namespace icores {
+
+class OStream;
+
+/// Aggregate statistics of one plan.
+struct PlanStats {
+  int NumIslands = 0;
+  int TotalThreads = 0;
+  int64_t NumBlocks = 0;
+  int64_t NumPasses = 0;
+  int64_t TotalPoints = 0;   ///< Points computed, redundancy included.
+  int64_t TotalFlops = 0;    ///< Per step.
+  double RedundancyFraction = 0.0; ///< Extra points vs the target's cone.
+};
+
+/// Computes aggregate statistics for \p Plan.
+PlanStats computePlanStats(const ExecutionPlan &Plan,
+                           const StencilProgram &Program);
+
+/// Renders a one-paragraph summary (strategy, islands, blocks, points,
+/// redundancy).
+void printPlanSummary(const ExecutionPlan &Plan,
+                      const StencilProgram &Program, OStream &OS);
+
+/// Renders the full plan: every island, block and pass with its region.
+/// Verbose — intended for small plans and debugging.
+void printPlan(const ExecutionPlan &Plan, const StencilProgram &Program,
+               OStream &OS);
+
+} // namespace icores
+
+#endif // ICORES_CORE_PLANPRINTER_H

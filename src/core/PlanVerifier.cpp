@@ -1,0 +1,129 @@
+//===- core/PlanVerifier.cpp - Static plan correctness checks -------------===//
+
+#include "core/PlanVerifier.h"
+
+#include "stencil/HaloAnalysis.h"
+#include "support/Format.h"
+
+using namespace icores;
+
+namespace {
+
+/// Fails the verification with a formatted message (keeps the first).
+void fail(PlanVerification &V, std::string Message) {
+  if (!V.Ok)
+    return;
+  V.Ok = false;
+  V.FirstError = std::move(Message);
+}
+
+} // namespace
+
+PlanVerification icores::verifyPlan(const ExecutionPlan &Plan,
+                                    const StencilProgram &Program) {
+  PlanVerification V;
+  if (Plan.Islands.empty()) {
+    fail(V, "plan has no islands");
+    return V;
+  }
+
+  RegionRequirements Global =
+      computeRequirements(Program, Plan.GlobalTarget);
+
+  // --- Per-island dataflow order and clipping -------------------------
+  for (const IslandPlan &Island : Plan.Islands) {
+    std::vector<Box3> Done(Program.numStages());
+    for (size_t B = 0; B != Island.Blocks.size(); ++B) {
+      const BlockTask &Block = Island.Blocks[B];
+      int LastStage = -1;
+      for (const StagePass &Pass : Block.Passes) {
+        if (Pass.Region.empty())
+          continue;
+        if (Pass.Stage <= LastStage) {
+          fail(V, formatString(
+                      "island %d block %zu: passes not in stage order",
+                      Island.Index, B));
+          return V;
+        }
+        LastStage = Pass.Stage;
+
+        const Box3 &GlobalRegion =
+            Global.StageRegion[static_cast<size_t>(Pass.Stage)];
+        if (!GlobalRegion.containsBox(Pass.Region)) {
+          fail(V, formatString("island %d: stage '%s' pass %s exceeds the "
+                               "global region %s",
+                               Island.Index,
+                               Program.stage(Pass.Stage).Name.c_str(),
+                               Pass.Region.str().c_str(),
+                               GlobalRegion.str().c_str()));
+          return V;
+        }
+
+        for (const StageInput &In : Program.stage(Pass.Stage).Inputs) {
+          StageId Producer = Program.producerOf(In.Array);
+          if (Producer == NoStage)
+            continue; // Step input: valid everywhere after halo refresh.
+          Box3 Needed = In.readRegion(Pass.Region);
+          if (!Done[static_cast<size_t>(Producer)].containsBox(Needed)) {
+            fail(V,
+                 formatString(
+                     "island %d: stage '%s' reads %s of '%s' before it is "
+                     "computed (island-local coverage %s)",
+                     Island.Index, Program.stage(Pass.Stage).Name.c_str(),
+                     Needed.str().c_str(),
+                     Program.array(In.Array).Name.c_str(),
+                     Done[static_cast<size_t>(Producer)].str().c_str()));
+            return V;
+          }
+        }
+        Box3 &D = Done[static_cast<size_t>(Pass.Stage)];
+        // The union of consecutive slabs must stay a box for containment
+        // reasoning to be exact; the HWM planner guarantees this.
+        D = D.unionWith(Pass.Region);
+      }
+    }
+  }
+
+  // --- Output coverage and disjointness -------------------------------
+  for (ArrayId Out : Program.stepOutputs()) {
+    StageId Producer = Program.producerOf(Out);
+    int64_t CoveredPoints = 0;
+    Box3 CoveredBox;
+    for (const IslandPlan &Island : Plan.Islands) {
+      Box3 IslandOut;
+      for (const BlockTask &Block : Island.Blocks)
+        for (const StagePass &Pass : Block.Passes)
+          if (Pass.Stage == Producer)
+            IslandOut = IslandOut.unionWith(Pass.Region);
+      // Disjointness across islands (pairwise against what was covered).
+      for (const IslandPlan &Other : Plan.Islands) {
+        if (Other.Index >= Island.Index)
+          break;
+        // Recompute the other island's output union.
+        Box3 OtherOut;
+        for (const BlockTask &Block : Other.Blocks)
+          for (const StagePass &Pass : Block.Passes)
+            if (Pass.Stage == Producer)
+              OtherOut = OtherOut.unionWith(Pass.Region);
+        if (!IslandOut.intersect(OtherOut).empty()) {
+          fail(V, formatString("islands %d and %d both write output '%s'",
+                               Island.Index, Other.Index,
+                               Program.array(Out).Name.c_str()));
+          return V;
+        }
+      }
+      CoveredPoints += IslandOut.numPoints();
+      CoveredBox = CoveredBox.unionWith(IslandOut);
+    }
+    if (CoveredBox != Plan.GlobalTarget ||
+        CoveredPoints != Plan.GlobalTarget.numPoints()) {
+      fail(V, formatString("output '%s' covers %lld points of %lld",
+                           Program.array(Out).Name.c_str(),
+                           static_cast<long long>(CoveredPoints),
+                           static_cast<long long>(
+                               Plan.GlobalTarget.numPoints())));
+      return V;
+    }
+  }
+  return V;
+}

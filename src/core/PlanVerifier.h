@@ -1,0 +1,48 @@
+//===- core/PlanVerifier.h - Static plan correctness checks -----*- C++ -*-===//
+//
+// Part of the icores project: islands-of-cores for heterogeneous stencils.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Verifies an ExecutionPlan against the dataflow semantics of its stencil
+/// program *before* anything runs: every value read must have been
+/// computed earlier (within the island — islands never see each other's
+/// intermediates), the step outputs must be covered exactly once across
+/// islands, and no pass may stray outside what the original version would
+/// compute. The executor asserts these invariants dynamically through its
+/// results; the verifier turns them into a fast static check usable on any
+/// hand-built or transformed plan.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICORES_CORE_PLANVERIFIER_H
+#define ICORES_CORE_PLANVERIFIER_H
+
+#include "core/ExecutionPlan.h"
+#include "stencil/StencilIR.h"
+
+#include <string>
+
+namespace icores {
+
+/// Result of verifying one plan.
+struct PlanVerification {
+  bool Ok = true;
+  std::string FirstError; ///< Empty when Ok.
+};
+
+/// Statically checks \p Plan against \p Program:
+///  1. pass order: every producer value a pass reads was computed by an
+///     earlier pass of the same island (step inputs are exempt — they are
+///     globally valid after the halo refresh);
+///  2. output coverage: the union of the final-stage passes across all
+///     islands covers Plan.GlobalTarget, and islands write disjoint parts;
+///  3. clipping: no pass exceeds the global dependence-cone region of its
+///     stage (nothing the original version would not compute).
+PlanVerification verifyPlan(const ExecutionPlan &Plan,
+                            const StencilProgram &Program);
+
+} // namespace icores
+
+#endif // ICORES_CORE_PLANVERIFIER_H

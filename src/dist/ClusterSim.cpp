@@ -1,0 +1,113 @@
+//===- dist/ClusterSim.cpp - Multi-node performance model -----------------===//
+
+#include "dist/ClusterSim.h"
+
+#include "core/PlanBuilder.h"
+#include "core/Partition.h"
+#include "stencil/HaloAnalysis.h"
+#include "support/Error.h"
+
+#include <cmath>
+
+using namespace icores;
+
+namespace {
+
+/// Shared machinery: per-part local simulation plus per-step message
+/// costs along the given set of exchange dimensions.
+ClusterSimResult simulateParts(const StencilProgram &Program,
+                               const Box3 &Grid,
+                               const ClusterModel &Cluster,
+                               const std::vector<Box3> &Parts,
+                               const std::vector<int> &ExchangeDims,
+                               int SocketsPerNode, int TimeSteps);
+
+} // namespace
+
+ClusterSimResult icores::simulateCluster(const StencilProgram &Program,
+                                         const Box3 &Grid,
+                                         const ClusterModel &Cluster,
+                                         int SocketsPerNode, int TimeSteps) {
+  ICORES_CHECK(Cluster.NumNodes >= 1, "cluster needs at least one node");
+  ICORES_CHECK(Cluster.NumNodes <= Grid.extent(0),
+               "more nodes than grid planes");
+  std::vector<Box3> Parts = partition1D(Grid, Cluster.NumNodes, 0);
+  std::vector<int> Dims;
+  if (Cluster.NumNodes > 1)
+    Dims.push_back(0);
+  return simulateParts(Program, Grid, Cluster, Parts, Dims, SocketsPerNode,
+                       TimeSteps);
+}
+
+ClusterSimResult icores::simulateCluster2D(const StencilProgram &Program,
+                                           const Box3 &Grid,
+                                           const ClusterModel &Cluster,
+                                           int NodesI, int NodesJ,
+                                           int SocketsPerNode,
+                                           int TimeSteps) {
+  ICORES_CHECK(NodesI * NodesJ == Cluster.NumNodes,
+               "node grid must match the cluster size");
+  std::vector<Box3> Parts = partition2D(Grid, NodesI, NodesJ);
+  std::vector<int> Dims;
+  if (NodesI > 1)
+    Dims.push_back(0);
+  if (NodesJ > 1)
+    Dims.push_back(1);
+  return simulateParts(Program, Grid, Cluster, Parts, Dims, SocketsPerNode,
+                       TimeSteps);
+}
+
+namespace {
+
+ClusterSimResult simulateParts(const StencilProgram &Program,
+                               const Box3 &Grid,
+                               const ClusterModel &Cluster,
+                               const std::vector<Box3> &Slabs,
+                               const std::vector<int> &ExchangeDims,
+                               int SocketsPerNode, int TimeSteps) {
+  (void)Grid;
+  ClusterSimResult Result;
+  Result.TimeSteps = TimeSteps;
+
+  // Per-node local step: simulate every node's plan (slab sizes differ by
+  // at most one plane, but redundant cone work differs between edge and
+  // middle slabs); the critical path is the slowest node.
+  double WorstNode = 0.0;
+  for (const Box3 &Slab : Slabs) {
+    PlanConfig Config;
+    Config.Strat = SocketsPerNode == 1 ? Strategy::Block31D
+                                       : Strategy::IslandsOfCores;
+    Config.Sockets = SocketsPerNode;
+    ExecutionPlan Plan = buildPlan(Program, Slab, Cluster.Node, Config);
+    SimResult Node = simulate(Plan, Program, Cluster.Node, TimeSteps);
+    Result.FlopsPerStep += Node.FlopsPerStep;
+    WorstNode = std::max(WorstNode, Node.StepSeconds);
+  }
+  Result.NodeSecondsPerStep = WorstNode;
+
+  // Halo messages: each node sends/receives the input-array dependence
+  // cone (halo depth planes) in both directions of every exchanged
+  // dimension once per step (the 2D case runs two phases).
+  if (!ExchangeDims.empty()) {
+    int Depth = inputHaloDepth(Program, Box3::fromExtents(64, 64, 64))[0];
+    const Box3 &Part = Slabs.front();
+    for (int Dim : ExchangeDims) {
+      int64_t CrossPoints = Part.numPoints() / Part.extent(Dim);
+      int64_t MessageBytes = static_cast<int64_t>(Depth) * CrossPoints *
+                             static_cast<int64_t>(sizeof(double));
+      double PerMessage = Cluster.NetworkLatency +
+                          static_cast<double>(MessageBytes) /
+                              Cluster.NetworkBandwidth;
+      Result.CommSecondsPerStep += 2.0 * PerMessage;
+    }
+    Result.CommSecondsPerStep +=
+        Cluster.NetworkLatency *
+        std::ceil(std::log2(static_cast<double>(Cluster.NumNodes)));
+  }
+
+  Result.StepSeconds = Result.NodeSecondsPerStep + Result.CommSecondsPerStep;
+  Result.TotalSeconds = Result.StepSeconds * TimeSteps;
+  return Result;
+}
+
+} // namespace

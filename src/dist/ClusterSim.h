@@ -1,0 +1,71 @@
+//===- dist/ClusterSim.h - Multi-node performance model ---------*- C++ -*-===//
+//
+// Part of the icores project: islands-of-cores for heterogeneous stencils.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Performance model for the distributed (MPI-style) extension: a cluster
+/// of SMP/NUMA nodes, each running the islands-of-cores schedule on its
+/// slab, with explicit per-step halo messages between slab neighbours.
+/// Extends the single-machine simulator with network latency/bandwidth
+/// terms — the modeling groundwork the paper's future work calls for.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICORES_DIST_CLUSTERSIM_H
+#define ICORES_DIST_CLUSTERSIM_H
+
+#include "machine/MachineModel.h"
+#include "sim/Simulator.h"
+
+namespace icores {
+
+/// A homogeneous cluster of SMP/NUMA nodes.
+struct ClusterModel {
+  MachineModel Node;          ///< Per-node machine (e.g. one UV 2000 IRU).
+  int NumNodes = 1;
+  double NetworkBandwidth = 6.0e9; ///< Per direction per link, B/s.
+  double NetworkLatency = 1.5e-6;  ///< Per message, seconds.
+};
+
+/// Result of simulating a distributed run.
+struct ClusterSimResult {
+  int TimeSteps = 0;
+  double StepSeconds = 0.0;
+  double TotalSeconds = 0.0;
+  double CommSecondsPerStep = 0.0; ///< Halo messages + step barrier.
+  double NodeSecondsPerStep = 0.0; ///< Critical node's local step.
+  int64_t FlopsPerStep = 0;        ///< Whole cluster, redundancy included.
+
+  double sustainedGflops() const {
+    return StepSeconds > 0.0
+               ? static_cast<double>(FlopsPerStep) / StepSeconds / 1e9
+               : 0.0;
+  }
+};
+
+/// Simulates \p TimeSteps steps of the program over \p Grid on
+/// \p Cluster, using \p SocketsPerNode sockets of every node. The domain
+/// is decomposed into per-node slabs along dimension 0; each node runs
+/// the islands-of-cores strategy internally and exchanges halo planes of
+/// the input arrays' dependence cones once per step.
+ClusterSimResult simulateCluster(const StencilProgram &Program,
+                                 const Box3 &Grid,
+                                 const ClusterModel &Cluster,
+                                 int SocketsPerNode, int TimeSteps);
+
+/// 2D variant (future work): nodes arranged in a NodesI x NodesJ grid
+/// over dimensions 0 and 1 (NodesI * NodesJ == Cluster.NumNodes). Each
+/// node exchanges halos in both dimensions (two-phase, corners included)
+/// and partitions its own part across islands along dimension 0. Cures
+/// the sliver problem of large 1D decompositions.
+ClusterSimResult simulateCluster2D(const StencilProgram &Program,
+                                   const Box3 &Grid,
+                                   const ClusterModel &Cluster, int NodesI,
+                                   int NodesJ, int SocketsPerNode,
+                                   int TimeSteps);
+
+} // namespace icores
+
+#endif // ICORES_DIST_CLUSTERSIM_H

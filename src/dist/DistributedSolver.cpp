@@ -1,0 +1,225 @@
+//===- dist/DistributedSolver.cpp - MPI-style distributed MPDATA ----------===//
+
+#include "dist/DistributedSolver.h"
+
+#include "grid/Domain.h"
+#include "mpdata/Kernels.h"
+#include "support/Error.h"
+#include "support/MathUtil.h"
+
+#include <mutex>
+#include <thread>
+#include <utility>
+
+using namespace icores;
+
+namespace {
+
+/// Copies \p Region of \p A into \p Buf in (i, j, k) order.
+void packBox(const Array3D &A, const Box3 &Region, std::vector<double> &Buf) {
+  Buf.resize(static_cast<size_t>(Region.numPoints()));
+  size_t Pos = 0;
+  for (int I = Region.Lo[0]; I != Region.Hi[0]; ++I)
+    for (int J = Region.Lo[1]; J != Region.Hi[1]; ++J)
+      for (int K = Region.Lo[2]; K != Region.Hi[2]; ++K)
+        Buf[Pos++] = A.at(I, J, K);
+}
+
+/// Writes \p Buf back into \p Region of \p A.
+void unpackBox(Array3D &A, const Box3 &Region,
+               const std::vector<double> &Buf) {
+  ICORES_CHECK(Buf.size() == static_cast<size_t>(Region.numPoints()),
+               "halo payload does not match the region");
+  size_t Pos = 0;
+  for (int I = Region.Lo[0]; I != Region.Hi[0]; ++I)
+    for (int J = Region.Lo[1]; J != Region.Hi[1]; ++J)
+      for (int K = Region.Lo[2]; K != Region.Hi[2]; ++K)
+        A.at(I, J, K) = Buf[Pos++];
+}
+
+} // namespace
+
+DistributedRank::DistributedRank(RankComm &Comm, int NI, int NJ, int NK,
+                                 int PI, int PJ,
+                                 const DistributedInit &Init)
+    : Comm(Comm), M(buildMpdataProgram()), NI(NI), NJ(NJ), NK(NK), PI(PI),
+      PJ(PJ), Fields(0) {
+  ICORES_CHECK(PI >= 1 && PJ >= 1 && PI * PJ == Comm.numRanks(),
+               "rank grid does not match the world size");
+  std::array<int, 3> Depth =
+      inputHaloDepth(M.Program, Box3::fromExtents(64, 64, 64));
+  Halo = Depth[0];
+
+  int Pi = Comm.rank() / PJ;
+  int Pj = Comm.rank() % PJ;
+  Owned = Box3(static_cast<int>(chunkBegin(NI, PI, Pi)), //
+               static_cast<int>(chunkBegin(NJ, PJ, Pj)), 0,
+               static_cast<int>(chunkBegin(NI, PI, Pi + 1)),
+               static_cast<int>(chunkBegin(NJ, PJ, Pj + 1)), NK);
+  ICORES_CHECK(Owned.extent(0) >= Halo && Owned.extent(1) >= Halo,
+               "rank part thinner than the halo depth");
+  LocalAlloc = Owned.grownAll(Halo);
+
+  // Requirements: this rank's dependence cones, clipped to what the
+  // single-machine original would compute (identical accounting to the
+  // shared-memory islands).
+  Box3 GlobalCore = Box3::fromExtents(NI, NJ, NK);
+  RegionRequirements Local = computeRequirements(M.Program, Owned);
+  RegionRequirements Global = computeRequirements(M.Program, GlobalCore);
+  Req = Local;
+  for (unsigned S = 0; S != M.Program.numStages(); ++S)
+    Req.StageRegion[S] =
+        Local.StageRegion[S].intersect(Global.StageRegion[S]);
+
+  State.reset(LocalAlloc);
+  Next.reset(LocalAlloc);
+  Dens.reset(LocalAlloc);
+  for (Array3D &Vel : U)
+    Vel.reset(LocalAlloc);
+
+  // Evaluate the initializers on the owned part only — the halos travel
+  // by message.
+  auto fillOwned = [&](Array3D &A,
+                       const std::function<double(int, int, int)> &Fn,
+                       double Default) {
+    for (int I = Owned.Lo[0]; I != Owned.Hi[0]; ++I)
+      for (int J = Owned.Lo[1]; J != Owned.Hi[1]; ++J)
+        for (int K = 0; K != NK; ++K)
+          A.at(I, J, K) = Fn ? Fn(I, J, K) : Default;
+  };
+  fillOwned(State, Init.State, 0.0);
+  fillOwned(U[0], Init.U1, 0.0);
+  fillOwned(U[1], Init.U2, 0.0);
+  fillOwned(U[2], Init.U3, 0.0);
+  fillOwned(Dens, Init.H, 1.0);
+
+  Fields = FieldStore(M.Program.numArrays());
+  Fields.bindExternal(M.XIn, &State);
+  Fields.bindExternal(M.U1, &U[0]);
+  Fields.bindExternal(M.U2, &U[1]);
+  Fields.bindExternal(M.U3, &U[2]);
+  Fields.bindExternal(M.H, &Dens);
+  Fields.bindExternal(M.XOut, &Next);
+  for (unsigned A = 0; A != M.Program.numArrays(); ++A)
+    if (M.Program.array(static_cast<ArrayId>(A)).Role ==
+        ArrayRole::Intermediate)
+      Fields.allocateOwned(static_cast<ArrayId>(A), LocalAlloc);
+}
+
+void DistributedRank::exchangeAlongDim(Array3D &A, int Dim,
+                                       const Box3 &Slab, int TagBase) {
+  int Pi = Comm.rank() / PJ;
+  int Pj = Comm.rank() % PJ;
+  int Parts = Dim == 0 ? PI : PJ;
+  int Pos = Dim == 0 ? Pi : Pj;
+  auto rankAt = [&](int P) {
+    P = (P % Parts + Parts) % Parts;
+    return Dim == 0 ? P * PJ + Pj : Pi * PJ + P;
+  };
+  int Minus = rankAt(Pos - 1);
+  int Plus = rankAt(Pos + 1);
+
+  Box3 SendLow = Slab, SendHigh = Slab, RecvLow = Slab, RecvHigh = Slab;
+  SendLow.Lo[Dim] = Owned.Lo[Dim];
+  SendLow.Hi[Dim] = Owned.Lo[Dim] + Halo;
+  SendHigh.Lo[Dim] = Owned.Hi[Dim] - Halo;
+  SendHigh.Hi[Dim] = Owned.Hi[Dim];
+  RecvLow.Lo[Dim] = Owned.Lo[Dim] - Halo;
+  RecvLow.Hi[Dim] = Owned.Lo[Dim];
+  RecvHigh.Lo[Dim] = Owned.Hi[Dim];
+  RecvHigh.Hi[Dim] = Owned.Hi[Dim] + Halo;
+
+  std::vector<double> Buf;
+  packBox(A, SendLow, Buf);
+  Comm.send(Minus, TagBase + 0, Buf.data(), Buf.size());
+  packBox(A, SendHigh, Buf);
+  Comm.send(Plus, TagBase + 1, Buf.data(), Buf.size());
+
+  Buf.resize(static_cast<size_t>(RecvLow.numPoints()));
+  Comm.recv(Minus, TagBase + 1, Buf.data(), Buf.size());
+  unpackBox(A, RecvLow, Buf);
+  Buf.resize(static_cast<size_t>(RecvHigh.numPoints()));
+  Comm.recv(Plus, TagBase + 0, Buf.data(), Buf.size());
+  unpackBox(A, RecvHigh, Buf);
+}
+
+void DistributedRank::exchangeHalo(Array3D &A, int TagBase) {
+  // Phase 1: dimension 0, core j/k cross-section.
+  Box3 Slab0 = Owned;
+  exchangeAlongDim(A, 0, Slab0, TagBase);
+  // Phase 2: dimension 1 over the *extended* i-range — this forwards the
+  // freshly received corner values too.
+  Box3 Slab1 = Owned;
+  Slab1.Lo[0] -= Halo;
+  Slab1.Hi[0] += Halo;
+  exchangeAlongDim(A, 1, Slab1, TagBase + 2);
+  // Phase 3: k is not decomposed; wrap it locally everywhere.
+  fillLocalKHalo(A);
+}
+
+void DistributedRank::fillLocalKHalo(Array3D &A) {
+  for (int I = LocalAlloc.Lo[0]; I != LocalAlloc.Hi[0]; ++I)
+    for (int J = LocalAlloc.Lo[1]; J != LocalAlloc.Hi[1]; ++J)
+      for (int K = LocalAlloc.Lo[2]; K != LocalAlloc.Hi[2]; ++K) {
+        if (K >= 0 && K < NK)
+          continue;
+        A.at(I, J, K) = A.at(I, J, Domain::wrapIndex(K, NK));
+      }
+}
+
+void DistributedRank::prepareCoefficients() {
+  for (Array3D *A : {&U[0], &U[1], &U[2], &Dens})
+    exchangeHalo(*A, /*TagBase=*/100);
+}
+
+void DistributedRank::step() {
+  exchangeHalo(State, /*TagBase=*/0);
+  for (unsigned S = 0; S != M.Program.numStages(); ++S)
+    runMpdataStage(M, Fields, static_cast<StageId>(S), Req.StageRegion[S]);
+  std::swap(State, Next);
+}
+
+void DistributedRank::run(int Steps) {
+  for (int S = 0; S != Steps; ++S)
+    step();
+  Comm.barrier();
+}
+
+double DistributedRank::localMass() const {
+  double Mass = 0.0;
+  for (int I = Owned.Lo[0]; I != Owned.Hi[0]; ++I)
+    for (int J = Owned.Lo[1]; J != Owned.Hi[1]; ++J)
+      for (int K = 0; K != NK; ++K)
+        Mass += Dens.at(I, J, K) * State.at(I, J, K);
+  return Mass;
+}
+
+Array3D icores::runDistributedMpdata2D(int PI, int PJ, int NI, int NJ,
+                                       int NK, int Steps,
+                                       const DistributedInit &Init) {
+  CommWorld World(PI * PJ);
+  Array3D Global(Box3::fromExtents(NI, NJ, NK));
+  std::mutex GatherMutex;
+
+  std::vector<std::thread> Threads;
+  Threads.reserve(static_cast<size_t>(PI) * PJ);
+  for (int R = 0; R != PI * PJ; ++R) {
+    Threads.emplace_back([&, R] {
+      RankComm Comm(World, R);
+      DistributedRank Rank(Comm, NI, NJ, NK, PI, PJ, Init);
+      Rank.prepareCoefficients();
+      Rank.run(Steps);
+      std::lock_guard<std::mutex> Lock(GatherMutex);
+      Global.copyRegionFrom(Rank.state(), Rank.ownedBox());
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  return Global;
+}
+
+Array3D icores::runDistributedMpdata(int NumRanks, int NI, int NJ, int NK,
+                                     int Steps,
+                                     const DistributedInit &Init) {
+  return runDistributedMpdata2D(NumRanks, 1, NI, NJ, NK, Steps, Init);
+}

@@ -1,0 +1,106 @@
+//===- dist/DistributedSolver.h - MPI-style distributed MPDATA --*- C++ -*-===//
+//
+// Part of the icores project: islands-of-cores for heterogeneous stencils.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's future work: "we plan to study the usage of MPI for
+/// extending the scalability of our approach for much larger system
+/// configurations". This module implements that extension over the
+/// RankComm substrate: the global domain is decomposed into a PI x PJ
+/// grid of rank parts (one rank = one SMP/NUMA machine). Ranks exchange
+/// input-array halos explicitly once per time step — a two-phase exchange
+/// (first dimension, then second dimension over the extended range, which
+/// carries the corners) — and then run the whole step *independently*,
+/// recomputing their inter-rank dependence cones: the islands-of-cores
+/// idea lifted to distributed memory. A 1D decomposition is the PJ = 1
+/// special case; the 2D grids are the paper's other future-work item and
+/// cure the sliver problem the cluster benchmark exposes at scale.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICORES_DIST_DISTRIBUTEDSOLVER_H
+#define ICORES_DIST_DISTRIBUTEDSOLVER_H
+
+#include "dist/RankComm.h"
+#include "grid/Array3D.h"
+#include "grid/Box3.h"
+#include "mpdata/MpdataProgram.h"
+#include "stencil/FieldStore.h"
+#include "stencil/HaloAnalysis.h"
+
+#include <functional>
+
+namespace icores {
+
+/// Global initial data supplied per rank as index-to-value callbacks (in
+/// a real MPI deployment each rank evaluates these locally; nothing is
+/// broadcast).
+struct DistributedInit {
+  std::function<double(int, int, int)> State;
+  std::function<double(int, int, int)> U1;
+  std::function<double(int, int, int)> U2;
+  std::function<double(int, int, int)> U3;
+  std::function<double(int, int, int)> H;
+};
+
+/// One rank of the distributed MPDATA run. Periodic global boundaries;
+/// PI x PJ grid decomposition over dimensions 0 and 1 (rank r sits at
+/// grid position (r / PJ, r % PJ)).
+class DistributedRank {
+public:
+  DistributedRank(RankComm &Comm, int NI, int NJ, int NK, int PI, int PJ,
+                  const DistributedInit &Init);
+
+  /// Global index box owned by this rank.
+  const Box3 &ownedBox() const { return Owned; }
+
+  /// Exchanges coefficient halos (velocities, density). Call once, before
+  /// the first step, collectively on every rank.
+  void prepareCoefficients();
+
+  /// Advances \p Steps time steps (collective).
+  void run(int Steps);
+
+  /// Local view of the state; valid on ownedBox().
+  const Array3D &state() const { return State; }
+
+  /// This rank's contribution to the global conserved sum of h * psi.
+  double localMass() const;
+
+private:
+  void exchangeHalo(Array3D &A, int TagBase);
+  void exchangeAlongDim(Array3D &A, int Dim, const Box3 &Slab, int TagBase);
+  void fillLocalKHalo(Array3D &A);
+  void step();
+
+  RankComm &Comm;
+  MpdataProgram M;
+  int NI, NJ, NK;
+  int PI, PJ;
+  int Halo;
+  Box3 Owned;
+  Box3 LocalAlloc;
+  RegionRequirements Req;
+
+  Array3D State;
+  Array3D Next;
+  Array3D U[3];
+  Array3D Dens;
+  FieldStore Fields;
+};
+
+/// Convenience driver: runs a PI x PJ rank grid on threads for \p Steps
+/// steps and gathers the global state into the returned array (covering
+/// the full core box). Intended for tests and examples.
+Array3D runDistributedMpdata2D(int PI, int PJ, int NI, int NJ, int NK,
+                               int Steps, const DistributedInit &Init);
+
+/// 1D (slab) decomposition: runDistributedMpdata2D with PJ = 1.
+Array3D runDistributedMpdata(int NumRanks, int NI, int NJ, int NK, int Steps,
+                             const DistributedInit &Init);
+
+} // namespace icores
+
+#endif // ICORES_DIST_DISTRIBUTEDSOLVER_H

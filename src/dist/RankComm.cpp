@@ -1,0 +1,58 @@
+//===- dist/RankComm.cpp - In-process message-passing substrate -----------===//
+
+#include "dist/RankComm.h"
+
+#include "support/Error.h"
+
+using namespace icores;
+
+CommWorld::CommWorld(int NumRanks) : NumRanks(NumRanks) {
+  ICORES_CHECK(NumRanks >= 1, "world needs at least one rank");
+}
+
+RankComm::RankComm(CommWorld &World, int Rank) : World(World), Rank(Rank) {
+  ICORES_CHECK(Rank >= 0 && Rank < World.numRanks(), "rank out of range");
+}
+
+void RankComm::send(int Destination, int Tag, const double *Data,
+                    size_t Count) {
+  ICORES_CHECK(Destination >= 0 && Destination < World.numRanks(),
+               "send destination out of range");
+  CommWorld::Message Msg;
+  Msg.Payload.assign(Data, Data + Count);
+  {
+    std::lock_guard<std::mutex> Lock(World.Mutex);
+    World.Mailboxes[{Rank, Destination, Tag}].push_back(std::move(Msg));
+  }
+  World.Cond.notify_all();
+}
+
+void RankComm::recv(int Source, int Tag, double *Data, size_t Count) {
+  ICORES_CHECK(Source >= 0 && Source < World.numRanks(),
+               "recv source out of range");
+  std::unique_lock<std::mutex> Lock(World.Mutex);
+  CommWorld::MailboxKey Key{Source, Rank, Tag};
+  World.Cond.wait(Lock, [&] {
+    auto It = World.Mailboxes.find(Key);
+    return It != World.Mailboxes.end() && !It->second.empty();
+  });
+  auto It = World.Mailboxes.find(Key);
+  CommWorld::Message Msg = std::move(It->second.front());
+  It->second.erase(It->second.begin());
+  ICORES_CHECK(Msg.Payload.size() == Count,
+               "message size does not match the receive request");
+  std::copy(Msg.Payload.begin(), Msg.Payload.end(), Data);
+}
+
+void RankComm::barrier() {
+  std::unique_lock<std::mutex> Lock(World.Mutex);
+  int MyGeneration = World.BarrierGeneration;
+  if (++World.BarrierCount == World.numRanks()) {
+    World.BarrierCount = 0;
+    ++World.BarrierGeneration;
+    World.Cond.notify_all();
+    return;
+  }
+  World.Cond.wait(Lock,
+                  [&] { return World.BarrierGeneration != MyGeneration; });
+}

@@ -1,0 +1,85 @@
+//===- dist/RankComm.h - In-process message-passing substrate ---*- C++ -*-===//
+//
+// Part of the icores project: islands-of-cores for heterogeneous stencils.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small message-passing substrate emulating the MPI subset the
+/// distributed MPDATA driver needs: point-to-point tagged sends/receives
+/// of double buffers and a world barrier, between ranks running as threads
+/// of one process. The paper's future work plans an MPI extension of the
+/// islands-of-cores approach; this substrate lets the repository implement
+/// and *test* that extension without an MPI installation — swapping
+/// RankComm for real MPI is mechanical.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICORES_DIST_RANKCOMM_H
+#define ICORES_DIST_RANKCOMM_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace icores {
+
+/// Shared mailbox state for one group of ranks. Create one World per
+/// distributed run and hand each rank a RankComm view of it.
+class CommWorld {
+public:
+  explicit CommWorld(int NumRanks);
+
+  int numRanks() const { return NumRanks; }
+
+private:
+  friend class RankComm;
+
+  struct Message {
+    std::vector<double> Payload;
+  };
+
+  /// Key: (source, destination, tag).
+  using MailboxKey = std::tuple<int, int, int>;
+
+  std::mutex Mutex;
+  std::condition_variable Cond;
+  std::map<MailboxKey, std::vector<Message>> Mailboxes;
+
+  // Sense-reversing barrier state.
+  int BarrierCount = 0;
+  int BarrierGeneration = 0;
+
+  int NumRanks;
+};
+
+/// One rank's endpoint: MPI_Comm_rank/size, send, recv, barrier.
+class RankComm {
+public:
+  RankComm(CommWorld &World, int Rank);
+
+  int rank() const { return Rank; }
+  int numRanks() const { return World.numRanks(); }
+
+  /// Blocking tagged send of \p Count doubles to \p Destination. The data
+  /// is copied; the call returns immediately after enqueueing (buffered
+  /// send semantics, like MPI_Bsend).
+  void send(int Destination, int Tag, const double *Data, size_t Count);
+
+  /// Blocking tagged receive from \p Source; waits until a matching
+  /// message arrives and fills exactly \p Count doubles.
+  void recv(int Source, int Tag, double *Data, size_t Count);
+
+  /// Blocks until every rank of the world has entered the barrier.
+  void barrier();
+
+private:
+  CommWorld &World;
+  int Rank;
+};
+
+} // namespace icores
+
+#endif // ICORES_DIST_RANKCOMM_H

@@ -1,0 +1,65 @@
+//===- exec/Affinity.cpp - Topology-aware thread placement ----------------===//
+
+#include "exec/Affinity.h"
+
+#include "support/Error.h"
+
+#ifdef __linux__
+#include <sched.h>
+#include <unistd.h>
+#endif
+
+using namespace icores;
+
+std::vector<ThreadPlacement>
+icores::computeThreadPlacement(const ExecutionPlan &Plan,
+                               const MachineModel &M) {
+  std::vector<ThreadPlacement> Placement;
+  // Next free core within each socket (sub-socket islands pack).
+  std::vector<int> NextCore(static_cast<size_t>(M.NumSockets), 0);
+
+  for (const IslandPlan &Island : Plan.Islands) {
+    for (int T = 0; T != Island.NumThreads; ++T) {
+      // Teams spanning several sockets stripe their threads across them
+      // in contiguous runs of CoresPerSocket.
+      int SocketOffset = T / M.CoresPerSocket;
+      int Socket = Island.HomeSocket +
+                   (SocketOffset < Island.NumSockets ? SocketOffset
+                                                     : Island.NumSockets - 1);
+      ICORES_CHECK(Socket < M.NumSockets, "placement beyond the machine");
+      int Core = NextCore[static_cast<size_t>(Socket)]++;
+      ICORES_CHECK(Core < M.CoresPerSocket,
+                   "more threads than cores on a socket");
+      ThreadPlacement P;
+      P.Island = Island.Index;
+      P.ThreadInTeam = T;
+      P.Socket = Socket;
+      P.GlobalCore = Socket * M.CoresPerSocket + Core;
+      Placement.push_back(P);
+    }
+  }
+  return Placement;
+}
+
+int icores::adjacencyCost(const ExecutionPlan &Plan, const MachineModel &M) {
+  int Cost = 0;
+  for (size_t I = 1; I < Plan.Islands.size(); ++I)
+    Cost += M.topologyDistance(Plan.Islands[I - 1].HomeSocket,
+                               Plan.Islands[I].HomeSocket);
+  return Cost;
+}
+
+bool icores::pinCurrentThreadToCore(int GlobalCore) {
+#ifdef __linux__
+  long HostCores = sysconf(_SC_NPROCESSORS_ONLN);
+  if (GlobalCore < 0 || HostCores <= 0 || GlobalCore >= HostCores)
+    return false;
+  cpu_set_t Set;
+  CPU_ZERO(&Set);
+  CPU_SET(static_cast<unsigned>(GlobalCore), &Set);
+  return sched_setaffinity(0, sizeof(Set), &Set) == 0;
+#else
+  (void)GlobalCore;
+  return false;
+#endif
+}

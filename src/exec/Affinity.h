@@ -1,0 +1,56 @@
+//===- exec/Affinity.h - Topology-aware thread placement --------*- C++ -*-===//
+//
+// Part of the icores project: islands-of-cores for heterogeneous stencils.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's runtime "uses the OpenMP API only for creating threads and
+/// controlling their affinity policy" and assigns "all the neighbour parts
+/// ... to the adjacent processors that are closely connected each other
+/// within the interconnect". This module computes that placement: every
+/// plan thread is mapped to a concrete core of the machine model, islands
+/// anchored on their home sockets so neighbouring domain parts sit one
+/// NUMAlink hop apart. On Linux hosts the placement can optionally be
+/// applied with sched_setaffinity (a no-op elsewhere or when the host has
+/// fewer cores than the plan).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICORES_EXEC_AFFINITY_H
+#define ICORES_EXEC_AFFINITY_H
+
+#include "core/ExecutionPlan.h"
+#include "machine/MachineModel.h"
+
+#include <vector>
+
+namespace icores {
+
+/// Where one plan thread runs.
+struct ThreadPlacement {
+  int Island = 0;
+  int ThreadInTeam = 0;
+  int Socket = 0;
+  int GlobalCore = 0; ///< Socket * CoresPerSocket + core-in-socket.
+};
+
+/// Maps every thread of \p Plan onto cores of \p Machine: island teams
+/// occupy consecutive cores starting at their home socket; sub-socket
+/// islands pack within the socket. Returned in (island, thread) order.
+std::vector<ThreadPlacement> computeThreadPlacement(const ExecutionPlan &Plan,
+                                                    const MachineModel &M);
+
+/// Sum over pairs of domain-adjacent islands of the topology distance
+/// between their sockets — the quantity the paper's placement minimizes
+/// (neighbour parts on adjacent processors). Only meaningful for
+/// islands-of-cores plans with 1D partitions.
+int adjacencyCost(const ExecutionPlan &Plan, const MachineModel &M);
+
+/// Pins the calling thread to \p GlobalCore if the host allows it.
+/// Returns false (without failing) when unsupported or out of range.
+bool pinCurrentThreadToCore(int GlobalCore);
+
+} // namespace icores
+
+#endif // ICORES_EXEC_AFFINITY_H

@@ -1,0 +1,34 @@
+//===- exec/PlanExecutor.cpp - MPDATA-flavoured plan execution ------------===//
+
+#include "exec/PlanExecutor.h"
+
+#include "support/Error.h"
+
+#include <utility>
+
+using namespace icores;
+
+PlanExecutor::PlanExecutor(const Domain &Dom, ExecutionPlan Plan,
+                           KernelVariant Kernels)
+    : M(buildMpdataProgram()),
+      Exec(M.Program, buildMpdataKernels(Kernels), Dom, std::move(Plan)) {
+  // Density defaults to 1 so workloads that never touch it stay valid.
+  Exec.array(M.H).fill(1.0);
+}
+
+Array3D &PlanExecutor::velocity(int Dim) {
+  ICORES_CHECK(Dim >= 0 && Dim < 3, "velocity dimension out of range");
+  return Exec.array(Dim == 0 ? M.U1 : (Dim == 1 ? M.U2 : M.U3));
+}
+
+double PlanExecutor::conservedMass() const {
+  Box3 Core = Exec.domain().coreBox();
+  const Array3D &State = Exec.array(M.XIn);
+  const Array3D &Dens = Exec.array(M.H);
+  double Mass = 0.0;
+  for (int I = Core.Lo[0]; I != Core.Hi[0]; ++I)
+    for (int J = Core.Lo[1]; J != Core.Hi[1]; ++J)
+      for (int K = Core.Lo[2]; K != Core.Hi[2]; ++K)
+        Mass += Dens.at(I, J, K) * State.at(I, J, K);
+  return Mass;
+}

@@ -1,0 +1,152 @@
+//===- exec/ProgramExecutor.cpp - Generic threaded plan execution ---------===//
+
+#include "exec/ProgramExecutor.h"
+
+#include "exec/RegionSplit.h"
+#include "support/Error.h"
+
+#include <barrier>
+#include <thread>
+#include <utility>
+
+using namespace icores;
+
+/// Island-private execution state: the field store (intermediates owned,
+/// step inputs/outputs bound to the shared arrays) and the team barrier.
+struct ProgramExecutor::IslandState {
+  FieldStore Store;
+  std::barrier<> TeamBarrier;
+
+  IslandState(unsigned NumArrays, int TeamSize)
+      : Store(NumArrays), TeamBarrier(TeamSize) {}
+};
+
+namespace {
+
+/// Shared state of one run() invocation.
+struct RunControl {
+  std::barrier<> GlobalBarrier;
+
+  explicit RunControl(int TotalThreads) : GlobalBarrier(TotalThreads) {}
+};
+
+} // namespace
+
+ProgramExecutor::ProgramExecutor(StencilProgram AProgram,
+                                 KernelTable AKernels, const Domain &ADom,
+                                 ExecutionPlan APlan)
+    : Program(std::move(AProgram)), Kernels(std::move(AKernels)), Dom(ADom),
+      Plan(std::move(APlan)) {
+  ICORES_CHECK(Plan.GlobalTarget == Dom.coreBox(),
+               "plan target does not match the domain");
+  ICORES_CHECK(!Plan.Islands.empty(), "plan has no islands");
+  ICORES_CHECK(Kernels.coversProgram(Program),
+               "kernel table does not cover the program");
+
+  Box3 Alloc = Dom.allocBox();
+  for (unsigned A = 0; A != Program.numArrays(); ++A) {
+    ArrayId Id = static_cast<ArrayId>(A);
+    if (Program.array(Id).Role != ArrayRole::Intermediate)
+      External.emplace(Id, Array3D(Alloc));
+  }
+
+  for (const IslandPlan &Island : Plan.Islands) {
+    auto IS = std::make_unique<IslandState>(Program.numArrays(),
+                                            Island.NumThreads);
+    for (auto &[Id, Arr] : External)
+      IS->Store.bindExternal(Id, &Arr);
+
+    // Allocate the island's private intermediates over the union of the
+    // regions its passes compute each stage on.
+    std::vector<Box3> StageUnion(Program.numStages());
+    for (const BlockTask &Block : Island.Blocks)
+      for (const StagePass &Pass : Block.Passes) {
+        Box3 &Un = StageUnion[static_cast<size_t>(Pass.Stage)];
+        Un = Un.unionWith(Pass.Region);
+      }
+    for (unsigned S = 0; S != Program.numStages(); ++S) {
+      if (StageUnion[S].empty())
+        continue;
+      for (ArrayId Out : Program.stage(static_cast<StageId>(S)).Outputs)
+        if (Program.array(Out).Role == ArrayRole::Intermediate &&
+            !IS->Store.isBound(Out))
+          IS->Store.allocateOwned(Out, StageUnion[S]);
+    }
+    IslandStates.push_back(std::move(IS));
+  }
+}
+
+ProgramExecutor::~ProgramExecutor() = default;
+
+Array3D &ProgramExecutor::array(ArrayId Id) {
+  auto It = External.find(Id);
+  ICORES_CHECK(It != External.end(),
+               "array is not a step input or output");
+  return It->second;
+}
+
+const Array3D &ProgramExecutor::array(ArrayId Id) const {
+  auto It = External.find(Id);
+  ICORES_CHECK(It != External.end(),
+               "array is not a step input or output");
+  return It->second;
+}
+
+void ProgramExecutor::prepareInputs() {
+  for (ArrayId In : Program.stepInputs())
+    Dom.fillHalo(array(In));
+}
+
+void ProgramExecutor::threadMain(int Island, int ThreadInTeam, int Steps,
+                                 void *ControlPtr) {
+  RunControl &Control = *static_cast<RunControl *>(ControlPtr);
+  const IslandPlan &IslandP =
+      this->Plan.Islands[static_cast<size_t>(Island)];
+  IslandState &IS = *IslandStates[static_cast<size_t>(Island)];
+
+  for (int Step = 0; Step != Steps; ++Step) {
+    Control.GlobalBarrier.arrive_and_wait();
+    if (Island == 0 && ThreadInTeam == 0) {
+      if (Step != 0)
+        for (const FeedbackPair &FB : Program.feedbacks())
+          std::swap(array(FB.Source), array(FB.Target));
+      for (const FeedbackPair &FB : Program.feedbacks())
+        Dom.fillHalo(array(FB.Target));
+    }
+    Control.GlobalBarrier.arrive_and_wait();
+
+    for (const BlockTask &Block : IslandP.Blocks) {
+      for (const StagePass &Pass : Block.Passes) {
+        Box3 Sub =
+            teamSubRegion(Pass.Region, ThreadInTeam, IslandP.NumThreads);
+        Kernels.run(IS.Store, Pass.Stage, Sub);
+        IS.TeamBarrier.arrive_and_wait();
+      }
+    }
+  }
+}
+
+void ProgramExecutor::run(int Steps) {
+  ICORES_CHECK(Steps >= 0, "negative step count");
+  if (Steps == 0)
+    return;
+
+  int TotalThreads = 0;
+  for (const IslandPlan &Island : Plan.Islands)
+    TotalThreads += Island.NumThreads;
+
+  RunControl Control(TotalThreads);
+  std::vector<std::thread> Threads;
+  Threads.reserve(static_cast<size_t>(TotalThreads));
+  for (size_t Isl = 0; Isl != Plan.Islands.size(); ++Isl)
+    for (int T = 0; T != Plan.Islands[Isl].NumThreads; ++T)
+      Threads.emplace_back(&ProgramExecutor::threadMain, this,
+                           static_cast<int>(Isl), T, Steps, &Control);
+  for (std::thread &Thr : Threads)
+    Thr.join();
+
+  // The last step left the results in the Source arrays; expose them
+  // through the feedback Targets.
+  for (const FeedbackPair &FB : Program.feedbacks())
+    std::swap(array(FB.Source), array(FB.Target));
+}

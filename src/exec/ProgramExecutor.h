@@ -1,0 +1,72 @@
+//===- exec/ProgramExecutor.h - Generic threaded plan execution -*- C++ -*-===//
+//
+// Part of the icores project: islands-of-cores for heterogeneous stencils.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The application-agnostic threaded runtime: executes any ExecutionPlan
+/// for any (StencilProgram, KernelTable) pair. Islands run concurrently
+/// with private intermediates; passes are split among team threads along
+/// their longest dimension and followed by a team barrier; the program's
+/// feedback pairs advance the state between steps. PlanExecutor (the
+/// MPDATA-flavoured API) is a thin wrapper over this class.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICORES_EXEC_PROGRAMEXECUTOR_H
+#define ICORES_EXEC_PROGRAMEXECUTOR_H
+
+#include "core/ExecutionPlan.h"
+#include "grid/Array3D.h"
+#include "grid/Domain.h"
+#include "stencil/FieldStore.h"
+#include "stencil/KernelTable.h"
+#include "stencil/StencilIR.h"
+
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace icores {
+
+/// Threaded executor for one plan of one program over one domain.
+class ProgramExecutor {
+public:
+  /// \p Plan must target Dom.coreBox(); \p Kernels must cover the program.
+  ProgramExecutor(StencilProgram Program, KernelTable Kernels,
+                  const Domain &Dom, ExecutionPlan Plan);
+  ~ProgramExecutor();
+
+  const Domain &domain() const { return Dom; }
+  const StencilProgram &program() const { return Program; }
+  const ExecutionPlan &plan() const { return Plan; }
+
+  /// Mutable access to any step-input or step-output array.
+  Array3D &array(ArrayId Id);
+  const Array3D &array(ArrayId Id) const;
+
+  /// Refreshes the halos of every step input (call after initialization).
+  void prepareInputs();
+
+  /// Advances \p Steps steps with the plan's threads. Afterwards each
+  /// feedback Target array holds the newest state.
+  void run(int Steps);
+
+private:
+  struct IslandState;
+
+  void threadMain(int Island, int ThreadInTeam, int Steps, void *Control);
+
+  StencilProgram Program;
+  KernelTable Kernels;
+  Domain Dom;
+  ExecutionPlan Plan;
+
+  std::map<ArrayId, Array3D> External;
+  std::vector<std::unique_ptr<IslandState>> IslandStates;
+};
+
+} // namespace icores
+
+#endif // ICORES_EXEC_PROGRAMEXECUTOR_H

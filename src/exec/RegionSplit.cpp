@@ -1,0 +1,36 @@
+//===- exec/RegionSplit.cpp - Thread work splitting ------------------------===//
+
+#include "exec/RegionSplit.h"
+
+#include "support/Error.h"
+#include "support/MathUtil.h"
+
+using namespace icores;
+
+int icores::teamSplitDim(const Box3 &Region) {
+  int Best = 0;
+  for (int D = 1; D != 3; ++D)
+    if (Region.extent(D) > Region.extent(Best))
+      Best = D;
+  return Best;
+}
+
+Box3 icores::teamSubRegion(const Box3 &Region, int Index, int Count) {
+  ICORES_CHECK(Count >= 1 && Index >= 0 && Index < Count,
+               "bad team split request");
+  if (Region.empty())
+    return Box3();
+  int Dim = teamSplitDim(Region);
+  int Extent = Region.extent(Dim);
+  // When the team outnumbers the cells, the surplus threads get empty
+  // sub-regions.
+  int Parts = Count <= Extent ? Count : Extent;
+  if (Index >= Parts)
+    return Box3();
+  Box3 Sub = Region;
+  Sub.Lo[Dim] = Region.Lo[Dim] + static_cast<int>(chunkBegin(Extent, Parts,
+                                                             Index));
+  Sub.Hi[Dim] = Region.Lo[Dim] + static_cast<int>(chunkBegin(Extent, Parts,
+                                                             Index + 1));
+  return Sub;
+}

@@ -1,0 +1,31 @@
+//===- exec/RegionSplit.h - Thread work splitting ----------------*- C++ -*-===//
+//
+// Part of the icores project: islands-of-cores for heterogeneous stencils.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Splits a pass region among the threads of a work team along the
+/// region's longest dimension. The simulator assumes the same policy when
+/// charging cross-socket halo traffic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICORES_EXEC_REGIONSPLIT_H
+#define ICORES_EXEC_REGIONSPLIT_H
+
+#include "grid/Box3.h"
+
+namespace icores {
+
+/// The dimension a team splits \p Region along (the longest one; ties go
+/// to the lower dimension index).
+int teamSplitDim(const Box3 &Region);
+
+/// Sub-region of \p Region assigned to thread \p Index of \p Count along
+/// teamSplitDim(). May be empty when the extent is smaller than the team.
+Box3 teamSubRegion(const Box3 &Region, int Index, int Count);
+
+} // namespace icores
+
+#endif // ICORES_EXEC_REGIONSPLIT_H

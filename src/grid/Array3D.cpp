@@ -1,0 +1,41 @@
+//===- grid/Array3D.cpp - Dense 3D array over a Box3 ----------------------===//
+
+#include "grid/Array3D.h"
+
+#include "support/Error.h"
+
+#include <cmath>
+
+using namespace icores;
+
+void Array3D::copyRegionFrom(const Array3D &Src, const Box3 &Region) {
+  ICORES_CHECK(Space.containsBox(Region) &&
+                   Src.indexSpace().containsBox(Region),
+               "copyRegionFrom region not covered by both arrays");
+  for (int I = Region.Lo[0]; I != Region.Hi[0]; ++I)
+    for (int J = Region.Lo[1]; J != Region.Hi[1]; ++J)
+      for (int K = Region.Lo[2]; K != Region.Hi[2]; ++K)
+        at(I, J, K) = Src.at(I, J, K);
+}
+
+double Array3D::sumRegion(const Box3 &Region) const {
+  ICORES_CHECK(Space.containsBox(Region), "sumRegion outside index space");
+  double Sum = 0.0;
+  for (int I = Region.Lo[0]; I != Region.Hi[0]; ++I)
+    for (int J = Region.Lo[1]; J != Region.Hi[1]; ++J)
+      for (int K = Region.Lo[2]; K != Region.Hi[2]; ++K)
+        Sum += at(I, J, K);
+  return Sum;
+}
+
+double Array3D::maxAbsDiff(const Array3D &Other, const Box3 &Region) const {
+  ICORES_CHECK(Space.containsBox(Region) &&
+                   Other.indexSpace().containsBox(Region),
+               "maxAbsDiff region not covered by both arrays");
+  double Max = 0.0;
+  for (int I = Region.Lo[0]; I != Region.Hi[0]; ++I)
+    for (int J = Region.Lo[1]; J != Region.Hi[1]; ++J)
+      for (int K = Region.Lo[2]; K != Region.Hi[2]; ++K)
+        Max = std::max(Max, std::fabs(at(I, J, K) - Other.at(I, J, K)));
+  return Max;
+}

@@ -1,0 +1,106 @@
+//===- grid/Array3D.h - Dense 3D array over a Box3 --------------*- C++ -*-===//
+//
+// Part of the icores project: islands-of-cores for heterogeneous stencils.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Array3D stores double-precision values over an arbitrary half-open Box3
+/// index space, so halo cells at negative indices are addressed directly
+/// with their logical (i, j, k) coordinates. Storage is k-fastest (row-major
+/// in (i, j, k)), matching the layout assumed by the traffic model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICORES_GRID_ARRAY3D_H
+#define ICORES_GRID_ARRAY3D_H
+
+#include "grid/Box3.h"
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace icores {
+
+/// Dense double array addressed by logical (i, j, k) within a Box3.
+class Array3D {
+public:
+  Array3D() = default;
+
+  /// Allocates storage covering \p IndexSpace, zero-initialized.
+  explicit Array3D(const Box3 &IndexSpace) { reset(IndexSpace); }
+
+  /// Re-shapes to \p IndexSpace, zero-filling all elements.
+  void reset(const Box3 &IndexSpace) {
+    Space = IndexSpace;
+    StrideJ = Space.extent(2);
+    StrideI = static_cast<int64_t>(Space.extent(1)) * StrideJ;
+    Data.assign(static_cast<size_t>(Space.numPoints()), 0.0);
+  }
+
+  const Box3 &indexSpace() const { return Space; }
+  bool allocated() const { return !Data.empty(); }
+  int64_t numElements() const { return static_cast<int64_t>(Data.size()); }
+  int64_t sizeInBytes() const {
+    return numElements() * static_cast<int64_t>(sizeof(double));
+  }
+
+  double &at(int I, int J, int K) {
+    return Data[static_cast<size_t>(linearIndex(I, J, K))];
+  }
+  double at(int I, int J, int K) const {
+    return Data[static_cast<size_t>(linearIndex(I, J, K))];
+  }
+  double &operator()(int I, int J, int K) { return at(I, J, K); }
+  double operator()(int I, int J, int K) const { return at(I, J, K); }
+
+  double *data() { return Data.data(); }
+  const double *data() const { return Data.data(); }
+
+  /// Distance in elements between (i, j, k) and (i+1, j, k).
+  int64_t strideI() const { return StrideI; }
+  /// Distance in elements between (i, j, k) and (i, j+1, k).
+  int64_t strideJ() const { return StrideJ; }
+
+  /// Unchecked raw pointer to element (I, J, K); the coordinates must lie
+  /// in the index space. For strided inner loops (see mpdata/Kernels).
+  double *pointerTo(int I, int J, int K) {
+    return Data.data() + linearIndex(I, J, K);
+  }
+  const double *pointerTo(int I, int J, int K) const {
+    return Data.data() + linearIndex(I, J, K);
+  }
+
+  /// Sets every element (halo included) to \p Value.
+  void fill(double Value) { Data.assign(Data.size(), Value); }
+
+  /// Copies the values of \p Region from \p Src; the region must be inside
+  /// both index spaces.
+  void copyRegionFrom(const Array3D &Src, const Box3 &Region);
+
+  /// Serial deterministic sum over \p Region (used by conservation tests;
+  /// never parallelized so results are bit-stable).
+  double sumRegion(const Box3 &Region) const;
+
+  /// Returns the largest absolute difference against \p Other over
+  /// \p Region; both arrays must cover the region.
+  double maxAbsDiff(const Array3D &Other, const Box3 &Region) const;
+
+private:
+  int64_t linearIndex(int I, int J, int K) const {
+    assert(Space.contains(I, J, K) && "Array3D access out of index space");
+    return static_cast<int64_t>(I - Space.Lo[0]) * StrideI +
+           static_cast<int64_t>(J - Space.Lo[1]) * StrideJ +
+           (K - Space.Lo[2]);
+  }
+
+  Box3 Space;
+  int64_t StrideI = 0;
+  int64_t StrideJ = 0;
+  std::vector<double> Data;
+};
+
+} // namespace icores
+
+#endif // ICORES_GRID_ARRAY3D_H

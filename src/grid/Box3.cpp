@@ -1,0 +1,12 @@
+//===- grid/Box3.cpp - Half-open 3D index boxes ---------------------------===//
+
+#include "grid/Box3.h"
+
+#include "support/Format.h"
+
+using namespace icores;
+
+std::string Box3::str() const {
+  return formatString("[%d,%d)x[%d,%d)x[%d,%d)", Lo[0], Hi[0], Lo[1], Hi[1],
+                      Lo[2], Hi[2]);
+}

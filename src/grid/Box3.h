@@ -1,0 +1,140 @@
+//===- grid/Box3.h - Half-open 3D index boxes -------------------*- C++ -*-===//
+//
+// Part of the icores project: islands-of-cores for heterogeneous stencils.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Box3 is the workhorse of all region reasoning in this project: stage
+/// output regions, dependence cones, island parts and (3+1)D blocks are all
+/// half-open boxes [Lo, Hi) in (i, j, k) index space. Boxes may extend into
+/// negative coordinates (halo regions around the physical domain).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICORES_GRID_BOX3_H
+#define ICORES_GRID_BOX3_H
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace icores {
+
+/// A half-open axis-aligned box [Lo[d], Hi[d]) in 3D integer index space.
+///
+/// An empty box is any box with Hi[d] <= Lo[d] in some dimension; empty
+/// boxes compare equal to each other for the purposes of containment and
+/// contribute zero points.
+struct Box3 {
+  std::array<int, 3> Lo = {0, 0, 0};
+  std::array<int, 3> Hi = {0, 0, 0};
+
+  Box3() = default;
+  Box3(int LoI, int LoJ, int LoK, int HiI, int HiJ, int HiK)
+      : Lo{LoI, LoJ, LoK}, Hi{HiI, HiJ, HiK} {}
+
+  /// Builds the box [0,NI) x [0,NJ) x [0,NK).
+  static Box3 fromExtents(int NI, int NJ, int NK) {
+    return Box3(0, 0, 0, NI, NJ, NK);
+  }
+
+  int extent(int Dim) const {
+    assert(Dim >= 0 && Dim < 3 && "dimension out of range");
+    return std::max(0, Hi[Dim] - Lo[Dim]);
+  }
+
+  bool empty() const {
+    return extent(0) == 0 || extent(1) == 0 || extent(2) == 0;
+  }
+
+  /// Number of lattice points inside the box.
+  int64_t numPoints() const {
+    return static_cast<int64_t>(extent(0)) * extent(1) * extent(2);
+  }
+
+  bool contains(int I, int J, int K) const {
+    return I >= Lo[0] && I < Hi[0] && J >= Lo[1] && J < Hi[1] && K >= Lo[2] &&
+           K < Hi[2];
+  }
+
+  /// Returns true when \p Other lies entirely inside this box. An empty
+  /// \p Other is contained in everything.
+  bool containsBox(const Box3 &Other) const {
+    if (Other.empty())
+      return true;
+    for (int D = 0; D != 3; ++D)
+      if (Other.Lo[D] < Lo[D] || Other.Hi[D] > Hi[D])
+        return false;
+    return true;
+  }
+
+  /// Component-wise intersection; may be empty.
+  Box3 intersect(const Box3 &Other) const {
+    Box3 R;
+    for (int D = 0; D != 3; ++D) {
+      R.Lo[D] = std::max(Lo[D], Other.Lo[D]);
+      R.Hi[D] = std::min(Hi[D], Other.Hi[D]);
+    }
+    return R;
+  }
+
+  /// Smallest box containing both operands (empty operands are ignored).
+  Box3 unionWith(const Box3 &Other) const {
+    if (empty())
+      return Other;
+    if (Other.empty())
+      return *this;
+    Box3 R;
+    for (int D = 0; D != 3; ++D) {
+      R.Lo[D] = std::min(Lo[D], Other.Lo[D]);
+      R.Hi[D] = std::max(Hi[D], Other.Hi[D]);
+    }
+    return R;
+  }
+
+  /// Expands the box by \p Neg below and \p Pos above in dimension \p Dim.
+  Box3 grown(int Dim, int Neg, int Pos) const {
+    assert(Dim >= 0 && Dim < 3 && "dimension out of range");
+    Box3 R = *this;
+    R.Lo[Dim] -= Neg;
+    R.Hi[Dim] += Pos;
+    return R;
+  }
+
+  /// Expands by the same margin on every face.
+  Box3 grownAll(int Margin) const {
+    Box3 R = *this;
+    for (int D = 0; D != 3; ++D) {
+      R.Lo[D] -= Margin;
+      R.Hi[D] += Margin;
+    }
+    return R;
+  }
+
+  /// Translates the box by the given offset.
+  Box3 shifted(int DI, int DJ, int DK) const {
+    Box3 R = *this;
+    R.Lo[0] += DI;
+    R.Hi[0] += DI;
+    R.Lo[1] += DJ;
+    R.Hi[1] += DJ;
+    R.Lo[2] += DK;
+    R.Hi[2] += DK;
+    return R;
+  }
+
+  bool operator==(const Box3 &Other) const {
+    return Lo == Other.Lo && Hi == Other.Hi;
+  }
+  bool operator!=(const Box3 &Other) const { return !(*this == Other); }
+
+  /// Renders "[lo0,hi0)x[lo1,hi1)x[lo2,hi2)" for diagnostics.
+  std::string str() const;
+};
+
+} // namespace icores
+
+#endif // ICORES_GRID_BOX3_H

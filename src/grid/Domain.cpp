@@ -1,0 +1,54 @@
+//===- grid/Domain.cpp - Physical domain and halo handling ----------------===//
+
+#include "grid/Domain.h"
+
+#include "grid/Array3D.h"
+#include "support/Error.h"
+
+using namespace icores;
+
+namespace {
+
+/// Shared halo-filling walk parameterized over the source-index mapping.
+template <typename MapFn>
+void fillHaloWith(const Domain &Dom, Array3D &A, MapFn &&Map) {
+  Box3 Alloc = Dom.allocBox();
+  ICORES_CHECK(A.indexSpace().containsBox(Alloc),
+               "array does not cover the domain's alloc box");
+  int NI = Dom.ni(), NJ = Dom.nj(), NK = Dom.nk();
+  for (int I = Alloc.Lo[0]; I != Alloc.Hi[0]; ++I) {
+    int SI = Map(I, NI);
+    bool InteriorI = I >= 0 && I < NI;
+    for (int J = Alloc.Lo[1]; J != Alloc.Hi[1]; ++J) {
+      int SJ = Map(J, NJ);
+      bool InteriorJ = J >= 0 && J < NJ;
+      for (int K = Alloc.Lo[2]; K != Alloc.Hi[2]; ++K) {
+        if (InteriorI && InteriorJ && K >= 0 && K < NK)
+          continue; // Core cells keep their values.
+        A.at(I, J, K) = A.at(SI, SJ, Map(K, NK));
+      }
+    }
+  }
+}
+
+} // namespace
+
+void Domain::fillHalo(Array3D &A) const {
+  if (Boundary == BoundaryMode::Periodic)
+    fillHaloPeriodic(A);
+  else
+    fillHaloZeroGradient(A);
+}
+
+void Domain::fillHaloPeriodic(Array3D &A) const {
+  ICORES_CHECK(Halo <= NI && Halo <= NJ && Halo <= NK,
+               "halo deeper than the domain; wrap would alias twice");
+  fillHaloWith(*this, A,
+               [](int Index, int Extent) { return wrapIndex(Index, Extent); });
+}
+
+void Domain::fillHaloZeroGradient(Array3D &A) const {
+  fillHaloWith(*this, A, [](int Index, int Extent) {
+    return clampIndex(Index, Extent);
+  });
+}

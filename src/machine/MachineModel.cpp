@@ -1,0 +1,93 @@
+//===- machine/MachineModel.cpp - SMP/NUMA machine description -----------===//
+
+#include "machine/MachineModel.h"
+
+#include "support/Error.h"
+
+using namespace icores;
+
+double MachineModel::homeNodeBandwidth(int Sockets) const {
+  ICORES_CHECK(Sockets >= 1 && Sockets <= NumSockets,
+               "socket count out of range");
+  double P = static_cast<double>(Sockets - 1);
+  double Slowdown = 1.0 + HomeContentionMax * P / (P + HomeContentionHalfP);
+  return DramBandwidthPerSocket / Slowdown;
+}
+
+int MachineModel::topologyDistance(int SocketA, int SocketB) const {
+  ICORES_CHECK(SocketA >= 0 && SocketA < NumSockets && SocketB >= 0 &&
+                   SocketB < NumSockets,
+               "socket id out of range");
+  if (SocketA == SocketB)
+    return 0;
+  // Two sockets per blade, blades connected through the backplane.
+  return (SocketA / 2 == SocketB / 2) ? 1 : 2;
+}
+
+double MachineModel::barrierCost(int Sockets) const {
+  return barrierCost(Sockets, Sockets * CoresPerSocket);
+}
+
+double MachineModel::barrierCost(int Sockets, int Threads) const {
+  ICORES_CHECK(Sockets >= 1, "barrier must span at least one socket");
+  ICORES_CHECK(Threads >= 1, "barrier must have at least one thread");
+  double S = static_cast<double>(Sockets);
+  return BarrierBase + BarrierPerSocket * (S - 1.0) +
+         BarrierQuadratic * S * S + BarrierPerThread * Threads;
+}
+
+MachineModel icores::makeSgiUv2000() {
+  MachineModel M;
+  M.Name = "SGI UV 2000 (14x Xeon E5-4627v2)";
+  M.NumSockets = 14;
+  M.CoresPerSocket = 8;
+  M.FreqGHz = 3.3;
+  M.FlopsPerCyclePerCore = 4; // 105.6 Gflop/s per socket as in Table 4.
+  M.LlcBytesPerSocket = 16ll << 20;
+  M.DramBandwidthPerSocket = 34e9;
+  M.LinkBandwidth = 6.7e9; // NUMAlink 6, per direction.
+  return M;
+}
+
+MachineModel icores::makeXeonE5_2660v2() {
+  MachineModel M;
+  M.Name = "Intel Xeon E5-2660v2 (single socket)";
+  M.NumSockets = 1;
+  M.CoresPerSocket = 10;
+  M.FreqGHz = 2.2;
+  M.FlopsPerCyclePerCore = 4;
+  M.LlcBytesPerSocket = 25ll << 20;
+  M.DramBandwidthPerSocket = 42e9;
+  M.LinkBandwidth = 0.0; // Single socket: no interconnect.
+  return M;
+}
+
+MachineModel icores::makeXeonPhiKnc() {
+  MachineModel M;
+  M.Name = "Intel Xeon Phi 5110P (Knights Corner)";
+  M.NumSockets = 1;
+  M.CoresPerSocket = 60;
+  M.FreqGHz = 1.053;
+  M.FlopsPerCyclePerCore = 16; // 512-bit FMA.
+  M.LlcBytesPerSocket = 30ll << 20; // 60 x 512 KiB coherent L2 ring.
+  M.DramBandwidthPerSocket = 150e9;  // GDDR5, sustained stream.
+  M.LinkBandwidth = 0.0;
+  M.KernelEfficiency = 0.18; // In-order cores; hard to saturate.
+  // The coherent ring makes all-thread barriers expensive; per-thread
+  // fan-in dominates.
+  M.BarrierPerThread = 2.0e-7;
+  return M;
+}
+
+MachineModel icores::makeToyMachine() {
+  MachineModel M;
+  M.Name = "toy 2x2";
+  M.NumSockets = 2;
+  M.CoresPerSocket = 2;
+  M.FreqGHz = 1.0;
+  M.FlopsPerCyclePerCore = 2;
+  M.LlcBytesPerSocket = 1ll << 20;
+  M.DramBandwidthPerSocket = 10e9;
+  M.LinkBandwidth = 2e9;
+  return M;
+}

@@ -1,0 +1,125 @@
+//===- machine/MachineModel.h - SMP/NUMA machine description ----*- C++ -*-===//
+//
+// Part of the icores project: islands-of-cores for heterogeneous stencils.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MachineModel captures the SMP/NUMA parameters the paper's effects hinge
+/// on: per-socket compute peak, last-level cache capacity, local DRAM
+/// bandwidth, the inter-node (NUMAlink-style) interconnect, and the costs
+/// of cross-socket coherence and synchronization. The performance simulator
+/// (src/sim) charges every schedule against these parameters.
+///
+/// Calibration note: the *structural* parameters (sockets, cores, GHz,
+/// cache, bandwidths) come from published SGI UV 2000 / Xeon specs; the
+/// *behavioural* coefficients (kernel efficiency, barrier costs, home-node
+/// contention curve, cache spill fraction) are calibrated once against the
+/// paper's single-socket measurements and scaling curves, and are then held
+/// fixed across all strategies and experiments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICORES_MACHINE_MACHINEMODEL_H
+#define ICORES_MACHINE_MACHINEMODEL_H
+
+#include <cstdint>
+#include <string>
+
+namespace icores {
+
+/// Parameters of one SMP/NUMA machine.
+struct MachineModel {
+  std::string Name;
+
+  // --- Structure -------------------------------------------------------
+  int NumSockets = 1;        ///< NUMA nodes (one multicore CPU each).
+  int CoresPerSocket = 8;    ///< Physical cores per socket.
+  double FreqGHz = 3.3;      ///< Core clock.
+  int FlopsPerCyclePerCore = 4; ///< Peak DP flops/cycle/core (AVX mul+add
+                                ///< balance as counted by the paper).
+  int64_t LlcBytesPerSocket = 16ll << 20; ///< Shared L3 per socket.
+
+  // --- Bandwidths ------------------------------------------------------
+  double DramBandwidthPerSocket = 38e9; ///< Sustained local stream, B/s.
+  double LinkBandwidth = 6.7e9; ///< Interconnect per direction per link, B/s.
+  /// Fraction of LinkBandwidth cache-to-cache (halo) transfers achieve
+  /// after latency, directory lookups and line granularity.
+  double RemoteAccessEfficiency = 0.30;
+  /// Fraction of on-demand remote halo transfer time hidden under compute
+  /// by hardware prefetch and out-of-order execution.
+  double RemoteOverlapFactor = 0.95;
+
+  // --- Behavioural coefficients (calibrated, see class comment) --------
+  /// Fraction of per-socket peak the in-cache MPDATA kernels sustain.
+  double KernelEfficiency = 0.55;
+  /// Team barrier: Base + PerSocket*(S-1) + Quadratic*S^2 seconds for a
+  /// barrier spanning S sockets. The quadratic term models the coherence
+  /// line bouncing across the directory under contention.
+  double BarrierBase = 0.4e-6;
+  double BarrierPerSocket = 6.9e-6;
+  double BarrierQuadratic = 0.43e-6;
+  /// Additional barrier cost per participating thread (dominant on
+  /// manycore parts like the Xeon Phi, where 60+ threads synchronize).
+  double BarrierPerThread = 3.0e-8;
+  /// Home-node contention for serial-initialized pages: the effective
+  /// service rate of one node's memory controller under P-socket load is
+  /// Dram / (1 + Max*(P-1)/((P-1)+HalfP)) (saturating curve).
+  double HomeContentionMax = 2.2;
+  double HomeContentionHalfP = 3.8;
+  /// Fraction of intermediate-array sweep traffic that still reaches DRAM
+  /// in cache-blocked execution (conflict misses, TLB, LRU imperfection).
+  double CacheSpillFraction = 0.20;
+  /// Fraction of the LLC the block planner may budget for block state.
+  double CacheBudgetFraction = 0.5;
+  /// Fixed per-time-step cost (halo refresh, scheduler turnover), seconds.
+  double StepOverheadSeconds = 2.0e-3;
+  /// True when stores bypass the cache (no write-allocate read traffic).
+  bool NonTemporalStores = true;
+
+  // --- Derived ---------------------------------------------------------
+  double peakFlopsPerCore() const { return FreqGHz * 1e9 * FlopsPerCyclePerCore; }
+  double peakFlopsPerSocket() const {
+    return peakFlopsPerCore() * CoresPerSocket;
+  }
+  double peakFlops(int Sockets) const {
+    return peakFlopsPerSocket() * Sockets;
+  }
+  int totalCores() const { return NumSockets * CoresPerSocket; }
+
+  /// Effective DRAM rate of one home node serving \p Sockets sockets'
+  /// demand (serial-init placement; saturating contention).
+  double homeNodeBandwidth(int Sockets) const;
+
+  /// Topology hop count between two sockets: 0 (same), 1 (same blade),
+  /// 2 (via backplane). The UV 2000 packs two sockets per blade.
+  int topologyDistance(int SocketA, int SocketB) const;
+
+  /// Team barrier cost for a barrier spanning \p Sockets sockets.
+  /// The two-argument form adds the per-thread fan-in term for a team of
+  /// \p Threads threads; the one-argument form assumes full sockets.
+  double barrierCost(int Sockets) const;
+  double barrierCost(int Sockets, int Threads) const;
+};
+
+/// The paper's evaluation platform: SGI UV 2000, 14 x Xeon E5-4627v2
+/// (8 cores, 3.3 GHz), 16 MB L3, NUMAlink 6 (6.7 GB/s per direction).
+/// Theoretical peak 105.6 Gflop/s per socket, 1478.4 Gflop/s total.
+MachineModel makeSgiUv2000();
+
+/// The single-socket platform of the paper's Sect. 3.2 traffic study:
+/// Xeon E5-2660v2 (10 cores, 2.2 GHz, 25 MB L3).
+MachineModel makeXeonE5_2660v2();
+
+/// The first-generation Intel Xeon Phi (Knights Corner) coprocessor the
+/// paper's earlier MPDATA work targeted: one socket of 60 weak cores with
+/// an expensive all-thread barrier — the regime where applying
+/// islands-of-cores *within* the chip (the paper's future work) pays off.
+MachineModel makeXeonPhiKnc();
+
+/// A deliberately small toy machine for unit tests (2 sockets x 2 cores).
+MachineModel makeToyMachine();
+
+} // namespace icores
+
+#endif // ICORES_MACHINE_MACHINEMODEL_H

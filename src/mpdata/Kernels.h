@@ -1,0 +1,59 @@
+//===- mpdata/Kernels.h - MPDATA stage compute kernels ----------*- C++ -*-===//
+//
+// Part of the icores project: islands-of-cores for heterogeneous stencils.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scalar reference kernels for the 17 MPDATA stages. Each kernel evaluates
+/// one stage over an arbitrary Box3 region of a FieldStore; the access
+/// pattern of every kernel is exactly the pattern declared for that stage
+/// in the stencil IR (property-tested in tests/mpdata via NaN poisoning).
+///
+/// Kernels are pointwise with a fixed evaluation order and no reductions,
+/// so results are bit-identical regardless of how a region is partitioned
+/// among threads, blocks or islands — the foundation of the strategy
+/// equivalence tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICORES_MPDATA_KERNELS_H
+#define ICORES_MPDATA_KERNELS_H
+
+#include "grid/Box3.h"
+#include "mpdata/MpdataProgram.h"
+#include "stencil/KernelTable.h"
+
+namespace icores {
+
+class FieldStore;
+
+/// Which kernel implementation to run. Both produce bit-identical results
+/// (identical floating-point expression order); Optimized uses raw
+/// pointer strides and contiguous inner loops.
+enum class KernelVariant {
+  Reference, ///< Index-checked scalar loops (the readable spec).
+  Optimized, ///< Strided-pointer loops (the production path).
+};
+
+/// Evaluates stage \p Stage of \p M over \p Region using the arrays in
+/// \p Fields. All arrays read/written must cover the regions implied by the
+/// stage's declared access pattern.
+void runMpdataStage(const MpdataProgram &M, FieldStore &Fields, StageId Stage,
+                    const Box3 &Region,
+                    KernelVariant Variant = KernelVariant::Reference);
+
+/// Implementation detail of the Optimized variant, exposed for direct
+/// benchmarking; behaves exactly like runMpdataStage(..., Optimized).
+void runMpdataStageOptimized(const MpdataProgram &M, FieldStore &Fields,
+                             StageId Stage, const Box3 &Region);
+
+/// Builds the stage-kernel table binding the 17 MPDATA stages to the
+/// chosen kernel implementation, for use with the generic runtimes
+/// (SerialStepper, ProgramExecutor).
+KernelTable buildMpdataKernels(KernelVariant Variant =
+                                   KernelVariant::Reference);
+
+} // namespace icores
+
+#endif // ICORES_MPDATA_KERNELS_H

@@ -1,0 +1,90 @@
+//===- mpdata/Solver.cpp - Reference MPDATA time-stepping -----------------===//
+
+#include "mpdata/Solver.h"
+
+#include "mpdata/Kernels.h"
+#include "support/Error.h"
+
+#include <algorithm>
+#include <utility>
+
+using namespace icores;
+
+int icores::mpdataHaloDepth() {
+  MpdataProgram M = buildMpdataProgram();
+  // Use a target comfortably larger than the cone so the probe does not
+  // clip; the depth is size-independent.
+  std::array<int, 3> Depth =
+      inputHaloDepth(M.Program, Box3::fromExtents(64, 64, 64));
+  ICORES_CHECK(Depth[0] == Depth[1] && Depth[1] == Depth[2],
+               "MPDATA halo depth expected to be isotropic");
+  return Depth[0];
+}
+
+ReferenceSolver::ReferenceSolver(int NI, int NJ, int NK, SolverOptions Options)
+    : M(buildMpdataProgram()), Dom(NI, NJ, NK, mpdataHaloDepth(), Options.Boundary),
+      Req(computeRequirements(M.Program, Dom.coreBox())), Opts(Options),
+      Intermediates(M.Program.numArrays()) {
+  Box3 Alloc = Dom.allocBox();
+  State.reset(Alloc);
+  Next.reset(Alloc);
+  Dens.reset(Alloc);
+  Dens.fill(1.0);
+  for (Array3D &Vel : U)
+    Vel.reset(Alloc);
+
+  Intermediates.bindExternal(M.XIn, &State);
+  Intermediates.bindExternal(M.U1, &U[0]);
+  Intermediates.bindExternal(M.U2, &U[1]);
+  Intermediates.bindExternal(M.U3, &U[2]);
+  Intermediates.bindExternal(M.H, &Dens);
+  Intermediates.bindExternal(M.XOut, &Next);
+  for (unsigned A = 0; A != M.Program.numArrays(); ++A) {
+    if (M.Program.array(static_cast<ArrayId>(A)).Role ==
+        ArrayRole::Intermediate)
+      Intermediates.allocateOwned(static_cast<ArrayId>(A), Alloc);
+  }
+}
+
+Array3D &ReferenceSolver::velocity(int Dim) {
+  ICORES_CHECK(Dim >= 0 && Dim < 3, "velocity dimension out of range");
+  return U[Dim];
+}
+
+void ReferenceSolver::prepareCoefficients() {
+  for (Array3D &Vel : U)
+    Dom.fillHalo(Vel);
+  Dom.fillHalo(Dens);
+}
+
+void ReferenceSolver::step() {
+  Dom.fillHalo(State);
+
+  unsigned LastStage =
+      Opts.FirstOrderOnly ? static_cast<unsigned>(M.SUpwind) + 1
+                          : M.Program.numStages();
+  for (unsigned S = 0; S != LastStage; ++S)
+    runMpdataStage(M, Intermediates, static_cast<StageId>(S),
+                   Req.StageRegion[S], Opts.Kernels);
+
+  if (Opts.FirstOrderOnly)
+    Next.copyRegionFrom(Intermediates.get(M.Actual), Dom.coreBox());
+
+  std::swap(State, Next);
+}
+
+void ReferenceSolver::run(int Steps) {
+  ICORES_CHECK(Steps >= 0, "negative step count");
+  for (int S = 0; S != Steps; ++S)
+    step();
+}
+
+double ReferenceSolver::conservedMass() const {
+  Box3 Core = Dom.coreBox();
+  double Mass = 0.0;
+  for (int I = Core.Lo[0]; I != Core.Hi[0]; ++I)
+    for (int J = Core.Lo[1]; J != Core.Hi[1]; ++J)
+      for (int K = Core.Lo[2]; K != Core.Hi[2]; ++K)
+        Mass += Dens.at(I, J, K) * State.at(I, J, K);
+  return Mass;
+}

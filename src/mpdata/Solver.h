@@ -1,0 +1,91 @@
+//===- mpdata/Solver.h - Reference MPDATA time-stepping ---------*- C++ -*-===//
+//
+// Part of the icores project: islands-of-cores for heterogeneous stencils.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ReferenceSolver advances MPDATA in time by evaluating the 17 stages
+/// stage-by-stage over their exact global dependence-cone regions (the
+/// "original" computational flow of the paper's Sect. 3.1, minus any
+/// parallelism). It is the correctness oracle for every parallel strategy:
+/// all executors must reproduce its fields bit-for-bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICORES_MPDATA_SOLVER_H
+#define ICORES_MPDATA_SOLVER_H
+
+#include "grid/Array3D.h"
+#include "grid/Domain.h"
+#include "stencil/FieldStore.h"
+#include "mpdata/Kernels.h"
+#include "mpdata/MpdataProgram.h"
+#include "stencil/HaloAnalysis.h"
+
+namespace icores {
+
+/// Configuration of a reference run.
+struct SolverOptions {
+  /// Stop after the first-order upwind pass (stages S1..S4); used to
+  /// demonstrate the accuracy gain of the corrective iteration.
+  bool FirstOrderOnly = false;
+  /// Physical boundary treatment (EULAG production runs use open
+  /// boundaries; periodic is the default for exact conservation tests).
+  BoundaryMode Boundary = BoundaryMode::Periodic;
+  /// Kernel implementation; both variants are bit-identical.
+  KernelVariant Kernels = KernelVariant::Reference;
+};
+
+/// Serial stage-by-stage MPDATA solver with periodic boundaries.
+class ReferenceSolver {
+public:
+  /// Creates a solver for an NI x NJ x NK grid. The halo depth is derived
+  /// from the stencil program's dependence cone.
+  ReferenceSolver(int NI, int NJ, int NK, SolverOptions Opts = {});
+
+  const Domain &domain() const { return Dom; }
+  const MpdataProgram &program() const { return M; }
+
+  /// Mutable access to the state and coefficient arrays for initialization.
+  /// Write core-region values; halos are refreshed internally.
+  Array3D &stateIn() { return State; }
+  Array3D &velocity(int Dim);
+  Array3D &density() { return Dens; }
+
+  const Array3D &state() const { return State; }
+
+  /// Refreshes the halos of the (time-constant) velocity and density
+  /// arrays. Call once after initializing them.
+  void prepareCoefficients();
+
+  /// Advances one time step.
+  void step();
+
+  /// Advances \p Steps time steps.
+  void run(int Steps);
+
+  /// Deterministic serial sum of h * psi over the core region (the
+  /// conserved quantity under periodic boundaries).
+  double conservedMass() const;
+
+private:
+  MpdataProgram M;
+  Domain Dom;
+  RegionRequirements Req;
+  SolverOptions Opts;
+
+  Array3D State;  ///< psi at the current time level (with halo).
+  Array3D Next;   ///< psi at the next time level.
+  Array3D U[3];   ///< Courant numbers on faces.
+  Array3D Dens;   ///< Density factor h.
+  FieldStore Intermediates;
+};
+
+/// Builds the MPDATA program and returns the halo depth its dependence
+/// cone requires of the step inputs (identical in every dimension).
+int mpdataHaloDepth();
+
+} // namespace icores
+
+#endif // ICORES_MPDATA_SOLVER_H

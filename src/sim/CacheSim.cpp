@@ -1,0 +1,118 @@
+//===- sim/CacheSim.cpp - Trace-driven cache residency check --------------===//
+
+#include "sim/CacheSim.h"
+
+#include "support/Error.h"
+
+#include <list>
+#include <map>
+
+using namespace icores;
+
+namespace {
+
+/// One cached unit: an (array, i-plane) slab.
+struct PlaneKey {
+  ArrayId Array;
+  int Plane;
+
+  bool operator<(const PlaneKey &O) const {
+    return Array != O.Array ? Array < O.Array : Plane < O.Plane;
+  }
+};
+
+/// Fully-associative LRU of plane slabs with byte-based capacity.
+class LruCache {
+public:
+  LruCache(int64_t CapacityBytes, CacheSimResult &Stats)
+      : Capacity(CapacityBytes), Stats(Stats) {}
+
+  /// Touches a plane of \p Bytes; charges a read miss when absent and
+  /// \p IsWrite marks it dirty.
+  void access(PlaneKey Key, int64_t Bytes, bool IsWrite) {
+    Stats.AccessedBytes += Bytes;
+    auto It = Index.find(Key);
+    if (It != Index.end()) {
+      // Hit: move to the front, update dirtiness.
+      Lru.splice(Lru.begin(), Lru, It->second);
+      It->second->Dirty = It->second->Dirty || IsWrite;
+      return;
+    }
+    // Miss. Writes of full planes allocate without a fill (the schedules
+    // only ever write whole pass rows); reads fill from memory.
+    if (!IsWrite)
+      Stats.ReadMissBytes += Bytes;
+    Lru.push_front(Entry{Key, Bytes, IsWrite});
+    Index[Key] = Lru.begin();
+    Used += Bytes;
+    while (Used > Capacity && !Lru.empty()) {
+      Entry &Victim = Lru.back();
+      if (Victim.Dirty)
+        Stats.WritebackBytes += Victim.Bytes;
+      Used -= Victim.Bytes;
+      Index.erase(Victim.Key);
+      Lru.pop_back();
+    }
+  }
+
+  /// Flushes remaining dirty planes (end of run).
+  void flush() {
+    for (const Entry &E : Lru)
+      if (E.Dirty)
+        Stats.WritebackBytes += E.Bytes;
+    Lru.clear();
+    Index.clear();
+    Used = 0;
+  }
+
+private:
+  struct Entry {
+    PlaneKey Key;
+    int64_t Bytes;
+    bool Dirty;
+  };
+
+  int64_t Capacity;
+  CacheSimResult &Stats;
+  int64_t Used = 0;
+  std::list<Entry> Lru;
+  std::map<PlaneKey, std::list<Entry>::iterator> Index;
+};
+
+} // namespace
+
+CacheSimResult
+icores::replayIslandThroughCache(const IslandPlan &Island,
+                                 const StencilProgram &Program,
+                                 int64_t CacheBytes) {
+  ICORES_CHECK(CacheBytes > 0, "cache capacity must be positive");
+  CacheSimResult Stats;
+  LruCache Cache(CacheBytes, Stats);
+
+  for (const BlockTask &Block : Island.Blocks) {
+    for (const StagePass &Pass : Block.Passes) {
+      if (Pass.Region.empty())
+        continue;
+      const StageDef &Stage = Program.stage(Pass.Stage);
+      // Reads: every input plane the pass touches, in i order.
+      for (const StageInput &In : Stage.Inputs) {
+        Box3 Read = In.readRegion(Pass.Region);
+        int64_t PlaneBytes = static_cast<int64_t>(Read.extent(1)) *
+                             Read.extent(2) *
+                             Program.array(In.Array).ElementBytes;
+        for (int I = Read.Lo[0]; I != Read.Hi[0]; ++I)
+          Cache.access({In.Array, I}, PlaneBytes, /*IsWrite=*/false);
+      }
+      // Writes: every output plane of the pass region.
+      for (ArrayId Out : Stage.Outputs) {
+        int64_t PlaneBytes = static_cast<int64_t>(Pass.Region.extent(1)) *
+                             Pass.Region.extent(2) *
+                             Program.array(Out).ElementBytes;
+        for (int I = Pass.Region.Lo[0]; I != Pass.Region.Hi[0]; ++I)
+          Cache.access({Out, I}, PlaneBytes, /*IsWrite=*/true);
+      }
+    }
+  }
+  Cache.flush();
+  return Stats;
+}

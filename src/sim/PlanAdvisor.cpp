@@ -1,0 +1,105 @@
+//===- sim/PlanAdvisor.cpp - Model-driven strategy selection ---------------===//
+
+#include "sim/PlanAdvisor.h"
+
+#include "core/Partition.h"
+#include "support/Error.h"
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace icores;
+
+namespace {
+
+/// Adds one candidate if it is feasible on this grid/machine.
+void tryCandidate(std::vector<AdvisorCandidate> &Out,
+                  const StencilProgram &Program, const Box3 &Grid,
+                  const MachineModel &Machine, int TimeSteps,
+                  const PlanConfig &Config, std::string Label) {
+  // Feasibility: enough planes along each partitioned dimension.
+  int Islands = Config.Sockets * Config.IslandsPerSocket;
+  if (Config.Strat == Strategy::IslandsOfCores) {
+    if (Config.GridPartsI > 0) {
+      if (Config.GridPartsI > Grid.extent(0) ||
+          Config.GridPartsJ > Grid.extent(1))
+        return;
+    } else if (Islands > Grid.extent(partitionDim(Config.Variant))) {
+      return;
+    }
+    if (Machine.CoresPerSocket % Config.IslandsPerSocket != 0)
+      return;
+  }
+  ExecutionPlan Plan = buildPlan(Program, Grid, Machine, Config);
+  AdvisorCandidate Candidate;
+  Candidate.Config = Config;
+  Candidate.Result = simulate(Plan, Program, Machine, TimeSteps);
+  Candidate.Label = std::move(Label);
+  Out.push_back(std::move(Candidate));
+}
+
+} // namespace
+
+AdvisorReport icores::adviseBestPlan(const StencilProgram &Program,
+                                     const Box3 &Grid,
+                                     const MachineModel &Machine, int Sockets,
+                                     int TimeSteps) {
+  ICORES_CHECK(Sockets >= 1 && Sockets <= Machine.NumSockets,
+               "socket count exceeds the machine");
+  AdvisorReport Report;
+
+  PlanConfig Base;
+  Base.Sockets = Sockets;
+
+  PlanConfig Config = Base;
+  Config.Strat = Strategy::Original;
+  tryCandidate(Report.Candidates, Program, Grid, Machine, TimeSteps, Config,
+               "original (stage-major)");
+
+  Config = Base;
+  Config.Strat = Strategy::Block31D;
+  tryCandidate(Report.Candidates, Program, Grid, Machine, TimeSteps, Config,
+               "pure (3+1)D decomposition");
+
+  // Islands: both 1D variants, a near-square 2D grid, and sub-socket
+  // island counts (powers of two dividing the cores).
+  for (PartitionVariant Variant :
+       {PartitionVariant::A, PartitionVariant::B}) {
+    Config = Base;
+    Config.Strat = Strategy::IslandsOfCores;
+    Config.Variant = Variant;
+    tryCandidate(Report.Candidates, Program, Grid, Machine, TimeSteps,
+                 Config,
+                 formatString("islands 1D variant %c",
+                              Variant == PartitionVariant::A ? 'A' : 'B'));
+  }
+  if (Sockets > 1) {
+    auto [Pi, Pj] = factorForGrid(Sockets);
+    if (Pj > 1) {
+      Config = Base;
+      Config.Strat = Strategy::IslandsOfCores;
+      Config.GridPartsI = Pi;
+      Config.GridPartsJ = Pj;
+      tryCandidate(Report.Candidates, Program, Grid, Machine, TimeSteps,
+                   Config, formatString("islands 2D grid %dx%d", Pi, Pj));
+    }
+  }
+  for (int PerSocket = 2; PerSocket <= Machine.CoresPerSocket;
+       PerSocket *= 2) {
+    if (Machine.CoresPerSocket % PerSocket != 0)
+      break;
+    Config = Base;
+    Config.Strat = Strategy::IslandsOfCores;
+    Config.IslandsPerSocket = PerSocket;
+    tryCandidate(Report.Candidates, Program, Grid, Machine, TimeSteps,
+                 Config,
+                 formatString("islands, %d per socket", PerSocket));
+  }
+
+  ICORES_CHECK(!Report.Candidates.empty(), "no feasible candidate plan");
+  std::stable_sort(Report.Candidates.begin(), Report.Candidates.end(),
+                   [](const AdvisorCandidate &A, const AdvisorCandidate &B) {
+                     return A.Result.TotalSeconds < B.Result.TotalSeconds;
+                   });
+  return Report;
+}

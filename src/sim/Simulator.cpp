@@ -1,0 +1,246 @@
+//===- sim/Simulator.cpp - NUMA performance simulator ---------------------===//
+
+#include "sim/Simulator.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace icores;
+
+namespace {
+
+/// Longest dimension of \p Region — the dimension a work team splits a
+/// pass along (matches the executor's policy).
+int splitDim(const Box3 &Region) {
+  int Best = 0;
+  for (int D = 1; D != 3; ++D)
+    if (Region.extent(D) > Region.extent(Best))
+      Best = D;
+  return Best;
+}
+
+/// Sum of halo plane depths (both sides) the pass's inputs read along
+/// \p Dim: the number of planes that cross a thread-boundary when the
+/// region is split along Dim.
+int haloDepthAlong(const StencilProgram &Program, const StagePass &Pass,
+                   int Dim) {
+  int Depth = 0;
+  for (const StageInput &In : Program.stage(Pass.Stage).Inputs)
+    Depth += (-In.MinOff[Dim]) + In.MaxOff[Dim];
+  return Depth;
+}
+
+/// Per-island accumulated costs for one step.
+struct IslandCosts {
+  SimBreakdown Breakdown;
+  int64_t Flops = 0;
+  int64_t DramBytes = 0;
+  int64_t RemoteBytes = 0;
+};
+
+/// Simulates one island's step under the given stream rate (bytes/s
+/// available to this island's team for main-memory traffic).
+IslandCosts simulateIsland(const IslandPlan &Island,
+                           const ExecutionPlan &Plan,
+                           const StencilProgram &Program,
+                           const MachineModel &Machine, double StreamRate,
+                           bool MultipleIslands,
+                           const std::vector<Box3> &SameSocketParts) {
+  IslandCosts Costs;
+  bool Blocked = Plan.Strat != Strategy::Original;
+  double TeamFlopRate = static_cast<double>(Island.NumThreads) *
+                        Machine.peakFlopsPerCore() * Machine.KernelEfficiency;
+  double WriteFactor = Machine.NonTemporalStores ? 1.0 : 2.0;
+  double RemoteRate = Machine.LinkBandwidth * Machine.RemoteAccessEfficiency;
+  // Cache-resident halo lines prefetch well; cold DRAM-backed halos
+  // (Original) do not.
+  double RemoteVisible = Blocked ? (1.0 - Machine.RemoteOverlapFactor) : 1.0;
+
+  // Step inputs are streamed once per island and step: consecutive blocks
+  // overlap only in cone margins that stay cache-resident, so the charge
+  // is the union of the read regions (one sweep plus the island's cones).
+  std::map<ArrayId, Box3> StepInputReads;
+  double ComputeTotal = 0.0;
+
+  for (const BlockTask &Block : Island.Blocks) {
+    double BlockCompute = 0.0;
+    int64_t BlockDramBytes = 0;
+
+    for (const StagePass &Pass : Block.Passes) {
+      const StageDef &Stage = Program.stage(Pass.Stage);
+      int64_t Points = Pass.Region.numPoints();
+      if (Points == 0)
+        continue;
+
+      Costs.Flops += Points * Stage.FlopsPerPoint;
+      BlockCompute +=
+          static_cast<double>(Points * Stage.FlopsPerPoint) / TeamFlopRate;
+
+      // --- Main-memory traffic ----------------------------------------
+      int64_t IntermediateBytes = 0;
+      for (const StageInput &In : Stage.Inputs) {
+        const ArrayInfo &Info = Program.array(In.Array);
+        int64_t ReadBytes =
+            In.readRegion(Pass.Region).numPoints() * Info.ElementBytes;
+        if (Info.Role == ArrayRole::StepInput) {
+          if (Blocked) {
+            Box3 &U = StepInputReads[In.Array];
+            U = U.unionWith(In.readRegion(Pass.Region));
+          } else {
+            BlockDramBytes += ReadBytes;
+          }
+        } else if (Blocked) {
+          IntermediateBytes += ReadBytes;
+        } else {
+          BlockDramBytes += ReadBytes;
+        }
+      }
+      for (ArrayId Out : Stage.Outputs) {
+        const ArrayInfo &Info = Program.array(Out);
+        int64_t WriteBytes = static_cast<int64_t>(
+            static_cast<double>(Points * Info.ElementBytes) * WriteFactor);
+        if (Info.Role == ArrayRole::Intermediate && Blocked)
+          IntermediateBytes += WriteBytes;
+        else
+          BlockDramBytes += WriteBytes;
+      }
+      if (Blocked)
+        BlockDramBytes += static_cast<int64_t>(
+            Machine.CacheSpillFraction *
+            static_cast<double>(IntermediateBytes));
+
+      // --- Remote (interconnect) halo traffic --------------------------
+      if (Island.NumSockets > 1) {
+        int Dim = splitDim(Pass.Region);
+        int Depth = haloDepthAlong(Program, Pass, Dim);
+        int64_t CrossSection = Points / std::max(1, Pass.Region.extent(Dim));
+        // Each adjacent socket pair exchanges over its own link; links
+        // operate concurrently, so the visible cost is per link.
+        int64_t PerLinkBytes =
+            CrossSection * Depth * static_cast<int64_t>(sizeof(double));
+        Costs.RemoteBytes += PerLinkBytes * (Island.NumSockets - 1);
+        if (RemoteRate > 0.0)
+          Costs.Breakdown.Remote += static_cast<double>(PerLinkBytes) /
+                                    RemoteRate * RemoteVisible;
+      }
+
+      // --- Team barrier after every pass --------------------------------
+      Costs.Breakdown.Barrier +=
+          Machine.barrierCost(Island.NumSockets, Island.NumThreads);
+    }
+
+    Costs.DramBytes += BlockDramBytes;
+    double BlockDram = StreamRate > 0.0
+                           ? static_cast<double>(BlockDramBytes) / StreamRate
+                           : 0.0;
+    // Within a block, streaming overlaps compute; the block takes the
+    // larger of the two.
+    ComputeTotal += BlockCompute;
+    if (BlockDram > BlockCompute) {
+      Costs.Breakdown.Dram += BlockDram - BlockCompute;
+      Costs.Breakdown.Compute += BlockCompute;
+    } else {
+      Costs.Breakdown.Compute += BlockCompute;
+    }
+  }
+
+  // Charge the island-wide step-input streams, overlapped with whatever
+  // compute headroom the per-block accounting left unused. The slice of
+  // the union outside the island's own part lives on neighbor islands'
+  // first-touch pages (phase 1 of the algorithm shares all inputs): those
+  // cone margins are cold remote DRAM reads over the interconnect.
+  int64_t InputBytes = 0;
+  int64_t RemoteInputBytes = 0;
+  bool SingleSocketIsland = Island.NumSockets == 1 && MultipleIslands;
+  for (const auto &[Array, Region] : StepInputReads) {
+    int ElementBytes = Program.array(Array).ElementBytes;
+    InputBytes += Region.numPoints() * ElementBytes;
+    if (SingleSocketIsland) {
+      // Pages homed on this island's socket: its own part plus any
+      // sibling islands sharing the socket (parts are disjoint).
+      int64_t LocalPoints = 0;
+      for (const Box3 &Part : SameSocketParts)
+        LocalPoints += Region.intersect(Part).numPoints();
+      RemoteInputBytes += (Region.numPoints() - LocalPoints) * ElementBytes;
+    }
+  }
+  Costs.DramBytes += InputBytes;
+  Costs.RemoteBytes += RemoteInputBytes;
+  double InputSeconds =
+      StreamRate > 0.0
+          ? static_cast<double>(InputBytes - RemoteInputBytes) / StreamRate
+          : 0.0;
+  double Headroom = ComputeTotal - Costs.Breakdown.Dram;
+  if (InputSeconds > Headroom)
+    Costs.Breakdown.Dram += InputSeconds - std::max(0.0, Headroom);
+  if (RemoteRate > 0.0)
+    Costs.Breakdown.Remote +=
+        static_cast<double>(RemoteInputBytes) / RemoteRate;
+  return Costs;
+}
+
+} // namespace
+
+SimResult icores::simulate(const ExecutionPlan &Plan,
+                           const StencilProgram &Program,
+                           const MachineModel &Machine, int TimeSteps) {
+  ICORES_CHECK(TimeSteps >= 1, "need at least one time step");
+  ICORES_CHECK(!Plan.Islands.empty(), "plan has no islands");
+
+  // Distinct sockets touched by any island (sub-socket islands share a
+  // home socket), plus per-socket island counts for bandwidth sharing.
+  std::map<int, int> IslandsPerSocket;
+  for (const IslandPlan &Island : Plan.Islands)
+    for (int S = 0; S != Island.NumSockets; ++S)
+      ++IslandsPerSocket[Island.HomeSocket + S];
+  int ActiveSockets = static_cast<int>(IslandsPerSocket.size());
+  ICORES_CHECK(ActiveSockets <= Machine.NumSockets,
+               "plan uses more sockets than the machine has");
+
+  SimResult Result;
+  Result.TimeSteps = TimeSteps;
+  Result.ActiveSockets = ActiveSockets;
+
+  double WorstIslandSeconds = 0.0;
+  for (const IslandPlan &Island : Plan.Islands) {
+    double StreamRate;
+    if (Plan.Placement == PagePlacement::SerialInit) {
+      // Every island's traffic funnels through the home node, shared
+      // among all concurrently streaming islands.
+      StreamRate = Machine.homeNodeBandwidth(ActiveSockets) /
+                   static_cast<double>(Plan.Islands.size());
+    } else {
+      // Sub-socket islands share their home socket's memory bandwidth.
+      int Sharers = IslandsPerSocket[Island.HomeSocket];
+      StreamRate = Machine.DramBandwidthPerSocket * Island.NumSockets /
+                   std::max(1, Sharers);
+    }
+    std::vector<Box3> SameSocketParts;
+    for (const IslandPlan &Other : Plan.Islands)
+      if (Other.HomeSocket == Island.HomeSocket)
+        SameSocketParts.push_back(Other.Part);
+    IslandCosts Costs =
+        simulateIsland(Island, Plan, Program, Machine, StreamRate,
+                       Plan.Islands.size() > 1, SameSocketParts);
+    Result.FlopsPerStep += Costs.Flops;
+    Result.DramBytesPerStep += Costs.DramBytes;
+    Result.RemoteBytesPerStep += Costs.RemoteBytes;
+    double Seconds = Costs.Breakdown.total();
+    if (Seconds > WorstIslandSeconds) {
+      WorstIslandSeconds = Seconds;
+      Result.CriticalIsland = Costs.Breakdown;
+    }
+  }
+
+  // Shared per-step costs: end-of-step barrier across every active socket
+  // plus the fixed turnover (halo refresh, scheduler).
+  double Shared =
+      Machine.barrierCost(ActiveSockets) + Machine.StepOverheadSeconds;
+  Result.CriticalIsland.Overhead += Shared;
+
+  Result.StepSeconds = WorstIslandSeconds + Shared;
+  Result.TotalSeconds = Result.StepSeconds * TimeSteps;
+  return Result;
+}

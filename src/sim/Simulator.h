@@ -1,0 +1,87 @@
+//===- sim/Simulator.h - NUMA performance simulator -------------*- C++ -*-===//
+//
+// Part of the icores project: islands-of-cores for heterogeneous stencils.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A mechanistic cost simulator for ExecutionPlans on SMP/NUMA machines.
+/// This substitutes for the paper's SGI UV 2000 measurements (see
+/// DESIGN.md §2): it charges the *same schedules* the executor runs with
+/// compute, DRAM-stream, remote-interconnect, barrier and turnover costs
+/// derived from the stencil IR and the MachineModel.
+///
+/// Cost structure per time step (all islands run concurrently; the step
+/// takes the slowest island plus shared per-step costs):
+///
+///  - compute: pass points x stage flops / (team cores x peak x kernel
+///    efficiency);
+///  - DRAM: per block, streamed bytes / team stream rate, overlapped with
+///    that block's compute (max, not sum). Original streams every array
+///    every pass; blocked strategies stream step inputs once per block
+///    plus a calibrated spill fraction of the intermediate sweeps.
+///    Serial-init placement funnels all traffic through the home node's
+///    saturating contention curve (Table 1's first row);
+///  - remote: for teams spanning >1 socket, the per-link halo planes
+///    between adjacent sockets' sub-regions of each pass, at the
+///    interconnect's cache-to-cache efficiency (partially overlapped for
+///    cache-resident data);
+///  - barrier: one team barrier per pass, cost growing with the socket
+///    span — the term that sinks the pure (3+1)D decomposition;
+///  - overhead: per-step turnover plus the global end-of-step barrier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICORES_SIM_SIMULATOR_H
+#define ICORES_SIM_SIMULATOR_H
+
+#include "core/ExecutionPlan.h"
+#include "machine/MachineModel.h"
+#include "stencil/StencilIR.h"
+
+#include <cstdint>
+
+namespace icores {
+
+/// Per-step seconds attributed to each cost source along the critical
+/// (slowest-island) path.
+struct SimBreakdown {
+  double Compute = 0.0;
+  double Dram = 0.0;
+  double Remote = 0.0;
+  double Barrier = 0.0;
+  double Overhead = 0.0;
+
+  double total() const { return Compute + Dram + Remote + Barrier + Overhead; }
+};
+
+/// Result of simulating a plan for a number of homogeneous time steps.
+struct SimResult {
+  int TimeSteps = 0;
+  double StepSeconds = 0.0;  ///< Critical-path seconds per step.
+  double TotalSeconds = 0.0; ///< StepSeconds * TimeSteps.
+  SimBreakdown CriticalIsland; ///< Cost split on the slowest island.
+
+  int64_t FlopsPerStep = 0;      ///< Includes redundant island work.
+  int64_t DramBytesPerStep = 0;  ///< Main-memory traffic, all islands
+                                 ///< (likwid-perfctr analogue).
+  int64_t RemoteBytesPerStep = 0; ///< Interconnect halo traffic.
+
+  int ActiveSockets = 0;
+
+  double sustainedGflops() const {
+    return StepSeconds > 0.0
+               ? static_cast<double>(FlopsPerStep) / StepSeconds / 1e9
+               : 0.0;
+  }
+
+  int64_t totalDramBytes() const { return DramBytesPerStep * TimeSteps; }
+};
+
+/// Simulates \p TimeSteps homogeneous steps of \p Plan on \p Machine.
+SimResult simulate(const ExecutionPlan &Plan, const StencilProgram &Program,
+                   const MachineModel &Machine, int TimeSteps);
+
+} // namespace icores
+
+#endif // ICORES_SIM_SIMULATOR_H

@@ -1,0 +1,128 @@
+//===- sim/TrafficReport.cpp - Per-array DRAM traffic accounting ----------===//
+
+#include "sim/TrafficReport.h"
+
+#include "support/Error.h"
+#include "support/Format.h"
+#include "support/OStream.h"
+#include "support/Table.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+using namespace icores;
+
+int64_t TrafficReport::totalBytes() const {
+  int64_t Total = 0;
+  for (const ArrayTraffic &A : PerArray)
+    Total += A.totalBytes();
+  return Total;
+}
+
+int64_t TrafficReport::bytesForRole(ArrayRole Role) const {
+  int64_t Total = 0;
+  for (const ArrayTraffic &A : PerArray)
+    if (A.Role == Role)
+      Total += A.totalBytes();
+  return Total;
+}
+
+void TrafficReport::print(OStream &OS) const {
+  std::vector<size_t> Order(PerArray.size());
+  std::iota(Order.begin(), Order.end(), 0);
+  std::sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    return PerArray[A].totalBytes() > PerArray[B].totalBytes();
+  });
+
+  TablePrinter Table({"array", "role", "read", "written", "total"});
+  auto roleName = [](ArrayRole Role) {
+    switch (Role) {
+    case ArrayRole::StepInput:
+      return "input";
+    case ArrayRole::Intermediate:
+      return "intermediate";
+    case ArrayRole::StepOutput:
+      return "output";
+    }
+    ICORES_UNREACHABLE("unknown array role");
+  };
+  for (size_t Index : Order) {
+    const ArrayTraffic &A = PerArray[Index];
+    if (A.totalBytes() == 0)
+      continue;
+    Table.addRow({A.Name, roleName(A.Role),
+                  formatBytes(static_cast<uint64_t>(A.ReadBytes)),
+                  formatBytes(static_cast<uint64_t>(A.WriteBytes)),
+                  formatBytes(static_cast<uint64_t>(A.totalBytes()))});
+  }
+  Table.print(OS);
+  OS << "total DRAM traffic over " << TimeSteps << " steps: "
+     << formatBytes(static_cast<uint64_t>(totalBytes())) << '\n';
+}
+
+TrafficReport icores::accountTraffic(const ExecutionPlan &Plan,
+                                     const StencilProgram &Program,
+                                     const MachineModel &Machine,
+                                     int TimeSteps) {
+  ICORES_CHECK(TimeSteps >= 1, "need at least one time step");
+  TrafficReport Report;
+  Report.TimeSteps = TimeSteps;
+  Report.PerArray.resize(Program.numArrays());
+  for (unsigned A = 0; A != Program.numArrays(); ++A) {
+    Report.PerArray[A].Name = Program.array(static_cast<ArrayId>(A)).Name;
+    Report.PerArray[A].Role = Program.array(static_cast<ArrayId>(A)).Role;
+  }
+
+  bool Blocked = Plan.Strat != Strategy::Original;
+  double WriteFactor = Machine.NonTemporalStores ? 1.0 : 2.0;
+
+  for (const IslandPlan &Island : Plan.Islands) {
+    std::map<ArrayId, Box3> StepInputReads;
+    for (const BlockTask &Block : Island.Blocks) {
+      for (const StagePass &Pass : Block.Passes) {
+        const StageDef &Stage = Program.stage(Pass.Stage);
+        int64_t Points = Pass.Region.numPoints();
+        if (Points == 0)
+          continue;
+        for (const StageInput &In : Stage.Inputs) {
+          const ArrayInfo &Info = Program.array(In.Array);
+          int64_t ReadBytes =
+              In.readRegion(Pass.Region).numPoints() * Info.ElementBytes;
+          ArrayTraffic &T = Report.PerArray[static_cast<size_t>(In.Array)];
+          if (Blocked && Info.Role == ArrayRole::StepInput) {
+            Box3 &U = StepInputReads[In.Array];
+            U = U.unionWith(In.readRegion(Pass.Region));
+          } else if (Blocked) {
+            // Cache-resident: only the spill fraction reaches DRAM.
+            T.ReadBytes += static_cast<int64_t>(
+                Machine.CacheSpillFraction * static_cast<double>(ReadBytes));
+          } else {
+            T.ReadBytes += ReadBytes;
+          }
+        }
+        for (ArrayId Out : Stage.Outputs) {
+          const ArrayInfo &Info = Program.array(Out);
+          int64_t WriteBytes = static_cast<int64_t>(
+              static_cast<double>(Points * Info.ElementBytes) * WriteFactor);
+          ArrayTraffic &T = Report.PerArray[static_cast<size_t>(Out)];
+          if (Blocked && Info.Role == ArrayRole::Intermediate)
+            T.WriteBytes += static_cast<int64_t>(
+                Machine.CacheSpillFraction *
+                static_cast<double>(WriteBytes));
+          else
+            T.WriteBytes += WriteBytes;
+        }
+      }
+    }
+    for (const auto &[Array, Region] : StepInputReads)
+      Report.PerArray[static_cast<size_t>(Array)].ReadBytes +=
+          Region.numPoints() * Program.array(Array).ElementBytes;
+  }
+
+  for (ArrayTraffic &A : Report.PerArray) {
+    A.ReadBytes *= TimeSteps;
+    A.WriteBytes *= TimeSteps;
+  }
+  return Report;
+}

@@ -1,0 +1,43 @@
+//===- stencil/ExtraElements.cpp - Redundant-computation accounting ------===//
+
+#include "stencil/ExtraElements.h"
+
+#include "stencil/HaloAnalysis.h"
+#include "support/Error.h"
+
+using namespace icores;
+
+ExtraElementsReport
+icores::countExtraElements(const StencilProgram &Program,
+                           const Box3 &GlobalTarget,
+                           const std::vector<Box3> &Parts) {
+  ICORES_CHECK(!Parts.empty(), "partition must have at least one part");
+
+  // Sanity: parts must tile the target exactly (disjoint cover).
+  int64_t CoveredPoints = 0;
+  for (const Box3 &Part : Parts) {
+    ICORES_CHECK(GlobalTarget.containsBox(Part),
+                 "partition part escapes the global target");
+    CoveredPoints += Part.numPoints();
+  }
+  ICORES_CHECK(CoveredPoints == GlobalTarget.numPoints(),
+               "partition does not exactly cover the global target");
+
+  RegionRequirements Global = computeRequirements(Program, GlobalTarget);
+
+  ExtraElementsReport Report;
+  Report.BaselinePoints = Global.totalStagePoints();
+  Report.PartPoints.reserve(Parts.size());
+
+  for (const Box3 &Part : Parts) {
+    RegionRequirements Local = computeRequirements(Program, Part);
+    int64_t PartTotal = 0;
+    for (unsigned S = 0; S != Program.numStages(); ++S) {
+      Box3 Clipped = Local.StageRegion[S].intersect(Global.StageRegion[S]);
+      PartTotal += Clipped.numPoints();
+    }
+    Report.PartPoints.push_back(PartTotal);
+    Report.PartitionedPoints += PartTotal;
+  }
+  return Report;
+}

@@ -1,0 +1,60 @@
+//===- stencil/ExtraElements.h - Redundant-computation accounting -*- C++ -*-===//
+//
+// Part of the icores project: islands-of-cores for heterogeneous stencils.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Counts the extra grid elements the islands-of-cores transformation
+/// computes redundantly for a given partition of the domain, relative to
+/// the original (unpartitioned) execution. This is the engine behind the
+/// paper's Table 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICORES_STENCIL_EXTRAELEMENTS_H
+#define ICORES_STENCIL_EXTRAELEMENTS_H
+
+#include "grid/Box3.h"
+#include "stencil/StencilIR.h"
+
+#include <vector>
+
+namespace icores {
+
+/// Work accounting for one partitioned execution.
+struct ExtraElementsReport {
+  /// Points computed by the original version: sum over stages of the global
+  /// dependence-cone region for the full target.
+  int64_t BaselinePoints = 0;
+
+  /// Points computed when each part evaluates its own cone (clipped to the
+  /// global stage region, since nothing outside it is ever computed).
+  int64_t PartitionedPoints = 0;
+
+  /// Per-part totals, parallel to the parts vector passed in.
+  std::vector<int64_t> PartPoints;
+
+  int64_t extraPoints() const { return PartitionedPoints - BaselinePoints; }
+
+  /// Extra work as a fraction of the original version's work (Table 2's
+  /// percentage divided by 100).
+  double extraFraction() const {
+    return BaselinePoints == 0
+               ? 0.0
+               : static_cast<double>(extraPoints()) /
+                     static_cast<double>(BaselinePoints);
+  }
+};
+
+/// Counts redundant elements for \p Parts, a disjoint cover of
+/// \p GlobalTarget. Each part's stage regions are clipped to the global
+/// stage regions (values outside them are never computed by anyone, so they
+/// cannot be "extra").
+ExtraElementsReport countExtraElements(const StencilProgram &Program,
+                                       const Box3 &GlobalTarget,
+                                       const std::vector<Box3> &Parts);
+
+} // namespace icores
+
+#endif // ICORES_STENCIL_EXTRAELEMENTS_H

@@ -1,0 +1,53 @@
+//===- stencil/FieldStore.cpp - Array storage for a stencil program -------===//
+
+#include "stencil/FieldStore.h"
+
+#include "support/Error.h"
+
+using namespace icores;
+
+FieldStore::Slot &FieldStore::slot(ArrayId Id) {
+  ICORES_CHECK(Id >= 0 && static_cast<size_t>(Id) < Slots.size(),
+               "field store id out of range");
+  return Slots[static_cast<size_t>(Id)];
+}
+
+const FieldStore::Slot &FieldStore::slot(ArrayId Id) const {
+  ICORES_CHECK(Id >= 0 && static_cast<size_t>(Id) < Slots.size(),
+               "field store id out of range");
+  return Slots[static_cast<size_t>(Id)];
+}
+
+void FieldStore::allocateOwned(ArrayId Id, const Box3 &IndexSpace) {
+  Slot &S = slot(Id);
+  ICORES_CHECK(S.Ptr == nullptr, "field store slot already populated");
+  S.Owned = std::make_unique<Array3D>(IndexSpace);
+  S.Ptr = S.Owned.get();
+}
+
+void FieldStore::bindExternal(ArrayId Id, Array3D *External) {
+  ICORES_CHECK(External != nullptr, "binding null external array");
+  Slot &S = slot(Id);
+  ICORES_CHECK(S.Ptr == nullptr, "field store slot already populated");
+  S.Ptr = External;
+}
+
+Array3D &FieldStore::get(ArrayId Id) {
+  Slot &S = slot(Id);
+  ICORES_CHECK(S.Ptr != nullptr, "field store slot not populated");
+  return *S.Ptr;
+}
+
+const Array3D &FieldStore::get(ArrayId Id) const {
+  const Slot &S = slot(Id);
+  ICORES_CHECK(S.Ptr != nullptr, "field store slot not populated");
+  return *S.Ptr;
+}
+
+int64_t FieldStore::ownedBytes() const {
+  int64_t Total = 0;
+  for (const Slot &S : Slots)
+    if (S.Owned)
+      Total += S.Owned->sizeInBytes();
+  return Total;
+}

@@ -1,0 +1,61 @@
+//===- stencil/FieldStore.h - Array storage for a stencil program -*- C++ -*-===//
+//
+// Part of the icores project: islands-of-cores for heterogeneous stencils.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FieldStore maps the ArrayIds of a StencilProgram to concrete Array3D
+/// storage. An entry is either owned (allocated by this store — the normal
+/// case for per-island intermediate buffers) or bound to an external array
+/// (the shared time-step inputs/outputs every island reads and writes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICORES_STENCIL_FIELDSTORE_H
+#define ICORES_STENCIL_FIELDSTORE_H
+
+#include "grid/Array3D.h"
+#include "stencil/StencilIR.h"
+
+#include <memory>
+#include <vector>
+
+namespace icores {
+
+/// Per-execution-context array table for one StencilProgram.
+class FieldStore {
+public:
+  explicit FieldStore(unsigned NumArrays) : Slots(NumArrays) {}
+
+  /// Allocates an owned array over \p IndexSpace for \p Id.
+  void allocateOwned(ArrayId Id, const Box3 &IndexSpace);
+
+  /// Binds \p Id to caller-owned storage (shared inputs/outputs). The
+  /// pointee must outlive this store.
+  void bindExternal(ArrayId Id, Array3D *External);
+
+  bool isBound(ArrayId Id) const { return slot(Id).Ptr != nullptr; }
+
+  Array3D &get(ArrayId Id);
+  const Array3D &get(ArrayId Id) const;
+
+  /// Total bytes of owned storage (the working set the (3+1)D block must
+  /// keep cache-resident).
+  int64_t ownedBytes() const;
+
+private:
+  struct Slot {
+    Array3D *Ptr = nullptr;
+    std::unique_ptr<Array3D> Owned;
+  };
+
+  Slot &slot(ArrayId Id);
+  const Slot &slot(ArrayId Id) const;
+
+  std::vector<Slot> Slots;
+};
+
+} // namespace icores
+
+#endif // ICORES_STENCIL_FIELDSTORE_H

@@ -1,0 +1,81 @@
+//===- stencil/GraphExport.cpp - Stage-graph visualization ----------------===//
+
+#include "stencil/GraphExport.h"
+
+#include "support/Format.h"
+#include "support/OStream.h"
+
+using namespace icores;
+
+namespace {
+
+/// "[-1..0, 0, -1..1]"-style rendering of an offset window; empty string
+/// for a pure centre access.
+std::string windowLabel(const StageInput &In) {
+  bool Center = true;
+  for (int D = 0; D != 3; ++D)
+    if (In.MinOff[D] != 0 || In.MaxOff[D] != 0)
+      Center = false;
+  if (Center)
+    return std::string();
+  std::string Label = "[";
+  for (int D = 0; D != 3; ++D) {
+    if (D)
+      Label += ", ";
+    if (In.MinOff[D] == In.MaxOff[D])
+      Label += formatString("%d", In.MinOff[D]);
+    else
+      Label += formatString("%d..%d", In.MinOff[D], In.MaxOff[D]);
+  }
+  Label += "]";
+  return Label;
+}
+
+} // namespace
+
+void icores::exportProgramDot(const StencilProgram &Program, OStream &OS) {
+  OS << "digraph stencil_program {\n";
+  OS << "  rankdir=TB;\n";
+  OS << "  node [fontname=\"Helvetica\"];\n";
+  for (unsigned A = 0; A != Program.numArrays(); ++A) {
+    const ArrayInfo &Info = Program.array(static_cast<ArrayId>(A));
+    const char *Color = Info.Role == ArrayRole::StepInput     ? "lightblue"
+                        : Info.Role == ArrayRole::StepOutput ? "lightgreen"
+                                                             : "white";
+    OS << "  a" << A << " [label=\"" << Info.Name
+       << "\", shape=ellipse, style=filled, fillcolor=" << Color << "];\n";
+  }
+  for (unsigned S = 0; S != Program.numStages(); ++S) {
+    const StageDef &Stage = Program.stage(static_cast<StageId>(S));
+    OS << "  s" << S << " [label=\"" << (S + 1) << ": " << Stage.Name
+       << "\\n" << Stage.FlopsPerPoint << " flop/pt\", shape=box];\n";
+    for (const StageInput &In : Stage.Inputs) {
+      OS << "  a" << In.Array << " -> s" << S;
+      std::string Label = windowLabel(In);
+      if (!Label.empty())
+        OS << " [label=\"" << Label << "\"]";
+      OS << ";\n";
+    }
+    for (ArrayId Out : Stage.Outputs)
+      OS << "  s" << S << " -> a" << Out << ";\n";
+  }
+  OS << "}\n";
+}
+
+void icores::exportProgramText(const StencilProgram &Program, OStream &OS) {
+  for (unsigned S = 0; S != Program.numStages(); ++S) {
+    const StageDef &Stage = Program.stage(static_cast<StageId>(S));
+    OS << "S" << (S + 1) << ' ' << Stage.Name << " (";
+    OS << Stage.FlopsPerPoint << " flop/pt): reads";
+    for (const StageInput &In : Stage.Inputs) {
+      OS << ' ' << Program.array(In.Array).Name;
+      std::string Label = windowLabel(In);
+      if (!Label.empty())
+        OS << Label;
+    }
+    OS << " -> writes";
+    for (ArrayId Out : Stage.Outputs)
+      OS << ' ' << Program.array(Out).Name;
+    OS << '\n';
+  }
+}

@@ -1,0 +1,34 @@
+//===- stencil/GraphExport.h - Stage-graph visualization --------*- C++ -*-===//
+//
+// Part of the icores project: islands-of-cores for heterogeneous stencils.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a StencilProgram's stage/array dependence graph as Graphviz DOT
+/// (for documentation and for eyeballing transformed programs) and as a
+/// plain-text adjacency listing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICORES_STENCIL_GRAPHEXPORT_H
+#define ICORES_STENCIL_GRAPHEXPORT_H
+
+#include "stencil/StencilIR.h"
+
+namespace icores {
+
+class OStream;
+
+/// Writes a DOT digraph: box nodes for stages, ellipse nodes for arrays;
+/// edges array->stage for reads (labelled with the offset window when it
+/// is not the centre point) and stage->array for writes.
+void exportProgramDot(const StencilProgram &Program, OStream &OS);
+
+/// Writes a compact text listing: one line per stage with its inputs,
+/// outputs and flop weight.
+void exportProgramText(const StencilProgram &Program, OStream &OS);
+
+} // namespace icores
+
+#endif // ICORES_STENCIL_GRAPHEXPORT_H

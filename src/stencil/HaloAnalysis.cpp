@@ -1,0 +1,98 @@
+//===- stencil/HaloAnalysis.cpp - Backward dependence-cone analysis ------===//
+
+#include "stencil/HaloAnalysis.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+
+using namespace icores;
+
+int64_t RegionRequirements::totalStagePoints() const {
+  int64_t Total = 0;
+  for (const Box3 &R : StageRegion)
+    Total += R.numPoints();
+  return Total;
+}
+
+RegionRequirements icores::computeRequirements(const StencilProgram &Program,
+                                               const Box3 &Target) {
+  RegionRequirements Req;
+  Req.StageRegion.assign(Program.numStages(), Box3());
+  Req.ArrayRegion.assign(Program.numArrays(), Box3());
+
+  // Seed: all step outputs must be valid on the target region.
+  for (ArrayId Out : Program.stepOutputs())
+    Req.ArrayRegion[static_cast<size_t>(Out)] = Target;
+
+  // Walk stages backward; the union of requirements on a stage's outputs is
+  // the region the stage must be computed on, which in turn imposes read
+  // requirements on its inputs.
+  for (int S = static_cast<int>(Program.numStages()) - 1; S >= 0; --S) {
+    const StageDef &Stage = Program.stage(S);
+    Box3 Region;
+    for (ArrayId Out : Stage.Outputs)
+      Region = Region.unionWith(Req.ArrayRegion[static_cast<size_t>(Out)]);
+    if (Region.empty())
+      continue; // Stage result unused for this target.
+    Req.StageRegion[static_cast<size_t>(S)] = Region;
+    for (const StageInput &In : Stage.Inputs) {
+      Box3 Read = In.readRegion(Region);
+      Box3 &Cur = Req.ArrayRegion[static_cast<size_t>(In.Array)];
+      Cur = Cur.unionWith(Read);
+    }
+  }
+  return Req;
+}
+
+std::array<int, 3> icores::inputHaloDepth(const StencilProgram &Program,
+                                          const Box3 &Target) {
+  ICORES_CHECK(!Target.empty(), "halo depth of an empty target");
+  RegionRequirements Req = computeRequirements(Program, Target);
+  std::array<int, 3> Depth = {0, 0, 0};
+  for (ArrayId In : Program.stepInputs()) {
+    const Box3 &R = Req.ArrayRegion[static_cast<size_t>(In)];
+    if (R.empty())
+      continue;
+    for (int D = 0; D != 3; ++D) {
+      Depth[D] = std::max(Depth[D], Target.Lo[D] - R.Lo[D]);
+      Depth[D] = std::max(Depth[D], R.Hi[D] - Target.Hi[D]);
+    }
+  }
+  return Depth;
+}
+
+std::vector<StageSideMargins>
+icores::stageSideMargins(const StencilProgram &Program) {
+  // Probe with a target comfortably larger than any dependence cone so the
+  // margins are independent of the probe size.
+  Box3 Target = Box3::fromExtents(64, 64, 64);
+  RegionRequirements Req = computeRequirements(Program, Target);
+  std::vector<StageSideMargins> Margins(Program.numStages());
+  for (unsigned S = 0; S != Program.numStages(); ++S) {
+    const Box3 &R = Req.StageRegion[S];
+    if (R.empty())
+      continue;
+    for (int D = 0; D != 3; ++D) {
+      Margins[S].Lo[D] = Target.Lo[D] - R.Lo[D];
+      Margins[S].Hi[D] = R.Hi[D] - Target.Hi[D];
+    }
+  }
+  return Margins;
+}
+
+std::vector<int> icores::stageMargins(const StencilProgram &Program, int Dim) {
+  ICORES_CHECK(Dim >= 0 && Dim < 3, "dimension out of range");
+  // Use a reference target comfortably larger than any stencil reach so the
+  // margins are target-independent.
+  Box3 Target = Box3::fromExtents(64, 64, 64);
+  RegionRequirements Req = computeRequirements(Program, Target);
+  std::vector<int> Margins(Program.numStages(), 0);
+  for (unsigned S = 0; S != Program.numStages(); ++S) {
+    const Box3 &R = Req.StageRegion[S];
+    if (R.empty())
+      continue;
+    Margins[S] = (Target.Lo[Dim] - R.Lo[Dim]) + (R.Hi[Dim] - Target.Hi[Dim]);
+  }
+  return Margins;
+}

@@ -1,0 +1,71 @@
+//===- stencil/HaloAnalysis.h - Backward dependence-cone analysis -*- C++ -*-===//
+//
+// Part of the icores project: islands-of-cores for heterogeneous stencils.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Backward dataflow over a StencilProgram: given a target region of the
+/// step outputs, compute the exact region each stage must be evaluated on
+/// and the region of every step-input array that is read. This is the
+/// analytical core of the islands-of-cores transformation — an island
+/// assigned part B of the domain evaluates stage s over StageRegion(B)[s],
+/// which provably replaces all inter-island halo exchanges by redundant
+/// computation (scenario 2 of the paper's Fig. 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICORES_STENCIL_HALOANALYSIS_H
+#define ICORES_STENCIL_HALOANALYSIS_H
+
+#include "grid/Box3.h"
+#include "stencil/StencilIR.h"
+
+#include <vector>
+
+namespace icores {
+
+/// Result of the backward cone analysis for one target region.
+struct RegionRequirements {
+  /// Region over which each stage must be computed (indexed by StageId).
+  /// Empty when the stage's outputs are not needed for the target.
+  std::vector<Box3> StageRegion;
+
+  /// Region of each array that must hold valid values (indexed by ArrayId).
+  /// For step inputs this is the read region including halo; for produced
+  /// arrays it equals the producing stage's region.
+  std::vector<Box3> ArrayRegion;
+
+  /// Total points computed, summed over all stages.
+  int64_t totalStagePoints() const;
+};
+
+/// Runs the backward analysis: the step outputs are required on \p Target.
+RegionRequirements computeRequirements(const StencilProgram &Program,
+                                       const Box3 &Target);
+
+/// Maximum halo depth (per dimension) any step input is read at, relative
+/// to \p Target. Arrays must be allocated with at least this margin.
+std::array<int, 3> inputHaloDepth(const StencilProgram &Program,
+                                  const Box3 &Target);
+
+/// Per-stage margin: how far stage regions extend beyond \p Target in
+/// dimension \p Dim, summed over both sides. This is the "extra planes"
+/// count driving Table 2's per-boundary overhead.
+std::vector<int> stageMargins(const StencilProgram &Program, int Dim);
+
+/// Per-side dependence-cone margins of one stage relative to the target
+/// region: the stage must be computed Lo[d] cells below and Hi[d] cells
+/// above the target in dimension d.
+struct StageSideMargins {
+  std::array<int, 3> Lo = {0, 0, 0};
+  std::array<int, 3> Hi = {0, 0, 0};
+};
+
+/// Per-stage side margins (target-independent). Stages whose outputs are
+/// unused report zero margins.
+std::vector<StageSideMargins> stageSideMargins(const StencilProgram &Program);
+
+} // namespace icores
+
+#endif // ICORES_STENCIL_HALOANALYSIS_H

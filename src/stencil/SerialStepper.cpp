@@ -1,0 +1,67 @@
+//===- stencil/SerialStepper.cpp - Generic serial time stepping -----------===//
+
+#include "stencil/SerialStepper.h"
+
+#include "support/Error.h"
+
+#include <utility>
+
+using namespace icores;
+
+SerialStepper::SerialStepper(StencilProgram AProgram, KernelTable AKernels,
+                             const Domain &ADom)
+    : Program(std::move(AProgram)), Kernels(std::move(AKernels)), Dom(ADom),
+      Req(computeRequirements(Program, Dom.coreBox())),
+      Fields(Program.numArrays()) {
+  ICORES_CHECK(Kernels.coversProgram(Program),
+               "kernel table does not cover the program");
+  std::array<int, 3> Depth = inputHaloDepth(Program, Dom.coreBox());
+  for (int D = 0; D != 3; ++D)
+    ICORES_CHECK(Depth[D] <= Dom.haloDepth(),
+                 "domain halo shallower than the program's cone");
+
+  Box3 Alloc = Dom.allocBox();
+  for (unsigned A = 0; A != Program.numArrays(); ++A) {
+    ArrayId Id = static_cast<ArrayId>(A);
+    if (Program.array(Id).Role == ArrayRole::Intermediate) {
+      Fields.allocateOwned(Id, Alloc);
+    } else {
+      External.emplace(Id, Array3D(Alloc));
+      Fields.bindExternal(Id, &External.at(Id));
+    }
+  }
+}
+
+Array3D &SerialStepper::array(ArrayId Id) {
+  auto It = External.find(Id);
+  ICORES_CHECK(It != External.end(),
+               "array is not a step input or output");
+  return It->second;
+}
+
+const Array3D &SerialStepper::array(ArrayId Id) const {
+  auto It = External.find(Id);
+  ICORES_CHECK(It != External.end(),
+               "array is not a step input or output");
+  return It->second;
+}
+
+void SerialStepper::prepareInputs() {
+  for (ArrayId In : Program.stepInputs())
+    Dom.fillHalo(array(In));
+}
+
+void SerialStepper::step() {
+  for (const FeedbackPair &FB : Program.feedbacks())
+    Dom.fillHalo(array(FB.Target));
+  for (unsigned S = 0; S != Program.numStages(); ++S)
+    Kernels.run(Fields, static_cast<StageId>(S), Req.StageRegion[S]);
+  for (const FeedbackPair &FB : Program.feedbacks())
+    std::swap(array(FB.Source), array(FB.Target));
+}
+
+void SerialStepper::run(int Steps) {
+  ICORES_CHECK(Steps >= 0, "negative step count");
+  for (int S = 0; S != Steps; ++S)
+    step();
+}

@@ -1,0 +1,134 @@
+//===- stencil/StencilIR.cpp - Heterogeneous stencil program IR ----------===//
+
+#include "stencil/StencilIR.h"
+
+#include "support/Error.h"
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace icores;
+
+size_t StencilProgram::checkArray(ArrayId Id) const {
+  ICORES_CHECK(Id >= 0 && static_cast<size_t>(Id) < Arrays.size(),
+               "array id out of range");
+  return static_cast<size_t>(Id);
+}
+
+size_t StencilProgram::checkStage(StageId Id) const {
+  ICORES_CHECK(Id >= 0 && static_cast<size_t>(Id) < Stages.size(),
+               "stage id out of range");
+  return static_cast<size_t>(Id);
+}
+
+ArrayId StencilProgram::addArray(std::string Name, ArrayRole Role) {
+  ArrayInfo Info;
+  Info.Name = std::move(Name);
+  Info.Role = Role;
+  Arrays.push_back(std::move(Info));
+  Producer.push_back(NoStage);
+  return static_cast<ArrayId>(Arrays.size() - 1);
+}
+
+StageId StencilProgram::addStage(StageDef Def) {
+  StageId Id = static_cast<StageId>(Stages.size());
+  for (ArrayId Out : Def.Outputs) {
+    checkArray(Out);
+    ICORES_CHECK(Producer[static_cast<size_t>(Out)] == NoStage,
+                 "array already has a producing stage");
+    Producer[static_cast<size_t>(Out)] = Id;
+  }
+  Stages.push_back(std::move(Def));
+  return Id;
+}
+
+void StencilProgram::addFeedback(ArrayId Source, ArrayId Target) {
+  checkArray(Source);
+  checkArray(Target);
+  Feedbacks.push_back({Source, Target});
+}
+
+std::vector<ArrayId> StencilProgram::stepInputs() const {
+  std::vector<ArrayId> Result;
+  for (size_t A = 0; A != Arrays.size(); ++A)
+    if (Arrays[A].Role == ArrayRole::StepInput)
+      Result.push_back(static_cast<ArrayId>(A));
+  return Result;
+}
+
+std::vector<ArrayId> StencilProgram::stepOutputs() const {
+  std::vector<ArrayId> Result;
+  for (size_t A = 0; A != Arrays.size(); ++A)
+    if (Arrays[A].Role == ArrayRole::StepOutput)
+      Result.push_back(static_cast<ArrayId>(A));
+  return Result;
+}
+
+int64_t StencilProgram::totalFlopsPerPoint() const {
+  int64_t Total = 0;
+  for (const StageDef &S : Stages)
+    Total += S.FlopsPerPoint;
+  return Total;
+}
+
+bool StencilProgram::validate(std::string &Error) const {
+  for (size_t SI = 0; SI != Stages.size(); ++SI) {
+    const StageDef &S = Stages[SI];
+    if (S.Outputs.empty()) {
+      Error = formatString("stage '%s' has no outputs", S.Name.c_str());
+      return false;
+    }
+    for (ArrayId Out : S.Outputs) {
+      const ArrayInfo &Info = Arrays[checkArray(Out)];
+      if (Info.Role == ArrayRole::StepInput) {
+        Error = formatString("stage '%s' writes step input '%s'",
+                             S.Name.c_str(), Info.Name.c_str());
+        return false;
+      }
+    }
+    for (const StageInput &In : S.Inputs) {
+      const ArrayInfo &Info = Arrays[checkArray(In.Array)];
+      StageId Prod = Producer[static_cast<size_t>(In.Array)];
+      if (Info.Role != ArrayRole::StepInput &&
+          (Prod == NoStage || Prod >= static_cast<StageId>(SI))) {
+        Error = formatString(
+            "stage '%s' reads '%s' before it is produced (topological "
+            "order violated)",
+            S.Name.c_str(), Info.Name.c_str());
+        return false;
+      }
+      for (int D = 0; D != 3; ++D) {
+        if (In.MinOff[D] > In.MaxOff[D]) {
+          Error = formatString("stage '%s': inverted offset window on '%s'",
+                               S.Name.c_str(), Info.Name.c_str());
+          return false;
+        }
+      }
+    }
+    if (S.FlopsPerPoint < 0) {
+      Error = formatString("stage '%s' has negative flop count",
+                           S.Name.c_str());
+      return false;
+    }
+  }
+  for (size_t A = 0; A != Arrays.size(); ++A) {
+    const ArrayInfo &Info = Arrays[A];
+    bool Produced = Producer[A] != NoStage;
+    if (Info.Role == ArrayRole::StepOutput && !Produced) {
+      Error =
+          formatString("step output '%s' is never produced", Info.Name.c_str());
+      return false;
+    }
+  }
+  for (const FeedbackPair &FB : Feedbacks) {
+    if (Arrays[checkArray(FB.Source)].Role != ArrayRole::StepOutput ||
+        Arrays[checkArray(FB.Target)].Role != ArrayRole::StepInput) {
+      Error = formatString("feedback '%s' -> '%s' must connect a step "
+                           "output to a step input",
+                           Arrays[static_cast<size_t>(FB.Source)].Name.c_str(),
+                           Arrays[static_cast<size_t>(FB.Target)].Name.c_str());
+      return false;
+    }
+  }
+  return true;
+}

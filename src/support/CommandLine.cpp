@@ -1,0 +1,82 @@
+//===- support/CommandLine.cpp - Tiny option parser ----------------------===//
+
+#include "support/CommandLine.h"
+
+#include <cstdlib>
+
+using namespace icores;
+
+void CommandLine::registerOption(const std::string &Name,
+                                 const std::string &Help) {
+  Registered[Name] = Help;
+}
+
+bool CommandLine::parse(int Argc, const char *const *Argv,
+                        std::string &Error) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--", 0) != 0) {
+      Positional.push_back(Arg);
+      continue;
+    }
+    std::string Body = Arg.substr(2);
+    std::string Key = Body;
+    std::string Value = "1"; // Bare flags behave as booleans.
+    size_t Eq = Body.find('=');
+    if (Eq != std::string::npos) {
+      Key = Body.substr(0, Eq);
+      Value = Body.substr(Eq + 1);
+    }
+    if (Key.empty()) {
+      Error = "empty option name in '" + Arg + "'";
+      return false;
+    }
+    if (!Registered.empty() && !Registered.count(Key)) {
+      Error = "unknown option '--" + Key + "'";
+      return false;
+    }
+    Values[Key] = Value;
+  }
+  return true;
+}
+
+bool CommandLine::hasOption(const std::string &Name) const {
+  return Values.count(Name) != 0;
+}
+
+std::string CommandLine::getString(const std::string &Name,
+                                   const std::string &Default) const {
+  auto It = Values.find(Name);
+  return It == Values.end() ? Default : It->second;
+}
+
+int64_t CommandLine::getInt(const std::string &Name, int64_t Default) const {
+  auto It = Values.find(Name);
+  return It == Values.end() ? Default : std::strtoll(It->second.c_str(),
+                                                     nullptr, 10);
+}
+
+double CommandLine::getDouble(const std::string &Name, double Default) const {
+  auto It = Values.find(Name);
+  return It == Values.end() ? Default
+                            : std::strtod(It->second.c_str(), nullptr);
+}
+
+bool CommandLine::getBool(const std::string &Name, bool Default) const {
+  auto It = Values.find(Name);
+  if (It == Values.end())
+    return Default;
+  return It->second != "0" && It->second != "false" && It->second != "no";
+}
+
+std::string CommandLine::helpText() const {
+  std::string Out;
+  for (const auto &[Name, Help] : Registered) {
+    Out += "  --";
+    Out += Name;
+    Out += "\n      ";
+    Out += Help;
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,55 @@
+//===- support/CommandLine.h - Tiny option parser ---------------*- C++ -*-===//
+//
+// Part of the icores project: islands-of-cores for heterogeneous stencils.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small --key=value command-line parser used by the examples and the
+/// benchmark drivers. Unknown options are reported and cause failure so that
+/// typos in experiment sweeps never pass silently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICORES_SUPPORT_COMMANDLINE_H
+#define ICORES_SUPPORT_COMMANDLINE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace icores {
+
+/// Parses "--key=value" and bare "--flag" arguments.
+class CommandLine {
+public:
+  /// Parses argv; returns false (and fills \p Error) on malformed input.
+  bool parse(int Argc, const char *const *Argv, std::string &Error);
+
+  /// Registers a known option with a help string; parse() rejects options
+  /// that were never registered.
+  void registerOption(const std::string &Name, const std::string &Help);
+
+  bool hasOption(const std::string &Name) const;
+  std::string getString(const std::string &Name,
+                        const std::string &Default) const;
+  int64_t getInt(const std::string &Name, int64_t Default) const;
+  double getDouble(const std::string &Name, double Default) const;
+  bool getBool(const std::string &Name, bool Default) const;
+
+  /// Positional (non-option) arguments in order of appearance.
+  const std::vector<std::string> &positionalArgs() const { return Positional; }
+
+  /// Renders a help listing of registered options.
+  std::string helpText() const;
+
+private:
+  std::map<std::string, std::string> Values;
+  std::map<std::string, std::string> Registered;
+  std::vector<std::string> Positional;
+};
+
+} // namespace icores
+
+#endif // ICORES_SUPPORT_COMMANDLINE_H

@@ -1,0 +1,38 @@
+//===- support/Error.h - Fatal-error and unreachable helpers ---*- C++ -*-===//
+//
+// Part of the icores project: islands-of-cores for heterogeneous stencils.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers for reporting programmatic errors. Library code in this project
+/// never throws; invariant violations abort with a diagnostic, mirroring the
+/// LLVM convention of assert/llvm_unreachable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICORES_SUPPORT_ERROR_H
+#define ICORES_SUPPORT_ERROR_H
+
+namespace icores {
+
+/// Prints \p Msg (with file/line context) to stderr and aborts. Used for
+/// invariant violations that must be diagnosed even in release builds.
+[[noreturn]] void reportFatalError(const char *Msg, const char *File,
+                                   int Line);
+
+} // namespace icores
+
+/// Aborts with a message; marks code paths that must never be reached.
+#define ICORES_UNREACHABLE(MSG)                                                \
+  ::icores::reportFatalError(MSG, __FILE__, __LINE__)
+
+/// Release-mode-checked invariant: unlike assert, this fires in all build
+/// configurations. Use for cheap checks guarding memory safety.
+#define ICORES_CHECK(COND, MSG)                                                \
+  do {                                                                         \
+    if (!(COND))                                                               \
+      ::icores::reportFatalError(MSG, __FILE__, __LINE__);                     \
+  } while (false)
+
+#endif // ICORES_SUPPORT_ERROR_H

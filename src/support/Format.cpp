@@ -1,0 +1,55 @@
+//===- support/Format.cpp - String formatting helpers --------------------===//
+
+#include "support/Format.h"
+
+#include <cassert>
+#include <cstdarg>
+#include <cstdio>
+
+using namespace icores;
+
+std::string icores::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  assert(Needed >= 0 && "invalid format string");
+
+  std::string Result(static_cast<size_t>(Needed), '\0');
+  std::vsnprintf(Result.data(), Result.size() + 1, Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return Result;
+}
+
+std::string icores::formatFixed(double Value, int Decimals) {
+  return formatString("%.*f", Decimals, Value);
+}
+
+std::string icores::formatPercent(double Fraction, int Decimals) {
+  return formatString("%.*f", Decimals, Fraction * 100.0);
+}
+
+std::string icores::formatBytes(uint64_t Bytes) {
+  static const char *const Units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double Value = static_cast<double>(Bytes);
+  unsigned Unit = 0;
+  while (Value >= 1024.0 && Unit + 1 < sizeof(Units) / sizeof(Units[0])) {
+    Value /= 1024.0;
+    ++Unit;
+  }
+  if (Unit == 0)
+    return formatString("%llu B", static_cast<unsigned long long>(Bytes));
+  return formatString("%.2f %s", Value, Units[Unit]);
+}
+
+std::string icores::formatSeconds(double Seconds) {
+  if (Seconds >= 1.0)
+    return formatString("%.2f s", Seconds);
+  if (Seconds >= 1e-3)
+    return formatString("%.2f ms", Seconds * 1e3);
+  if (Seconds >= 1e-6)
+    return formatString("%.2f us", Seconds * 1e6);
+  return formatString("%.0f ns", Seconds * 1e9);
+}

@@ -1,0 +1,40 @@
+//===- support/Format.h - String formatting helpers ------------*- C++ -*-===//
+//
+// Part of the icores project: islands-of-cores for heterogeneous stencils.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// printf-style formatting into std::string plus a few numeric-presentation
+/// helpers shared by the table printer and the benchmark harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICORES_SUPPORT_FORMAT_H
+#define ICORES_SUPPORT_FORMAT_H
+
+#include <cstdint>
+#include <string>
+
+namespace icores {
+
+/// Formats like printf, returning the result as a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Renders \p Value with \p Decimals digits after the decimal point.
+std::string formatFixed(double Value, int Decimals);
+
+/// Renders \p Value as a percentage with \p Decimals fractional digits,
+/// e.g. formatPercent(0.254, 1) == "25.4".
+std::string formatPercent(double Fraction, int Decimals);
+
+/// Renders a byte count using binary units, e.g. "1.5 GiB".
+std::string formatBytes(uint64_t Bytes);
+
+/// Renders seconds with adaptive precision (e.g. "9.00 s", "3.1 ms").
+std::string formatSeconds(double Seconds);
+
+} // namespace icores
+
+#endif // ICORES_SUPPORT_FORMAT_H

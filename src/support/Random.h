@@ -1,0 +1,57 @@
+//===- support/Random.h - Deterministic PRNG --------------------*- C++ -*-===//
+//
+// Part of the icores project: islands-of-cores for heterogeneous stencils.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A SplitMix64 pseudo-random generator. Workload generators and property
+/// tests need reproducible streams independent of the standard library
+/// implementation, so we ship our own.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICORES_SUPPORT_RANDOM_H
+#define ICORES_SUPPORT_RANDOM_H
+
+#include <cstdint>
+
+namespace icores {
+
+/// SplitMix64: tiny, fast, and statistically solid for test workloads.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64 random bits.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns a double uniformly distributed in [Lo, Hi).
+  double nextInRange(double Lo, double Hi) {
+    return Lo + (Hi - Lo) * nextDouble();
+  }
+
+  /// Returns an integer uniformly distributed in [0, Bound).
+  uint64_t nextBounded(uint64_t Bound) {
+    // Bound == 0 would be a caller bug; map it to 0 deterministically.
+    return Bound == 0 ? 0 : next() % Bound;
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace icores
+
+#endif // ICORES_SUPPORT_RANDOM_H

@@ -1,0 +1,90 @@
+//===- tests/advisor_test.cpp - Plan advisor tests ------------------------===//
+
+#include "mpdata/MpdataProgram.h"
+#include "sim/PlanAdvisor.h"
+
+#include <gtest/gtest.h>
+
+using namespace icores;
+
+namespace {
+
+struct AdvisorFixture : public ::testing::Test {
+  MpdataProgram M = buildMpdataProgram();
+  Box3 PaperGrid = Box3::fromExtents(1024, 512, 64);
+};
+
+} // namespace
+
+TEST_F(AdvisorFixture, CandidatesSortedFastestFirst) {
+  AdvisorReport R =
+      adviseBestPlan(M.Program, PaperGrid, makeSgiUv2000(), 14, 50);
+  ASSERT_GE(R.Candidates.size(), 4u);
+  for (size_t I = 1; I != R.Candidates.size(); ++I)
+    EXPECT_LE(R.Candidates[I - 1].Result.TotalSeconds,
+              R.Candidates[I].Result.TotalSeconds);
+  for (const AdvisorCandidate &C : R.Candidates)
+    EXPECT_FALSE(C.Label.empty());
+}
+
+TEST_F(AdvisorFixture, PicksIslandsOnTheUv2000) {
+  AdvisorReport R =
+      adviseBestPlan(M.Program, PaperGrid, makeSgiUv2000(), 14, 50);
+  EXPECT_EQ(R.best().Config.Strat, Strategy::IslandsOfCores);
+  // And it beats the original by a solid factor (the paper's S_ov ~2.8).
+  bool FoundOriginal = false;
+  for (size_t I = 0; I != R.Candidates.size(); ++I) {
+    if (R.Candidates[I].Config.Strat == Strategy::Original) {
+      EXPECT_GT(R.advantageOver(I), 2.0);
+      FoundOriginal = true;
+    }
+  }
+  EXPECT_TRUE(FoundOriginal);
+}
+
+TEST_F(AdvisorFixture, SingleSocketPrefersBlockingOverOriginal) {
+  AdvisorReport R =
+      adviseBestPlan(M.Program, PaperGrid, makeSgiUv2000(), 1, 50);
+  // At P=1 islands degenerate to (3+1)D; either label is acceptable, but
+  // the stage-major original must not win.
+  EXPECT_NE(R.best().Config.Strat, Strategy::Original);
+}
+
+TEST_F(AdvisorFixture, ManycorePrefersIntraChipIslands) {
+  // The paper's future work: islands *within* a manycore CPU. On the KNC
+  // model the all-thread barrier is expensive enough that sub-chip
+  // islands win.
+  AdvisorReport R =
+      adviseBestPlan(M.Program, PaperGrid, makeXeonPhiKnc(), 1, 50);
+  EXPECT_EQ(R.best().Config.Strat, Strategy::IslandsOfCores);
+  EXPECT_GT(R.best().Config.IslandsPerSocket, 1);
+}
+
+TEST_F(AdvisorFixture, SkipsInfeasiblePartitions) {
+  // A grid with very few planes: high island counts are infeasible and
+  // must be skipped, not crash.
+  Box3 Tiny = Box3::fromExtents(8, 8, 8);
+  AdvisorReport R = adviseBestPlan(M.Program, Tiny, makeSgiUv2000(), 14, 5);
+  for (const AdvisorCandidate &C : R.Candidates) {
+    if (C.Config.Strat != Strategy::IslandsOfCores)
+      continue;
+    if (C.Config.GridPartsI > 0) {
+      // 2D grids: each axis must fit its dimension.
+      EXPECT_LE(C.Config.GridPartsI, 8);
+      EXPECT_LE(C.Config.GridPartsJ, 8);
+    } else {
+      // 1D partitions cannot exceed the split dimension's extent.
+      EXPECT_LE(C.Config.Sockets * C.Config.IslandsPerSocket, 8);
+    }
+  }
+}
+
+TEST_F(AdvisorFixture, ReportsConsistentSimResults) {
+  AdvisorReport R =
+      adviseBestPlan(M.Program, PaperGrid, makeSgiUv2000(), 4, 50);
+  for (const AdvisorCandidate &C : R.Candidates) {
+    EXPECT_GT(C.Result.TotalSeconds, 0.0);
+    EXPECT_GT(C.Result.FlopsPerStep, 0);
+    EXPECT_EQ(C.Result.TimeSteps, 50);
+  }
+}

@@ -1,0 +1,91 @@
+//===- tests/affinity_test.cpp - Thread placement tests -------------------===//
+
+#include "core/PlanBuilder.h"
+#include "exec/Affinity.h"
+#include "machine/MachineModel.h"
+#include "mpdata/MpdataProgram.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace icores;
+
+namespace {
+
+ExecutionPlan makePlan(const MachineModel &M, Strategy Strat, int Sockets,
+                       int IslandsPerSocket = 1) {
+  MpdataProgram Prog = buildMpdataProgram();
+  PlanConfig Config;
+  Config.Strat = Strat;
+  Config.Sockets = Sockets;
+  Config.IslandsPerSocket = IslandsPerSocket;
+  return buildPlan(Prog.Program, Box3::fromExtents(64, 32, 8), M, Config);
+}
+
+} // namespace
+
+TEST(AffinityTest, IslandsLandOnTheirHomeSockets) {
+  MachineModel M = makeSgiUv2000();
+  ExecutionPlan Plan = makePlan(M, Strategy::IslandsOfCores, 14);
+  std::vector<ThreadPlacement> P = computeThreadPlacement(Plan, M);
+  ASSERT_EQ(P.size(), 112u);
+  for (const ThreadPlacement &T : P)
+    EXPECT_EQ(T.Socket, Plan.Islands[static_cast<size_t>(T.Island)]
+                            .HomeSocket);
+}
+
+TEST(AffinityTest, NoCoreUsedTwice) {
+  MachineModel M = makeSgiUv2000();
+  for (int Sockets : {1, 4, 14}) {
+    ExecutionPlan Plan = makePlan(M, Strategy::IslandsOfCores, Sockets);
+    std::vector<ThreadPlacement> P = computeThreadPlacement(Plan, M);
+    std::set<int> Cores;
+    for (const ThreadPlacement &T : P)
+      EXPECT_TRUE(Cores.insert(T.GlobalCore).second)
+          << "core " << T.GlobalCore << " double-booked";
+  }
+}
+
+TEST(AffinityTest, SpanningTeamStripesAcrossSockets) {
+  MachineModel M = makeSgiUv2000();
+  ExecutionPlan Plan = makePlan(M, Strategy::Block31D, 3);
+  std::vector<ThreadPlacement> P = computeThreadPlacement(Plan, M);
+  ASSERT_EQ(P.size(), 24u);
+  // Threads 0..7 on socket 0, 8..15 on socket 1, 16..23 on socket 2.
+  for (const ThreadPlacement &T : P)
+    EXPECT_EQ(T.Socket, T.ThreadInTeam / 8);
+}
+
+TEST(AffinityTest, SubSocketIslandsPackWithinSockets) {
+  MachineModel M = makeSgiUv2000();
+  ExecutionPlan Plan = makePlan(M, Strategy::IslandsOfCores, 2,
+                                /*IslandsPerSocket=*/2);
+  std::vector<ThreadPlacement> P = computeThreadPlacement(Plan, M);
+  ASSERT_EQ(P.size(), 16u);
+  // Islands 0,1 share socket 0; islands 2,3 share socket 1.
+  for (const ThreadPlacement &T : P)
+    EXPECT_EQ(T.Socket, T.Island / 2);
+}
+
+TEST(AffinityTest, NeighbourPartsSitOnAdjacentSockets) {
+  // The paper: neighbour parts must be assigned to processors that are
+  // closely connected. With the plan builder's island order, consecutive
+  // parts land on consecutive sockets: the adjacency cost equals the sum
+  // of consecutive-socket distances, which is minimal for a path.
+  MachineModel M = makeSgiUv2000();
+  ExecutionPlan Plan = makePlan(M, Strategy::IslandsOfCores, 14);
+  // Path 0-1 (same blade, 1), 1-2 (backplane, 2), ... alternating.
+  EXPECT_EQ(adjacencyCost(Plan, M), 7 * 1 + 6 * 2);
+}
+
+TEST(AffinityTest, PinningOutOfRangeFailsGracefully) {
+  EXPECT_FALSE(pinCurrentThreadToCore(-1));
+  EXPECT_FALSE(pinCurrentThreadToCore(1 << 20));
+}
+
+TEST(AffinityTest, PinningToCoreZeroWorksOnLinux) {
+#ifdef __linux__
+  EXPECT_TRUE(pinCurrentThreadToCore(0));
+#endif
+}

@@ -1,0 +1,148 @@
+//===- tests/block_planner_test.cpp - (3+1)D block planner tests ----------===//
+
+#include "core/BlockPlanner.h"
+#include "core/Partition.h"
+#include "mpdata/MpdataProgram.h"
+#include "stencil/HaloAnalysis.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace icores;
+
+namespace {
+
+struct PlannerFixture : public ::testing::Test {
+  MpdataProgram M = buildMpdataProgram();
+  Box3 Target = Box3::fromExtents(48, 16, 8);
+};
+
+/// Expected per-stage regions: island cones clipped to global regions.
+std::vector<Box3> expectedRegions(const StencilProgram &P, const Box3 &Part,
+                                  const Box3 &Global) {
+  RegionRequirements Local = computeRequirements(P, Part);
+  RegionRequirements Glob = computeRequirements(P, Global);
+  std::vector<Box3> R(P.numStages());
+  for (unsigned S = 0; S != P.numStages(); ++S)
+    R[S] = Local.StageRegion[S].intersect(Glob.StageRegion[S]);
+  return R;
+}
+
+} // namespace
+
+TEST_F(PlannerFixture, SingleBlockMatchesRequirements) {
+  std::vector<BlockTask> Blocks =
+      planSingleBlock(M.Program, Target, Target);
+  ASSERT_EQ(Blocks.size(), 1u);
+  std::vector<Box3> Expected = expectedRegions(M.Program, Target, Target);
+  ASSERT_EQ(Blocks[0].Passes.size(), M.Program.numStages());
+  for (const StagePass &Pass : Blocks[0].Passes)
+    EXPECT_EQ(Pass.Region, Expected[static_cast<size_t>(Pass.Stage)])
+        << "stage " << M.Program.stage(Pass.Stage).Name;
+}
+
+TEST_F(PlannerFixture, HwmBlocksTileStageRegionsExactly) {
+  // Per stage: pass regions across blocks must be disjoint, consecutive,
+  // and union to the island's full stage region — no recomputation within
+  // an island (scenario 1 inside, scenario 2 outside).
+  for (int Thickness : {1, 3, 7, 48}) {
+    std::vector<BlockTask> Blocks =
+        planIslandBlocks(M.Program, Target, Target, Thickness);
+    std::vector<Box3> Expected = expectedRegions(M.Program, Target, Target);
+    std::map<StageId, Box3> Covered;
+    std::map<StageId, int> LastEnd;
+    for (const BlockTask &Block : Blocks) {
+      for (const StagePass &Pass : Block.Passes) {
+        ASSERT_FALSE(Pass.Region.empty());
+        auto It = LastEnd.find(Pass.Stage);
+        if (It != LastEnd.end()) {
+          EXPECT_EQ(Pass.Region.Lo[0], It->second) << "gap or overlap";
+        }
+        LastEnd[Pass.Stage] = Pass.Region.Hi[0];
+        Box3 &Un = Covered[Pass.Stage];
+        Un = Un.unionWith(Pass.Region);
+      }
+    }
+    for (unsigned S = 0; S != M.Program.numStages(); ++S)
+      EXPECT_EQ(Covered[static_cast<StageId>(S)],
+                Expected[S])
+          << "thickness " << Thickness << " stage "
+          << M.Program.stage(static_cast<StageId>(S)).Name;
+  }
+}
+
+TEST_F(PlannerFixture, HwmRespectsProducerConsumerOrder) {
+  // When a pass runs, every producer value it reads must already have been
+  // computed by an earlier pass (earlier block, or earlier stage in the
+  // same block).
+  std::vector<BlockTask> Blocks =
+      planIslandBlocks(M.Program, Target, Target, 5);
+  std::vector<Box3> Done(M.Program.numStages());
+  for (const BlockTask &Block : Blocks) {
+    // Within a block passes execute in stage order; track incrementally.
+    for (const StagePass &Pass : Block.Passes) {
+      for (const StageInput &In : M.Program.stage(Pass.Stage).Inputs) {
+        StageId Producer = M.Program.producerOf(In.Array);
+        if (Producer == NoStage)
+          continue;
+        EXPECT_TRUE(Done[static_cast<size_t>(Producer)].containsBox(
+            In.readRegion(Pass.Region)))
+            << "stage " << M.Program.stage(Pass.Stage).Name
+            << " reads not-yet-computed values of "
+            << M.Program.stage(Producer).Name;
+      }
+      Box3 &D = Done[static_cast<size_t>(Pass.Stage)];
+      D = D.unionWith(Pass.Region);
+    }
+  }
+}
+
+TEST_F(PlannerFixture, IslandConesIncludedAtPartBoundaries) {
+  std::vector<Box3> Parts = partition1D(Target, 3, 0);
+  // Middle part: its stage regions must extend beyond the part target on
+  // both sides (redundant computation replacing halo exchange).
+  std::vector<BlockTask> Blocks =
+      planIslandBlocks(M.Program, Parts[1], Target, 4);
+  Box3 UpwindUnion;
+  for (const BlockTask &Block : Blocks)
+    for (const StagePass &Pass : Block.Passes)
+      if (Pass.Stage == M.SUpwind)
+        UpwindUnion = UpwindUnion.unionWith(Pass.Region);
+  EXPECT_LT(UpwindUnion.Lo[0], Parts[1].Lo[0]);
+  EXPECT_GT(UpwindUnion.Hi[0], Parts[1].Hi[0]);
+}
+
+TEST_F(PlannerFixture, FinalStageCoversExactlyThePart) {
+  std::vector<Box3> Parts = partition1D(Target, 3, 0);
+  for (const Box3 &Part : Parts) {
+    std::vector<BlockTask> Blocks =
+        planIslandBlocks(M.Program, Part, Target, 4);
+    Box3 OutUnion;
+    for (const BlockTask &Block : Blocks)
+      for (const StagePass &Pass : Block.Passes)
+        if (Pass.Stage == M.SOut)
+          OutUnion = OutUnion.unionWith(Pass.Region);
+    EXPECT_EQ(OutUnion, Part); // Islands write disjoint output parts.
+  }
+}
+
+TEST_F(PlannerFixture, BlockThicknessScalesWithBudget) {
+  int Thin = blockThickness(M.Program, Target, 1 << 16);
+  int Thick = blockThickness(M.Program, Target, 1 << 24);
+  EXPECT_GE(Thin, 1);
+  EXPECT_GT(Thick, Thin);
+}
+
+TEST_F(PlannerFixture, BlockCountMatchesThickness) {
+  std::vector<BlockTask> Blocks =
+      planIslandBlocks(M.Program, Target, Target, 10);
+  EXPECT_EQ(Blocks.size(), 5u); // ceil(48 / 10).
+  // Block targets tile the part.
+  int Lo = Target.Lo[0];
+  for (const BlockTask &Block : Blocks) {
+    EXPECT_EQ(Block.Target.Lo[0], Lo);
+    Lo = Block.Target.Hi[0];
+  }
+  EXPECT_EQ(Lo, Target.Hi[0]);
+}

@@ -1,0 +1,137 @@
+//===- tests/boundary_test.cpp - Open-boundary behaviour tests ------------===//
+
+#include "core/PlanBuilder.h"
+#include "exec/PlanExecutor.h"
+#include "machine/MachineModel.h"
+#include "mpdata/InitialConditions.h"
+#include "mpdata/Solver.h"
+
+#include <gtest/gtest.h>
+
+using namespace icores;
+
+TEST(BoundaryTest, ZeroGradientFillClampsToEdge) {
+  Domain D(4, 4, 4, 2, BoundaryMode::ZeroGradient);
+  Array3D A(D.allocBox());
+  for (int I = 0; I != 4; ++I)
+    for (int J = 0; J != 4; ++J)
+      for (int K = 0; K != 4; ++K)
+        A.at(I, J, K) = I * 100 + J * 10 + K;
+  D.fillHalo(A);
+  EXPECT_EQ(A.at(-1, 2, 2), A.at(0, 2, 2));
+  EXPECT_EQ(A.at(-2, -2, -2), A.at(0, 0, 0));
+  EXPECT_EQ(A.at(5, 3, 3), A.at(3, 3, 3));
+  EXPECT_EQ(A.at(2, 5, -1), A.at(2, 3, 0));
+}
+
+TEST(BoundaryTest, ModeDispatch) {
+  Domain Periodic(4, 4, 4, 1, BoundaryMode::Periodic);
+  Domain Open(4, 4, 4, 1, BoundaryMode::ZeroGradient);
+  EXPECT_EQ(Periodic.boundaryMode(), BoundaryMode::Periodic);
+  EXPECT_EQ(Open.boundaryMode(), BoundaryMode::ZeroGradient);
+  Array3D A(Periodic.allocBox());
+  A.at(0, 0, 0) = 1.0;
+  A.at(3, 3, 3) = 8.0;
+  Periodic.fillHalo(A);
+  EXPECT_EQ(A.at(-1, -1, -1), 8.0); // Wraps.
+  Open.fillHalo(A);
+  EXPECT_EQ(A.at(-1, -1, -1), 1.0); // Clamps.
+}
+
+TEST(BoundaryTest, OpenBoundaryUniformFieldIsFixedPoint) {
+  SolverOptions Opts;
+  Opts.Boundary = BoundaryMode::ZeroGradient;
+  ReferenceSolver Solver(12, 10, 8, Opts);
+  Solver.stateIn().fill(1.5);
+  setConstantVelocity(Solver.velocity(0), Solver.velocity(1),
+                      Solver.velocity(2), Solver.domain(), 0.3, 0.2, 0.1);
+  Solver.prepareCoefficients();
+  Solver.run(6);
+  Box3 Core = Solver.domain().coreBox();
+  for (int I = Core.Lo[0]; I != Core.Hi[0]; ++I)
+    for (int J = Core.Lo[1]; J != Core.Hi[1]; ++J)
+      for (int K = Core.Lo[2]; K != Core.Hi[2]; ++K)
+        EXPECT_NEAR(Solver.state().at(I, J, K), 1.5, 1e-13);
+}
+
+TEST(BoundaryTest, OpenBoundaryStaysPositiveAndBounded) {
+  SolverOptions Opts;
+  Opts.Boundary = BoundaryMode::ZeroGradient;
+  ReferenceSolver Solver(16, 8, 8, Opts);
+  fillRandomPositive(Solver.stateIn(), Solver.domain(), 19, 0.2, 1.8);
+  setConstantVelocity(Solver.velocity(0), Solver.velocity(1),
+                      Solver.velocity(2), Solver.domain(), 0.3, -0.2, 0.1);
+  Solver.prepareCoefficients();
+  Solver.run(10);
+  Box3 Core = Solver.domain().coreBox();
+  for (int I = Core.Lo[0]; I != Core.Hi[0]; ++I)
+    for (int J = Core.Lo[1]; J != Core.Hi[1]; ++J)
+      for (int K = Core.Lo[2]; K != Core.Hi[2]; ++K) {
+        EXPECT_GE(Solver.state().at(I, J, K), 0.2 - 1e-12);
+        EXPECT_LE(Solver.state().at(I, J, K), 1.8 + 1e-12);
+      }
+}
+
+TEST(BoundaryTest, StrategiesAgreeUnderOpenBoundaries) {
+  // The islands transformation is boundary-agnostic: strategies stay
+  // bit-identical with zero-gradient halos too.
+  SolverOptions Opts;
+  Opts.Boundary = BoundaryMode::ZeroGradient;
+  ReferenceSolver Solver(20, 12, 8, Opts);
+  fillRandomPositive(Solver.stateIn(), Solver.domain(), 23, 0.1, 2.0);
+  setConstantVelocity(Solver.velocity(0), Solver.velocity(1),
+                      Solver.velocity(2), Solver.domain(), 0.25, -0.2, 0.15);
+  Solver.prepareCoefficients();
+  Solver.run(3);
+
+  for (Strategy Strat : {Strategy::Original, Strategy::Block31D,
+                         Strategy::IslandsOfCores}) {
+    MachineModel Machine = makeToyMachine();
+    Machine.NumSockets = 3;
+    MpdataProgram M = buildMpdataProgram();
+    Domain Dom(20, 12, 8, mpdataHaloDepth(), BoundaryMode::ZeroGradient);
+    PlanConfig Config;
+    Config.Strat = Strat;
+    Config.Sockets = Strat == Strategy::IslandsOfCores ? 3 : 2;
+    ExecutionPlan Plan =
+        buildPlan(M.Program, Dom.coreBox(), Machine, Config);
+    PlanExecutor Exec(Dom, std::move(Plan));
+    fillRandomPositive(Exec.stateIn(), Dom, 23, 0.1, 2.0);
+    setConstantVelocity(Exec.velocity(0), Exec.velocity(1),
+                        Exec.velocity(2), Dom, 0.25, -0.2, 0.15);
+    Exec.prepareCoefficients();
+    Exec.run(3);
+    EXPECT_EQ(Exec.state().maxAbsDiff(Solver.state(), Dom.coreBox()), 0.0)
+        << strategyName(Strat);
+  }
+}
+
+TEST(BoundaryTest, SubSocketIslandsMatchReference) {
+  // Islands-per-socket (future work) with periodic boundaries.
+  ReferenceSolver Solver(20, 12, 8);
+  fillRandomPositive(Solver.stateIn(), Solver.domain(), 29, 0.1, 2.0);
+  setConstantVelocity(Solver.velocity(0), Solver.velocity(1),
+                      Solver.velocity(2), Solver.domain(), 0.25, -0.2, 0.15);
+  Solver.prepareCoefficients();
+  Solver.run(3);
+
+  MachineModel Machine = makeToyMachine(); // 2 sockets x 2 cores.
+  MpdataProgram M = buildMpdataProgram();
+  Domain Dom(20, 12, 8, mpdataHaloDepth());
+  PlanConfig Config;
+  Config.Strat = Strategy::IslandsOfCores;
+  Config.Sockets = 2;
+  Config.IslandsPerSocket = 2; // 4 single-thread islands.
+  ExecutionPlan Plan = buildPlan(M.Program, Dom.coreBox(), Machine, Config);
+  EXPECT_EQ(Plan.Islands.size(), 4u);
+  EXPECT_EQ(Plan.Islands[0].NumThreads, 1);
+  EXPECT_EQ(Plan.Islands[3].HomeSocket, 1);
+
+  PlanExecutor Exec(Dom, std::move(Plan));
+  fillRandomPositive(Exec.stateIn(), Dom, 29, 0.1, 2.0);
+  setConstantVelocity(Exec.velocity(0), Exec.velocity(1), Exec.velocity(2),
+                      Dom, 0.25, -0.2, 0.15);
+  Exec.prepareCoefficients();
+  Exec.run(3);
+  EXPECT_EQ(Exec.state().maxAbsDiff(Solver.state(), Dom.coreBox()), 0.0);
+}

@@ -1,0 +1,138 @@
+//===- tests/cache_sim_test.cpp - Cache-residency validation tests --------===//
+//
+// Validates the analytic traffic model's central assumption with a
+// trace-driven LRU replay: the (3+1)D block schedule keeps intermediates
+// cache-resident (DRAM traffic ~ inputs + outputs), the stage-major
+// original schedule thrashes (DRAM traffic ~ every sweep), and the
+// transition between the regimes follows the cache capacity.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PlanBuilder.h"
+#include "machine/MachineModel.h"
+#include "mpdata/MpdataProgram.h"
+#include "sim/CacheSim.h"
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace icores;
+
+namespace {
+
+struct CacheSimFixture : public ::testing::Test {
+  MpdataProgram M = buildMpdataProgram();
+  Box3 Grid = Box3::fromExtents(256, 64, 32);
+  MachineModel Machine = makeSgiUv2000();
+
+  /// Builds the single-island plan for one strategy with the machine's
+  /// cache budget driving the block thickness.
+  ExecutionPlan makePlan(Strategy Strat, int64_t LlcBytes) {
+    MachineModel Tuned = Machine;
+    Tuned.LlcBytesPerSocket = LlcBytes;
+    PlanConfig Config;
+    Config.Strat = Strat;
+    Config.Sockets = 1;
+    return buildPlan(M.Program, Grid, Tuned, Config);
+  }
+
+  /// Bytes of one sweep over the grid (one array, core region).
+  int64_t sweepBytes() const { return Grid.numPoints() * 8; }
+};
+
+} // namespace
+
+TEST_F(CacheSimFixture, BlockedScheduleKeepsIntermediatesResident) {
+  const int64_t Llc = 8ll << 20;
+  ExecutionPlan Plan = makePlan(Strategy::Block31D, Llc);
+  CacheSimResult R =
+      replayIslandThroughCache(Plan.Islands[0], M.Program, Llc);
+  // Ideal blocked traffic: 5 input sweeps (reads) + 1 output sweep
+  // (writeback). The replay measures ~26 sweeps: the ideal plus real
+  // LRU spill at block boundaries — the very effect the machine model's
+  // CacheSpillFraction stands in for (the analytic model predicts ~17
+  // sweeps; the AnalyticModelAgreesWithReplay test pins the two within
+  // 2x). Either way, far below the original's ~75 sweeps.
+  EXPECT_LT(R.dramBytes(), 35 * sweepBytes());
+  EXPECT_GT(R.dramBytes(), 5 * sweepBytes()); // Compulsory input misses.
+}
+
+TEST_F(CacheSimFixture, OriginalScheduleThrashes) {
+  const int64_t Llc = 8ll << 20;
+  ExecutionPlan Plan = makePlan(Strategy::Original, Llc);
+  CacheSimResult R =
+      replayIslandThroughCache(Plan.Islands[0], M.Program, Llc);
+  // Stage-major sweeps evict everything between stages: tens of sweeps.
+  EXPECT_GT(R.dramBytes(), 40 * sweepBytes());
+}
+
+TEST_F(CacheSimFixture, BlockedBeatsOriginalByTheModeledFactor) {
+  const int64_t Llc = 8ll << 20;
+  ExecutionPlan Blocked = makePlan(Strategy::Block31D, Llc);
+  ExecutionPlan Original = makePlan(Strategy::Original, Llc);
+  CacheSimResult RB =
+      replayIslandThroughCache(Blocked.Islands[0], M.Program, Llc);
+  CacheSimResult RO =
+      replayIslandThroughCache(Original.Islands[0], M.Program, Llc);
+  double Reduction = static_cast<double>(RO.dramBytes()) /
+                     static_cast<double>(RB.dramBytes());
+  // The paper's Sect. 3.2 measures ~4.4x; the analytic model says ~4-6x;
+  // the trace-driven replay must land in the same regime.
+  EXPECT_GT(Reduction, 3.0);
+  EXPECT_LT(Reduction, 15.0);
+}
+
+TEST_F(CacheSimFixture, TrafficMonotoneInCacheSize) {
+  ExecutionPlan Plan = makePlan(Strategy::Block31D, 8ll << 20);
+  int64_t Prev = INT64_MAX;
+  for (int64_t Llc : {1ll << 20, 4ll << 20, 16ll << 20, 64ll << 20}) {
+    CacheSimResult R =
+        replayIslandThroughCache(Plan.Islands[0], M.Program, Llc);
+    EXPECT_LE(R.dramBytes(), Prev) << "LLC " << Llc;
+    Prev = R.dramBytes();
+  }
+}
+
+TEST_F(CacheSimFixture, UndersizedBlocksSpill) {
+  // Replay the blocked schedule through a cache far smaller than the one
+  // it was planned for: the intermediates no longer fit and the traffic
+  // rises well above the ideal.
+  const int64_t PlannedLlc = 8ll << 20;
+  ExecutionPlan Plan = makePlan(Strategy::Block31D, PlannedLlc);
+  CacheSimResult Fits = replayIslandThroughCache(Plan.Islands[0], M.Program,
+                                                 PlannedLlc);
+  CacheSimResult Spills = replayIslandThroughCache(Plan.Islands[0],
+                                                   M.Program, 256ll << 10);
+  EXPECT_GT(Spills.dramBytes(), 3 * Fits.dramBytes());
+}
+
+TEST_F(CacheSimFixture, AnalyticModelAgreesWithReplay) {
+  // The simulator's per-step DRAM accounting (with its calibrated spill
+  // fraction) must sit within ~2x of the trace-driven measurement for the
+  // blocked schedule — the spill fraction is a calibrated stand-in, not
+  // fiction.
+  const int64_t Llc = 8ll << 20;
+  MachineModel Tuned = Machine;
+  Tuned.LlcBytesPerSocket = Llc;
+  PlanConfig Config;
+  Config.Strat = Strategy::Block31D;
+  Config.Sockets = 1;
+  ExecutionPlan Plan = buildPlan(M.Program, Grid, Tuned, Config);
+  SimResult Analytic = simulate(Plan, M.Program, Tuned, 1);
+  CacheSimResult Replay =
+      replayIslandThroughCache(Plan.Islands[0], M.Program, Llc);
+  double Ratio = static_cast<double>(Analytic.DramBytesPerStep) /
+                 static_cast<double>(Replay.dramBytes());
+  EXPECT_GT(Ratio, 0.5);
+  EXPECT_LT(Ratio, 2.0);
+}
+
+TEST_F(CacheSimFixture, AccessedBytesIndependentOfCacheSize) {
+  ExecutionPlan Plan = makePlan(Strategy::Block31D, 8ll << 20);
+  CacheSimResult Small =
+      replayIslandThroughCache(Plan.Islands[0], M.Program, 1ll << 20);
+  CacheSimResult Large =
+      replayIslandThroughCache(Plan.Islands[0], M.Program, 1ll << 30);
+  EXPECT_EQ(Small.AccessedBytes, Large.AccessedBytes);
+  EXPECT_GT(Small.missRate(), Large.missRate());
+}

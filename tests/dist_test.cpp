@@ -1,0 +1,247 @@
+//===- tests/dist_test.cpp - Distributed (MPI-style) extension tests ------===//
+
+#include "dist/ClusterSim.h"
+#include "dist/DistributedSolver.h"
+#include "dist/RankComm.h"
+#include "mpdata/InitialConditions.h"
+#include "mpdata/Solver.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace icores;
+
+TEST(RankCommTest, SelfSendReceives) {
+  CommWorld World(1);
+  RankComm Comm(World, 0);
+  double Out[3] = {1.0, 2.0, 3.0};
+  double In[3] = {0, 0, 0};
+  Comm.send(0, 7, Out, 3);
+  Comm.recv(0, 7, In, 3);
+  EXPECT_EQ(In[0], 1.0);
+  EXPECT_EQ(In[2], 3.0);
+}
+
+TEST(RankCommTest, FifoOrderPerChannel) {
+  CommWorld World(1);
+  RankComm Comm(World, 0);
+  for (double V : {1.0, 2.0, 3.0})
+    Comm.send(0, 1, &V, 1);
+  for (double Expected : {1.0, 2.0, 3.0}) {
+    double V = 0.0;
+    Comm.recv(0, 1, &V, 1);
+    EXPECT_EQ(V, Expected);
+  }
+}
+
+TEST(RankCommTest, TagsSeparateChannels) {
+  CommWorld World(1);
+  RankComm Comm(World, 0);
+  double A = 1.0, B = 2.0, V = 0.0;
+  Comm.send(0, 10, &A, 1);
+  Comm.send(0, 20, &B, 1);
+  Comm.recv(0, 20, &V, 1);
+  EXPECT_EQ(V, 2.0);
+  Comm.recv(0, 10, &V, 1);
+  EXPECT_EQ(V, 1.0);
+}
+
+TEST(RankCommTest, CrossThreadPingPong) {
+  CommWorld World(2);
+  double Result = 0.0;
+  std::thread T1([&] {
+    RankComm Comm(World, 0);
+    double V = 42.0;
+    Comm.send(1, 0, &V, 1);
+    Comm.recv(1, 1, &V, 1);
+    Result = V;
+  });
+  std::thread T2([&] {
+    RankComm Comm(World, 1);
+    double V = 0.0;
+    Comm.recv(0, 0, &V, 1);
+    V += 1.0;
+    Comm.send(0, 1, &V, 1);
+  });
+  T1.join();
+  T2.join();
+  EXPECT_EQ(Result, 43.0);
+}
+
+TEST(RankCommTest, BarrierSynchronizesAllRanks) {
+  const int Ranks = 4;
+  CommWorld World(Ranks);
+  std::atomic<int> Arrived{0};
+  std::atomic<bool> Violated{false};
+  std::vector<std::thread> Threads;
+  for (int R = 0; R != Ranks; ++R)
+    Threads.emplace_back([&, R] {
+      RankComm Comm(World, R);
+      ++Arrived;
+      Comm.barrier();
+      if (Arrived.load() != Ranks)
+        Violated = true;
+      Comm.barrier(); // Reusable.
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_FALSE(Violated.load());
+}
+
+namespace {
+
+/// Shared workload for distributed-vs-reference comparisons.
+struct DistWorkload {
+  int NI = 24, NJ = 10, NK = 6;
+  int Steps = 3;
+
+  DistributedInit init() const {
+    DistributedInit Init;
+    Init.State = [](int I, int J, int K) {
+      SplitMix64 Rng(static_cast<uint64_t>(I * 10007 + J * 101 + K));
+      return Rng.nextInRange(0.1, 2.0);
+    };
+    Init.U1 = [](int, int, int) { return 0.3; };
+    Init.U2 = [](int, int, int) { return -0.25; };
+    Init.U3 = [](int, int, int) { return 0.2; };
+    Init.H = [](int, int, int) { return 1.0; };
+    return Init;
+  }
+
+  Array3D reference() const {
+    ReferenceSolver Solver(NI, NJ, NK);
+    DistributedInit Init = init();
+    Box3 Core = Solver.domain().coreBox();
+    for (int I = 0; I != NI; ++I)
+      for (int J = 0; J != NJ; ++J)
+        for (int K = 0; K != NK; ++K) {
+          Solver.stateIn().at(I, J, K) = Init.State(I, J, K);
+          Solver.velocity(0).at(I, J, K) = Init.U1(I, J, K);
+          Solver.velocity(1).at(I, J, K) = Init.U2(I, J, K);
+          Solver.velocity(2).at(I, J, K) = Init.U3(I, J, K);
+        }
+    Solver.prepareCoefficients();
+    Solver.run(Steps);
+    Array3D Result(Core);
+    Result.copyRegionFrom(Solver.state(), Core);
+    return Result;
+  }
+};
+
+class DistributedEquivalence : public ::testing::TestWithParam<int> {};
+
+} // namespace
+
+TEST_P(DistributedEquivalence, MatchesReferenceBitExactly) {
+  DistWorkload W;
+  int Ranks = GetParam();
+  Array3D Reference = W.reference();
+  Array3D Result =
+      runDistributedMpdata(Ranks, W.NI, W.NJ, W.NK, W.Steps, W.init());
+  EXPECT_EQ(Result.maxAbsDiff(Reference,
+                              Box3::fromExtents(W.NI, W.NJ, W.NK)),
+            0.0)
+      << "ranks=" << Ranks;
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, DistributedEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 6),
+                         [](const ::testing::TestParamInfo<int> &Info) {
+                           return "ranks" + std::to_string(Info.param);
+                         });
+
+namespace {
+
+class Distributed2DEquivalence
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+} // namespace
+
+TEST_P(Distributed2DEquivalence, MatchesReferenceBitExactly) {
+  // 2D rank grids (the paper's other future-work item): two-phase halo
+  // exchange with corners, cone recomputation in both dimensions.
+  auto [PI, PJ] = GetParam();
+  DistWorkload W;
+  Array3D Reference = W.reference();
+  Array3D Result =
+      runDistributedMpdata2D(PI, PJ, W.NI, W.NJ, W.NK, W.Steps, W.init());
+  EXPECT_EQ(Result.maxAbsDiff(Reference,
+                              Box3::fromExtents(W.NI, W.NJ, W.NK)),
+            0.0)
+      << "grid " << PI << "x" << PJ;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RankGrids, Distributed2DEquivalence,
+    ::testing::Values(std::pair{1, 2}, std::pair{2, 2}, std::pair{3, 2},
+                      std::pair{4, 2}, std::pair{2, 3}),
+    [](const ::testing::TestParamInfo<std::pair<int, int>> &Info) {
+      return "grid" + std::to_string(Info.param.first) + "x" +
+             std::to_string(Info.param.second);
+    });
+
+TEST(ClusterSimTest, TwoDimensionalGridCutsRedundantWork) {
+  // At 16 nodes the 1D decomposition makes 224 sliver islands; a 4x4 node
+  // grid keeps parts chunkier and must waste fewer redundant flops and
+  // run faster.
+  MpdataProgram M = buildMpdataProgram();
+  ClusterModel Cluster;
+  Cluster.Node = makeSgiUv2000();
+  Cluster.NumNodes = 16;
+  Box3 Grid = Box3::fromExtents(1024, 1024, 64);
+  ClusterSimResult R1D = simulateCluster(M.Program, Grid, Cluster, 14, 50);
+  ClusterSimResult R2D =
+      simulateCluster2D(M.Program, Grid, Cluster, 4, 4, 14, 50);
+  EXPECT_LT(R2D.FlopsPerStep, R1D.FlopsPerStep);
+  EXPECT_LT(R2D.TotalSeconds, R1D.TotalSeconds);
+}
+
+TEST(ClusterSimTest, SingleNodeMatchesLocalIslandsOrder) {
+  MpdataProgram M = buildMpdataProgram();
+  ClusterModel Cluster;
+  Cluster.Node = makeSgiUv2000();
+  Cluster.NumNodes = 1;
+  Box3 Grid = Box3::fromExtents(1024, 512, 64);
+  ClusterSimResult R = simulateCluster(M.Program, Grid, Cluster, 14, 50);
+  EXPECT_EQ(R.CommSecondsPerStep, 0.0);
+  EXPECT_GT(R.TotalSeconds, 0.5);
+  EXPECT_LT(R.TotalSeconds, 3.0); // Near the single-machine islands time.
+}
+
+TEST(ClusterSimTest, ThroughputGrowsButEfficiencyDecays) {
+  MpdataProgram M = buildMpdataProgram();
+  ClusterModel Cluster;
+  Cluster.Node = makeSgiUv2000();
+  Box3 Grid = Box3::fromExtents(1024, 512, 64);
+  double Prev = 1e300;
+  double Gflops1 = 0.0;
+  for (int N : {1, 2, 4, 8}) {
+    Cluster.NumNodes = N;
+    ClusterSimResult R = simulateCluster(M.Program, Grid, Cluster, 14, 50);
+    EXPECT_LT(R.TotalSeconds, Prev) << "N=" << N;
+    Prev = R.TotalSeconds;
+    if (N == 1)
+      Gflops1 = R.sustainedGflops();
+  }
+  Cluster.NumNodes = 8;
+  ClusterSimResult R8 = simulateCluster(M.Program, Grid, Cluster, 14, 50);
+  // Redundant cone work of 112 thin 1D islands erodes efficiency: well
+  // below linear (motivates the 2D decomposition of future work).
+  EXPECT_LT(R8.sustainedGflops(), 8.0 * Gflops1);
+}
+
+TEST(ClusterSimTest, SlowNetworkAddsCommTime) {
+  MpdataProgram M = buildMpdataProgram();
+  ClusterModel Fast;
+  Fast.Node = makeSgiUv2000();
+  Fast.NumNodes = 4;
+  ClusterModel Slow = Fast;
+  Slow.NetworkBandwidth /= 100.0;
+  Box3 Grid = Box3::fromExtents(1024, 512, 64);
+  ClusterSimResult RF = simulateCluster(M.Program, Grid, Fast, 14, 50);
+  ClusterSimResult RS = simulateCluster(M.Program, Grid, Slow, 14, 50);
+  EXPECT_GT(RS.CommSecondsPerStep, RF.CommSecondsPerStep * 10.0);
+  EXPECT_GT(RS.TotalSeconds, RF.TotalSeconds);
+}

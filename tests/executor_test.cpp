@@ -1,0 +1,216 @@
+//===- tests/executor_test.cpp - Strategy equivalence tests ---------------===//
+//
+// The load-bearing validation of the islands-of-cores transformation: every
+// strategy, partitioning and team size must reproduce the serial reference
+// solver bit-for-bit (the kernels are pointwise with fixed evaluation
+// order, so redundant recomputation is exactly equivalent to halo
+// exchange).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PlanBuilder.h"
+#include "exec/PlanExecutor.h"
+#include "exec/RegionSplit.h"
+#include "machine/MachineModel.h"
+#include "mpdata/InitialConditions.h"
+#include "mpdata/Solver.h"
+
+#include <gtest/gtest.h>
+
+using namespace icores;
+
+namespace {
+
+constexpr int GridNI = 20;
+constexpr int GridNJ = 14;
+constexpr int GridNK = 8;
+constexpr int TimeSteps = 3;
+
+/// Runs the reference solver on the shared workload.
+Array3D referenceResult() {
+  ReferenceSolver Solver(GridNI, GridNJ, GridNK);
+  fillRandomPositive(Solver.stateIn(), Solver.domain(), 1234, 0.1, 2.0);
+  setConstantVelocity(Solver.velocity(0), Solver.velocity(1),
+                      Solver.velocity(2), Solver.domain(), 0.3, -0.25, 0.2);
+  Solver.prepareCoefficients();
+  Solver.run(TimeSteps);
+  Array3D Result(Solver.domain().allocBox());
+  Result.copyRegionFrom(Solver.state(), Solver.domain().coreBox());
+  return Result;
+}
+
+/// Runs an executor with the same workload under \p Config.
+Array3D executorResult(const PlanConfig &Config, const MachineModel &Machine) {
+  MpdataProgram M = buildMpdataProgram();
+  Domain Dom(GridNI, GridNJ, GridNK, mpdataHaloDepth());
+  ExecutionPlan Plan = buildPlan(M.Program, Dom.coreBox(), Machine, Config);
+  PlanExecutor Exec(Dom, std::move(Plan));
+  fillRandomPositive(Exec.stateIn(), Exec.domain(), 1234, 0.1, 2.0);
+  setConstantVelocity(Exec.velocity(0), Exec.velocity(1), Exec.velocity(2),
+                      Exec.domain(), 0.3, -0.25, 0.2);
+  Exec.prepareCoefficients();
+  Exec.run(TimeSteps);
+  Array3D Result(Exec.domain().allocBox());
+  Result.copyRegionFrom(Exec.state(), Exec.domain().coreBox());
+  return Result;
+}
+
+Box3 coreBox() { return Box3::fromExtents(GridNI, GridNJ, GridNK); }
+
+/// Parameter: (strategy, sockets, variant, use2D).
+struct EquivalenceCase {
+  Strategy Strat;
+  int Sockets;
+  PartitionVariant Variant;
+  bool Use2D;
+  const char *Name;
+};
+
+class StrategyEquivalence
+    : public ::testing::TestWithParam<EquivalenceCase> {};
+
+} // namespace
+
+TEST_P(StrategyEquivalence, MatchesReferenceBitExactly) {
+  const EquivalenceCase &C = GetParam();
+  MachineModel Machine = makeToyMachine();
+  Machine.NumSockets = C.Sockets; // Enough sockets for the case.
+
+  PlanConfig Config;
+  Config.Strat = C.Strat;
+  Config.Sockets = C.Sockets;
+  Config.Variant = C.Variant;
+  if (C.Use2D) {
+    auto [Pi, Pj] = factorForGrid(C.Sockets);
+    Config.GridPartsI = Pi;
+    Config.GridPartsJ = Pj;
+  }
+
+  Array3D Reference = referenceResult();
+  Array3D Result = executorResult(Config, Machine);
+  EXPECT_EQ(Result.maxAbsDiff(Reference, coreBox()), 0.0)
+      << "strategy " << strategyName(C.Strat) << " sockets " << C.Sockets;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, StrategyEquivalence,
+    ::testing::Values(
+        EquivalenceCase{Strategy::Original, 1, PartitionVariant::A, false,
+                        "original_p1"},
+        EquivalenceCase{Strategy::Original, 2, PartitionVariant::A, false,
+                        "original_p2"},
+        EquivalenceCase{Strategy::Block31D, 1, PartitionVariant::A, false,
+                        "block31d_p1"},
+        EquivalenceCase{Strategy::Block31D, 3, PartitionVariant::A, false,
+                        "block31d_p3"},
+        EquivalenceCase{Strategy::IslandsOfCores, 1, PartitionVariant::A,
+                        false, "islands_p1"},
+        EquivalenceCase{Strategy::IslandsOfCores, 2, PartitionVariant::A,
+                        false, "islands_p2_varA"},
+        EquivalenceCase{Strategy::IslandsOfCores, 2, PartitionVariant::B,
+                        false, "islands_p2_varB"},
+        EquivalenceCase{Strategy::IslandsOfCores, 4, PartitionVariant::A,
+                        false, "islands_p4_varA"},
+        EquivalenceCase{Strategy::IslandsOfCores, 4, PartitionVariant::B,
+                        false, "islands_p4_varB"},
+        EquivalenceCase{Strategy::IslandsOfCores, 4, PartitionVariant::A,
+                        true, "islands_p4_grid2x2"},
+        EquivalenceCase{Strategy::IslandsOfCores, 6, PartitionVariant::A,
+                        true, "islands_p6_grid3x2"}),
+    [](const ::testing::TestParamInfo<EquivalenceCase> &Info) {
+      return Info.param.Name;
+    });
+
+TEST(ExecutorTest, ConservesMass) {
+  MachineModel Machine = makeToyMachine();
+  MpdataProgram M = buildMpdataProgram();
+  Domain Dom(16, 12, 8, mpdataHaloDepth());
+  PlanConfig Config;
+  Config.Strat = Strategy::IslandsOfCores;
+  Config.Sockets = 2;
+  ExecutionPlan Plan = buildPlan(M.Program, Dom.coreBox(), Machine, Config);
+  PlanExecutor Exec(Dom, std::move(Plan));
+  fillRandomPositive(Exec.stateIn(), Exec.domain(), 77, 0.2, 1.5);
+  setConstantVelocity(Exec.velocity(0), Exec.velocity(1), Exec.velocity(2),
+                      Exec.domain(), 0.2, 0.15, -0.1);
+  Exec.prepareCoefficients();
+  double Before = Exec.conservedMass();
+  Exec.run(5);
+  EXPECT_NEAR(Exec.conservedMass(), Before, 1e-10 * Before);
+}
+
+TEST(ExecutorTest, SequentialRunsCompose) {
+  // run(2) then run(3) must equal run(5).
+  MachineModel Machine = makeToyMachine();
+  MpdataProgram M = buildMpdataProgram();
+  Domain Dom(16, 12, 8, mpdataHaloDepth());
+  PlanConfig Config;
+  Config.Strat = Strategy::IslandsOfCores;
+  Config.Sockets = 2;
+
+  auto makeExec = [&]() {
+    ExecutionPlan Plan =
+        buildPlan(M.Program, Dom.coreBox(), Machine, Config);
+    auto Exec = std::make_unique<PlanExecutor>(Dom, std::move(Plan));
+    fillRandomPositive(Exec->stateIn(), Exec->domain(), 55, 0.2, 1.5);
+    setConstantVelocity(Exec->velocity(0), Exec->velocity(1),
+                        Exec->velocity(2), Exec->domain(), 0.25, 0.1, 0.05);
+    Exec->prepareCoefficients();
+    return Exec;
+  };
+
+  auto Split = makeExec();
+  Split->run(2);
+  Split->run(3);
+  auto Whole = makeExec();
+  Whole->run(5);
+  EXPECT_EQ(Split->state().maxAbsDiff(Whole->state(), Dom.coreBox()), 0.0);
+}
+
+TEST(ExecutorTest, ZeroStepsIsANoOp) {
+  MachineModel Machine = makeToyMachine();
+  MpdataProgram M = buildMpdataProgram();
+  Domain Dom(12, 10, 8, mpdataHaloDepth());
+  PlanConfig Config;
+  Config.Strat = Strategy::Original;
+  Config.Sockets = 1;
+  ExecutionPlan Plan = buildPlan(M.Program, Dom.coreBox(), Machine, Config);
+  PlanExecutor Exec(Dom, std::move(Plan));
+  fillRandomPositive(Exec.stateIn(), Exec.domain(), 9, 0.2, 1.5);
+  Array3D Before(Dom.allocBox());
+  Before.copyRegionFrom(Exec.stateIn(), Dom.coreBox());
+  Exec.run(0);
+  EXPECT_EQ(Exec.state().maxAbsDiff(Before, Dom.coreBox()), 0.0);
+}
+
+TEST(RegionSplitTest, CoversRegionDisjointly) {
+  Box3 Region(2, 0, 0, 10, 30, 6);
+  int Count = 4;
+  int64_t Sum = 0;
+  for (int T = 0; T != Count; ++T) {
+    Box3 Sub = teamSubRegion(Region, T, Count);
+    Sum += Sub.numPoints();
+    EXPECT_TRUE(Region.containsBox(Sub));
+  }
+  EXPECT_EQ(Sum, Region.numPoints());
+}
+
+TEST(RegionSplitTest, SplitsLongestDimension) {
+  EXPECT_EQ(teamSplitDim(Box3(0, 0, 0, 10, 30, 6)), 1);
+  EXPECT_EQ(teamSplitDim(Box3(0, 0, 0, 50, 30, 6)), 0);
+  EXPECT_EQ(teamSplitDim(Box3(0, 0, 0, 5, 5, 9)), 2);
+}
+
+TEST(RegionSplitTest, MoreThreadsThanCells) {
+  Box3 Region(0, 0, 0, 2, 1, 1); // Longest dim extent 2, 5 threads.
+  int NonEmpty = 0;
+  int64_t Sum = 0;
+  for (int T = 0; T != 5; ++T) {
+    Box3 Sub = teamSubRegion(Region, T, 5);
+    if (!Sub.empty())
+      ++NonEmpty;
+    Sum += Sub.numPoints();
+  }
+  EXPECT_EQ(NonEmpty, 2);
+  EXPECT_EQ(Sum, Region.numPoints());
+}

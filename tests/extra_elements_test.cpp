@@ -1,0 +1,141 @@
+//===- tests/extra_elements_test.cpp - Table 2 accounting tests -----------===//
+
+#include "core/Partition.h"
+#include "mpdata/MpdataProgram.h"
+#include "stencil/ExtraElements.h"
+
+#include <gtest/gtest.h>
+
+using namespace icores;
+
+namespace {
+
+Box3 paperScaledTarget() {
+  // A scaled-down version of the paper's 1024x512x64 grid with the same
+  // 2:1 aspect between the first two dimensions.
+  return Box3::fromExtents(128, 64, 32);
+}
+
+} // namespace
+
+TEST(ExtraElements, SinglePartHasNoOverhead) {
+  MpdataProgram M = buildMpdataProgram();
+  Box3 Target = paperScaledTarget();
+  ExtraElementsReport R =
+      countExtraElements(M.Program, Target, {Target});
+  EXPECT_EQ(R.extraPoints(), 0);
+  EXPECT_DOUBLE_EQ(R.extraFraction(), 0.0);
+  EXPECT_EQ(R.PartitionedPoints, R.BaselinePoints);
+}
+
+TEST(ExtraElements, LinearInBoundaryCount) {
+  // Table 2's key structure: extra work grows by a fixed amount per added
+  // island (one new internal boundary each).
+  MpdataProgram M = buildMpdataProgram();
+  Box3 Target = paperScaledTarget();
+  std::vector<int64_t> Extra;
+  for (int Islands = 1; Islands <= 8; ++Islands) {
+    ExtraElementsReport R = countExtraElements(
+        M.Program, Target, partition1D(Target, Islands, 0));
+    Extra.push_back(R.extraPoints());
+  }
+  EXPECT_EQ(Extra[0], 0);
+  int64_t PerBoundary = Extra[1];
+  EXPECT_GT(PerBoundary, 0);
+  for (int Islands = 2; Islands <= 8; ++Islands)
+    EXPECT_EQ(Extra[static_cast<size_t>(Islands - 1)],
+              PerBoundary * (Islands - 1))
+        << "islands=" << Islands;
+}
+
+TEST(ExtraElements, VariantBCostsMoreThanVariantA) {
+  // The paper's grid is wider along i than j, so a variant-B boundary has
+  // a larger cross-section: Table 2 reports B ~= 2x A for the 1024x512
+  // grid (exactly the boundary-area ratio).
+  MpdataProgram M = buildMpdataProgram();
+  Box3 Target = paperScaledTarget();
+  ExtraElementsReport A =
+      countExtraElements(M.Program, Target, partition1D(Target, 4, 0));
+  ExtraElementsReport B =
+      countExtraElements(M.Program, Target, partition1D(Target, 4, 1));
+  EXPECT_GT(B.extraPoints(), A.extraPoints());
+  double Ratio = static_cast<double>(B.extraPoints()) /
+                 static_cast<double>(A.extraPoints());
+  // Boundary areas: variant A cross-section 64*32, variant B 128*32.
+  EXPECT_NEAR(Ratio, 2.0, 0.05);
+}
+
+TEST(ExtraElements, FractionMatchesPaperMagnitude) {
+  // With the paper's full 1024x512x64 grid, variant A costs a fraction of
+  // a percent per boundary (Table 2 reports ~0.25%).
+  MpdataProgram M = buildMpdataProgram();
+  Box3 Target = Box3::fromExtents(1024, 512, 64);
+  ExtraElementsReport R =
+      countExtraElements(M.Program, Target, partition1D(Target, 2, 0));
+  EXPECT_GT(R.extraFraction(), 0.001);
+  EXPECT_LT(R.extraFraction(), 0.006);
+}
+
+TEST(ExtraElements, PartPointsSumToTotal) {
+  MpdataProgram M = buildMpdataProgram();
+  Box3 Target = paperScaledTarget();
+  ExtraElementsReport R =
+      countExtraElements(M.Program, Target, partition1D(Target, 3, 0));
+  ASSERT_EQ(R.PartPoints.size(), 3u);
+  int64_t Sum = 0;
+  for (int64_t P : R.PartPoints)
+    Sum += P;
+  EXPECT_EQ(Sum, R.PartitionedPoints);
+  // Middle part has two boundaries, edge parts one each (clipped at the
+  // global region): middle >= edges.
+  EXPECT_GE(R.PartPoints[1], R.PartPoints[0] - 1);
+}
+
+TEST(ExtraElements, TwoDimensionalGridCombinesBothAxes) {
+  MpdataProgram M = buildMpdataProgram();
+  Box3 Target = paperScaledTarget();
+  ExtraElementsReport R2x2 =
+      countExtraElements(M.Program, Target, partition2D(Target, 2, 2));
+  ExtraElementsReport R4x1 =
+      countExtraElements(M.Program, Target, partition1D(Target, 4, 0));
+  EXPECT_GT(R2x2.extraPoints(), 0);
+  // For this aspect ratio, one i-boundary plus one j-boundary (2x2) costs
+  // more than three i-boundaries would per boundary pair, but the total
+  // comparison depends on areas; just require both are sane and 2x2 counts
+  // boundaries from both axes.
+  ExtraElementsReport R2x1 =
+      countExtraElements(M.Program, Target, partition1D(Target, 2, 0));
+  ExtraElementsReport R1x2 =
+      countExtraElements(M.Program, Target, partition1D(Target, 2, 1));
+  // A 2x2 grid has one full boundary per axis: its extra work is at least
+  // the sum of the two 1D cases (corner regions add a little more).
+  EXPECT_GE(R2x2.extraPoints(),
+            R2x1.extraPoints() + R1x2.extraPoints());
+  EXPECT_GT(R4x1.extraPoints(), 0);
+}
+
+TEST(ExtraElements, ToyChainExactCount) {
+  // Hand-checkable case: a 2-stage chain with +/-1 reach, split in two.
+  // Global: stage1 on [0,N), stage0 on [-1,N+1).
+  // Parts [0,N/2) and [N/2,N): stage0 regions [-1,N/2+1) and [N/2-1,N+1)
+  // overlap by 2 planes -> extra = 2 * crossSection.
+  StencilProgram P;
+  ArrayId In = P.addArray("in", ArrayRole::StepInput);
+  ArrayId Mid = P.addArray("mid", ArrayRole::Intermediate);
+  ArrayId Out = P.addArray("out", ArrayRole::StepOutput);
+  StageDef S0;
+  S0.Name = "s0";
+  S0.Outputs = {Mid};
+  S0.Inputs = {StageInput::alongDim(In, 0, -1, 1)};
+  P.addStage(S0);
+  StageDef S1;
+  S1.Name = "s1";
+  S1.Outputs = {Out};
+  S1.Inputs = {StageInput::alongDim(Mid, 0, -1, 1)};
+  P.addStage(S1);
+
+  Box3 Target = Box3::fromExtents(16, 4, 4);
+  ExtraElementsReport R =
+      countExtraElements(P, Target, partition1D(Target, 2, 0));
+  EXPECT_EQ(R.extraPoints(), 2 * 4 * 4);
+}

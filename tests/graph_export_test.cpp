@@ -1,0 +1,84 @@
+//===- tests/graph_export_test.cpp - Stage-graph export tests -------------===//
+
+#include "mpdata/MpdataProgram.h"
+#include "stencil/GraphExport.h"
+#include "support/OStream.h"
+
+#include <gtest/gtest.h>
+
+using namespace icores;
+
+namespace {
+
+std::string renderDot() {
+  MpdataProgram M = buildMpdataProgram();
+  std::string Buf;
+  StringOStream OS(Buf);
+  exportProgramDot(M.Program, OS);
+  return Buf;
+}
+
+std::string renderText() {
+  MpdataProgram M = buildMpdataProgram();
+  std::string Buf;
+  StringOStream OS(Buf);
+  exportProgramText(M.Program, OS);
+  return Buf;
+}
+
+size_t countOccurrences(const std::string &Hay, const std::string &Needle) {
+  size_t Count = 0;
+  for (size_t Pos = Hay.find(Needle); Pos != std::string::npos;
+       Pos = Hay.find(Needle, Pos + Needle.size()))
+    ++Count;
+  return Count;
+}
+
+} // namespace
+
+TEST(GraphExportTest, DotIsWellFormed) {
+  std::string Dot = renderDot();
+  EXPECT_EQ(Dot.rfind("digraph stencil_program {", 0), 0u);
+  EXPECT_EQ(Dot.back(), '\n');
+  EXPECT_NE(Dot.find("}\n"), std::string::npos);
+  // Balanced braces.
+  EXPECT_EQ(countOccurrences(Dot, "{"), countOccurrences(Dot, "}"));
+}
+
+TEST(GraphExportTest, DotContainsEveryStageAndArray) {
+  MpdataProgram M = buildMpdataProgram();
+  std::string Dot = renderDot();
+  for (unsigned S = 0; S != M.Program.numStages(); ++S)
+    EXPECT_NE(Dot.find(M.Program.stage(static_cast<StageId>(S)).Name),
+              std::string::npos);
+  for (unsigned A = 0; A != M.Program.numArrays(); ++A)
+    EXPECT_NE(Dot.find("\"" +
+                       M.Program.array(static_cast<ArrayId>(A)).Name +
+                       "\""),
+              std::string::npos);
+}
+
+TEST(GraphExportTest, DotColorsRoles) {
+  std::string Dot = renderDot();
+  EXPECT_EQ(countOccurrences(Dot, "lightblue"), 5u);  // Step inputs.
+  EXPECT_EQ(countOccurrences(Dot, "lightgreen"), 1u); // Step output.
+}
+
+TEST(GraphExportTest, DotEdgeCountsMatchProgram) {
+  MpdataProgram M = buildMpdataProgram();
+  size_t ExpectedEdges = 0;
+  for (unsigned S = 0; S != M.Program.numStages(); ++S) {
+    const StageDef &Stage = M.Program.stage(static_cast<StageId>(S));
+    ExpectedEdges += Stage.Inputs.size() + Stage.Outputs.size();
+  }
+  EXPECT_EQ(countOccurrences(renderDot(), " -> "), ExpectedEdges);
+}
+
+TEST(GraphExportTest, TextListsSeventeenStages) {
+  std::string Text = renderText();
+  EXPECT_EQ(countOccurrences(Text, "\n"), 17u);
+  EXPECT_NE(Text.find("S1 flux1"), std::string::npos);
+  EXPECT_NE(Text.find("S17 output"), std::string::npos);
+  // Offset windows rendered for non-centre reads.
+  EXPECT_NE(Text.find("xIn[-1..0, 0, 0]"), std::string::npos);
+}

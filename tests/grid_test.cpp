@@ -1,0 +1,158 @@
+//===- tests/grid_test.cpp - Box3/Array3D/Domain unit tests ---------------===//
+
+#include "grid/Array3D.h"
+#include "grid/Box3.h"
+#include "grid/Domain.h"
+
+#include <gtest/gtest.h>
+
+using namespace icores;
+
+TEST(Box3Test, ExtentsAndPoints) {
+  Box3 B(0, 0, 0, 4, 3, 2);
+  EXPECT_EQ(B.extent(0), 4);
+  EXPECT_EQ(B.extent(1), 3);
+  EXPECT_EQ(B.extent(2), 2);
+  EXPECT_EQ(B.numPoints(), 24);
+  EXPECT_FALSE(B.empty());
+}
+
+TEST(Box3Test, EmptyBoxes) {
+  Box3 Default;
+  EXPECT_TRUE(Default.empty());
+  EXPECT_EQ(Default.numPoints(), 0);
+  Box3 Inverted(3, 0, 0, 1, 5, 5);
+  EXPECT_TRUE(Inverted.empty());
+  EXPECT_EQ(Inverted.numPoints(), 0);
+}
+
+TEST(Box3Test, Contains) {
+  Box3 B(-2, 0, 0, 2, 4, 4);
+  EXPECT_TRUE(B.contains(-2, 0, 0));
+  EXPECT_TRUE(B.contains(1, 3, 3));
+  EXPECT_FALSE(B.contains(2, 0, 0)); // Hi is exclusive.
+  EXPECT_FALSE(B.contains(-3, 0, 0));
+}
+
+TEST(Box3Test, ContainsBox) {
+  Box3 Outer(0, 0, 0, 10, 10, 10);
+  EXPECT_TRUE(Outer.containsBox(Box3(2, 2, 2, 8, 8, 8)));
+  EXPECT_TRUE(Outer.containsBox(Outer));
+  EXPECT_FALSE(Outer.containsBox(Box3(-1, 0, 0, 5, 5, 5)));
+  EXPECT_TRUE(Outer.containsBox(Box3())); // Empty fits everywhere.
+}
+
+TEST(Box3Test, Intersect) {
+  Box3 A(0, 0, 0, 6, 6, 6);
+  Box3 B(4, -2, 3, 10, 4, 9);
+  Box3 I = A.intersect(B);
+  EXPECT_EQ(I, Box3(4, 0, 3, 6, 4, 6));
+  Box3 Disjoint(10, 10, 10, 12, 12, 12);
+  EXPECT_TRUE(A.intersect(Disjoint).empty());
+}
+
+TEST(Box3Test, UnionWith) {
+  Box3 A(0, 0, 0, 2, 2, 2);
+  Box3 B(5, 1, 0, 6, 3, 2);
+  Box3 U = A.unionWith(B);
+  EXPECT_EQ(U, Box3(0, 0, 0, 6, 3, 2));
+  EXPECT_EQ(A.unionWith(Box3()), A);
+  EXPECT_EQ(Box3().unionWith(B), B);
+}
+
+TEST(Box3Test, GrownAndShifted) {
+  Box3 B(0, 0, 0, 4, 4, 4);
+  EXPECT_EQ(B.grown(0, 2, 3), Box3(-2, 0, 0, 7, 4, 4));
+  EXPECT_EQ(B.grownAll(1), Box3(-1, -1, -1, 5, 5, 5));
+  EXPECT_EQ(B.shifted(1, -1, 2), Box3(1, -1, 2, 5, 3, 6));
+}
+
+TEST(Box3Test, StringRendering) {
+  EXPECT_EQ(Box3(0, 1, 2, 3, 4, 5).str(), "[0,3)x[1,4)x[2,5)");
+}
+
+TEST(Array3DTest, ZeroInitializedAndWritable) {
+  Array3D A(Box3(-1, -1, -1, 3, 3, 3));
+  EXPECT_EQ(A.numElements(), 64);
+  EXPECT_EQ(A.at(-1, -1, -1), 0.0);
+  A.at(2, 2, 2) = 7.5;
+  EXPECT_EQ(A.at(2, 2, 2), 7.5);
+}
+
+TEST(Array3DTest, NegativeIndexAddressing) {
+  Array3D A(Box3(-2, 0, 0, 2, 2, 2));
+  A.at(-2, 0, 0) = 1.0;
+  A.at(1, 1, 1) = 2.0;
+  EXPECT_EQ(A.at(-2, 0, 0), 1.0);
+  EXPECT_EQ(A.at(1, 1, 1), 2.0);
+  EXPECT_EQ(A.sizeInBytes(), 4 * 2 * 2 * 8);
+}
+
+TEST(Array3DTest, FillAndSum) {
+  Array3D A(Box3::fromExtents(3, 3, 3));
+  A.fill(2.0);
+  EXPECT_DOUBLE_EQ(A.sumRegion(Box3::fromExtents(3, 3, 3)), 54.0);
+  EXPECT_DOUBLE_EQ(A.sumRegion(Box3(0, 0, 0, 1, 1, 1)), 2.0);
+}
+
+TEST(Array3DTest, CopyRegionAndMaxDiff) {
+  Box3 Space = Box3::fromExtents(4, 4, 4);
+  Array3D A(Space), B(Space);
+  A.fill(1.0);
+  B.fill(3.0);
+  Box3 Inner(1, 1, 1, 3, 3, 3);
+  A.copyRegionFrom(B, Inner);
+  EXPECT_DOUBLE_EQ(A.at(1, 1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(A.at(0, 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(A.maxAbsDiff(B, Inner), 0.0);
+  EXPECT_DOUBLE_EQ(A.maxAbsDiff(B, Space), 2.0);
+}
+
+TEST(DomainTest, Boxes) {
+  Domain D(8, 6, 4, 2);
+  EXPECT_EQ(D.coreBox(), Box3::fromExtents(8, 6, 4));
+  EXPECT_EQ(D.allocBox(), Box3(-2, -2, -2, 10, 8, 6));
+  EXPECT_EQ(D.numCells(), 8 * 6 * 4);
+}
+
+TEST(DomainTest, WrapIndex) {
+  EXPECT_EQ(Domain::wrapIndex(0, 8), 0);
+  EXPECT_EQ(Domain::wrapIndex(-1, 8), 7);
+  EXPECT_EQ(Domain::wrapIndex(8, 8), 0);
+  EXPECT_EQ(Domain::wrapIndex(-9, 8), 7);
+  EXPECT_EQ(Domain::wrapIndex(17, 8), 1);
+}
+
+TEST(DomainTest, PeriodicHaloFill) {
+  Domain D(4, 4, 4, 2);
+  Array3D A(D.allocBox());
+  Box3 Core = D.coreBox();
+  // Unique value per core cell.
+  for (int I = 0; I != 4; ++I)
+    for (int J = 0; J != 4; ++J)
+      for (int K = 0; K != 4; ++K)
+        A.at(I, J, K) = I * 100 + J * 10 + K;
+  D.fillHaloPeriodic(A);
+  // Every alloc-box cell equals its wrapped core cell.
+  Box3 Alloc = D.allocBox();
+  for (int I = Alloc.Lo[0]; I != Alloc.Hi[0]; ++I)
+    for (int J = Alloc.Lo[1]; J != Alloc.Hi[1]; ++J)
+      for (int K = Alloc.Lo[2]; K != Alloc.Hi[2]; ++K)
+        EXPECT_EQ(A.at(I, J, K),
+                  A.at(Domain::wrapIndex(I, 4), Domain::wrapIndex(J, 4),
+                       Domain::wrapIndex(K, 4)));
+  (void)Core;
+}
+
+TEST(DomainTest, HaloFillPreservesCore) {
+  Domain D(5, 3, 3, 1);
+  Array3D A(D.allocBox());
+  for (int I = 0; I != 5; ++I)
+    for (int J = 0; J != 3; ++J)
+      for (int K = 0; K != 3; ++K)
+        A.at(I, J, K) = 1.0 + I + J + K;
+  Array3D Before(D.allocBox());
+  Before.copyRegionFrom(A, D.coreBox());
+  D.fillHaloPeriodic(A);
+  EXPECT_DOUBLE_EQ(A.maxAbsDiff(Before, D.coreBox()), 0.0);
+}

@@ -1,0 +1,172 @@
+//===- tests/halo_analysis_test.cpp - Dependence-cone analysis tests ------===//
+
+#include "mpdata/MpdataProgram.h"
+#include "stencil/HaloAnalysis.h"
+
+#include <gtest/gtest.h>
+
+using namespace icores;
+
+namespace {
+
+/// A chain of \p Depth 1D stages, each reading its producer at {-1,0,+1}
+/// along dimension 0 — the paper's Fig. 1 shape generalized in depth.
+StencilProgram buildChain(int Depth) {
+  StencilProgram P;
+  ArrayId Prev = P.addArray("in", ArrayRole::StepInput);
+  for (int S = 0; S != Depth; ++S) {
+    bool Last = S + 1 == Depth;
+    std::string ArrayName = "a";
+    ArrayName += std::to_string(S);
+    ArrayId Out = P.addArray(std::move(ArrayName),
+                             Last ? ArrayRole::StepOutput
+                                  : ArrayRole::Intermediate);
+    StageDef Def;
+    Def.Name = "s";
+    Def.Name += std::to_string(S);
+    Def.Outputs = {Out};
+    Def.Inputs = {StageInput::alongDim(Prev, 0, -1, 1)};
+    Def.FlopsPerPoint = 1;
+    P.addStage(Def);
+    Prev = Out;
+  }
+  return P;
+}
+
+} // namespace
+
+TEST(HaloAnalysis, ChainConeGrowsOnePerStage) {
+  // For the Fig. 1 example, producing C on [d, N) requires B on [d-1, N+1)
+  // and A on [d-2, N+2): each earlier stage needs one more cell per side.
+  StencilProgram P = buildChain(3);
+  Box3 Target(4, 0, 0, 10, 1, 1);
+  RegionRequirements Req = computeRequirements(P, Target);
+  EXPECT_EQ(Req.StageRegion[2], Target);
+  EXPECT_EQ(Req.StageRegion[1], Target.grown(0, 1, 1));
+  EXPECT_EQ(Req.StageRegion[0], Target.grown(0, 2, 2));
+}
+
+TEST(HaloAnalysis, ChainInputHalo) {
+  StencilProgram P = buildChain(3);
+  Box3 Target(0, 0, 0, 16, 1, 1);
+  std::array<int, 3> Depth = inputHaloDepth(P, Target);
+  EXPECT_EQ(Depth[0], 3); // Three stages, one cell per stage.
+  EXPECT_EQ(Depth[1], 0);
+  EXPECT_EQ(Depth[2], 0);
+}
+
+TEST(HaloAnalysis, MarginsMonotoneInStageDepth) {
+  // Earlier stages never need smaller cones than later ones in a chain.
+  StencilProgram P = buildChain(5);
+  std::vector<int> Margins = stageMargins(P, 0);
+  ASSERT_EQ(Margins.size(), 5u);
+  for (size_t S = 1; S != Margins.size(); ++S)
+    EXPECT_GE(Margins[S - 1], Margins[S]);
+  EXPECT_EQ(Margins[4], 0); // Final stage computes exactly the target.
+}
+
+TEST(HaloAnalysis, TotalStagePoints) {
+  StencilProgram P = buildChain(2);
+  Box3 Target(0, 0, 0, 10, 1, 1);
+  RegionRequirements Req = computeRequirements(P, Target);
+  // Stage 1: 10 points; stage 0: 12 points.
+  EXPECT_EQ(Req.totalStagePoints(), 22);
+}
+
+TEST(HaloAnalysis, UnusedStageGetsEmptyRegion) {
+  StencilProgram P;
+  ArrayId In = P.addArray("in", ArrayRole::StepInput);
+  ArrayId Dead = P.addArray("dead", ArrayRole::Intermediate);
+  ArrayId Out = P.addArray("out", ArrayRole::StepOutput);
+
+  StageDef DeadStage;
+  DeadStage.Name = "dead";
+  DeadStage.Outputs = {Dead};
+  DeadStage.Inputs = {StageInput::center(In)};
+  P.addStage(DeadStage);
+
+  StageDef Live;
+  Live.Name = "live";
+  Live.Outputs = {Out};
+  Live.Inputs = {StageInput::center(In)};
+  P.addStage(Live);
+
+  RegionRequirements Req = computeRequirements(P, Box3::fromExtents(4, 4, 4));
+  EXPECT_TRUE(Req.StageRegion[0].empty());
+  EXPECT_EQ(Req.StageRegion[1], Box3::fromExtents(4, 4, 4));
+}
+
+TEST(HaloAnalysis, ClosureProperty) {
+  // Every stage's reads are covered by its producers' computed regions:
+  // the fundamental invariant the executors rely on.
+  MpdataProgram M = buildMpdataProgram();
+  Box3 Target(3, 5, 2, 19, 21, 18);
+  RegionRequirements Req = computeRequirements(M.Program, Target);
+  for (unsigned S = 0; S != M.Program.numStages(); ++S) {
+    const Box3 &Region = Req.StageRegion[S];
+    if (Region.empty())
+      continue;
+    for (const StageInput &In : M.Program.stage(S).Inputs) {
+      StageId Producer = M.Program.producerOf(In.Array);
+      if (Producer == NoStage)
+        continue; // Step input: covered by the halo instead.
+      EXPECT_TRUE(Req.StageRegion[static_cast<size_t>(Producer)].containsBox(
+          In.readRegion(Region)))
+          << "stage " << M.Program.stage(S).Name << " reads beyond producer "
+          << M.Program.stage(Producer).Name;
+    }
+  }
+}
+
+TEST(HaloAnalysis, MpdataHaloDepthIsThree) {
+  MpdataProgram M = buildMpdataProgram();
+  std::array<int, 3> Depth =
+      inputHaloDepth(M.Program, Box3::fromExtents(32, 32, 32));
+  EXPECT_EQ(Depth[0], 3);
+  EXPECT_EQ(Depth[1], 3);
+  EXPECT_EQ(Depth[2], 3);
+}
+
+TEST(HaloAnalysis, MpdataSideMarginsMatchRegions) {
+  MpdataProgram M = buildMpdataProgram();
+  std::vector<StageSideMargins> Margins = stageSideMargins(M.Program);
+  Box3 Target(10, 10, 10, 26, 26, 26);
+  RegionRequirements Req = computeRequirements(M.Program, Target);
+  for (unsigned S = 0; S != M.Program.numStages(); ++S) {
+    const Box3 &R = Req.StageRegion[S];
+    ASSERT_FALSE(R.empty());
+    for (int D = 0; D != 3; ++D) {
+      EXPECT_EQ(Target.Lo[D] - R.Lo[D], Margins[S].Lo[D]);
+      EXPECT_EQ(R.Hi[D] - Target.Hi[D], Margins[S].Hi[D]);
+    }
+  }
+}
+
+TEST(HaloAnalysis, MpdataFinalStageHasZeroMargins) {
+  MpdataProgram M = buildMpdataProgram();
+  std::vector<StageSideMargins> Margins = stageSideMargins(M.Program);
+  const StageSideMargins &Out = Margins[static_cast<size_t>(M.SOut)];
+  for (int D = 0; D != 3; ++D) {
+    EXPECT_EQ(Out.Lo[D], 0);
+    EXPECT_EQ(Out.Hi[D], 0);
+  }
+}
+
+TEST(HaloAnalysis, MarginsIsotropicAcrossDims) {
+  // MPDATA's stage chain treats the three dimensions symmetrically, so the
+  // total per-dimension margins agree.
+  MpdataProgram M = buildMpdataProgram();
+  std::vector<int> M0 = stageMargins(M.Program, 0);
+  std::vector<int> M1 = stageMargins(M.Program, 1);
+  std::vector<int> M2 = stageMargins(M.Program, 2);
+  int Sum0 = 0, Sum1 = 0, Sum2 = 0;
+  for (unsigned S = 0; S != M.Program.numStages(); ++S) {
+    Sum0 += M0[S];
+    Sum1 += M1[S];
+    Sum2 += M2[S];
+  }
+  EXPECT_EQ(Sum0, Sum1);
+  EXPECT_EQ(Sum1, Sum2);
+  // The dependence cone must be non-trivial.
+  EXPECT_GT(Sum0, 17);
+}

@@ -1,0 +1,65 @@
+//===- tests/machine_test.cpp - Machine model tests -----------------------===//
+
+#include "machine/MachineModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace icores;
+
+TEST(MachineTest, Uv2000MatchesPaperPeaks) {
+  MachineModel M = makeSgiUv2000();
+  EXPECT_EQ(M.NumSockets, 14);
+  EXPECT_EQ(M.totalCores(), 112);
+  // Table 4: 105.6 Gflop/s per CPU, 1478.4 Gflop/s for 14.
+  EXPECT_NEAR(M.peakFlopsPerSocket() / 1e9, 105.6, 1e-9);
+  EXPECT_NEAR(M.peakFlops(14) / 1e9, 1478.4, 1e-6);
+}
+
+TEST(MachineTest, HomeNodeContentionSaturates) {
+  MachineModel M = makeSgiUv2000();
+  double B1 = M.homeNodeBandwidth(1);
+  double B2 = M.homeNodeBandwidth(2);
+  double B14 = M.homeNodeBandwidth(14);
+  EXPECT_DOUBLE_EQ(B1, M.DramBandwidthPerSocket);
+  EXPECT_LT(B2, B1);
+  EXPECT_LT(B14, B2);
+  // Saturating, not collapsing: the 14-socket rate stays within ~4x of
+  // the uncontended rate (Table 1's first row degrades ~2.7x).
+  EXPECT_GT(B14, B1 / 4.0);
+}
+
+TEST(MachineTest, BarrierCostMonotoneInSpan) {
+  MachineModel M = makeSgiUv2000();
+  double Prev = 0.0;
+  for (int S = 1; S <= 14; ++S) {
+    double Cost = M.barrierCost(S);
+    EXPECT_GT(Cost, Prev);
+    Prev = Cost;
+  }
+}
+
+TEST(MachineTest, TopologyBladePairs) {
+  MachineModel M = makeSgiUv2000();
+  EXPECT_EQ(M.topologyDistance(0, 0), 0);
+  EXPECT_EQ(M.topologyDistance(0, 1), 1);  // Same blade.
+  EXPECT_EQ(M.topologyDistance(1, 2), 2);  // Across the backplane.
+  EXPECT_EQ(M.topologyDistance(12, 13), 1);
+  EXPECT_EQ(M.topologyDistance(0, 13), 2);
+  // Symmetry.
+  for (int A = 0; A != 14; ++A)
+    for (int B = 0; B != 14; ++B)
+      EXPECT_EQ(M.topologyDistance(A, B), M.topologyDistance(B, A));
+}
+
+TEST(MachineTest, XeonPresetSingleSocket) {
+  MachineModel M = makeXeonE5_2660v2();
+  EXPECT_EQ(M.NumSockets, 1);
+  EXPECT_EQ(M.totalCores(), 10);
+  EXPECT_NEAR(M.peakFlopsPerSocket() / 1e9, 88.0, 1e-9);
+}
+
+TEST(MachineTest, ToyMachineIsSmall) {
+  MachineModel M = makeToyMachine();
+  EXPECT_EQ(M.NumSockets, 2);
+  EXPECT_EQ(M.CoresPerSocket, 2);
+}

@@ -1,0 +1,69 @@
+//===- tests/partition_test.cpp - Island partitioning tests ---------------===//
+
+#include "core/Partition.h"
+
+#include <gtest/gtest.h>
+
+using namespace icores;
+
+TEST(Partition, VariantDims) {
+  EXPECT_EQ(partitionDim(PartitionVariant::A), 0);
+  EXPECT_EQ(partitionDim(PartitionVariant::B), 1);
+}
+
+TEST(Partition, OnePartIsIdentity) {
+  Box3 T = Box3::fromExtents(16, 8, 4);
+  std::vector<Box3> Parts = partition1D(T, 1, 0);
+  ASSERT_EQ(Parts.size(), 1u);
+  EXPECT_EQ(Parts[0], T);
+}
+
+TEST(Partition, ExactCoverDisjoint) {
+  Box3 T(2, -1, 0, 30, 15, 8);
+  for (int Dim = 0; Dim != 3; ++Dim) {
+    for (int Parts : {2, 3, 5, 7}) {
+      std::vector<Box3> Ps = partition1D(T, Parts, Dim);
+      ASSERT_EQ(Ps.size(), static_cast<size_t>(Parts));
+      int64_t Sum = 0;
+      for (size_t I = 0; I != Ps.size(); ++I) {
+        Sum += Ps[I].numPoints();
+        EXPECT_TRUE(T.containsBox(Ps[I]));
+        if (I) { // Consecutive along Dim.
+          EXPECT_EQ(Ps[I].Lo[Dim], Ps[I - 1].Hi[Dim]);
+        }
+      }
+      EXPECT_EQ(Sum, T.numPoints());
+    }
+  }
+}
+
+TEST(Partition, NearlyEqualSizes) {
+  Box3 T = Box3::fromExtents(100, 10, 10);
+  std::vector<Box3> Parts = partition1D(T, 7, 0);
+  for (const Box3 &P : Parts) {
+    EXPECT_GE(P.extent(0), 14);
+    EXPECT_LE(P.extent(0), 15);
+  }
+}
+
+TEST(Partition, TwoDimensionalGrid) {
+  Box3 T = Box3::fromExtents(12, 8, 4);
+  std::vector<Box3> Parts = partition2D(T, 3, 2);
+  ASSERT_EQ(Parts.size(), 6u);
+  int64_t Sum = 0;
+  for (const Box3 &P : Parts) {
+    Sum += P.numPoints();
+    EXPECT_EQ(P.extent(0), 4);
+    EXPECT_EQ(P.extent(1), 4);
+    EXPECT_EQ(P.extent(2), 4);
+  }
+  EXPECT_EQ(Sum, T.numPoints());
+}
+
+TEST(Partition, GridFactorization) {
+  EXPECT_EQ(factorForGrid(1), (std::pair<int, int>{1, 1}));
+  EXPECT_EQ(factorForGrid(4), (std::pair<int, int>{2, 2}));
+  EXPECT_EQ(factorForGrid(12), (std::pair<int, int>{4, 3}));
+  EXPECT_EQ(factorForGrid(14), (std::pair<int, int>{7, 2}));
+  EXPECT_EQ(factorForGrid(13), (std::pair<int, int>{13, 1})); // Prime.
+}

@@ -1,0 +1,171 @@
+//===- tests/physics_convergence_test.cpp - Order-of-accuracy sweeps ------===//
+//
+// Grid-refinement study: at fixed Courant number (refining the grid and
+// the step count together), plain upwind converges at first order while
+// the corrected MPDATA scheme approaches second order — the quantitative
+// version of "the corrective iteration removes the leading-order error".
+// Plus coverage for the workload generators and the distributed mass sum.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/DistributedSolver.h"
+#include "dist/RankComm.h"
+#include "mpdata/InitialConditions.h"
+#include "mpdata/Solver.h"
+#include "support/OStream.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+using namespace icores;
+
+namespace {
+
+/// L2 error against the translated analytic blob for an N x N x 8 run at
+/// fixed Courant (0.3, 0.2, 0).
+double translationError(int N, int Steps, bool FirstOrder) {
+  SolverOptions Opts;
+  Opts.FirstOrderOnly = FirstOrder;
+  ReferenceSolver Solver(N, N, 8, Opts);
+  GaussianBlob Blob;
+  Blob.CenterI = N / 3.0;
+  Blob.CenterJ = N / 2.0;
+  Blob.CenterK = 4.0;
+  Blob.Sigma = N / 8.0;
+  fillGaussian(Solver.stateIn(), Solver.domain(), Blob);
+  setConstantVelocity(Solver.velocity(0), Solver.velocity(1),
+                      Solver.velocity(2), Solver.domain(), 0.3, 0.2, 0.0);
+  Solver.prepareCoefficients();
+  Solver.run(Steps);
+  GaussianBlob Moved = Blob.translated(0.3 * Steps, 0.2 * Steps, 0.0);
+  return l2ErrorVsBlob(Solver.state(), Solver.domain(), Moved);
+}
+
+} // namespace
+
+TEST(ConvergenceTest, CorrectedSchemeApproachesSecondOrder) {
+  double E32 = translationError(32, 16, /*FirstOrder=*/false);
+  double E64 = translationError(64, 32, /*FirstOrder=*/false);
+  // Second order would give a ratio of 4; we measure ~3.6 on this
+  // pre-asymptotic grid and require comfortably more than first order.
+  EXPECT_GT(E32 / E64, 3.0);
+}
+
+TEST(ConvergenceTest, UpwindStaysFirstOrder) {
+  double E32 = translationError(32, 16, /*FirstOrder=*/true);
+  double E64 = translationError(64, 32, /*FirstOrder=*/true);
+  EXPECT_GT(E32 / E64, 1.3); // Converging...
+  EXPECT_LT(E32 / E64, 2.2); // ...but no faster than first order.
+}
+
+TEST(ConvergenceTest, CorrectedBeatsUpwindAtEveryResolution) {
+  for (int N : {16, 32, 64}) {
+    double Upwind = translationError(N, N / 2, true);
+    double Corrected = translationError(N, N / 2, false);
+    EXPECT_LT(Corrected, Upwind) << "N=" << N;
+  }
+}
+
+TEST(InitialConditionsTest, BlobIsPeriodic) {
+  Domain D(16, 16, 8, 0);
+  GaussianBlob Blob;
+  Blob.CenterI = 1.0; // Near the edge: the nearest-image logic matters.
+  Blob.CenterJ = 8.0;
+  Blob.CenterK = 4.0;
+  Blob.Sigma = 2.0;
+  // Value 2 cells to the left (wrapping) equals value 2 cells right.
+  EXPECT_NEAR(Blob.valueAt(15, 8, 4, D), Blob.valueAt(3, 8, 4, D), 1e-15);
+  // Peak at the centre.
+  EXPECT_GT(Blob.valueAt(1, 8, 4, D), Blob.valueAt(5, 8, 4, D));
+}
+
+TEST(InitialConditionsTest, TranslatedBlobShiftsTheField) {
+  Domain D(16, 16, 8, 0);
+  GaussianBlob Blob;
+  Blob.CenterI = 4.0;
+  Blob.CenterJ = 4.0;
+  Blob.CenterK = 4.0;
+  GaussianBlob Moved = Blob.translated(3.0, -1.0, 2.0);
+  EXPECT_NEAR(Moved.valueAt(7, 3, 6, D), Blob.valueAt(4, 4, 4, D), 1e-15);
+}
+
+TEST(InitialConditionsTest, NormsVanishOnExactField) {
+  Domain D(12, 12, 6, 0);
+  GaussianBlob Blob;
+  Blob.CenterI = 6.0;
+  Blob.CenterJ = 6.0;
+  Blob.CenterK = 3.0;
+  Array3D A(D.coreBox());
+  fillGaussian(A, D, Blob);
+  EXPECT_LT(l2ErrorVsBlob(A, D, Blob), 1e-15);
+  EXPECT_LT(linfErrorVsBlob(A, D, Blob), 1e-15);
+}
+
+TEST(InitialConditionsTest, RandomFieldRespectsBounds) {
+  Domain D(10, 10, 10, 0);
+  Array3D A(D.coreBox());
+  fillRandomPositive(A, D, 5, 0.25, 0.75);
+  for (int I = 0; I != 10; ++I)
+    for (int J = 0; J != 10; ++J)
+      for (int K = 0; K != 10; ++K) {
+        EXPECT_GE(A.at(I, J, K), 0.25);
+        EXPECT_LT(A.at(I, J, K), 0.75);
+      }
+}
+
+TEST(DistributedMassTest, LocalMassesSumToGlobalAndAreConserved) {
+  const int NI = 16, NJ = 12, NK = 6, Ranks = 4;
+  DistributedInit Init;
+  Init.State = [](int I, int J, int K) {
+    return 0.5 + 0.01 * (I + 2 * J + 3 * K);
+  };
+  Init.U1 = [](int, int, int) { return 0.25; };
+  Init.U2 = [](int, int, int) { return 0.1; };
+  Init.U3 = [](int, int, int) { return -0.15; };
+  Init.H = [](int, int, int) { return 1.0; };
+
+  double ExpectedMass = 0.0;
+  for (int I = 0; I != NI; ++I)
+    for (int J = 0; J != NJ; ++J)
+      for (int K = 0; K != NK; ++K)
+        ExpectedMass += Init.State(I, J, K);
+
+  CommWorld World(Ranks);
+  std::vector<double> Masses(Ranks, 0.0);
+  std::vector<std::thread> Threads;
+  for (int R = 0; R != Ranks; ++R)
+    Threads.emplace_back([&, R] {
+      RankComm Comm(World, R);
+      DistributedRank Rank(Comm, NI, NJ, NK, Ranks, 1, Init);
+      Rank.prepareCoefficients();
+      Rank.run(6);
+      Masses[static_cast<size_t>(R)] = Rank.localMass();
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  double Total = 0.0;
+  for (double M : Masses)
+    Total += M;
+  EXPECT_NEAR(Total, ExpectedMass, 1e-9 * ExpectedMass);
+}
+
+TEST(OStreamTest, FileSinkWritesToTmpFile) {
+  std::string Path = ::testing::TempDir() + "/icores_ostream_test.txt";
+  {
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    ASSERT_NE(F, nullptr);
+    FileOStream OS(F);
+    OS << "hello " << 42 << '\n';
+    std::fclose(F);
+  }
+  std::FILE *F = std::fopen(Path.c_str(), "r");
+  ASSERT_NE(F, nullptr);
+  char Buf[32] = {};
+  ASSERT_NE(std::fgets(Buf, sizeof(Buf), F), nullptr);
+  std::fclose(F);
+  std::remove(Path.c_str());
+  EXPECT_STREQ(Buf, "hello 42\n");
+}

@@ -1,0 +1,142 @@
+//===- tests/plan_builder_test.cpp - Strategy plan construction tests -----===//
+
+#include "core/PlanBuilder.h"
+#include "machine/MachineModel.h"
+#include "mpdata/MpdataProgram.h"
+#include "stencil/ExtraElements.h"
+#include "core/Partition.h"
+
+#include <gtest/gtest.h>
+
+using namespace icores;
+
+namespace {
+
+struct PlanFixture : public ::testing::Test {
+  MpdataProgram M = buildMpdataProgram();
+  Box3 Target = Box3::fromExtents(64, 32, 8);
+  MachineModel Machine = makeToyMachine();
+};
+
+} // namespace
+
+TEST_F(PlanFixture, OriginalIsOneIslandOneBlock) {
+  PlanConfig Config;
+  Config.Strat = Strategy::Original;
+  Config.Sockets = 2;
+  ExecutionPlan Plan = buildPlan(M.Program, Target, Machine, Config);
+  ASSERT_EQ(Plan.Islands.size(), 1u);
+  EXPECT_EQ(Plan.Islands[0].NumSockets, 2);
+  EXPECT_EQ(Plan.Islands[0].NumThreads, 4);
+  ASSERT_EQ(Plan.Islands[0].Blocks.size(), 1u);
+  EXPECT_EQ(Plan.Islands[0].Blocks[0].Passes.size(), 17u);
+}
+
+TEST_F(PlanFixture, Block31DIsOneIslandManyBlocks) {
+  PlanConfig Config;
+  Config.Strat = Strategy::Block31D;
+  Config.Sockets = 2;
+  ExecutionPlan Plan = buildPlan(M.Program, Target, Machine, Config);
+  ASSERT_EQ(Plan.Islands.size(), 1u);
+  EXPECT_GT(Plan.Islands[0].Blocks.size(), 1u);
+}
+
+TEST_F(PlanFixture, IslandsMakeOneIslandPerSocket) {
+  PlanConfig Config;
+  Config.Strat = Strategy::IslandsOfCores;
+  Config.Sockets = 2;
+  ExecutionPlan Plan = buildPlan(M.Program, Target, Machine, Config);
+  ASSERT_EQ(Plan.Islands.size(), 2u);
+  for (int P = 0; P != 2; ++P) {
+    EXPECT_EQ(Plan.Islands[static_cast<size_t>(P)].HomeSocket, P);
+    EXPECT_EQ(Plan.Islands[static_cast<size_t>(P)].NumSockets, 1);
+    EXPECT_EQ(Plan.Islands[static_cast<size_t>(P)].NumThreads, 2);
+  }
+  // Parts tile the target along dimension 0 (variant A default).
+  EXPECT_EQ(Plan.Islands[0].Part.Hi[0], Plan.Islands[1].Part.Lo[0]);
+}
+
+TEST_F(PlanFixture, VariantBSplitsSecondDimension) {
+  PlanConfig Config;
+  Config.Strat = Strategy::IslandsOfCores;
+  Config.Sockets = 2;
+  Config.Variant = PartitionVariant::B;
+  ExecutionPlan Plan = buildPlan(M.Program, Target, Machine, Config);
+  EXPECT_EQ(Plan.Islands[0].Part.Hi[1], Plan.Islands[1].Part.Lo[1]);
+  EXPECT_EQ(Plan.Islands[0].Part.extent(0), Target.extent(0));
+}
+
+TEST_F(PlanFixture, TwoDimensionalIslandGrid) {
+  MachineModel Big = makeToyMachine();
+  Big.NumSockets = 4;
+  PlanConfig Config;
+  Config.Strat = Strategy::IslandsOfCores;
+  Config.Sockets = 4;
+  Config.GridPartsI = 2;
+  Config.GridPartsJ = 2;
+  ExecutionPlan Plan = buildPlan(M.Program, Target, Big, Config);
+  ASSERT_EQ(Plan.Islands.size(), 4u);
+  int64_t Sum = 0;
+  for (const IslandPlan &Island : Plan.Islands)
+    Sum += Island.Part.numPoints();
+  EXPECT_EQ(Sum, Target.numPoints());
+}
+
+TEST_F(PlanFixture, IslandPlanWorkMatchesExtraElementsAccounting) {
+  // The plan's total computed points must agree exactly with the Table 2
+  // accounting engine — they share the clipped-cone definition.
+  PlanConfig Config;
+  Config.Strat = Strategy::IslandsOfCores;
+  Config.Sockets = 2;
+  ExecutionPlan Plan = buildPlan(M.Program, Target, Machine, Config);
+  ExtraElementsReport Report = countExtraElements(
+      M.Program, Target, partition1D(Target, 2, 0));
+  EXPECT_EQ(Plan.totalPassPoints(), Report.PartitionedPoints);
+}
+
+TEST_F(PlanFixture, OriginalWorkMatchesBaseline) {
+  PlanConfig Config;
+  Config.Strat = Strategy::Original;
+  Config.Sockets = 1;
+  ExecutionPlan Plan = buildPlan(M.Program, Target, Machine, Config);
+  ExtraElementsReport Report =
+      countExtraElements(M.Program, Target, {Target});
+  EXPECT_EQ(Plan.totalPassPoints(), Report.BaselinePoints);
+}
+
+TEST_F(PlanFixture, Block31DDoesNoRedundantWork) {
+  // The skewed high-water-mark schedule makes the blocked plan compute
+  // exactly the original's points.
+  PlanConfig Config;
+  Config.Strat = Strategy::Block31D;
+  Config.Sockets = 2;
+  ExecutionPlan Plan = buildPlan(M.Program, Target, Machine, Config);
+  ExtraElementsReport Report =
+      countExtraElements(M.Program, Target, {Target});
+  EXPECT_EQ(Plan.totalPassPoints(), Report.BaselinePoints);
+}
+
+TEST_F(PlanFixture, TotalFlopsConsistentWithPoints) {
+  PlanConfig Config;
+  Config.Strat = Strategy::Original;
+  Config.Sockets = 1;
+  ExecutionPlan Plan = buildPlan(M.Program, Target, Machine, Config);
+  // Flops bounded by points * max stage weight and at least points * min.
+  int64_t Points = Plan.totalPassPoints();
+  EXPECT_GT(Plan.totalFlops(M.Program), Points * 4);
+  EXPECT_LT(Plan.totalFlops(M.Program), Points * 41);
+}
+
+TEST_F(PlanFixture, RejectsTooManySockets) {
+  PlanConfig Config;
+  Config.Strat = Strategy::Original;
+  Config.Sockets = 3; // Toy machine has 2.
+  EXPECT_DEATH(buildPlan(M.Program, Target, Machine, Config),
+               "socket count");
+}
+
+TEST_F(PlanFixture, StrategyNames) {
+  EXPECT_STREQ(strategyName(Strategy::Original), "original");
+  EXPECT_STREQ(strategyName(Strategy::Block31D), "(3+1)D");
+  EXPECT_STREQ(strategyName(Strategy::IslandsOfCores), "islands-of-cores");
+}

@@ -1,0 +1,127 @@
+//===- tests/plan_verifier_test.cpp - Static plan checking tests ----------===//
+
+#include "core/PlanBuilder.h"
+#include "core/PlanPrinter.h"
+#include "core/PlanVerifier.h"
+#include "machine/MachineModel.h"
+#include "mpdata/MpdataProgram.h"
+#include "support/OStream.h"
+
+#include <gtest/gtest.h>
+
+using namespace icores;
+
+namespace {
+
+struct VerifierFixture : public ::testing::Test {
+  MpdataProgram M = buildMpdataProgram();
+  Box3 Target = Box3::fromExtents(48, 24, 8);
+  MachineModel Machine = makeToyMachine();
+
+  ExecutionPlan makePlan(Strategy Strat, int Sockets,
+                         int IslandsPerSocket = 1) {
+    PlanConfig Config;
+    Config.Strat = Strat;
+    Config.Sockets = Sockets;
+    Config.IslandsPerSocket = IslandsPerSocket;
+    return buildPlan(M.Program, Target, Machine, Config);
+  }
+};
+
+} // namespace
+
+TEST_F(VerifierFixture, AllBuiltPlansVerify) {
+  for (Strategy Strat : {Strategy::Original, Strategy::Block31D,
+                         Strategy::IslandsOfCores}) {
+    ExecutionPlan Plan = makePlan(Strat, 2);
+    PlanVerification V = verifyPlan(Plan, M.Program);
+    EXPECT_TRUE(V.Ok) << strategyName(Strat) << ": " << V.FirstError;
+  }
+  ExecutionPlan Sub = makePlan(Strategy::IslandsOfCores, 2, 2);
+  PlanVerification V = verifyPlan(Sub, M.Program);
+  EXPECT_TRUE(V.Ok) << V.FirstError;
+}
+
+TEST_F(VerifierFixture, DetectsMissingOutputCoverage) {
+  ExecutionPlan Plan = makePlan(Strategy::IslandsOfCores, 2);
+  // Drop the final pass of island 1's last block.
+  BlockTask &Last = Plan.Islands[1].Blocks.back();
+  ASSERT_EQ(Last.Passes.back().Stage, M.SOut);
+  Last.Passes.pop_back();
+  PlanVerification V = verifyPlan(Plan, M.Program);
+  EXPECT_FALSE(V.Ok);
+  EXPECT_NE(V.FirstError.find("covers"), std::string::npos);
+}
+
+TEST_F(VerifierFixture, DetectsReadBeforeCompute) {
+  ExecutionPlan Plan = makePlan(Strategy::Original, 1);
+  // Shrink the flux1 pass so the upwind pass reads uncomputed values.
+  for (StagePass &Pass : Plan.Islands[0].Blocks[0].Passes)
+    if (Pass.Stage == M.SFlux1)
+      Pass.Region.Hi[0] -= 2;
+  PlanVerification V = verifyPlan(Plan, M.Program);
+  EXPECT_FALSE(V.Ok);
+  EXPECT_NE(V.FirstError.find("before it is computed"), std::string::npos);
+}
+
+TEST_F(VerifierFixture, DetectsOverlappingIslandOutputs) {
+  ExecutionPlan Plan = makePlan(Strategy::IslandsOfCores, 2);
+  // Make island 1 also write part of island 0's output slab. To keep the
+  // dataflow check satisfied, grow every pass of island 1 leftward by a
+  // lot (the cones then cover the enlarged output too).
+  for (BlockTask &Block : Plan.Islands[1].Blocks)
+    for (StagePass &Pass : Block.Passes)
+      Pass.Region.Lo[0] = Plan.Islands[0].Part.Lo[0];
+  PlanVerification V = verifyPlan(Plan, M.Program);
+  EXPECT_FALSE(V.Ok);
+}
+
+TEST_F(VerifierFixture, DetectsRegionBeyondGlobalCone) {
+  ExecutionPlan Plan = makePlan(Strategy::Original, 1);
+  Plan.Islands[0].Blocks[0].Passes[0].Region =
+      Target.grownAll(10); // Way past the dependence cone.
+  PlanVerification V = verifyPlan(Plan, M.Program);
+  EXPECT_FALSE(V.Ok);
+  EXPECT_NE(V.FirstError.find("exceeds the global region"),
+            std::string::npos);
+}
+
+TEST_F(VerifierFixture, DetectsOutOfOrderPasses) {
+  ExecutionPlan Plan = makePlan(Strategy::Original, 1);
+  auto &Passes = Plan.Islands[0].Blocks[0].Passes;
+  std::swap(Passes[0], Passes[1]);
+  PlanVerification V = verifyPlan(Plan, M.Program);
+  EXPECT_FALSE(V.Ok);
+}
+
+TEST_F(VerifierFixture, StatsCountWork) {
+  ExecutionPlan Plan = makePlan(Strategy::IslandsOfCores, 2);
+  PlanStats Stats = computePlanStats(Plan, M.Program);
+  EXPECT_EQ(Stats.NumIslands, 2);
+  EXPECT_EQ(Stats.TotalThreads, 4);
+  EXPECT_GT(Stats.NumBlocks, 2);
+  EXPECT_GT(Stats.NumPasses, Stats.NumBlocks);
+  EXPECT_GT(Stats.RedundancyFraction, 0.0);
+  EXPECT_LT(Stats.RedundancyFraction, 0.2);
+  EXPECT_EQ(Stats.TotalFlops, Plan.totalFlops(M.Program));
+}
+
+TEST_F(VerifierFixture, OriginalHasZeroRedundancy) {
+  ExecutionPlan Plan = makePlan(Strategy::Original, 1);
+  PlanStats Stats = computePlanStats(Plan, M.Program);
+  EXPECT_DOUBLE_EQ(Stats.RedundancyFraction, 0.0);
+}
+
+TEST_F(VerifierFixture, SummaryAndFullDumpRender) {
+  ExecutionPlan Plan = makePlan(Strategy::IslandsOfCores, 2);
+  std::string Buf;
+  StringOStream OS(Buf);
+  printPlanSummary(Plan, M.Program, OS);
+  EXPECT_NE(Buf.find("islands-of-cores"), std::string::npos);
+  EXPECT_NE(Buf.find("redundant"), std::string::npos);
+  Buf.clear();
+  printPlan(Plan, M.Program, OS);
+  EXPECT_NE(Buf.find("island 0"), std::string::npos);
+  EXPECT_NE(Buf.find("flux1"), std::string::npos);
+  EXPECT_NE(Buf.find("output"), std::string::npos);
+}

@@ -1,0 +1,248 @@
+//===- tests/property_test.cpp - Randomized invariant sweeps --------------===//
+//
+// Property-style tests over randomized inputs: Box3 algebra laws, halo
+// analysis and high-water-mark planner invariants under random shapes,
+// extra-element monotonicity, and simulator monotonicity in machine
+// parameters.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BlockPlanner.h"
+#include "core/Partition.h"
+#include "core/PlanBuilder.h"
+#include "core/PlanVerifier.h"
+#include "machine/MachineModel.h"
+#include "mpdata/MpdataProgram.h"
+#include "sim/Simulator.h"
+#include "stencil/ExtraElements.h"
+#include "stencil/HaloAnalysis.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace icores;
+
+namespace {
+
+Box3 randomBox(SplitMix64 &Rng, int Span) {
+  Box3 B;
+  for (int D = 0; D != 3; ++D) {
+    int Lo = static_cast<int>(Rng.nextBounded(static_cast<uint64_t>(Span))) -
+             Span / 2;
+    int Extent = static_cast<int>(Rng.nextBounded(8));
+    B.Lo[D] = Lo;
+    B.Hi[D] = Lo + Extent;
+  }
+  return B;
+}
+
+} // namespace
+
+TEST(BoxProperties, IntersectionLaws) {
+  SplitMix64 Rng(101);
+  for (int Trial = 0; Trial != 500; ++Trial) {
+    Box3 A = randomBox(Rng, 12);
+    Box3 B = randomBox(Rng, 12);
+    Box3 C = randomBox(Rng, 12);
+    // Commutativity (on point counts; empty representations differ).
+    EXPECT_EQ(A.intersect(B).numPoints(), B.intersect(A).numPoints());
+    // Associativity.
+    EXPECT_EQ(A.intersect(B).intersect(C).numPoints(),
+              A.intersect(B.intersect(C)).numPoints());
+    // Intersection is contained in both (when non-empty).
+    Box3 I = A.intersect(B);
+    if (!I.empty()) {
+      EXPECT_TRUE(A.containsBox(I));
+      EXPECT_TRUE(B.containsBox(I));
+    }
+    // Idempotence.
+    EXPECT_EQ(A.intersect(A), A);
+  }
+}
+
+TEST(BoxProperties, UnionBounds) {
+  SplitMix64 Rng(202);
+  for (int Trial = 0; Trial != 500; ++Trial) {
+    Box3 A = randomBox(Rng, 12);
+    Box3 B = randomBox(Rng, 12);
+    Box3 U = A.unionWith(B);
+    if (!A.empty()) {
+      EXPECT_TRUE(U.containsBox(A));
+    }
+    if (!B.empty()) {
+      EXPECT_TRUE(U.containsBox(B));
+    }
+    // The bounding box is at least as big as each operand.
+    EXPECT_GE(U.numPoints(), std::max(A.numPoints(), B.numPoints()));
+  }
+}
+
+TEST(BoxProperties, GrowShrinkRoundTrip) {
+  SplitMix64 Rng(303);
+  for (int Trial = 0; Trial != 200; ++Trial) {
+    Box3 A = randomBox(Rng, 10);
+    if (A.empty())
+      continue;
+    int M = static_cast<int>(Rng.nextBounded(3)) + 1;
+    EXPECT_EQ(A.grownAll(M).grownAll(-M), A);
+  }
+}
+
+TEST(HaloProperties, RequirementsMonotoneInTarget) {
+  // A larger target never needs smaller stage regions.
+  MpdataProgram M = buildMpdataProgram();
+  SplitMix64 Rng(404);
+  for (int Trial = 0; Trial != 50; ++Trial) {
+    int NI = 8 + static_cast<int>(Rng.nextBounded(24));
+    int NJ = 8 + static_cast<int>(Rng.nextBounded(24));
+    int NK = 8 + static_cast<int>(Rng.nextBounded(24));
+    Box3 Small = Box3::fromExtents(NI, NJ, NK);
+    Box3 Large = Small.grownAll(static_cast<int>(Rng.nextBounded(4)) + 1);
+    RegionRequirements RS = computeRequirements(M.Program, Small);
+    RegionRequirements RL = computeRequirements(M.Program, Large);
+    for (unsigned S = 0; S != M.Program.numStages(); ++S)
+      EXPECT_TRUE(RL.StageRegion[S].containsBox(RS.StageRegion[S]));
+  }
+}
+
+TEST(HaloProperties, RequirementsTranslationInvariant) {
+  MpdataProgram M = buildMpdataProgram();
+  Box3 Base = Box3::fromExtents(16, 12, 8);
+  RegionRequirements R0 = computeRequirements(M.Program, Base);
+  SplitMix64 Rng(505);
+  for (int Trial = 0; Trial != 20; ++Trial) {
+    int DI = static_cast<int>(Rng.nextBounded(20)) - 10;
+    int DJ = static_cast<int>(Rng.nextBounded(20)) - 10;
+    int DK = static_cast<int>(Rng.nextBounded(20)) - 10;
+    RegionRequirements RT =
+        computeRequirements(M.Program, Base.shifted(DI, DJ, DK));
+    for (unsigned S = 0; S != M.Program.numStages(); ++S)
+      EXPECT_EQ(RT.StageRegion[S], R0.StageRegion[S].shifted(DI, DJ, DK));
+  }
+}
+
+TEST(ExtraElementProperties, MonotoneInPartCount) {
+  MpdataProgram M = buildMpdataProgram();
+  Box3 Target = Box3::fromExtents(96, 48, 16);
+  int64_t Prev = -1;
+  for (int Parts = 1; Parts <= 12; ++Parts) {
+    ExtraElementsReport R = countExtraElements(
+        M.Program, Target, partition1D(Target, Parts, 0));
+    EXPECT_GT(R.extraPoints(), Prev);
+    Prev = R.extraPoints();
+  }
+}
+
+TEST(ExtraElementProperties, IndependentOfUnsplitExtent) {
+  // Boundary overhead scales with the boundary area, not with the extent
+  // along the split dimension: doubling NI leaves the per-boundary extra
+  // count unchanged.
+  MpdataProgram M = buildMpdataProgram();
+  Box3 Short = Box3::fromExtents(64, 32, 16);
+  Box3 Long = Box3::fromExtents(128, 32, 16);
+  int64_t ExtraShort =
+      countExtraElements(M.Program, Short, partition1D(Short, 2, 0))
+          .extraPoints();
+  int64_t ExtraLong =
+      countExtraElements(M.Program, Long, partition1D(Long, 2, 0))
+          .extraPoints();
+  EXPECT_EQ(ExtraShort, ExtraLong);
+}
+
+TEST(PlannerProperties, RandomPlansAlwaysVerify) {
+  MpdataProgram M = buildMpdataProgram();
+  SplitMix64 Rng(606);
+  for (int Trial = 0; Trial != 30; ++Trial) {
+    MachineModel Machine = makeToyMachine();
+    Machine.NumSockets = 1 + static_cast<int>(Rng.nextBounded(6));
+    Machine.LlcBytesPerSocket =
+        (1ll << 18) << Rng.nextBounded(6); // 256 KiB .. 8 MiB.
+    int NI = 16 + static_cast<int>(Rng.nextBounded(48));
+    int NJ = 8 + static_cast<int>(Rng.nextBounded(24));
+    int NK = 4 + static_cast<int>(Rng.nextBounded(12));
+    Box3 Target = Box3::fromExtents(NI, NJ, NK);
+
+    PlanConfig Config;
+    Config.Strat = static_cast<Strategy>(Rng.nextBounded(3));
+    Config.Sockets = 1 + static_cast<int>(Rng.nextBounded(
+                             static_cast<uint64_t>(Machine.NumSockets)));
+    Config.Variant = Rng.nextBounded(2) ? PartitionVariant::A
+                                        : PartitionVariant::B;
+    if (Config.Strat == Strategy::IslandsOfCores &&
+        Config.Sockets > Target.extent(partitionDim(Config.Variant)))
+      continue;
+    ExecutionPlan Plan = buildPlan(M.Program, Target, Machine, Config);
+    PlanVerification V = verifyPlan(Plan, M.Program);
+    EXPECT_TRUE(V.Ok) << "trial " << Trial << " strategy "
+                      << strategyName(Config.Strat) << ": " << V.FirstError;
+  }
+}
+
+TEST(SimProperties, FasterHardwareNeverHurts) {
+  MpdataProgram M = buildMpdataProgram();
+  Box3 Grid = Box3::fromExtents(512, 256, 32);
+  PlanConfig Config;
+  Config.Strat = Strategy::IslandsOfCores;
+  Config.Sockets = 8;
+
+  MachineModel Base = makeSgiUv2000();
+  ExecutionPlan Plan = buildPlan(M.Program, Grid, Base, Config);
+  double BaseTime = simulate(Plan, M.Program, Base, 10).TotalSeconds;
+
+  auto timeWith = [&](auto Mutate) {
+    MachineModel Machine = makeSgiUv2000();
+    Mutate(Machine);
+    // Plans depend only on cache budget; rebuild to stay consistent.
+    ExecutionPlan P = buildPlan(M.Program, Grid, Machine, Config);
+    return simulate(P, M.Program, Machine, 10).TotalSeconds;
+  };
+
+  EXPECT_LE(timeWith([](MachineModel &Machine) {
+              Machine.DramBandwidthPerSocket *= 2.0;
+            }),
+            BaseTime + 1e-12);
+  EXPECT_LE(timeWith([](MachineModel &Machine) { Machine.FreqGHz *= 2.0; }),
+            BaseTime + 1e-12);
+  EXPECT_LE(timeWith([](MachineModel &Machine) {
+              Machine.BarrierBase /= 4.0;
+              Machine.BarrierPerSocket /= 4.0;
+              Machine.BarrierQuadratic /= 4.0;
+            }),
+            BaseTime + 1e-12);
+  EXPECT_LE(timeWith([](MachineModel &Machine) {
+              Machine.LinkBandwidth *= 4.0;
+            }),
+            BaseTime + 1e-12);
+}
+
+TEST(SimProperties, BiggerGridsTakeLonger) {
+  MpdataProgram M = buildMpdataProgram();
+  MachineModel Machine = makeSgiUv2000();
+  PlanConfig Config;
+  Config.Strat = Strategy::IslandsOfCores;
+  Config.Sockets = 4;
+  double Prev = 0.0;
+  for (int Scale : {1, 2, 4}) {
+    Box3 Grid = Box3::fromExtents(128 * Scale, 64, 32);
+    ExecutionPlan Plan = buildPlan(M.Program, Grid, Machine, Config);
+    double T = simulate(Plan, M.Program, Machine, 10).TotalSeconds;
+    EXPECT_GT(T, Prev);
+    Prev = T;
+  }
+}
+
+TEST(SimProperties, WriteAllocateCostsTraffic) {
+  MpdataProgram M = buildMpdataProgram();
+  Box3 Grid = Box3::fromExtents(256, 128, 32);
+  PlanConfig Config;
+  Config.Strat = Strategy::Original;
+  Config.Sockets = 1;
+  MachineModel NonTemporal = makeSgiUv2000();
+  MachineModel WriteAllocate = makeSgiUv2000();
+  WriteAllocate.NonTemporalStores = false;
+  ExecutionPlan Plan = buildPlan(M.Program, Grid, NonTemporal, Config);
+  SimResult A = simulate(Plan, M.Program, NonTemporal, 10);
+  SimResult B = simulate(Plan, M.Program, WriteAllocate, 10);
+  EXPECT_GT(B.DramBytesPerStep, A.DramBytesPerStep);
+  EXPECT_GE(B.TotalSeconds, A.TotalSeconds);
+}

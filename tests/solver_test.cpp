@@ -1,0 +1,203 @@
+//===- tests/solver_test.cpp - MPDATA physics validation ------------------===//
+
+#include "mpdata/InitialConditions.h"
+#include "mpdata/Solver.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace icores;
+
+TEST(SolverTest, HaloDepthIsThree) { EXPECT_EQ(mpdataHaloDepth(), 3); }
+
+TEST(SolverTest, ConservesMassUnderConstantVelocity) {
+  ReferenceSolver Solver(16, 12, 8);
+  GaussianBlob Blob;
+  Blob.CenterI = 8.0;
+  Blob.CenterJ = 6.0;
+  Blob.CenterK = 4.0;
+  Blob.Sigma = 2.0;
+  fillGaussian(Solver.stateIn(), Solver.domain(), Blob);
+  setConstantVelocity(Solver.velocity(0), Solver.velocity(1),
+                      Solver.velocity(2), Solver.domain(), 0.2, -0.15, 0.1);
+  Solver.prepareCoefficients();
+  double Before = Solver.conservedMass();
+  Solver.run(10);
+  EXPECT_NEAR(Solver.conservedMass(), Before, 1e-10 * std::fabs(Before));
+}
+
+TEST(SolverTest, ConservesWeightedMassWithVariableDensity) {
+  ReferenceSolver Solver(12, 12, 6);
+  fillRandomPositive(Solver.stateIn(), Solver.domain(), 17, 0.2, 1.2);
+  // Smooth positive density variation.
+  Box3 Core = Solver.domain().coreBox();
+  for (int I = Core.Lo[0]; I != Core.Hi[0]; ++I)
+    for (int J = Core.Lo[1]; J != Core.Hi[1]; ++J)
+      for (int K = Core.Lo[2]; K != Core.Hi[2]; ++K)
+        Solver.density().at(I, J, K) =
+            1.0 + 0.3 * std::sin(2.0 * M_PI * I / 12.0);
+  setConstantVelocity(Solver.velocity(0), Solver.velocity(1),
+                      Solver.velocity(2), Solver.domain(), 0.15, 0.1, -0.1);
+  Solver.prepareCoefficients();
+  double Before = Solver.conservedMass();
+  Solver.run(8);
+  EXPECT_NEAR(Solver.conservedMass(), Before, 1e-10 * std::fabs(Before));
+}
+
+TEST(SolverTest, PreservesPositivity) {
+  // "Positive definite" is MPDATA's defining property.
+  ReferenceSolver Solver(16, 8, 8);
+  GaussianBlob Blob;
+  Blob.CenterI = 4.0;
+  Blob.CenterJ = 4.0;
+  Blob.CenterK = 4.0;
+  Blob.Sigma = 1.5;
+  Blob.Background = 0.0; // Sharp blob on a zero background.
+  fillGaussian(Solver.stateIn(), Solver.domain(), Blob);
+  setConstantVelocity(Solver.velocity(0), Solver.velocity(1),
+                      Solver.velocity(2), Solver.domain(), 0.3, 0.2, 0.1);
+  Solver.prepareCoefficients();
+  Solver.run(20);
+  Box3 Core = Solver.domain().coreBox();
+  for (int I = Core.Lo[0]; I != Core.Hi[0]; ++I)
+    for (int J = Core.Lo[1]; J != Core.Hi[1]; ++J)
+      for (int K = Core.Lo[2]; K != Core.Hi[2]; ++K)
+        EXPECT_GE(Solver.state().at(I, J, K), -1e-14);
+}
+
+TEST(SolverTest, NonOscillatoryBoundsRespected) {
+  // The limited scheme must not produce new extrema: values stay within
+  // the initial global min/max.
+  ReferenceSolver Solver(12, 12, 8);
+  fillRandomPositive(Solver.stateIn(), Solver.domain(), 3, 0.5, 2.5);
+  setConstantVelocity(Solver.velocity(0), Solver.velocity(1),
+                      Solver.velocity(2), Solver.domain(), 0.25, -0.2, 0.15);
+  Solver.prepareCoefficients();
+  Solver.run(12);
+  Box3 Core = Solver.domain().coreBox();
+  for (int I = Core.Lo[0]; I != Core.Hi[0]; ++I)
+    for (int J = Core.Lo[1]; J != Core.Hi[1]; ++J)
+      for (int K = Core.Lo[2]; K != Core.Hi[2]; ++K) {
+        EXPECT_GE(Solver.state().at(I, J, K), 0.5 - 1e-12);
+        EXPECT_LE(Solver.state().at(I, J, K), 2.5 + 1e-12);
+      }
+}
+
+TEST(SolverTest, UnitCourantShiftsExactly) {
+  // With C = (1,0,0) the donor-cell pass is an exact one-cell shift and
+  // the corrective pass degenerates: after N steps the field returns to
+  // itself on a ring of size N.
+  ReferenceSolver Solver(8, 4, 4);
+  fillRandomPositive(Solver.stateIn(), Solver.domain(), 23, 0.1, 2.0);
+  Array3D Initial(Solver.domain().allocBox());
+  Initial.copyRegionFrom(Solver.stateIn(), Solver.domain().coreBox());
+  setConstantVelocity(Solver.velocity(0), Solver.velocity(1),
+                      Solver.velocity(2), Solver.domain(), 1.0, 0.0, 0.0);
+  Solver.prepareCoefficients();
+  Solver.run(8); // Full period around the periodic i-axis.
+  EXPECT_LT(Solver.state().maxAbsDiff(Initial, Solver.domain().coreBox()),
+            1e-12);
+}
+
+TEST(SolverTest, UnitCourantSingleStepShift) {
+  ReferenceSolver Solver(8, 4, 4);
+  fillRandomPositive(Solver.stateIn(), Solver.domain(), 29, 0.1, 2.0);
+  Array3D Initial(Solver.domain().allocBox());
+  Initial.copyRegionFrom(Solver.stateIn(), Solver.domain().coreBox());
+  setConstantVelocity(Solver.velocity(0), Solver.velocity(1),
+                      Solver.velocity(2), Solver.domain(), 1.0, 0.0, 0.0);
+  Solver.prepareCoefficients();
+  Solver.run(1);
+  Box3 Core = Solver.domain().coreBox();
+  for (int I = Core.Lo[0]; I != Core.Hi[0]; ++I)
+    for (int J = Core.Lo[1]; J != Core.Hi[1]; ++J)
+      for (int K = Core.Lo[2]; K != Core.Hi[2]; ++K)
+        EXPECT_NEAR(Solver.state().at(I, J, K),
+                    Initial.at(Domain::wrapIndex(I - 1, 8), J, K), 1e-13);
+}
+
+TEST(SolverTest, CorrectedSchemeBeatsFirstOrderUpwind) {
+  // The whole point of MPDATA's stages 5..17: the corrective iteration
+  // reduces the numerical diffusion of plain upwind.
+  const int N = 24;
+  const int Steps = 24;
+  const double C = 0.5;
+
+  auto runCase = [&](bool FirstOrder) {
+    SolverOptions Opts;
+    Opts.FirstOrderOnly = FirstOrder;
+    ReferenceSolver Solver(N, 8, 8, Opts);
+    GaussianBlob Blob;
+    Blob.CenterI = 6.0;
+    Blob.CenterJ = 4.0;
+    Blob.CenterK = 4.0;
+    Blob.Sigma = 2.0;
+    fillGaussian(Solver.stateIn(), Solver.domain(), Blob);
+    setConstantVelocity(Solver.velocity(0), Solver.velocity(1),
+                        Solver.velocity(2), Solver.domain(), C, 0.0, 0.0);
+    Solver.prepareCoefficients();
+    Solver.run(Steps);
+    GaussianBlob Exact = Blob.translated(C * Steps, 0.0, 0.0);
+    return l2ErrorVsBlob(Solver.state(), Solver.domain(), Exact);
+  };
+
+  double UpwindError = runCase(true);
+  double CorrectedError = runCase(false);
+  EXPECT_LT(CorrectedError, 0.7 * UpwindError);
+}
+
+TEST(SolverTest, RotationKeepsConstantFieldConstant) {
+  // The rotational velocity field is discretely divergence-free, so a
+  // constant scalar field is a fixed point of the scheme.
+  ReferenceSolver Solver(16, 16, 4);
+  Solver.stateIn().fill(1.0);
+  setRotationalVelocity(Solver.velocity(0), Solver.velocity(1),
+                        Solver.velocity(2), Solver.domain(), 0.02, 8.0, 8.0);
+  Solver.prepareCoefficients();
+  Solver.run(5);
+  Box3 Core = Solver.domain().coreBox();
+  for (int I = Core.Lo[0]; I != Core.Hi[0]; ++I)
+    for (int J = Core.Lo[1]; J != Core.Hi[1]; ++J)
+      for (int K = Core.Lo[2]; K != Core.Hi[2]; ++K)
+        EXPECT_NEAR(Solver.state().at(I, J, K), 1.0, 1e-12);
+}
+
+TEST(SolverTest, ZeroVelocityIsIdentity) {
+  ReferenceSolver Solver(10, 10, 6);
+  fillRandomPositive(Solver.stateIn(), Solver.domain(), 31, 0.5, 1.5);
+  Array3D Initial(Solver.domain().allocBox());
+  Initial.copyRegionFrom(Solver.stateIn(), Solver.domain().coreBox());
+  setConstantVelocity(Solver.velocity(0), Solver.velocity(1),
+                      Solver.velocity(2), Solver.domain(), 0.0, 0.0, 0.0);
+  Solver.prepareCoefficients();
+  Solver.run(5);
+  EXPECT_LT(Solver.state().maxAbsDiff(Initial, Solver.domain().coreBox()),
+            1e-14);
+}
+
+TEST(SolverTest, BlobPeakMovesDownstream) {
+  const int N = 32;
+  ReferenceSolver Solver(N, 8, 8);
+  GaussianBlob Blob;
+  Blob.CenterI = 8.0;
+  Blob.CenterJ = 4.0;
+  Blob.CenterK = 4.0;
+  Blob.Sigma = 2.5;
+  Blob.Background = 0.0;
+  fillGaussian(Solver.stateIn(), Solver.domain(), Blob);
+  setConstantVelocity(Solver.velocity(0), Solver.velocity(1),
+                      Solver.velocity(2), Solver.domain(), 0.4, 0.0, 0.0);
+  Solver.prepareCoefficients();
+  Solver.run(20); // Peak should move by ~8 cells.
+  int PeakI = -1;
+  double PeakValue = -1.0;
+  for (int I = 0; I != N; ++I) {
+    double V = Solver.state().at(I, 4, 4);
+    if (V > PeakValue) {
+      PeakValue = V;
+      PeakI = I;
+    }
+  }
+  EXPECT_NEAR(PeakI, 16, 2);
+}

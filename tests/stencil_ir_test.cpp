@@ -1,0 +1,170 @@
+//===- tests/stencil_ir_test.cpp - Stencil IR unit tests ------------------===//
+
+#include "stencil/StencilIR.h"
+
+#include <gtest/gtest.h>
+
+using namespace icores;
+
+namespace {
+
+/// The paper's Fig. 1 example: three chained 1D stages A -> B -> C, each
+/// reading its producer at offsets {-1, 0, +1} along dimension 0.
+struct ToyChain {
+  StencilProgram Program;
+  ArrayId In = 0, A = 0, B = 0, C = 0;
+  StageId S1 = 0, S2 = 0, S3 = 0;
+};
+
+ToyChain buildToyChain() {
+  ToyChain T;
+  T.In = T.Program.addArray("in", ArrayRole::StepInput);
+  T.A = T.Program.addArray("A", ArrayRole::Intermediate);
+  T.B = T.Program.addArray("B", ArrayRole::Intermediate);
+  T.C = T.Program.addArray("C", ArrayRole::StepOutput);
+
+  StageDef S1;
+  S1.Name = "stage1";
+  S1.Outputs = {T.A};
+  S1.Inputs = {StageInput::alongDim(T.In, 0, -1, 1)};
+  S1.FlopsPerPoint = 2;
+  T.S1 = T.Program.addStage(S1);
+
+  StageDef S2;
+  S2.Name = "stage2";
+  S2.Outputs = {T.B};
+  S2.Inputs = {StageInput::alongDim(T.A, 0, -1, 1)};
+  S2.FlopsPerPoint = 2;
+  T.S2 = T.Program.addStage(S2);
+
+  StageDef S3;
+  S3.Name = "stage3";
+  S3.Outputs = {T.C};
+  S3.Inputs = {StageInput::alongDim(T.B, 0, -1, 1)};
+  S3.FlopsPerPoint = 2;
+  T.S3 = T.Program.addStage(S3);
+  return T;
+}
+
+} // namespace
+
+TEST(StencilIR, ToyChainValidates) {
+  ToyChain T = buildToyChain();
+  std::string Error;
+  EXPECT_TRUE(T.Program.validate(Error)) << Error;
+  EXPECT_EQ(T.Program.numStages(), 3u);
+  EXPECT_EQ(T.Program.numArrays(), 4u);
+}
+
+TEST(StencilIR, ProducerTracking) {
+  ToyChain T = buildToyChain();
+  EXPECT_EQ(T.Program.producerOf(T.In), NoStage);
+  EXPECT_EQ(T.Program.producerOf(T.A), T.S1);
+  EXPECT_EQ(T.Program.producerOf(T.B), T.S2);
+  EXPECT_EQ(T.Program.producerOf(T.C), T.S3);
+}
+
+TEST(StencilIR, StepInputAndOutputLists) {
+  ToyChain T = buildToyChain();
+  EXPECT_EQ(T.Program.stepInputs(), std::vector<ArrayId>{T.In});
+  EXPECT_EQ(T.Program.stepOutputs(), std::vector<ArrayId>{T.C});
+}
+
+TEST(StencilIR, TotalFlops) {
+  ToyChain T = buildToyChain();
+  EXPECT_EQ(T.Program.totalFlopsPerPoint(), 6);
+}
+
+TEST(StencilIR, ReadRegionExpansion) {
+  StageInput In = StageInput::alongDim(0, 1, -2, 3);
+  Box3 Out(0, 0, 0, 4, 4, 4);
+  EXPECT_EQ(In.readRegion(Out), Box3(0, -2, 0, 4, 7, 4));
+}
+
+TEST(StencilIR, CenterAndBoxHelpers) {
+  StageInput C = StageInput::center(5);
+  EXPECT_EQ(C.Array, 5);
+  EXPECT_EQ(C.readRegion(Box3::fromExtents(2, 2, 2)),
+            Box3::fromExtents(2, 2, 2));
+  StageInput B = StageInput::box1(3);
+  EXPECT_EQ(B.readRegion(Box3::fromExtents(2, 2, 2)),
+            Box3(-1, -1, -1, 3, 3, 3));
+}
+
+TEST(StencilIR, ValidateRejectsTopologicalViolation) {
+  StencilProgram P;
+  ArrayId In = P.addArray("in", ArrayRole::StepInput);
+  ArrayId A = P.addArray("A", ArrayRole::Intermediate);
+  ArrayId Out = P.addArray("out", ArrayRole::StepOutput);
+
+  // Reads A before any stage produces it.
+  StageDef Bad;
+  Bad.Name = "bad";
+  Bad.Outputs = {Out};
+  Bad.Inputs = {StageInput::center(A), StageInput::center(In)};
+  P.addStage(Bad);
+
+  std::string Error;
+  EXPECT_FALSE(P.validate(Error));
+  EXPECT_NE(Error.find("before it is produced"), std::string::npos);
+}
+
+TEST(StencilIR, ValidateRejectsUnproducedOutput) {
+  StencilProgram P;
+  ArrayId In = P.addArray("in", ArrayRole::StepInput);
+  ArrayId Mid = P.addArray("mid", ArrayRole::Intermediate);
+  P.addArray("out", ArrayRole::StepOutput); // Never produced.
+
+  StageDef S;
+  S.Name = "s";
+  S.Outputs = {Mid};
+  S.Inputs = {StageInput::center(In)};
+  P.addStage(S);
+
+  std::string Error;
+  EXPECT_FALSE(P.validate(Error));
+  EXPECT_NE(Error.find("never produced"), std::string::npos);
+}
+
+TEST(StencilIR, ValidateRejectsInvertedOffsets) {
+  StencilProgram P;
+  ArrayId In = P.addArray("in", ArrayRole::StepInput);
+  ArrayId Out = P.addArray("out", ArrayRole::StepOutput);
+  StageDef S;
+  S.Name = "s";
+  S.Outputs = {Out};
+  StageInput Bad = StageInput::center(In);
+  Bad.MinOff[1] = 2;
+  Bad.MaxOff[1] = -2;
+  S.Inputs = {Bad};
+  P.addStage(S);
+
+  std::string Error;
+  EXPECT_FALSE(P.validate(Error));
+  EXPECT_NE(Error.find("inverted"), std::string::npos);
+}
+
+TEST(StencilIR, MultiOutputStage) {
+  StencilProgram P;
+  ArrayId In = P.addArray("in", ArrayRole::StepInput);
+  ArrayId X = P.addArray("x", ArrayRole::Intermediate);
+  ArrayId Y = P.addArray("y", ArrayRole::Intermediate);
+  ArrayId Out = P.addArray("out", ArrayRole::StepOutput);
+
+  StageDef Fused;
+  Fused.Name = "fused";
+  Fused.Outputs = {X, Y};
+  Fused.Inputs = {StageInput::center(In)};
+  StageId S = P.addStage(Fused);
+
+  StageDef Fin;
+  Fin.Name = "final";
+  Fin.Outputs = {Out};
+  Fin.Inputs = {StageInput::center(X), StageInput::center(Y)};
+  P.addStage(Fin);
+
+  std::string Error;
+  EXPECT_TRUE(P.validate(Error)) << Error;
+  EXPECT_EQ(P.producerOf(X), S);
+  EXPECT_EQ(P.producerOf(Y), S);
+}

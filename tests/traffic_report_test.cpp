@@ -1,0 +1,105 @@
+//===- tests/traffic_report_test.cpp - Per-array traffic accounting -------===//
+
+#include "core/PlanBuilder.h"
+#include "machine/MachineModel.h"
+#include "mpdata/MpdataProgram.h"
+#include "sim/Simulator.h"
+#include "sim/TrafficReport.h"
+#include "support/OStream.h"
+
+#include <gtest/gtest.h>
+
+using namespace icores;
+
+namespace {
+
+struct TrafficFixture : public ::testing::Test {
+  MpdataProgram M = buildMpdataProgram();
+  MachineModel Uv = makeSgiUv2000();
+  Box3 Grid = Box3::fromExtents(256, 128, 32);
+
+  TrafficReport report(Strategy Strat, int Sockets, int Steps = 10) {
+    PlanConfig Config;
+    Config.Strat = Strat;
+    Config.Sockets = Sockets;
+    ExecutionPlan Plan = buildPlan(M.Program, Grid, Uv, Config);
+    return accountTraffic(Plan, M.Program, Uv, Steps);
+  }
+
+  SimResult sim(Strategy Strat, int Sockets, int Steps = 10) {
+    PlanConfig Config;
+    Config.Strat = Strat;
+    Config.Sockets = Sockets;
+    ExecutionPlan Plan = buildPlan(M.Program, Grid, Uv, Config);
+    return simulate(Plan, M.Program, Uv, Steps);
+  }
+};
+
+} // namespace
+
+TEST_F(TrafficFixture, TotalsMatchSimulatorAccounting) {
+  for (Strategy Strat : {Strategy::Original, Strategy::Block31D,
+                         Strategy::IslandsOfCores}) {
+    TrafficReport R = report(Strat, 2);
+    SimResult S = sim(Strat, 2);
+    EXPECT_NEAR(static_cast<double>(R.totalBytes()),
+                static_cast<double>(S.DramBytesPerStep) * 10.0,
+                0.01 * static_cast<double>(R.totalBytes()))
+        << strategyName(Strat);
+  }
+}
+
+TEST_F(TrafficFixture, OriginalDominatedByIntermediates) {
+  TrafficReport R = report(Strategy::Original, 1);
+  EXPECT_GT(R.bytesForRole(ArrayRole::Intermediate),
+            R.bytesForRole(ArrayRole::StepInput));
+  EXPECT_GT(R.bytesForRole(ArrayRole::Intermediate),
+            R.bytesForRole(ArrayRole::StepOutput));
+}
+
+TEST_F(TrafficFixture, BlockingSlashesIntermediateTraffic) {
+  // Cache blocking keeps intermediates resident: only the spill fraction
+  // reaches DRAM, cutting their traffic several-fold vs the original.
+  TrafficReport Orig = report(Strategy::Original, 1);
+  TrafficReport Blocked = report(Strategy::Block31D, 1);
+  EXPECT_LT(Blocked.bytesForRole(ArrayRole::Intermediate),
+            0.3 * static_cast<double>(
+                      Orig.bytesForRole(ArrayRole::Intermediate)));
+  // Input and output traffic stay essentially unchanged (one sweep each).
+  EXPECT_NEAR(static_cast<double>(Blocked.bytesForRole(ArrayRole::StepOutput)),
+              static_cast<double>(Orig.bytesForRole(ArrayRole::StepOutput)),
+              0.01 * static_cast<double>(
+                         Orig.bytesForRole(ArrayRole::StepOutput)));
+}
+
+TEST_F(TrafficFixture, EveryUsedArrayAppears) {
+  TrafficReport R = report(Strategy::Original, 1);
+  ASSERT_EQ(R.PerArray.size(), M.Program.numArrays());
+  for (const ArrayTraffic &A : R.PerArray)
+    EXPECT_GT(A.totalBytes(), 0) << A.Name;
+}
+
+TEST_F(TrafficFixture, OutputWrittenExactlyOncePerStep) {
+  TrafficReport R = report(Strategy::IslandsOfCores, 4, /*Steps=*/10);
+  const ArrayTraffic &Out = R.PerArray[static_cast<size_t>(M.XOut)];
+  int64_t Expected = Grid.numPoints() * 8 * 10;
+  EXPECT_EQ(Out.WriteBytes, Expected);
+  EXPECT_EQ(Out.ReadBytes, 0);
+}
+
+TEST_F(TrafficFixture, InputReReadGrowsWithIslands) {
+  // More islands re-read more cone margin of the shared inputs.
+  TrafficReport R2 = report(Strategy::IslandsOfCores, 2);
+  TrafficReport R8 = report(Strategy::IslandsOfCores, 8);
+  EXPECT_GT(R8.bytesForRole(ArrayRole::StepInput),
+            R2.bytesForRole(ArrayRole::StepInput));
+}
+
+TEST_F(TrafficFixture, PrintsAlignedTable) {
+  TrafficReport R = report(Strategy::Original, 1);
+  std::string Buf;
+  StringOStream OS(Buf);
+  R.print(OS);
+  EXPECT_NE(Buf.find("xIn"), std::string::npos);
+  EXPECT_NE(Buf.find("total DRAM traffic"), std::string::npos);
+}

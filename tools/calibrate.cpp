@@ -1,0 +1,45 @@
+// Calibration probe: prints simulated vs paper numbers for Tables 1/3/4.
+#include "core/PlanBuilder.h"
+#include "machine/MachineModel.h"
+#include "mpdata/MpdataProgram.h"
+#include "sim/Simulator.h"
+#include <cstdio>
+using namespace icores;
+
+int main() {
+  MpdataProgram M = buildMpdataProgram();
+  MachineModel Uv = makeSgiUv2000();
+  Box3 Grid = Box3::fromExtents(1024, 512, 64);
+  const double PaperOrigSerial[] = {30.4,44.5,58.2,61.5,64.3,70.1,71.6,73.7,75.4,77.6,78.4,78.2,80.6,82.2};
+  const double PaperOrig[] = {30.4,15.4,10.5,7.87,6.55,5.61,4.95,4.27,4.01,3.58,3.31,3.14,2.95,2.81};
+  const double Paper31D[] = {9.0,8.2,7.38,7.98,7.06,7.22,7.26,7.69,9.11,9.48,10.2,10.1,10.3,10.4};
+  const double PaperIsl[] = {9.0,5.62,4.17,2.93,2.34,1.97,1.72,1.49,1.36,1.25,1.12,1.06,1.05,1.01};
+  auto run = [&](Strategy S, int P, PagePlacement Pl) {
+    PlanConfig C; C.Strat = S; C.Sockets = P; C.Placement = Pl;
+    ExecutionPlan Plan = buildPlan(M.Program, Grid, Uv, C);
+    return simulate(Plan, M.Program, Uv, 50);
+  };
+  std::printf("P  origSer(p)  orig(p)      31d(p)       isl(p)       islGfl util\n");
+  for (int P = 1; P <= 14; ++P) {
+    SimResult OS = run(Strategy::Original, P, PagePlacement::SerialInit);
+    SimResult O = run(Strategy::Original, P, PagePlacement::FirstTouch);
+    SimResult B = run(Strategy::Block31D, P, PagePlacement::FirstTouch);
+    SimResult I = run(Strategy::IslandsOfCores, P, PagePlacement::FirstTouch);
+    std::printf("%2d %5.1f(%5.1f) %5.2f(%5.2f) %5.2f(%5.2f) %5.2f(%5.2f) %6.1f %4.1f%%\n",
+        P, OS.TotalSeconds, PaperOrigSerial[P-1], O.TotalSeconds, PaperOrig[P-1],
+        B.TotalSeconds, Paper31D[P-1], I.TotalSeconds, PaperIsl[P-1],
+        I.sustainedGflops(), 100.0*I.sustainedGflops()*1e9/Uv.peakFlops(P));
+  }
+  // Traffic study (E5-2660v2, 256x256x64)
+  MachineModel Xeon = makeXeonE5_2660v2();
+  Box3 Small = Box3::fromExtents(256, 256, 64);
+  PlanConfig C; C.Strat = Strategy::Original; C.Sockets = 1;
+  ExecutionPlan PO = buildPlan(M.Program, Small, Xeon, C);
+  SimResult RO = simulate(PO, M.Program, Xeon, 50);
+  C.Strat = Strategy::Block31D;
+  ExecutionPlan PB = buildPlan(M.Program, Small, Xeon, C);
+  SimResult RB = simulate(PB, M.Program, Xeon, 50);
+  std::printf("traffic: orig %.1f GB (paper 133), blocked %.1f GB (paper 30), speedup %.2fx (paper 2.8)\n",
+      RO.totalDramBytes()/1e9, RB.totalDramBytes()/1e9, RO.TotalSeconds/RB.TotalSeconds);
+  return 0;
+}

@@ -1,0 +1,219 @@
+//===- tools/mpdata_cli.cpp - Command-line experiment driver --------------===//
+//
+// A single binary exposing the library's main entry points to the shell:
+//
+//   mpdata_cli simulate  --strategy=islands --sockets=14 --machine=uv2000
+//                        [--ni --nj --nk --steps --variant --placement]
+//   mpdata_cli execute   --strategy=islands --islands=2
+//                        [--ni --nj --nk --steps --kernels=opt]
+//   mpdata_cli advise    --machine=uv2000 [--sockets --ni --nj --nk --steps]
+//   mpdata_cli traffic   --strategy=original [--machine ...]
+//   mpdata_cli plan      --strategy=islands [--sockets ...]  (dump the plan)
+//
+// `simulate`, `advise`, `traffic` and `plan` are instantaneous model
+// queries; `execute` runs the real threaded numerics on this host and
+// verifies them against the serial reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PlanBuilder.h"
+#include "core/PlanPrinter.h"
+#include "core/PlanVerifier.h"
+#include "exec/PlanExecutor.h"
+#include "machine/MachineModel.h"
+#include "mpdata/InitialConditions.h"
+#include "mpdata/Solver.h"
+#include "sim/PlanAdvisor.h"
+#include "sim/Simulator.h"
+#include "sim/TrafficReport.h"
+#include "support/CommandLine.h"
+#include "support/Format.h"
+#include "support/OStream.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace icores;
+
+namespace {
+
+void printUsage() {
+  std::printf(
+      "usage: mpdata_cli <simulate|execute|advise|traffic|plan> [options]\n"
+      "  --machine=uv2000|knc|xeon   machine model (default uv2000)\n"
+      "  --strategy=original|31d|islands (default islands)\n"
+      "  --sockets=N                 sockets to use (default: all)\n"
+      "  --islands=N                 alias for --sockets in execute mode\n"
+      "  --variant=A|B               1D island mapping (default A)\n"
+      "  --placement=firsttouch|serial (default firsttouch)\n"
+      "  --kernels=ref|opt           execute-mode kernel variant\n"
+      "  --ni --nj --nk              grid (default 1024x512x64; execute\n"
+      "                              mode defaults to 32x24x16)\n"
+      "  --steps=N                   time steps (default 50; execute: 10)\n");
+}
+
+bool parseStrategy(const std::string &Name, Strategy &Out) {
+  if (Name == "original")
+    Out = Strategy::Original;
+  else if (Name == "31d" || Name == "3+1d" || Name == "block")
+    Out = Strategy::Block31D;
+  else if (Name == "islands")
+    Out = Strategy::IslandsOfCores;
+  else
+    return false;
+  return true;
+}
+
+bool parseMachine(const std::string &Name, MachineModel &Out) {
+  if (Name == "uv2000")
+    Out = makeSgiUv2000();
+  else if (Name == "knc")
+    Out = makeXeonPhiKnc();
+  else if (Name == "xeon")
+    Out = makeXeonE5_2660v2();
+  else
+    return false;
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2) {
+    printUsage();
+    return 1;
+  }
+  std::string Mode = Argv[1];
+
+  CommandLine CL;
+  for (const char *Opt : {"machine", "strategy", "sockets", "islands",
+                          "variant", "placement", "kernels", "ni", "nj",
+                          "nk", "steps", "help"})
+    CL.registerOption(Opt, "");
+  std::string Error;
+  if (!CL.parse(Argc - 1, Argv + 1, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    printUsage();
+    return 1;
+  }
+  if (Mode == "help" || CL.hasOption("help")) {
+    printUsage();
+    return 0;
+  }
+
+  MachineModel Machine;
+  if (!parseMachine(CL.getString("machine", "uv2000"), Machine)) {
+    std::fprintf(stderr, "error: unknown machine\n");
+    return 1;
+  }
+  Strategy Strat = Strategy::IslandsOfCores;
+  if (!parseStrategy(CL.getString("strategy", "islands"), Strat)) {
+    std::fprintf(stderr, "error: unknown strategy\n");
+    return 1;
+  }
+
+  bool Execute = Mode == "execute";
+  int Sockets = static_cast<int>(
+      CL.getInt("sockets", CL.getInt("islands",
+                                     Execute ? 2 : Machine.NumSockets)));
+  int NI = static_cast<int>(CL.getInt("ni", Execute ? 32 : 1024));
+  int NJ = static_cast<int>(CL.getInt("nj", Execute ? 24 : 512));
+  int NK = static_cast<int>(CL.getInt("nk", Execute ? 16 : 64));
+  int Steps = static_cast<int>(CL.getInt("steps", Execute ? 10 : 50));
+
+  MpdataProgram M = buildMpdataProgram();
+  Box3 Grid = Box3::fromExtents(NI, NJ, NK);
+  PlanConfig Config;
+  Config.Strat = Strat;
+  Config.Sockets = Sockets;
+  Config.Variant = CL.getString("variant", "A") == "B"
+                       ? PartitionVariant::B
+                       : PartitionVariant::A;
+  Config.Placement = CL.getString("placement", "firsttouch") == "serial"
+                         ? PagePlacement::SerialInit
+                         : PagePlacement::FirstTouch;
+
+  if (Mode == "simulate" || Mode == "traffic" || Mode == "plan") {
+    ExecutionPlan Plan = buildPlan(M.Program, Grid, Machine, Config);
+    if (Mode == "plan") {
+      PlanVerification V = verifyPlan(Plan, M.Program);
+      std::printf("verification: %s\n",
+                  V.Ok ? "OK" : V.FirstError.c_str());
+      printPlanSummary(Plan, M.Program, outs());
+      return V.Ok ? 0 : 1;
+    }
+    if (Mode == "traffic") {
+      accountTraffic(Plan, M.Program, Machine, Steps).print(outs());
+      return 0;
+    }
+    SimResult R = simulate(Plan, M.Program, Machine, Steps);
+    std::printf("%s on %s, %dx%dx%d, P=%d, %d steps:\n",
+                strategyName(Strat), Machine.Name.c_str(), NI, NJ, NK,
+                Sockets, Steps);
+    std::printf("  predicted time:      %s\n",
+                formatSeconds(R.TotalSeconds).c_str());
+    std::printf("  sustained:           %.1f Gflop/s (%.1f%% of peak)\n",
+                R.sustainedGflops(),
+                R.sustainedGflops() * 1e9 / Machine.peakFlops(Sockets) *
+                    100.0);
+    std::printf("  DRAM traffic:        %s\n",
+                formatBytes(static_cast<uint64_t>(R.totalDramBytes()))
+                    .c_str());
+    std::printf("  per-step: compute %s, dram %s, remote %s, barrier %s, "
+                "overhead %s\n",
+                formatSeconds(R.CriticalIsland.Compute).c_str(),
+                formatSeconds(R.CriticalIsland.Dram).c_str(),
+                formatSeconds(R.CriticalIsland.Remote).c_str(),
+                formatSeconds(R.CriticalIsland.Barrier).c_str(),
+                formatSeconds(R.CriticalIsland.Overhead).c_str());
+    return 0;
+  }
+
+  if (Mode == "advise") {
+    AdvisorReport Report =
+        adviseBestPlan(M.Program, Grid, Machine, Sockets, Steps);
+    for (size_t I = 0; I != Report.Candidates.size(); ++I) {
+      const AdvisorCandidate &C = Report.Candidates[I];
+      std::printf("%2zu. %-28s %10s\n", I + 1, C.Label.c_str(),
+                  formatSeconds(C.Result.TotalSeconds).c_str());
+    }
+    return 0;
+  }
+
+  if (Mode == "execute") {
+    MachineModel Host = makeToyMachine();
+    Host.NumSockets = Sockets;
+    ExecutionPlan Plan = buildPlan(M.Program, Grid, Host, Config);
+    Domain Dom(NI, NJ, NK, mpdataHaloDepth());
+    KernelVariant Kernels = CL.getString("kernels", "ref") == "opt"
+                                ? KernelVariant::Optimized
+                                : KernelVariant::Reference;
+    PlanExecutor Exec(Dom, std::move(Plan), Kernels);
+    fillRandomPositive(Exec.stateIn(), Dom, 7, 0.1, 2.0);
+    setConstantVelocity(Exec.velocity(0), Exec.velocity(1),
+                        Exec.velocity(2), Dom, 0.25, -0.2, 0.15);
+    Exec.prepareCoefficients();
+    double MassBefore = Exec.conservedMass();
+    Exec.run(Steps);
+
+    ReferenceSolver Oracle(NI, NJ, NK);
+    fillRandomPositive(Oracle.stateIn(), Oracle.domain(), 7, 0.1, 2.0);
+    setConstantVelocity(Oracle.velocity(0), Oracle.velocity(1),
+                        Oracle.velocity(2), Oracle.domain(), 0.25, -0.2,
+                        0.15);
+    Oracle.prepareCoefficients();
+    Oracle.run(Steps);
+
+    double Diff = Exec.state().maxAbsDiff(Oracle.state(), Dom.coreBox());
+    std::printf("executed %d steps of %s on %dx%dx%d with %d islands\n",
+                Steps, strategyName(Strat), NI, NJ, NK, Sockets);
+    std::printf("mass drift: %.2e; max diff vs serial reference: %.3e %s\n",
+                Exec.conservedMass() - MassBefore, Diff,
+                Diff == 0.0 ? "(bit-exact)" : "");
+    return Diff == 0.0 ? 0 : 1;
+  }
+
+  std::fprintf(stderr, "error: unknown mode '%s'\n", Mode.c_str());
+  printUsage();
+  return 1;
+}
