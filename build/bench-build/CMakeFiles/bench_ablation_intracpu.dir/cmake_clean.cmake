@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_intracpu"
+  "../bench/bench_ablation_intracpu.pdb"
+  "CMakeFiles/bench_ablation_intracpu.dir/bench_ablation_intracpu.cpp.o"
+  "CMakeFiles/bench_ablation_intracpu.dir/bench_ablation_intracpu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_intracpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

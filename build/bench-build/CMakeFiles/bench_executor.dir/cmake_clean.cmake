@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_executor"
+  "../bench/bench_executor.pdb"
+  "CMakeFiles/bench_executor.dir/bench_executor.cpp.o"
+  "CMakeFiles/bench_executor.dir/bench_executor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icores_benchutil.dir/BenchUtil.cpp.o"
+  "CMakeFiles/icores_benchutil.dir/BenchUtil.cpp.o.d"
+  "libicores_benchutil.a"
+  "libicores_benchutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icores_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_ranks.dir/distributed_ranks.cpp.o"
+  "CMakeFiles/distributed_ranks.dir/distributed_ranks.cpp.o.d"
+  "distributed_ranks"
+  "distributed_ranks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_ranks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

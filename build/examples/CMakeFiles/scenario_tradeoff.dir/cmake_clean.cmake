@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_tradeoff.dir/scenario_tradeoff.cpp.o"
+  "CMakeFiles/scenario_tradeoff.dir/scenario_tradeoff.cpp.o.d"
+  "scenario_tradeoff"
+  "scenario_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for scenario_tradeoff.
+# This may be replaced when dependencies are built.

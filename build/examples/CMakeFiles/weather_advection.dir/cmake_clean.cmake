@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weather_advection.dir/weather_advection.cpp.o"
+  "CMakeFiles/weather_advection.dir/weather_advection.cpp.o.d"
+  "weather_advection"
+  "weather_advection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weather_advection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icores_apps.dir/AdvectionDiffusion.cpp.o"
+  "CMakeFiles/icores_apps.dir/AdvectionDiffusion.cpp.o.d"
+  "libicores_apps.a"
+  "libicores_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icores_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/BlockPlanner.cpp" "src/core/CMakeFiles/icores_core.dir/BlockPlanner.cpp.o" "gcc" "src/core/CMakeFiles/icores_core.dir/BlockPlanner.cpp.o.d"
+  "/root/repo/src/core/ExecutionPlan.cpp" "src/core/CMakeFiles/icores_core.dir/ExecutionPlan.cpp.o" "gcc" "src/core/CMakeFiles/icores_core.dir/ExecutionPlan.cpp.o.d"
+  "/root/repo/src/core/Partition.cpp" "src/core/CMakeFiles/icores_core.dir/Partition.cpp.o" "gcc" "src/core/CMakeFiles/icores_core.dir/Partition.cpp.o.d"
+  "/root/repo/src/core/PlanBuilder.cpp" "src/core/CMakeFiles/icores_core.dir/PlanBuilder.cpp.o" "gcc" "src/core/CMakeFiles/icores_core.dir/PlanBuilder.cpp.o.d"
+  "/root/repo/src/core/PlanPrinter.cpp" "src/core/CMakeFiles/icores_core.dir/PlanPrinter.cpp.o" "gcc" "src/core/CMakeFiles/icores_core.dir/PlanPrinter.cpp.o.d"
+  "/root/repo/src/core/PlanVerifier.cpp" "src/core/CMakeFiles/icores_core.dir/PlanVerifier.cpp.o" "gcc" "src/core/CMakeFiles/icores_core.dir/PlanVerifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stencil/CMakeFiles/icores_stencil.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/icores_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/icores_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/icores_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icores_core.dir/BlockPlanner.cpp.o"
+  "CMakeFiles/icores_core.dir/BlockPlanner.cpp.o.d"
+  "CMakeFiles/icores_core.dir/ExecutionPlan.cpp.o"
+  "CMakeFiles/icores_core.dir/ExecutionPlan.cpp.o.d"
+  "CMakeFiles/icores_core.dir/Partition.cpp.o"
+  "CMakeFiles/icores_core.dir/Partition.cpp.o.d"
+  "CMakeFiles/icores_core.dir/PlanBuilder.cpp.o"
+  "CMakeFiles/icores_core.dir/PlanBuilder.cpp.o.d"
+  "CMakeFiles/icores_core.dir/PlanPrinter.cpp.o"
+  "CMakeFiles/icores_core.dir/PlanPrinter.cpp.o.d"
+  "CMakeFiles/icores_core.dir/PlanVerifier.cpp.o"
+  "CMakeFiles/icores_core.dir/PlanVerifier.cpp.o.d"
+  "libicores_core.a"
+  "libicores_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icores_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libicores_core.a"
+)

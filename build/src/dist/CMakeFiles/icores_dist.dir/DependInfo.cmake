@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/ClusterSim.cpp" "src/dist/CMakeFiles/icores_dist.dir/ClusterSim.cpp.o" "gcc" "src/dist/CMakeFiles/icores_dist.dir/ClusterSim.cpp.o.d"
+  "/root/repo/src/dist/DistributedSolver.cpp" "src/dist/CMakeFiles/icores_dist.dir/DistributedSolver.cpp.o" "gcc" "src/dist/CMakeFiles/icores_dist.dir/DistributedSolver.cpp.o.d"
+  "/root/repo/src/dist/RankComm.cpp" "src/dist/CMakeFiles/icores_dist.dir/RankComm.cpp.o" "gcc" "src/dist/CMakeFiles/icores_dist.dir/RankComm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/icores_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/icores_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpdata/CMakeFiles/icores_mpdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/icores_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/stencil/CMakeFiles/icores_stencil.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/icores_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/icores_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

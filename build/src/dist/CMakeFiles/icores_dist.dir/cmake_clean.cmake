@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icores_dist.dir/ClusterSim.cpp.o"
+  "CMakeFiles/icores_dist.dir/ClusterSim.cpp.o.d"
+  "CMakeFiles/icores_dist.dir/DistributedSolver.cpp.o"
+  "CMakeFiles/icores_dist.dir/DistributedSolver.cpp.o.d"
+  "CMakeFiles/icores_dist.dir/RankComm.cpp.o"
+  "CMakeFiles/icores_dist.dir/RankComm.cpp.o.d"
+  "libicores_dist.a"
+  "libicores_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icores_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/Affinity.cpp" "src/exec/CMakeFiles/icores_exec.dir/Affinity.cpp.o" "gcc" "src/exec/CMakeFiles/icores_exec.dir/Affinity.cpp.o.d"
+  "/root/repo/src/exec/PlanExecutor.cpp" "src/exec/CMakeFiles/icores_exec.dir/PlanExecutor.cpp.o" "gcc" "src/exec/CMakeFiles/icores_exec.dir/PlanExecutor.cpp.o.d"
+  "/root/repo/src/exec/ProgramExecutor.cpp" "src/exec/CMakeFiles/icores_exec.dir/ProgramExecutor.cpp.o" "gcc" "src/exec/CMakeFiles/icores_exec.dir/ProgramExecutor.cpp.o.d"
+  "/root/repo/src/exec/RegionSplit.cpp" "src/exec/CMakeFiles/icores_exec.dir/RegionSplit.cpp.o" "gcc" "src/exec/CMakeFiles/icores_exec.dir/RegionSplit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/icores_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpdata/CMakeFiles/icores_mpdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/icores_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/icores_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/icores_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/stencil/CMakeFiles/icores_stencil.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icores_exec.dir/Affinity.cpp.o"
+  "CMakeFiles/icores_exec.dir/Affinity.cpp.o.d"
+  "CMakeFiles/icores_exec.dir/PlanExecutor.cpp.o"
+  "CMakeFiles/icores_exec.dir/PlanExecutor.cpp.o.d"
+  "CMakeFiles/icores_exec.dir/ProgramExecutor.cpp.o"
+  "CMakeFiles/icores_exec.dir/ProgramExecutor.cpp.o.d"
+  "CMakeFiles/icores_exec.dir/RegionSplit.cpp.o"
+  "CMakeFiles/icores_exec.dir/RegionSplit.cpp.o.d"
+  "libicores_exec.a"
+  "libicores_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icores_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

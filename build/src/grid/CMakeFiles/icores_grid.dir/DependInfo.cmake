@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/Array3D.cpp" "src/grid/CMakeFiles/icores_grid.dir/Array3D.cpp.o" "gcc" "src/grid/CMakeFiles/icores_grid.dir/Array3D.cpp.o.d"
+  "/root/repo/src/grid/Box3.cpp" "src/grid/CMakeFiles/icores_grid.dir/Box3.cpp.o" "gcc" "src/grid/CMakeFiles/icores_grid.dir/Box3.cpp.o.d"
+  "/root/repo/src/grid/Domain.cpp" "src/grid/CMakeFiles/icores_grid.dir/Domain.cpp.o" "gcc" "src/grid/CMakeFiles/icores_grid.dir/Domain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/icores_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

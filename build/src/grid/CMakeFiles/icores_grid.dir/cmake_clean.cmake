@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icores_grid.dir/Array3D.cpp.o"
+  "CMakeFiles/icores_grid.dir/Array3D.cpp.o.d"
+  "CMakeFiles/icores_grid.dir/Box3.cpp.o"
+  "CMakeFiles/icores_grid.dir/Box3.cpp.o.d"
+  "CMakeFiles/icores_grid.dir/Domain.cpp.o"
+  "CMakeFiles/icores_grid.dir/Domain.cpp.o.d"
+  "libicores_grid.a"
+  "libicores_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icores_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icores_machine.dir/MachineModel.cpp.o"
+  "CMakeFiles/icores_machine.dir/MachineModel.cpp.o.d"
+  "libicores_machine.a"
+  "libicores_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icores_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

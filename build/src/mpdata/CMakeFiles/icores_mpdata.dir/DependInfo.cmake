@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpdata/InitialConditions.cpp" "src/mpdata/CMakeFiles/icores_mpdata.dir/InitialConditions.cpp.o" "gcc" "src/mpdata/CMakeFiles/icores_mpdata.dir/InitialConditions.cpp.o.d"
+  "/root/repo/src/mpdata/Kernels.cpp" "src/mpdata/CMakeFiles/icores_mpdata.dir/Kernels.cpp.o" "gcc" "src/mpdata/CMakeFiles/icores_mpdata.dir/Kernels.cpp.o.d"
+  "/root/repo/src/mpdata/KernelsOptimized.cpp" "src/mpdata/CMakeFiles/icores_mpdata.dir/KernelsOptimized.cpp.o" "gcc" "src/mpdata/CMakeFiles/icores_mpdata.dir/KernelsOptimized.cpp.o.d"
+  "/root/repo/src/mpdata/MpdataProgram.cpp" "src/mpdata/CMakeFiles/icores_mpdata.dir/MpdataProgram.cpp.o" "gcc" "src/mpdata/CMakeFiles/icores_mpdata.dir/MpdataProgram.cpp.o.d"
+  "/root/repo/src/mpdata/Solver.cpp" "src/mpdata/CMakeFiles/icores_mpdata.dir/Solver.cpp.o" "gcc" "src/mpdata/CMakeFiles/icores_mpdata.dir/Solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stencil/CMakeFiles/icores_stencil.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/icores_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/icores_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icores_mpdata.dir/InitialConditions.cpp.o"
+  "CMakeFiles/icores_mpdata.dir/InitialConditions.cpp.o.d"
+  "CMakeFiles/icores_mpdata.dir/Kernels.cpp.o"
+  "CMakeFiles/icores_mpdata.dir/Kernels.cpp.o.d"
+  "CMakeFiles/icores_mpdata.dir/KernelsOptimized.cpp.o"
+  "CMakeFiles/icores_mpdata.dir/KernelsOptimized.cpp.o.d"
+  "CMakeFiles/icores_mpdata.dir/MpdataProgram.cpp.o"
+  "CMakeFiles/icores_mpdata.dir/MpdataProgram.cpp.o.d"
+  "CMakeFiles/icores_mpdata.dir/Solver.cpp.o"
+  "CMakeFiles/icores_mpdata.dir/Solver.cpp.o.d"
+  "libicores_mpdata.a"
+  "libicores_mpdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icores_mpdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icores_sim.dir/CacheSim.cpp.o"
+  "CMakeFiles/icores_sim.dir/CacheSim.cpp.o.d"
+  "CMakeFiles/icores_sim.dir/PlanAdvisor.cpp.o"
+  "CMakeFiles/icores_sim.dir/PlanAdvisor.cpp.o.d"
+  "CMakeFiles/icores_sim.dir/Simulator.cpp.o"
+  "CMakeFiles/icores_sim.dir/Simulator.cpp.o.d"
+  "CMakeFiles/icores_sim.dir/TrafficReport.cpp.o"
+  "CMakeFiles/icores_sim.dir/TrafficReport.cpp.o.d"
+  "libicores_sim.a"
+  "libicores_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icores_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stencil/ExtraElements.cpp" "src/stencil/CMakeFiles/icores_stencil.dir/ExtraElements.cpp.o" "gcc" "src/stencil/CMakeFiles/icores_stencil.dir/ExtraElements.cpp.o.d"
+  "/root/repo/src/stencil/FieldStore.cpp" "src/stencil/CMakeFiles/icores_stencil.dir/FieldStore.cpp.o" "gcc" "src/stencil/CMakeFiles/icores_stencil.dir/FieldStore.cpp.o.d"
+  "/root/repo/src/stencil/GraphExport.cpp" "src/stencil/CMakeFiles/icores_stencil.dir/GraphExport.cpp.o" "gcc" "src/stencil/CMakeFiles/icores_stencil.dir/GraphExport.cpp.o.d"
+  "/root/repo/src/stencil/HaloAnalysis.cpp" "src/stencil/CMakeFiles/icores_stencil.dir/HaloAnalysis.cpp.o" "gcc" "src/stencil/CMakeFiles/icores_stencil.dir/HaloAnalysis.cpp.o.d"
+  "/root/repo/src/stencil/KernelTable.cpp" "src/stencil/CMakeFiles/icores_stencil.dir/KernelTable.cpp.o" "gcc" "src/stencil/CMakeFiles/icores_stencil.dir/KernelTable.cpp.o.d"
+  "/root/repo/src/stencil/SerialStepper.cpp" "src/stencil/CMakeFiles/icores_stencil.dir/SerialStepper.cpp.o" "gcc" "src/stencil/CMakeFiles/icores_stencil.dir/SerialStepper.cpp.o.d"
+  "/root/repo/src/stencil/StencilIR.cpp" "src/stencil/CMakeFiles/icores_stencil.dir/StencilIR.cpp.o" "gcc" "src/stencil/CMakeFiles/icores_stencil.dir/StencilIR.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grid/CMakeFiles/icores_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/icores_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

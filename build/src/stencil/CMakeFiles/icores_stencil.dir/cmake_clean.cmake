@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icores_stencil.dir/ExtraElements.cpp.o"
+  "CMakeFiles/icores_stencil.dir/ExtraElements.cpp.o.d"
+  "CMakeFiles/icores_stencil.dir/FieldStore.cpp.o"
+  "CMakeFiles/icores_stencil.dir/FieldStore.cpp.o.d"
+  "CMakeFiles/icores_stencil.dir/GraphExport.cpp.o"
+  "CMakeFiles/icores_stencil.dir/GraphExport.cpp.o.d"
+  "CMakeFiles/icores_stencil.dir/HaloAnalysis.cpp.o"
+  "CMakeFiles/icores_stencil.dir/HaloAnalysis.cpp.o.d"
+  "CMakeFiles/icores_stencil.dir/KernelTable.cpp.o"
+  "CMakeFiles/icores_stencil.dir/KernelTable.cpp.o.d"
+  "CMakeFiles/icores_stencil.dir/SerialStepper.cpp.o"
+  "CMakeFiles/icores_stencil.dir/SerialStepper.cpp.o.d"
+  "CMakeFiles/icores_stencil.dir/StencilIR.cpp.o"
+  "CMakeFiles/icores_stencil.dir/StencilIR.cpp.o.d"
+  "libicores_stencil.a"
+  "libicores_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icores_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

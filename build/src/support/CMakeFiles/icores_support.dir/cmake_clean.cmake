@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icores_support.dir/CommandLine.cpp.o"
+  "CMakeFiles/icores_support.dir/CommandLine.cpp.o.d"
+  "CMakeFiles/icores_support.dir/Error.cpp.o"
+  "CMakeFiles/icores_support.dir/Error.cpp.o.d"
+  "CMakeFiles/icores_support.dir/Format.cpp.o"
+  "CMakeFiles/icores_support.dir/Format.cpp.o.d"
+  "CMakeFiles/icores_support.dir/OStream.cpp.o"
+  "CMakeFiles/icores_support.dir/OStream.cpp.o.d"
+  "CMakeFiles/icores_support.dir/Table.cpp.o"
+  "CMakeFiles/icores_support.dir/Table.cpp.o.d"
+  "libicores_support.a"
+  "libicores_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icores_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/advdiff_test.cpp" "tests/CMakeFiles/icores_tests.dir/advdiff_test.cpp.o" "gcc" "tests/CMakeFiles/icores_tests.dir/advdiff_test.cpp.o.d"
+  "/root/repo/tests/advisor_test.cpp" "tests/CMakeFiles/icores_tests.dir/advisor_test.cpp.o" "gcc" "tests/CMakeFiles/icores_tests.dir/advisor_test.cpp.o.d"
+  "/root/repo/tests/affinity_test.cpp" "tests/CMakeFiles/icores_tests.dir/affinity_test.cpp.o" "gcc" "tests/CMakeFiles/icores_tests.dir/affinity_test.cpp.o.d"
+  "/root/repo/tests/block_planner_test.cpp" "tests/CMakeFiles/icores_tests.dir/block_planner_test.cpp.o" "gcc" "tests/CMakeFiles/icores_tests.dir/block_planner_test.cpp.o.d"
+  "/root/repo/tests/boundary_test.cpp" "tests/CMakeFiles/icores_tests.dir/boundary_test.cpp.o" "gcc" "tests/CMakeFiles/icores_tests.dir/boundary_test.cpp.o.d"
+  "/root/repo/tests/cache_sim_test.cpp" "tests/CMakeFiles/icores_tests.dir/cache_sim_test.cpp.o" "gcc" "tests/CMakeFiles/icores_tests.dir/cache_sim_test.cpp.o.d"
+  "/root/repo/tests/dist_test.cpp" "tests/CMakeFiles/icores_tests.dir/dist_test.cpp.o" "gcc" "tests/CMakeFiles/icores_tests.dir/dist_test.cpp.o.d"
+  "/root/repo/tests/executor_test.cpp" "tests/CMakeFiles/icores_tests.dir/executor_test.cpp.o" "gcc" "tests/CMakeFiles/icores_tests.dir/executor_test.cpp.o.d"
+  "/root/repo/tests/extra_elements_test.cpp" "tests/CMakeFiles/icores_tests.dir/extra_elements_test.cpp.o" "gcc" "tests/CMakeFiles/icores_tests.dir/extra_elements_test.cpp.o.d"
+  "/root/repo/tests/generic_runtime_test.cpp" "tests/CMakeFiles/icores_tests.dir/generic_runtime_test.cpp.o" "gcc" "tests/CMakeFiles/icores_tests.dir/generic_runtime_test.cpp.o.d"
+  "/root/repo/tests/graph_export_test.cpp" "tests/CMakeFiles/icores_tests.dir/graph_export_test.cpp.o" "gcc" "tests/CMakeFiles/icores_tests.dir/graph_export_test.cpp.o.d"
+  "/root/repo/tests/grid_test.cpp" "tests/CMakeFiles/icores_tests.dir/grid_test.cpp.o" "gcc" "tests/CMakeFiles/icores_tests.dir/grid_test.cpp.o.d"
+  "/root/repo/tests/halo_analysis_test.cpp" "tests/CMakeFiles/icores_tests.dir/halo_analysis_test.cpp.o" "gcc" "tests/CMakeFiles/icores_tests.dir/halo_analysis_test.cpp.o.d"
+  "/root/repo/tests/kernel_variants_test.cpp" "tests/CMakeFiles/icores_tests.dir/kernel_variants_test.cpp.o" "gcc" "tests/CMakeFiles/icores_tests.dir/kernel_variants_test.cpp.o.d"
+  "/root/repo/tests/kernels_test.cpp" "tests/CMakeFiles/icores_tests.dir/kernels_test.cpp.o" "gcc" "tests/CMakeFiles/icores_tests.dir/kernels_test.cpp.o.d"
+  "/root/repo/tests/machine_test.cpp" "tests/CMakeFiles/icores_tests.dir/machine_test.cpp.o" "gcc" "tests/CMakeFiles/icores_tests.dir/machine_test.cpp.o.d"
+  "/root/repo/tests/mpdata_program_test.cpp" "tests/CMakeFiles/icores_tests.dir/mpdata_program_test.cpp.o" "gcc" "tests/CMakeFiles/icores_tests.dir/mpdata_program_test.cpp.o.d"
+  "/root/repo/tests/partition_test.cpp" "tests/CMakeFiles/icores_tests.dir/partition_test.cpp.o" "gcc" "tests/CMakeFiles/icores_tests.dir/partition_test.cpp.o.d"
+  "/root/repo/tests/physics_convergence_test.cpp" "tests/CMakeFiles/icores_tests.dir/physics_convergence_test.cpp.o" "gcc" "tests/CMakeFiles/icores_tests.dir/physics_convergence_test.cpp.o.d"
+  "/root/repo/tests/plan_builder_test.cpp" "tests/CMakeFiles/icores_tests.dir/plan_builder_test.cpp.o" "gcc" "tests/CMakeFiles/icores_tests.dir/plan_builder_test.cpp.o.d"
+  "/root/repo/tests/plan_verifier_test.cpp" "tests/CMakeFiles/icores_tests.dir/plan_verifier_test.cpp.o" "gcc" "tests/CMakeFiles/icores_tests.dir/plan_verifier_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/icores_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/icores_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/simulator_test.cpp" "tests/CMakeFiles/icores_tests.dir/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/icores_tests.dir/simulator_test.cpp.o.d"
+  "/root/repo/tests/solver_test.cpp" "tests/CMakeFiles/icores_tests.dir/solver_test.cpp.o" "gcc" "tests/CMakeFiles/icores_tests.dir/solver_test.cpp.o.d"
+  "/root/repo/tests/stencil_ir_test.cpp" "tests/CMakeFiles/icores_tests.dir/stencil_ir_test.cpp.o" "gcc" "tests/CMakeFiles/icores_tests.dir/stencil_ir_test.cpp.o.d"
+  "/root/repo/tests/support_test.cpp" "tests/CMakeFiles/icores_tests.dir/support_test.cpp.o" "gcc" "tests/CMakeFiles/icores_tests.dir/support_test.cpp.o.d"
+  "/root/repo/tests/traffic_report_test.cpp" "tests/CMakeFiles/icores_tests.dir/traffic_report_test.cpp.o" "gcc" "tests/CMakeFiles/icores_tests.dir/traffic_report_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/icores_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/icores_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/icores_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/icores_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/icores_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpdata/CMakeFiles/icores_mpdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/icores_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/stencil/CMakeFiles/icores_stencil.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/icores_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/icores_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

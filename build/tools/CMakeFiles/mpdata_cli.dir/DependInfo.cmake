@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/mpdata_cli.cpp" "tools/CMakeFiles/mpdata_cli.dir/mpdata_cli.cpp.o" "gcc" "tools/CMakeFiles/mpdata_cli.dir/mpdata_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/icores_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/icores_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/icores_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpdata/CMakeFiles/icores_mpdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/icores_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/stencil/CMakeFiles/icores_stencil.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/icores_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/icores_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpdata_cli.dir/mpdata_cli.cpp.o"
+  "CMakeFiles/mpdata_cli.dir/mpdata_cli.cpp.o.d"
+  "mpdata_cli"
+  "mpdata_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpdata_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
