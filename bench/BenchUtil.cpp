@@ -2,10 +2,36 @@
 
 #include "BenchUtil.h"
 
+#include "exec/PlanExecutor.h"
+#include "mpdata/InitialConditions.h"
+#include "mpdata/Solver.h"
+#include "support/OStream.h"
+
 #include <cstdio>
+#include <thread>
 
 using namespace icores;
 using namespace icores::bench;
+
+namespace {
+
+/// The toy machine both sides of the model check target: enough sockets
+/// for the requested island count, host-friendly team sizes.
+MachineModel hostCheckMachine(int Islands) {
+  MachineModel M = makeToyMachine();
+  M.NumSockets = Islands;
+  return M;
+}
+
+ExecutionPlan hostCheckPlan(const MpdataProgram &M, Strategy Strat,
+                            int Islands, const Box3 &Grid) {
+  PlanConfig Config;
+  Config.Strat = Strat;
+  Config.Sockets = Islands;
+  return buildPlan(M.Program, Grid, hostCheckMachine(Islands), Config);
+}
+
+} // namespace
 
 // Table 1 / Table 3 of the paper (seconds for 50 steps, P = 1..14).
 const std::array<double, 14> icores::bench::PaperOriginalSerialInit = {
@@ -52,4 +78,67 @@ SimResult icores::bench::simulatePaperRun(const MpdataProgram &M,
 int icores::bench::shapeCheck(bool Ok, const char *Description) {
   std::printf("  [%s] %s\n", Ok ? "PASS" : "FAIL", Description);
   return Ok ? 0 : 1;
+}
+
+MeasuredProfile icores::bench::measureHostRun(const MpdataProgram &M,
+                                              Strategy Strat, int Islands,
+                                              int NI, int NJ, int NK,
+                                              int Steps) {
+  Domain Dom(NI, NJ, NK, mpdataHaloDepth());
+  PlanExecutor Exec(Dom, hostCheckPlan(M, Strat, Islands, Dom.coreBox()));
+  fillRandomPositive(Exec.stateIn(), Dom, 42, 0.1, 2.0);
+  setConstantVelocity(Exec.velocity(0), Exec.velocity(1), Exec.velocity(2),
+                      Dom, 0.25, -0.2, 0.15);
+  Exec.prepareCoefficients();
+  Exec.enableProfiling(true);
+  Exec.run(Steps);
+
+  const ExecStats &Stats = Exec.stats();
+  MeasuredProfile P;
+  P.KernelSeconds = Stats.kernelSeconds();
+  P.TeamBarrierWaitSeconds = Stats.teamBarrierWaitSeconds();
+  P.WallSeconds = Stats.WallSeconds;
+  P.ThreadsSpawned = Stats.ThreadsSpawned;
+  P.RunCalls = Stats.RunCalls;
+  return P;
+}
+
+SimResult icores::bench::simulateHostRun(const MpdataProgram &M,
+                                         Strategy Strat, int Islands,
+                                         int NI, int NJ, int NK,
+                                         int Steps) {
+  ExecutionPlan Plan =
+      hostCheckPlan(M, Strat, Islands, Box3::fromExtents(NI, NJ, NK));
+  return simulate(Plan, M.Program, hostCheckMachine(Islands), Steps);
+}
+
+int icores::bench::printBarrierShareModelCheck(const MpdataProgram &M,
+                                               int Islands, int Steps) {
+  constexpr int NI = 64, NJ = 32, NK = 16;
+  std::printf("\nmodel check: predicted vs measured barrier share "
+              "(real executor, %dx%dx%d, %d steps, %d islands on this "
+              "host)\n",
+              NI, NJ, NK, Steps, Islands);
+  unsigned HostThreads = std::thread::hardware_concurrency();
+  int PlanThreads = Islands * hostCheckMachine(Islands).CoresPerSocket;
+  if (HostThreads != 0 && PlanThreads > static_cast<int>(HostThreads))
+    std::printf("note: plan runs %d threads on %u hardware threads — "
+                "oversubscription inflates the measured share\n",
+                PlanThreads, HostThreads);
+  std::vector<ModelCompareRow> Rows;
+  for (Strategy Strat : {Strategy::Original, Strategy::Block31D,
+                         Strategy::IslandsOfCores}) {
+    SimResult Predicted = simulateHostRun(M, Strat, Islands, NI, NJ, NK,
+                                          Steps);
+    MeasuredProfile Measured = measureHostRun(M, Strat, Islands, NI, NJ,
+                                              NK, Steps);
+    ModelCompareRow Row;
+    Row.Label = strategyName(Strat);
+    Row.Comparison = compareBarrierShare(Predicted.CriticalIsland,
+                                         Measured.KernelSeconds,
+                                         Measured.TeamBarrierWaitSeconds);
+    Rows.push_back(Row);
+  }
+  printModelCompareTable(Rows, outs());
+  return static_cast<int>(Rows.size());
 }

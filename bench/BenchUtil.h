@@ -18,6 +18,7 @@
 #include "core/PlanBuilder.h"
 #include "machine/MachineModel.h"
 #include "mpdata/MpdataProgram.h"
+#include "sim/ModelCompare.h"
 #include "sim/Simulator.h"
 
 #include <array>
@@ -53,6 +54,36 @@ SimResult simulatePaperRun(const MpdataProgram &M, const MachineModel &Uv,
 /// Prints a "shape check" verdict line: PASS/FAIL with a description.
 /// Returns 0 for pass, 1 for fail (accumulate into main's exit code).
 int shapeCheck(bool Ok, const char *Description);
+
+/// Aggregate timings measured by running the real threaded executor with
+/// profiling enabled (exec/ExecStats) on this host.
+struct MeasuredProfile {
+  double KernelSeconds = 0.0;
+  double TeamBarrierWaitSeconds = 0.0;
+  double WallSeconds = 0.0;
+  int64_t ThreadsSpawned = 0;
+  int64_t RunCalls = 0;
+};
+
+/// Plans (Strat, Islands) on a toy host-sized machine over a small
+/// NIxNJxNK grid, runs \p Steps real threaded steps with profiling on,
+/// and returns the measured aggregates. The same plan simulated on the
+/// same toy machine gives the predicted side for compareBarrierShare().
+MeasuredProfile measureHostRun(const MpdataProgram &M, Strategy Strat,
+                               int Islands, int NI, int NJ, int NK,
+                               int Steps);
+
+/// Simulates the same toy-machine configuration measureHostRun() ran,
+/// returning the predicted per-step breakdown of the critical island.
+SimResult simulateHostRun(const MpdataProgram &M, Strategy Strat,
+                          int Islands, int NI, int NJ, int NK, int Steps);
+
+/// Prints the predicted-vs-measured barrier-share table for the three
+/// strategies on a small host grid; the "model error" column quantifies
+/// sim/ drift against the real executor. Purely informational (host
+/// timings are noisy); returns the number of rows printed.
+int printBarrierShareModelCheck(const MpdataProgram &M, int Islands,
+                                int Steps);
 
 } // namespace bench
 } // namespace icores

@@ -79,5 +79,11 @@ int main() {
   }
   Failures += shapeCheck(SOvMax / SOvMin < 1.5,
                          "S_ov roughly constant across P (within 1.5x)");
+
+  // Close the loop against the real executor: the barrier share the
+  // simulator predicts for each strategy vs the share ExecStats measures
+  // on this host (informational; host timings vary run to run).
+  printBarrierShareModelCheck(M, /*Islands=*/2, /*Steps=*/5);
+
   return Failures == 0 ? 0 : 1;
 }

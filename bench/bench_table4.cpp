@@ -78,5 +78,25 @@ int main() {
   Failures += shapeCheck(Util[13] < Util[1],
                          "utilization declines at the largest "
                          "configuration");
+
+  // Model-error column against the real executor (see bench_table3 for
+  // the strategy sweep; here the islands count varies instead).
+  std::printf("\nmodel check: predicted vs measured barrier share for "
+              "islands-of-cores (real executor, 64x32x16, 5 steps)\n");
+  std::vector<ModelCompareRow> Rows;
+  for (int Islands : {1, 2, 4}) {
+    SimResult Predicted =
+        simulateHostRun(M, Strategy::IslandsOfCores, Islands, 64, 32, 16, 5);
+    MeasuredProfile Measured =
+        measureHostRun(M, Strategy::IslandsOfCores, Islands, 64, 32, 16, 5);
+    ModelCompareRow Row;
+    Row.Label = formatString("islands P=%d", Islands);
+    Row.Comparison = compareBarrierShare(Predicted.CriticalIsland,
+                                         Measured.KernelSeconds,
+                                         Measured.TeamBarrierWaitSeconds);
+    Rows.push_back(Row);
+  }
+  printModelCompareTable(Rows, outs());
+
   return Failures == 0 ? 0 : 1;
 }

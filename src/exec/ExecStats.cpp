@@ -1,0 +1,217 @@
+//===- exec/ExecStats.cpp - Executor observability layer ------------------===//
+
+#include "exec/ExecStats.h"
+
+#include "core/ExecutionPlan.h"
+#include "support/Error.h"
+#include "support/Format.h"
+#include "support/OStream.h"
+#include "support/Table.h"
+
+#include <algorithm>
+
+using namespace icores;
+
+double IslandStat::kernelSeconds() const {
+  double Sum = 0.0;
+  for (const ThreadStat &T : Threads)
+    Sum += T.KernelSeconds;
+  return Sum;
+}
+
+double IslandStat::barrierWaitSeconds() const {
+  double Sum = 0.0;
+  for (const ThreadStat &T : Threads)
+    Sum += T.BarrierWaitSeconds;
+  return Sum;
+}
+
+int64_t IslandStat::teamPasses() const {
+  int64_t Sum = 0;
+  for (const StageStat &S : Stages)
+    Sum += S.Passes;
+  return Sum;
+}
+
+double IslandStat::imbalance() const {
+  if (Threads.empty())
+    return 0.0;
+  double Max = 0.0, Sum = 0.0;
+  for (const ThreadStat &T : Threads) {
+    Max = std::max(Max, T.KernelSeconds);
+    Sum += T.KernelSeconds;
+  }
+  double Mean = Sum / static_cast<double>(Threads.size());
+  return Mean > 0.0 ? Max / Mean : 0.0;
+}
+
+void ExecStats::initLayout(const ExecutionPlan &Plan, unsigned NumStages) {
+  Islands.clear();
+  Islands.resize(Plan.Islands.size());
+  for (size_t I = 0; I != Plan.Islands.size(); ++I) {
+    IslandStat &Stat = Islands[I];
+    Stat.Island = static_cast<int>(I);
+    Stat.NumThreads = Plan.Islands[I].NumThreads;
+    Stat.Stages.assign(NumStages, StageStat());
+    Stat.Threads.resize(static_cast<size_t>(Plan.Islands[I].NumThreads));
+    for (int T = 0; T != Stat.NumThreads; ++T)
+      Stat.Threads[static_cast<size_t>(T)].ThreadInTeam = T;
+  }
+  StepsRun = 0;
+  RunCalls = 0;
+  ThreadsSpawned = 0;
+  PoolDispatches = 0;
+  WallSeconds = 0.0;
+  GlobalBarrierWaitSeconds = 0.0;
+}
+
+void ExecStats::resetMeasurements() {
+  StepsRun = 0;
+  WallSeconds = 0.0;
+  GlobalBarrierWaitSeconds = 0.0;
+  for (IslandStat &Island : Islands) {
+    std::fill(Island.Stages.begin(), Island.Stages.end(), StageStat());
+    for (ThreadStat &T : Island.Threads) {
+      int Keep = T.ThreadInTeam;
+      T = ThreadStat();
+      T.ThreadInTeam = Keep;
+    }
+  }
+}
+
+void ExecStats::mergeThread(int Island, int ThreadInTeam,
+                            const ExecThreadAccum &Accum) {
+  ICORES_CHECK(static_cast<size_t>(Island) < Islands.size(),
+               "stats merge for an unknown island");
+  IslandStat &IslandS = Islands[static_cast<size_t>(Island)];
+  ICORES_CHECK(static_cast<size_t>(ThreadInTeam) < IslandS.Threads.size(),
+               "stats merge for an unknown thread");
+  ThreadStat &ThreadS = IslandS.Threads[static_cast<size_t>(ThreadInTeam)];
+
+  for (size_t S = 0; S != Accum.StagePasses.size(); ++S) {
+    StageStat &Stage = IslandS.Stages[S];
+    Stage.KernelSeconds += Accum.StageKernelSeconds[S];
+    Stage.BarrierWaitSeconds += Accum.StageBarrierWaitSeconds[S];
+    // Every team thread visits every pass; count the schedule once.
+    if (ThreadInTeam == 0)
+      Stage.Passes += Accum.StagePasses[S];
+
+    ThreadS.KernelSeconds += Accum.StageKernelSeconds[S];
+    ThreadS.BarrierWaitSeconds += Accum.StageBarrierWaitSeconds[S];
+    ThreadS.Passes += Accum.StagePasses[S];
+    ThreadS.BarrierWaits += Accum.StagePasses[S];
+  }
+  GlobalBarrierWaitSeconds += Accum.GlobalBarrierWaitSeconds;
+}
+
+double ExecStats::kernelSeconds() const {
+  double Sum = 0.0;
+  for (const IslandStat &Island : Islands)
+    Sum += Island.kernelSeconds();
+  return Sum;
+}
+
+double ExecStats::teamBarrierWaitSeconds() const {
+  double Sum = 0.0;
+  for (const IslandStat &Island : Islands)
+    Sum += Island.barrierWaitSeconds();
+  return Sum;
+}
+
+double ExecStats::barrierShare() const {
+  double Kernel = kernelSeconds();
+  double Barrier = teamBarrierWaitSeconds() + GlobalBarrierWaitSeconds;
+  double Total = Kernel + Barrier;
+  return Total > 0.0 ? Barrier / Total : 0.0;
+}
+
+namespace {
+
+std::string jsonNumber(double Value) {
+  return formatString("%.9g", Value);
+}
+
+} // namespace
+
+void ExecStats::writeJson(OStream &OS) const {
+  OS << "{\n";
+  OS << "  \"schema\": \"icores.exec_stats.v1\",\n";
+  OS << "  \"enabled\": " << Enabled << ",\n";
+  OS << "  \"steps\": " << StepsRun << ",\n";
+  OS << "  \"run_calls\": " << RunCalls << ",\n";
+  OS << "  \"pool\": {\"threads_spawned\": " << ThreadsSpawned
+     << ", \"dispatches\": " << PoolDispatches << "},\n";
+  OS << "  \"wall_seconds\": " << jsonNumber(WallSeconds) << ",\n";
+  OS << "  \"step_wall_seconds\": "
+     << jsonNumber(StepsRun > 0 ? WallSeconds / StepsRun : 0.0) << ",\n";
+  OS << "  \"kernel_seconds\": " << jsonNumber(kernelSeconds()) << ",\n";
+  OS << "  \"team_barrier_wait_seconds\": "
+     << jsonNumber(teamBarrierWaitSeconds()) << ",\n";
+  OS << "  \"global_barrier_wait_seconds\": "
+     << jsonNumber(GlobalBarrierWaitSeconds) << ",\n";
+  OS << "  \"barrier_share\": " << jsonNumber(barrierShare()) << ",\n";
+  OS << "  \"islands\": [";
+  for (size_t I = 0; I != Islands.size(); ++I) {
+    const IslandStat &Island = Islands[I];
+    OS << (I ? ",\n    {" : "\n    {");
+    OS << "\"island\": " << Island.Island
+       << ", \"num_threads\": " << Island.NumThreads
+       << ", \"kernel_seconds\": " << jsonNumber(Island.kernelSeconds())
+       << ", \"barrier_wait_seconds\": "
+       << jsonNumber(Island.barrierWaitSeconds())
+       << ", \"imbalance\": " << jsonNumber(Island.imbalance()) << ",\n";
+    OS << "     \"stages\": [";
+    bool First = true;
+    for (size_t S = 0; S != Island.Stages.size(); ++S) {
+      const StageStat &Stage = Island.Stages[S];
+      if (Stage.Passes == 0)
+        continue;
+      OS << (First ? "\n       " : ",\n       ");
+      First = false;
+      OS << "{\"stage\": " << static_cast<int>(S)
+         << ", \"passes\": " << Stage.Passes
+         << ", \"kernel_seconds\": " << jsonNumber(Stage.KernelSeconds)
+         << ", \"barrier_wait_seconds\": "
+         << jsonNumber(Stage.BarrierWaitSeconds) << "}";
+    }
+    OS << (First ? "],\n" : "\n     ],\n");
+    OS << "     \"threads\": [";
+    for (size_t T = 0; T != Island.Threads.size(); ++T) {
+      const ThreadStat &Thread = Island.Threads[T];
+      OS << (T ? ",\n       " : "\n       ");
+      OS << "{\"thread\": " << Thread.ThreadInTeam
+         << ", \"passes\": " << Thread.Passes
+         << ", \"barrier_waits\": " << Thread.BarrierWaits
+         << ", \"kernel_seconds\": " << jsonNumber(Thread.KernelSeconds)
+         << ", \"barrier_wait_seconds\": "
+         << jsonNumber(Thread.BarrierWaitSeconds) << "}";
+    }
+    OS << "\n     ]}";
+  }
+  OS << "\n  ]\n}\n";
+}
+
+void ExecStats::writeCsv(OStream &OS) const {
+  TablePrinter Table({"island", "stage", "passes", "kernel_seconds",
+                      "barrier_wait_seconds"});
+  for (const IslandStat &Island : Islands)
+    for (size_t S = 0; S != Island.Stages.size(); ++S) {
+      const StageStat &Stage = Island.Stages[S];
+      if (Stage.Passes == 0)
+        continue;
+      Table.addRow({formatString("%d", Island.Island),
+                    formatString("%d", static_cast<int>(S)),
+                    formatString("%lld",
+                                 static_cast<long long>(Stage.Passes)),
+                    formatString("%.9g", Stage.KernelSeconds),
+                    formatString("%.9g", Stage.BarrierWaitSeconds)});
+    }
+  Table.printCsv(OS);
+}
+
+std::string ExecStats::toJsonString() const {
+  std::string Buffer;
+  StringOStream OS(Buffer);
+  writeJson(OS);
+  return Buffer;
+}

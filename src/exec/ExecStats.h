@@ -1,0 +1,128 @@
+//===- exec/ExecStats.h - Executor observability layer ----------*- C++ -*-===//
+//
+// Part of the icores project: islands-of-cores for heterogeneous stencils.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measured counterpart of the sim/ cost model: ProgramExecutor can record
+/// per-island, per-thread and per-stage kernel time, per-pass barrier-wait
+/// time, step wall time and team imbalance while running a plan with real
+/// threads. The paper's whole argument is about *where time goes* (barrier
+/// waits sink the pure (3+1)D decomposition at large P; islands eliminate
+/// them), so the executor must be able to answer that question directly
+/// and let benches print predicted-vs-measured barrier shares.
+///
+/// Collection protocol: each worker thread accumulates into a private
+/// ExecThreadAccum on its own stack (no shared cache lines on the hot
+/// path) and merges it into the ExecStats under a mutex once per run().
+/// With profiling disabled the executor takes no timestamps at all.
+///
+/// Reporting: writeJson() emits the "icores.exec_stats.v1" schema
+/// (documented in README.md); writeCsv() renders per-(island, stage) rows
+/// through support/Table for spreadsheet-friendly dumps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICORES_EXEC_EXECSTATS_H
+#define ICORES_EXEC_EXECSTATS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace icores {
+
+class OStream;
+struct ExecutionPlan;
+
+/// Time attributed to one stage's passes within one island (summed over
+/// the team's threads; the barrier wait is the time spent in the team
+/// barrier that follows each pass of the stage).
+struct StageStat {
+  double KernelSeconds = 0.0;
+  double BarrierWaitSeconds = 0.0;
+  int64_t Passes = 0; ///< Team-level pass executions (not x threads).
+};
+
+/// Totals for one thread of an island's team.
+struct ThreadStat {
+  int ThreadInTeam = 0;
+  double KernelSeconds = 0.0;
+  double BarrierWaitSeconds = 0.0; ///< Team barriers only.
+  int64_t Passes = 0;              ///< Pass visits by this thread.
+  int64_t BarrierWaits = 0;        ///< Team-barrier crossings.
+};
+
+/// Per-island aggregation: per-stage and per-thread views of the same
+/// measurements.
+struct IslandStat {
+  int Island = 0;
+  int NumThreads = 0;
+  std::vector<StageStat> Stages; ///< Indexed by StageId.
+  std::vector<ThreadStat> Threads;
+
+  double kernelSeconds() const;
+  double barrierWaitSeconds() const;
+  int64_t teamPasses() const;
+
+  /// Team imbalance: max over threads of kernel seconds divided by the
+  /// mean (1.0 = perfectly balanced; 0 when nothing ran).
+  double imbalance() const;
+};
+
+/// Per-thread accumulator for one run() call; lives on the worker's stack.
+struct ExecThreadAccum {
+  std::vector<double> StageKernelSeconds;
+  std::vector<double> StageBarrierWaitSeconds;
+  std::vector<int64_t> StagePasses;
+  double GlobalBarrierWaitSeconds = 0.0;
+
+  explicit ExecThreadAccum(unsigned NumStages)
+      : StageKernelSeconds(NumStages, 0.0),
+        StageBarrierWaitSeconds(NumStages, 0.0), StagePasses(NumStages, 0) {}
+};
+
+/// Everything the executor measured, across all run() calls since the
+/// last reset. Pool counters are filled in even when timing is disabled.
+struct ExecStats {
+  bool Enabled = false;
+  int StepsRun = 0;
+  int64_t RunCalls = 0;
+  int64_t ThreadsSpawned = 0; ///< OS threads ever created by the pool.
+  int64_t PoolDispatches = 0;
+  double WallSeconds = 0.0; ///< Wall time inside run(), all calls.
+  double GlobalBarrierWaitSeconds = 0.0; ///< Summed over all threads.
+  std::vector<IslandStat> Islands;
+
+  /// Sizes Islands/Stages/Threads to match \p Plan with \p NumStages
+  /// stages and zeroes all accumulators (pool counters included).
+  void initLayout(const ExecutionPlan &Plan, unsigned NumStages);
+
+  /// Zeroes all measurements, keeping the layout and the pool counters.
+  void resetMeasurements();
+
+  /// Merges one thread's accumulator for one run() call.
+  void mergeThread(int Island, int ThreadInTeam,
+                   const ExecThreadAccum &Accum);
+
+  double kernelSeconds() const;
+  double teamBarrierWaitSeconds() const;
+
+  /// Measured share of barrier time: (team + global barrier waits) over
+  /// (kernel + all barrier waits). The analogue of the simulator's
+  /// Barrier fraction of the per-step breakdown.
+  double barrierShare() const;
+
+  /// Emits the icores.exec_stats.v1 JSON document.
+  void writeJson(OStream &OS) const;
+
+  /// Emits per-(island, stage) rows as CSV via support/Table.
+  void writeCsv(OStream &OS) const;
+
+  std::string toJsonString() const;
+};
+
+} // namespace icores
+
+#endif // ICORES_EXEC_EXECSTATS_H

@@ -49,6 +49,16 @@ public:
   /// Refreshes the halos of the time-constant coefficient arrays.
   void prepareCoefficients() { Exec.prepareInputs(); }
 
+  /// Profiling passthrough (see ProgramExecutor::enableProfiling).
+  void enableProfiling(bool On) { Exec.enableProfiling(On); }
+  const ExecStats &stats() const { return Exec.stats(); }
+  void resetStats() { Exec.resetStats(); }
+
+  /// Pinning passthrough (see ProgramExecutor::setThreadPinning).
+  void setThreadPinning(const std::vector<ThreadPlacement> &Placements) {
+    Exec.setThreadPinning(Placements);
+  }
+
   /// Advances \p Steps time steps with the plan's threads.
   void run(int Steps) { Exec.run(Steps); }
 

@@ -2,14 +2,26 @@
 
 #include "exec/ProgramExecutor.h"
 
+#include "exec/Affinity.h"
 #include "exec/RegionSplit.h"
 #include "support/Error.h"
 
 #include <barrier>
-#include <thread>
+#include <chrono>
 #include <utility>
 
 using namespace icores;
+
+namespace {
+
+using ProfileClock = std::chrono::steady_clock;
+
+double secondsSince(ProfileClock::time_point Start,
+                    ProfileClock::time_point End) {
+  return std::chrono::duration<double>(End - Start).count();
+}
+
+} // namespace
 
 /// Island-private execution state: the field store (intermediates owned,
 /// step inputs/outputs bound to the shared arrays) and the team barrier.
@@ -74,6 +86,12 @@ ProgramExecutor::ProgramExecutor(StencilProgram AProgram,
     }
     IslandStates.push_back(std::move(IS));
   }
+
+  for (size_t Isl = 0; Isl != Plan.Islands.size(); ++Isl)
+    for (int T = 0; T != Plan.Islands[Isl].NumThreads; ++T)
+      WorkerCoords.emplace_back(static_cast<int>(Isl), T);
+  Pool = std::make_unique<WorkerPool>(static_cast<int>(WorkerCoords.size()));
+  Stats.initLayout(Plan, Program.numStages());
 }
 
 ProgramExecutor::~ProgramExecutor() = default;
@@ -97,6 +115,20 @@ void ProgramExecutor::prepareInputs() {
     Dom.fillHalo(array(In));
 }
 
+void ProgramExecutor::enableProfiling(bool On) {
+  Profiling = On;
+  Stats.Enabled = On;
+}
+
+void ProgramExecutor::setThreadPinning(
+    const std::vector<ThreadPlacement> &Placements) {
+  std::vector<int> Cores;
+  Cores.reserve(Placements.size());
+  for (const ThreadPlacement &P : Placements)
+    Cores.push_back(P.GlobalCore);
+  Pool->setPinning(std::move(Cores));
+}
+
 void ProgramExecutor::threadMain(int Island, int ThreadInTeam, int Steps,
                                  void *ControlPtr) {
   RunControl &Control = *static_cast<RunControl *>(ControlPtr);
@@ -104,8 +136,18 @@ void ProgramExecutor::threadMain(int Island, int ThreadInTeam, int Steps,
       this->Plan.Islands[static_cast<size_t>(Island)];
   IslandState &IS = *IslandStates[static_cast<size_t>(Island)];
 
+  const bool Prof = Profiling;
+  ExecThreadAccum Accum(Prof ? Program.numStages() : 0);
+
   for (int Step = 0; Step != Steps; ++Step) {
-    Control.GlobalBarrier.arrive_and_wait();
+    if (Prof) {
+      ProfileClock::time_point T0 = ProfileClock::now();
+      Control.GlobalBarrier.arrive_and_wait();
+      Accum.GlobalBarrierWaitSeconds +=
+          secondsSince(T0, ProfileClock::now());
+    } else {
+      Control.GlobalBarrier.arrive_and_wait();
+    }
     if (Island == 0 && ThreadInTeam == 0) {
       if (Step != 0)
         for (const FeedbackPair &FB : Program.feedbacks())
@@ -113,16 +155,40 @@ void ProgramExecutor::threadMain(int Island, int ThreadInTeam, int Steps,
       for (const FeedbackPair &FB : Program.feedbacks())
         Dom.fillHalo(array(FB.Target));
     }
-    Control.GlobalBarrier.arrive_and_wait();
+    if (Prof) {
+      ProfileClock::time_point T0 = ProfileClock::now();
+      Control.GlobalBarrier.arrive_and_wait();
+      Accum.GlobalBarrierWaitSeconds +=
+          secondsSince(T0, ProfileClock::now());
+    } else {
+      Control.GlobalBarrier.arrive_and_wait();
+    }
 
     for (const BlockTask &Block : IslandP.Blocks) {
       for (const StagePass &Pass : Block.Passes) {
         Box3 Sub =
             teamSubRegion(Pass.Region, ThreadInTeam, IslandP.NumThreads);
-        Kernels.run(IS.Store, Pass.Stage, Sub);
-        IS.TeamBarrier.arrive_and_wait();
+        if (Prof) {
+          size_t Stage = static_cast<size_t>(Pass.Stage);
+          ProfileClock::time_point T0 = ProfileClock::now();
+          Kernels.run(IS.Store, Pass.Stage, Sub);
+          ProfileClock::time_point T1 = ProfileClock::now();
+          IS.TeamBarrier.arrive_and_wait();
+          ProfileClock::time_point T2 = ProfileClock::now();
+          Accum.StageKernelSeconds[Stage] += secondsSince(T0, T1);
+          Accum.StageBarrierWaitSeconds[Stage] += secondsSince(T1, T2);
+          ++Accum.StagePasses[Stage];
+        } else {
+          Kernels.run(IS.Store, Pass.Stage, Sub);
+          IS.TeamBarrier.arrive_and_wait();
+        }
       }
     }
+  }
+
+  if (Prof) {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    Stats.mergeThread(Island, ThreadInTeam, Accum);
   }
 }
 
@@ -131,19 +197,21 @@ void ProgramExecutor::run(int Steps) {
   if (Steps == 0)
     return;
 
-  int TotalThreads = 0;
-  for (const IslandPlan &Island : Plan.Islands)
-    TotalThreads += Island.NumThreads;
-
-  RunControl Control(TotalThreads);
-  std::vector<std::thread> Threads;
-  Threads.reserve(static_cast<size_t>(TotalThreads));
-  for (size_t Isl = 0; Isl != Plan.Islands.size(); ++Isl)
-    for (int T = 0; T != Plan.Islands[Isl].NumThreads; ++T)
-      Threads.emplace_back(&ProgramExecutor::threadMain, this,
-                           static_cast<int>(Isl), T, Steps, &Control);
-  for (std::thread &Thr : Threads)
-    Thr.join();
+  RunControl Control(static_cast<int>(WorkerCoords.size()));
+  ProfileClock::time_point Start;
+  if (Profiling)
+    Start = ProfileClock::now();
+  Pool->runOnAll([&](int Worker) {
+    auto [Island, ThreadInTeam] = WorkerCoords[static_cast<size_t>(Worker)];
+    threadMain(Island, ThreadInTeam, Steps, &Control);
+  });
+  if (Profiling) {
+    Stats.WallSeconds += secondsSince(Start, ProfileClock::now());
+    Stats.StepsRun += Steps;
+  }
+  ++Stats.RunCalls;
+  Stats.ThreadsSpawned = Pool->spawnedThreads();
+  Stats.PoolDispatches = Pool->dispatches();
 
   // The last step left the results in the Source arrays; expose them
   // through the feedback Targets.

@@ -8,9 +8,17 @@
 /// The application-agnostic threaded runtime: executes any ExecutionPlan
 /// for any (StencilProgram, KernelTable) pair. Islands run concurrently
 /// with private intermediates; passes are split among team threads along
-/// their longest dimension and followed by a team barrier; the program's
-/// feedback pairs advance the state between steps. PlanExecutor (the
-/// MPDATA-flavoured API) is a thin wrapper over this class.
+/// their longest non-unit-stride dimension and followed by a team barrier;
+/// the program's feedback pairs advance the state between steps.
+/// PlanExecutor (the MPDATA-flavoured API) is a thin wrapper over this
+/// class.
+///
+/// The plan's threads live in a persistent WorkerPool: they are spawned
+/// (and optionally pinned) once, on the first run(), and reused by every
+/// later call, so bench loops time the schedule rather than thread
+/// creation. With enableProfiling(true) the executor records per-stage
+/// kernel time and per-pass barrier waits into an ExecStats (see
+/// exec/ExecStats.h); results are bit-identical either way.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,6 +26,8 @@
 #define ICORES_EXEC_PROGRAMEXECUTOR_H
 
 #include "core/ExecutionPlan.h"
+#include "exec/ExecStats.h"
+#include "exec/WorkerPool.h"
 #include "grid/Array3D.h"
 #include "grid/Domain.h"
 #include "stencil/FieldStore.h"
@@ -26,9 +36,12 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 namespace icores {
+
+struct ThreadPlacement;
 
 /// Threaded executor for one plan of one program over one domain.
 class ProgramExecutor {
@@ -49,6 +62,22 @@ public:
   /// Refreshes the halos of every step input (call after initialization).
   void prepareInputs();
 
+  /// Turns per-stage/per-pass timing collection on or off for subsequent
+  /// run() calls. Off by default; when off, run() takes no timestamps.
+  void enableProfiling(bool On);
+
+  /// The measurements accumulated so far (pool counters are maintained
+  /// even with profiling off).
+  const ExecStats &stats() const { return Stats; }
+
+  /// Zeroes the accumulated measurements (layout and pool kept).
+  void resetStats() { Stats.resetMeasurements(); }
+
+  /// Requests that worker I be pinned to Placements[I].GlobalCore (the
+  /// (island, thread) order of computeThreadPlacement). Takes effect only
+  /// if called before the first run(); best effort on the host.
+  void setThreadPinning(const std::vector<ThreadPlacement> &Placements);
+
   /// Advances \p Steps steps with the plan's threads. Afterwards each
   /// feedback Target array holds the newest state.
   void run(int Steps);
@@ -65,6 +94,14 @@ private:
 
   std::map<ArrayId, Array3D> External;
   std::vector<std::unique_ptr<IslandState>> IslandStates;
+
+  /// Worker I's (island, thread-in-team) coordinates.
+  std::vector<std::pair<int, int>> WorkerCoords;
+  std::unique_ptr<WorkerPool> Pool;
+
+  bool Profiling = false;
+  ExecStats Stats;
+  std::mutex StatsMutex;
 };
 
 } // namespace icores

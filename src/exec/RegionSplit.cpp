@@ -8,10 +8,12 @@
 using namespace icores;
 
 int icores::teamSplitDim(const Box3 &Region) {
-  int Best = 0;
-  for (int D = 1; D != 3; ++D)
-    if (Region.extent(D) > Region.extent(Best))
-      Best = D;
+  // Never split the unit-stride k axis (dimension 2) while an i/j
+  // alternative exists: cutting k puts adjacent threads on the same cache
+  // lines (false sharing) and breaks the kernels' contiguous inner loops.
+  int Best = Region.extent(0) >= Region.extent(1) ? 0 : 1;
+  if (Region.extent(Best) <= 1 && Region.extent(2) > 1)
+    return 2;
   return Best;
 }
 

@@ -5,9 +5,12 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Splits a pass region among the threads of a work team along the
-/// region's longest dimension. The simulator assumes the same policy when
-/// charging cross-socket halo traffic.
+/// Splits a pass region among the threads of a work team along its longest
+/// i/j dimension. The unit-stride k axis is only split as a last resort
+/// (both i and j degenerate): cutting k would place adjacent threads on
+/// the same cache lines and break the kernels' contiguous inner loops.
+/// The simulator assumes the same policy when charging cross-socket halo
+/// traffic.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,8 +21,8 @@
 
 namespace icores {
 
-/// The dimension a team splits \p Region along (the longest one; ties go
-/// to the lower dimension index).
+/// The dimension a team splits \p Region along: the longer of i and j
+/// (ties go to i); the k axis only when both are degenerate (extent <= 1).
 int teamSplitDim(const Box3 &Region);
 
 /// Sub-region of \p Region assigned to thread \p Index of \p Count along

@@ -1,0 +1,75 @@
+//===- exec/WorkerPool.cpp - Persistent pinned worker threads -------------===//
+
+#include "exec/WorkerPool.h"
+
+#include "exec/Affinity.h"
+#include "support/Error.h"
+
+using namespace icores;
+
+WorkerPool::WorkerPool(int ANumThreads) : NumThreads(ANumThreads) {
+  ICORES_CHECK(NumThreads >= 1, "worker pool needs at least one thread");
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  JobReady.notify_all();
+  for (std::thread &Worker : Workers)
+    Worker.join();
+}
+
+void WorkerPool::setPinning(std::vector<int> GlobalCores) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Workers.empty())
+    PinCores = std::move(GlobalCores);
+}
+
+void WorkerPool::ensureSpawned() {
+  if (!Workers.empty())
+    return;
+  Workers.reserve(static_cast<size_t>(NumThreads));
+  for (int T = 0; T != NumThreads; ++T)
+    Workers.emplace_back(&WorkerPool::workerLoop, this, T);
+  Spawned += NumThreads;
+}
+
+void WorkerPool::runOnAll(const std::function<void(int)> &AJob) {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  ensureSpawned();
+  Job = &AJob;
+  Remaining = NumThreads;
+  ++Generation;
+  JobReady.notify_all();
+  JobDone.wait(Lock, [this] { return Remaining == 0; });
+  Job = nullptr;
+  ++Dispatches;
+}
+
+void WorkerPool::workerLoop(int Index) {
+  if (Index < static_cast<int>(PinCores.size()))
+    pinCurrentThreadToCore(PinCores[static_cast<size_t>(Index)]);
+
+  uint64_t SeenGeneration = 0;
+  for (;;) {
+    const std::function<void(int)> *MyJob;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      JobReady.wait(Lock, [&] {
+        return Stopping || Generation != SeenGeneration;
+      });
+      if (Stopping)
+        return;
+      SeenGeneration = Generation;
+      MyJob = Job;
+    }
+    (*MyJob)(Index);
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (--Remaining == 0)
+        JobDone.notify_all();
+    }
+  }
+}

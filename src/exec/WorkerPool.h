@@ -1,0 +1,79 @@
+//===- exec/WorkerPool.h - Persistent pinned worker threads -----*- C++ -*-===//
+//
+// Part of the icores project: islands-of-cores for heterogeneous stencils.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size pool of persistent worker threads. ProgramExecutor::run()
+/// used to spawn and join one std::thread per plan thread on every call,
+/// so back-to-back runs (bench loops, multi-phase drivers) measured thread
+/// creation instead of schedule quality. The pool spawns its workers once,
+/// on the first dispatch, optionally pins each to a core, and reuses them
+/// for every subsequent dispatch; spawnedThreads() exposes how many OS
+/// threads were ever created so tests can assert the reuse.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICORES_EXEC_WORKERPOOL_H
+#define ICORES_EXEC_WORKERPOOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace icores {
+
+/// Persistent team of \p NumThreads workers executing one job at a time.
+class WorkerPool {
+public:
+  explicit WorkerPool(int NumThreads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool &) = delete;
+  WorkerPool &operator=(const WorkerPool &) = delete;
+
+  /// Runs \p Job(WorkerIndex) on every worker and blocks until all have
+  /// finished. Workers are spawned on the first call and reused after.
+  void runOnAll(const std::function<void(int)> &Job);
+
+  int numThreads() const { return NumThreads; }
+
+  /// Pins worker \p Index to \p GlobalCore when it spawns (best effort;
+  /// silently ignored where unsupported). Must precede the first
+  /// runOnAll(); later calls have no effect.
+  void setPinning(std::vector<int> GlobalCores);
+
+  /// OS threads created over the pool's lifetime; stays at numThreads()
+  /// however many jobs ran — the observable pool-reuse guarantee.
+  int64_t spawnedThreads() const { return Spawned; }
+
+  /// Number of completed runOnAll() dispatches.
+  int64_t dispatches() const { return Dispatches; }
+
+private:
+  void workerLoop(int Index);
+  void ensureSpawned();
+
+  const int NumThreads;
+  std::vector<std::thread> Workers;
+  std::vector<int> PinCores; ///< Empty, or one global core per worker.
+
+  std::mutex Mutex;
+  std::condition_variable JobReady;
+  std::condition_variable JobDone;
+  const std::function<void(int)> *Job = nullptr;
+  uint64_t Generation = 0; ///< Bumped per dispatch; workers wait on it.
+  int Remaining = 0;       ///< Workers still running the current job.
+  bool Stopping = false;
+
+  int64_t Spawned = 0;
+  int64_t Dispatches = 0;
+};
+
+} // namespace icores
+
+#endif // ICORES_EXEC_WORKERPOOL_H

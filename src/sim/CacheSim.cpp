@@ -33,9 +33,21 @@ public:
     Stats.AccessedBytes += Bytes;
     auto It = Index.find(Key);
     if (It != Index.end()) {
-      // Hit: move to the front, update dirtiness.
+      // Hit: move to the front, update dirtiness. The same slab can be
+      // touched with different region sizes (halo reads are wider than
+      // interior writes); the resident footprint is the largest touch, and
+      // the growth is a fill plus a capacity re-charge — without it Used
+      // undercounts and the residency check turns optimistic.
       Lru.splice(Lru.begin(), Lru, It->second);
       It->second->Dirty = It->second->Dirty || IsWrite;
+      if (Bytes > It->second->Bytes) {
+        int64_t Growth = Bytes - It->second->Bytes;
+        if (!IsWrite)
+          Stats.ReadMissBytes += Growth;
+        It->second->Bytes = Bytes;
+        Used += Growth;
+        evictToCapacity();
+      }
       return;
     }
     // Miss. Writes of full planes allocate without a fill (the schedules
@@ -45,14 +57,7 @@ public:
     Lru.push_front(Entry{Key, Bytes, IsWrite});
     Index[Key] = Lru.begin();
     Used += Bytes;
-    while (Used > Capacity && !Lru.empty()) {
-      Entry &Victim = Lru.back();
-      if (Victim.Dirty)
-        Stats.WritebackBytes += Victim.Bytes;
-      Used -= Victim.Bytes;
-      Index.erase(Victim.Key);
-      Lru.pop_back();
-    }
+    evictToCapacity();
   }
 
   /// Flushes remaining dirty planes (end of run).
@@ -71,6 +76,18 @@ private:
     int64_t Bytes;
     bool Dirty;
   };
+
+  /// Evicts LRU victims until the resident bytes fit the capacity.
+  void evictToCapacity() {
+    while (Used > Capacity && !Lru.empty()) {
+      Entry &Victim = Lru.back();
+      if (Victim.Dirty)
+        Stats.WritebackBytes += Victim.Bytes;
+      Used -= Victim.Bytes;
+      Index.erase(Victim.Key);
+      Lru.pop_back();
+    }
+  }
 
   int64_t Capacity;
   CacheSimResult &Stats;

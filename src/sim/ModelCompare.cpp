@@ -1,0 +1,36 @@
+//===- sim/ModelCompare.cpp - Predicted-vs-measured comparison ------------===//
+
+#include "sim/ModelCompare.h"
+
+#include "support/Format.h"
+#include "support/Table.h"
+
+using namespace icores;
+
+BarrierShareComparison
+icores::compareBarrierShare(const SimBreakdown &Predicted,
+                            double MeasuredKernelSeconds,
+                            double MeasuredBarrierWaitSeconds) {
+  BarrierShareComparison C;
+  double PredictedTotal = Predicted.Compute + Predicted.Dram +
+                          Predicted.Remote + Predicted.Barrier;
+  if (PredictedTotal > 0.0)
+    C.PredictedShare = Predicted.Barrier / PredictedTotal;
+  double MeasuredTotal = MeasuredKernelSeconds + MeasuredBarrierWaitSeconds;
+  if (MeasuredTotal > 0.0)
+    C.MeasuredShare = MeasuredBarrierWaitSeconds / MeasuredTotal;
+  return C;
+}
+
+void icores::printModelCompareTable(const std::vector<ModelCompareRow> &Rows,
+                                    OStream &OS) {
+  TablePrinter Table({"Configuration", "Predicted barrier [%]",
+                      "Measured barrier [%]", "Model error [pts]"});
+  for (const ModelCompareRow &Row : Rows)
+    Table.addRow(
+        {Row.Label,
+         formatFixed(Row.Comparison.PredictedShare * 100.0, 2),
+         formatFixed(Row.Comparison.MeasuredShare * 100.0, 2),
+         formatFixed(Row.Comparison.errorPoints(), 2)});
+  Table.print(OS);
+}

@@ -1,0 +1,65 @@
+//===- sim/ModelCompare.h - Predicted-vs-measured comparison ----*- C++ -*-===//
+//
+// Part of the icores project: islands-of-cores for heterogeneous stencils.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Closes the loop between the mechanistic simulator and the real threaded
+/// executor: given a simulated per-step cost breakdown and the aggregate
+/// kernel/barrier-wait seconds the executor measured (exec/ExecStats), it
+/// reports the predicted and observed shares of barrier time and the model
+/// error between them. The Table 3/4 benches print this so drift between
+/// the model and the runtime is visible in every run, in the spirit of the
+/// hardware-counter validations of the temporal-blocking literature.
+///
+/// Term mapping: the executor's team-barrier waits correspond to the
+/// simulator's Barrier term; its kernel time covers Compute + Dram +
+/// Remote (the kernels both compute and stream); the global end-of-step
+/// barrier corresponds to Overhead and is excluded from both shares.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICORES_SIM_MODELCOMPARE_H
+#define ICORES_SIM_MODELCOMPARE_H
+
+#include "sim/Simulator.h"
+
+#include <string>
+#include <vector>
+
+namespace icores {
+
+class OStream;
+
+/// Predicted vs measured share of barrier time for one configuration.
+struct BarrierShareComparison {
+  double PredictedShare = 0.0; ///< Barrier / (Compute+Dram+Remote+Barrier).
+  double MeasuredShare = 0.0;  ///< Barrier wait / (kernel + barrier wait).
+
+  /// Model error in percentage points (positive: model over-predicts).
+  double errorPoints() const {
+    return (PredictedShare - MeasuredShare) * 100.0;
+  }
+};
+
+/// Builds the comparison from a simulated critical-island breakdown and
+/// the executor's measured aggregate seconds.
+BarrierShareComparison
+compareBarrierShare(const SimBreakdown &Predicted,
+                    double MeasuredKernelSeconds,
+                    double MeasuredBarrierWaitSeconds);
+
+/// One labelled row of a model-error report.
+struct ModelCompareRow {
+  std::string Label;
+  BarrierShareComparison Comparison;
+};
+
+/// Renders rows as a table: label, predicted %, measured %, error points.
+void printModelCompareTable(const std::vector<ModelCompareRow> &Rows,
+                            OStream &OS);
+
+} // namespace icores
+
+#endif // ICORES_SIM_MODELCOMPARE_H

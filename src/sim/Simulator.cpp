@@ -11,13 +11,13 @@ using namespace icores;
 
 namespace {
 
-/// Longest dimension of \p Region — the dimension a work team splits a
-/// pass along (matches the executor's policy).
+/// The dimension a work team splits a pass along (matches the executor's
+/// teamSplitDim policy): the longer of i and j, never the unit-stride k
+/// axis unless both are degenerate.
 int splitDim(const Box3 &Region) {
-  int Best = 0;
-  for (int D = 1; D != 3; ++D)
-    if (Region.extent(D) > Region.extent(Best))
-      Best = D;
+  int Best = Region.extent(0) >= Region.extent(1) ? 0 : 1;
+  if (Region.extent(Best) <= 1 && Region.extent(2) > 1)
+    return 2;
   return Best;
 }
 

@@ -127,6 +127,76 @@ TEST_F(CacheSimFixture, AnalyticModelAgreesWithReplay) {
   EXPECT_LT(Ratio, 2.0);
 }
 
+namespace {
+
+/// Synthetic three-stage program touching the same step-input planes with
+/// different region widths: stage 0 reads A narrowly, stage 1 re-reads it
+/// with a +/-4 j-halo (the same (array, i-plane) slabs, twice the bytes),
+/// stage 2 reads it narrowly again.
+struct GrowingSlabCase {
+  StencilProgram Program;
+  ArrayId A;
+  IslandPlan Island;
+  Box3 Region = Box3::fromExtents(8, 8, 8);
+
+  GrowingSlabCase() {
+    A = Program.addArray("a", ArrayRole::StepInput);
+    ArrayId B = Program.addArray("b", ArrayRole::StepOutput);
+    ArrayId C = Program.addArray("c", ArrayRole::StepOutput);
+    ArrayId D = Program.addArray("d", ArrayRole::StepOutput);
+    StageDef Narrow;
+    Narrow.Name = "narrow";
+    Narrow.Outputs = {B};
+    Narrow.Inputs = {StageInput::center(A)};
+    StageId S0 = Program.addStage(Narrow);
+    StageDef Wide;
+    Wide.Name = "wide";
+    Wide.Outputs = {C};
+    Wide.Inputs = {StageInput::alongDim(A, 1, -4, 4)};
+    StageId S1 = Program.addStage(Wide);
+    StageDef Reread;
+    Reread.Name = "reread";
+    Reread.Outputs = {D};
+    Reread.Inputs = {StageInput::center(A)};
+    StageId S2 = Program.addStage(Reread);
+
+    BlockTask Block;
+    Block.Target = Region;
+    Block.Passes = {{S0, Region}, {S1, Region}, {S2, Region}};
+    Island.NumThreads = 1;
+    Island.Part = Region;
+    Island.Blocks = {Block};
+  }
+};
+
+} // namespace
+
+TEST(CacheSimGrowingSlab, HitWithLargerRegionChargesTheGrowth) {
+  // A narrow touch leaves 512-byte slabs resident; the wide re-read
+  // covers 1024 bytes of the same slabs. The 512-byte growth per plane is
+  // a real fill and must appear in the miss traffic even though the slab
+  // key hits.
+  GrowingSlabCase Case;
+  CacheSimResult R = replayIslandThroughCache(Case.Island, Case.Program,
+                                              /*CacheBytes=*/1ll << 30);
+  // 8 planes x 512 B narrow compulsory + 8 planes x 512 B growth.
+  EXPECT_EQ(R.ReadMissBytes, 8 * 1024);
+}
+
+TEST(CacheSimGrowingSlab, GrowthRechargesCapacityAndEvicts) {
+  // 9216 B holds the narrow working set (A + B = 8192 B) but not the
+  // grown one; the wide pass must push the cache over capacity, evict,
+  // and force re-misses — before the fix the undercounted footprint kept
+  // everything "resident" and the replay was optimistic.
+  GrowingSlabCase Case;
+  CacheSimResult Unbounded = replayIslandThroughCache(
+      Case.Island, Case.Program, /*CacheBytes=*/1ll << 30);
+  CacheSimResult Tight = replayIslandThroughCache(Case.Island, Case.Program,
+                                                  /*CacheBytes=*/9216);
+  EXPECT_GT(Tight.ReadMissBytes, Unbounded.ReadMissBytes);
+  EXPECT_EQ(Tight.AccessedBytes, Unbounded.AccessedBytes);
+}
+
 TEST_F(CacheSimFixture, AccessedBytesIndependentOfCacheSize) {
   ExecutionPlan Plan = makePlan(Strategy::Block31D, 8ll << 20);
   CacheSimResult Small =

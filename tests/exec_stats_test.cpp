@@ -1,0 +1,252 @@
+//===- tests/exec_stats_test.cpp - Executor observability tests -----------===//
+//
+// Tests of the executor observability layer: the persistent WorkerPool
+// (threads spawn once and are reused by every run()), and ExecStats
+// (pass/barrier counts match the plan, profiling never perturbs the
+// numerics, the JSON/CSV reports are well formed).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PlanBuilder.h"
+#include "exec/ExecStats.h"
+#include "exec/PlanExecutor.h"
+#include "exec/WorkerPool.h"
+#include "machine/MachineModel.h"
+#include "mpdata/InitialConditions.h"
+#include "mpdata/Solver.h"
+#include "support/OStream.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+using namespace icores;
+
+namespace {
+
+constexpr int GridNI = 16;
+constexpr int GridNJ = 12;
+constexpr int GridNK = 8;
+
+ExecutionPlan makeIslandsPlan(const MpdataProgram &M, int Sockets) {
+  MachineModel Machine = makeToyMachine();
+  Machine.NumSockets = Sockets;
+  PlanConfig Config;
+  Config.Strat = Strategy::IslandsOfCores;
+  Config.Sockets = Sockets;
+  return buildPlan(M.Program,
+                   Box3::fromExtents(GridNI, GridNJ, GridNK), Machine,
+                   Config);
+}
+
+std::unique_ptr<PlanExecutor> makeExecutor(const MpdataProgram &M,
+                                           int Sockets) {
+  Domain Dom(GridNI, GridNJ, GridNK, mpdataHaloDepth());
+  auto Exec = std::make_unique<PlanExecutor>(Dom, makeIslandsPlan(M, Sockets));
+  fillRandomPositive(Exec->stateIn(), Dom, 321, 0.1, 2.0);
+  setConstantVelocity(Exec->velocity(0), Exec->velocity(1),
+                      Exec->velocity(2), Dom, 0.3, -0.25, 0.2);
+  Exec->prepareCoefficients();
+  return Exec;
+}
+
+/// Passes in one island's schedule, total and per stage.
+int64_t planPasses(const IslandPlan &Island) {
+  int64_t N = 0;
+  for (const BlockTask &Block : Island.Blocks)
+    N += static_cast<int64_t>(Block.Passes.size());
+  return N;
+}
+
+int64_t planPassesOfStage(const IslandPlan &Island, size_t Stage) {
+  int64_t N = 0;
+  for (const BlockTask &Block : Island.Blocks)
+    for (const StagePass &Pass : Block.Passes)
+      if (static_cast<size_t>(Pass.Stage) == Stage)
+        ++N;
+  return N;
+}
+
+} // namespace
+
+TEST(WorkerPoolTest, RunsTheJobOnEveryWorkerAndReusesThreads) {
+  WorkerPool Pool(4);
+  EXPECT_EQ(Pool.spawnedThreads(), 0); // Lazy: nothing spawned yet.
+
+  std::vector<std::atomic<int>> Hits(4);
+  for (int Round = 0; Round != 3; ++Round)
+    Pool.runOnAll([&](int Worker) { ++Hits[static_cast<size_t>(Worker)]; });
+
+  for (const auto &H : Hits)
+    EXPECT_EQ(H.load(), 3);
+  EXPECT_EQ(Pool.spawnedThreads(), 4); // Spawned once, not per dispatch.
+  EXPECT_EQ(Pool.dispatches(), 3);
+}
+
+TEST(ExecStatsTest, PassAndBarrierCountsMatchThePlan) {
+  constexpr int Steps = 3;
+  MpdataProgram M = buildMpdataProgram();
+  auto Exec = makeExecutor(M, 2);
+  Exec->enableProfiling(true);
+  Exec->run(Steps);
+
+  const ExecutionPlan &Plan = Exec->plan();
+  const ExecStats &Stats = Exec->stats();
+  ASSERT_EQ(Stats.Islands.size(), Plan.Islands.size());
+  EXPECT_EQ(Stats.StepsRun, Steps);
+
+  for (size_t I = 0; I != Plan.Islands.size(); ++I) {
+    const IslandPlan &IslandP = Plan.Islands[I];
+    const IslandStat &IslandS = Stats.Islands[I];
+    int64_t Expected = Steps * planPasses(IslandP);
+
+    // Team-level pass executions match the schedule, stage by stage.
+    EXPECT_EQ(IslandS.teamPasses(), Expected);
+    for (size_t S = 0; S != IslandS.Stages.size(); ++S)
+      EXPECT_EQ(IslandS.Stages[S].Passes,
+                Steps * planPassesOfStage(IslandP, S))
+          << "island " << I << " stage " << S;
+
+    // Every thread visits every pass and crosses one team barrier per
+    // pass — the executor's lockstep invariant.
+    ASSERT_EQ(IslandS.Threads.size(),
+              static_cast<size_t>(IslandP.NumThreads));
+    for (const ThreadStat &T : IslandS.Threads) {
+      EXPECT_EQ(T.Passes, Expected);
+      EXPECT_EQ(T.BarrierWaits, Expected);
+    }
+  }
+}
+
+TEST(ExecStatsTest, PoolSpawnsThreadsOnlyOnceAcrossRuns) {
+  MpdataProgram M = buildMpdataProgram();
+  auto Exec = makeExecutor(M, 2);
+  Exec->enableProfiling(true);
+
+  int TotalThreads = 0;
+  for (const IslandPlan &Island : Exec->plan().Islands)
+    TotalThreads += Island.NumThreads;
+
+  Exec->run(1);
+  Exec->run(2);
+  Exec->run(1);
+
+  const ExecStats &Stats = Exec->stats();
+  EXPECT_EQ(Stats.RunCalls, 3);
+  EXPECT_EQ(Stats.PoolDispatches, 3);
+  EXPECT_EQ(Stats.ThreadsSpawned, TotalThreads); // The reuse guarantee.
+  EXPECT_EQ(Stats.StepsRun, 4);
+}
+
+TEST(ExecStatsTest, ProfilingDoesNotPerturbTheNumerics) {
+  constexpr int Steps = 4;
+  MpdataProgram M = buildMpdataProgram();
+  auto Plain = makeExecutor(M, 2);
+  Plain->run(Steps);
+  auto Profiled = makeExecutor(M, 2);
+  Profiled->enableProfiling(true);
+  Profiled->run(Steps);
+  Domain Dom(GridNI, GridNJ, GridNK, mpdataHaloDepth());
+  EXPECT_EQ(Profiled->state().maxAbsDiff(Plain->state(), Dom.coreBox()),
+            0.0);
+}
+
+TEST(ExecStatsTest, DisabledProfilingTakesNoMeasurements) {
+  MpdataProgram M = buildMpdataProgram();
+  auto Exec = makeExecutor(M, 2);
+  Exec->run(2);
+  const ExecStats &Stats = Exec->stats();
+  EXPECT_FALSE(Stats.Enabled);
+  EXPECT_EQ(Stats.kernelSeconds(), 0.0);
+  EXPECT_EQ(Stats.WallSeconds, 0.0);
+  // Pool bookkeeping is maintained regardless.
+  EXPECT_EQ(Stats.RunCalls, 1);
+  EXPECT_GT(Stats.ThreadsSpawned, 0);
+}
+
+TEST(ExecStatsTest, TimersMeasureSomethingAndImbalanceIsSane) {
+  MpdataProgram M = buildMpdataProgram();
+  auto Exec = makeExecutor(M, 2);
+  Exec->enableProfiling(true);
+  Exec->run(3);
+  const ExecStats &Stats = Exec->stats();
+  EXPECT_GT(Stats.kernelSeconds(), 0.0);
+  EXPECT_GT(Stats.WallSeconds, 0.0);
+  EXPECT_GE(Stats.teamBarrierWaitSeconds(), 0.0);
+  double Share = Stats.barrierShare();
+  EXPECT_GE(Share, 0.0);
+  EXPECT_LE(Share, 1.0);
+  for (const IslandStat &Island : Stats.Islands)
+    EXPECT_GE(Island.imbalance(), 1.0); // Max >= mean whenever work ran.
+}
+
+TEST(ExecStatsTest, ResetClearsMeasurementsButKeepsThePool) {
+  MpdataProgram M = buildMpdataProgram();
+  auto Exec = makeExecutor(M, 2);
+  Exec->enableProfiling(true);
+  Exec->run(2);
+  ASSERT_GT(Exec->stats().kernelSeconds(), 0.0);
+  int64_t Spawned = Exec->stats().ThreadsSpawned;
+  Exec->resetStats();
+  EXPECT_EQ(Exec->stats().kernelSeconds(), 0.0);
+  EXPECT_EQ(Exec->stats().StepsRun, 0);
+  EXPECT_EQ(Exec->stats().ThreadsSpawned, Spawned);
+
+  // Measurements after a reset are well formed again.
+  Exec->run(1);
+  EXPECT_GT(Exec->stats().kernelSeconds(), 0.0);
+}
+
+TEST(ExecStatsTest, JsonReportIsWellFormed) {
+  MpdataProgram M = buildMpdataProgram();
+  auto Exec = makeExecutor(M, 2);
+  Exec->enableProfiling(true);
+  Exec->run(2);
+  std::string Json = Exec->stats().toJsonString();
+
+  EXPECT_NE(Json.find("\"schema\": \"icores.exec_stats.v1\""),
+            std::string::npos);
+  EXPECT_NE(Json.find("\"islands\""), std::string::npos);
+  EXPECT_NE(Json.find("\"stages\""), std::string::npos);
+  EXPECT_NE(Json.find("\"barrier_wait_seconds\""), std::string::npos);
+  EXPECT_NE(Json.find("\"threads_spawned\""), std::string::npos);
+
+  // Balanced braces/brackets and no trailing commas before closers.
+  int Braces = 0, Brackets = 0;
+  for (size_t I = 0; I != Json.size(); ++I) {
+    char C = Json[I];
+    Braces += C == '{' ? 1 : (C == '}' ? -1 : 0);
+    Brackets += C == '[' ? 1 : (C == ']' ? -1 : 0);
+    ASSERT_GE(Braces, 0);
+    ASSERT_GE(Brackets, 0);
+    if (C == ',') {
+      size_t Next = Json.find_first_not_of(" \n\r\t", I + 1);
+      ASSERT_NE(Next, std::string::npos);
+      EXPECT_NE(Json[Next], '}');
+      EXPECT_NE(Json[Next], ']');
+    }
+  }
+  EXPECT_EQ(Braces, 0);
+  EXPECT_EQ(Brackets, 0);
+}
+
+TEST(ExecStatsTest, CsvReportHasOneRowPerActiveIslandStage) {
+  MpdataProgram M = buildMpdataProgram();
+  auto Exec = makeExecutor(M, 2);
+  Exec->enableProfiling(true);
+  Exec->run(1);
+
+  std::string Csv;
+  StringOStream OS(Csv);
+  Exec->stats().writeCsv(OS);
+
+  size_t Lines = 0;
+  for (char C : Csv)
+    Lines += C == '\n';
+  size_t ActiveStages = 0;
+  for (const IslandStat &Island : Exec->stats().Islands)
+    for (const StageStat &Stage : Island.Stages)
+      ActiveStages += Stage.Passes > 0;
+  EXPECT_EQ(Lines, ActiveStages + 1); // Rows plus the header.
+}

@@ -195,10 +195,36 @@ TEST(RegionSplitTest, CoversRegionDisjointly) {
   EXPECT_EQ(Sum, Region.numPoints());
 }
 
-TEST(RegionSplitTest, SplitsLongestDimension) {
+TEST(RegionSplitTest, SplitsLongestNonUnitStrideDimension) {
   EXPECT_EQ(teamSplitDim(Box3(0, 0, 0, 10, 30, 6)), 1);
   EXPECT_EQ(teamSplitDim(Box3(0, 0, 0, 50, 30, 6)), 0);
-  EXPECT_EQ(teamSplitDim(Box3(0, 0, 0, 5, 5, 9)), 2);
+  // Even when k is longest, the split must stay off the unit-stride axis
+  // (false sharing; broken contiguous inner loops).
+  EXPECT_EQ(teamSplitDim(Box3(0, 0, 0, 5, 5, 9)), 0);
+  EXPECT_EQ(teamSplitDim(Box3(0, 0, 0, 3, 5, 64)), 1);
+  // Only when both i and j are degenerate may the k axis be cut.
+  EXPECT_EQ(teamSplitDim(Box3(0, 0, 0, 1, 1, 9)), 2);
+  EXPECT_EQ(teamSplitDim(Box3(0, 0, 0, 1, 4, 9)), 1);
+}
+
+TEST(RegionSplitTest, NeverCutsTheKAxisWhenAvoidable) {
+  // Sweep k-dominant shapes: no thread boundary may land inside k unless
+  // i and j are both degenerate.
+  for (int Ni : {1, 2, 7})
+    for (int Nj : {1, 3, 8})
+      for (int Nk : {16, 33}) {
+        Box3 Region = Box3::fromExtents(Ni, Nj, Nk);
+        bool MayCutK = Ni <= 1 && Nj <= 1;
+        for (int Count : {2, 3, 5})
+          for (int T = 0; T != Count; ++T) {
+            Box3 Sub = teamSubRegion(Region, T, Count);
+            if (Sub.empty() || MayCutK)
+              continue;
+            EXPECT_EQ(Sub.extent(2), Nk)
+                << Ni << "x" << Nj << "x" << Nk << " thread " << T
+                << " of " << Count;
+          }
+      }
 }
 
 TEST(RegionSplitTest, MoreThreadsThanCells) {

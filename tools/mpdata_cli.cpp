@@ -6,6 +6,7 @@
 //                        [--ni --nj --nk --steps --variant --placement]
 //   mpdata_cli execute   --strategy=islands --islands=2
 //                        [--ni --nj --nk --steps --kernels=opt]
+//                        [--profile=stats.json --pin]
 //   mpdata_cli advise    --machine=uv2000 [--sockets --ni --nj --nk --steps]
 //   mpdata_cli traffic   --strategy=original [--machine ...]
 //   mpdata_cli plan      --strategy=islands [--sockets ...]  (dump the plan)
@@ -19,6 +20,7 @@
 #include "core/PlanBuilder.h"
 #include "core/PlanPrinter.h"
 #include "core/PlanVerifier.h"
+#include "exec/Affinity.h"
 #include "exec/PlanExecutor.h"
 #include "machine/MachineModel.h"
 #include "mpdata/InitialConditions.h"
@@ -49,7 +51,13 @@ void printUsage() {
       "  --kernels=ref|opt           execute-mode kernel variant\n"
       "  --ni --nj --nk              grid (default 1024x512x64; execute\n"
       "                              mode defaults to 32x24x16)\n"
-      "  --steps=N                   time steps (default 50; execute: 10)\n");
+      "  --steps=N                   time steps (default 50; execute: 10)\n"
+      "  --profile=FILE              execute mode: record per-stage kernel\n"
+      "                              and per-pass barrier-wait times and\n"
+      "                              write the ExecStats JSON to FILE\n"
+      "                              (see README.md for the schema)\n"
+      "  --pin                       execute mode: pin worker threads to\n"
+      "                              cores (best effort)\n");
 }
 
 bool parseStrategy(const std::string &Name, Strategy &Out) {
@@ -88,7 +96,7 @@ int main(int Argc, char **Argv) {
   CommandLine CL;
   for (const char *Opt : {"machine", "strategy", "sockets", "islands",
                           "variant", "placement", "kernels", "ni", "nj",
-                          "nk", "steps", "help"})
+                          "nk", "steps", "profile", "pin", "help"})
     CL.registerOption(Opt, "");
   std::string Error;
   if (!CL.parse(Argc - 1, Argv + 1, Error)) {
@@ -189,12 +197,24 @@ int main(int Argc, char **Argv) {
                                 ? KernelVariant::Optimized
                                 : KernelVariant::Reference;
     PlanExecutor Exec(Dom, std::move(Plan), Kernels);
+    if (CL.hasOption("pin"))
+      Exec.setThreadPinning(computeThreadPlacement(Exec.plan(), Host));
+    std::string ProfilePath = CL.getString("profile", "");
+    if (!ProfilePath.empty())
+      Exec.enableProfiling(true);
     fillRandomPositive(Exec.stateIn(), Dom, 7, 0.1, 2.0);
     setConstantVelocity(Exec.velocity(0), Exec.velocity(1),
                         Exec.velocity(2), Dom, 0.25, -0.2, 0.15);
     Exec.prepareCoefficients();
     double MassBefore = Exec.conservedMass();
-    Exec.run(Steps);
+    if (!ProfilePath.empty() && Steps > 1) {
+      // Two run() calls on purpose: the profile's pool counters then
+      // demonstrate thread reuse (run_calls 2, threads spawned once).
+      Exec.run(1);
+      Exec.run(Steps - 1);
+    } else {
+      Exec.run(Steps);
+    }
 
     ReferenceSolver Oracle(NI, NJ, NK);
     fillRandomPositive(Oracle.stateIn(), Oracle.domain(), 7, 0.1, 2.0);
@@ -210,6 +230,29 @@ int main(int Argc, char **Argv) {
     std::printf("mass drift: %.2e; max diff vs serial reference: %.3e %s\n",
                 Exec.conservedMass() - MassBefore, Diff,
                 Diff == 0.0 ? "(bit-exact)" : "");
+    if (!ProfilePath.empty()) {
+      const ExecStats &Stats = Exec.stats();
+      std::FILE *F = std::fopen(ProfilePath.c_str(), "w");
+      if (!F) {
+        std::fprintf(stderr, "error: cannot open '%s' for writing\n",
+                     ProfilePath.c_str());
+        return 1;
+      }
+      FileOStream OS(F);
+      Stats.writeJson(OS);
+      std::fclose(F);
+      std::printf("profile: kernel %s, team barrier %s, global barrier %s "
+                  "(barrier share %.1f%%)\n",
+                  formatSeconds(Stats.kernelSeconds()).c_str(),
+                  formatSeconds(Stats.teamBarrierWaitSeconds()).c_str(),
+                  formatSeconds(Stats.GlobalBarrierWaitSeconds).c_str(),
+                  Stats.barrierShare() * 100.0);
+      std::printf("profile: %lld run() calls reused %lld pooled threads; "
+                  "stats written to %s\n",
+                  static_cast<long long>(Stats.RunCalls),
+                  static_cast<long long>(Stats.ThreadsSpawned),
+                  ProfilePath.c_str());
+    }
     return Diff == 0.0 ? 0 : 1;
   }
 
