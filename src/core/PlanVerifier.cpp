@@ -3,28 +3,18 @@
 #include "core/PlanVerifier.h"
 
 #include "stencil/HaloAnalysis.h"
+#include "support/Diagnostics.h"
 #include "support/Format.h"
 
 using namespace icores;
 
-namespace {
-
-/// Fails the verification with a formatted message (keeps the first).
-void fail(PlanVerification &V, std::string Message) {
-  if (!V.Ok)
-    return;
-  V.Ok = false;
-  V.FirstError = std::move(Message);
-}
-
-} // namespace
-
-PlanVerification icores::verifyPlan(const ExecutionPlan &Plan,
-                                    const StencilProgram &Program) {
-  PlanVerification V;
+bool icores::verifyPlan(const ExecutionPlan &Plan,
+                        const StencilProgram &Program,
+                        DiagnosticEngine &Diags) {
+  size_t ErrorsBefore = Diags.numErrors();
   if (Plan.Islands.empty()) {
-    fail(V, "plan has no islands");
-    return V;
+    Diags.report(Severity::Error, "plan.no-islands", "plan has no islands");
+    return false;
   }
 
   RegionRequirements Global =
@@ -39,42 +29,59 @@ PlanVerification icores::verifyPlan(const ExecutionPlan &Plan,
       for (const StagePass &Pass : Block.Passes) {
         if (Pass.Region.empty())
           continue;
-        if (Pass.Stage <= LastStage) {
-          fail(V, formatString(
-                      "island %d block %zu: passes not in stage order",
-                      Island.Index, B));
-          return V;
+        if (Pass.Stage < 0 ||
+            static_cast<unsigned>(Pass.Stage) >= Program.numStages()) {
+          Diags
+              .report(Severity::Error, "plan.pass.invalid-stage",
+                      formatString("island %d block %zu: pass references "
+                                   "unknown stage %d",
+                                   Island.Index, B, Pass.Stage))
+              .note("island", formatString("%d", Island.Index));
+          continue;
         }
+        if (Pass.Stage <= LastStage)
+          Diags
+              .report(Severity::Error, "plan.pass.out-of-order",
+                      formatString(
+                          "island %d block %zu: passes not in stage order",
+                          Island.Index, B))
+              .note("island", formatString("%d", Island.Index))
+              .note("stage", Program.stage(Pass.Stage).Name);
         LastStage = Pass.Stage;
 
         const Box3 &GlobalRegion =
             Global.StageRegion[static_cast<size_t>(Pass.Stage)];
-        if (!GlobalRegion.containsBox(Pass.Region)) {
-          fail(V, formatString("island %d: stage '%s' pass %s exceeds the "
-                               "global region %s",
-                               Island.Index,
-                               Program.stage(Pass.Stage).Name.c_str(),
-                               Pass.Region.str().c_str(),
-                               GlobalRegion.str().c_str()));
-          return V;
-        }
+        if (!GlobalRegion.containsBox(Pass.Region))
+          Diags
+              .report(Severity::Error, "plan.pass.exceeds-global",
+                      formatString("island %d: stage '%s' pass %s exceeds "
+                                   "the global region %s",
+                                   Island.Index,
+                                   Program.stage(Pass.Stage).Name.c_str(),
+                                   Pass.Region.str().c_str(),
+                                   GlobalRegion.str().c_str()))
+              .note("island", formatString("%d", Island.Index))
+              .note("stage", Program.stage(Pass.Stage).Name);
 
         for (const StageInput &In : Program.stage(Pass.Stage).Inputs) {
           StageId Producer = Program.producerOf(In.Array);
           if (Producer == NoStage)
             continue; // Step input: valid everywhere after halo refresh.
           Box3 Needed = In.readRegion(Pass.Region);
-          if (!Done[static_cast<size_t>(Producer)].containsBox(Needed)) {
-            fail(V,
-                 formatString(
-                     "island %d: stage '%s' reads %s of '%s' before it is "
-                     "computed (island-local coverage %s)",
-                     Island.Index, Program.stage(Pass.Stage).Name.c_str(),
-                     Needed.str().c_str(),
-                     Program.array(In.Array).Name.c_str(),
-                     Done[static_cast<size_t>(Producer)].str().c_str()));
-            return V;
-          }
+          if (!Done[static_cast<size_t>(Producer)].containsBox(Needed))
+            Diags
+                .report(
+                    Severity::Error, "plan.pass.read-before-compute",
+                    formatString(
+                        "island %d: stage '%s' reads %s of '%s' before it is "
+                        "computed (island-local coverage %s)",
+                        Island.Index, Program.stage(Pass.Stage).Name.c_str(),
+                        Needed.str().c_str(),
+                        Program.array(In.Array).Name.c_str(),
+                        Done[static_cast<size_t>(Producer)].str().c_str()))
+                .note("island", formatString("%d", Island.Index))
+                .note("stage", Program.stage(Pass.Stage).Name)
+                .note("array", Program.array(In.Array).Name);
         }
         Box3 &D = Done[static_cast<size_t>(Pass.Stage)];
         // The union of consecutive slabs must stay a box for containment
@@ -105,25 +112,40 @@ PlanVerification icores::verifyPlan(const ExecutionPlan &Plan,
           for (const StagePass &Pass : Block.Passes)
             if (Pass.Stage == Producer)
               OtherOut = OtherOut.unionWith(Pass.Region);
-        if (!IslandOut.intersect(OtherOut).empty()) {
-          fail(V, formatString("islands %d and %d both write output '%s'",
-                               Island.Index, Other.Index,
-                               Program.array(Out).Name.c_str()));
-          return V;
-        }
+        if (!IslandOut.intersect(OtherOut).empty())
+          Diags
+              .report(Severity::Error, "plan.output.islands-overlap",
+                      formatString(
+                          "islands %d and %d both write output '%s'",
+                          Island.Index, Other.Index,
+                          Program.array(Out).Name.c_str()))
+              .note("islands",
+                    formatString("%d,%d", Other.Index, Island.Index))
+              .note("array", Program.array(Out).Name);
       }
       CoveredPoints += IslandOut.numPoints();
       CoveredBox = CoveredBox.unionWith(IslandOut);
     }
     if (CoveredBox != Plan.GlobalTarget ||
-        CoveredPoints != Plan.GlobalTarget.numPoints()) {
-      fail(V, formatString("output '%s' covers %lld points of %lld",
-                           Program.array(Out).Name.c_str(),
-                           static_cast<long long>(CoveredPoints),
-                           static_cast<long long>(
-                               Plan.GlobalTarget.numPoints())));
-      return V;
-    }
+        CoveredPoints != Plan.GlobalTarget.numPoints())
+      Diags
+          .report(Severity::Error, "plan.output.coverage",
+                  formatString("output '%s' covers %lld points of %lld",
+                               Program.array(Out).Name.c_str(),
+                               static_cast<long long>(CoveredPoints),
+                               static_cast<long long>(
+                                   Plan.GlobalTarget.numPoints())))
+          .note("array", Program.array(Out).Name);
   }
+  return Diags.numErrors() == ErrorsBefore;
+}
+
+PlanVerification icores::verifyPlan(const ExecutionPlan &Plan,
+                                    const StencilProgram &Program) {
+  DiagnosticEngine Diags;
+  PlanVerification V;
+  V.Ok = verifyPlan(Plan, Program, Diags);
+  if (!V.Ok)
+    V.FirstError = Diags.firstErrorMessage();
   return V;
 }

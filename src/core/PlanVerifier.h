@@ -14,6 +14,11 @@
 /// results; the verifier turns them into a fast static check usable on any
 /// hand-built or transformed plan.
 ///
+/// The DiagnosticEngine overload reports *every* violation as a stable
+/// `plan.*` finding (see DESIGN.md §7); the PlanVerification form is a
+/// first-error convenience wrapper kept for callers that only need a
+/// go/no-go answer.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ICORES_CORE_PLANVERIFIER_H
@@ -25,6 +30,8 @@
 #include <string>
 
 namespace icores {
+
+class DiagnosticEngine;
 
 /// Result of verifying one plan.
 struct PlanVerification {
@@ -40,6 +47,13 @@ struct PlanVerification {
 ///     islands covers Plan.GlobalTarget, and islands write disjoint parts;
 ///  3. clipping: no pass exceeds the global dependence-cone region of its
 ///     stage (nothing the original version would not compute).
+///
+/// Reports every violation into \p Diags under the `plan.*` id namespace.
+/// Returns true when no error was added.
+bool verifyPlan(const ExecutionPlan &Plan, const StencilProgram &Program,
+                DiagnosticEngine &Diags);
+
+/// First-error convenience wrapper over the DiagnosticEngine overload.
 PlanVerification verifyPlan(const ExecutionPlan &Plan,
                             const StencilProgram &Program);
 

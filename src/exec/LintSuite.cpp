@@ -1,0 +1,49 @@
+//===- exec/LintSuite.cpp - Combined static-analysis driver ---------------===//
+
+#include "exec/LintSuite.h"
+
+#include "core/PlanVerifier.h"
+#include "exec/ScheduleCheck.h"
+#include "stencil/KernelTable.h"
+#include "support/Diagnostics.h"
+#include "support/Format.h"
+
+using namespace icores;
+
+bool icores::runLintSuite(const StencilProgram &Program,
+                          const std::vector<LintKernelSet> &KernelSets,
+                          const std::vector<LintPlanSet> &Plans,
+                          DiagnosticEngine &Diags,
+                          const LintSuiteOptions &Opts) {
+  size_t ErrorsBefore = Diags.numErrors();
+
+  Program.validate(Diags);
+
+  if (Opts.RunAccessAudit)
+    for (const LintKernelSet &KS : KernelSets) {
+      if (!KS.Kernels || !KS.Kernels->coversProgram(Program)) {
+        Diags
+            .report(Severity::Error, "access.kernels.incomplete",
+                    formatString("kernel set '%s' does not provide a kernel "
+                                 "for every program stage",
+                                 KS.Label.c_str()))
+            .note("variant", KS.Label);
+        continue;
+      }
+      auditProgramAccess(Program, *KS.Kernels, Diags, Opts.Audit, KS.Label);
+    }
+
+  for (const LintPlanSet &PS : Plans) {
+    if (!PS.Plan)
+      continue;
+    // Tag the findings each plan contributes with the plan's label so a
+    // combined report stays attributable.
+    size_t First = Diags.numFindings();
+    verifyPlan(*PS.Plan, Program, Diags);
+    checkPlanRaces(Program, *PS.Plan, Diags);
+    for (size_t F = First; F != Diags.numFindings(); ++F)
+      Diags.finding(F).note("plan", PS.Label);
+  }
+
+  return Diags.numErrors() == ErrorsBefore;
+}

@@ -1,0 +1,260 @@
+//===- exec/ScheduleCheck.cpp - Plan schedule race analysis ---------------===//
+
+#include "exec/ScheduleCheck.h"
+
+#include "exec/RegionSplit.h"
+#include "support/Diagnostics.h"
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace icores;
+
+std::vector<IslandSchedule>
+icores::buildIslandSchedules(const ExecutionPlan &Plan) {
+  std::vector<IslandSchedule> Schedules;
+  Schedules.reserve(Plan.Islands.size());
+  for (const IslandPlan &Island : Plan.Islands) {
+    IslandSchedule S;
+    S.Index = Island.Index;
+    S.NumThreads = std::max(1, Island.NumThreads);
+    for (const BlockTask &Block : Island.Blocks)
+      for (const StagePass &Pass : Block.Passes) {
+        if (Pass.Region.empty())
+          continue; // The executor skips empty passes.
+        S.Passes.push_back({Pass.Stage, Pass.Region, /*BarrierAfter=*/true});
+      }
+    Schedules.push_back(std::move(S));
+  }
+  return Schedules;
+}
+
+namespace {
+
+/// Per-array read hull of a stage (several StageInputs on the same array
+/// merge into one box window).
+struct ReadHull {
+  ArrayId Array = 0;
+  std::array<int, 3> MinOff = {0, 0, 0}, MaxOff = {0, 0, 0};
+};
+
+std::vector<ReadHull> readHulls(const StageDef &S) {
+  std::vector<ReadHull> Hulls;
+  for (const StageInput &In : S.Inputs) {
+    ReadHull *Existing = nullptr;
+    for (ReadHull &H : Hulls)
+      if (H.Array == In.Array)
+        Existing = &H;
+    if (!Existing) {
+      Hulls.push_back({In.Array, In.MinOff, In.MaxOff});
+      continue;
+    }
+    for (int D = 0; D != 3; ++D) {
+      Existing->MinOff[D] = std::min(Existing->MinOff[D], In.MinOff[D]);
+      Existing->MaxOff[D] = std::max(Existing->MaxOff[D], In.MaxOff[D]);
+    }
+  }
+  return Hulls;
+}
+
+Box3 expandByWindow(const Box3 &B, const std::array<int, 3> &MinOff,
+                    const std::array<int, 3> &MaxOff) {
+  Box3 R = B;
+  for (int D = 0; D != 3; ++D) {
+    R.Lo[D] += MinOff[D];
+    R.Hi[D] += MaxOff[D];
+  }
+  return R;
+}
+
+bool overlaps(const Box3 &A, const Box3 &B) {
+  return !A.intersect(B).empty();
+}
+
+bool writesArray(const StageDef &S, ArrayId A) {
+  return std::find(S.Outputs.begin(), S.Outputs.end(), A) != S.Outputs.end();
+}
+
+/// Searches one epoch (passes [Begin, End) of \p S with no intervening
+/// barrier) for conflicting thread pairs. A conflict needs two *different*
+/// threads: one thread executes its share of every pass in order, so
+/// same-thread overlap is sequential, not a race.
+void checkEpoch(const StencilProgram &Program, const IslandSchedule &S,
+                size_t Begin, size_t End, DiagnosticEngine &Diags) {
+  const int N = S.NumThreads;
+  for (size_t PI = Begin; PI != End; ++PI) {
+    const ScheduledPass &P1 = S.Passes[PI];
+    const StageDef &S1 = Program.stage(P1.Stage);
+    for (size_t PJ = PI + 1; PJ != End; ++PJ) {
+      const ScheduledPass &P2 = S.Passes[PJ];
+      const StageDef &S2 = Program.stage(P2.Stage);
+
+      // Write-write: both passes write the same array and two threads'
+      // sub-regions overlap.
+      for (ArrayId Out1 : S1.Outputs) {
+        if (!writesArray(S2, Out1))
+          continue;
+        bool Reported = false;
+        for (int T1 = 0; T1 != N && !Reported; ++T1)
+          for (int T2 = 0; T2 != N && !Reported; ++T2) {
+            if (T1 == T2)
+              continue;
+            Box3 W1 = teamSubRegion(P1.Region, T1, N);
+            Box3 W2 = teamSubRegion(P2.Region, T2, N);
+            if (!overlaps(W1, W2))
+              continue;
+            Diags
+                .report(Severity::Error, "race.intra.write-write",
+                        formatString(
+                            "island %d: stages '%s' and '%s' both write "
+                            "'%s' in overlapping thread sub-regions with no "
+                            "barrier between the passes",
+                            S.Index, S1.Name.c_str(), S2.Name.c_str(),
+                            Program.array(Out1).Name.c_str()))
+                .note("island", formatString("%d", S.Index))
+                .note("array", Program.array(Out1).Name)
+                .note("threads", formatString("%d,%d", T1, T2))
+                .note("overlap", W1.intersect(W2).str());
+            Reported = true;
+          }
+      }
+
+      // Read-write, both directions: the earlier pass's writes vs the
+      // later pass's window-expanded reads, and vice versa (a later write
+      // clobbering cells an unfinished earlier pass still reads).
+      for (int Dir = 0; Dir != 2; ++Dir) {
+        const ScheduledPass &WP = Dir == 0 ? P1 : P2;
+        const ScheduledPass &RP = Dir == 0 ? P2 : P1;
+        const StageDef &WS = Dir == 0 ? S1 : S2;
+        const StageDef &RS = Dir == 0 ? S2 : S1;
+        for (const ReadHull &H : readHulls(RS)) {
+          if (!writesArray(WS, H.Array))
+            continue;
+          bool Reported = false;
+          for (int T1 = 0; T1 != N && !Reported; ++T1)
+            for (int T2 = 0; T2 != N && !Reported; ++T2) {
+              if (T1 == T2)
+                continue;
+              Box3 W = teamSubRegion(WP.Region, T1, N);
+              Box3 R = expandByWindow(teamSubRegion(RP.Region, T2, N),
+                                      H.MinOff, H.MaxOff);
+              if (!overlaps(W, R))
+                continue;
+              Diags
+                  .report(Severity::Error, "race.intra.read-write",
+                          formatString(
+                              "island %d: stage '%s' writes '%s' while "
+                              "stage '%s' reads it in an overlapping thread "
+                              "sub-region with no barrier between the passes",
+                              S.Index, WS.Name.c_str(),
+                              Program.array(H.Array).Name.c_str(),
+                              RS.Name.c_str()))
+                  .note("island", formatString("%d", S.Index))
+                  .note("array", Program.array(H.Array).Name)
+                  .note("threads", formatString("%d,%d", T1, T2))
+                  .note("overlap", W.intersect(R).str());
+              Reported = true;
+            }
+        }
+      }
+    }
+  }
+}
+
+void checkIntraIsland(const StencilProgram &Program, const IslandSchedule &S,
+                      DiagnosticEngine &Diags) {
+  if (S.NumThreads < 2)
+    return; // A one-thread team cannot race with itself.
+  size_t Begin = 0;
+  for (size_t P = 0; P != S.Passes.size(); ++P) {
+    if (!S.Passes[P].BarrierAfter && P + 1 != S.Passes.size())
+      continue;
+    checkEpoch(Program, S, Begin, P + 1, Diags);
+    Begin = P + 1;
+  }
+}
+
+/// Checks A's writes against B's accesses. Write-write conflicts are
+/// symmetric, so they are only examined when \p CheckWriteWrite is set (the
+/// caller passes true for one direction only); read-write conflicts are
+/// directional and checked on every call.
+void checkInterIsland(const StencilProgram &Program,
+                      const IslandSchedule &A, const IslandSchedule &B,
+                      bool CheckWriteWrite, DiagnosticEngine &Diags) {
+  // Islands share only non-Intermediate arrays; intermediates live in
+  // per-island field stores. Within one step there is no inter-island
+  // synchronisation at all, so *any* write overlap on a shared array is a
+  // race regardless of pass order. Whole pass regions are used: the team
+  // covers its full region collectively.
+  auto isShared = [&](ArrayId Id) {
+    return Program.array(Id).Role != ArrayRole::Intermediate;
+  };
+  auto reportOnce = [&](const char *Id, const std::string &Msg, ArrayId Arr,
+                        const Box3 &Overlap) {
+    Diags.report(Severity::Error, Id, Msg)
+        .note("islands", formatString("%d,%d", A.Index, B.Index))
+        .note("array", Program.array(Arr).Name)
+        .note("overlap", Overlap.str());
+  };
+
+  for (const ScheduledPass &PA : A.Passes) {
+    const StageDef &SA = Program.stage(PA.Stage);
+    for (const ScheduledPass &PB : B.Passes) {
+      const StageDef &SB = Program.stage(PB.Stage);
+
+      for (ArrayId Out : SA.Outputs) {
+        if (!isShared(Out))
+          continue;
+        if (CheckWriteWrite && writesArray(SB, Out) &&
+            overlaps(PA.Region, PB.Region))
+          reportOnce("race.inter.write-write",
+                     formatString("islands %d and %d both write shared "
+                                  "array '%s' in overlapping regions within "
+                                  "one step (stages '%s' / '%s')",
+                                  A.Index, B.Index,
+                                  Program.array(Out).Name.c_str(),
+                                  SA.Name.c_str(), SB.Name.c_str()),
+                     Out, PA.Region.intersect(PB.Region));
+        for (const ReadHull &H : readHulls(SB)) {
+          if (H.Array != Out)
+            continue;
+          Box3 R = expandByWindow(PB.Region, H.MinOff, H.MaxOff);
+          if (overlaps(PA.Region, R))
+            reportOnce("race.inter.read-write",
+                       formatString("island %d writes shared array '%s' "
+                                    "(stage '%s') while island %d reads it "
+                                    "(stage '%s') with no synchronisation "
+                                    "within the step",
+                                    A.Index, Program.array(Out).Name.c_str(),
+                                    SA.Name.c_str(), B.Index,
+                                    SB.Name.c_str()),
+                       Out, PA.Region.intersect(R));
+        }
+      }
+    }
+  }
+}
+
+} // namespace
+
+bool icores::checkScheduleRaces(const StencilProgram &Program,
+                                const std::vector<IslandSchedule> &Schedules,
+                                DiagnosticEngine &Diags) {
+  size_t ErrorsBefore = Diags.numErrors();
+  for (const IslandSchedule &S : Schedules)
+    checkIntraIsland(Program, S, Diags);
+  for (size_t A = 0; A != Schedules.size(); ++A)
+    for (size_t B = A + 1; B != Schedules.size(); ++B) {
+      checkInterIsland(Program, Schedules[A], Schedules[B],
+                       /*CheckWriteWrite=*/true, Diags);
+      checkInterIsland(Program, Schedules[B], Schedules[A],
+                       /*CheckWriteWrite=*/false, Diags);
+    }
+  return Diags.numErrors() == ErrorsBefore;
+}
+
+bool icores::checkPlanRaces(const StencilProgram &Program,
+                            const ExecutionPlan &Plan,
+                            DiagnosticEngine &Diags) {
+  return checkScheduleRaces(Program, buildIslandSchedules(Plan), Diags);
+}

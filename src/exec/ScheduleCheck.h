@@ -1,0 +1,79 @@
+//===- exec/ScheduleCheck.h - Plan schedule race analysis -------*- C++ -*-===//
+//
+// Part of the icores project: islands-of-cores for heterogeneous stencils.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Happens-before analysis over an ExecutionPlan's pass/barrier schedule.
+/// The threaded executor runs each island's passes in order, splitting each
+/// pass region among the team's threads with teamSubRegion() and placing a
+/// team barrier after every pass; islands synchronise only at time-step
+/// boundaries. This analysis model makes both rules explicit and checkable:
+///
+///  - *Intra-island*: within a maximal barrier-free run of passes (an
+///    "epoch"), thread t1's writes may overlap thread t2's writes or
+///    window-expanded reads of a later pass — a data race the barrier
+///    normally prevents. The stock schedule built by buildIslandSchedules()
+///    barriers after every pass (matching the executor), so intra-island
+///    findings appear only for hand-modified schedules (e.g. a proposed
+///    barrier-elision optimisation) — which is exactly when one wants the
+///    check.
+///
+///  - *Inter-island*: islands share only the non-Intermediate arrays (the
+///    per-island FieldStore privatises intermediates). Two islands whose
+///    passes write overlapping cells of a shared array, or where one writes
+///    cells another reads, race for the whole time step.
+///
+/// Findings use the stable `race.*` id namespace (see DESIGN.md §7).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICORES_EXEC_SCHEDULECHECK_H
+#define ICORES_EXEC_SCHEDULECHECK_H
+
+#include "core/ExecutionPlan.h"
+#include "grid/Box3.h"
+#include "stencil/StencilIR.h"
+
+#include <vector>
+
+namespace icores {
+
+class DiagnosticEngine;
+
+/// One stage evaluation in an island's schedule, with the synchronisation
+/// edge that follows it.
+struct ScheduledPass {
+  StageId Stage = 0;
+  Box3 Region;
+  /// Whether the team barriers after this pass. The executor always does;
+  /// tests and barrier-elision experiments clear it.
+  bool BarrierAfter = true;
+};
+
+/// The per-island view the race check operates on.
+struct IslandSchedule {
+  int Index = 0;
+  int NumThreads = 1;
+  std::vector<ScheduledPass> Passes;
+};
+
+/// Flattens \p Plan into per-island schedules mirroring the executor:
+/// blocks in order, passes in order, empty pass regions dropped, a barrier
+/// after every pass.
+std::vector<IslandSchedule> buildIslandSchedules(const ExecutionPlan &Plan);
+
+/// Runs the happens-before analysis over \p Schedules, reporting `race.*`
+/// findings into \p Diags. Returns true when no error was added.
+bool checkScheduleRaces(const StencilProgram &Program,
+                        const std::vector<IslandSchedule> &Schedules,
+                        DiagnosticEngine &Diags);
+
+/// Convenience: buildIslandSchedules + checkScheduleRaces.
+bool checkPlanRaces(const StencilProgram &Program, const ExecutionPlan &Plan,
+                    DiagnosticEngine &Diags);
+
+} // namespace icores
+
+#endif // ICORES_EXEC_SCHEDULECHECK_H

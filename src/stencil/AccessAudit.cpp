@@ -1,0 +1,396 @@
+//===- stencil/AccessAudit.cpp - Kernel access-footprint auditor ----------===//
+
+#include "stencil/AccessAudit.h"
+
+#include "grid/Array3D.h"
+#include "stencil/KernelTable.h"
+#include "support/Diagnostics.h"
+#include "support/Error.h"
+#include "support/Format.h"
+#include "support/Random.h"
+
+#include <cmath>
+#include <cstdlib>
+
+using namespace icores;
+
+Array3D &AuditFieldStore::get(ArrayId Id) {
+  FetchedFlags[static_cast<size_t>(Id)] = 1;
+  return FieldStore::get(Id);
+}
+
+const Array3D &AuditFieldStore::get(ArrayId Id) const {
+  FetchedFlags[static_cast<size_t>(Id)] = 1;
+  return FieldStore::get(Id);
+}
+
+void AuditFieldStore::clearFetched() {
+  FetchedFlags.assign(FetchedFlags.size(), 0);
+}
+
+bool AuditFieldStore::wasFetched(ArrayId Id) const {
+  ICORES_CHECK(Id >= 0 &&
+                   static_cast<size_t>(Id) < FetchedFlags.size(),
+               "fetch query id out of range");
+  return FetchedFlags[static_cast<size_t>(Id)] != 0;
+}
+
+namespace {
+
+/// Visits every point of \p B in (i, j, k) order.
+template <typename Fn> void forBox(const Box3 &B, Fn &&Body) {
+  for (int I = B.Lo[0]; I != B.Hi[0]; ++I)
+    for (int J = B.Lo[1]; J != B.Hi[1]; ++J)
+      for (int K = B.Lo[2]; K != B.Hi[2]; ++K)
+        Body(I, J, K);
+}
+
+/// Fills \p A with nonzero values of random sign and magnitude in
+/// [0.75, 1.75), so sign-dependent paths (donor-cell upwind selection)
+/// take both branches across the region and nothing is annihilated by a
+/// zero factor.
+void fillRandomSigned(Array3D &A, SplitMix64 &Rng) {
+  const Box3 &Space = A.indexSpace();
+  forBox(Space, [&](int I, int J, int K) {
+    double Mag = Rng.nextInRange(0.75, 1.75);
+    A.at(I, J, K) = (Rng.next() & 1) ? Mag : -Mag;
+  });
+}
+
+/// The two probe replacement values: larger in magnitude than any value in
+/// the store (so min/max chains select them) and of both signs (so
+/// sign-selected branches flip). Both always differ from \p Orig.
+double probeValue(double Orig, int Polarity) {
+  double Mag = std::fabs(Orig) * 2.0 + 3.0;
+  return Polarity == 0 ? Mag : -Mag;
+}
+
+/// Renders a per-dimension offset window as "[a,b]x[c,d]x[e,f]".
+std::string windowStr(const std::array<int, 3> &Min,
+                      const std::array<int, 3> &Max) {
+  return formatString("[%d,%d]x[%d,%d]x[%d,%d]", Min[0], Max[0], Min[1],
+                      Max[1], Min[2], Max[2]);
+}
+
+int64_t windowVolume(const std::array<int, 3> &Min,
+                     const std::array<int, 3> &Max) {
+  int64_t V = 1;
+  for (int D = 0; D != 3; ++D)
+    V *= Max[D] - Min[D] + 1;
+  return V;
+}
+
+} // namespace
+
+StageAccessFootprint
+icores::probeStageAccess(const StencilProgram &Program,
+                         const KernelTable &Kernels, StageId Stage,
+                         const AccessAuditOptions &Opts) {
+  const StageDef &S = Program.stage(Stage);
+  const unsigned NumArrays = Program.numArrays();
+  const Box3 Out = Opts.ProbeRegion;
+  ICORES_CHECK(!Out.empty(), "audit probe region must be non-empty");
+  ICORES_CHECK(Opts.Trials >= 1 && Opts.SlackRadius >= 1,
+               "audit needs at least one trial and one cell of slack");
+
+  StageAccessFootprint FP;
+  FP.Stage = Stage;
+  FP.Reads.resize(NumArrays);
+  FP.Fetched.assign(NumArrays, 0);
+  FP.UndeclaredWritePoints.assign(NumArrays, 0);
+  FP.OutsideWritePoints.assign(NumArrays, 0);
+  FP.UncoveredPoints.assign(NumArrays, 0);
+
+  // Declared per-array windows: the box hull when an array appears in
+  // several StageInputs.
+  for (const StageInput &In : S.Inputs) {
+    StageAccessFootprint::ReadWindow &W =
+        FP.Reads[static_cast<size_t>(In.Array)];
+    if (!W.Declared) {
+      W.Declared = true;
+      W.DeclMin = In.MinOff;
+      W.DeclMax = In.MaxOff;
+    } else {
+      for (int D = 0; D != 3; ++D) {
+        W.DeclMin[D] = std::min(W.DeclMin[D], In.MinOff[D]);
+        W.DeclMax[D] = std::max(W.DeclMax[D], In.MaxOff[D]);
+      }
+    }
+  }
+
+  // Allocation pad: the widest declared offset plus the slack radius, so
+  // reads up to SlackRadius outside any declared window stay in bounds and
+  // are attributable.
+  int Pad = Opts.SlackRadius;
+  for (const StageInput &In : S.Inputs)
+    for (int D = 0; D != 3; ++D)
+      Pad = std::max({Pad, std::abs(In.MinOff[D]) + Opts.SlackRadius,
+                      std::abs(In.MaxOff[D]) + Opts.SlackRadius});
+  const Box3 Alloc = Out.grownAll(Pad);
+
+  std::vector<char> IsOutput(NumArrays, 0);
+  for (ArrayId O : S.Outputs)
+    IsOutput[static_cast<size_t>(O)] = 1;
+
+  // Output cells never written, intersected across trials (a cell that
+  // coincidentally keeps its random pre-fill value in one trial cannot do
+  // so in all of them).
+  std::vector<std::vector<char>> Uncovered(NumArrays);
+
+  for (int Trial = 0; Trial != Opts.Trials; ++Trial) {
+    AuditFieldStore Fields(NumArrays);
+    SplitMix64 Rng(Opts.Seed + static_cast<uint64_t>(Trial));
+    std::vector<Array3D> Pre(NumArrays);
+    for (unsigned A = 0; A != NumArrays; ++A) {
+      ArrayId Id = static_cast<ArrayId>(A);
+      Fields.allocateOwned(Id, Alloc);
+      fillRandomSigned(Fields.get(Id), Rng);
+      Pre[A] = Fields.get(Id);
+    }
+
+    Fields.clearFetched();
+    Kernels.run(Fields, Stage, Out);
+    for (unsigned A = 0; A != NumArrays; ++A)
+      if (Fields.wasFetched(static_cast<ArrayId>(A)))
+        FP.Fetched[A] = 1;
+
+    // --- Write footprint: diff every array against its pre-fill --------
+    std::vector<char> Changed(NumArrays, 0);
+    for (unsigned A = 0; A != NumArrays; ++A) {
+      const Array3D &Now = Fields.get(static_cast<ArrayId>(A));
+      int64_t UndeclaredHere = 0, OutsideHere = 0;
+      std::vector<char> UnwrittenHere;
+      if (IsOutput[A])
+        UnwrittenHere.assign(static_cast<size_t>(Out.numPoints()), 0);
+      int64_t OutIndex = 0;
+      forBox(Alloc, [&](int I, int J, int K) {
+        bool CellChanged = Now.at(I, J, K) != Pre[A].at(I, J, K);
+        if (CellChanged)
+          Changed[A] = 1;
+        if (!IsOutput[A]) {
+          if (CellChanged)
+            ++UndeclaredHere;
+          return;
+        }
+        if (Out.contains(I, J, K)) {
+          if (!CellChanged)
+            UnwrittenHere[static_cast<size_t>(OutIndex)] = 1;
+          ++OutIndex;
+        } else if (CellChanged) {
+          ++OutsideHere;
+        }
+      });
+      FP.UndeclaredWritePoints[A] =
+          std::max(FP.UndeclaredWritePoints[A], UndeclaredHere);
+      FP.OutsideWritePoints[A] =
+          std::max(FP.OutsideWritePoints[A], OutsideHere);
+      if (IsOutput[A]) {
+        if (Trial == 0)
+          Uncovered[A] = std::move(UnwrittenHere);
+        else
+          for (size_t C = 0; C != Uncovered[A].size(); ++C)
+            Uncovered[A][C] = Uncovered[A][C] && UnwrittenHere[C];
+      }
+    }
+
+    // Post-run output values: the baseline every probe run diffs against.
+    std::vector<Array3D> Post(NumArrays);
+    std::vector<unsigned> ChangedArrays;
+    for (unsigned A = 0; A != NumArrays; ++A) {
+      if (Changed[A])
+        ChangedArrays.push_back(A);
+      if (IsOutput[A])
+        Post[A] = Fields.get(static_cast<ArrayId>(A));
+    }
+
+    // --- Read footprint: perturb one candidate cell at a time ----------
+    for (unsigned A = 0; A != NumArrays; ++A) {
+      ArrayId Id = static_cast<ArrayId>(A);
+      StageAccessFootprint::ReadWindow &W = FP.Reads[A];
+      // Probe arrays the kernel fetched or the IR declares as inputs.
+      // Arrays the baseline run modified (the stage's outputs, or buggy
+      // undeclared writes — flagged above) cannot be probed reliably:
+      // the kernel overwrites the perturbation.
+      if (!(FP.Fetched[A] || W.Declared) || Changed[A])
+        continue;
+      Array3D &Arr = Fields.get(Id);
+      forBox(Alloc, [&](int CI, int CJ, int CK) {
+        for (int Polarity = 0; Polarity != 2; ++Polarity) {
+          for (unsigned CA : ChangedArrays)
+            Fields.get(static_cast<ArrayId>(CA)) = Pre[CA];
+          double Orig = Arr.at(CI, CJ, CK);
+          Arr.at(CI, CJ, CK) = probeValue(Orig, Polarity);
+          Kernels.run(Fields, Stage, Out);
+          Arr.at(CI, CJ, CK) = Orig;
+          for (ArrayId O : S.Outputs) {
+            const Array3D &Now = Fields.get(O);
+            const Array3D &Base = Post[static_cast<size_t>(O)];
+            forBox(Out, [&](int PI, int PJ, int PK) {
+              if (Now.at(PI, PJ, PK) == Base.at(PI, PJ, PK))
+                return;
+              std::array<int, 3> Off = {CI - PI, CJ - PJ, CK - PK};
+              if (!W.Observed) {
+                W.Observed = true;
+                W.ObsMin = W.ObsMax = Off;
+                return;
+              }
+              for (int D = 0; D != 3; ++D) {
+                W.ObsMin[D] = std::min(W.ObsMin[D], Off[D]);
+                W.ObsMax[D] = std::max(W.ObsMax[D], Off[D]);
+              }
+            });
+          }
+        }
+      });
+    }
+  }
+
+  for (unsigned A = 0; A != NumArrays; ++A) {
+    int64_t N = 0;
+    for (char C : Uncovered[A])
+      N += C;
+    FP.UncoveredPoints[A] = N;
+  }
+  return FP;
+}
+
+namespace {
+
+void reportStageFindings(const StencilProgram &Program,
+                         const StageAccessFootprint &FP,
+                         DiagnosticEngine &Diags, const std::string &Label) {
+  const StageDef &S = Program.stage(FP.Stage);
+  auto annotate = [&](Finding &F, ArrayId Id) -> Finding & {
+    F.note("stage", S.Name).note("array", Program.array(Id).Name);
+    if (!Label.empty())
+      F.note("variant", Label);
+    return F;
+  };
+  std::vector<char> IsOutput(Program.numArrays(), 0);
+  for (ArrayId O : S.Outputs)
+    IsOutput[static_cast<size_t>(O)] = 1;
+
+  for (unsigned A = 0; A != Program.numArrays(); ++A) {
+    ArrayId Id = static_cast<ArrayId>(A);
+    const char *ArrName = Program.array(Id).Name.c_str();
+
+    if (FP.UndeclaredWritePoints[A] > 0)
+      annotate(Diags.report(
+                   Severity::Error, "access.write.undeclared-array",
+                   formatString("stage '%s' writes %lld cells of '%s', which "
+                                "is not among its declared outputs",
+                                S.Name.c_str(),
+                                static_cast<long long>(
+                                    FP.UndeclaredWritePoints[A]),
+                                ArrName)),
+               Id);
+    if (FP.OutsideWritePoints[A] > 0)
+      annotate(Diags.report(
+                   Severity::Error, "access.write.outside-region",
+                   formatString("stage '%s' writes %lld cells of output '%s' "
+                                "outside the stage region",
+                                S.Name.c_str(),
+                                static_cast<long long>(FP.OutsideWritePoints[A]),
+                                ArrName)),
+               Id);
+    if (FP.UncoveredPoints[A] > 0)
+      annotate(Diags.report(
+                   Severity::Warning, "access.write.region-uncovered",
+                   formatString("stage '%s' leaves %lld cells of output '%s' "
+                                "unwritten inside the stage region",
+                                S.Name.c_str(),
+                                static_cast<long long>(FP.UncoveredPoints[A]),
+                                ArrName)),
+               Id);
+
+    const StageAccessFootprint::ReadWindow &W = FP.Reads[A];
+    if (IsOutput[A])
+      continue; // Reads of own outputs are rejected by validate().
+    if (W.Observed && !W.Declared) {
+      annotate(Diags.report(
+                   Severity::Error, "access.read.undeclared-array",
+                   formatString("stage '%s' reads '%s' (observed window %s) "
+                                "without declaring it as an input — halo "
+                                "analysis is unsound",
+                                S.Name.c_str(), ArrName,
+                                windowStr(W.ObsMin, W.ObsMax).c_str())),
+               Id)
+          .note("observed", windowStr(W.ObsMin, W.ObsMax));
+    } else if (W.Observed && W.Declared) {
+      bool Under = false, Over = false;
+      for (int D = 0; D != 3; ++D) {
+        Under |= W.ObsMin[D] < W.DeclMin[D] || W.ObsMax[D] > W.DeclMax[D];
+        Over |= W.ObsMin[D] > W.DeclMin[D] || W.ObsMax[D] < W.DeclMax[D];
+      }
+      if (Under)
+        annotate(Diags.report(
+                     Severity::Error, "access.read.outside-window",
+                     formatString("stage '%s' reads '%s' outside its declared "
+                                  "window (observed %s, declared %s) — halo "
+                                  "analysis is unsound",
+                                  S.Name.c_str(), ArrName,
+                                  windowStr(W.ObsMin, W.ObsMax).c_str(),
+                                  windowStr(W.DeclMin, W.DeclMax).c_str())),
+                 Id)
+            .note("observed", windowStr(W.ObsMin, W.ObsMax))
+            .note("declared", windowStr(W.DeclMin, W.DeclMax));
+      else if (Over)
+        annotate(Diags.report(
+                     Severity::Warning, "access.read.window-slack",
+                     formatString(
+                         "stage '%s' declares a wider window on '%s' than it "
+                         "reads (declared %s, observed %s): %lld extra "
+                         "window cells per point inflate the Table 2 "
+                         "redundant-computation budget",
+                         S.Name.c_str(), ArrName,
+                         windowStr(W.DeclMin, W.DeclMax).c_str(),
+                         windowStr(W.ObsMin, W.ObsMax).c_str(),
+                         static_cast<long long>(
+                             windowVolume(W.DeclMin, W.DeclMax) -
+                             windowVolume(W.ObsMin, W.ObsMax)))),
+                 Id)
+            .note("observed", windowStr(W.ObsMin, W.ObsMax))
+            .note("declared", windowStr(W.DeclMin, W.DeclMax));
+    } else if (W.Declared && !W.Observed) {
+      annotate(Diags.report(
+                   Severity::Warning, "access.read.declared-unused",
+                   formatString("stage '%s' declares input '%s' but no read "
+                                "of it influences any output",
+                                S.Name.c_str(), ArrName)),
+               Id);
+    } else if (FP.Fetched[A] && !W.Declared) {
+      annotate(Diags.report(
+                   Severity::Warning, "access.fetch.undeclared-array",
+                   formatString("stage '%s' fetches '%s' from the field "
+                                "store without declaring it (no "
+                                "value-affecting read observed)",
+                                S.Name.c_str(), ArrName)),
+               Id);
+    }
+  }
+}
+
+} // namespace
+
+bool icores::auditStageAccess(const StencilProgram &Program,
+                              const KernelTable &Kernels, StageId Stage,
+                              DiagnosticEngine &Diags,
+                              const AccessAuditOptions &Opts,
+                              const std::string &Label) {
+  size_t ErrorsBefore = Diags.numErrors();
+  StageAccessFootprint FP = probeStageAccess(Program, Kernels, Stage, Opts);
+  reportStageFindings(Program, FP, Diags, Label);
+  return Diags.numErrors() == ErrorsBefore;
+}
+
+bool icores::auditProgramAccess(const StencilProgram &Program,
+                                const KernelTable &Kernels,
+                                DiagnosticEngine &Diags,
+                                const AccessAuditOptions &Opts,
+                                const std::string &Label) {
+  size_t ErrorsBefore = Diags.numErrors();
+  for (unsigned S = 0; S != Program.numStages(); ++S)
+    auditStageAccess(Program, Kernels, static_cast<StageId>(S), Diags, Opts,
+                     Label);
+  return Diags.numErrors() == ErrorsBefore;
+}

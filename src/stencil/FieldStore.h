@@ -24,9 +24,20 @@
 namespace icores {
 
 /// Per-execution-context array table for one StencilProgram.
+///
+/// get() is virtual so that instrumented stores (stencil/AccessAudit.h's
+/// AuditFieldStore) can observe which arrays a kernel fetches. Kernels
+/// fetch each array once per (stage, region) invocation, so the virtual
+/// dispatch is never on a per-element path.
 class FieldStore {
 public:
   explicit FieldStore(unsigned NumArrays) : Slots(NumArrays) {}
+  virtual ~FieldStore() = default;
+
+  FieldStore(const FieldStore &) = delete;
+  FieldStore &operator=(const FieldStore &) = delete;
+  FieldStore(FieldStore &&) = default;
+  FieldStore &operator=(FieldStore &&) = default;
 
   /// Allocates an owned array over \p IndexSpace for \p Id.
   void allocateOwned(ArrayId Id, const Box3 &IndexSpace);
@@ -37,8 +48,8 @@ public:
 
   bool isBound(ArrayId Id) const { return slot(Id).Ptr != nullptr; }
 
-  Array3D &get(ArrayId Id);
-  const Array3D &get(ArrayId Id) const;
+  virtual Array3D &get(ArrayId Id);
+  virtual const Array3D &get(ArrayId Id) const;
 
   /// Total bytes of owned storage (the working set the (3+1)D block must
   /// keep cache-resident).

@@ -2,6 +2,7 @@
 
 #include "stencil/StencilIR.h"
 
+#include "support/Diagnostics.h"
 #include "support/Error.h"
 #include "support/Format.h"
 
@@ -34,9 +35,11 @@ StageId StencilProgram::addStage(StageDef Def) {
   StageId Id = static_cast<StageId>(Stages.size());
   for (ArrayId Out : Def.Outputs) {
     checkArray(Out);
-    ICORES_CHECK(Producer[static_cast<size_t>(Out)] == NoStage,
-                 "array already has a producing stage");
-    Producer[static_cast<size_t>(Out)] = Id;
+    // A second producer is recorded as a validation error (not a hard
+    // abort) so that validate() can report it alongside everything else;
+    // producerOf() keeps returning the first producer.
+    if (Producer[static_cast<size_t>(Out)] == NoStage)
+      Producer[static_cast<size_t>(Out)] = Id;
   }
   Stages.push_back(std::move(Def));
   return Id;
@@ -72,63 +75,114 @@ int64_t StencilProgram::totalFlopsPerPoint() const {
 }
 
 bool StencilProgram::validate(std::string &Error) const {
+  DiagnosticEngine Diags;
+  if (validate(Diags))
+    return true;
+  Error = Diags.firstErrorMessage();
+  return false;
+}
+
+bool StencilProgram::validate(DiagnosticEngine &Diags) const {
+  size_t ErrorsBefore = Diags.numErrors();
   for (size_t SI = 0; SI != Stages.size(); ++SI) {
     const StageDef &S = Stages[SI];
-    if (S.Outputs.empty()) {
-      Error = formatString("stage '%s' has no outputs", S.Name.c_str());
-      return false;
-    }
-    for (ArrayId Out : S.Outputs) {
+    if (S.Outputs.empty())
+      Diags
+          .report(Severity::Error, "program.stage.no-outputs",
+                  formatString("stage '%s' has no outputs", S.Name.c_str()))
+          .note("stage", S.Name);
+    for (size_t OI = 0; OI != S.Outputs.size(); ++OI) {
+      ArrayId Out = S.Outputs[OI];
       const ArrayInfo &Info = Arrays[checkArray(Out)];
-      if (Info.Role == ArrayRole::StepInput) {
-        Error = formatString("stage '%s' writes step input '%s'",
-                             S.Name.c_str(), Info.Name.c_str());
-        return false;
-      }
+      if (Info.Role == ArrayRole::StepInput)
+        Diags
+            .report(Severity::Error, "program.stage.writes-step-input",
+                    formatString("stage '%s' writes step input '%s'",
+                                 S.Name.c_str(), Info.Name.c_str()))
+            .note("stage", S.Name)
+            .note("array", Info.Name);
+      for (size_t OJ = 0; OJ != OI; ++OJ)
+        if (S.Outputs[OJ] == Out)
+          Diags
+              .report(Severity::Error, "program.stage.duplicate-output",
+                      formatString("stage '%s' lists output '%s' twice",
+                                   S.Name.c_str(), Info.Name.c_str()))
+              .note("stage", S.Name)
+              .note("array", Info.Name);
+      StageId Prod = Producer[static_cast<size_t>(Out)];
+      if (Prod != NoStage && Prod != static_cast<StageId>(SI))
+        Diags
+            .report(Severity::Error, "program.array.multiple-producers",
+                    formatString("array '%s' is produced by both stage '%s' "
+                                 "and stage '%s'",
+                                 Info.Name.c_str(),
+                                 Stages[static_cast<size_t>(Prod)].Name.c_str(),
+                                 S.Name.c_str()))
+            .note("stage", S.Name)
+            .note("array", Info.Name);
     }
     for (const StageInput &In : S.Inputs) {
       const ArrayInfo &Info = Arrays[checkArray(In.Array)];
       StageId Prod = Producer[static_cast<size_t>(In.Array)];
       if (Info.Role != ArrayRole::StepInput &&
-          (Prod == NoStage || Prod >= static_cast<StageId>(SI))) {
-        Error = formatString(
-            "stage '%s' reads '%s' before it is produced (topological "
-            "order violated)",
-            S.Name.c_str(), Info.Name.c_str());
-        return false;
-      }
-      for (int D = 0; D != 3; ++D) {
-        if (In.MinOff[D] > In.MaxOff[D]) {
-          Error = formatString("stage '%s': inverted offset window on '%s'",
-                               S.Name.c_str(), Info.Name.c_str());
-          return false;
-        }
-      }
+          (Prod == NoStage || Prod >= static_cast<StageId>(SI)))
+        Diags
+            .report(Severity::Error, "program.stage.read-before-produced",
+                    formatString("stage '%s' reads '%s' before it is produced "
+                                 "(topological order violated)",
+                                 S.Name.c_str(), Info.Name.c_str()))
+            .note("stage", S.Name)
+            .note("array", Info.Name);
+      for (ArrayId Out : S.Outputs)
+        if (Out == In.Array)
+          Diags
+              .report(Severity::Error, "program.stage.read-write-overlap",
+                      formatString("stage '%s' reads array '%s' that it also "
+                                   "writes (pointwise kernels would be "
+                                   "evaluation-order dependent)",
+                                   S.Name.c_str(), Info.Name.c_str()))
+              .note("stage", S.Name)
+              .note("array", Info.Name);
+      for (int D = 0; D != 3; ++D)
+        if (In.MinOff[D] > In.MaxOff[D])
+          Diags
+              .report(Severity::Error, "program.input.inverted-window",
+                      formatString("stage '%s': inverted offset window on "
+                                   "'%s' (dimension %d: min %d > max %d)",
+                                   S.Name.c_str(), Info.Name.c_str(), D,
+                                   In.MinOff[D], In.MaxOff[D]))
+              .note("stage", S.Name)
+              .note("array", Info.Name);
     }
-    if (S.FlopsPerPoint < 0) {
-      Error = formatString("stage '%s' has negative flop count",
-                           S.Name.c_str());
-      return false;
-    }
+    if (S.FlopsPerPoint < 0)
+      Diags
+          .report(Severity::Error, "program.stage.negative-flops",
+                  formatString("stage '%s' has negative flop count",
+                               S.Name.c_str()))
+          .note("stage", S.Name);
   }
   for (size_t A = 0; A != Arrays.size(); ++A) {
     const ArrayInfo &Info = Arrays[A];
     bool Produced = Producer[A] != NoStage;
-    if (Info.Role == ArrayRole::StepOutput && !Produced) {
-      Error =
-          formatString("step output '%s' is never produced", Info.Name.c_str());
-      return false;
-    }
+    if (Info.Role == ArrayRole::StepOutput && !Produced)
+      Diags
+          .report(Severity::Error, "program.output.never-produced",
+                  formatString("step output '%s' is never produced",
+                               Info.Name.c_str()))
+          .note("array", Info.Name);
   }
   for (const FeedbackPair &FB : Feedbacks) {
     if (Arrays[checkArray(FB.Source)].Role != ArrayRole::StepOutput ||
-        Arrays[checkArray(FB.Target)].Role != ArrayRole::StepInput) {
-      Error = formatString("feedback '%s' -> '%s' must connect a step "
+        Arrays[checkArray(FB.Target)].Role != ArrayRole::StepInput)
+      Diags
+          .report(
+              Severity::Error, "program.feedback.role-mismatch",
+              formatString("feedback '%s' -> '%s' must connect a step "
                            "output to a step input",
                            Arrays[static_cast<size_t>(FB.Source)].Name.c_str(),
-                           Arrays[static_cast<size_t>(FB.Target)].Name.c_str());
-      return false;
-    }
+                           Arrays[static_cast<size_t>(FB.Target)].Name.c_str()))
+          .note("source", Arrays[static_cast<size_t>(FB.Source)].Name)
+          .note("target", Arrays[static_cast<size_t>(FB.Target)].Name);
   }
-  return true;
+  return Diags.numErrors() == ErrorsBefore;
 }

@@ -27,6 +27,8 @@
 
 namespace icores {
 
+class DiagnosticEngine;
+
 /// Index of an array in a StencilProgram's array table.
 using ArrayId = int;
 
@@ -106,7 +108,11 @@ struct FeedbackPair {
 /// Invariants checked by validate():
 ///  - stages are topologically ordered (a stage reads only step inputs and
 ///    arrays produced by earlier stages),
-///  - every array has at most one producing stage,
+///  - every array has at most one producing stage and appears at most once
+///    in a stage's Outputs,
+///  - no stage reads an array it also writes (the kernels' pointwise
+///    contract would make such a stage order-dependent),
+///  - offset windows are well-formed (MinOff <= MaxOff per dimension),
 ///  - step outputs are produced, step inputs never are,
 ///  - feedback pairs connect a step output to a step input.
 class StencilProgram {
@@ -143,8 +149,13 @@ public:
   int64_t totalFlopsPerPoint() const;
 
   /// Checks all structural invariants; fills \p Error and returns false on
-  /// the first violation.
+  /// the first violation. Convenience wrapper over the DiagnosticEngine
+  /// overload below.
   bool validate(std::string &Error) const;
+
+  /// Checks all structural invariants, reporting *every* violation as a
+  /// `program.*` finding. Returns true when no errors were reported.
+  bool validate(DiagnosticEngine &Diags) const;
 
 private:
   size_t checkArray(ArrayId Id) const;

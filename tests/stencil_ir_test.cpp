@@ -1,6 +1,7 @@
 //===- tests/stencil_ir_test.cpp - Stencil IR unit tests ------------------===//
 
 #include "stencil/StencilIR.h"
+#include "support/Diagnostics.h"
 
 #include <gtest/gtest.h>
 
@@ -142,6 +143,70 @@ TEST(StencilIR, ValidateRejectsInvertedOffsets) {
   std::string Error;
   EXPECT_FALSE(P.validate(Error));
   EXPECT_NE(Error.find("inverted"), std::string::npos);
+}
+
+TEST(StencilIR, ValidateRejectsDuplicateOutputs) {
+  StencilProgram P;
+  ArrayId In = P.addArray("in", ArrayRole::StepInput);
+  ArrayId Out = P.addArray("out", ArrayRole::StepOutput);
+  StageDef S;
+  S.Name = "s";
+  S.Outputs = {Out, Out};
+  S.Inputs = {StageInput::center(In)};
+  P.addStage(S);
+
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(P.validate(Diags));
+  EXPECT_TRUE(Diags.hasFinding("program.stage.duplicate-output"));
+}
+
+TEST(StencilIR, ValidateRejectsReadWriteOverlap) {
+  StencilProgram P;
+  ArrayId In = P.addArray("in", ArrayRole::StepInput);
+  ArrayId Mid = P.addArray("mid", ArrayRole::Intermediate);
+  ArrayId Out = P.addArray("out", ArrayRole::StepOutput);
+
+  StageDef S1;
+  S1.Name = "make-mid";
+  S1.Outputs = {Mid};
+  S1.Inputs = {StageInput::center(In)};
+  P.addStage(S1);
+
+  // Reads mid while also writing it: order-dependent under partitioning.
+  StageDef S2;
+  S2.Name = "in-place";
+  S2.Outputs = {Mid, Out};
+  S2.Inputs = {StageInput::alongDim(Mid, 0, -1, 1)};
+  P.addStage(S2);
+
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(P.validate(Diags));
+  EXPECT_TRUE(Diags.hasFinding("program.stage.read-write-overlap"));
+  // The same stage is also a second producer of mid.
+  EXPECT_TRUE(Diags.hasFinding("program.array.multiple-producers"));
+}
+
+TEST(StencilIR, ValidateReportsEveryViolationNotJustTheFirst) {
+  StencilProgram P;
+  ArrayId In = P.addArray("in", ArrayRole::StepInput);
+  ArrayId Out = P.addArray("out", ArrayRole::StepOutput);
+  P.addArray("orphan", ArrayRole::StepOutput); // Never produced.
+
+  StageDef S;
+  S.Name = "s";
+  S.Outputs = {Out, Out}; // Duplicate output.
+  StageInput Bad = StageInput::center(In);
+  Bad.MinOff[2] = 1;
+  Bad.MaxOff[2] = -1; // Inverted window.
+  S.Inputs = {Bad};
+  P.addStage(S);
+
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(P.validate(Diags));
+  EXPECT_TRUE(Diags.hasFinding("program.stage.duplicate-output"));
+  EXPECT_TRUE(Diags.hasFinding("program.input.inverted-window"));
+  EXPECT_TRUE(Diags.hasFinding("program.output.never-produced"));
+  EXPECT_GE(Diags.numErrors(), 3u);
 }
 
 TEST(StencilIR, MultiOutputStage) {

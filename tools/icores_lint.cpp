@@ -1,0 +1,137 @@
+//===- tools/icores_lint.cpp - Stencil static-analysis driver -------------===//
+//
+// Runs every static analysis over the shipped MPDATA application:
+//
+//   icores_lint [--json] [--strategy=all|original|31d|islands]
+//               [--machine=uv2000|knc|xeon] [--sockets=N]
+//               [--ni= --nj= --nk=] [--no-audit]
+//
+//  - program validation (`program.*` findings),
+//  - kernel access audit of both kernel variants against the declared
+//    IR windows (`access.*`),
+//  - plan dataflow verification (`plan.*`) and schedule race checking
+//    (`race.*`) for each selected strategy's plan.
+//
+// Prints one finding per line (or the `icores.lint.v1` JSON document with
+// --json) and exits nonzero when any error-severity finding is reported.
+// CI runs this on every change; see DESIGN.md §7 for the finding taxonomy.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PlanBuilder.h"
+#include "exec/LintSuite.h"
+#include "machine/MachineModel.h"
+#include "mpdata/Kernels.h"
+#include "mpdata/MpdataProgram.h"
+#include "support/CommandLine.h"
+#include "support/Diagnostics.h"
+#include "support/Format.h"
+#include "support/OStream.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace icores;
+
+namespace {
+
+void printUsage() {
+  std::printf(
+      "usage: icores_lint [options]\n"
+      "  --json                      emit the icores.lint.v1 JSON document\n"
+      "  --strategy=all|original|31d|islands  plans to check (default all)\n"
+      "  --machine=uv2000|knc|xeon   machine model for planning (default\n"
+      "                              uv2000)\n"
+      "  --sockets=N                 sockets to plan for (default: all)\n"
+      "  --ni= --nj= --nk=           grid (default 1024x512x64)\n"
+      "  --no-audit                  skip the kernel access audit\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CommandLine CL;
+  for (const char *Opt : {"json", "strategy", "machine", "sockets", "ni",
+                          "nj", "nk", "no-audit", "help"})
+    CL.registerOption(Opt, "");
+  std::string Error;
+  if (!CL.parse(Argc, Argv, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    printUsage();
+    return 1;
+  }
+  if (CL.hasOption("help")) {
+    printUsage();
+    return 0;
+  }
+
+  MachineModel Machine;
+  std::string MachineName = CL.getString("machine", "uv2000");
+  if (MachineName == "uv2000")
+    Machine = makeSgiUv2000();
+  else if (MachineName == "knc")
+    Machine = makeXeonPhiKnc();
+  else if (MachineName == "xeon")
+    Machine = makeXeonE5_2660v2();
+  else {
+    std::fprintf(stderr, "error: unknown machine '%s'\n",
+                 MachineName.c_str());
+    return 1;
+  }
+
+  std::string StratName = CL.getString("strategy", "all");
+  std::vector<std::pair<std::string, Strategy>> Strategies;
+  if (StratName == "all" || StratName == "original")
+    Strategies.push_back({"original", Strategy::Original});
+  if (StratName == "all" || StratName == "31d")
+    Strategies.push_back({"31d", Strategy::Block31D});
+  if (StratName == "all" || StratName == "islands")
+    Strategies.push_back({"islands", Strategy::IslandsOfCores});
+  if (Strategies.empty()) {
+    std::fprintf(stderr, "error: unknown strategy '%s'\n",
+                 StratName.c_str());
+    return 1;
+  }
+
+  int NI = static_cast<int>(CL.getInt("ni", 1024));
+  int NJ = static_cast<int>(CL.getInt("nj", 512));
+  int NK = static_cast<int>(CL.getInt("nk", 64));
+  int Sockets =
+      static_cast<int>(CL.getInt("sockets", Machine.NumSockets));
+
+  MpdataProgram M = buildMpdataProgram();
+  Box3 Grid = Box3::fromExtents(NI, NJ, NK);
+
+  KernelTable RefKernels = buildMpdataKernels(KernelVariant::Reference);
+  KernelTable OptKernels = buildMpdataKernels(KernelVariant::Optimized);
+  std::vector<LintKernelSet> KernelSets = {{"ref", &RefKernels},
+                                           {"opt", &OptKernels}};
+
+  std::vector<ExecutionPlan> Plans;
+  Plans.reserve(Strategies.size());
+  std::vector<LintPlanSet> PlanSets;
+  for (const auto &S : Strategies) {
+    PlanConfig Config;
+    Config.Strat = S.second;
+    Config.Sockets = Sockets;
+    Plans.push_back(buildPlan(M.Program, Grid, Machine, Config));
+    PlanSets.push_back({S.first, &Plans.back()});
+  }
+
+  LintSuiteOptions Opts;
+  Opts.RunAccessAudit = !CL.hasOption("no-audit");
+
+  DiagnosticEngine Diags;
+  runLintSuite(M.Program, KernelSets, PlanSets, Diags, Opts);
+
+  if (CL.hasOption("json")) {
+    Diags.printJson(outs());
+  } else {
+    Diags.printText(outs());
+    outs() << formatString(
+        "icores_lint: %zu findings (%zu errors, %zu warnings)\n",
+        Diags.numFindings(), Diags.numErrors(), Diags.numWarnings());
+  }
+  return Diags.hasErrors() ? 1 : 0;
+}

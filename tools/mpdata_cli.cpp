@@ -10,10 +10,13 @@
 //   mpdata_cli advise    --machine=uv2000 [--sockets --ni --nj --nk --steps]
 //   mpdata_cli traffic   --strategy=original [--machine ...]
 //   mpdata_cli plan      --strategy=islands [--sockets ...]  (dump the plan)
+//   mpdata_cli lint      [--strategy=...] [--json] [--no-audit]
 //
 // `simulate`, `advise`, `traffic` and `plan` are instantaneous model
 // queries; `execute` runs the real threaded numerics on this host and
-// verifies them against the serial reference.
+// verifies them against the serial reference; `lint` (also spelled
+// `--lint`) runs the static-analysis suite — see tools/icores_lint.cpp
+// for the standalone driver and DESIGN.md §7 for the finding taxonomy.
 //
 //===----------------------------------------------------------------------===//
 
@@ -21,14 +24,17 @@
 #include "core/PlanPrinter.h"
 #include "core/PlanVerifier.h"
 #include "exec/Affinity.h"
+#include "exec/LintSuite.h"
 #include "exec/PlanExecutor.h"
 #include "machine/MachineModel.h"
 #include "mpdata/InitialConditions.h"
+#include "mpdata/Kernels.h"
 #include "mpdata/Solver.h"
 #include "sim/PlanAdvisor.h"
 #include "sim/Simulator.h"
 #include "sim/TrafficReport.h"
 #include "support/CommandLine.h"
+#include "support/Diagnostics.h"
 #include "support/Format.h"
 #include "support/OStream.h"
 
@@ -41,7 +47,8 @@ namespace {
 
 void printUsage() {
   std::printf(
-      "usage: mpdata_cli <simulate|execute|advise|traffic|plan> [options]\n"
+      "usage: mpdata_cli <simulate|execute|advise|traffic|plan|lint> "
+      "[options]\n"
       "  --machine=uv2000|knc|xeon   machine model (default uv2000)\n"
       "  --strategy=original|31d|islands (default islands)\n"
       "  --sockets=N                 sockets to use (default: all)\n"
@@ -57,7 +64,10 @@ void printUsage() {
       "                              write the ExecStats JSON to FILE\n"
       "                              (see README.md for the schema)\n"
       "  --pin                       execute mode: pin worker threads to\n"
-      "                              cores (best effort)\n");
+      "                              cores (best effort)\n"
+      "  --json                      lint mode: emit icores.lint.v1 JSON\n"
+      "  --no-audit                  lint mode: skip the kernel access "
+      "audit\n");
 }
 
 bool parseStrategy(const std::string &Name, Strategy &Out) {
@@ -92,11 +102,14 @@ int main(int Argc, char **Argv) {
     return 1;
   }
   std::string Mode = Argv[1];
+  if (Mode == "--lint") // `mpdata_cli --lint` is an alias for `lint`.
+    Mode = "lint";
 
   CommandLine CL;
   for (const char *Opt : {"machine", "strategy", "sockets", "islands",
                           "variant", "placement", "kernels", "ni", "nj",
-                          "nk", "steps", "profile", "pin", "help"})
+                          "nk", "steps", "profile", "pin", "json",
+                          "no-audit", "help"})
     CL.registerOption(Opt, "");
   std::string Error;
   if (!CL.parse(Argc - 1, Argv + 1, Error)) {
@@ -140,6 +153,42 @@ int main(int Argc, char **Argv) {
   Config.Placement = CL.getString("placement", "firsttouch") == "serial"
                          ? PagePlacement::SerialInit
                          : PagePlacement::FirstTouch;
+
+  if (Mode == "lint") {
+    KernelTable RefKernels = buildMpdataKernels(KernelVariant::Reference);
+    KernelTable OptKernels = buildMpdataKernels(KernelVariant::Optimized);
+    std::vector<LintKernelSet> KernelSets = {{"ref", &RefKernels},
+                                             {"opt", &OptKernels}};
+    // Without an explicit --strategy, lint the plans of all three.
+    std::vector<std::pair<std::string, Strategy>> Strategies;
+    if (CL.hasOption("strategy"))
+      Strategies.push_back({CL.getString("strategy", "islands"), Strat});
+    else
+      Strategies = {{"original", Strategy::Original},
+                    {"31d", Strategy::Block31D},
+                    {"islands", Strategy::IslandsOfCores}};
+    std::vector<ExecutionPlan> Plans;
+    Plans.reserve(Strategies.size());
+    std::vector<LintPlanSet> PlanSets;
+    for (const auto &S : Strategies) {
+      Config.Strat = S.second;
+      Plans.push_back(buildPlan(M.Program, Grid, Machine, Config));
+      PlanSets.push_back({S.first, &Plans.back()});
+    }
+    LintSuiteOptions Opts;
+    Opts.RunAccessAudit = !CL.hasOption("no-audit");
+    DiagnosticEngine Diags;
+    runLintSuite(M.Program, KernelSets, PlanSets, Diags, Opts);
+    if (CL.hasOption("json")) {
+      Diags.printJson(outs());
+    } else {
+      Diags.printText(outs());
+      std::printf("lint: %zu findings (%zu errors, %zu warnings)\n",
+                  Diags.numFindings(), Diags.numErrors(),
+                  Diags.numWarnings());
+    }
+    return Diags.hasErrors() ? 1 : 0;
+  }
 
   if (Mode == "simulate" || Mode == "traffic" || Mode == "plan") {
     ExecutionPlan Plan = buildPlan(M.Program, Grid, Machine, Config);
