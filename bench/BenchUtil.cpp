@@ -5,9 +5,11 @@
 #include "exec/PlanExecutor.h"
 #include "mpdata/InitialConditions.h"
 #include "mpdata/Solver.h"
+#include "support/Format.h"
 #include "support/OStream.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
 
 using namespace icores;
@@ -75,17 +77,65 @@ SimResult icores::bench::simulatePaperRun(const MpdataProgram &M,
   return simulate(Plan, M.Program, Uv, PaperSteps);
 }
 
+SimResult icores::bench::simulateOptimizedPaperRun(
+    const MpdataProgram &M, const MachineModel &Uv, Strategy Strat,
+    int Sockets, ScheduleOptimizerReport *Report) {
+  PlanConfig Config;
+  Config.Strat = Strat;
+  Config.Sockets = Sockets;
+  Box3 Grid = Box3::fromExtents(PaperNI, PaperNJ, PaperNK);
+  ExecutionPlan Plan = buildPlan(M.Program, Grid, Uv, Config);
+  ScheduleOptimizerReport R = optimizeBarriers(M.Program, Plan);
+  if (Report)
+    *Report = R;
+  return simulate(Plan, M.Program, Uv, PaperSteps);
+}
+
 int icores::bench::shapeCheck(bool Ok, const char *Description) {
   std::printf("  [%s] %s\n", Ok ? "PASS" : "FAIL", Description);
   return Ok ? 0 : 1;
 }
 
+std::string
+icores::bench::writeBenchJson(const std::string &BenchName,
+                              const std::vector<BenchJsonRow> &Rows) {
+  const char *Dir = std::getenv("ICORES_BENCH_DIR");
+  std::string Path = formatString("%s/BENCH_%s.json", Dir ? Dir : ".",
+                                  BenchName.c_str());
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::printf("note: could not write %s\n", Path.c_str());
+    return std::string();
+  }
+  std::fprintf(F, "{\n  \"schema\": \"icores.bench.v1\",\n");
+  std::fprintf(F, "  \"bench\": \"%s\",\n", BenchName.c_str());
+  std::fprintf(F, "  \"rows\": [");
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const BenchJsonRow &R = Rows[I];
+    std::fprintf(F, "%s\n    {\"strategy\": \"%s\", \"p\": %d, "
+                 "\"seconds\": %.9g, \"barrier_share\": %.9g, "
+                 "\"total_barriers\": %lld, \"elided_barriers\": %lld, "
+                 "\"optimized_seconds\": %.9g, \"gflops\": %.9g}",
+                 I ? "," : "", R.Strategy.c_str(), R.P, R.Seconds,
+                 R.BarrierShare, static_cast<long long>(R.TotalBarriers),
+                 static_cast<long long>(R.ElidedBarriers),
+                 R.OptimizedSeconds, R.Gflops);
+  }
+  std::fprintf(F, "\n  ]\n}\n");
+  std::fclose(F);
+  std::printf("wrote %s\n", Path.c_str());
+  return Path;
+}
+
 MeasuredProfile icores::bench::measureHostRun(const MpdataProgram &M,
                                               Strategy Strat, int Islands,
                                               int NI, int NJ, int NK,
-                                              int Steps) {
+                                              int Steps, bool Optimize) {
   Domain Dom(NI, NJ, NK, mpdataHaloDepth());
-  PlanExecutor Exec(Dom, hostCheckPlan(M, Strat, Islands, Dom.coreBox()));
+  ExecutionPlan Plan = hostCheckPlan(M, Strat, Islands, Dom.coreBox());
+  if (Optimize)
+    optimizeBarriers(M.Program, Plan);
+  PlanExecutor Exec(Dom, std::move(Plan));
   fillRandomPositive(Exec.stateIn(), Dom, 42, 0.1, 2.0);
   setConstantVelocity(Exec.velocity(0), Exec.velocity(1), Exec.velocity(2),
                       Dom, 0.25, -0.2, 0.15);
@@ -100,15 +150,20 @@ MeasuredProfile icores::bench::measureHostRun(const MpdataProgram &M,
   P.WallSeconds = Stats.WallSeconds;
   P.ThreadsSpawned = Stats.ThreadsSpawned;
   P.RunCalls = Stats.RunCalls;
+  P.ElidedBarriers = Stats.barriersElided();
+  P.SpinWakes = Stats.spinWakes();
+  P.SleepWakes = Stats.sleepWakes();
   return P;
 }
 
 SimResult icores::bench::simulateHostRun(const MpdataProgram &M,
                                          Strategy Strat, int Islands,
-                                         int NI, int NJ, int NK,
-                                         int Steps) {
+                                         int NI, int NJ, int NK, int Steps,
+                                         bool Optimize) {
   ExecutionPlan Plan =
       hostCheckPlan(M, Strat, Islands, Box3::fromExtents(NI, NJ, NK));
+  if (Optimize)
+    optimizeBarriers(M.Program, Plan);
   return simulate(Plan, M.Program, hostCheckMachine(Islands), Steps);
 }
 
@@ -128,16 +183,20 @@ int icores::bench::printBarrierShareModelCheck(const MpdataProgram &M,
   std::vector<ModelCompareRow> Rows;
   for (Strategy Strat : {Strategy::Original, Strategy::Block31D,
                          Strategy::IslandsOfCores}) {
-    SimResult Predicted = simulateHostRun(M, Strat, Islands, NI, NJ, NK,
-                                          Steps);
-    MeasuredProfile Measured = measureHostRun(M, Strat, Islands, NI, NJ,
-                                              NK, Steps);
-    ModelCompareRow Row;
-    Row.Label = strategyName(Strat);
-    Row.Comparison = compareBarrierShare(Predicted.CriticalIsland,
-                                         Measured.KernelSeconds,
-                                         Measured.TeamBarrierWaitSeconds);
-    Rows.push_back(Row);
+    for (bool Optimize : {false, true}) {
+      SimResult Predicted =
+          simulateHostRun(M, Strat, Islands, NI, NJ, NK, Steps, Optimize);
+      MeasuredProfile Measured =
+          measureHostRun(M, Strat, Islands, NI, NJ, NK, Steps, Optimize);
+      ModelCompareRow Row;
+      Row.Label = Optimize
+                      ? formatString("%s+elide", strategyName(Strat))
+                      : std::string(strategyName(Strat));
+      Row.Comparison = compareBarrierShare(Predicted.CriticalIsland,
+                                           Measured.KernelSeconds,
+                                           Measured.TeamBarrierWaitSeconds);
+      Rows.push_back(Row);
+    }
   }
   printModelCompareTable(Rows, outs());
   return static_cast<int>(Rows.size());

@@ -16,12 +16,16 @@
 #define ICORES_BENCH_BENCHUTIL_H
 
 #include "core/PlanBuilder.h"
+#include "core/ScheduleOptimizer.h"
 #include "machine/MachineModel.h"
 #include "mpdata/MpdataProgram.h"
 #include "sim/ModelCompare.h"
 #include "sim/Simulator.h"
 
 #include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
 
 namespace icores {
 namespace bench {
@@ -51,9 +55,35 @@ SimResult simulatePaperRun(const MpdataProgram &M, const MachineModel &Uv,
                                PagePlacement::FirstTouch,
                            PartitionVariant Variant = PartitionVariant::A);
 
+/// simulatePaperRun() with the barrier-elision optimizer applied to the
+/// plan first. The optimizer's report (total/elided barrier counts) is
+/// returned through \p Report when non-null.
+SimResult simulateOptimizedPaperRun(
+    const MpdataProgram &M, const MachineModel &Uv, Strategy Strat,
+    int Sockets, ScheduleOptimizerReport *Report = nullptr);
+
 /// Prints a "shape check" verdict line: PASS/FAIL with a description.
 /// Returns 0 for pass, 1 for fail (accumulate into main's exit code).
 int shapeCheck(bool Ok, const char *Description);
+
+/// One row of a machine-readable bench record (schema icores.bench.v1),
+/// written so the perf trajectory can be tracked across PRs.
+struct BenchJsonRow {
+  std::string Strategy;
+  int P = 0;
+  double Seconds = 0.0;      ///< Simulated seconds for the paper run.
+  double BarrierShare = 0.0; ///< Predicted critical-island barrier share.
+  int64_t TotalBarriers = 0; ///< Per-step team barriers before elision.
+  int64_t ElidedBarriers = 0; ///< Per-step barriers the optimizer removed.
+  double OptimizedSeconds = 0.0; ///< Same run under the optimized plan.
+  double Gflops = 0.0; ///< Sustained Gflop/s (0 when not tracked).
+};
+
+/// Writes BENCH_<name>.json into the directory named by $ICORES_BENCH_DIR
+/// (default: the current directory). Returns the path written, or "" when
+/// the file could not be created.
+std::string writeBenchJson(const std::string &BenchName,
+                           const std::vector<BenchJsonRow> &Rows);
 
 /// Aggregate timings measured by running the real threaded executor with
 /// profiling enabled (exec/ExecStats) on this host.
@@ -63,25 +93,32 @@ struct MeasuredProfile {
   double WallSeconds = 0.0;
   int64_t ThreadsSpawned = 0;
   int64_t RunCalls = 0;
+  int64_t ElidedBarriers = 0; ///< Team-level elided pass barriers.
+  int64_t SpinWakes = 0;
+  int64_t SleepWakes = 0;
 };
 
 /// Plans (Strat, Islands) on a toy host-sized machine over a small
 /// NIxNJxNK grid, runs \p Steps real threaded steps with profiling on,
 /// and returns the measured aggregates. The same plan simulated on the
 /// same toy machine gives the predicted side for compareBarrierShare().
+/// With \p Optimize set, the plan is barrier-elision optimized first.
 MeasuredProfile measureHostRun(const MpdataProgram &M, Strategy Strat,
                                int Islands, int NI, int NJ, int NK,
-                               int Steps);
+                               int Steps, bool Optimize = false);
 
 /// Simulates the same toy-machine configuration measureHostRun() ran,
 /// returning the predicted per-step breakdown of the critical island.
 SimResult simulateHostRun(const MpdataProgram &M, Strategy Strat,
-                          int Islands, int NI, int NJ, int NK, int Steps);
+                          int Islands, int NI, int NJ, int NK, int Steps,
+                          bool Optimize = false);
 
 /// Prints the predicted-vs-measured barrier-share table for the three
-/// strategies on a small host grid; the "model error" column quantifies
-/// sim/ drift against the real executor. Purely informational (host
-/// timings are noisy); returns the number of rows printed.
+/// strategies on a small host grid — each both stock and barrier-elision
+/// optimized ("+elide" rows) — so the sim-vs-measured comparison covers
+/// the optimized schedules too. The "model error" column quantifies sim/
+/// drift against the real executor. Purely informational (host timings
+/// are noisy); returns the number of rows printed.
 int printBarrierShareModelCheck(const MpdataProgram &M, int Islands,
                                 int Steps);
 

@@ -80,6 +80,69 @@ int main() {
   Failures += shapeCheck(SOvMax / SOvMin < 1.5,
                          "S_ov roughly constant across P (within 1.5x)");
 
+  // --- Barrier elision: the schedule optimizer's per-step savings -------
+  // The optimizer clears provably redundant BarrierAfter bits; the
+  // simulator charges only the barriers that remain. Machine-readable
+  // rows for every (strategy, P) go to BENCH_table3.json so the perf
+  // trajectory is tracked across PRs.
+  std::printf("\nbarrier elision (schedule optimizer, team barriers per "
+              "step):\n");
+  TablePrinter ETable({"strategy", "#CPUs", "barriers", "elided",
+                       "remaining", "seconds", "optimized"});
+  std::vector<BenchJsonRow> JsonRows;
+  int64_t Elided31D14 = 0, Total31D14 = 0;
+  bool OptimizedNoSlower = true, EveryStrategyElides = true;
+  for (Strategy Strat : {Strategy::Original, Strategy::Block31D,
+                         Strategy::IslandsOfCores}) {
+    for (int P = 1; P <= PaperMaxCpus; ++P) {
+      SimResult Plain = simulatePaperRun(M, Uv, Strat, P);
+      ScheduleOptimizerReport Report;
+      SimResult Opt = simulateOptimizedPaperRun(M, Uv, Strat, P, &Report);
+      BenchJsonRow Row;
+      Row.Strategy = strategyName(Strat);
+      Row.P = P;
+      Row.Seconds = Plain.TotalSeconds;
+      Row.BarrierShare =
+          Plain.CriticalIsland.total() > 0.0
+              ? Plain.CriticalIsland.Barrier / Plain.CriticalIsland.total()
+              : 0.0;
+      Row.TotalBarriers = Report.TotalPasses;
+      Row.ElidedBarriers = Report.ElidedBarriers;
+      Row.OptimizedSeconds = Opt.TotalSeconds;
+      JsonRows.push_back(Row);
+      if (Opt.TotalSeconds > Plain.TotalSeconds + 1e-12)
+        OptimizedNoSlower = false;
+      if (P == PaperMaxCpus && Report.ElidedBarriers == 0)
+        EveryStrategyElides = false;
+      if (Strat == Strategy::Block31D && P == PaperMaxCpus) {
+        Elided31D14 = Report.ElidedBarriers;
+        Total31D14 = Report.TotalPasses;
+      }
+      if (P == 2 || P == PaperMaxCpus)
+        ETable.addRow(
+            {strategyName(Strat), formatString("%d", P),
+             formatString("%lld", static_cast<long long>(Report.TotalPasses)),
+             formatString("%lld",
+                          static_cast<long long>(Report.ElidedBarriers)),
+             formatString("%lld",
+                          static_cast<long long>(Report.remainingBarriers())),
+             formatString("%5.2f", Plain.TotalSeconds),
+             formatString("%5.2f", Opt.TotalSeconds)});
+    }
+  }
+  ETable.print(outs());
+  std::printf("\nelision shape checks:\n");
+  Failures += shapeCheck(
+      Elided31D14 > 0 && Total31D14 > 0 &&
+          static_cast<double>(Elided31D14) / static_cast<double>(Total31D14) >=
+              0.3,
+      "(3+1)D at P=14: at least 30% of per-step barriers elided");
+  Failures += shapeCheck(EveryStrategyElides,
+                         "every strategy elides some barriers at P=14");
+  Failures += shapeCheck(OptimizedNoSlower,
+                         "optimized schedules never slower in the model");
+  writeBenchJson("table3", JsonRows);
+
   // Close the loop against the real executor: the barrier share the
   // simulator predicts for each strategy vs the share ExecStats measures
   // on this host (informational; host timings vary run to run).

@@ -79,22 +79,53 @@ int main() {
                          "utilization declines at the largest "
                          "configuration");
 
+  // Machine-readable rows (BENCH_table4.json): sustained Gflop/s plus
+  // the barrier-elision savings for the islands strategy at every P.
+  std::vector<BenchJsonRow> JsonRows;
+  for (int P = 1; P <= PaperMaxCpus; ++P) {
+    SimResult Plain = simulatePaperRun(M, Uv, Strategy::IslandsOfCores, P);
+    ScheduleOptimizerReport Report;
+    SimResult Opt =
+        simulateOptimizedPaperRun(M, Uv, Strategy::IslandsOfCores, P,
+                                  &Report);
+    BenchJsonRow Row;
+    Row.Strategy = strategyName(Strategy::IslandsOfCores);
+    Row.P = P;
+    Row.Seconds = Plain.TotalSeconds;
+    Row.BarrierShare =
+        Plain.CriticalIsland.total() > 0.0
+            ? Plain.CriticalIsland.Barrier / Plain.CriticalIsland.total()
+            : 0.0;
+    Row.TotalBarriers = Report.TotalPasses;
+    Row.ElidedBarriers = Report.ElidedBarriers;
+    Row.OptimizedSeconds = Opt.TotalSeconds;
+    Row.Gflops = Plain.sustainedGflops();
+    JsonRows.push_back(Row);
+  }
+  writeBenchJson("table4", JsonRows);
+
   // Model-error column against the real executor (see bench_table3 for
-  // the strategy sweep; here the islands count varies instead).
+  // the strategy sweep; here the islands count varies instead), covering
+  // both the stock and the barrier-elision-optimized schedules.
   std::printf("\nmodel check: predicted vs measured barrier share for "
               "islands-of-cores (real executor, 64x32x16, 5 steps)\n");
   std::vector<ModelCompareRow> Rows;
   for (int Islands : {1, 2, 4}) {
-    SimResult Predicted =
-        simulateHostRun(M, Strategy::IslandsOfCores, Islands, 64, 32, 16, 5);
-    MeasuredProfile Measured =
-        measureHostRun(M, Strategy::IslandsOfCores, Islands, 64, 32, 16, 5);
-    ModelCompareRow Row;
-    Row.Label = formatString("islands P=%d", Islands);
-    Row.Comparison = compareBarrierShare(Predicted.CriticalIsland,
-                                         Measured.KernelSeconds,
-                                         Measured.TeamBarrierWaitSeconds);
-    Rows.push_back(Row);
+    for (bool Optimize : {false, true}) {
+      SimResult Predicted = simulateHostRun(M, Strategy::IslandsOfCores,
+                                            Islands, 64, 32, 16, 5, Optimize);
+      MeasuredProfile Measured = measureHostRun(M, Strategy::IslandsOfCores,
+                                                Islands, 64, 32, 16, 5,
+                                                Optimize);
+      ModelCompareRow Row;
+      Row.Label = formatString(Optimize ? "islands P=%d+elide"
+                                        : "islands P=%d",
+                               Islands);
+      Row.Comparison = compareBarrierShare(Predicted.CriticalIsland,
+                                           Measured.KernelSeconds,
+                                           Measured.TeamBarrierWaitSeconds);
+      Rows.push_back(Row);
+    }
   }
   printModelCompareTable(Rows, outs());
 

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Runs the table-reproduction benches and collects their machine-readable
+# BENCH_*.json records (schema icores.bench.v1) into one directory, then
+# validates them against the schema. Usage:
+#
+#   bench/run_benches.sh [BUILD_DIR] [OUT_DIR]
+#
+# BUILD_DIR defaults to ./build (must already be built); OUT_DIR defaults
+# to ./bench-results. Exits nonzero if any bench's shape checks fail or a
+# JSON record does not validate.
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+OUT_DIR=${2:-bench-results}
+SCRIPT_DIR=$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")" && pwd)
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "error: $BUILD_DIR/bench not found — build the project first" >&2
+  exit 1
+fi
+
+mkdir -p "$OUT_DIR"
+export ICORES_BENCH_DIR=$OUT_DIR
+
+STATUS=0
+for BENCH in bench_table1 bench_table2 bench_table3 bench_table4; do
+  BIN=$BUILD_DIR/bench/$BENCH
+  [ -x "$BIN" ] || continue
+  LOG=$OUT_DIR/$BENCH.log
+  echo "== $BENCH (log: $LOG)"
+  if ! "$BIN" > "$LOG" 2>&1; then
+    echo "   FAILED — tail of $LOG:"
+    tail -5 "$LOG"
+    STATUS=1
+  fi
+done
+
+JSONS=("$OUT_DIR"/BENCH_*.json)
+if [ -e "${JSONS[0]}" ]; then
+  if command -v python3 > /dev/null 2>&1; then
+    python3 "$SCRIPT_DIR/validate_bench_json.py" "${JSONS[@]}" || STATUS=1
+  else
+    echo "note: python3 not found; skipping BENCH_*.json schema validation"
+  fi
+else
+  echo "error: no BENCH_*.json produced in $OUT_DIR" >&2
+  STATUS=1
+fi
+
+exit $STATUS

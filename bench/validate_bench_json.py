@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Validates BENCH_*.json records against the icores.bench.v1 schema.
+
+Usage: validate_bench_json.py FILE [FILE...]
+
+Schema (written by bench/BenchUtil.cpp writeBenchJson):
+  {
+    "schema": "icores.bench.v1",
+    "bench": "<name>",
+    "rows": [
+      {"strategy": str, "p": int >= 1, "seconds": float > 0,
+       "barrier_share": float in [0, 1], "total_barriers": int >= 0,
+       "elided_barriers": int >= 0 (<= total_barriers),
+       "optimized_seconds": float >= 0, "gflops": float >= 0},
+      ...
+    ]
+  }
+Exits nonzero listing every violation found.
+"""
+
+import json
+import sys
+
+ROW_FIELDS = {
+    "strategy": str,
+    "p": int,
+    "seconds": (int, float),
+    "barrier_share": (int, float),
+    "total_barriers": int,
+    "elided_barriers": int,
+    "optimized_seconds": (int, float),
+    "gflops": (int, float),
+}
+
+
+def validate(path):
+    errors = []
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return ["%s: unreadable or invalid JSON: %s" % (path, e)]
+
+    if doc.get("schema") != "icores.bench.v1":
+        errors.append("%s: schema is %r, want 'icores.bench.v1'"
+                      % (path, doc.get("schema")))
+    if not isinstance(doc.get("bench"), str) or not doc.get("bench"):
+        errors.append("%s: missing or empty 'bench' name" % path)
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        errors.append("%s: 'rows' must be a non-empty list" % path)
+        return errors
+
+    for i, row in enumerate(rows):
+        where = "%s: rows[%d]" % (path, i)
+        if not isinstance(row, dict):
+            errors.append("%s: not an object" % where)
+            continue
+        for field, types in ROW_FIELDS.items():
+            if field not in row:
+                errors.append("%s: missing field %r" % (where, field))
+            elif not isinstance(row[field], types) or isinstance(
+                    row[field], bool):
+                errors.append("%s: field %r has type %s"
+                              % (where, field, type(row[field]).__name__))
+        if errors and errors[-1].startswith(where):
+            continue
+        if row["p"] < 1:
+            errors.append("%s: p = %d < 1" % (where, row["p"]))
+        if row["seconds"] <= 0:
+            errors.append("%s: seconds = %g <= 0" % (where, row["seconds"]))
+        if not 0 <= row["barrier_share"] <= 1:
+            errors.append("%s: barrier_share = %g outside [0, 1]"
+                          % (where, row["barrier_share"]))
+        if row["total_barriers"] < 0 or row["elided_barriers"] < 0:
+            errors.append("%s: negative barrier count" % where)
+        if row["elided_barriers"] > row["total_barriers"]:
+            errors.append("%s: elided_barriers %d > total_barriers %d"
+                          % (where, row["elided_barriers"],
+                         row["total_barriers"]))
+        if row["optimized_seconds"] < 0 or row["gflops"] < 0:
+            errors.append("%s: negative optimized_seconds/gflops" % where)
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = 0
+    for path in argv[1:]:
+        errors = validate(path)
+        if errors:
+            failures += 1
+            for e in errors:
+                print("FAIL " + e)
+        else:
+            print("OK   %s" % path)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -33,6 +33,24 @@ int64_t ExecutionPlan::totalPassPoints() const {
   return Total;
 }
 
+int64_t ExecutionPlan::teamBarriersPerStep() const {
+  int64_t Total = 0;
+  for (const IslandPlan &Island : Islands)
+    for (const BlockTask &Block : Island.Blocks)
+      for (const StagePass &Pass : Block.Passes)
+        Total += Pass.BarrierAfter ? 1 : 0;
+  return Total;
+}
+
+int64_t ExecutionPlan::elidedBarriersPerStep() const {
+  int64_t Total = 0;
+  for (const IslandPlan &Island : Islands)
+    for (const BlockTask &Block : Island.Blocks)
+      for (const StagePass &Pass : Block.Passes)
+        Total += Pass.BarrierAfter ? 0 : 1;
+  return Total;
+}
+
 int64_t ExecutionPlan::totalFlops(const StencilProgram &Program) const {
   int64_t Total = 0;
   for (const IslandPlan &Island : Islands)

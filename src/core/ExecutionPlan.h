@@ -50,10 +50,16 @@ enum class PagePlacement {
 };
 
 /// One stage evaluated over one region by one island's work team. The team
-/// splits the region among its threads and barriers afterwards.
+/// splits the region among its threads and, when BarrierAfter is set,
+/// barriers afterwards.
 struct StagePass {
   StageId Stage = 0;
   Box3 Region; ///< Empty passes are skipped.
+  /// Whether the team barriers after this pass. Planners emit true for
+  /// every pass (the executor's historical lockstep behaviour); the
+  /// schedule optimizer (core/ScheduleOptimizer.h) clears bits it can
+  /// prove redundant, and the executor and simulator both honour them.
+  bool BarrierAfter = true;
 };
 
 /// One (3+1)D block: the passes completing one slab of the step output.
@@ -88,6 +94,13 @@ struct ExecutionPlan {
 
   /// Total flops per step given per-stage flop weights from \p Program.
   int64_t totalFlops(const StencilProgram &Program) const;
+
+  /// Team-barrier crossings per step: passes whose BarrierAfter bit is
+  /// set, summed over all islands.
+  int64_t teamBarriersPerStep() const;
+
+  /// Passes whose team barrier has been elided (BarrierAfter cleared).
+  int64_t elidedBarriersPerStep() const;
 };
 
 } // namespace icores

@@ -1,0 +1,71 @@
+//===- core/ScheduleOptimizer.cpp - Barrier elision post-pass -------------===//
+
+#include "core/ScheduleOptimizer.h"
+
+#include "exec/ScheduleCheck.h"
+
+#include <algorithm>
+
+using namespace icores;
+
+ScheduleOptimizerReport icores::optimizeBarriers(const StencilProgram &Program,
+                                                 ExecutionPlan &Plan) {
+  ScheduleOptimizerReport Report;
+  for (IslandPlan &Island : Plan.Islands) {
+    const int N = std::max(1, Island.NumThreads);
+    IslandElision E;
+    E.Island = Island.Index;
+
+    // Barrier bits are recomputed from scratch (input bits are ignored),
+    // which makes the pass idempotent and repairs over-aggressive
+    // hand-elided plans. An empty pass's barrier is always redundant: the
+    // pass runs no kernel, so any ordering its barrier provided is either
+    // provided by the decision on the previous live pass or not needed.
+    std::vector<StagePass *> Live;
+    for (BlockTask &Block : Island.Blocks)
+      for (StagePass &Pass : Block.Passes) {
+        if (Pass.Region.empty()) {
+          Pass.BarrierAfter = false;
+          E.Passes += 1;
+          E.Elided += 1;
+          continue;
+        }
+        Live.push_back(&Pass);
+      }
+
+    // Grow barrier-free epochs greedily: the barrier after pass I is
+    // elided when pass I+1 has no cross-thread conflict with any pass of
+    // the epoch being grown. Each pass is checked against every earlier
+    // epoch member when it joins, so the final epochs are pairwise
+    // conflict-free — exactly the property checkScheduleRaces() verifies.
+    size_t EpochBegin = 0;
+    for (size_t I = 0; I != Live.size(); ++I) {
+      E.Passes += 1;
+      if (I + 1 == Live.size()) {
+        // The island's final pass keeps its barrier: the step-end
+        // rendezvous that makes island lockstep independent of the
+        // executor's global step barrier.
+        Live[I]->BarrierAfter = true;
+        break;
+      }
+      ScheduledPass Next{Live[I + 1]->Stage, Live[I + 1]->Region, true};
+      bool Conflict = false;
+      for (size_t A = EpochBegin; A <= I && !Conflict; ++A) {
+        ScheduledPass Prev{Live[A]->Stage, Live[A]->Region, false};
+        PassConflict C;
+        Conflict = findPassPairConflict(Program, Prev, Next, N, C);
+      }
+      Live[I]->BarrierAfter = Conflict;
+      if (Conflict) {
+        EpochBegin = I + 1;
+      } else {
+        E.Elided += 1;
+      }
+    }
+
+    Report.TotalPasses += E.Passes;
+    Report.ElidedBarriers += E.Elided;
+    Report.Islands.push_back(E);
+  }
+  return Report;
+}

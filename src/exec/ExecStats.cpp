@@ -93,14 +93,20 @@ void ExecStats::mergeThread(int Island, int ThreadInTeam,
     Stage.KernelSeconds += Accum.StageKernelSeconds[S];
     Stage.BarrierWaitSeconds += Accum.StageBarrierWaitSeconds[S];
     // Every team thread visits every pass; count the schedule once.
-    if (ThreadInTeam == 0)
+    if (ThreadInTeam == 0) {
       Stage.Passes += Accum.StagePasses[S];
+      Stage.BarriersElided += Accum.StageBarriersElided[S];
+    }
 
     ThreadS.KernelSeconds += Accum.StageKernelSeconds[S];
     ThreadS.BarrierWaitSeconds += Accum.StageBarrierWaitSeconds[S];
     ThreadS.Passes += Accum.StagePasses[S];
-    ThreadS.BarrierWaits += Accum.StagePasses[S];
+    ThreadS.BarrierWaits +=
+        Accum.StagePasses[S] - Accum.StageBarriersElided[S];
+    ThreadS.BarriersElided += Accum.StageBarriersElided[S];
   }
+  ThreadS.SpinWakes += Accum.SpinWakes;
+  ThreadS.SleepWakes += Accum.SleepWakes;
   GlobalBarrierWaitSeconds += Accum.GlobalBarrierWaitSeconds;
 }
 
@@ -115,6 +121,30 @@ double ExecStats::teamBarrierWaitSeconds() const {
   double Sum = 0.0;
   for (const IslandStat &Island : Islands)
     Sum += Island.barrierWaitSeconds();
+  return Sum;
+}
+
+int64_t ExecStats::barriersElided() const {
+  int64_t Sum = 0;
+  for (const IslandStat &Island : Islands)
+    for (const StageStat &Stage : Island.Stages)
+      Sum += Stage.BarriersElided;
+  return Sum;
+}
+
+int64_t ExecStats::spinWakes() const {
+  int64_t Sum = 0;
+  for (const IslandStat &Island : Islands)
+    for (const ThreadStat &T : Island.Threads)
+      Sum += T.SpinWakes;
+  return Sum;
+}
+
+int64_t ExecStats::sleepWakes() const {
+  int64_t Sum = 0;
+  for (const IslandStat &Island : Islands)
+    for (const ThreadStat &T : Island.Threads)
+      Sum += T.SleepWakes;
   return Sum;
 }
 
@@ -135,7 +165,7 @@ std::string jsonNumber(double Value) {
 
 void ExecStats::writeJson(OStream &OS) const {
   OS << "{\n";
-  OS << "  \"schema\": \"icores.exec_stats.v1\",\n";
+  OS << "  \"schema\": \"icores.exec_stats.v2\",\n";
   OS << "  \"enabled\": " << Enabled << ",\n";
   OS << "  \"steps\": " << StepsRun << ",\n";
   OS << "  \"run_calls\": " << RunCalls << ",\n";
@@ -150,6 +180,9 @@ void ExecStats::writeJson(OStream &OS) const {
   OS << "  \"global_barrier_wait_seconds\": "
      << jsonNumber(GlobalBarrierWaitSeconds) << ",\n";
   OS << "  \"barrier_share\": " << jsonNumber(barrierShare()) << ",\n";
+  OS << "  \"elided_barriers\": " << barriersElided() << ",\n";
+  OS << "  \"spin_wakes\": " << spinWakes() << ",\n";
+  OS << "  \"sleep_wakes\": " << sleepWakes() << ",\n";
   OS << "  \"islands\": [";
   for (size_t I = 0; I != Islands.size(); ++I) {
     const IslandStat &Island = Islands[I];
@@ -170,6 +203,7 @@ void ExecStats::writeJson(OStream &OS) const {
       First = false;
       OS << "{\"stage\": " << static_cast<int>(S)
          << ", \"passes\": " << Stage.Passes
+         << ", \"elided_barriers\": " << Stage.BarriersElided
          << ", \"kernel_seconds\": " << jsonNumber(Stage.KernelSeconds)
          << ", \"barrier_wait_seconds\": "
          << jsonNumber(Stage.BarrierWaitSeconds) << "}";
@@ -182,6 +216,9 @@ void ExecStats::writeJson(OStream &OS) const {
       OS << "{\"thread\": " << Thread.ThreadInTeam
          << ", \"passes\": " << Thread.Passes
          << ", \"barrier_waits\": " << Thread.BarrierWaits
+         << ", \"elided_barriers\": " << Thread.BarriersElided
+         << ", \"spin_wakes\": " << Thread.SpinWakes
+         << ", \"sleep_wakes\": " << Thread.SleepWakes
          << ", \"kernel_seconds\": " << jsonNumber(Thread.KernelSeconds)
          << ", \"barrier_wait_seconds\": "
          << jsonNumber(Thread.BarrierWaitSeconds) << "}";
@@ -192,8 +229,8 @@ void ExecStats::writeJson(OStream &OS) const {
 }
 
 void ExecStats::writeCsv(OStream &OS) const {
-  TablePrinter Table({"island", "stage", "passes", "kernel_seconds",
-                      "barrier_wait_seconds"});
+  TablePrinter Table({"island", "stage", "passes", "elided_barriers",
+                      "kernel_seconds", "barrier_wait_seconds"});
   for (const IslandStat &Island : Islands)
     for (size_t S = 0; S != Island.Stages.size(); ++S) {
       const StageStat &Stage = Island.Stages[S];
@@ -203,6 +240,8 @@ void ExecStats::writeCsv(OStream &OS) const {
                     formatString("%d", static_cast<int>(S)),
                     formatString("%lld",
                                  static_cast<long long>(Stage.Passes)),
+                    formatString("%lld",
+                                 static_cast<long long>(Stage.BarriersElided)),
                     formatString("%.9g", Stage.KernelSeconds),
                     formatString("%.9g", Stage.BarrierWaitSeconds)});
     }

@@ -18,7 +18,12 @@
 /// path) and merges it into the ExecStats under a mutex once per run().
 /// With profiling disabled the executor takes no timestamps at all.
 ///
-/// Reporting: writeJson() emits the "icores.exec_stats.v1" schema
+/// Since the barrier-elision optimizer (core/ScheduleOptimizer.h) landed,
+/// the stats also count how many pass barriers were *not* crossed
+/// (elided) and how remaining TeamBarrier waits were released (spin vs
+/// futex sleep), so the synchronization win is directly observable.
+///
+/// Reporting: writeJson() emits the "icores.exec_stats.v2" schema
 /// (documented in README.md); writeCsv() renders per-(island, stage) rows
 /// through support/Table for spreadsheet-friendly dumps.
 ///
@@ -43,6 +48,7 @@ struct StageStat {
   double KernelSeconds = 0.0;
   double BarrierWaitSeconds = 0.0;
   int64_t Passes = 0; ///< Team-level pass executions (not x threads).
+  int64_t BarriersElided = 0; ///< Team-level passes run without a barrier.
 };
 
 /// Totals for one thread of an island's team.
@@ -52,6 +58,9 @@ struct ThreadStat {
   double BarrierWaitSeconds = 0.0; ///< Team barriers only.
   int64_t Passes = 0;              ///< Pass visits by this thread.
   int64_t BarrierWaits = 0;        ///< Team-barrier crossings.
+  int64_t BarriersElided = 0;      ///< Passes this thread ran barrier-free.
+  int64_t SpinWakes = 0;  ///< Barrier releases observed while spinning.
+  int64_t SleepWakes = 0; ///< Barrier releases via the futex sleep path.
 };
 
 /// Per-island aggregation: per-stage and per-thread views of the same
@@ -76,11 +85,15 @@ struct ExecThreadAccum {
   std::vector<double> StageKernelSeconds;
   std::vector<double> StageBarrierWaitSeconds;
   std::vector<int64_t> StagePasses;
+  std::vector<int64_t> StageBarriersElided;
   double GlobalBarrierWaitSeconds = 0.0;
+  int64_t SpinWakes = 0;  ///< Team + global barrier spin releases.
+  int64_t SleepWakes = 0; ///< Team + global barrier sleep releases.
 
   explicit ExecThreadAccum(unsigned NumStages)
       : StageKernelSeconds(NumStages, 0.0),
-        StageBarrierWaitSeconds(NumStages, 0.0), StagePasses(NumStages, 0) {}
+        StageBarrierWaitSeconds(NumStages, 0.0), StagePasses(NumStages, 0),
+        StageBarriersElided(NumStages, 0) {}
 };
 
 /// Everything the executor measured, across all run() calls since the
@@ -109,12 +122,21 @@ struct ExecStats {
   double kernelSeconds() const;
   double teamBarrierWaitSeconds() const;
 
+  /// Team-level pass barriers elided across all islands (schedule counts,
+  /// not x threads), summed over all profiled steps.
+  int64_t barriersElided() const;
+
+  /// Barrier releases observed while spinning / after the futex sleep
+  /// fallback, summed over all threads (team + global barriers).
+  int64_t spinWakes() const;
+  int64_t sleepWakes() const;
+
   /// Measured share of barrier time: (team + global barrier waits) over
   /// (kernel + all barrier waits). The analogue of the simulator's
   /// Barrier fraction of the per-step breakdown.
   double barrierShare() const;
 
-  /// Emits the icores.exec_stats.v1 JSON document.
+  /// Emits the icores.exec_stats.v2 JSON document.
   void writeJson(OStream &OS) const;
 
   /// Emits per-(island, stage) rows as CSV via support/Table.

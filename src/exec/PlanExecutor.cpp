@@ -9,9 +9,10 @@
 using namespace icores;
 
 PlanExecutor::PlanExecutor(const Domain &Dom, ExecutionPlan Plan,
-                           KernelVariant Kernels)
+                           KernelVariant Kernels, ExecutorOptions Opts)
     : M(buildMpdataProgram()),
-      Exec(M.Program, buildMpdataKernels(Kernels), Dom, std::move(Plan)) {
+      Exec(M.Program, buildMpdataKernels(Kernels), Dom, std::move(Plan),
+           Opts) {
   // Density defaults to 1 so workloads that never touch it stay valid.
   Exec.array(M.H).fill(1.0);
 }

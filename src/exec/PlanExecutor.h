@@ -31,9 +31,11 @@ class PlanExecutor {
 public:
   /// \p Plan must target Dom.coreBox(). Thread counts come from the plan;
   /// they may exceed the host's cores (oversubscription is fine for
-  /// validation runs). Both kernel variants give bit-identical results.
+  /// validation runs). Both kernel variants give bit-identical results,
+  /// as does every ExecutorOptions barrier setting.
   PlanExecutor(const Domain &Dom, ExecutionPlan Plan,
-               KernelVariant Kernels = KernelVariant::Reference);
+               KernelVariant Kernels = KernelVariant::Reference,
+               ExecutorOptions Opts = {});
 
   const Domain &domain() const { return Exec.domain(); }
   const MpdataProgram &program() const { return M; }

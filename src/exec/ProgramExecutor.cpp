@@ -6,7 +6,6 @@
 #include "exec/RegionSplit.h"
 #include "support/Error.h"
 
-#include <barrier>
 #include <chrono>
 #include <utility>
 
@@ -27,28 +26,31 @@ double secondsSince(ProfileClock::time_point Start,
 /// step inputs/outputs bound to the shared arrays) and the team barrier.
 struct ProgramExecutor::IslandState {
   FieldStore Store;
-  std::barrier<> TeamBarrier;
+  TeamBarrier Team;
 
-  IslandState(unsigned NumArrays, int TeamSize)
-      : Store(NumArrays), TeamBarrier(TeamSize) {}
+  IslandState(unsigned NumArrays, int TeamSize, const ExecutorOptions &Opts)
+      : Store(NumArrays),
+        Team(TeamSize, Opts.BarrierPolicy, Opts.BarrierSpinLimit) {}
 };
 
 namespace {
 
 /// Shared state of one run() invocation.
 struct RunControl {
-  std::barrier<> GlobalBarrier;
+  TeamBarrier GlobalBarrier;
 
-  explicit RunControl(int TotalThreads) : GlobalBarrier(TotalThreads) {}
+  RunControl(int TotalThreads, const ExecutorOptions &Opts)
+      : GlobalBarrier(TotalThreads, Opts.BarrierPolicy,
+                      Opts.BarrierSpinLimit) {}
 };
 
 } // namespace
 
 ProgramExecutor::ProgramExecutor(StencilProgram AProgram,
                                  KernelTable AKernels, const Domain &ADom,
-                                 ExecutionPlan APlan)
+                                 ExecutionPlan APlan, ExecutorOptions AOpts)
     : Program(std::move(AProgram)), Kernels(std::move(AKernels)), Dom(ADom),
-      Plan(std::move(APlan)) {
+      Plan(std::move(APlan)), Opts(AOpts) {
   ICORES_CHECK(Plan.GlobalTarget == Dom.coreBox(),
                "plan target does not match the domain");
   ICORES_CHECK(!Plan.Islands.empty(), "plan has no islands");
@@ -64,7 +66,7 @@ ProgramExecutor::ProgramExecutor(StencilProgram AProgram,
 
   for (const IslandPlan &Island : Plan.Islands) {
     auto IS = std::make_unique<IslandState>(Program.numArrays(),
-                                            Island.NumThreads);
+                                            Island.NumThreads, Opts);
     for (auto &[Id, Arr] : External)
       IS->Store.bindExternal(Id, &Arr);
 
@@ -129,8 +131,8 @@ void ProgramExecutor::setThreadPinning(
   Pool->setPinning(std::move(Cores));
 }
 
-void ProgramExecutor::threadMain(int Island, int ThreadInTeam, int Steps,
-                                 void *ControlPtr) {
+void ProgramExecutor::threadMain(int Worker, int Island, int ThreadInTeam,
+                                 int Steps, void *ControlPtr) {
   RunControl &Control = *static_cast<RunControl *>(ControlPtr);
   const IslandPlan &IslandP =
       this->Plan.Islands[static_cast<size_t>(Island)];
@@ -138,15 +140,21 @@ void ProgramExecutor::threadMain(int Island, int ThreadInTeam, int Steps,
 
   const bool Prof = Profiling;
   ExecThreadAccum Accum(Prof ? Program.numStages() : 0);
+  auto countWake = [&Accum](TeamBarrier::Wake W) {
+    if (W == TeamBarrier::Wake::Sleep)
+      ++Accum.SleepWakes;
+    else
+      ++Accum.SpinWakes;
+  };
 
   for (int Step = 0; Step != Steps; ++Step) {
     if (Prof) {
       ProfileClock::time_point T0 = ProfileClock::now();
-      Control.GlobalBarrier.arrive_and_wait();
+      countWake(Control.GlobalBarrier.arriveAndWait(Worker));
       Accum.GlobalBarrierWaitSeconds +=
           secondsSince(T0, ProfileClock::now());
     } else {
-      Control.GlobalBarrier.arrive_and_wait();
+      Control.GlobalBarrier.arriveAndWait(Worker);
     }
     if (Island == 0 && ThreadInTeam == 0) {
       if (Step != 0)
@@ -157,11 +165,11 @@ void ProgramExecutor::threadMain(int Island, int ThreadInTeam, int Steps,
     }
     if (Prof) {
       ProfileClock::time_point T0 = ProfileClock::now();
-      Control.GlobalBarrier.arrive_and_wait();
+      countWake(Control.GlobalBarrier.arriveAndWait(Worker));
       Accum.GlobalBarrierWaitSeconds +=
           secondsSince(T0, ProfileClock::now());
     } else {
-      Control.GlobalBarrier.arrive_and_wait();
+      Control.GlobalBarrier.arriveAndWait(Worker);
     }
 
     for (const BlockTask &Block : IslandP.Blocks) {
@@ -173,14 +181,19 @@ void ProgramExecutor::threadMain(int Island, int ThreadInTeam, int Steps,
           ProfileClock::time_point T0 = ProfileClock::now();
           Kernels.run(IS.Store, Pass.Stage, Sub);
           ProfileClock::time_point T1 = ProfileClock::now();
-          IS.TeamBarrier.arrive_and_wait();
-          ProfileClock::time_point T2 = ProfileClock::now();
+          if (Pass.BarrierAfter) {
+            countWake(IS.Team.arriveAndWait(ThreadInTeam));
+            Accum.StageBarrierWaitSeconds[Stage] +=
+                secondsSince(T1, ProfileClock::now());
+          } else {
+            ++Accum.StageBarriersElided[Stage];
+          }
           Accum.StageKernelSeconds[Stage] += secondsSince(T0, T1);
-          Accum.StageBarrierWaitSeconds[Stage] += secondsSince(T1, T2);
           ++Accum.StagePasses[Stage];
         } else {
           Kernels.run(IS.Store, Pass.Stage, Sub);
-          IS.TeamBarrier.arrive_and_wait();
+          if (Pass.BarrierAfter)
+            IS.Team.arriveAndWait(ThreadInTeam);
         }
       }
     }
@@ -197,13 +210,13 @@ void ProgramExecutor::run(int Steps) {
   if (Steps == 0)
     return;
 
-  RunControl Control(static_cast<int>(WorkerCoords.size()));
+  RunControl Control(static_cast<int>(WorkerCoords.size()), Opts);
   ProfileClock::time_point Start;
   if (Profiling)
     Start = ProfileClock::now();
   Pool->runOnAll([&](int Worker) {
     auto [Island, ThreadInTeam] = WorkerCoords[static_cast<size_t>(Worker)];
-    threadMain(Island, ThreadInTeam, Steps, &Control);
+    threadMain(Worker, Island, ThreadInTeam, Steps, &Control);
   });
   if (Profiling) {
     Stats.WallSeconds += secondsSince(Start, ProfileClock::now());

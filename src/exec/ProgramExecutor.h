@@ -8,8 +8,12 @@
 /// The application-agnostic threaded runtime: executes any ExecutionPlan
 /// for any (StencilProgram, KernelTable) pair. Islands run concurrently
 /// with private intermediates; passes are split among team threads along
-/// their longest non-unit-stride dimension and followed by a team barrier;
-/// the program's feedback pairs advance the state between steps.
+/// their longest non-unit-stride dimension and followed by a team barrier
+/// when the pass's BarrierAfter bit is set (the barrier-elision optimizer,
+/// core/ScheduleOptimizer.h, clears redundant bits); the program's
+/// feedback pairs advance the state between steps. Both the per-pass team
+/// rendezvous and the step-boundary global rendezvous use the hybrid
+/// combining-tree TeamBarrier, tunable through ExecutorOptions.
 /// PlanExecutor (the MPDATA-flavoured API) is a thin wrapper over this
 /// class.
 ///
@@ -27,6 +31,7 @@
 
 #include "core/ExecutionPlan.h"
 #include "exec/ExecStats.h"
+#include "exec/TeamBarrier.h"
 #include "exec/WorkerPool.h"
 #include "grid/Array3D.h"
 #include "grid/Domain.h"
@@ -43,12 +48,20 @@ namespace icores {
 
 struct ThreadPlacement;
 
+/// Runtime knobs for the executor's barriers. Results are bit-identical
+/// for every setting; only latency/CPU-burn trade-offs change.
+struct ExecutorOptions {
+  TeamBarrier::WaitPolicy BarrierPolicy = TeamBarrier::WaitPolicy::Hybrid;
+  int BarrierSpinLimit = TeamBarrier::DefaultSpinLimit;
+};
+
 /// Threaded executor for one plan of one program over one domain.
 class ProgramExecutor {
 public:
   /// \p Plan must target Dom.coreBox(); \p Kernels must cover the program.
   ProgramExecutor(StencilProgram Program, KernelTable Kernels,
-                  const Domain &Dom, ExecutionPlan Plan);
+                  const Domain &Dom, ExecutionPlan Plan,
+                  ExecutorOptions Opts = {});
   ~ProgramExecutor();
 
   const Domain &domain() const { return Dom; }
@@ -85,12 +98,14 @@ public:
 private:
   struct IslandState;
 
-  void threadMain(int Island, int ThreadInTeam, int Steps, void *Control);
+  void threadMain(int Worker, int Island, int ThreadInTeam, int Steps,
+                  void *Control);
 
   StencilProgram Program;
   KernelTable Kernels;
   Domain Dom;
   ExecutionPlan Plan;
+  ExecutorOptions Opts;
 
   std::map<ArrayId, Array3D> External;
   std::vector<std::unique_ptr<IslandState>> IslandStates;

@@ -20,9 +20,17 @@ icores::buildIslandSchedules(const ExecutionPlan &Plan) {
     S.NumThreads = std::max(1, Island.NumThreads);
     for (const BlockTask &Block : Island.Blocks)
       for (const StagePass &Pass : Block.Passes) {
-        if (Pass.Region.empty())
-          continue; // The executor skips empty passes.
-        S.Passes.push_back({Pass.Stage, Pass.Region, /*BarrierAfter=*/true});
+        if (Pass.Region.empty()) {
+          // The executor skips the kernel of an empty pass but still
+          // honours its barrier bit; fold that barrier onto the previous
+          // retained pass so the epoch structure matches what runs. A
+          // leading empty pass needs no folding: there is nothing before
+          // it for its barrier to order.
+          if (Pass.BarrierAfter && !S.Passes.empty())
+            S.Passes.back().BarrierAfter = true;
+          continue;
+        }
+        S.Passes.push_back({Pass.Stage, Pass.Region, Pass.BarrierAfter});
       }
     Schedules.push_back(std::move(S));
   }
@@ -75,90 +83,121 @@ bool writesArray(const StageDef &S, ArrayId A) {
   return std::find(S.Outputs.begin(), S.Outputs.end(), A) != S.Outputs.end();
 }
 
-/// Searches one epoch (passes [Begin, End) of \p S with no intervening
-/// barrier) for conflicting thread pairs. A conflict needs two *different*
-/// threads: one thread executes its share of every pass in order, so
-/// same-thread overlap is sequential, not a race.
-void checkEpoch(const StencilProgram &Program, const IslandSchedule &S,
-                size_t Begin, size_t End, DiagnosticEngine &Diags) {
-  const int N = S.NumThreads;
-  for (size_t PI = Begin; PI != End; ++PI) {
-    const ScheduledPass &P1 = S.Passes[PI];
-    const StageDef &S1 = Program.stage(P1.Stage);
-    for (size_t PJ = PI + 1; PJ != End; ++PJ) {
-      const ScheduledPass &P2 = S.Passes[PJ];
-      const StageDef &S2 = Program.stage(P2.Stage);
+} // namespace
 
-      // Write-write: both passes write the same array and two threads'
-      // sub-regions overlap.
-      for (ArrayId Out1 : S1.Outputs) {
-        if (!writesArray(S2, Out1))
+bool icores::findPassPairConflict(const StencilProgram &Program,
+                                  const ScheduledPass &Earlier,
+                                  const ScheduledPass &Later, int NumThreads,
+                                  PassConflict &Out) {
+  const int N = std::max(1, NumThreads);
+  if (N < 2 || Earlier.Region.empty() || Later.Region.empty())
+    return false; // One thread runs its passes sequentially: no race.
+  const StageDef &S1 = Program.stage(Earlier.Stage);
+  const StageDef &S2 = Program.stage(Later.Stage);
+
+  // Write-write: both passes write the same array and two different
+  // threads' sub-regions overlap. Sub-regions are subsets of the pass
+  // regions, so disjoint full regions rule the thread loop out cheaply.
+  for (ArrayId Out1 : S1.Outputs) {
+    if (!writesArray(S2, Out1) || !overlaps(Earlier.Region, Later.Region))
+      continue;
+    for (int T1 = 0; T1 != N; ++T1)
+      for (int T2 = 0; T2 != N; ++T2) {
+        if (T1 == T2)
           continue;
-        bool Reported = false;
-        for (int T1 = 0; T1 != N && !Reported; ++T1)
-          for (int T2 = 0; T2 != N && !Reported; ++T2) {
-            if (T1 == T2)
-              continue;
-            Box3 W1 = teamSubRegion(P1.Region, T1, N);
-            Box3 W2 = teamSubRegion(P2.Region, T2, N);
-            if (!overlaps(W1, W2))
-              continue;
-            Diags
-                .report(Severity::Error, "race.intra.write-write",
-                        formatString(
-                            "island %d: stages '%s' and '%s' both write "
-                            "'%s' in overlapping thread sub-regions with no "
-                            "barrier between the passes",
-                            S.Index, S1.Name.c_str(), S2.Name.c_str(),
-                            Program.array(Out1).Name.c_str()))
-                .note("island", formatString("%d", S.Index))
-                .note("array", Program.array(Out1).Name)
-                .note("threads", formatString("%d,%d", T1, T2))
-                .note("overlap", W1.intersect(W2).str());
-            Reported = true;
-          }
+        Box3 W1 = teamSubRegion(Earlier.Region, T1, N);
+        Box3 W2 = teamSubRegion(Later.Region, T2, N);
+        if (!overlaps(W1, W2))
+          continue;
+        Out.ConflictKind = PassConflict::Kind::WriteWrite;
+        Out.Array = Out1;
+        Out.ThreadA = T1;
+        Out.ThreadB = T2;
+        Out.StageA = Earlier.Stage;
+        Out.StageB = Later.Stage;
+        Out.Overlap = W1.intersect(W2);
+        return true;
       }
+  }
 
-      // Read-write, both directions: the earlier pass's writes vs the
-      // later pass's window-expanded reads, and vice versa (a later write
-      // clobbering cells an unfinished earlier pass still reads).
-      for (int Dir = 0; Dir != 2; ++Dir) {
-        const ScheduledPass &WP = Dir == 0 ? P1 : P2;
-        const ScheduledPass &RP = Dir == 0 ? P2 : P1;
-        const StageDef &WS = Dir == 0 ? S1 : S2;
-        const StageDef &RS = Dir == 0 ? S2 : S1;
-        for (const ReadHull &H : readHulls(RS)) {
-          if (!writesArray(WS, H.Array))
+  // Read-write, both directions: the earlier pass's writes vs the later
+  // pass's window-expanded reads, and vice versa (a later write clobbering
+  // cells an unfinished earlier pass still reads).
+  for (int Dir = 0; Dir != 2; ++Dir) {
+    const ScheduledPass &WP = Dir == 0 ? Earlier : Later;
+    const ScheduledPass &RP = Dir == 0 ? Later : Earlier;
+    const StageDef &WS = Dir == 0 ? S1 : S2;
+    const StageDef &RS = Dir == 0 ? S2 : S1;
+    for (const ReadHull &H : readHulls(RS)) {
+      if (!writesArray(WS, H.Array))
+        continue;
+      if (!overlaps(WP.Region,
+                    expandByWindow(RP.Region, H.MinOff, H.MaxOff)))
+        continue;
+      for (int T1 = 0; T1 != N; ++T1)
+        for (int T2 = 0; T2 != N; ++T2) {
+          if (T1 == T2)
             continue;
-          bool Reported = false;
-          for (int T1 = 0; T1 != N && !Reported; ++T1)
-            for (int T2 = 0; T2 != N && !Reported; ++T2) {
-              if (T1 == T2)
-                continue;
-              Box3 W = teamSubRegion(WP.Region, T1, N);
-              Box3 R = expandByWindow(teamSubRegion(RP.Region, T2, N),
-                                      H.MinOff, H.MaxOff);
-              if (!overlaps(W, R))
-                continue;
-              Diags
-                  .report(Severity::Error, "race.intra.read-write",
-                          formatString(
-                              "island %d: stage '%s' writes '%s' while "
-                              "stage '%s' reads it in an overlapping thread "
-                              "sub-region with no barrier between the passes",
-                              S.Index, WS.Name.c_str(),
-                              Program.array(H.Array).Name.c_str(),
-                              RS.Name.c_str()))
-                  .note("island", formatString("%d", S.Index))
-                  .note("array", Program.array(H.Array).Name)
-                  .note("threads", formatString("%d,%d", T1, T2))
-                  .note("overlap", W.intersect(R).str());
-              Reported = true;
-            }
+          Box3 W = teamSubRegion(WP.Region, T1, N);
+          Box3 R = expandByWindow(teamSubRegion(RP.Region, T2, N), H.MinOff,
+                                  H.MaxOff);
+          if (!overlaps(W, R))
+            continue;
+          Out.ConflictKind = PassConflict::Kind::ReadWrite;
+          Out.Array = H.Array;
+          Out.ThreadA = T1;
+          Out.ThreadB = T2;
+          Out.StageA = WP.Stage;
+          Out.StageB = RP.Stage;
+          Out.Overlap = W.intersect(R);
+          return true;
         }
-      }
     }
   }
+  return false;
+}
+
+namespace {
+
+/// Searches one epoch (passes [Begin, End) of \p S with no intervening
+/// barrier) for conflicting thread pairs, reporting the first conflict of
+/// each conflicting pass pair. A conflict needs two *different* threads:
+/// one thread executes its share of every pass in order, so same-thread
+/// overlap is sequential, not a race.
+void checkEpoch(const StencilProgram &Program, const IslandSchedule &S,
+                size_t Begin, size_t End, DiagnosticEngine &Diags) {
+  for (size_t PI = Begin; PI != End; ++PI)
+    for (size_t PJ = PI + 1; PJ != End; ++PJ) {
+      PassConflict C;
+      if (!findPassPairConflict(Program, S.Passes[PI], S.Passes[PJ],
+                                S.NumThreads, C))
+        continue;
+      const std::string &NameA = Program.stage(C.StageA).Name;
+      const std::string &NameB = Program.stage(C.StageB).Name;
+      const std::string &ArrayName = Program.array(C.Array).Name;
+      std::string Msg =
+          C.ConflictKind == PassConflict::Kind::WriteWrite
+              ? formatString("island %d: stages '%s' and '%s' both write "
+                             "'%s' in overlapping thread sub-regions with "
+                             "no barrier between the passes",
+                             S.Index, NameA.c_str(), NameB.c_str(),
+                             ArrayName.c_str())
+              : formatString("island %d: stage '%s' writes '%s' while "
+                             "stage '%s' reads it in an overlapping thread "
+                             "sub-region with no barrier between the passes",
+                             S.Index, NameA.c_str(), ArrayName.c_str(),
+                             NameB.c_str());
+      Diags
+          .report(Severity::Error,
+                  C.ConflictKind == PassConflict::Kind::WriteWrite
+                      ? "race.intra.write-write"
+                      : "race.intra.read-write",
+                  Msg)
+          .note("island", formatString("%d", S.Index))
+          .note("array", ArrayName)
+          .note("threads", formatString("%d,%d", C.ThreadA, C.ThreadB))
+          .note("overlap", C.Overlap.str());
+    }
 }
 
 void checkIntraIsland(const StencilProgram &Program, const IslandSchedule &S,

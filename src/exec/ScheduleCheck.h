@@ -14,11 +14,11 @@
 ///  - *Intra-island*: within a maximal barrier-free run of passes (an
 ///    "epoch"), thread t1's writes may overlap thread t2's writes or
 ///    window-expanded reads of a later pass — a data race the barrier
-///    normally prevents. The stock schedule built by buildIslandSchedules()
-///    barriers after every pass (matching the executor), so intra-island
-///    findings appear only for hand-modified schedules (e.g. a proposed
-///    barrier-elision optimisation) — which is exactly when one wants the
-///    check.
+///    normally prevents. buildIslandSchedules() mirrors the plan's
+///    per-pass BarrierAfter bits, so plans transformed by the barrier
+///    elision optimizer (core/ScheduleOptimizer.h) are checked exactly as
+///    the executor will run them; this check is the optimizer's safety
+///    gate.
 ///
 ///  - *Inter-island*: islands share only the non-Intermediate arrays (the
 ///    per-island FieldStore privatises intermediates). Two islands whose
@@ -47,8 +47,8 @@ class DiagnosticEngine;
 struct ScheduledPass {
   StageId Stage = 0;
   Box3 Region;
-  /// Whether the team barriers after this pass. The executor always does;
-  /// tests and barrier-elision experiments clear it.
+  /// Whether the team barriers after this pass. Stock plans always do;
+  /// the barrier elision optimizer clears bits it can prove redundant.
   bool BarrierAfter = true;
 };
 
@@ -60,9 +60,48 @@ struct IslandSchedule {
 };
 
 /// Flattens \p Plan into per-island schedules mirroring the executor:
-/// blocks in order, passes in order, empty pass regions dropped, a barrier
-/// after every pass.
+/// blocks in order, passes in order, empty pass regions dropped, barriers
+/// taken from the plan's per-pass BarrierAfter bits. The executor still
+/// honours the barrier bit of an empty (skipped) pass, so when an empty
+/// pass carrying a barrier is dropped its barrier is folded onto the
+/// previous retained pass — the schedule's epoch structure matches what
+/// actually runs.
 std::vector<IslandSchedule> buildIslandSchedules(const ExecutionPlan &Plan);
+
+/// One provable cross-thread conflict between two passes of one island
+/// executed with no intervening team barrier.
+struct PassConflict {
+  enum class Kind {
+    WriteWrite, ///< Two threads' write sub-regions overlap.
+    ReadWrite,  ///< One thread's writes overlap another's expanded reads.
+  };
+  Kind ConflictKind = Kind::WriteWrite;
+  ArrayId Array = 0;
+  /// The conflicting thread pair. WriteWrite: owners of the two write
+  /// sub-regions, earlier pass first. ReadWrite: writer, then reader.
+  int ThreadA = 0;
+  int ThreadB = 0;
+  /// The conflicting stages. WriteWrite: pass order. ReadWrite: the
+  /// writing stage, then the reading stage (either pass may be the writer
+  /// — a later write can clobber cells an unfinished earlier pass still
+  /// reads).
+  StageId StageA = 0;
+  StageId StageB = 0;
+  Box3 Overlap; ///< A witness cell region of the conflict.
+};
+
+/// Searches for a cross-thread conflict between \p Earlier and \p Later
+/// assuming both run in one barrier-free epoch of a \p NumThreads team,
+/// each pass split with teamSubRegion() and reads expanded by the stage
+/// windows. Returns true and fills \p Out with the first conflict found
+/// (write-write checked before read-write). This is the dependence query
+/// shared by the race checker and the barrier elision optimizer: a barrier
+/// separating two passes is redundant exactly when no pair of passes it
+/// would order has such a conflict.
+bool findPassPairConflict(const StencilProgram &Program,
+                          const ScheduledPass &Earlier,
+                          const ScheduledPass &Later, int NumThreads,
+                          PassConflict &Out);
 
 /// Runs the happens-before analysis over \p Schedules, reporting `race.*`
 /// findings into \p Diags. Returns true when no error was added.

@@ -1,0 +1,104 @@
+//===- exec/TeamBarrier.h - Combining-tree hybrid barrier -------*- C++ -*-===//
+//
+// Part of the icores project: islands-of-cores for heterogeneous stencils.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sense-reversing combining-tree barrier tuned for the executor's pass
+/// rendezvous. Threads decrement per-node arrival counters up an arity-4
+/// tree of cache-line-aligned nodes (so at most Arity threads contend on
+/// any one line, instead of all P*cores on a central counter), and the
+/// last arriver at the root publishes a new epoch number that every waiter
+/// observes with a plain acquire load — the "sense reversal": waiters
+/// compare against the epoch they saw on entry, so the barrier is
+/// immediately reusable with no reset phase visible to waiters.
+///
+/// Waiting is hybrid: a bounded spin of acquire loads (pass barriers are
+/// usually hit within microseconds of each other when the region split is
+/// balanced), then a fall back to std::atomic::wait — futex-backed on
+/// Linux libstdc++ — so oversubscribed or imbalanced teams do not burn
+/// cores. A Sleepers counter lets the epoch publisher skip the notify_all
+/// syscall on the common all-spinners path. See DESIGN.md §8 for the
+/// memory-ordering argument.
+///
+/// arriveAndWait() reports whether the caller was released while spinning
+/// or had to sleep, feeding ExecStats' spin-vs-sleep counters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICORES_EXEC_TEAMBARRIER_H
+#define ICORES_EXEC_TEAMBARRIER_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace icores {
+
+/// Reusable rendezvous for a fixed-size thread team.
+class TeamBarrier {
+public:
+  /// How a thread waits for the epoch to advance.
+  enum class WaitPolicy {
+    Spin,   ///< Spin forever; lowest latency, burns the core.
+    Hybrid, ///< Bounded spin, then futex sleep (the default).
+    Block,  ///< Sleep immediately; kindest to oversubscribed machines.
+  };
+
+  /// How a completed wait was released (for ExecStats accounting).
+  enum class Wake {
+    Spin,  ///< Released during the spin phase.
+    Sleep, ///< Entered the sleep path before release.
+  };
+
+  static constexpr int DefaultSpinLimit = 4096;
+
+  explicit TeamBarrier(int NumThreads,
+                       WaitPolicy Policy = WaitPolicy::Hybrid,
+                       int SpinLimit = DefaultSpinLimit);
+
+  TeamBarrier(const TeamBarrier &) = delete;
+  TeamBarrier &operator=(const TeamBarrier &) = delete;
+
+  /// Blocks \p Thread (in [0, numThreads())) until all team threads have
+  /// arrived. All memory effects of every thread before its arrival are
+  /// visible to every thread after release. Reusable immediately.
+  Wake arriveAndWait(int Thread);
+
+  int numThreads() const { return NumThreads; }
+  WaitPolicy policy() const { return Policy; }
+
+private:
+  static constexpr int Arity = 4;
+
+  /// One combining node: a line-exclusive arrival countdown.
+  struct alignas(64) Node {
+    std::atomic<int> Pending{0};
+    int Total = 0;   ///< Children (threads or nodes) reporting here.
+    int Parent = -1; ///< Node index, -1 at the root.
+  };
+
+  /// Propagates one arrival from \p NodeIndex toward the root; the last
+  /// arriver at the root publishes the next epoch.
+  void signal(int NodeIndex);
+
+  const int NumThreads;
+  const WaitPolicy Policy;
+  const int SpinLimit;
+  std::vector<Node> Nodes; ///< Level 0 (leaves) first, root last.
+  alignas(64) std::atomic<uint64_t> Epoch{0};
+  alignas(64) std::atomic<int> Sleepers{0};
+};
+
+/// Name for reports ("spin", "hybrid", "block").
+const char *waitPolicyName(TeamBarrier::WaitPolicy Policy);
+
+/// Parses a policy name as accepted by `--barrier=`. Returns false (and
+/// leaves \p Out alone) on an unknown name.
+bool parseWaitPolicy(const std::string &Name, TeamBarrier::WaitPolicy &Out);
+
+} // namespace icores
+
+#endif // ICORES_EXEC_TEAMBARRIER_H

@@ -38,6 +38,8 @@ struct IslandCosts {
   int64_t Flops = 0;
   int64_t DramBytes = 0;
   int64_t RemoteBytes = 0;
+  int64_t Barriers = 0; ///< Team barriers charged.
+  int64_t Elided = 0;   ///< Pass barriers skipped via BarrierAfter=false.
 };
 
 /// Simulates one island's step under the given stream rate (bytes/s
@@ -126,9 +128,14 @@ IslandCosts simulateIsland(const IslandPlan &Island,
                                     RemoteRate * RemoteVisible;
       }
 
-      // --- Team barrier after every pass --------------------------------
-      Costs.Breakdown.Barrier +=
-          Machine.barrierCost(Island.NumSockets, Island.NumThreads);
+      // --- Team barrier, honouring the plan's barrier bits --------------
+      if (Pass.BarrierAfter) {
+        Costs.Breakdown.Barrier +=
+            Machine.barrierCost(Island.NumSockets, Island.NumThreads);
+        ++Costs.Barriers;
+      } else {
+        ++Costs.Elided;
+      }
     }
 
     Costs.DramBytes += BlockDramBytes;
@@ -227,6 +234,8 @@ SimResult icores::simulate(const ExecutionPlan &Plan,
     Result.FlopsPerStep += Costs.Flops;
     Result.DramBytesPerStep += Costs.DramBytes;
     Result.RemoteBytesPerStep += Costs.RemoteBytes;
+    Result.TeamBarriersPerStep += Costs.Barriers;
+    Result.ElidedBarriersPerStep += Costs.Elided;
     double Seconds = Costs.Breakdown.total();
     if (Seconds > WorstIslandSeconds) {
       WorstIslandSeconds = Seconds;

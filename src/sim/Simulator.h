@@ -26,8 +26,12 @@
 ///    between adjacent sockets' sub-regions of each pass, at the
 ///    interconnect's cache-to-cache efficiency (partially overlapped for
 ///    cache-resident data);
-///  - barrier: one team barrier per pass, cost growing with the socket
-///    span — the term that sinks the pure (3+1)D decomposition;
+///  - barrier: one team barrier per pass whose BarrierAfter bit is set,
+///    cost growing with the socket span — the term that sinks the pure
+///    (3+1)D decomposition. Plans transformed by the barrier-elision
+///    optimizer (core/ScheduleOptimizer.h) are charged only for the
+///    barriers that remain, so predicted barrier share tracks the
+///    optimization;
 ///  - overhead: per-step turnover plus the global end-of-step barrier.
 ///
 //===----------------------------------------------------------------------===//
@@ -66,6 +70,12 @@ struct SimResult {
   int64_t DramBytesPerStep = 0;  ///< Main-memory traffic, all islands
                                  ///< (likwid-perfctr analogue).
   int64_t RemoteBytesPerStep = 0; ///< Interconnect halo traffic.
+
+  /// Team-barrier crossings charged per step across all islands (empty
+  /// passes are skipped, like the rest of the cost model).
+  int64_t TeamBarriersPerStep = 0;
+  /// Non-empty passes whose barrier the plan elides (not charged).
+  int64_t ElidedBarriersPerStep = 0;
 
   int ActiveSockets = 0;
 

@@ -205,12 +205,15 @@ TEST(ExecStatsTest, JsonReportIsWellFormed) {
   Exec->run(2);
   std::string Json = Exec->stats().toJsonString();
 
-  EXPECT_NE(Json.find("\"schema\": \"icores.exec_stats.v1\""),
+  EXPECT_NE(Json.find("\"schema\": \"icores.exec_stats.v2\""),
             std::string::npos);
   EXPECT_NE(Json.find("\"islands\""), std::string::npos);
   EXPECT_NE(Json.find("\"stages\""), std::string::npos);
   EXPECT_NE(Json.find("\"barrier_wait_seconds\""), std::string::npos);
   EXPECT_NE(Json.find("\"threads_spawned\""), std::string::npos);
+  EXPECT_NE(Json.find("\"elided_barriers\""), std::string::npos);
+  EXPECT_NE(Json.find("\"spin_wakes\""), std::string::npos);
+  EXPECT_NE(Json.find("\"sleep_wakes\""), std::string::npos);
 
   // Balanced braces/brackets and no trailing commas before closers.
   int Braces = 0, Brackets = 0;

@@ -7,6 +7,7 @@
 //   mpdata_cli execute   --strategy=islands --islands=2
 //                        [--ni --nj --nk --steps --kernels=opt]
 //                        [--profile=stats.json --pin]
+//                        [--no-elide --barrier=spin|hybrid|block]
 //   mpdata_cli advise    --machine=uv2000 [--sockets --ni --nj --nk --steps]
 //   mpdata_cli traffic   --strategy=original [--machine ...]
 //   mpdata_cli plan      --strategy=islands [--sockets ...]  (dump the plan)
@@ -23,6 +24,7 @@
 #include "core/PlanBuilder.h"
 #include "core/PlanPrinter.h"
 #include "core/PlanVerifier.h"
+#include "core/ScheduleOptimizer.h"
 #include "exec/Affinity.h"
 #include "exec/LintSuite.h"
 #include "exec/PlanExecutor.h"
@@ -65,6 +67,10 @@ void printUsage() {
       "                              (see README.md for the schema)\n"
       "  --pin                       execute mode: pin worker threads to\n"
       "                              cores (best effort)\n"
+      "  --no-elide                  execute mode: keep every team barrier\n"
+      "                              (skip the schedule optimizer)\n"
+      "  --barrier=spin|hybrid|block execute mode: team-barrier wait\n"
+      "                              policy (default hybrid)\n"
       "  --json                      lint mode: emit icores.lint.v1 JSON\n"
       "  --no-audit                  lint mode: skip the kernel access "
       "audit\n");
@@ -109,7 +115,7 @@ int main(int Argc, char **Argv) {
   for (const char *Opt : {"machine", "strategy", "sockets", "islands",
                           "variant", "placement", "kernels", "ni", "nj",
                           "nk", "steps", "profile", "pin", "json",
-                          "no-audit", "help"})
+                          "no-audit", "no-elide", "barrier", "help"})
     CL.registerOption(Opt, "");
   std::string Error;
   if (!CL.parse(Argc - 1, Argv + 1, Error)) {
@@ -167,13 +173,19 @@ int main(int Argc, char **Argv) {
       Strategies = {{"original", Strategy::Original},
                     {"31d", Strategy::Block31D},
                     {"islands", Strategy::IslandsOfCores}};
+    // Each strategy is linted twice: the stock plan, and a copy with the
+    // schedule optimizer's barrier elision applied ("<name>+elide") so
+    // the lint suite certifies every plan execution would actually use.
     std::vector<ExecutionPlan> Plans;
-    Plans.reserve(Strategies.size());
+    Plans.reserve(Strategies.size() * 2);
     std::vector<LintPlanSet> PlanSets;
     for (const auto &S : Strategies) {
       Config.Strat = S.second;
       Plans.push_back(buildPlan(M.Program, Grid, Machine, Config));
       PlanSets.push_back({S.first, &Plans.back()});
+      Plans.push_back(Plans.back());
+      optimizeBarriers(M.Program, Plans.back());
+      PlanSets.push_back({S.first + "+elide", &Plans.back()});
     }
     LintSuiteOptions Opts;
     Opts.RunAccessAudit = !CL.hasOption("no-audit");
@@ -240,12 +252,26 @@ int main(int Argc, char **Argv) {
   if (Mode == "execute") {
     MachineModel Host = makeToyMachine();
     Host.NumSockets = Sockets;
+    ExecutorOptions ExecOpts;
+    std::string BarrierName = CL.getString("barrier", "hybrid");
+    if (!parseWaitPolicy(BarrierName, ExecOpts.BarrierPolicy)) {
+      std::fprintf(stderr, "error: unknown barrier policy '%s'\n",
+                   BarrierName.c_str());
+      return 1;
+    }
     ExecutionPlan Plan = buildPlan(M.Program, Grid, Host, Config);
+    if (!CL.hasOption("no-elide")) {
+      ScheduleOptimizerReport Report = optimizeBarriers(M.Program, Plan);
+      std::printf("barrier elision: %lld of %lld team barriers removed "
+                  "per step (use --no-elide to keep all)\n",
+                  static_cast<long long>(Report.ElidedBarriers),
+                  static_cast<long long>(Report.TotalPasses));
+    }
     Domain Dom(NI, NJ, NK, mpdataHaloDepth());
     KernelVariant Kernels = CL.getString("kernels", "ref") == "opt"
                                 ? KernelVariant::Optimized
                                 : KernelVariant::Reference;
-    PlanExecutor Exec(Dom, std::move(Plan), Kernels);
+    PlanExecutor Exec(Dom, std::move(Plan), Kernels, ExecOpts);
     if (CL.hasOption("pin"))
       Exec.setThreadPinning(computeThreadPlacement(Exec.plan(), Host));
     std::string ProfilePath = CL.getString("profile", "");
@@ -296,6 +322,12 @@ int main(int Argc, char **Argv) {
                   formatSeconds(Stats.teamBarrierWaitSeconds()).c_str(),
                   formatSeconds(Stats.GlobalBarrierWaitSeconds).c_str(),
                   Stats.barrierShare() * 100.0);
+      std::printf("profile: %lld barriers elided; %lld spin wakes, %lld "
+                  "sleep wakes (%s policy)\n",
+                  static_cast<long long>(Stats.barriersElided()),
+                  static_cast<long long>(Stats.spinWakes()),
+                  static_cast<long long>(Stats.sleepWakes()),
+                  waitPolicyName(ExecOpts.BarrierPolicy));
       std::printf("profile: %lld run() calls reused %lld pooled threads; "
                   "stats written to %s\n",
                   static_cast<long long>(Stats.RunCalls),
