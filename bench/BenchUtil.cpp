@@ -127,6 +127,35 @@ icores::bench::writeBenchJson(const std::string &BenchName,
   return Path;
 }
 
+std::string icores::bench::writeKernelBenchJson(
+    const std::string &BenchName,
+    const std::vector<KernelBenchJsonRow> &Rows) {
+  const char *Dir = std::getenv("ICORES_BENCH_DIR");
+  std::string Path = formatString("%s/BENCH_%s.json", Dir ? Dir : ".",
+                                  BenchName.c_str());
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::printf("note: could not write %s\n", Path.c_str());
+    return std::string();
+  }
+  std::fprintf(F, "{\n  \"schema\": \"icores.bench.v1\",\n");
+  std::fprintf(F, "  \"bench\": \"%s\",\n", BenchName.c_str());
+  std::fprintf(F, "  \"rows\": [");
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const KernelBenchJsonRow &R = Rows[I];
+    std::fprintf(F,
+                 "%s\n    {\"variant\": \"%s\", \"stage\": \"%s\", "
+                 "\"region\": \"%s\", \"seconds\": %.9g, "
+                 "\"gflops\": %.9g, \"gbps\": %.9g}",
+                 I ? "," : "", R.Variant.c_str(), R.Stage.c_str(),
+                 R.Region.c_str(), R.Seconds, R.Gflops, R.GBps);
+  }
+  std::fprintf(F, "\n  ]\n}\n");
+  std::fclose(F);
+  std::printf("wrote %s\n", Path.c_str());
+  return Path;
+}
+
 MeasuredProfile icores::bench::measureHostRun(const MpdataProgram &M,
                                               Strategy Strat, int Islands,
                                               int NI, int NJ, int NK,

@@ -85,6 +85,24 @@ struct BenchJsonRow {
 std::string writeBenchJson(const std::string &BenchName,
                            const std::vector<BenchJsonRow> &Rows);
 
+/// One row of the per-stage kernel-roofline record (the second row shape
+/// of schema icores.bench.v1, distinguished by the "variant" field; see
+/// bench/validate_bench_json.py). Stage "all" rows carry the aggregate
+/// over a full 17-stage sweep.
+struct KernelBenchJsonRow {
+  std::string Variant; ///< "ref", "opt" or "simd".
+  std::string Stage;   ///< IR stage name, or "all" for the aggregate.
+  std::string Region;  ///< "hot" (cache-resident) or "cold" (streaming).
+  double Seconds = 0.0; ///< Best-of-reps seconds for one sweep.
+  double Gflops = 0.0;  ///< IR flops / Seconds / 1e9.
+  double GBps = 0.0;    ///< Logical (unpadded) IR bytes / Seconds / 1e9.
+};
+
+/// writeBenchJson() for kernel-roofline rows.
+std::string
+writeKernelBenchJson(const std::string &BenchName,
+                     const std::vector<KernelBenchJsonRow> &Rows);
+
 /// Aggregate timings measured by running the real threaded executor with
 /// profiling enabled (exec/ExecStats) on this host.
 struct MeasuredProfile {

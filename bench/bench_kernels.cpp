@@ -1,33 +1,53 @@
-//===- bench/bench_kernels.cpp - Host microbenchmarks of the kernels ------===//
+//===- bench/bench_kernels.cpp - Kernel-backend roofline comparison -------===//
 //
-// google-benchmark timings of the 17 MPDATA stage kernels on this host
-// (real execution, not simulation). Useful for checking the relative flop
-// weights assigned in the IR against measured per-point costs.
+// Times all 17 MPDATA stage kernels for every backend (Reference /
+// Optimized / Simd) on this host, on two regions:
+//
+//   hot  — small enough that the touched arrays stay cache-resident, so
+//          the numbers approach the per-core compute roofline;
+//   cold — large enough that every sweep streams from main memory, so
+//          the numbers approach the bandwidth roofline.
+//
+// Gflop/s uses the IR's FlopsPerPoint; GB/s charges the *logical*
+// (unpadded) bytes of the IR access pattern — the same accounting the
+// traffic model uses — even though the arrays are allocated with the
+// vector-padded layout. Per-stage and aggregate rows are written to
+// BENCH_kernels.json (schema icores.bench.v1, kernel-row shape) so the
+// perf trajectory of the backends is machine-tracked. The shape checks
+// assert the point of the Simd backend: aggregate hot-cache Gflop/s at
+// least 1.5x the Reference kernels.
 //
 //===----------------------------------------------------------------------===//
 
-#include "stencil/FieldStore.h"
+#include "BenchUtil.h"
+
 #include "mpdata/Kernels.h"
 #include "mpdata/MpdataProgram.h"
+#include "stencil/FieldStore.h"
 #include "support/Random.h"
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
 
 using namespace icores;
+using namespace icores::bench;
 
 namespace {
 
-/// Shared setup: one field store with all arrays allocated and filled.
-struct KernelBenchState {
-  MpdataProgram M = buildMpdataProgram();
-  Box3 Target = Box3::fromExtents(48, 48, 48);
-  FieldStore Fields{M.Program.numArrays()};
+/// One benchmark configuration: the stage sweep target and the store
+/// holding vector-padded, randomly filled arrays covering it.
+struct BenchSetup {
+  const MpdataProgram &M;
+  Box3 Target;
+  FieldStore Fields;
 
-  KernelBenchState() {
+  BenchSetup(const MpdataProgram &M, const Box3 &Target)
+      : M(M), Target(Target), Fields(M.Program.numArrays()) {
     Box3 Alloc = Target.grownAll(4);
     SplitMix64 Rng(7);
     for (unsigned A = 0; A != M.Program.numArrays(); ++A) {
-      Fields.allocateOwned(static_cast<ArrayId>(A), Alloc);
+      Fields.allocateOwned(static_cast<ArrayId>(A), Alloc,
+                           Array3D::VectorPadK);
       Array3D &Arr = Fields.get(static_cast<ArrayId>(A));
       for (int I = Alloc.Lo[0]; I != Alloc.Hi[0]; ++I)
         for (int J = Alloc.Lo[1]; J != Alloc.Hi[1]; ++J)
@@ -45,54 +65,135 @@ struct KernelBenchState {
   }
 };
 
-KernelBenchState &state() {
-  static KernelBenchState S;
-  return S;
+/// Logical IR bytes one sweep of \p Stage over \p Region moves: reads of
+/// the declared input windows plus writes of the outputs, unpadded.
+int64_t stageLogicalBytes(const StencilProgram &Program, StageId Stage,
+                          const Box3 &Region) {
+  const StageDef &S = Program.stage(Stage);
+  int64_t Bytes = 0;
+  for (const StageInput &In : S.Inputs)
+    Bytes += In.readRegion(Region).numPoints() *
+             Program.array(In.Array).ElementBytes;
+  for (ArrayId Out : S.Outputs)
+    Bytes += Region.numPoints() * Program.array(Out).ElementBytes;
+  return Bytes;
 }
 
-void runStageBench(benchmark::State &BState, KernelVariant Variant) {
-  KernelBenchState &S = state();
-  StageId Stage = static_cast<StageId>(BState.range(0));
-  for (auto _ : BState) {
-    runMpdataStage(S.M, S.Fields, Stage, S.Target, Variant);
-    benchmark::ClobberMemory();
+/// Best-of-reps seconds for one sweep of \p Stage with \p Variant. Each
+/// sample batches enough sweeps to be comfortably above timer
+/// granularity.
+double timeStage(BenchSetup &S, StageId Stage, KernelVariant Variant) {
+  using Clock = std::chrono::steady_clock;
+  // Warm up (page in, prime caches and branch predictors).
+  runMpdataStage(S.M, S.Fields, Stage, S.Target, Variant);
+
+  double TargetSampleSeconds = 2e-3;
+  int Batch = 1;
+  double Best = 1e100;
+  for (int Sample = 0; Sample != 4; ++Sample) {
+    Clock::time_point T0 = Clock::now();
+    for (int R = 0; R != Batch; ++R)
+      runMpdataStage(S.M, S.Fields, Stage, S.Target, Variant);
+    double Seconds = std::chrono::duration<double>(Clock::now() - T0).count();
+    double PerSweep = Seconds / Batch;
+    if (Sample > 0 && PerSweep < Best)
+      Best = PerSweep; // Sample 0 only sizes the batch.
+    if (Sample == 0) {
+      Best = PerSweep;
+      if (Seconds < TargetSampleSeconds)
+        Batch = static_cast<int>(TargetSampleSeconds / PerSweep) + 1;
+    }
   }
-  BState.SetItemsProcessed(BState.iterations() * S.Target.numPoints());
-  BState.SetLabel(S.M.Program.stage(Stage).Name);
+  return Best;
 }
 
-void BM_Stage(benchmark::State &BState) {
-  runStageBench(BState, KernelVariant::Reference);
-}
+struct VariantAggregate {
+  double Seconds = 0.0;
+  int64_t Flops = 0;
+  int64_t Bytes = 0;
 
-void BM_StageOpt(benchmark::State &BState) {
-  runStageBench(BState, KernelVariant::Optimized);
-}
-
-void runFullStepBench(benchmark::State &BState, KernelVariant Variant) {
-  KernelBenchState &S = state();
-  for (auto _ : BState) {
-    for (unsigned Stage = 0; Stage != S.M.Program.numStages(); ++Stage)
-      runMpdataStage(S.M, S.Fields, static_cast<StageId>(Stage), S.Target,
-                     Variant);
-    benchmark::ClobberMemory();
-  }
-  BState.SetItemsProcessed(BState.iterations() * S.Target.numPoints());
-}
-
-void BM_FullStep(benchmark::State &BState) {
-  runFullStepBench(BState, KernelVariant::Reference);
-}
-
-void BM_FullStepOpt(benchmark::State &BState) {
-  runFullStepBench(BState, KernelVariant::Optimized);
-}
+  double gflops() const { return Seconds > 0 ? Flops / Seconds / 1e9 : 0; }
+};
 
 } // namespace
 
-BENCHMARK(BM_Stage)->DenseRange(0, 16)->Unit(benchmark::kMicrosecond);
-BENCHMARK(BM_StageOpt)->DenseRange(0, 16)->Unit(benchmark::kMicrosecond);
-BENCHMARK(BM_FullStep)->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_FullStepOpt)->Unit(benchmark::kMillisecond);
+int main() {
+  MpdataProgram M = buildMpdataProgram();
+  const KernelVariant Variants[] = {KernelVariant::Reference,
+                                    KernelVariant::Optimized,
+                                    KernelVariant::Simd};
+  // hot: every touched array row set (~10 x 32 KiB) stays cache-resident
+  // between sweeps. cold: each array is ~6 MiB, so consecutive sweeps
+  // evict each other and the kernels stream from memory.
+  const struct {
+    const char *Name;
+    Box3 Target;
+  } Regions[] = {{"hot", Box3::fromExtents(8, 8, 64)},
+                 {"cold", Box3::fromExtents(128, 96, 64)}};
 
-BENCHMARK_MAIN();
+  std::vector<KernelBenchJsonRow> Rows;
+  double HotAggGflops[3] = {0, 0, 0};
+
+  for (const auto &Region : Regions) {
+    std::printf("\n== %s region %s ==\n", Region.Name,
+                Region.Target.str().c_str());
+    std::printf("%-10s %6s %6s %6s   %6s %6s %6s  (Gflop/s | GB/s)\n",
+                "stage", "ref", "opt", "simd", "ref", "opt", "simd");
+    std::vector<BenchSetup> Setups;
+    Setups.reserve(3);
+    for (int V = 0; V != 3; ++V)
+      Setups.emplace_back(M, Region.Target);
+
+    VariantAggregate Agg[3];
+    for (unsigned Stage = 0; Stage != M.Program.numStages(); ++Stage) {
+      StageId Id = static_cast<StageId>(Stage);
+      int64_t Flops =
+          Region.Target.numPoints() * M.Program.stage(Id).FlopsPerPoint;
+      int64_t Bytes = stageLogicalBytes(M.Program, Id, Region.Target);
+      double Gflops[3], GBps[3];
+      for (int V = 0; V != 3; ++V) {
+        double Seconds = timeStage(Setups[V], Id, Variants[V]);
+        Gflops[V] = Flops / Seconds / 1e9;
+        GBps[V] = Bytes / Seconds / 1e9;
+        Agg[V].Seconds += Seconds;
+        Agg[V].Flops += Flops;
+        Agg[V].Bytes += Bytes;
+        Rows.push_back({kernelVariantName(Variants[V]),
+                        M.Program.stage(Id).Name, Region.Name, Seconds,
+                        Gflops[V], GBps[V]});
+      }
+      std::printf("%-10s %6.2f %6.2f %6.2f   %6.2f %6.2f %6.2f\n",
+                  M.Program.stage(Id).Name.c_str(), Gflops[0], Gflops[1],
+                  Gflops[2], GBps[0], GBps[1], GBps[2]);
+    }
+
+    std::printf("%-10s %6.2f %6.2f %6.2f   %6.2f %6.2f %6.2f\n", "all",
+                Agg[0].gflops(), Agg[1].gflops(), Agg[2].gflops(),
+                Agg[0].Bytes / Agg[0].Seconds / 1e9,
+                Agg[1].Bytes / Agg[1].Seconds / 1e9,
+                Agg[2].Bytes / Agg[2].Seconds / 1e9);
+    for (int V = 0; V != 3; ++V) {
+      Rows.push_back({kernelVariantName(Variants[V]), "all", Region.Name,
+                      Agg[V].Seconds, Agg[V].gflops(),
+                      Agg[V].Bytes / Agg[V].Seconds / 1e9});
+      if (std::string(Region.Name) == "hot")
+        HotAggGflops[V] = Agg[V].gflops();
+    }
+  }
+
+  std::printf("\nsim calibration: kernelThroughputFactor ref %.2f, "
+              "opt %.2f, simd 1.00 (normalized hot aggregate)\n",
+              HotAggGflops[0] / HotAggGflops[2],
+              HotAggGflops[1] / HotAggGflops[2]);
+
+  std::printf("\n");
+  int Failures = 0;
+  Failures += shapeCheck(HotAggGflops[2] >= 1.5 * HotAggGflops[0],
+                         "Simd aggregate hot-cache Gflop/s >= 1.5x "
+                         "Reference");
+  Failures += shapeCheck(HotAggGflops[2] >= 0.9 * HotAggGflops[1],
+                         "Simd aggregate hot-cache Gflop/s not behind "
+                         "Optimized (>= 0.9x)");
+  writeKernelBenchJson("kernels", Rows);
+  return Failures;
+}

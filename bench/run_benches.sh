@@ -23,7 +23,8 @@ mkdir -p "$OUT_DIR"
 export ICORES_BENCH_DIR=$OUT_DIR
 
 STATUS=0
-for BENCH in bench_table1 bench_table2 bench_table3 bench_table4; do
+for BENCH in bench_table1 bench_table2 bench_table3 bench_table4 \
+             bench_kernels; do
   BIN=$BUILD_DIR/bench/$BENCH
   [ -x "$BIN" ] || continue
   LOG=$OUT_DIR/$BENCH.log

@@ -3,18 +3,27 @@
 
 Usage: validate_bench_json.py FILE [FILE...]
 
-Schema (written by bench/BenchUtil.cpp writeBenchJson):
+Schema (written by bench/BenchUtil.cpp writeBenchJson and
+writeKernelBenchJson):
   {
     "schema": "icores.bench.v1",
     "bench": "<name>",
-    "rows": [
+    "rows": [...]
+  }
+
+Two row shapes share the schema, distinguished by which field leads:
+
+  strategy rows (bench_table3/4):
       {"strategy": str, "p": int >= 1, "seconds": float > 0,
        "barrier_share": float in [0, 1], "total_barriers": int >= 0,
        "elided_barriers": int >= 0 (<= total_barriers),
-       "optimized_seconds": float >= 0, "gflops": float >= 0},
-      ...
-    ]
-  }
+       "optimized_seconds": float >= 0, "gflops": float >= 0}
+
+  kernel-roofline rows (bench_kernels; has a "variant" field):
+      {"variant": "ref"|"opt"|"simd", "stage": str,
+       "region": "hot"|"cold", "seconds": float > 0,
+       "gflops": float >= 0, "gbps": float >= 0}
+
 Exits nonzero listing every violation found.
 """
 
@@ -30,6 +39,15 @@ ROW_FIELDS = {
     "elided_barriers": int,
     "optimized_seconds": (int, float),
     "gflops": (int, float),
+}
+
+KERNEL_ROW_FIELDS = {
+    "variant": str,
+    "stage": str,
+    "region": str,
+    "seconds": (int, float),
+    "gflops": (int, float),
+    "gbps": (int, float),
 }
 
 
@@ -56,6 +74,9 @@ def validate(path):
         if not isinstance(row, dict):
             errors.append("%s: not an object" % where)
             continue
+        if "variant" in row:
+            errors.extend(validate_kernel_row(where, row))
+            continue
         for field, types in ROW_FIELDS.items():
             if field not in row:
                 errors.append("%s: missing field %r" % (where, field))
@@ -80,6 +101,32 @@ def validate(path):
                          row["total_barriers"]))
         if row["optimized_seconds"] < 0 or row["gflops"] < 0:
             errors.append("%s: negative optimized_seconds/gflops" % where)
+    return errors
+
+
+def validate_kernel_row(where, row):
+    errors = []
+    for field, types in KERNEL_ROW_FIELDS.items():
+        if field not in row:
+            errors.append("%s: missing field %r" % (where, field))
+        elif not isinstance(row[field], types) or isinstance(
+                row[field], bool):
+            errors.append("%s: field %r has type %s"
+                          % (where, field, type(row[field]).__name__))
+    if errors:
+        return errors
+    if row["variant"] not in ("ref", "opt", "simd"):
+        errors.append("%s: variant = %r not in ref/opt/simd"
+                      % (where, row["variant"]))
+    if row["region"] not in ("hot", "cold"):
+        errors.append("%s: region = %r not in hot/cold"
+                      % (where, row["region"]))
+    if not row["stage"]:
+        errors.append("%s: empty stage name" % where)
+    if row["seconds"] <= 0:
+        errors.append("%s: seconds = %g <= 0" % (where, row["seconds"]))
+    if row["gflops"] < 0 or row["gbps"] < 0:
+        errors.append("%s: negative gflops/gbps" % where)
     return errors
 
 

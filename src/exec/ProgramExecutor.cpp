@@ -61,7 +61,7 @@ ProgramExecutor::ProgramExecutor(StencilProgram AProgram,
   for (unsigned A = 0; A != Program.numArrays(); ++A) {
     ArrayId Id = static_cast<ArrayId>(A);
     if (Program.array(Id).Role != ArrayRole::Intermediate)
-      External.emplace(Id, Array3D(Alloc));
+      External.emplace(Id, Array3D(Alloc, Opts.PadKRows));
   }
 
   for (const IslandPlan &Island : Plan.Islands) {
@@ -84,7 +84,7 @@ ProgramExecutor::ProgramExecutor(StencilProgram AProgram,
       for (ArrayId Out : Program.stage(static_cast<StageId>(S)).Outputs)
         if (Program.array(Out).Role == ArrayRole::Intermediate &&
             !IS->Store.isBound(Out))
-          IS->Store.allocateOwned(Out, StageUnion[S]);
+          IS->Store.allocateOwned(Out, StageUnion[S], Opts.PadKRows);
     }
     IslandStates.push_back(std::move(IS));
   }

@@ -53,6 +53,10 @@ struct ThreadPlacement;
 struct ExecutorOptions {
   TeamBarrier::WaitPolicy BarrierPolicy = TeamBarrier::WaitPolicy::Hybrid;
   int BarrierSpinLimit = TeamBarrier::DefaultSpinLimit;
+  /// k-row pad multiple for every array the executor allocates (externals
+  /// and per-island intermediates); rows start cache-line aligned at the
+  /// default. 0 disables padding. Layout only — results are identical.
+  int PadKRows = Array3D::VectorPadK;
 };
 
 /// Threaded executor for one plan of one program over one domain.

@@ -10,6 +10,14 @@
 /// with their logical (i, j, k) coordinates. Storage is k-fastest (row-major
 /// in (i, j, k)), matching the layout assumed by the traffic model.
 ///
+/// Storage is 64-byte aligned, and k-rows can optionally be padded to a
+/// multiple of the vector width (reset() with PadK > 0) so that every
+/// (i, j, ·) row starts on a cache-line boundary — the layout the Simd
+/// kernel backend wants. Padding is a physical-storage concern only: the
+/// logical sizes (numElements(), sizeInBytes()) never include pad
+/// elements, so the traffic model and cache simulator keep charging
+/// logical (unpadded) bytes. paddedBytes() exposes the physical footprint.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ICORES_GRID_ARRAY3D_H
@@ -17,34 +25,100 @@
 
 #include "grid/Box3.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
+#include <new>
 #include <vector>
 
 namespace icores {
 
+/// Minimal STL allocator handing out storage aligned to \p Alignment
+/// bytes. All instances are interchangeable (stateless).
+template <typename T, std::size_t Alignment> class AlignedAllocator {
+public:
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment> &) {}
+
+  T *allocate(std::size_t N) {
+    return static_cast<T *>(
+        ::operator new(N * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T *P, std::size_t) {
+    ::operator delete(P, std::align_val_t(Alignment));
+  }
+
+  template <typename U> struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  friend bool operator==(const AlignedAllocator &, const AlignedAllocator &) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator &, const AlignedAllocator &) {
+    return false;
+  }
+};
+
 /// Dense double array addressed by logical (i, j, k) within a Box3.
 class Array3D {
 public:
+  /// Alignment (bytes) of data(); with k-row padding every row start too.
+  static constexpr int DataAlignment = 64;
+  /// Pad value that rounds each k-row up to a whole cache line / AVX-512
+  /// vector (8 doubles = 64 bytes).
+  static constexpr int VectorPadK =
+      DataAlignment / static_cast<int>(sizeof(double));
+
   Array3D() = default;
 
-  /// Allocates storage covering \p IndexSpace, zero-initialized.
-  explicit Array3D(const Box3 &IndexSpace) { reset(IndexSpace); }
+  /// Allocates storage covering \p IndexSpace, zero-initialized. With
+  /// \p PadK > 0, each k-row is padded to a multiple of PadK elements.
+  explicit Array3D(const Box3 &IndexSpace, int PadK = 0) {
+    reset(IndexSpace, PadK);
+  }
 
-  /// Re-shapes to \p IndexSpace, zero-filling all elements.
-  void reset(const Box3 &IndexSpace) {
-    Space = IndexSpace;
-    StrideJ = Space.extent(2);
-    StrideI = static_cast<int64_t>(Space.extent(1)) * StrideJ;
-    Data.assign(static_cast<size_t>(Space.numPoints()), 0.0);
+  /// Re-shapes to \p IndexSpace, zero-filling all elements. Reuses the
+  /// existing allocation when the shape and padding are unchanged. With
+  /// \p PadK > 0, the k-row stride is rounded up to a multiple of PadK so
+  /// every (i, j, ·) row starts DataAlignment-aligned when PadK is
+  /// VectorPadK.
+  void reset(const Box3 &IndexSpace, int PadK = 0) {
+    if (resetShape(IndexSpace, PadK))
+      Data.assign(PhysicalElements, 0.0);
+    else
+      std::fill(Data.begin(), Data.end(), 0.0);
+  }
+
+  /// reset() without the zero-fill when shape and padding are unchanged:
+  /// repeated per-block scratch resets keep their (already initialized)
+  /// pages instead of re-touching every one. A shape change still
+  /// reallocates and zero-fills.
+  void resetNoClear(const Box3 &IndexSpace, int PadK = 0) {
+    if (resetShape(IndexSpace, PadK))
+      Data.assign(PhysicalElements, 0.0);
   }
 
   const Box3 &indexSpace() const { return Space; }
   bool allocated() const { return !Data.empty(); }
-  int64_t numElements() const { return static_cast<int64_t>(Data.size()); }
+
+  /// Logical element count (pad elements excluded) — what the traffic
+  /// model and cache simulator charge.
+  int64_t numElements() const { return Space.numPoints(); }
   int64_t sizeInBytes() const {
     return numElements() * static_cast<int64_t>(sizeof(double));
   }
+  /// Physical footprint including k-row pad elements.
+  int64_t paddedBytes() const {
+    return static_cast<int64_t>(Data.size()) *
+           static_cast<int64_t>(sizeof(double));
+  }
+  /// The k-row pad multiple this array was reset with (0 = unpadded).
+  int padK() const { return Pad; }
 
   double &at(int I, int J, int K) {
     return Data[static_cast<size_t>(linearIndex(I, J, K))];
@@ -60,7 +134,8 @@ public:
 
   /// Distance in elements between (i, j, k) and (i+1, j, k).
   int64_t strideI() const { return StrideI; }
-  /// Distance in elements between (i, j, k) and (i, j+1, k).
+  /// Distance in elements between (i, j, k) and (i, j+1, k). With k-row
+  /// padding this exceeds extent(2); k stays unit-stride within a row.
   int64_t strideJ() const { return StrideJ; }
 
   /// Unchecked raw pointer to element (I, J, K); the coordinates must lie
@@ -72,11 +147,14 @@ public:
     return Data.data() + linearIndex(I, J, K);
   }
 
-  /// Sets every element (halo included) to \p Value.
+  /// Sets every element (halo and padding included) to \p Value.
   void fill(double Value) { Data.assign(Data.size(), Value); }
 
+  /// Sets every element of \p Region to \p Value via contiguous k-runs.
+  void fillRegion(const Box3 &Region, double Value);
+
   /// Copies the values of \p Region from \p Src; the region must be inside
-  /// both index spaces.
+  /// both index spaces. Row-wise memmove over contiguous k-runs.
   void copyRegionFrom(const Array3D &Src, const Box3 &Region);
 
   /// Serial deterministic sum over \p Region (used by conservation tests;
@@ -88,6 +166,24 @@ public:
   double maxAbsDiff(const Array3D &Other, const Box3 &Region) const;
 
 private:
+  /// Recomputes the shape/stride state for (IndexSpace, PadK). Returns
+  /// true when the physical allocation size changed (caller must
+  /// (re)allocate), false when the existing storage can be reused as-is.
+  bool resetShape(const Box3 &IndexSpace, int PadK) {
+    bool Same = allocated() && Space == IndexSpace && Pad == PadK;
+    Space = IndexSpace;
+    Pad = PadK;
+    StrideJ = Space.extent(2);
+    if (PadK > 0 && StrideJ > 0)
+      StrideJ += (PadK - StrideJ % PadK) % PadK;
+    StrideI = static_cast<int64_t>(Space.extent(1)) * StrideJ;
+    PhysicalElements = Space.empty()
+                           ? 0
+                           : static_cast<size_t>(Space.extent(0)) *
+                                 static_cast<size_t>(StrideI);
+    return !Same;
+  }
+
   int64_t linearIndex(int I, int J, int K) const {
     assert(Space.contains(I, J, K) && "Array3D access out of index space");
     return static_cast<int64_t>(I - Space.Lo[0]) * StrideI +
@@ -96,9 +192,11 @@ private:
   }
 
   Box3 Space;
+  int Pad = 0;
   int64_t StrideI = 0;
   int64_t StrideJ = 0;
-  std::vector<double> Data;
+  size_t PhysicalElements = 0;
+  std::vector<double, AlignedAllocator<double, DataAlignment>> Data;
 };
 
 } // namespace icores

@@ -5,28 +5,38 @@
 #include "grid/Array3D.h"
 #include "support/Error.h"
 
+#include <cstring>
+
 using namespace icores;
 
 namespace {
 
 /// Shared halo-filling walk parameterized over the source-index mapping.
+///
+/// Every read resolves to a core cell (the map sends any index into
+/// [0, Extent)), so the k-interior segment of a halo (i, j) row is a
+/// contiguous copy of the mapped core row — one memcpy per row. Only the
+/// k-halo cells of each row need the element-wise mapped gather.
 template <typename MapFn>
 void fillHaloWith(const Domain &Dom, Array3D &A, MapFn &&Map) {
   Box3 Alloc = Dom.allocBox();
   ICORES_CHECK(A.indexSpace().containsBox(Alloc),
                "array does not cover the domain's alloc box");
   int NI = Dom.ni(), NJ = Dom.nj(), NK = Dom.nk();
+  const size_t CoreRowBytes = static_cast<size_t>(NK) * sizeof(double);
   for (int I = Alloc.Lo[0]; I != Alloc.Hi[0]; ++I) {
     int SI = Map(I, NI);
-    bool InteriorI = I >= 0 && I < NI;
     for (int J = Alloc.Lo[1]; J != Alloc.Hi[1]; ++J) {
       int SJ = Map(J, NJ);
-      bool InteriorJ = J >= 0 && J < NJ;
-      for (int K = Alloc.Lo[2]; K != Alloc.Hi[2]; ++K) {
-        if (InteriorI && InteriorJ && K >= 0 && K < NK)
-          continue; // Core cells keep their values.
+      // A row is an (i, j) halo row exactly when the map moved it; its
+      // whole k-interior mirrors the (distinct) mapped core row.
+      if (SI != I || SJ != J)
+        std::memcpy(A.pointerTo(I, J, 0), A.pointerTo(SI, SJ, 0),
+                    CoreRowBytes);
+      for (int K = Alloc.Lo[2]; K != 0; ++K)
         A.at(I, J, K) = A.at(SI, SJ, Map(K, NK));
-      }
+      for (int K = NK; K != Alloc.Hi[2]; ++K)
+        A.at(I, J, K) = A.at(SI, SJ, Map(K, NK));
     }
   }
 }

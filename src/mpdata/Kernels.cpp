@@ -198,6 +198,10 @@ void icores::runMpdataStage(const MpdataProgram &M, FieldStore &Fields,
     runMpdataStageOptimized(M, Fields, Stage, Region);
     return;
   }
+  if (Variant == KernelVariant::Simd) {
+    runMpdataStageSimd(M, Fields, Stage, Region);
+    return;
+  }
   FieldStore &F = Fields;
   if (Stage == M.SFlux1) {
     kernelFlux(F.get(M.XIn), F.get(M.U1), F.get(M.F1), 0, Region);

@@ -28,13 +28,10 @@ namespace icores {
 
 class FieldStore;
 
-/// Which kernel implementation to run. Both produce bit-identical results
-/// (identical floating-point expression order); Optimized uses raw
-/// pointer strides and contiguous inner loops.
-enum class KernelVariant {
-  Reference, ///< Index-checked scalar loops (the readable spec).
-  Optimized, ///< Strided-pointer loops (the production path).
-};
+// KernelVariant (Reference / Optimized / Simd) lives in
+// stencil/KernelTable.h so backend-agnostic layers can name a variant
+// without linking this library. All variants produce bit-identical
+// results: identical floating-point expression order per element.
 
 /// Evaluates stage \p Stage of \p M over \p Region using the arrays in
 /// \p Fields. All arrays read/written must cover the regions implied by the
@@ -47,6 +44,12 @@ void runMpdataStage(const MpdataProgram &M, FieldStore &Fields, StageId Stage,
 /// benchmarking; behaves exactly like runMpdataStage(..., Optimized).
 void runMpdataStageOptimized(const MpdataProgram &M, FieldStore &Fields,
                              StageId Stage, const Box3 &Region);
+
+/// Implementation detail of the Simd variant (contiguous __restrict
+/// k-inner loops shaped for auto-vectorization), exposed for direct
+/// benchmarking; behaves exactly like runMpdataStage(..., Simd).
+void runMpdataStageSimd(const MpdataProgram &M, FieldStore &Fields,
+                        StageId Stage, const Box3 &Region);
 
 /// Builds the stage-kernel table binding the 17 MPDATA stages to the
 /// chosen kernel implementation, for use with the generic runtimes

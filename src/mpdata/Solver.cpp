@@ -25,13 +25,15 @@ ReferenceSolver::ReferenceSolver(int NI, int NJ, int NK, SolverOptions Options)
     : M(buildMpdataProgram()), Dom(NI, NJ, NK, mpdataHaloDepth(), Options.Boundary),
       Req(computeRequirements(M.Program, Dom.coreBox())), Opts(Options),
       Intermediates(M.Program.numArrays()) {
+  // All arrays share the vector-padded layout so every (i, j, ·) row is
+  // cache-line aligned regardless of the kernel variant chosen.
   Box3 Alloc = Dom.allocBox();
-  State.reset(Alloc);
-  Next.reset(Alloc);
-  Dens.reset(Alloc);
+  State.reset(Alloc, Array3D::VectorPadK);
+  Next.reset(Alloc, Array3D::VectorPadK);
+  Dens.reset(Alloc, Array3D::VectorPadK);
   Dens.fill(1.0);
   for (Array3D &Vel : U)
-    Vel.reset(Alloc);
+    Vel.reset(Alloc, Array3D::VectorPadK);
 
   Intermediates.bindExternal(M.XIn, &State);
   Intermediates.bindExternal(M.U1, &U[0]);
@@ -42,7 +44,8 @@ ReferenceSolver::ReferenceSolver(int NI, int NJ, int NK, SolverOptions Options)
   for (unsigned A = 0; A != M.Program.numArrays(); ++A) {
     if (M.Program.array(static_cast<ArrayId>(A)).Role ==
         ArrayRole::Intermediate)
-      Intermediates.allocateOwned(static_cast<ArrayId>(A), Alloc);
+      Intermediates.allocateOwned(static_cast<ArrayId>(A), Alloc,
+                                  Array3D::VectorPadK);
   }
 }
 

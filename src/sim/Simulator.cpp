@@ -49,11 +49,13 @@ IslandCosts simulateIsland(const IslandPlan &Island,
                            const StencilProgram &Program,
                            const MachineModel &Machine, double StreamRate,
                            bool MultipleIslands,
-                           const std::vector<Box3> &SameSocketParts) {
+                           const std::vector<Box3> &SameSocketParts,
+                           double KernelThroughput) {
   IslandCosts Costs;
   bool Blocked = Plan.Strat != Strategy::Original;
   double TeamFlopRate = static_cast<double>(Island.NumThreads) *
-                        Machine.peakFlopsPerCore() * Machine.KernelEfficiency;
+                        Machine.peakFlopsPerCore() *
+                        Machine.KernelEfficiency * KernelThroughput;
   double WriteFactor = Machine.NonTemporalStores ? 1.0 : 2.0;
   double RemoteRate = Machine.LinkBandwidth * Machine.RemoteAccessEfficiency;
   // Cache-resident halo lines prefetch well; cold DRAM-backed halos
@@ -190,9 +192,25 @@ IslandCosts simulateIsland(const IslandPlan &Island,
 
 } // namespace
 
+double icores::kernelThroughputFactor(KernelVariant Variant) {
+  // Normalized aggregate hot-cache Gflop/s from bench/bench_kernels on
+  // the dev host (see EXPERIMENTS.md): the machine models' calibrated
+  // KernelEfficiency corresponds to the Simd backend.
+  switch (Variant) {
+  case KernelVariant::Reference:
+    return 0.12;
+  case KernelVariant::Optimized:
+    return 0.58;
+  case KernelVariant::Simd:
+    return 1.0;
+  }
+  return 1.0;
+}
+
 SimResult icores::simulate(const ExecutionPlan &Plan,
                            const StencilProgram &Program,
-                           const MachineModel &Machine, int TimeSteps) {
+                           const MachineModel &Machine, int TimeSteps,
+                           const SimOptions &Options) {
   ICORES_CHECK(TimeSteps >= 1, "need at least one time step");
   ICORES_CHECK(!Plan.Islands.empty(), "plan has no islands");
 
@@ -230,7 +248,8 @@ SimResult icores::simulate(const ExecutionPlan &Plan,
         SameSocketParts.push_back(Other.Part);
     IslandCosts Costs =
         simulateIsland(Island, Plan, Program, Machine, StreamRate,
-                       Plan.Islands.size() > 1, SameSocketParts);
+                       Plan.Islands.size() > 1, SameSocketParts,
+                       kernelThroughputFactor(Options.Kernels));
     Result.FlopsPerStep += Costs.Flops;
     Result.DramBytesPerStep += Costs.DramBytes;
     Result.RemoteBytesPerStep += Costs.RemoteBytes;

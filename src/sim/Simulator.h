@@ -41,6 +41,7 @@
 
 #include "core/ExecutionPlan.h"
 #include "machine/MachineModel.h"
+#include "stencil/KernelTable.h"
 #include "stencil/StencilIR.h"
 
 #include <cstdint>
@@ -88,9 +89,24 @@ struct SimResult {
   int64_t totalDramBytes() const { return DramBytesPerStep * TimeSteps; }
 };
 
+/// Simulation knobs beyond the machine model.
+struct SimOptions {
+  /// Which kernel backend the modelled run uses. The machine's
+  /// KernelEfficiency is calibrated against the Simd backend (factor
+  /// 1.0); the others are scaled by kernelThroughputFactor().
+  KernelVariant Kernels = KernelVariant::Simd;
+};
+
+/// Relative per-core kernel throughput of \p Variant, normalized to the
+/// Simd backend (= 1.0). Calibrated from bench/bench_kernels aggregate
+/// hot-cache Gflop/s on the dev host; scales MachineModel's
+/// KernelEfficiency in the compute term.
+double kernelThroughputFactor(KernelVariant Variant);
+
 /// Simulates \p TimeSteps homogeneous steps of \p Plan on \p Machine.
 SimResult simulate(const ExecutionPlan &Plan, const StencilProgram &Program,
-                   const MachineModel &Machine, int TimeSteps);
+                   const MachineModel &Machine, int TimeSteps,
+                   const SimOptions &Options = {});
 
 } // namespace icores
 

@@ -18,10 +18,11 @@ const FieldStore::Slot &FieldStore::slot(ArrayId Id) const {
   return Slots[static_cast<size_t>(Id)];
 }
 
-void FieldStore::allocateOwned(ArrayId Id, const Box3 &IndexSpace) {
+void FieldStore::allocateOwned(ArrayId Id, const Box3 &IndexSpace,
+                               int PadK) {
   Slot &S = slot(Id);
   ICORES_CHECK(S.Ptr == nullptr, "field store slot already populated");
-  S.Owned = std::make_unique<Array3D>(IndexSpace);
+  S.Owned = std::make_unique<Array3D>(IndexSpace, PadK);
   S.Ptr = S.Owned.get();
 }
 

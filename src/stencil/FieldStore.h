@@ -39,8 +39,11 @@ public:
   FieldStore(FieldStore &&) = default;
   FieldStore &operator=(FieldStore &&) = default;
 
-  /// Allocates an owned array over \p IndexSpace for \p Id.
-  void allocateOwned(ArrayId Id, const Box3 &IndexSpace);
+  /// Allocates an owned array over \p IndexSpace for \p Id. With
+  /// \p PadK > 0 the k-rows are padded to a multiple of PadK elements
+  /// (see Array3D::reset); pad bytes count toward neither ownedBytes()
+  /// nor the traffic model.
+  void allocateOwned(ArrayId Id, const Box3 &IndexSpace, int PadK = 0);
 
   /// Binds \p Id to caller-owned storage (shared inputs/outputs). The
   /// pointee must outlive this store.

@@ -6,6 +6,35 @@
 
 using namespace icores;
 
+const char *icores::kernelVariantName(KernelVariant Variant) {
+  switch (Variant) {
+  case KernelVariant::Reference:
+    return "ref";
+  case KernelVariant::Optimized:
+    return "opt";
+  case KernelVariant::Simd:
+    return "simd";
+  }
+  return "ref";
+}
+
+bool icores::parseKernelVariant(const std::string &Name,
+                                KernelVariant &Variant) {
+  if (Name == "ref") {
+    Variant = KernelVariant::Reference;
+    return true;
+  }
+  if (Name == "opt") {
+    Variant = KernelVariant::Optimized;
+    return true;
+  }
+  if (Name == "simd") {
+    Variant = KernelVariant::Simd;
+    return true;
+  }
+  return false;
+}
+
 void KernelTable::set(StageId Stage, StageKernel Kernel) {
   ICORES_CHECK(Stage >= 0 &&
                    static_cast<size_t>(Stage) < Kernels.size(),

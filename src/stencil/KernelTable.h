@@ -25,11 +25,31 @@
 #include "stencil/StencilIR.h"
 
 #include <functional>
+#include <string>
 #include <vector>
 
 namespace icores {
 
 class FieldStore;
+
+/// Which kernel implementation backs a KernelTable. All variants of a
+/// program must produce bit-identical results (identical floating-point
+/// expression order per element); they differ only in loop/pointer shape.
+/// Lives in the stencil layer so backend-agnostic consumers (simulator,
+/// planners, CLIs) can name a variant without linking the kernels.
+enum class KernelVariant {
+  Reference, ///< Index-checked scalar loops (the readable spec).
+  Optimized, ///< Strided-pointer loops (the portable production path).
+  Simd,      ///< Contiguous __restrict k-loops shaped for vectorization.
+};
+
+/// Short stable name: "ref", "opt" or "simd" (CLI flag values, bench JSON
+/// and lint labels).
+const char *kernelVariantName(KernelVariant Variant);
+
+/// Parses kernelVariantName() output back to the enum. Returns false when
+/// \p Name is not a known variant (leaving \p Variant untouched).
+bool parseKernelVariant(const std::string &Name, KernelVariant &Variant);
 
 /// Computes one stage over one region of a field store.
 using StageKernel = std::function<void(FieldStore &, const Box3 &)>;

@@ -40,11 +40,12 @@ Array3D referenceResult() {
 }
 
 /// Runs an executor with the same workload under \p Config.
-Array3D executorResult(const PlanConfig &Config, const MachineModel &Machine) {
+Array3D executorResult(const PlanConfig &Config, const MachineModel &Machine,
+                       KernelVariant Kernels = KernelVariant::Reference) {
   MpdataProgram M = buildMpdataProgram();
   Domain Dom(GridNI, GridNJ, GridNK, mpdataHaloDepth());
   ExecutionPlan Plan = buildPlan(M.Program, Dom.coreBox(), Machine, Config);
-  PlanExecutor Exec(Dom, std::move(Plan));
+  PlanExecutor Exec(Dom, std::move(Plan), Kernels);
   fillRandomPositive(Exec.stateIn(), Exec.domain(), 1234, 0.1, 2.0);
   setConstantVelocity(Exec.velocity(0), Exec.velocity(1), Exec.velocity(2),
                       Exec.domain(), 0.3, -0.25, 0.2);
@@ -57,12 +58,13 @@ Array3D executorResult(const PlanConfig &Config, const MachineModel &Machine) {
 
 Box3 coreBox() { return Box3::fromExtents(GridNI, GridNJ, GridNK); }
 
-/// Parameter: (strategy, sockets, variant, use2D).
+/// Parameter: (strategy, sockets, variant, use2D, kernel backend).
 struct EquivalenceCase {
   Strategy Strat;
   int Sockets;
   PartitionVariant Variant;
   bool Use2D;
+  KernelVariant Kernels = KernelVariant::Reference;
   const char *Name;
 };
 
@@ -87,36 +89,55 @@ TEST_P(StrategyEquivalence, MatchesReferenceBitExactly) {
   }
 
   Array3D Reference = referenceResult();
-  Array3D Result = executorResult(Config, Machine);
+  Array3D Result = executorResult(Config, Machine, C.Kernels);
   EXPECT_EQ(Result.maxAbsDiff(Reference, coreBox()), 0.0)
-      << "strategy " << strategyName(C.Strat) << " sockets " << C.Sockets;
+      << "strategy " << strategyName(C.Strat) << " sockets " << C.Sockets
+      << " kernels " << kernelVariantName(C.Kernels);
 }
 
 INSTANTIATE_TEST_SUITE_P(
     AllStrategies, StrategyEquivalence,
     ::testing::Values(
         EquivalenceCase{Strategy::Original, 1, PartitionVariant::A, false,
-                        "original_p1"},
+                        KernelVariant::Reference, "original_p1"},
         EquivalenceCase{Strategy::Original, 2, PartitionVariant::A, false,
-                        "original_p2"},
+                        KernelVariant::Reference, "original_p2"},
         EquivalenceCase{Strategy::Block31D, 1, PartitionVariant::A, false,
-                        "block31d_p1"},
+                        KernelVariant::Reference, "block31d_p1"},
         EquivalenceCase{Strategy::Block31D, 3, PartitionVariant::A, false,
-                        "block31d_p3"},
+                        KernelVariant::Reference, "block31d_p3"},
         EquivalenceCase{Strategy::IslandsOfCores, 1, PartitionVariant::A,
-                        false, "islands_p1"},
+                        false, KernelVariant::Reference, "islands_p1"},
         EquivalenceCase{Strategy::IslandsOfCores, 2, PartitionVariant::A,
-                        false, "islands_p2_varA"},
+                        false, KernelVariant::Reference, "islands_p2_varA"},
         EquivalenceCase{Strategy::IslandsOfCores, 2, PartitionVariant::B,
-                        false, "islands_p2_varB"},
+                        false, KernelVariant::Reference, "islands_p2_varB"},
         EquivalenceCase{Strategy::IslandsOfCores, 4, PartitionVariant::A,
-                        false, "islands_p4_varA"},
+                        false, KernelVariant::Reference, "islands_p4_varA"},
         EquivalenceCase{Strategy::IslandsOfCores, 4, PartitionVariant::B,
-                        false, "islands_p4_varB"},
+                        false, KernelVariant::Reference, "islands_p4_varB"},
         EquivalenceCase{Strategy::IslandsOfCores, 4, PartitionVariant::A,
-                        true, "islands_p4_grid2x2"},
+                        true, KernelVariant::Reference, "islands_p4_grid2x2"},
         EquivalenceCase{Strategy::IslandsOfCores, 6, PartitionVariant::A,
-                        true, "islands_p6_grid3x2"}),
+                        true, KernelVariant::Reference, "islands_p6_grid3x2"},
+        // Every strategy must also be bit-exact under the Optimized and
+        // Simd backends (ISSUE 4: all variants x all strategies).
+        EquivalenceCase{Strategy::Original, 2, PartitionVariant::A, false,
+                        KernelVariant::Optimized, "original_p2_opt"},
+        EquivalenceCase{Strategy::Original, 2, PartitionVariant::A, false,
+                        KernelVariant::Simd, "original_p2_simd"},
+        EquivalenceCase{Strategy::Block31D, 3, PartitionVariant::A, false,
+                        KernelVariant::Optimized, "block31d_p3_opt"},
+        EquivalenceCase{Strategy::Block31D, 3, PartitionVariant::A, false,
+                        KernelVariant::Simd, "block31d_p3_simd"},
+        EquivalenceCase{Strategy::IslandsOfCores, 4, PartitionVariant::B,
+                        false, KernelVariant::Optimized,
+                        "islands_p4_varB_opt"},
+        EquivalenceCase{Strategy::IslandsOfCores, 4, PartitionVariant::B,
+                        false, KernelVariant::Simd, "islands_p4_varB_simd"},
+        EquivalenceCase{Strategy::IslandsOfCores, 4, PartitionVariant::A,
+                        true, KernelVariant::Simd,
+                        "islands_p4_grid2x2_simd"}),
     [](const ::testing::TestParamInfo<EquivalenceCase> &Info) {
       return Info.param.Name;
     });

@@ -108,6 +108,118 @@ TEST(Array3DTest, CopyRegionAndMaxDiff) {
   EXPECT_DOUBLE_EQ(A.maxAbsDiff(B, Space), 2.0);
 }
 
+TEST(Array3DTest, DataIs64ByteAligned) {
+  for (const Box3 &Space :
+       {Box3::fromExtents(3, 5, 7), Box3(-2, -2, -2, 9, 9, 9)}) {
+    Array3D A(Space);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(A.data()) %
+                  Array3D::DataAlignment,
+              0u);
+    Array3D P(Space, Array3D::VectorPadK);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(P.data()) %
+                  Array3D::DataAlignment,
+              0u);
+  }
+}
+
+TEST(Array3DTest, PaddedStridesAndRowAlignment) {
+  // 4 x 3 x 5: rows of 5 doubles pad to 8 (one cache line).
+  Box3 Space(-1, -1, -1, 3, 2, 4);
+  Array3D A(Space, Array3D::VectorPadK);
+  EXPECT_EQ(A.padK(), Array3D::VectorPadK);
+  EXPECT_EQ(A.strideJ(), 8);
+  EXPECT_EQ(A.strideI(), 3 * 8);
+  // Logical sizes ignore padding; paddedBytes() exposes it.
+  EXPECT_EQ(A.numElements(), 4 * 3 * 5);
+  EXPECT_EQ(A.sizeInBytes(), 4 * 3 * 5 * 8);
+  EXPECT_EQ(A.paddedBytes(), 4 * 3 * 8 * 8);
+  // Every (i, j, lo-k) row start lands on a 64-byte boundary.
+  for (int I = Space.Lo[0]; I != Space.Hi[0]; ++I)
+    for (int J = Space.Lo[1]; J != Space.Hi[1]; ++J)
+      EXPECT_EQ(reinterpret_cast<uintptr_t>(
+                    A.pointerTo(I, J, Space.Lo[2])) %
+                    Array3D::DataAlignment,
+                0u);
+  // Addressing round-trips under the padded layout.
+  A.at(2, 1, 3) = 4.5;
+  A.at(-1, -1, -1) = 1.5;
+  EXPECT_EQ(A.at(2, 1, 3), 4.5);
+  EXPECT_EQ(A.at(-1, -1, -1), 1.5);
+  // A row that is already a multiple of the pad gains no padding.
+  Array3D B(Box3::fromExtents(2, 2, 16), Array3D::VectorPadK);
+  EXPECT_EQ(B.strideJ(), 16);
+  EXPECT_EQ(B.paddedBytes(), B.sizeInBytes());
+}
+
+TEST(Array3DTest, PaddedAndUnpaddedAgree) {
+  Box3 Space(-1, 0, -2, 4, 3, 9);
+  Array3D A(Space), P(Space, Array3D::VectorPadK);
+  double V = 0.0;
+  for (int I = Space.Lo[0]; I != Space.Hi[0]; ++I)
+    for (int J = Space.Lo[1]; J != Space.Hi[1]; ++J)
+      for (int K = Space.Lo[2]; K != Space.Hi[2]; ++K) {
+        A.at(I, J, K) = V;
+        P.at(I, J, K) = V;
+        V += 1.0;
+      }
+  EXPECT_EQ(A.maxAbsDiff(P, Space), 0.0);
+  EXPECT_DOUBLE_EQ(A.sumRegion(Space), P.sumRegion(Space));
+}
+
+TEST(Array3DTest, ResetReusesAllocationAndZeroes) {
+  Box3 Space = Box3::fromExtents(4, 4, 4);
+  Array3D A(Space);
+  const double *Before = A.data();
+  A.fill(9.0);
+  A.reset(Space);
+  EXPECT_EQ(A.data(), Before); // Same shape: no reallocation.
+  EXPECT_EQ(A.at(3, 3, 3), 0.0);
+  A.reset(Box3::fromExtents(2, 2, 2));
+  EXPECT_EQ(A.numElements(), 8);
+}
+
+TEST(Array3DTest, ResetNoClearKeepsValuesWhenShapeUnchanged) {
+  Box3 Space = Box3::fromExtents(3, 3, 3);
+  Array3D A(Space, Array3D::VectorPadK);
+  A.fill(5.0);
+  A.resetNoClear(Space, Array3D::VectorPadK);
+  EXPECT_EQ(A.at(2, 2, 2), 5.0); // No redundant zero-assign.
+  // Changing shape or padding still reallocates zeroed storage.
+  A.resetNoClear(Space, 0);
+  EXPECT_EQ(A.padK(), 0);
+  EXPECT_EQ(A.at(2, 2, 2), 0.0);
+  A.fill(3.0);
+  A.resetNoClear(Box3::fromExtents(5, 3, 3), 0);
+  EXPECT_EQ(A.at(4, 2, 2), 0.0);
+}
+
+TEST(Array3DTest, FillRegionWritesOnlyTheRegion) {
+  Array3D A(Box3::fromExtents(4, 4, 4), Array3D::VectorPadK);
+  A.fill(1.0);
+  A.fillRegion(Box3(1, 1, 1, 3, 3, 3), 8.0);
+  EXPECT_EQ(A.at(1, 1, 1), 8.0);
+  EXPECT_EQ(A.at(2, 2, 2), 8.0);
+  EXPECT_EQ(A.at(0, 0, 0), 1.0);
+  EXPECT_EQ(A.at(3, 3, 3), 1.0);
+  EXPECT_DOUBLE_EQ(A.sumRegion(Box3::fromExtents(4, 4, 4)),
+                   56.0 + 8 * 8.0);
+}
+
+TEST(Array3DTest, CopyRegionBetweenPaddedAndUnpadded) {
+  Box3 Space = Box3::fromExtents(4, 4, 5);
+  Array3D A(Space, Array3D::VectorPadK), B(Space);
+  double V = 0.0;
+  for (int I = 0; I != 4; ++I)
+    for (int J = 0; J != 4; ++J)
+      for (int K = 0; K != 5; ++K)
+        B.at(I, J, K) = ++V;
+  A.copyRegionFrom(B, Space);
+  EXPECT_EQ(A.maxAbsDiff(B, Space), 0.0);
+  // Self-copy is the identity.
+  A.copyRegionFrom(A, Box3(1, 1, 1, 3, 3, 4));
+  EXPECT_EQ(A.maxAbsDiff(B, Space), 0.0);
+}
+
 TEST(DomainTest, Boxes) {
   Domain D(8, 6, 4, 2);
   EXPECT_EQ(D.coreBox(), Box3::fromExtents(8, 6, 4));

@@ -1,9 +1,10 @@
-//===- tests/kernel_variants_test.cpp - Reference vs optimized kernels ----===//
+//===- tests/kernel_variants_test.cpp - Kernel backend equivalence --------===//
 //
-// The optimized strided-pointer kernels must be bit-identical to the
-// reference kernels: same floating-point expression order, different loop
-// machinery. Property-tested per stage over random fields and over whole
-// multi-step runs.
+// The optimized strided-pointer kernels and the Simd contiguous-restrict
+// kernels must be bit-identical to the reference kernels: same
+// floating-point expression order, different loop machinery. Property-
+// tested per (stage, variant) over random fields — both unpadded and
+// vector-padded storage — and over whole multi-step runs.
 //
 //===----------------------------------------------------------------------===//
 
@@ -21,12 +22,14 @@ using namespace icores;
 namespace {
 
 /// Builds a field store with every array filled from one random stream.
+/// \p B gets vector-padded rows so the comparison also proves padding
+/// does not change results.
 void makeStores(const MpdataProgram &M, const Box3 &Alloc, uint64_t Seed,
                 FieldStore &A, FieldStore &B) {
   SplitMix64 Rng(Seed);
   for (unsigned Id = 0; Id != M.Program.numArrays(); ++Id) {
     A.allocateOwned(static_cast<ArrayId>(Id), Alloc);
-    B.allocateOwned(static_cast<ArrayId>(Id), Alloc);
+    B.allocateOwned(static_cast<ArrayId>(Id), Alloc, Array3D::VectorPadK);
     Array3D &ArrA = A.get(static_cast<ArrayId>(Id));
     Array3D &ArrB = B.get(static_cast<ArrayId>(Id));
     bool IsVelocity = static_cast<ArrayId>(Id) == M.U1 ||
@@ -43,36 +46,45 @@ void makeStores(const MpdataProgram &M, const Box3 &Alloc, uint64_t Seed,
   }
 }
 
-class KernelVariantEquality : public ::testing::TestWithParam<int> {};
+class KernelVariantEquality
+    : public ::testing::TestWithParam<std::tuple<int, KernelVariant>> {};
 
 } // namespace
 
-TEST_P(KernelVariantEquality, OptimizedMatchesReferenceBitExactly) {
+TEST_P(KernelVariantEquality, MatchesReferenceBitExactly) {
   MpdataProgram M = buildMpdataProgram();
-  StageId Stage = GetParam();
-  // Deliberately awkward extents (odd, small) to stress row handling.
+  StageId Stage = std::get<0>(GetParam());
+  KernelVariant Variant = std::get<1>(GetParam());
+  // Deliberately awkward extents (odd, small) to stress row handling,
+  // including partial vector tails in the Simd backend.
   Box3 Target(1, 2, 3, 8, 9, 12);
   Box3 Alloc = Target.grownAll(4);
 
   FieldStore Ref(M.Program.numArrays());
-  FieldStore Opt(M.Program.numArrays());
-  makeStores(M, Alloc, 0xC0FFEE + static_cast<uint64_t>(Stage), Ref, Opt);
+  FieldStore Var(M.Program.numArrays());
+  makeStores(M, Alloc, 0xC0FFEE + static_cast<uint64_t>(Stage), Ref, Var);
 
   runMpdataStage(M, Ref, Stage, Target, KernelVariant::Reference);
-  runMpdataStage(M, Opt, Stage, Target, KernelVariant::Optimized);
+  runMpdataStage(M, Var, Stage, Target, Variant);
 
   for (ArrayId Out : M.Program.stage(Stage).Outputs) {
-    EXPECT_EQ(Opt.get(Out).maxAbsDiff(Ref.get(Out), Target), 0.0)
-        << "stage " << M.Program.stage(Stage).Name;
+    EXPECT_EQ(Var.get(Out).maxAbsDiff(Ref.get(Out), Target), 0.0)
+        << "stage " << M.Program.stage(Stage).Name << " variant "
+        << kernelVariantName(Variant);
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(AllStages, KernelVariantEquality,
-                         ::testing::Range(0, 17),
-                         [](const ::testing::TestParamInfo<int> &Info) {
-                           MpdataProgram M = buildMpdataProgram();
-                           return M.Program.stage(Info.param).Name;
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    AllStages, KernelVariantEquality,
+    ::testing::Combine(::testing::Range(0, 17),
+                       ::testing::Values(KernelVariant::Optimized,
+                                         KernelVariant::Simd)),
+    [](const ::testing::TestParamInfo<std::tuple<int, KernelVariant>>
+           &Info) {
+      MpdataProgram M = buildMpdataProgram();
+      return M.Program.stage(std::get<0>(Info.param)).Name + "_" +
+             kernelVariantName(std::get<1>(Info.param));
+    });
 
 TEST(KernelVariantsTest, WholeRunMatchesAcrossVariants) {
   auto runWith = [](KernelVariant Variant) {
@@ -91,7 +103,9 @@ TEST(KernelVariantsTest, WholeRunMatchesAcrossVariants) {
   };
   Array3D Ref = runWith(KernelVariant::Reference);
   Array3D Opt = runWith(KernelVariant::Optimized);
+  Array3D Simd = runWith(KernelVariant::Simd);
   EXPECT_EQ(Opt.maxAbsDiff(Ref, Box3::fromExtents(18, 14, 10)), 0.0);
+  EXPECT_EQ(Simd.maxAbsDiff(Ref, Box3::fromExtents(18, 14, 10)), 0.0);
 }
 
 TEST(KernelVariantsTest, EmptyRegionIsANoOpForBothVariants) {

@@ -222,11 +222,11 @@ INSTANTIATE_TEST_SUITE_P(
     AllStages, StageAccessPattern,
     ::testing::Combine(::testing::Range(0, 17),
                        ::testing::Values(KernelVariant::Reference,
-                                         KernelVariant::Optimized)),
+                                         KernelVariant::Optimized,
+                                         KernelVariant::Simd)),
     [](const ::testing::TestParamInfo<std::tuple<int, KernelVariant>>
            &Info) {
       MpdataProgram M = buildMpdataProgram();
-      return M.Program.stage(std::get<0>(Info.param)).Name +
-             (std::get<1>(Info.param) == KernelVariant::Reference ? "_ref"
-                                                                  : "_opt");
+      return M.Program.stage(std::get<0>(Info.param)).Name + "_" +
+             kernelVariantName(std::get<1>(Info.param));
     });

@@ -340,13 +340,14 @@ TEST(AccessAudit, FootprintReportsObservedHull) {
 //===----------------------------------------------------------------------===//
 
 /// Every one of the 17 declared stage windows must be exactly tight for
-/// both kernel variants: no under-declaration (unsound halos) and no
+/// all kernel variants: no under-declaration (unsound halos) and no
 /// over-declaration (inflated Table 2 redundancy). Zero findings, not
 /// merely zero errors.
-TEST(AccessAudit, MpdataWindowsAreExactlyTightBothVariants) {
+TEST(AccessAudit, MpdataWindowsAreExactlyTightAllVariants) {
   MpdataProgram M = buildMpdataProgram();
   for (KernelVariant Variant :
-       {KernelVariant::Reference, KernelVariant::Optimized}) {
+       {KernelVariant::Reference, KernelVariant::Optimized,
+        KernelVariant::Simd}) {
     KernelTable T = buildMpdataKernels(Variant);
     DiagnosticEngine Diags;
     EXPECT_TRUE(auditProgramAccess(M.Program, T, Diags));
@@ -581,6 +582,7 @@ TEST(LintSuite, ShippedMpdataApplicationIsClean) {
 
   KernelTable Ref = buildMpdataKernels(KernelVariant::Reference);
   KernelTable Opt = buildMpdataKernels(KernelVariant::Optimized);
+  KernelTable Simd = buildMpdataKernels(KernelVariant::Simd);
 
   std::vector<ExecutionPlan> Plans;
   Plans.reserve(3);
@@ -597,7 +599,8 @@ TEST(LintSuite, ShippedMpdataApplicationIsClean) {
   }
 
   DiagnosticEngine Diags;
-  EXPECT_TRUE(runLintSuite(M.Program, {{"ref", &Ref}, {"opt", &Opt}},
+  EXPECT_TRUE(runLintSuite(M.Program,
+                           {{"ref", &Ref}, {"opt", &Opt}, {"simd", &Simd}},
                            PlanSets, Diags));
   std::string Buf;
   StringOStream OS(Buf);

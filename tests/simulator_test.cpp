@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+
 using namespace icores;
 
 namespace {
@@ -171,4 +173,54 @@ TEST_F(SimFixture, FlopsIncludeRedundantIslandWork) {
 TEST_F(SimFixture, ActiveSocketsReported) {
   EXPECT_EQ(runSim(Strategy::IslandsOfCores, 5).ActiveSockets, 5);
   EXPECT_EQ(runSim(Strategy::Original, 3).ActiveSockets, 3);
+}
+
+TEST_F(SimFixture, DefaultKernelVariantIsSimd) {
+  // The 4-arg overload models the Simd backend; the calibrated
+  // KernelEfficiency corresponds to it (factor 1.0), so every historical
+  // simulated number is unchanged by the SimOptions extension.
+  PlanConfig Config;
+  Config.Strat = Strategy::IslandsOfCores;
+  Config.Sockets = 4;
+  ExecutionPlan Plan = buildPlan(M.Program, PaperGrid, Uv, Config);
+  SimResult Legacy = simulate(Plan, M.Program, Uv, 10);
+  SimOptions Opts;
+  Opts.Kernels = KernelVariant::Simd;
+  SimResult Explicit = simulate(Plan, M.Program, Uv, 10, Opts);
+  EXPECT_DOUBLE_EQ(Legacy.TotalSeconds, Explicit.TotalSeconds);
+  EXPECT_EQ(Legacy.FlopsPerStep, Explicit.FlopsPerStep);
+}
+
+TEST_F(SimFixture, SlowerKernelBackendsCostMoreTime) {
+  // The throughput factors come from bench/bench_kernels: ref < opt <
+  // simd Gflop/s, so simulated times must order the other way. Traffic
+  // and flop counts are layout-independent and stay identical.
+  PlanConfig Config;
+  Config.Strat = Strategy::IslandsOfCores;
+  Config.Sockets = 4;
+  ExecutionPlan Plan = buildPlan(M.Program, PaperGrid, Uv, Config);
+  SimOptions Opts;
+  std::map<KernelVariant, SimResult> R;
+  for (KernelVariant V : {KernelVariant::Reference, KernelVariant::Optimized,
+                          KernelVariant::Simd}) {
+    Opts.Kernels = V;
+    R.emplace(V, simulate(Plan, M.Program, Uv, 10, Opts));
+  }
+  EXPECT_GT(R.at(KernelVariant::Reference).TotalSeconds,
+            R.at(KernelVariant::Optimized).TotalSeconds);
+  EXPECT_GT(R.at(KernelVariant::Optimized).TotalSeconds,
+            R.at(KernelVariant::Simd).TotalSeconds);
+  EXPECT_EQ(R.at(KernelVariant::Reference).DramBytesPerStep,
+            R.at(KernelVariant::Simd).DramBytesPerStep);
+  EXPECT_EQ(R.at(KernelVariant::Reference).FlopsPerStep,
+            R.at(KernelVariant::Simd).FlopsPerStep);
+}
+
+TEST_F(SimFixture, ThroughputFactorsAreOrderedAndNormalized) {
+  double FRef = kernelThroughputFactor(KernelVariant::Reference);
+  double FOpt = kernelThroughputFactor(KernelVariant::Optimized);
+  double FSimd = kernelThroughputFactor(KernelVariant::Simd);
+  EXPECT_LT(FRef, FOpt);
+  EXPECT_LT(FOpt, FSimd);
+  EXPECT_DOUBLE_EQ(FSimd, 1.0);
 }

@@ -5,9 +5,10 @@
 //   icores_lint [--json] [--strategy=all|original|31d|islands]
 //               [--machine=uv2000|knc|xeon] [--sockets=N]
 //               [--ni= --nj= --nk=] [--no-audit]
+//               [--kernels=all|ref|opt|simd]
 //
 //  - program validation (`program.*` findings),
-//  - kernel access audit of both kernel variants against the declared
+//  - kernel access audit of every kernel variant against the declared
 //    IR windows (`access.*`),
 //  - plan dataflow verification (`plan.*`) and schedule race checking
 //    (`race.*`) for each selected strategy's plan.
@@ -45,7 +46,9 @@ void printUsage() {
       "                              uv2000)\n"
       "  --sockets=N                 sockets to plan for (default: all)\n"
       "  --ni= --nj= --nk=           grid (default 1024x512x64)\n"
-      "  --no-audit                  skip the kernel access audit\n");
+      "  --no-audit                  skip the kernel access audit\n"
+      "  --kernels=all|ref|opt|simd  kernel variants to audit (default "
+      "all)\n");
 }
 
 } // namespace
@@ -53,7 +56,7 @@ void printUsage() {
 int main(int Argc, char **Argv) {
   CommandLine CL;
   for (const char *Opt : {"json", "strategy", "machine", "sockets", "ni",
-                          "nj", "nk", "no-audit", "help"})
+                          "nj", "nk", "no-audit", "kernels", "help"})
     CL.registerOption(Opt, "");
   std::string Error;
   if (!CL.parse(Argc, Argv, Error)) {
@@ -105,8 +108,20 @@ int main(int Argc, char **Argv) {
 
   KernelTable RefKernels = buildMpdataKernels(KernelVariant::Reference);
   KernelTable OptKernels = buildMpdataKernels(KernelVariant::Optimized);
+  KernelTable SimdKernels = buildMpdataKernels(KernelVariant::Simd);
   std::vector<LintKernelSet> KernelSets = {{"ref", &RefKernels},
-                                           {"opt", &OptKernels}};
+                                           {"opt", &OptKernels},
+                                           {"simd", &SimdKernels}};
+  std::string KernelsName = CL.getString("kernels", "all");
+  if (KernelsName != "all") {
+    KernelVariant Only;
+    if (!parseKernelVariant(KernelsName, Only)) {
+      std::fprintf(stderr, "error: unknown kernel variant '%s'\n",
+                   KernelsName.c_str());
+      return 1;
+    }
+    KernelSets = {KernelSets[static_cast<size_t>(Only)]};
+  }
 
   std::vector<ExecutionPlan> Plans;
   Plans.reserve(Strategies.size());

@@ -57,7 +57,10 @@ void printUsage() {
       "  --islands=N                 alias for --sockets in execute mode\n"
       "  --variant=A|B               1D island mapping (default A)\n"
       "  --placement=firsttouch|serial (default firsttouch)\n"
-      "  --kernels=ref|opt           execute-mode kernel variant\n"
+      "  --kernels=ref|opt|simd      kernel variant: execute mode runs\n"
+      "                              it, simulate mode scales the model's\n"
+      "                              compute term (default: execute ref,\n"
+      "                              simulate simd)\n"
       "  --ni --nj --nk              grid (default 1024x512x64; execute\n"
       "                              mode defaults to 32x24x16)\n"
       "  --steps=N                   time steps (default 50; execute: 10)\n"
@@ -163,8 +166,19 @@ int main(int Argc, char **Argv) {
   if (Mode == "lint") {
     KernelTable RefKernels = buildMpdataKernels(KernelVariant::Reference);
     KernelTable OptKernels = buildMpdataKernels(KernelVariant::Optimized);
+    KernelTable SimdKernels = buildMpdataKernels(KernelVariant::Simd);
     std::vector<LintKernelSet> KernelSets = {{"ref", &RefKernels},
-                                             {"opt", &OptKernels}};
+                                             {"opt", &OptKernels},
+                                             {"simd", &SimdKernels}};
+    // --kernels=<v> restricts the audit to one backend.
+    if (CL.hasOption("kernels")) {
+      KernelVariant Only;
+      if (!parseKernelVariant(CL.getString("kernels", "ref"), Only)) {
+        std::fprintf(stderr, "error: unknown kernel variant\n");
+        return 1;
+      }
+      KernelSets = {KernelSets[static_cast<size_t>(Only)]};
+    }
     // Without an explicit --strategy, lint the plans of all three.
     std::vector<std::pair<std::string, Strategy>> Strategies;
     if (CL.hasOption("strategy"))
@@ -215,10 +229,16 @@ int main(int Argc, char **Argv) {
       accountTraffic(Plan, M.Program, Machine, Steps).print(outs());
       return 0;
     }
-    SimResult R = simulate(Plan, M.Program, Machine, Steps);
-    std::printf("%s on %s, %dx%dx%d, P=%d, %d steps:\n",
+    SimOptions SimOpts;
+    if (!parseKernelVariant(CL.getString("kernels", "simd"),
+                            SimOpts.Kernels)) {
+      std::fprintf(stderr, "error: unknown kernel variant\n");
+      return 1;
+    }
+    SimResult R = simulate(Plan, M.Program, Machine, Steps, SimOpts);
+    std::printf("%s on %s, %dx%dx%d, P=%d, %d steps (%s kernels):\n",
                 strategyName(Strat), Machine.Name.c_str(), NI, NJ, NK,
-                Sockets, Steps);
+                Sockets, Steps, kernelVariantName(SimOpts.Kernels));
     std::printf("  predicted time:      %s\n",
                 formatSeconds(R.TotalSeconds).c_str());
     std::printf("  sustained:           %.1f Gflop/s (%.1f%% of peak)\n",
@@ -268,9 +288,11 @@ int main(int Argc, char **Argv) {
                   static_cast<long long>(Report.TotalPasses));
     }
     Domain Dom(NI, NJ, NK, mpdataHaloDepth());
-    KernelVariant Kernels = CL.getString("kernels", "ref") == "opt"
-                                ? KernelVariant::Optimized
-                                : KernelVariant::Reference;
+    KernelVariant Kernels = KernelVariant::Reference;
+    if (!parseKernelVariant(CL.getString("kernels", "ref"), Kernels)) {
+      std::fprintf(stderr, "error: unknown kernel variant\n");
+      return 1;
+    }
     PlanExecutor Exec(Dom, std::move(Plan), Kernels, ExecOpts);
     if (CL.hasOption("pin"))
       Exec.setThreadPinning(computeThreadPlacement(Exec.plan(), Host));
