@@ -1,15 +1,22 @@
 #!/usr/bin/env python3
-"""Validates BENCH_*.json records against the icores.bench.v1 schema.
+"""Validates icores JSON records, dispatching on their "schema" field.
 
 Usage: validate_bench_json.py FILE [FILE...]
 
-Schema (written by bench/BenchUtil.cpp writeBenchJson and
-writeKernelBenchJson):
+Accepted schemas:
+
+  icores.bench.v1 (bench/BenchUtil.cpp writeBenchJson and
+  writeKernelBenchJson):
   {
     "schema": "icores.bench.v1",
     "bench": "<name>",
     "rows": [...]
   }
+
+  icores.exec_stats.v2 / icores.exec_stats.v3 (--profile output of
+  mpdata_cli, src/exec/ExecStats.cpp writeJson). v3 extends v2 with the
+  fault-injection counters "faults_injected", "retries", "timeouts" and
+  "recovered" (ints >= 0); v2 documents remain valid without them.
 
 Two row shapes share the schema, distinguished by which field leads:
 
@@ -51,6 +58,65 @@ KERNEL_ROW_FIELDS = {
 }
 
 
+# Common to exec_stats v2 and v3; v3 adds the fault counters.
+EXEC_STATS_FIELDS = {
+    "enabled": bool,
+    "steps": int,
+    "run_calls": int,
+    "wall_seconds": (int, float),
+    "kernel_seconds": (int, float),
+    "team_barrier_wait_seconds": (int, float),
+    "barrier_share": (int, float),
+    "elided_barriers": int,
+    "spin_wakes": int,
+    "sleep_wakes": int,
+    "islands": list,
+}
+
+EXEC_STATS_V3_FAULT_FIELDS = ("faults_injected", "retries", "timeouts",
+                              "recovered")
+
+
+def validate_exec_stats(path, doc):
+    version = doc.get("schema").rsplit(".", 1)[1]
+    errors = []
+    for field, types in EXEC_STATS_FIELDS.items():
+        if field not in doc:
+            errors.append("%s: missing field %r" % (path, field))
+        elif not isinstance(doc[field], types) or (
+                types is not bool and isinstance(doc[field], bool)):
+            errors.append("%s: field %r has type %s"
+                          % (path, field, type(doc[field]).__name__))
+    for field in EXEC_STATS_V3_FAULT_FIELDS:
+        if version == "v2":
+            continue  # v2 predates the fault counters.
+        if field not in doc:
+            errors.append("%s: v3 requires field %r" % (path, field))
+        elif not isinstance(doc[field], int) or isinstance(doc[field], bool):
+            errors.append("%s: field %r must be an int"
+                          % (path, field))
+        elif doc[field] < 0:
+            errors.append("%s: field %r = %d < 0" % (path, field, doc[field]))
+    if errors:
+        return errors
+    if not 0 <= doc["barrier_share"] <= 1:
+        errors.append("%s: barrier_share = %g outside [0, 1]"
+                      % (path, doc["barrier_share"]))
+    for field in ("steps", "run_calls", "elided_barriers", "spin_wakes",
+                  "sleep_wakes"):
+        if doc[field] < 0:
+            errors.append("%s: field %r = %d < 0" % (path, field, doc[field]))
+    for i, island in enumerate(doc["islands"]):
+        where = "%s: islands[%d]" % (path, i)
+        if not isinstance(island, dict):
+            errors.append("%s: not an object" % where)
+            continue
+        for field in ("island", "num_threads", "stages"):
+            if field not in island:
+                errors.append("%s: missing field %r" % (where, field))
+    return errors
+
+
 def validate(path):
     errors = []
     try:
@@ -59,9 +125,13 @@ def validate(path):
     except (OSError, json.JSONDecodeError) as e:
         return ["%s: unreadable or invalid JSON: %s" % (path, e)]
 
-    if doc.get("schema") != "icores.bench.v1":
-        errors.append("%s: schema is %r, want 'icores.bench.v1'"
-                      % (path, doc.get("schema")))
+    schema = doc.get("schema")
+    if schema in ("icores.exec_stats.v2", "icores.exec_stats.v3"):
+        return validate_exec_stats(path, doc)
+    if schema != "icores.bench.v1":
+        errors.append("%s: schema is %r, want 'icores.bench.v1' or "
+                      "'icores.exec_stats.v2'/'icores.exec_stats.v3'"
+                      % (path, schema))
     if not isinstance(doc.get("bench"), str) or not doc.get("bench"):
         errors.append("%s: missing or empty 'bench' name" % path)
     rows = doc.get("rows")

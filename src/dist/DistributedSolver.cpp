@@ -194,28 +194,66 @@ double DistributedRank::localMass() const {
   return Mass;
 }
 
-Array3D icores::runDistributedMpdata2D(int PI, int PJ, int NI, int NJ,
-                                       int NK, int Steps,
-                                       const DistributedInit &Init) {
+double DistributedRank::globalMass() const {
+  return Comm.allreduceSum(localMass());
+}
+
+DistChaosResult icores::runDistributedMpdataChaos(
+    int PI, int PJ, int NI, int NJ, int NK, int Steps,
+    const DistributedInit &Init, FaultInjector *Injector,
+    const CommTimeouts &Timeouts) {
   CommWorld World(PI * PJ);
-  Array3D Global(Box3::fromExtents(NI, NJ, NK));
+  World.arm(Injector);
+  World.setTimeouts(Timeouts);
+
+  DistChaosResult Result;
+  Result.State.reset(Box3::fromExtents(NI, NJ, NK));
   std::mutex GatherMutex;
 
   std::vector<std::thread> Threads;
   Threads.reserve(static_cast<size_t>(PI) * PJ);
   for (int R = 0; R != PI * PJ; ++R) {
     Threads.emplace_back([&, R] {
-      RankComm Comm(World, R);
-      DistributedRank Rank(Comm, NI, NJ, NK, PI, PJ, Init);
-      Rank.prepareCoefficients();
-      Rank.run(Steps);
-      std::lock_guard<std::mutex> Lock(GatherMutex);
-      Global.copyRegionFrom(Rank.state(), Rank.ownedBox());
+      try {
+        RankComm Comm(World, R);
+        DistributedRank Rank(Comm, NI, NJ, NK, PI, PJ, Init);
+        Rank.prepareCoefficients();
+        Rank.run(Steps);
+        std::lock_guard<std::mutex> Lock(GatherMutex);
+        Result.State.copyRegionFrom(Rank.state(), Rank.ownedBox());
+      } catch (const Error &E) {
+        // Graceful degradation: poison the world *first* so peers
+        // blocked on this rank's messages or in the barrier fail fast,
+        // then record the structured failure.
+        World.poison(R, E.message());
+        std::lock_guard<std::mutex> Lock(GatherMutex);
+        Result.RankErrors.push_back(
+            "rank " + std::to_string(R) + ": " + E.message());
+        if (Result.ErrorTrace.empty() && !E.faultTrace().empty())
+          Result.ErrorTrace = E.faultTrace();
+      }
     });
   }
   for (std::thread &T : Threads)
     T.join();
-  return Global;
+  Result.Ok = Result.RankErrors.empty();
+  if (Injector)
+    Result.Faults = Injector->stats();
+  return Result;
+}
+
+Array3D icores::runDistributedMpdata2D(int PI, int PJ, int NI, int NJ,
+                                       int NK, int Steps,
+                                       const DistributedInit &Init) {
+  DistChaosResult Result = runDistributedMpdataChaos(
+      PI, PJ, NI, NJ, NK, Steps, Init, /*Injector=*/nullptr,
+      CommTimeouts());
+  // No faults are injected here, so a failure means a genuinely dead
+  // peer or a protocol bug; surface it instead of returning garbage.
+  if (!Result.Ok)
+    reportFatalError(Result.RankErrors.front().c_str(), __FILE__,
+                     __LINE__);
+  return std::move(Result.State);
 }
 
 Array3D icores::runDistributedMpdata(int NumRanks, int NI, int NJ, int NK,

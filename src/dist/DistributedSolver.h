@@ -24,6 +24,7 @@
 #define ICORES_DIST_DISTRIBUTEDSOLVER_H
 
 #include "dist/RankComm.h"
+#include "fault/FaultInjector.h"
 #include "grid/Array3D.h"
 #include "grid/Box3.h"
 #include "mpdata/MpdataProgram.h"
@@ -31,6 +32,8 @@
 #include "stencil/HaloAnalysis.h"
 
 #include <functional>
+#include <string>
+#include <vector>
 
 namespace icores {
 
@@ -69,6 +72,10 @@ public:
   /// This rank's contribution to the global conserved sum of h * psi.
   double localMass() const;
 
+  /// Global conserved mass via allreduceSum: deterministic, identical on
+  /// every rank. Collective.
+  double globalMass() const;
+
 private:
   void exchangeHalo(Array3D &A, int TagBase);
   void exchangeAlongDim(Array3D &A, int Dim, const Box3 &Slab, int TagBase);
@@ -100,6 +107,31 @@ Array3D runDistributedMpdata2D(int PI, int PJ, int NI, int NJ, int NK,
 /// 1D (slab) decomposition: runDistributedMpdata2D with PJ = 1.
 Array3D runDistributedMpdata(int NumRanks, int NI, int NJ, int NK, int Steps,
                              const DistributedInit &Init);
+
+/// Outcome of a distributed run under (optional) fault injection.
+struct DistChaosResult {
+  /// Gathered global state; meaningful only when Ok.
+  Array3D State;
+  bool Ok = false;
+  /// One "rank R: <message>" entry per failing rank, in completion order.
+  std::vector<std::string> RankErrors;
+  /// The fault trace of the first structured error (empty if none).
+  std::vector<std::string> ErrorTrace;
+  /// Injector counters after the run (zero when unarmed).
+  FaultStats Faults;
+};
+
+/// Like runDistributedMpdata2D, but degrades gracefully instead of
+/// deadlocking: the world is armed with \p Injector (may be null) and
+/// \p Timeouts, a rank whose transport raises a structured icores::Error
+/// poisons the world so its peers fail fast, and every per-rank error is
+/// collected into the result rather than propagated. The driver for the
+/// chaos harness (tests/fault_injection_test.cpp, tools/chaos_runner).
+DistChaosResult runDistributedMpdataChaos(int PI, int PJ, int NI, int NJ,
+                                          int NK, int Steps,
+                                          const DistributedInit &Init,
+                                          FaultInjector *Injector,
+                                          const CommTimeouts &Timeouts);
 
 } // namespace icores
 

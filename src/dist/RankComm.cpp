@@ -2,17 +2,87 @@
 
 #include "dist/RankComm.h"
 
+#include "fault/FaultInjector.h"
 #include "support/Error.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cstring>
 
 using namespace icores;
+
+namespace {
+
+/// Retransmit-log cap per channel; lockstep halo traffic keeps a handful
+/// of messages in flight, so this never truncates in practice.
+constexpr size_t SendLogCap = 128;
+
+/// Tags at or above this are reserved for collectives (allreduceSum).
+constexpr int CollectiveTagBase = 1 << 20;
+
+} // namespace
+
+uint64_t icores::commChecksum(const double *Data, size_t Count) {
+  // FNV-1a over the payload bytes: cheap, order-sensitive, and any
+  // single flipped bit changes the digest.
+  uint64_t H = 0xcbf29ce484222325ULL;
+  const unsigned char *Bytes = reinterpret_cast<const unsigned char *>(Data);
+  for (size_t I = 0; I != Count * sizeof(double); ++I) {
+    H ^= Bytes[I];
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
 
 CommWorld::CommWorld(int NumRanks) : NumRanks(NumRanks) {
   ICORES_CHECK(NumRanks >= 1, "world needs at least one rank");
 }
 
+void CommWorld::arm(FaultInjector *AInjector) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Injector = AInjector;
+}
+
+void CommWorld::setTimeouts(const CommTimeouts &T) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Timeouts = T;
+}
+
+void CommWorld::poison(int Rank, const std::string &Reason) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (!Poisoned) {
+      Poisoned = true;
+      PoisonedBy = Rank;
+      PoisonReasonText = Reason;
+    }
+  }
+  Cond.notify_all();
+}
+
+bool CommWorld::poisoned() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Poisoned;
+}
+
+std::string CommWorld::poisonReason() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return PoisonReasonText;
+}
+
 RankComm::RankComm(CommWorld &World, int Rank) : World(World), Rank(Rank) {
   ICORES_CHECK(Rank >= 0 && Rank < World.numRanks(), "rank out of range");
 }
+
+namespace {
+
+[[noreturn]] void throwPoisoned(int Rank, int By, const std::string &Why) {
+  throw Error(Error::Kind::WorldPoisoned,
+              formatString("rank %d: world poisoned by rank %d: %s", Rank,
+                           By, Why.c_str()));
+}
+
+} // namespace
 
 void RankComm::send(int Destination, int Tag, const double *Data,
                     size_t Count) {
@@ -20,9 +90,45 @@ void RankComm::send(int Destination, int Tag, const double *Data,
                "send destination out of range");
   CommWorld::Message Msg;
   Msg.Payload.assign(Data, Data + Count);
+  Msg.Checksum = commChecksum(Data, Count);
+  Msg.VisibleAt = CommWorld::Clock::now();
   {
     std::lock_guard<std::mutex> Lock(World.Mutex);
-    World.Mailboxes[{Rank, Destination, Tag}].push_back(std::move(Msg));
+    if (World.Poisoned)
+      throwPoisoned(Rank, World.PoisonedBy, World.PoisonReasonText);
+    CommWorld::MailboxKey Key{Rank, Destination, Tag};
+    Msg.Seq = World.NextSendSeq[Key]++;
+    if (!World.Injector) {
+      World.Mailboxes[Key].push_back(std::move(Msg));
+    } else {
+      MessageFaultDecision D =
+          World.Injector->onMessage(Rank, Destination, Tag, Msg.Seq, Count);
+      if (D.Lose)
+        return; // Unrecoverable: neither delivered nor logged.
+      // Ground truth for the re-request path, pruned on delivery.
+      std::deque<CommWorld::Message> &Log = World.SendLog[Key];
+      Log.push_back(Msg);
+      if (Log.size() > SendLogCap)
+        Log.pop_front();
+      if (D.Drop)
+        return; // In-flight loss; the log still has it.
+      if (D.DelaySeconds > 0)
+        Msg.VisibleAt += std::chrono::duration_cast<
+            CommWorld::Clock::duration>(
+            std::chrono::duration<double>(D.DelaySeconds));
+      if (D.CorruptBit >= 0) {
+        // Flip one bit of the in-flight copy; the checksum still covers
+        // the original bytes, so the receiver detects the mismatch.
+        unsigned char *Bytes =
+            reinterpret_cast<unsigned char *>(Msg.Payload.data());
+        Bytes[static_cast<size_t>(D.CorruptBit) / 8] ^=
+            static_cast<unsigned char>(1u << (D.CorruptBit % 8));
+      }
+      std::deque<CommWorld::Message> &Box = World.Mailboxes[Key];
+      if (D.Duplicate)
+        Box.push_back(Msg);
+      Box.push_back(std::move(Msg));
+    }
   }
   World.Cond.notify_all();
 }
@@ -30,22 +136,170 @@ void RankComm::send(int Destination, int Tag, const double *Data,
 void RankComm::recv(int Source, int Tag, double *Data, size_t Count) {
   ICORES_CHECK(Source >= 0 && Source < World.numRanks(),
                "recv source out of range");
-  std::unique_lock<std::mutex> Lock(World.Mutex);
   CommWorld::MailboxKey Key{Source, Rank, Tag};
-  World.Cond.wait(Lock, [&] {
-    auto It = World.Mailboxes.find(Key);
-    return It != World.Mailboxes.end() && !It->second.empty();
-  });
-  auto It = World.Mailboxes.find(Key);
-  CommWorld::Message Msg = std::move(It->second.front());
-  It->second.erase(It->second.begin());
-  ICORES_CHECK(Msg.Payload.size() == Count,
-               "message size does not match the receive request");
-  std::copy(Msg.Payload.begin(), Msg.Payload.end(), Data);
+  std::unique_lock<std::mutex> Lock(World.Mutex);
+
+  // Copies a verified payload out; the world mutex is held.
+  auto deliverLocked = [Data, Count](CommWorld::Message &&Msg) {
+    ICORES_CHECK(Msg.Payload.size() == Count,
+                 "message size does not match the receive request");
+    std::copy(Msg.Payload.begin(), Msg.Payload.end(), Data);
+  };
+
+  // Re-fetches the expected message from the retransmit log (the
+  // recovery path for drops, losses-in-mailbox and corruption). Returns
+  // true after delivering; assumes the lock is held.
+  auto recoverFromLog = [&]() -> bool {
+    uint64_t Expected = World.NextRecvSeq[Key];
+    auto LogIt = World.SendLog.find(Key);
+    if (LogIt == World.SendLog.end())
+      return false;
+    for (CommWorld::Message &Logged : LogIt->second) {
+      if (Logged.Seq != Expected)
+        continue;
+      CommWorld::Message Copy = Logged;
+      World.NextRecvSeq[Key] = Expected + 1;
+      while (!LogIt->second.empty() &&
+             LogIt->second.front().Seq <= Expected)
+        LogIt->second.pop_front();
+      if (World.Injector)
+        World.Injector->countRecovered();
+      deliverLocked(std::move(Copy));
+      return true;
+    }
+    return false;
+  };
+
+  int Retries = 0;
+  double Backoff = World.Timeouts.InitialBackoffSeconds;
+  for (;;) {
+    if (World.Poisoned)
+      throwPoisoned(Rank, World.PoisonedBy, World.PoisonReasonText);
+    uint64_t Expected = World.NextRecvSeq[Key];
+    bool Progress = false;
+    auto MB = World.Mailboxes.find(Key);
+    if (MB != World.Mailboxes.end()) {
+      std::deque<CommWorld::Message> &Q = MB->second;
+      CommWorld::Clock::time_point Now = CommWorld::Clock::now();
+      for (size_t M = 0; M < Q.size();) {
+        if (Q[M].VisibleAt > Now) {
+          ++M; // Injected delay: not deliverable yet.
+          continue;
+        }
+        if (Q[M].Seq < Expected) {
+          // Duplicate (or a late copy of a message already recovered
+          // from the log): detected by sequence number, discarded.
+          Q.erase(Q.begin() + static_cast<long>(M));
+          if (World.Injector)
+            World.Injector->countRecovered();
+          Progress = true;
+          continue;
+        }
+        if (Q[M].Seq > Expected) {
+          // Sequence gap: the expected message was dropped or is still
+          // delayed. Leave the future message queued; the retry path
+          // re-fetches the missing one.
+          ++M;
+          continue;
+        }
+        CommWorld::Message Msg = std::move(Q[M]);
+        Q.erase(Q.begin() + static_cast<long>(M));
+        if (commChecksum(Msg.Payload.data(), Msg.Payload.size()) !=
+            Msg.Checksum) {
+          // Bit corruption detected in flight: discard the bad copy and
+          // re-request the original.
+          if (recoverFromLog())
+            return;
+          Progress = true;
+          continue;
+        }
+        World.NextRecvSeq[Key] = Expected + 1;
+        auto LogIt = World.SendLog.find(Key);
+        if (LogIt != World.SendLog.end())
+          while (!LogIt->second.empty() &&
+                 LogIt->second.front().Seq <= Expected)
+            LogIt->second.pop_front();
+        deliverLocked(std::move(Msg));
+        return;
+      }
+    }
+    if (Progress)
+      continue; // Rescan without burning a retry tick.
+
+    std::cv_status Status = World.Cond.wait_for(
+        Lock, std::chrono::duration<double>(Backoff));
+    if (World.Poisoned)
+      throwPoisoned(Rank, World.PoisonedBy, World.PoisonReasonText);
+    if (Status != std::cv_status::timeout)
+      continue; // Woken by a send or a spurious wake: rescan.
+
+    // Timeout tick: count a retry, try the retransmit path, then back
+    // off exponentially up to the cap.
+    ++Retries;
+    if (World.Injector)
+      World.Injector->countRetry();
+    if (recoverFromLog())
+      return;
+    if (Retries >= World.Timeouts.MaxRetries) {
+      // The message quotes the faults injected on *this* channel; the
+      // structured trace carries the injector's full record, because the
+      // root cause of a stuck channel is often upstream (the peer is
+      // itself blocked on a message lost on some other channel).
+      std::vector<std::string> Channel, Trace;
+      if (World.Injector) {
+        Channel = World.Injector->traceForChannel(Source, Rank, Tag);
+        Trace = World.Injector->trace();
+      }
+      std::string Msg = formatString(
+          "rank %d: recv from rank %d (tag %d) exhausted %d retries "
+          "waiting for seq %llu",
+          Rank, Source, Tag, Retries,
+          static_cast<unsigned long long>(Expected));
+      if (!Channel.empty()) {
+        Msg += "; injected faults on this channel:";
+        size_t Shown = 0;
+        for (const std::string &Entry : Channel) {
+          if (++Shown > 8) {
+            Msg += formatString(" (+%zu more)", Channel.size() - 8);
+            break;
+          }
+          Msg += " [" + Entry + "]";
+        }
+      }
+      throw Error(Error::Kind::RecvTimeout, Msg, std::move(Trace));
+    }
+    Backoff = std::min(Backoff * 2.0, World.Timeouts.MaxBackoffSeconds);
+  }
+}
+
+double RankComm::allreduceSum(double Value) {
+  // Rank-0 gather + broadcast in rank order: deterministic association,
+  // so every rank sees the identical bit pattern. Rides the resilient
+  // point-to-point protocol, hence inherits its fault recovery.
+  const int NR = numRanks();
+  if (NR == 1)
+    return Value;
+  if (Rank == 0) {
+    double Sum = Value;
+    for (int R = 1; R != NR; ++R) {
+      double V = 0.0;
+      recv(R, CollectiveTagBase + R, &V, 1);
+      Sum += V;
+    }
+    for (int R = 1; R != NR; ++R)
+      send(R, CollectiveTagBase + NR + R, &Sum, 1);
+    return Sum;
+  }
+  send(0, CollectiveTagBase + Rank, &Value, 1);
+  double Sum = 0.0;
+  recv(0, CollectiveTagBase + NR + Rank, &Sum, 1);
+  return Sum;
 }
 
 void RankComm::barrier() {
   std::unique_lock<std::mutex> Lock(World.Mutex);
+  if (World.Poisoned)
+    throwPoisoned(Rank, World.PoisonedBy, World.PoisonReasonText);
   int MyGeneration = World.BarrierGeneration;
   if (++World.BarrierCount == World.numRanks()) {
     World.BarrierCount = 0;
@@ -53,6 +307,9 @@ void RankComm::barrier() {
     World.Cond.notify_all();
     return;
   }
-  World.Cond.wait(Lock,
-                  [&] { return World.BarrierGeneration != MyGeneration; });
+  World.Cond.wait(Lock, [&] {
+    return World.Poisoned || World.BarrierGeneration != MyGeneration;
+  });
+  if (World.BarrierGeneration == MyGeneration)
+    throwPoisoned(Rank, World.PoisonedBy, World.PoisonReasonText);
 }

@@ -63,12 +63,20 @@ void ExecStats::initLayout(const ExecutionPlan &Plan, unsigned NumStages) {
   PoolDispatches = 0;
   WallSeconds = 0.0;
   GlobalBarrierWaitSeconds = 0.0;
+  FaultsInjected = 0;
+  FaultRetries = 0;
+  FaultTimeouts = 0;
+  FaultsRecovered = 0;
 }
 
 void ExecStats::resetMeasurements() {
   StepsRun = 0;
   WallSeconds = 0.0;
   GlobalBarrierWaitSeconds = 0.0;
+  FaultsInjected = 0;
+  FaultRetries = 0;
+  FaultTimeouts = 0;
+  FaultsRecovered = 0;
   for (IslandStat &Island : Islands) {
     std::fill(Island.Stages.begin(), Island.Stages.end(), StageStat());
     for (ThreadStat &T : Island.Threads) {
@@ -165,7 +173,7 @@ std::string jsonNumber(double Value) {
 
 void ExecStats::writeJson(OStream &OS) const {
   OS << "{\n";
-  OS << "  \"schema\": \"icores.exec_stats.v2\",\n";
+  OS << "  \"schema\": \"icores.exec_stats.v3\",\n";
   OS << "  \"enabled\": " << Enabled << ",\n";
   OS << "  \"steps\": " << StepsRun << ",\n";
   OS << "  \"run_calls\": " << RunCalls << ",\n";
@@ -183,6 +191,10 @@ void ExecStats::writeJson(OStream &OS) const {
   OS << "  \"elided_barriers\": " << barriersElided() << ",\n";
   OS << "  \"spin_wakes\": " << spinWakes() << ",\n";
   OS << "  \"sleep_wakes\": " << sleepWakes() << ",\n";
+  OS << "  \"faults_injected\": " << FaultsInjected << ",\n";
+  OS << "  \"retries\": " << FaultRetries << ",\n";
+  OS << "  \"timeouts\": " << FaultTimeouts << ",\n";
+  OS << "  \"recovered\": " << FaultsRecovered << ",\n";
   OS << "  \"islands\": [";
   for (size_t I = 0; I != Islands.size(); ++I) {
     const IslandStat &Island = Islands[I];

@@ -23,9 +23,12 @@
 /// (elided) and how remaining TeamBarrier waits were released (spin vs
 /// futex sleep), so the synchronization win is directly observable.
 ///
-/// Reporting: writeJson() emits the "icores.exec_stats.v2" schema
-/// (documented in README.md); writeCsv() renders per-(island, stage) rows
-/// through support/Table for spreadsheet-friendly dumps.
+/// Reporting: writeJson() emits the "icores.exec_stats.v3" schema
+/// (documented in README.md; v3 adds the chaos counters faults_injected /
+/// retries / timeouts / recovered mirrored from the FaultInjector — all
+/// zero on unarmed runs); writeCsv() renders per-(island, stage) rows
+/// through support/Table for spreadsheet-friendly dumps. v2 documents
+/// remain parseable by bench/validate_bench_json.py.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -106,6 +109,14 @@ struct ExecStats {
   int64_t PoolDispatches = 0;
   double WallSeconds = 0.0; ///< Wall time inside run(), all calls.
   double GlobalBarrierWaitSeconds = 0.0; ///< Summed over all threads.
+
+  // Chaos counters (schema v3), mirrored from the armed FaultInjector
+  // after each run(); all zero when the executor runs unarmed.
+  int64_t FaultsInjected = 0;
+  int64_t FaultRetries = 0;
+  int64_t FaultTimeouts = 0;
+  int64_t FaultsRecovered = 0;
+
   std::vector<IslandStat> Islands;
 
   /// Sizes Islands/Stages/Threads to match \p Plan with \p NumStages
@@ -136,7 +147,7 @@ struct ExecStats {
   /// Barrier fraction of the per-step breakdown.
   double barrierShare() const;
 
-  /// Emits the icores.exec_stats.v2 JSON document.
+  /// Emits the icores.exec_stats.v3 JSON document.
   void writeJson(OStream &OS) const;
 
   /// Emits per-(island, stage) rows as CSV via support/Table.

@@ -4,9 +4,11 @@
 
 #include "exec/Affinity.h"
 #include "exec/RegionSplit.h"
+#include "fault/FaultInjector.h"
 #include "support/Error.h"
 
 #include <chrono>
+#include <thread>
 #include <utility>
 
 using namespace icores;
@@ -88,6 +90,11 @@ ProgramExecutor::ProgramExecutor(StencilProgram AProgram,
     }
     IslandStates.push_back(std::move(IS));
   }
+
+  // Chaos site 0 is the run's global barrier; islands take 1..N.
+  if (Opts.Chaos)
+    for (size_t Isl = 0; Isl != IslandStates.size(); ++Isl)
+      IslandStates[Isl]->Team.armChaos(Opts.Chaos, Isl + 1);
 
   for (size_t Isl = 0; Isl != Plan.Islands.size(); ++Isl)
     for (int T = 0; T != Plan.Islands[Isl].NumThreads; ++T)
@@ -172,8 +179,17 @@ void ProgramExecutor::threadMain(int Worker, int Island, int ThreadInTeam,
       Control.GlobalBarrier.arriveAndWait(Worker);
     }
 
+    int PassIndex = 0;
     for (const BlockTask &Block : IslandP.Blocks) {
       for (const StagePass &Pass : Block.Passes) {
+        if (Opts.Chaos) {
+          double Stall = Opts.Chaos->onWorkerPass(Island, ThreadInTeam,
+                                                  Step, PassIndex);
+          if (Stall > 0)
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(Stall));
+        }
+        ++PassIndex;
         Box3 Sub =
             teamSubRegion(Pass.Region, ThreadInTeam, IslandP.NumThreads);
         if (Prof) {
@@ -211,6 +227,8 @@ void ProgramExecutor::run(int Steps) {
     return;
 
   RunControl Control(static_cast<int>(WorkerCoords.size()), Opts);
+  if (Opts.Chaos)
+    Control.GlobalBarrier.armChaos(Opts.Chaos, /*Site=*/0);
   ProfileClock::time_point Start;
   if (Profiling)
     Start = ProfileClock::now();
@@ -225,6 +243,13 @@ void ProgramExecutor::run(int Steps) {
   ++Stats.RunCalls;
   Stats.ThreadsSpawned = Pool->spawnedThreads();
   Stats.PoolDispatches = Pool->dispatches();
+  if (Opts.Chaos) {
+    FaultStats FS = Opts.Chaos->stats();
+    Stats.FaultsInjected = FS.Injected;
+    Stats.FaultRetries = FS.Retries;
+    Stats.FaultTimeouts = FS.Timeouts;
+    Stats.FaultsRecovered = FS.Recovered;
+  }
 
   // The last step left the results in the Source arrays; expose them
   // through the feedback Targets.

@@ -46,6 +46,7 @@
 
 namespace icores {
 
+class FaultInjector;
 struct ThreadPlacement;
 
 /// Runtime knobs for the executor's barriers. Results are bit-identical
@@ -57,6 +58,12 @@ struct ExecutorOptions {
   /// and per-island intermediates); rows start cache-line aligned at the
   /// default. 0 disables padding. Layout only — results are identical.
   int PadKRows = Array3D::VectorPadK;
+  /// Chaos hook: when non-null, worker threads stall before passes and
+  /// team/global barriers force spurious wakeups and detect stalled-team
+  /// timeouts, all per the injector's seeded plan. Results stay
+  /// bit-identical (faults here perturb timing, never data); injector
+  /// counters are mirrored into ExecStats (schema v3).
+  FaultInjector *Chaos = nullptr;
 };
 
 /// Threaded executor for one plan of one program over one domain.

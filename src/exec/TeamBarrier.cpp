@@ -2,9 +2,12 @@
 
 #include "exec/TeamBarrier.h"
 
+#include "fault/FaultInjector.h"
 #include "support/Error.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
@@ -95,11 +98,58 @@ void TeamBarrier::signal(int NodeIndex) {
   }
 }
 
+void TeamBarrier::armChaos(FaultInjector *Injector, uint64_t Site) {
+  Chaos = Injector;
+  ChaosSite = Site;
+  Crossings.assign(static_cast<size_t>(NumThreads), 0);
+}
+
+TeamBarrier::Wake TeamBarrier::chaosWait(uint64_t Seen) {
+  using Clock = std::chrono::steady_clock;
+  const double TimeoutSec = Chaos->plan().StallTimeoutSeconds;
+  const Clock::time_point Start = Clock::now();
+
+  const int Spins = Policy == WaitPolicy::Block ? 0 : SpinLimit;
+  for (int Spin = 0; Spin != Spins; ++Spin) {
+    if (Epoch.load(std::memory_order_acquire) != Seen)
+      return Wake::Spin;
+    cpuRelax();
+  }
+  // Armed slow path (covers the Spin policy too): std::atomic::wait has
+  // no timeout, so slice the wait into short sleeps and check elapsed
+  // time against the plan's detection threshold. Exceeding it counts a
+  // stalled-team timeout — once per crossing — but the wait itself goes
+  // on: detection, not a deadline, so the run still completes bit-exactly.
+  bool TimedOut = false;
+  Wake How = Wake::Spin;
+  while (Epoch.load(std::memory_order_acquire) == Seen) {
+    How = Wake::Sleep;
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+    if (!TimedOut && TimeoutSec > 0 &&
+        std::chrono::duration<double>(Clock::now() - Start).count() >
+            TimeoutSec) {
+      TimedOut = true;
+      Chaos->countTimeout();
+    }
+  }
+  return How;
+}
+
 TeamBarrier::Wake TeamBarrier::arriveAndWait(int Thread) {
   ICORES_CHECK(Thread >= 0 && Thread < NumThreads,
                "TeamBarrier thread index out of range");
   const uint64_t Seen = Epoch.load(std::memory_order_acquire);
   signal(Thread / Arity);
+
+  if (Chaos) {
+    // Forced spurious wakeup: notify the epoch word without advancing
+    // it. Sleepers wake, observe the stale epoch, and must re-sleep —
+    // exercising the sense-reversal re-check under load.
+    const uint64_t Crossing = Crossings[static_cast<size_t>(Thread)]++;
+    if (Chaos->onBarrierCrossing(ChaosSite, Thread, Crossing))
+      Epoch.notify_all();
+    return chaosWait(Seen);
+  }
 
   const int Spins = Policy == WaitPolicy::Block ? 0 : SpinLimit;
   for (int Spin = 0; Spin != Spins; ++Spin) {

@@ -25,6 +25,16 @@
 /// arriveAndWait() reports whether the caller was released while spinning
 /// or had to sleep, feeding ExecStats' spin-vs-sleep counters.
 ///
+/// Chaos hooks: armChaos() attaches a FaultInjector. An armed barrier
+/// (a) forces deterministic spurious wakeups — the arriving thread
+/// notifies the epoch word without advancing it, so sleepers wake, see
+/// the stale epoch, and must go back to sleep (the sense-reversal
+/// property under test) — and (b) detects stalled teams: a wait that
+/// exceeds the plan's StallTimeoutSeconds is counted as a timeout
+/// through the injector (feeding ExecStats v3) while the wait itself
+/// continues, so the run still completes bit-exactly. Unarmed barriers
+/// take the exact pre-chaos code path.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ICORES_EXEC_TEAMBARRIER_H
@@ -36,6 +46,8 @@
 #include <vector>
 
 namespace icores {
+
+class FaultInjector;
 
 /// Reusable rendezvous for a fixed-size thread team.
 class TeamBarrier {
@@ -67,6 +79,12 @@ public:
   /// visible to every thread after release. Reusable immediately.
   Wake arriveAndWait(int Thread);
 
+  /// Arms the chaos hooks: spurious wakeups and stall-timeout detection
+  /// are driven by \p Injector's plan, with \p Site identifying this
+  /// barrier in fault traces. Must be called while no thread is waiting;
+  /// pass nullptr to disarm.
+  void armChaos(FaultInjector *Injector, uint64_t Site);
+
   int numThreads() const { return NumThreads; }
   WaitPolicy policy() const { return Policy; }
 
@@ -84,12 +102,21 @@ private:
   /// arriver at the root publishes the next epoch.
   void signal(int NodeIndex);
 
+  /// The armed wait path: same release condition as the normal path, but
+  /// the sleep is sliced so stall timeouts can be detected and counted.
+  Wake chaosWait(uint64_t Seen);
+
   const int NumThreads;
   const WaitPolicy Policy;
   const int SpinLimit;
   std::vector<Node> Nodes; ///< Level 0 (leaves) first, root last.
   alignas(64) std::atomic<uint64_t> Epoch{0};
   alignas(64) std::atomic<int> Sleepers{0};
+
+  // Chaos state; untouched (single null-check) when unarmed.
+  FaultInjector *Chaos = nullptr;
+  uint64_t ChaosSite = 0;
+  std::vector<uint64_t> Crossings; ///< Per-thread crossing counters.
 };
 
 /// Name for reports ("spin", "hybrid", "block").

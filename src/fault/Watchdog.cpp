@@ -1,0 +1,46 @@
+//===- fault/Watchdog.cpp - Deadlock watchdog for chaos runs --------------===//
+
+#include "fault/Watchdog.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+using namespace icores;
+
+struct Watchdog::State {
+  std::mutex Mutex;
+  std::condition_variable Cond;
+  bool Disarmed = false;
+  std::thread Thread;
+};
+
+Watchdog::Watchdog(double BudgetSeconds, std::string What) : S(new State) {
+  S->Thread = std::thread([State = S, BudgetSeconds,
+                           What = std::move(What)] {
+    std::unique_lock<std::mutex> Lock(State->Mutex);
+    bool Disarmed = State->Cond.wait_for(
+        Lock, std::chrono::duration<double>(BudgetSeconds),
+        [State] { return State->Disarmed; });
+    if (Disarmed)
+      return;
+    std::fprintf(stderr,
+                 "icores watchdog: '%s' still running after %.1fs — "
+                 "deadlock; aborting\n",
+                 What.c_str(), BudgetSeconds);
+    std::abort();
+  });
+}
+
+Watchdog::~Watchdog() {
+  {
+    std::lock_guard<std::mutex> Lock(S->Mutex);
+    S->Disarmed = true;
+  }
+  S->Cond.notify_all();
+  S->Thread.join();
+  delete S;
+}

@@ -1,0 +1,40 @@
+//===- fault/Watchdog.h - Deadlock watchdog for chaos runs ------*- C++ -*-===//
+//
+// Part of the icores project: islands-of-cores for heterogeneous stencils.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A scoped watchdog for chaos tests and tools/chaos_runner: arm it
+/// before a run that must not hang; if the scope is still alive when the
+/// budget expires, the watchdog prints what it was guarding and aborts
+/// the process. An abort is the *correct* failure mode here — a deadlock
+/// cannot be unwound, and a test harness that silently waits forever is
+/// worse than one that dies loudly with a named culprit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICORES_FAULT_WATCHDOG_H
+#define ICORES_FAULT_WATCHDOG_H
+
+#include <string>
+
+namespace icores {
+
+/// Aborts the process if not destroyed within the budget.
+class Watchdog {
+public:
+  Watchdog(double BudgetSeconds, std::string What);
+  ~Watchdog();
+
+  Watchdog(const Watchdog &) = delete;
+  Watchdog &operator=(const Watchdog &) = delete;
+
+private:
+  struct State;
+  State *S;
+};
+
+} // namespace icores
+
+#endif // ICORES_FAULT_WATCHDOG_H

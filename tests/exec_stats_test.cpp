@@ -205,7 +205,7 @@ TEST(ExecStatsTest, JsonReportIsWellFormed) {
   Exec->run(2);
   std::string Json = Exec->stats().toJsonString();
 
-  EXPECT_NE(Json.find("\"schema\": \"icores.exec_stats.v2\""),
+  EXPECT_NE(Json.find("\"schema\": \"icores.exec_stats.v3\""),
             std::string::npos);
   EXPECT_NE(Json.find("\"islands\""), std::string::npos);
   EXPECT_NE(Json.find("\"stages\""), std::string::npos);
@@ -214,6 +214,11 @@ TEST(ExecStatsTest, JsonReportIsWellFormed) {
   EXPECT_NE(Json.find("\"elided_barriers\""), std::string::npos);
   EXPECT_NE(Json.find("\"spin_wakes\""), std::string::npos);
   EXPECT_NE(Json.find("\"sleep_wakes\""), std::string::npos);
+  // v3 additions: the fault-injection counters, zero on a clean run.
+  EXPECT_NE(Json.find("\"faults_injected\": 0"), std::string::npos);
+  EXPECT_NE(Json.find("\"retries\": 0"), std::string::npos);
+  EXPECT_NE(Json.find("\"timeouts\": 0"), std::string::npos);
+  EXPECT_NE(Json.find("\"recovered\": 0"), std::string::npos);
 
   // Balanced braces/brackets and no trailing commas before closers.
   int Braces = 0, Brackets = 0;
@@ -232,6 +237,33 @@ TEST(ExecStatsTest, JsonReportIsWellFormed) {
   }
   EXPECT_EQ(Braces, 0);
   EXPECT_EQ(Brackets, 0);
+}
+
+TEST(ExecStatsTest, CheckedInV2GoldenStaysAGenuineV2Document) {
+  // bench/validate_bench_json.py keeps accepting exec_stats v2; this
+  // guards the checked-in fixture it is tested against: the fixture must
+  // keep declaring v2 and must not grow the v3-only fault counters
+  // (otherwise the backward-compat path is silently testing v3 twice).
+  std::string Path =
+      std::string(ICORES_TEST_DATA_DIR) + "/golden/exec_stats.v2.json";
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  ASSERT_NE(F, nullptr) << "missing golden file " << Path;
+  std::string Golden;
+  char Chunk[4096];
+  for (size_t N; (N = std::fread(Chunk, 1, sizeof(Chunk), F)) > 0;)
+    Golden.append(Chunk, N);
+  std::fclose(F);
+
+  EXPECT_NE(Golden.find("\"schema\": \"icores.exec_stats.v2\""),
+            std::string::npos);
+  EXPECT_EQ(Golden.find("faults_injected"), std::string::npos);
+  EXPECT_EQ(Golden.find("\"timeouts\""), std::string::npos);
+  // Fields shared by v2 and v3 are present, so the validator's common
+  // checks run against real content.
+  for (const char *Key :
+       {"\"islands\"", "\"barrier_share\"", "\"spin_wakes\"",
+        "\"sleep_wakes\"", "\"elided_barriers\""})
+    EXPECT_NE(Golden.find(Key), std::string::npos) << Key;
 }
 
 TEST(ExecStatsTest, CsvReportHasOneRowPerActiveIslandStage) {

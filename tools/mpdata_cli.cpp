@@ -8,6 +8,7 @@
 //                        [--ni --nj --nk --steps --kernels=opt]
 //                        [--profile=stats.json --pin]
 //                        [--no-elide --barrier=spin|hybrid|block]
+//                        [--chaos=SEED[,stall=p,wake=p,...]]
 //   mpdata_cli advise    --machine=uv2000 [--sockets --ni --nj --nk --steps]
 //   mpdata_cli traffic   --strategy=original [--machine ...]
 //   mpdata_cli plan      --strategy=islands [--sockets ...]  (dump the plan)
@@ -28,6 +29,7 @@
 #include "exec/Affinity.h"
 #include "exec/LintSuite.h"
 #include "exec/PlanExecutor.h"
+#include "fault/FaultInjector.h"
 #include "machine/MachineModel.h"
 #include "mpdata/InitialConditions.h"
 #include "mpdata/Kernels.h"
@@ -42,6 +44,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 
 using namespace icores;
 
@@ -74,6 +77,13 @@ void printUsage() {
       "                              (skip the schedule optimizer)\n"
       "  --barrier=spin|hybrid|block execute mode: team-barrier wait\n"
       "                              policy (default hybrid)\n"
+      "  --chaos=SEED[,k=v...]       execute mode: arm the deterministic\n"
+      "                              fault injector with this seed; keys\n"
+      "                              stall=, wake= (rates in [0,1]),\n"
+      "                              maxstall= (seconds). A bare seed arms\n"
+      "                              a default mixed plan. Results stay\n"
+      "                              bit-exact; counters land in the\n"
+      "                              --profile JSON (exec_stats v3)\n"
       "  --json                      lint mode: emit icores.lint.v1 JSON\n"
       "  --no-audit                  lint mode: skip the kernel access "
       "audit\n");
@@ -118,7 +128,8 @@ int main(int Argc, char **Argv) {
   for (const char *Opt : {"machine", "strategy", "sockets", "islands",
                           "variant", "placement", "kernels", "ni", "nj",
                           "nk", "steps", "profile", "pin", "json",
-                          "no-audit", "no-elide", "barrier", "help"})
+                          "no-audit", "no-elide", "barrier", "chaos",
+                          "help"})
     CL.registerOption(Opt, "");
   std::string Error;
   if (!CL.parse(Argc - 1, Argv + 1, Error)) {
@@ -279,6 +290,23 @@ int main(int Argc, char **Argv) {
                    BarrierName.c_str());
       return 1;
     }
+    std::unique_ptr<FaultInjector> Chaos;
+    if (CL.hasOption("chaos")) {
+      FaultPlan ChaosPlan;
+      std::string ChaosErr;
+      if (!parseFaultSpec(CL.getString("chaos", ""), ChaosPlan,
+                          ChaosErr)) {
+        std::fprintf(stderr, "error: bad --chaos spec: %s\n",
+                     ChaosErr.c_str());
+        return 1;
+      }
+      // The executor has no message channel, so only the stall/wake
+      // classes apply here; the distributed classes are exercised by
+      // tools/chaos_runner.
+      Chaos = std::make_unique<FaultInjector>(ChaosPlan);
+      ExecOpts.Chaos = Chaos.get();
+      std::printf("chaos: %s\n", faultPlanSummary(ChaosPlan).c_str());
+    }
     ExecutionPlan Plan = buildPlan(M.Program, Grid, Host, Config);
     if (!CL.hasOption("no-elide")) {
       ScheduleOptimizerReport Report = optimizeBarriers(M.Program, Plan);
@@ -327,6 +355,14 @@ int main(int Argc, char **Argv) {
     std::printf("mass drift: %.2e; max diff vs serial reference: %.3e %s\n",
                 Exec.conservedMass() - MassBefore, Diff,
                 Diff == 0.0 ? "(bit-exact)" : "");
+    if (Chaos) {
+      FaultStats FS = Chaos->stats();
+      std::printf("chaos: %lld faults injected (%lld stall-timeouts "
+                  "detected); result %s under fault injection\n",
+                  static_cast<long long>(FS.Injected),
+                  static_cast<long long>(FS.Timeouts),
+                  Diff == 0.0 ? "bit-exact" : "DIVERGED");
+    }
     if (!ProfilePath.empty()) {
       const ExecStats &Stats = Exec.stats();
       std::FILE *F = std::fopen(ProfilePath.c_str(), "w");
