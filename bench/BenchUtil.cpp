@@ -156,6 +156,38 @@ std::string icores::bench::writeKernelBenchJson(
   return Path;
 }
 
+std::string icores::bench::writeTemporalBenchJson(
+    const std::string &BenchName,
+    const std::vector<TemporalBenchJsonRow> &Rows) {
+  const char *Dir = std::getenv("ICORES_BENCH_DIR");
+  std::string Path = formatString("%s/BENCH_%s.json", Dir ? Dir : ".",
+                                  BenchName.c_str());
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::printf("note: could not write %s\n", Path.c_str());
+    return std::string();
+  }
+  std::fprintf(F, "{\n  \"schema\": \"icores.bench.v2\",\n");
+  std::fprintf(F, "  \"bench\": \"%s\",\n", BenchName.c_str());
+  std::fprintf(F, "  \"rows\": [");
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const TemporalBenchJsonRow &R = Rows[I];
+    std::fprintf(F,
+                 "%s\n    {\"strategy\": \"%s\", \"temporal_depth\": %d, "
+                 "\"measured_bytes_per_step\": %lld, "
+                 "\"projected_bytes_per_step\": %lld, "
+                 "\"seconds\": %.9g}",
+                 I ? "," : "", R.Strategy.c_str(), R.TemporalDepth,
+                 static_cast<long long>(R.MeasuredBytesPerStep),
+                 static_cast<long long>(R.ProjectedBytesPerStep),
+                 R.Seconds);
+  }
+  std::fprintf(F, "\n  ]\n}\n");
+  std::fclose(F);
+  std::printf("wrote %s\n", Path.c_str());
+  return Path;
+}
+
 MeasuredProfile icores::bench::measureHostRun(const MpdataProgram &M,
                                               Strategy Strat, int Islands,
                                               int NI, int NJ, int NK,

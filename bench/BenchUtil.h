@@ -103,6 +103,24 @@ std::string
 writeKernelBenchJson(const std::string &BenchName,
                      const std::vector<KernelBenchJsonRow> &Rows);
 
+/// One row of the temporal-blocking traffic record (schema
+/// icores.bench.v2): per (strategy, temporal depth), the DRAM traffic per
+/// time step between the islands and shared memory — once measured by the
+/// real executor's transfer accounting, once projected by the simulator
+/// from the plan alone — plus the measured wall time of the run.
+struct TemporalBenchJsonRow {
+  std::string Strategy;        ///< strategyName() of the plan.
+  int TemporalDepth = 1;       ///< Fused steps per epoch (T).
+  int64_t MeasuredBytesPerStep = 0;  ///< Executor sharedBytesPerStep().
+  int64_t ProjectedBytesPerStep = 0; ///< Simulator projection.
+  double Seconds = 0.0;        ///< Measured wall seconds for the run.
+};
+
+/// writeBenchJson() for temporal-blocking rows (schema icores.bench.v2).
+std::string
+writeTemporalBenchJson(const std::string &BenchName,
+                       const std::vector<TemporalBenchJsonRow> &Rows);
+
 /// Aggregate timings measured by running the real threaded executor with
 /// profiling enabled (exec/ExecStats) on this host.
 struct MeasuredProfile {

@@ -24,7 +24,7 @@ export ICORES_BENCH_DIR=$OUT_DIR
 
 STATUS=0
 for BENCH in bench_table1 bench_table2 bench_table3 bench_table4 \
-             bench_kernels; do
+             bench_kernels bench_temporal; do
   BIN=$BUILD_DIR/bench/$BENCH
   [ -x "$BIN" ] || continue
   LOG=$OUT_DIR/$BENCH.log
@@ -36,7 +36,23 @@ for BENCH in bench_table1 bench_table2 bench_table3 bench_table4 \
   fi
 done
 
-JSONS=("$OUT_DIR"/BENCH_*.json)
+# Smoke slice: a short temporally blocked execute run must stay bit-exact
+# and its --profile record (exec_stats v3 with temporal_depth) must
+# validate with everything else below.
+CLI=$BUILD_DIR/tools/mpdata_cli
+if [ -x "$CLI" ]; then
+  echo "== temporal smoke (mpdata_cli execute --temporal=2)"
+  if ! "$CLI" execute --strategy=islands --islands=2 --steps=4 \
+       --temporal=2 --profile="$OUT_DIR/exec_stats_temporal.json" \
+       > "$OUT_DIR/temporal_smoke.log" 2>&1; then
+    echo "   FAILED — tail of $OUT_DIR/temporal_smoke.log:"
+    tail -5 "$OUT_DIR/temporal_smoke.log"
+    STATUS=1
+  fi
+fi
+
+JSONS=("$OUT_DIR"/BENCH_*.json "$OUT_DIR"/exec_stats_*.json)
+JSONS=($(ls "${JSONS[@]}" 2> /dev/null || true))
 if [ -e "${JSONS[0]}" ]; then
   if command -v python3 > /dev/null 2>&1; then
     python3 "$SCRIPT_DIR/validate_bench_json.py" "${JSONS[@]}" || STATUS=1

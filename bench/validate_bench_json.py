@@ -13,6 +13,12 @@ Accepted schemas:
     "rows": [...]
   }
 
+  icores.bench.v2 (bench/BenchUtil.cpp writeTemporalBenchJson): same
+  envelope, with temporal-blocking traffic rows:
+      {"strategy": str, "temporal_depth": int >= 1,
+       "measured_bytes_per_step": int > 0,
+       "projected_bytes_per_step": int > 0, "seconds": float > 0}
+
   icores.exec_stats.v2 / icores.exec_stats.v3 (--profile output of
   mpdata_cli, src/exec/ExecStats.cpp writeJson). v3 extends v2 with the
   fault-injection counters "faults_injected", "retries", "timeouts" and
@@ -76,6 +82,55 @@ EXEC_STATS_FIELDS = {
 EXEC_STATS_V3_FAULT_FIELDS = ("faults_injected", "retries", "timeouts",
                               "recovered")
 
+TEMPORAL_ROW_FIELDS = {
+    "strategy": str,
+    "temporal_depth": int,
+    "measured_bytes_per_step": int,
+    "projected_bytes_per_step": int,
+    "seconds": (int, float),
+}
+
+
+def validate_temporal_row(where, row):
+    errors = []
+    for field, types in TEMPORAL_ROW_FIELDS.items():
+        if field not in row:
+            errors.append("%s: missing field %r" % (where, field))
+        elif not isinstance(row[field], types) or isinstance(
+                row[field], bool):
+            errors.append("%s: field %r has type %s"
+                          % (where, field, type(row[field]).__name__))
+    if errors:
+        return errors
+    if not row["strategy"]:
+        errors.append("%s: empty strategy name" % where)
+    if row["temporal_depth"] < 1:
+        errors.append("%s: temporal_depth = %d < 1"
+                      % (where, row["temporal_depth"]))
+    for field in ("measured_bytes_per_step", "projected_bytes_per_step"):
+        if row[field] <= 0:
+            errors.append("%s: %s = %d <= 0" % (where, field, row[field]))
+    if row["seconds"] <= 0:
+        errors.append("%s: seconds = %g <= 0" % (where, row["seconds"]))
+    return errors
+
+
+def validate_temporal(path, doc):
+    errors = []
+    if not isinstance(doc.get("bench"), str) or not doc.get("bench"):
+        errors.append("%s: missing or empty 'bench' name" % path)
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        errors.append("%s: 'rows' must be a non-empty list" % path)
+        return errors
+    for i, row in enumerate(rows):
+        where = "%s: rows[%d]" % (path, i)
+        if not isinstance(row, dict):
+            errors.append("%s: not an object" % where)
+            continue
+        errors.extend(validate_temporal_row(where, row))
+    return errors
+
 
 def validate_exec_stats(path, doc):
     version = doc.get("schema").rsplit(".", 1)[1]
@@ -106,6 +161,18 @@ def validate_exec_stats(path, doc):
                   "sleep_wakes"):
         if doc[field] < 0:
             errors.append("%s: field %r = %d < 0" % (path, field, doc[field]))
+    # Additive v3 fields from the temporal-blocking work: optional, but
+    # when present they must be sane.
+    if "temporal_depth" in doc and (
+            not isinstance(doc["temporal_depth"], int)
+            or isinstance(doc["temporal_depth"], bool)
+            or doc["temporal_depth"] < 1):
+        errors.append("%s: temporal_depth must be an int >= 1" % path)
+    for field in ("shared_read_bytes", "shared_written_bytes"):
+        if field in doc and (not isinstance(doc[field], int)
+                             or isinstance(doc[field], bool)
+                             or doc[field] < 0):
+            errors.append("%s: %s must be an int >= 0" % (path, field))
     for i, island in enumerate(doc["islands"]):
         where = "%s: islands[%d]" % (path, i)
         if not isinstance(island, dict):
@@ -128,8 +195,11 @@ def validate(path):
     schema = doc.get("schema")
     if schema in ("icores.exec_stats.v2", "icores.exec_stats.v3"):
         return validate_exec_stats(path, doc)
+    if schema == "icores.bench.v2":
+        return validate_temporal(path, doc)
     if schema != "icores.bench.v1":
-        errors.append("%s: schema is %r, want 'icores.bench.v1' or "
+        errors.append("%s: schema is %r, want 'icores.bench.v1', "
+                      "'icores.bench.v2' or "
                       "'icores.exec_stats.v2'/'icores.exec_stats.v3'"
                       % (path, schema))
     if not isinstance(doc.get("bench"), str) or not doc.get("bench"):

@@ -66,6 +66,12 @@ struct StagePass {
 struct BlockTask {
   Box3 Target; ///< The slab of the island part this block finishes.
   std::vector<StagePass> Passes;
+  /// Which fused time step of a temporally blocked epoch this block
+  /// belongs to, 0 .. ExecutionPlan::TemporalDepth-1. Always 0 in plain
+  /// (TemporalDepth == 1) plans. Blocks are ordered by step: the executor
+  /// inserts a structural team barrier plus a feedback-buffer rebind at
+  /// every step boundary.
+  int StepInEpoch = 0;
 };
 
 /// One island: a work team of contiguous sockets processing one part of
@@ -87,6 +93,15 @@ struct ExecutionPlan {
   Strategy Strat = Strategy::Original;
   PagePlacement Placement = PagePlacement::FirstTouch;
   Box3 GlobalTarget;
+  /// Fused time steps per epoch (temporal blocking). 1 means the classic
+  /// one-step plan. For T > 1 each island's block list covers T fused
+  /// steps (BlockTask::StepInEpoch), island overlap regions are widened to
+  /// the T-step dependence cones, and the executor runs the whole epoch
+  /// between global barriers: step inputs are imported into island-private
+  /// buffers once per epoch and only the final fused step writes the
+  /// shared output arrays. Requires periodic boundaries (the widened cones
+  /// are exact under wrapping; see DESIGN.md §11).
+  int TemporalDepth = 1;
   std::vector<IslandPlan> Islands;
 
   /// Total points computed across all islands (redundant work included).

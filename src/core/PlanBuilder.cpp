@@ -4,6 +4,7 @@
 
 #include "core/BlockPlanner.h"
 #include "machine/MachineModel.h"
+#include "stencil/HaloAnalysis.h"
 #include "support/Error.h"
 
 using namespace icores;
@@ -16,6 +17,29 @@ int64_t teamCacheBudget(const MachineModel &Machine, int Sockets) {
                               Sockets * Machine.CacheBudgetFraction);
 }
 
+/// Emits one island's blocks for every fused step of the epoch: step t's
+/// blocks cover the island's t-th widened target clipped against the t-th
+/// global cone, stamped with StepInEpoch = t. \p Thickness <= 0 selects
+/// the Original strategy's single full-region block per step.
+std::vector<BlockTask> planTemporalBlocks(const StencilProgram &Program,
+                                          const std::vector<Box3> &StepTargets,
+                                          const std::vector<Box3> &GlobalSteps,
+                                          int Thickness) {
+  std::vector<BlockTask> Blocks;
+  for (size_t T = 0; T != StepTargets.size(); ++T) {
+    std::vector<BlockTask> Step =
+        Thickness > 0
+            ? planIslandBlocks(Program, StepTargets[T], GlobalSteps[T],
+                               Thickness)
+            : planSingleBlock(Program, StepTargets[T], GlobalSteps[T]);
+    for (BlockTask &Block : Step) {
+      Block.StepInEpoch = static_cast<int>(T);
+      Blocks.push_back(std::move(Block));
+    }
+  }
+  return Blocks;
+}
+
 } // namespace
 
 ExecutionPlan icores::buildPlan(const StencilProgram &Program,
@@ -24,11 +48,18 @@ ExecutionPlan icores::buildPlan(const StencilProgram &Program,
                                 const PlanConfig &Config) {
   ICORES_CHECK(Config.Sockets >= 1 && Config.Sockets <= Machine.NumSockets,
                "socket count exceeds the machine");
+  ICORES_CHECK(Config.TemporalDepth >= 1,
+               "temporal depth must be at least 1");
 
   ExecutionPlan Plan;
   Plan.Strat = Config.Strat;
   Plan.Placement = Config.Placement;
   Plan.GlobalTarget = GlobalTarget;
+  Plan.TemporalDepth = Config.TemporalDepth;
+
+  // Per-step global cones; for TemporalDepth == 1 this is {GlobalTarget}.
+  std::vector<Box3> GlobalSteps =
+      temporalStepTargets(Program, GlobalTarget, Config.TemporalDepth);
 
   if (Config.Strat == Strategy::Original ||
       Config.Strat == Strategy::Block31D) {
@@ -39,15 +70,13 @@ ExecutionPlan icores::buildPlan(const StencilProgram &Program,
     Island.NumSockets = Config.Sockets;
     Island.NumThreads = Config.Sockets * Machine.CoresPerSocket;
     Island.Part = GlobalTarget;
-    if (Config.Strat == Strategy::Original) {
-      Island.Blocks = planSingleBlock(Program, GlobalTarget, GlobalTarget);
-    } else {
-      int Thickness =
-          blockThickness(Program, GlobalTarget,
-                         teamCacheBudget(Machine, Config.Sockets));
-      Island.Blocks =
-          planIslandBlocks(Program, GlobalTarget, GlobalTarget, Thickness);
-    }
+    int Thickness =
+        Config.Strat == Strategy::Original
+            ? 0
+            : blockThickness(Program, GlobalTarget,
+                             teamCacheBudget(Machine, Config.Sockets));
+    Island.Blocks =
+        planTemporalBlocks(Program, GlobalSteps, GlobalSteps, Thickness);
     Plan.Islands.push_back(std::move(Island));
     return Plan;
   }
@@ -79,8 +108,10 @@ ExecutionPlan icores::buildPlan(const StencilProgram &Program,
     Island.NumThreads = Machine.CoresPerSocket / Config.IslandsPerSocket;
     Island.Part = Parts[static_cast<size_t>(P)];
     int Thickness = blockThickness(Program, Island.Part, IslandBudget);
-    Island.Blocks =
-        planIslandBlocks(Program, Island.Part, GlobalTarget, Thickness);
+    Island.Blocks = planTemporalBlocks(
+        Program,
+        temporalStepTargets(Program, Island.Part, Config.TemporalDepth),
+        GlobalSteps, Thickness);
     Plan.Islands.push_back(std::move(Island));
   }
   return Plan;

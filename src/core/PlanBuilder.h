@@ -39,6 +39,11 @@ struct PlanConfig {
   /// *within* each multicore CPU). Must divide the cores per socket; the
   /// total island count becomes Sockets * IslandsPerSocket.
   int IslandsPerSocket = 1;
+  /// Fused time steps per epoch (temporal blocking); see
+  /// ExecutionPlan::TemporalDepth. Must be >= 1. For T > 1 each island's
+  /// blocks are emitted once per fused step over the widened per-step
+  /// cones of temporalStepTargets(), ordered by step.
+  int TemporalDepth = 1;
 };
 
 /// Builds the per-time-step plan for \p Config over \p GlobalTarget.

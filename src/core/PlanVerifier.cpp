@@ -17,14 +17,46 @@ bool icores::verifyPlan(const ExecutionPlan &Plan,
     return false;
   }
 
-  RegionRequirements Global =
-      computeRequirements(Program, Plan.GlobalTarget);
+  if (Plan.TemporalDepth < 1) {
+    Diags.report(Severity::Error, "plan.temporal.invalid-depth",
+                 formatString("temporal depth %d is not positive",
+                              Plan.TemporalDepth));
+    return false;
+  }
+
+  // Per-fused-step global cones: the clipping bound for step t's passes.
+  // For TemporalDepth == 1 this is the classic single global cone.
+  std::vector<RegionRequirements> GlobalStep;
+  for (const Box3 &G : temporalStepTargets(Program, Plan.GlobalTarget,
+                                           Plan.TemporalDepth))
+    GlobalStep.push_back(computeRequirements(Program, G));
 
   // --- Per-island dataflow order and clipping -------------------------
   for (const IslandPlan &Island : Plan.Islands) {
     std::vector<Box3> Done(Program.numStages());
+    int CurStep = 0;
     for (size_t B = 0; B != Island.Blocks.size(); ++B) {
       const BlockTask &Block = Island.Blocks[B];
+      if (Block.StepInEpoch < 0 ||
+          Block.StepInEpoch >= Plan.TemporalDepth ||
+          Block.StepInEpoch < CurStep) {
+        Diags
+            .report(Severity::Error, "plan.temporal.step-order",
+                    formatString("island %d block %zu: step-in-epoch %d "
+                                 "out of order or range (depth %d)",
+                                 Island.Index, B, Block.StepInEpoch,
+                                 Plan.TemporalDepth))
+            .note("island", formatString("%d", Island.Index));
+        continue;
+      }
+      if (Block.StepInEpoch > CurStep) {
+        // Fused-step boundary: the feedback buffers are swapped and every
+        // stage recomputes over the next step's regions from scratch.
+        CurStep = Block.StepInEpoch;
+        Done.assign(Program.numStages(), Box3());
+      }
+      const RegionRequirements &Global =
+          GlobalStep[static_cast<size_t>(CurStep)];
       int LastStage = -1;
       for (const StagePass &Pass : Block.Passes) {
         if (Pass.Region.empty())
@@ -92,26 +124,33 @@ bool icores::verifyPlan(const ExecutionPlan &Plan,
   }
 
   // --- Output coverage and disjointness -------------------------------
+  // Only the *final* fused step's output passes write the shared arrays
+  // (earlier steps land in island-private feedback buffers), so coverage
+  // and disjointness are judged on the final step alone.
+  auto finalStepOutputUnion = [&](const IslandPlan &Island,
+                                  StageId Producer) {
+    Box3 Out;
+    for (const BlockTask &Block : Island.Blocks) {
+      if (Block.StepInEpoch != Plan.TemporalDepth - 1)
+        continue;
+      for (const StagePass &Pass : Block.Passes)
+        if (Pass.Stage == Producer)
+          Out = Out.unionWith(Pass.Region);
+    }
+    return Out;
+  };
   for (ArrayId Out : Program.stepOutputs()) {
     StageId Producer = Program.producerOf(Out);
     int64_t CoveredPoints = 0;
     Box3 CoveredBox;
     for (const IslandPlan &Island : Plan.Islands) {
-      Box3 IslandOut;
-      for (const BlockTask &Block : Island.Blocks)
-        for (const StagePass &Pass : Block.Passes)
-          if (Pass.Stage == Producer)
-            IslandOut = IslandOut.unionWith(Pass.Region);
+      Box3 IslandOut = finalStepOutputUnion(Island, Producer);
       // Disjointness across islands (pairwise against what was covered).
       for (const IslandPlan &Other : Plan.Islands) {
         if (Other.Index >= Island.Index)
           break;
         // Recompute the other island's output union.
-        Box3 OtherOut;
-        for (const BlockTask &Block : Other.Blocks)
-          for (const StagePass &Pass : Block.Passes)
-            if (Pass.Stage == Producer)
-              OtherOut = OtherOut.unionWith(Pass.Region);
+        Box3 OtherOut = finalStepOutputUnion(Other, Producer);
         if (!IslandOut.intersect(OtherOut).empty())
           Diags
               .report(Severity::Error, "plan.output.islands-overlap",

@@ -21,7 +21,7 @@ ScheduleOptimizerReport icores::optimizeBarriers(const StencilProgram &Program,
     // hand-elided plans. An empty pass's barrier is always redundant: the
     // pass runs no kernel, so any ordering its barrier provided is either
     // provided by the decision on the previous live pass or not needed.
-    std::vector<StagePass *> Live;
+    std::vector<std::pair<StagePass *, int>> Live; // pass, step-in-epoch
     for (BlockTask &Block : Island.Blocks)
       for (StagePass &Pass : Block.Passes) {
         if (Pass.Region.empty()) {
@@ -30,7 +30,7 @@ ScheduleOptimizerReport icores::optimizeBarriers(const StencilProgram &Program,
           E.Elided += 1;
           continue;
         }
-        Live.push_back(&Pass);
+        Live.push_back({&Pass, Block.StepInEpoch});
       }
 
     // Grow barrier-free epochs greedily: the barrier after pass I is
@@ -38,24 +38,30 @@ ScheduleOptimizerReport icores::optimizeBarriers(const StencilProgram &Program,
     // the epoch being grown. Each pass is checked against every earlier
     // epoch member when it joins, so the final epochs are pairwise
     // conflict-free — exactly the property checkScheduleRaces() verifies.
+    // Elision never crosses a fused-step boundary (TemporalDepth > 1
+    // plans): the executor rebinds the feedback buffers there under a
+    // structural barrier, so each fused step's final pass keeps its
+    // barrier, just like the island's final pass keeps the step-end
+    // rendezvous that makes island lockstep independent of the executor's
+    // global step barrier.
     size_t EpochBegin = 0;
     for (size_t I = 0; I != Live.size(); ++I) {
       E.Passes += 1;
-      if (I + 1 == Live.size()) {
-        // The island's final pass keeps its barrier: the step-end
-        // rendezvous that makes island lockstep independent of the
-        // executor's global step barrier.
-        Live[I]->BarrierAfter = true;
-        break;
+      if (I + 1 == Live.size() || Live[I + 1].second != Live[I].second) {
+        Live[I].first->BarrierAfter = true;
+        EpochBegin = I + 1;
+        continue;
       }
-      ScheduledPass Next{Live[I + 1]->Stage, Live[I + 1]->Region, true};
+      ScheduledPass Next{Live[I + 1].first->Stage, Live[I + 1].first->Region,
+                         true, Live[I + 1].second};
       bool Conflict = false;
       for (size_t A = EpochBegin; A <= I && !Conflict; ++A) {
-        ScheduledPass Prev{Live[A]->Stage, Live[A]->Region, false};
+        ScheduledPass Prev{Live[A].first->Stage, Live[A].first->Region,
+                           false, Live[A].second};
         PassConflict C;
         Conflict = findPassPairConflict(Program, Prev, Next, N, C);
       }
-      Live[I]->BarrierAfter = Conflict;
+      Live[I].first->BarrierAfter = Conflict;
       if (Conflict) {
         EpochBegin = I + 1;
       } else {

@@ -58,6 +58,9 @@ void ExecStats::initLayout(const ExecutionPlan &Plan, unsigned NumStages) {
       Stat.Threads[static_cast<size_t>(T)].ThreadInTeam = T;
   }
   StepsRun = 0;
+  TemporalDepth = Plan.TemporalDepth;
+  SharedBytesRead = 0;
+  SharedBytesWritten = 0;
   RunCalls = 0;
   ThreadsSpawned = 0;
   PoolDispatches = 0;
@@ -71,6 +74,8 @@ void ExecStats::initLayout(const ExecutionPlan &Plan, unsigned NumStages) {
 
 void ExecStats::resetMeasurements() {
   StepsRun = 0;
+  SharedBytesRead = 0;
+  SharedBytesWritten = 0;
   WallSeconds = 0.0;
   GlobalBarrierWaitSeconds = 0.0;
   FaultsInjected = 0;
@@ -176,6 +181,9 @@ void ExecStats::writeJson(OStream &OS) const {
   OS << "  \"schema\": \"icores.exec_stats.v3\",\n";
   OS << "  \"enabled\": " << Enabled << ",\n";
   OS << "  \"steps\": " << StepsRun << ",\n";
+  OS << "  \"temporal_depth\": " << TemporalDepth << ",\n";
+  OS << "  \"shared_read_bytes\": " << SharedBytesRead << ",\n";
+  OS << "  \"shared_written_bytes\": " << SharedBytesWritten << ",\n";
   OS << "  \"run_calls\": " << RunCalls << ",\n";
   OS << "  \"pool\": {\"threads_spawned\": " << ThreadsSpawned
      << ", \"dispatches\": " << PoolDispatches << "},\n";
@@ -241,8 +249,9 @@ void ExecStats::writeJson(OStream &OS) const {
 }
 
 void ExecStats::writeCsv(OStream &OS) const {
-  TablePrinter Table({"island", "stage", "passes", "elided_barriers",
-                      "kernel_seconds", "barrier_wait_seconds"});
+  TablePrinter Table({"island", "stage", "temporal_depth", "passes",
+                      "elided_barriers", "kernel_seconds",
+                      "barrier_wait_seconds"});
   for (const IslandStat &Island : Islands)
     for (size_t S = 0; S != Island.Stages.size(); ++S) {
       const StageStat &Stage = Island.Stages[S];
@@ -250,6 +259,7 @@ void ExecStats::writeCsv(OStream &OS) const {
         continue;
       Table.addRow({formatString("%d", Island.Island),
                     formatString("%d", static_cast<int>(S)),
+                    formatString("%d", TemporalDepth),
                     formatString("%lld",
                                  static_cast<long long>(Stage.Passes)),
                     formatString("%lld",

@@ -104,6 +104,15 @@ struct ExecThreadAccum {
 struct ExecStats {
   bool Enabled = false;
   int StepsRun = 0;
+  /// The executed plan's fused steps per temporal epoch (1 = classic
+  /// per-step execution); copied from the plan at initLayout().
+  int TemporalDepth = 1;
+  /// Logical bytes moved between the islands and the shared arrays over
+  /// all run() calls: per-epoch import (or per-step input) reads and
+  /// final-step output writes, scaled by the epochs run. Maintained even
+  /// with timing disabled, like the pool counters.
+  int64_t SharedBytesRead = 0;
+  int64_t SharedBytesWritten = 0;
   int64_t RunCalls = 0;
   int64_t ThreadsSpawned = 0; ///< OS threads ever created by the pool.
   int64_t PoolDispatches = 0;

@@ -41,6 +41,9 @@ public:
   const MpdataProgram &program() const { return M; }
   const ExecutionPlan &plan() const { return Exec.plan(); }
 
+  /// The underlying generic executor (e.g. for sharedBytesPerStep()).
+  const ProgramExecutor &executor() const { return Exec; }
+
   /// Mutable access to the shared state/coefficient arrays for
   /// initialization (write core values, halos handled internally).
   Array3D &stateIn() { return Exec.array(M.XIn); }

@@ -26,9 +26,17 @@ double secondsSince(ProfileClock::time_point Start,
 
 /// Island-private execution state: the field store (intermediates owned,
 /// step inputs/outputs bound to the shared arrays) and the team barrier.
+/// For temporal plans (TemporalDepth > 1) it additionally owns the
+/// per-epoch import buffers (one per step input, wrap-gathered from the
+/// shared arrays at every epoch start) and the scratch buffers
+/// intermediate fused steps write instead of the shared outputs; feedback
+/// pairs alternate between their import and scratch buffer from step to
+/// step (see rebindForStep).
 struct ProgramExecutor::IslandState {
   FieldStore Store;
   TeamBarrier Team;
+  std::map<ArrayId, Array3D> Imports; ///< Keyed by step-input array.
+  std::map<ArrayId, Array3D> Scratch; ///< Keyed by step-output array.
 
   IslandState(unsigned NumArrays, int TeamSize, const ExecutorOptions &Opts)
       : Store(NumArrays),
@@ -58,6 +66,14 @@ ProgramExecutor::ProgramExecutor(StencilProgram AProgram,
   ICORES_CHECK(!Plan.Islands.empty(), "plan has no islands");
   ICORES_CHECK(Kernels.coversProgram(Program),
                "kernel table does not cover the program");
+  ICORES_CHECK(Plan.TemporalDepth >= 1,
+               "plan temporal depth must be at least 1");
+  // Temporal blocking widens the fused-step cones beyond the domain and
+  // evaluates them on periodically wrapped imports; that extended
+  // evaluation is exact only under periodic boundaries.
+  ICORES_CHECK(Plan.TemporalDepth == 1 ||
+                   Dom.boundaryMode() == BoundaryMode::Periodic,
+               "temporal blocking requires periodic boundaries");
 
   Box3 Alloc = Dom.allocBox();
   for (unsigned A = 0; A != Program.numArrays(); ++A) {
@@ -87,6 +103,79 @@ ProgramExecutor::ProgramExecutor(StencilProgram AProgram,
         if (Program.array(Out).Role == ArrayRole::Intermediate &&
             !IS->Store.isBound(Out))
           IS->Store.allocateOwned(Out, StageUnion[S], Opts.PadKRows);
+    }
+
+    // Shared-traffic footprints from the actual pass regions: the union
+    // each step-input array is read over, and the union each step-output
+    // array is written over, across all of this island's passes.
+    std::vector<Box3> ReadUnion(Program.numArrays());
+    std::vector<Box3> WriteUnion(Program.numArrays());
+    for (const BlockTask &Block : Island.Blocks)
+      for (const StagePass &Pass : Block.Passes) {
+        const StageDef &Stage = Program.stage(Pass.Stage);
+        for (const StageInput &In : Stage.Inputs)
+          if (Program.array(In.Array).Role == ArrayRole::StepInput) {
+            Box3 &Un = ReadUnion[static_cast<size_t>(In.Array)];
+            Un = Un.unionWith(In.readRegion(Pass.Region));
+          }
+        for (ArrayId Out : Stage.Outputs)
+          if (Program.array(Out).Role == ArrayRole::StepOutput) {
+            Box3 &Un = WriteUnion[static_cast<size_t>(Out)];
+            Un = Un.unionWith(Pass.Region);
+          }
+      }
+
+    if (Plan.TemporalDepth > 1) {
+      // Import and scratch buffers. A feedback pair alternates between
+      // its Target's import buffer and its Source's scratch buffer from
+      // fused step to fused step, so both must cover the pair's read and
+      // write unions.
+      std::vector<Box3> BufBox(Program.numArrays());
+      for (ArrayId In : Program.stepInputs())
+        BufBox[static_cast<size_t>(In)] =
+            ReadUnion[static_cast<size_t>(In)];
+      for (ArrayId Out : Program.stepOutputs())
+        BufBox[static_cast<size_t>(Out)] =
+            WriteUnion[static_cast<size_t>(Out)];
+      for (const FeedbackPair &FB : Program.feedbacks()) {
+        Box3 Paired = BufBox[static_cast<size_t>(FB.Target)].unionWith(
+            BufBox[static_cast<size_t>(FB.Source)]);
+        BufBox[static_cast<size_t>(FB.Target)] = Paired;
+        BufBox[static_cast<size_t>(FB.Source)] = Paired;
+      }
+      for (ArrayId In : Program.stepInputs())
+        if (!BufBox[static_cast<size_t>(In)].empty())
+          IS->Imports.emplace(
+              In, Array3D(BufBox[static_cast<size_t>(In)], Opts.PadKRows));
+      for (ArrayId Out : Program.stepOutputs())
+        if (!BufBox[static_cast<size_t>(Out)].empty())
+          IS->Scratch.emplace(
+              Out, Array3D(BufBox[static_cast<size_t>(Out)], Opts.PadKRows));
+      // Epoch import: every import buffer is gathered once from the
+      // shared arrays.
+      for (const auto &[Id, Buf] : IS->Imports)
+        SharedReadBytesPerEpoch +=
+            Buf.indexSpace().numPoints() * Program.array(Id).ElementBytes;
+    } else {
+      // T == 1: the island streams its input footprint from the shared
+      // arrays every step.
+      for (ArrayId In : Program.stepInputs())
+        SharedReadBytesPerEpoch +=
+            ReadUnion[static_cast<size_t>(In)].numPoints() *
+            Program.array(In).ElementBytes;
+    }
+    // Final-step output writes go to the shared arrays in every mode.
+    for (ArrayId Out : Program.stepOutputs()) {
+      Box3 FinalOut;
+      for (const BlockTask &Block : Island.Blocks) {
+        if (Block.StepInEpoch != Plan.TemporalDepth - 1)
+          continue;
+        for (const StagePass &Pass : Block.Passes)
+          if (Pass.Stage == Program.producerOf(Out))
+            FinalOut = FinalOut.unionWith(Pass.Region);
+      }
+      SharedWriteBytesPerEpoch +=
+          FinalOut.numPoints() * Program.array(Out).ElementBytes;
     }
     IslandStates.push_back(std::move(IS));
   }
@@ -129,6 +218,66 @@ void ProgramExecutor::enableProfiling(bool On) {
   Stats.Enabled = On;
 }
 
+int64_t ProgramExecutor::sharedBytesPerStep() const {
+  return (SharedReadBytesPerEpoch + SharedWriteBytesPerEpoch) /
+         Plan.TemporalDepth;
+}
+
+/// Points the island's feedback and output bindings at the storage fused
+/// step \p StepInEpoch reads and writes: feedback pairs alternate between
+/// the Target's import buffer (even steps) and the Source's scratch
+/// buffer (odd steps); only the final fused step writes the shared output
+/// arrays. Callers bracket this with team barriers.
+void ProgramExecutor::rebindForStep(IslandState &IS, int StepInEpoch) {
+  const bool Final = StepInEpoch == Plan.TemporalDepth - 1;
+  if (StepInEpoch == 0)
+    for (auto &[Id, Buf] : IS.Imports)
+      IS.Store.rebindExternal(Id, &Buf);
+  for (const FeedbackPair &FB : Program.feedbacks()) {
+    auto ImportIt = IS.Imports.find(FB.Target);
+    auto ScratchIt = IS.Scratch.find(FB.Source);
+    if (ImportIt == IS.Imports.end() || ScratchIt == IS.Scratch.end())
+      continue; // The island never touches this pair.
+    Array3D *Import = &ImportIt->second;
+    Array3D *Scratch = &ScratchIt->second;
+    bool Even = StepInEpoch % 2 == 0;
+    IS.Store.rebindExternal(FB.Target, Even ? Import : Scratch);
+    IS.Store.rebindExternal(FB.Source, Final ? &array(FB.Source)
+                                             : (Even ? Scratch : Import));
+  }
+  for (ArrayId Out : Program.stepOutputs()) {
+    bool FedBack = false;
+    for (const FeedbackPair &FB : Program.feedbacks())
+      FedBack = FedBack || FB.Source == Out;
+    if (FedBack)
+      continue;
+    auto It = IS.Scratch.find(Out);
+    if (It == IS.Scratch.end())
+      continue;
+    IS.Store.rebindExternal(Out, Final ? &array(Out) : &It->second);
+  }
+}
+
+/// Epoch import: fills this thread's share of every import buffer with
+/// periodically wrapped copies of the shared arrays' core cells. The
+/// widened cones only ever read wrapped *core* positions, so the shared
+/// halos (stale after the epoch feedback swap) are never consulted.
+void ProgramExecutor::importEpochInputs(IslandState &IS, int ThreadInTeam,
+                                        int NumThreads) {
+  for (auto &[Id, Buf] : IS.Imports) {
+    const Array3D &Src = array(Id);
+    Box3 Sub = teamSubRegion(Buf.indexSpace(), ThreadInTeam, NumThreads);
+    for (int I = Sub.Lo[0]; I != Sub.Hi[0]; ++I) {
+      int WI = Domain::wrapIndex(I, Dom.ni());
+      for (int J = Sub.Lo[1]; J != Sub.Hi[1]; ++J) {
+        int WJ = Domain::wrapIndex(J, Dom.nj());
+        for (int K = Sub.Lo[2]; K != Sub.Hi[2]; ++K)
+          Buf.at(I, J, K) = Src.at(WI, WJ, Domain::wrapIndex(K, Dom.nk()));
+      }
+    }
+  }
+}
+
 void ProgramExecutor::setThreadPinning(
     const std::vector<ThreadPlacement> &Placements) {
   std::vector<int> Cores;
@@ -154,7 +303,9 @@ void ProgramExecutor::threadMain(int Worker, int Island, int ThreadInTeam,
       ++Accum.SpinWakes;
   };
 
-  for (int Step = 0; Step != Steps; ++Step) {
+  const int Depth = this->Plan.TemporalDepth;
+  const int Epochs = Steps / Depth; // run() checked divisibility.
+  for (int Epoch = 0; Epoch != Epochs; ++Epoch) {
     if (Prof) {
       ProfileClock::time_point T0 = ProfileClock::now();
       countWake(Control.GlobalBarrier.arriveAndWait(Worker));
@@ -164,11 +315,15 @@ void ProgramExecutor::threadMain(int Worker, int Island, int ThreadInTeam,
       Control.GlobalBarrier.arriveAndWait(Worker);
     }
     if (Island == 0 && ThreadInTeam == 0) {
-      if (Step != 0)
+      if (Epoch != 0)
         for (const FeedbackPair &FB : Program.feedbacks())
           std::swap(array(FB.Source), array(FB.Target));
-      for (const FeedbackPair &FB : Program.feedbacks())
-        Dom.fillHalo(array(FB.Target));
+      // T == 1 reads the shared inputs in place, so the feedback halos
+      // must be refreshed; temporal epochs instead wrap-gather imports
+      // from the core cells and never read the shared halos.
+      if (Depth == 1)
+        for (const FeedbackPair &FB : Program.feedbacks())
+          Dom.fillHalo(array(FB.Target));
     }
     if (Prof) {
       ProfileClock::time_point T0 = ProfileClock::now();
@@ -179,12 +334,32 @@ void ProgramExecutor::threadMain(int Worker, int Island, int ThreadInTeam,
       Control.GlobalBarrier.arriveAndWait(Worker);
     }
 
+    if (Depth > 1) {
+      // Epoch prologue: rebind for fused step 0 and gather the imports.
+      // Rebinding (thread 0) and importing (all threads) touch disjoint
+      // state; the team barrier publishes both before any pass runs.
+      if (ThreadInTeam == 0)
+        rebindForStep(IS, 0);
+      importEpochInputs(IS, ThreadInTeam, IslandP.NumThreads);
+      countWake(IS.Team.arriveAndWait(ThreadInTeam));
+    }
+
     int PassIndex = 0;
+    int CurStep = 0;
     for (const BlockTask &Block : IslandP.Blocks) {
+      if (Depth > 1 && Block.StepInEpoch != CurStep) {
+        // Structural fused-step boundary: quiesce the team, swap the
+        // feedback bindings, and publish them before the next step.
+        countWake(IS.Team.arriveAndWait(ThreadInTeam));
+        CurStep = Block.StepInEpoch;
+        if (ThreadInTeam == 0)
+          rebindForStep(IS, CurStep);
+        countWake(IS.Team.arriveAndWait(ThreadInTeam));
+      }
       for (const StagePass &Pass : Block.Passes) {
         if (Opts.Chaos) {
           double Stall = Opts.Chaos->onWorkerPass(Island, ThreadInTeam,
-                                                  Step, PassIndex);
+                                                  Epoch, PassIndex);
           if (Stall > 0)
             std::this_thread::sleep_for(
                 std::chrono::duration<double>(Stall));
@@ -223,6 +398,8 @@ void ProgramExecutor::threadMain(int Worker, int Island, int ThreadInTeam,
 
 void ProgramExecutor::run(int Steps) {
   ICORES_CHECK(Steps >= 0, "negative step count");
+  ICORES_CHECK(Steps % Plan.TemporalDepth == 0,
+               "step count must be a whole number of temporal epochs");
   if (Steps == 0)
     return;
 
@@ -241,6 +418,9 @@ void ProgramExecutor::run(int Steps) {
     Stats.StepsRun += Steps;
   }
   ++Stats.RunCalls;
+  int64_t Epochs = Steps / Plan.TemporalDepth;
+  Stats.SharedBytesRead += SharedReadBytesPerEpoch * Epochs;
+  Stats.SharedBytesWritten += SharedWriteBytesPerEpoch * Epochs;
   Stats.ThreadsSpawned = Pool->spawnedThreads();
   Stats.PoolDispatches = Pool->dispatches();
   if (Opts.Chaos) {

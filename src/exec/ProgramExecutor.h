@@ -67,6 +67,15 @@ struct ExecutorOptions {
 };
 
 /// Threaded executor for one plan of one program over one domain.
+///
+/// Temporal blocking: a plan with TemporalDepth T > 1 is executed in
+/// epochs of T fused time steps between global barriers. Each epoch every
+/// island imports its step inputs once into island-private buffers
+/// (periodically wrap-gathered from the shared core cells, so the widened
+/// overlap cones are exact — periodic boundaries are required), runs the
+/// T fused steps entirely on private storage with only team-level
+/// synchronization, and writes the shared output arrays only from the
+/// final fused step. Results are bit-identical to the T = 1 schedule.
 class ProgramExecutor {
 public:
   /// \p Plan must target Dom.coreBox(); \p Kernels must cover the program.
@@ -103,14 +112,25 @@ public:
   void setThreadPinning(const std::vector<ThreadPlacement> &Placements);
 
   /// Advances \p Steps steps with the plan's threads. Afterwards each
-  /// feedback Target array holds the newest state.
+  /// feedback Target array holds the newest state. \p Steps must be a
+  /// multiple of the plan's TemporalDepth (whole epochs only).
   void run(int Steps);
+
+  /// Logical bytes this executor moves between an island and the shared
+  /// arrays per *time step* (averaged over an epoch): for T == 1 every
+  /// island streams its input footprint in and its output part out each
+  /// step; for T > 1 one import plus one final write per epoch, divided
+  /// by T. This is the measured side of the simulator's
+  /// SharedBytesPerStep projection.
+  int64_t sharedBytesPerStep() const;
 
 private:
   struct IslandState;
 
   void threadMain(int Worker, int Island, int ThreadInTeam, int Steps,
                   void *Control);
+  void rebindForStep(IslandState &IS, int StepInEpoch);
+  void importEpochInputs(IslandState &IS, int ThreadInTeam, int NumThreads);
 
   StencilProgram Program;
   KernelTable Kernels;
@@ -124,6 +144,12 @@ private:
   /// Worker I's (island, thread-in-team) coordinates.
   std::vector<std::pair<int, int>> WorkerCoords;
   std::unique_ptr<WorkerPool> Pool;
+
+  /// Logical shared-array traffic of one epoch (all islands): import (or
+  /// per-step input) reads and final-step output writes. Computed once at
+  /// construction from the plan's pass regions.
+  int64_t SharedReadBytesPerEpoch = 0;
+  int64_t SharedWriteBytesPerEpoch = 0;
 
   bool Profiling = false;
   ExecStats Stats;

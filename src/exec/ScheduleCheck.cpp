@@ -18,8 +18,15 @@ icores::buildIslandSchedules(const ExecutionPlan &Plan) {
     IslandSchedule S;
     S.Index = Island.Index;
     S.NumThreads = std::max(1, Island.NumThreads);
+    S.TemporalDepth = std::max(1, Plan.TemporalDepth);
     for (const BlockTask &Block : Island.Blocks)
       for (const StagePass &Pass : Block.Passes) {
+        // The executor rebinds the feedback buffers between fused steps
+        // under a structural team barrier, so a fused-step boundary always
+        // ends the running barrier-free epoch regardless of barrier bits.
+        if (!S.Passes.empty() &&
+            S.Passes.back().StepInEpoch != Block.StepInEpoch)
+          S.Passes.back().BarrierAfter = true;
         if (Pass.Region.empty()) {
           // The executor skips the kernel of an empty pass but still
           // honours its barrier bit; fold that barrier onto the previous
@@ -30,7 +37,8 @@ icores::buildIslandSchedules(const ExecutionPlan &Plan) {
             S.Passes.back().BarrierAfter = true;
           continue;
         }
-        S.Passes.push_back({Pass.Stage, Pass.Region, Pass.BarrierAfter});
+        S.Passes.push_back({Pass.Stage, Pass.Region, Pass.BarrierAfter,
+                            Block.StepInEpoch});
       }
     Schedules.push_back(std::move(S));
   }
@@ -225,8 +233,27 @@ void checkInterIsland(const StencilProgram &Program,
   // synchronisation at all, so *any* write overlap on a shared array is a
   // race regardless of pass order. Whole pass regions are used: the team
   // covers its full region collectively.
-  auto isShared = [&](ArrayId Id) {
-    return Program.array(Id).Role != ArrayRole::Intermediate;
+  //
+  // Temporal blocking narrows what is shared: with TemporalDepth > 1 every
+  // island imports its step inputs into private buffers once per epoch and
+  // runs intermediate fused steps entirely on private storage, so only the
+  // *final* fused step's accesses to the step-output arrays reach shared
+  // memory.
+  const int Depth = std::max(1, std::max(A.TemporalDepth, B.TemporalDepth));
+  auto sharedWrite = [&](ArrayId Id, const ScheduledPass &P) {
+    if (Program.array(Id).Role == ArrayRole::Intermediate)
+      return false;
+    return Depth == 1 || P.StepInEpoch == Depth - 1;
+  };
+  auto sharedRead = [&](ArrayId Id, const ScheduledPass &P) {
+    if (Program.array(Id).Role == ArrayRole::Intermediate)
+      return false;
+    if (Depth == 1)
+      return true;
+    // Step inputs are read from the island-private import buffers at every
+    // fused step; a step-output array only binds shared storage while the
+    // final fused step runs.
+    return Program.producerOf(Id) != NoStage && P.StepInEpoch == Depth - 1;
   };
   auto reportOnce = [&](const char *Id, const std::string &Msg, ArrayId Arr,
                         const Box3 &Overlap) {
@@ -242,10 +269,10 @@ void checkInterIsland(const StencilProgram &Program,
       const StageDef &SB = Program.stage(PB.Stage);
 
       for (ArrayId Out : SA.Outputs) {
-        if (!isShared(Out))
+        if (!sharedWrite(Out, PA))
           continue;
         if (CheckWriteWrite && writesArray(SB, Out) &&
-            overlaps(PA.Region, PB.Region))
+            sharedWrite(Out, PB) && overlaps(PA.Region, PB.Region))
           reportOnce("race.inter.write-write",
                      formatString("islands %d and %d both write shared "
                                   "array '%s' in overlapping regions within "
@@ -255,7 +282,7 @@ void checkInterIsland(const StencilProgram &Program,
                                   SA.Name.c_str(), SB.Name.c_str()),
                      Out, PA.Region.intersect(PB.Region));
         for (const ReadHull &H : readHulls(SB)) {
-          if (H.Array != Out)
+          if (H.Array != Out || !sharedRead(Out, PB))
             continue;
           Box3 R = expandByWindow(PB.Region, H.MinOff, H.MaxOff);
           if (overlaps(PA.Region, R))

@@ -50,12 +50,23 @@ struct ScheduledPass {
   /// Whether the team barriers after this pass. Stock plans always do;
   /// the barrier elision optimizer clears bits it can prove redundant.
   bool BarrierAfter = true;
+  /// Which fused time step of the temporal epoch this pass belongs to
+  /// (always 0 for TemporalDepth == 1 plans). The executor places a
+  /// structural team barrier plus a feedback-buffer rebind at every
+  /// fused-step boundary, so passes of different steps never share a
+  /// barrier-free epoch.
+  int StepInEpoch = 0;
 };
 
 /// The per-island view the race check operates on.
 struct IslandSchedule {
   int Index = 0;
   int NumThreads = 1;
+  /// Fused steps per epoch, copied from the plan. For Depth > 1 the
+  /// executor privatises the step inputs (per-island import buffers) and
+  /// only the final fused step's output passes touch the shared arrays,
+  /// which relaxes the inter-island sharedness rules accordingly.
+  int TemporalDepth = 1;
   std::vector<ScheduledPass> Passes;
 };
 

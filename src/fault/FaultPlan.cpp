@@ -5,7 +5,9 @@
 #include "support/Format.h"
 #include "support/Random.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <vector>
 
 using namespace icores;
 
@@ -132,7 +134,13 @@ bool icores::parseFaultSpec(const std::string &Spec, FaultPlan &Out,
     Err = "bad seed '" + SeedPart + "' (want an unsigned integer)";
     return false;
   }
+  // Only these keys arm the plan; maxdelay/maxstall merely bound the
+  // injected latencies. A spec that sets no rate key falls back to the
+  // default mixed plan below — previously any key (even maxstall alone)
+  // counted as "a rate was given", leaving every rate at zero, so the run
+  // reported chaos enabled while injecting nothing.
   bool AnyRate = false;
+  std::vector<std::string> Seen;
   while (Pos != std::string::npos) {
     size_t Begin = Pos + 1;
     Pos = Spec.find(',', Begin);
@@ -151,6 +159,7 @@ bool icores::parseFaultSpec(const std::string &Spec, FaultPlan &Out,
       Err = "bad value for chaos field '" + Key + "'";
       return false;
     }
+    bool IsRate = true;
     if (Key == "drop")
       Plan.DropRate = Val;
     else if (Key == "delay")
@@ -165,23 +174,35 @@ bool icores::parseFaultSpec(const std::string &Spec, FaultPlan &Out,
       Plan.StallRate = Val;
     else if (Key == "wake")
       Plan.WakeRate = Val;
-    else if (Key == "maxdelay")
+    else if (Key == "maxdelay") {
       Plan.MaxDelaySeconds = Val;
-    else if (Key == "maxstall")
+      IsRate = false;
+    } else if (Key == "maxstall") {
       Plan.MaxStallSeconds = Val;
-    else {
-      Err = "unknown chaos field '" + Key + "'";
+      IsRate = false;
+    } else {
+      Err = "unknown chaos field '" + Key +
+            "' (known: drop, delay, dup, corrupt, lose, stall, wake, "
+            "maxdelay, maxstall)";
       return false;
     }
-    if (Val > 1.0 && Key != "maxdelay" && Key != "maxstall") {
+    if (std::find(Seen.begin(), Seen.end(), Key) != Seen.end()) {
+      // Last-wins would silently disarm an earlier rate (e.g.
+      // "1,drop=0.5,drop=0"); make conflicting intent an error instead.
+      Err = "duplicate chaos field '" + Key + "'";
+      return false;
+    }
+    Seen.push_back(Key);
+    if (IsRate && Val > 1.0) {
       Err = "chaos rate '" + Key + "' outside [0, 1]";
       return false;
     }
-    AnyRate = true;
+    AnyRate = AnyRate || IsRate;
   }
   if (!AnyRate) {
-    // A bare seed arms a moderate mixed plan of every *recoverable*
-    // fault class, so `--chaos=SEED` alone is a meaningful smoke test.
+    // A bare seed (possibly with maxdelay/maxstall bounds) arms a
+    // moderate mixed plan of every *recoverable* fault class, so
+    // `--chaos=SEED` alone is a meaningful smoke test.
     Plan.DropRate = 0.05;
     Plan.DelayRate = 0.05;
     Plan.DuplicateRate = 0.05;

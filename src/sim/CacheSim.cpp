@@ -101,10 +101,34 @@ private:
 CacheSimResult
 icores::replayIslandThroughCache(const IslandPlan &Island,
                                  const StencilProgram &Program,
-                                 int64_t CacheBytes) {
+                                 int64_t CacheBytes, int TemporalDepth) {
   ICORES_CHECK(CacheBytes > 0, "cache capacity must be positive");
+  ICORES_CHECK(TemporalDepth >= 1, "temporal depth must be at least 1");
   CacheSimResult Stats;
   LruCache Cache(CacheBytes, Stats);
+
+  // Physical-storage identity of a fed-back array at one fused step: the
+  // Target's id names the pair's import buffer, the Source's its scratch
+  // buffer (the executor's even/odd rebind alternation), and ids past
+  // numArrays() name the shared output arrays the final fused step
+  // streams to.
+  auto storageKey = [&](ArrayId Id, int Step, bool IsWrite) {
+    if (TemporalDepth == 1)
+      return Id;
+    bool Even = Step % 2 == 0;
+    bool Final = Step == TemporalDepth - 1;
+    for (const FeedbackPair &FB : Program.feedbacks()) {
+      if (Id == FB.Target)
+        return Even ? FB.Target : FB.Source;
+      if (Id == FB.Source)
+        return Final && IsWrite
+                   ? static_cast<ArrayId>(Program.numArrays() + Id)
+                   : (Even ? FB.Source : FB.Target);
+    }
+    if (Program.array(Id).Role == ArrayRole::StepOutput && Final && IsWrite)
+      return static_cast<ArrayId>(Program.numArrays() + Id);
+    return Id;
+  };
 
   for (const BlockTask &Block : Island.Blocks) {
     for (const StagePass &Pass : Block.Passes) {
@@ -117,16 +141,19 @@ icores::replayIslandThroughCache(const IslandPlan &Island,
         int64_t PlaneBytes = static_cast<int64_t>(Read.extent(1)) *
                              Read.extent(2) *
                              Program.array(In.Array).ElementBytes;
+        ArrayId Key = storageKey(In.Array, Block.StepInEpoch,
+                                 /*IsWrite=*/false);
         for (int I = Read.Lo[0]; I != Read.Hi[0]; ++I)
-          Cache.access({In.Array, I}, PlaneBytes, /*IsWrite=*/false);
+          Cache.access({Key, I}, PlaneBytes, /*IsWrite=*/false);
       }
       // Writes: every output plane of the pass region.
       for (ArrayId Out : Stage.Outputs) {
         int64_t PlaneBytes = static_cast<int64_t>(Pass.Region.extent(1)) *
                              Pass.Region.extent(2) *
                              Program.array(Out).ElementBytes;
+        ArrayId Key = storageKey(Out, Block.StepInEpoch, /*IsWrite=*/true);
         for (int I = Pass.Region.Lo[0]; I != Pass.Region.Hi[0]; ++I)
-          Cache.access({Out, I}, PlaneBytes, /*IsWrite=*/true);
+          Cache.access({Key, I}, PlaneBytes, /*IsWrite=*/true);
       }
     }
   }

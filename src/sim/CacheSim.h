@@ -46,9 +46,18 @@ struct CacheSimResult {
 /// Replays the per-step access stream of \p Island (pass by pass, in
 /// schedule order) through a fully-associative LRU cache of
 /// \p CacheBytes. Step inputs start non-resident (compulsory misses).
+///
+/// \p TemporalDepth > 1 replays one fused epoch: a feedback pair then
+/// alternates between the Target's import buffer (even fused steps) and
+/// the Source's scratch buffer (odd ones), exactly as the executor
+/// rebinds them, so the pair's planes are tracked per physical buffer —
+/// the Target's id names the import buffer, the Source's the scratch —
+/// and the final fused step's shared-array writes are keyed separately
+/// (they stream out rather than revisit a resident buffer).
 CacheSimResult replayIslandThroughCache(const IslandPlan &Island,
                                         const StencilProgram &Program,
-                                        int64_t CacheBytes);
+                                        int64_t CacheBytes,
+                                        int TemporalDepth = 1);
 
 } // namespace icores
 

@@ -3,6 +3,7 @@
 #include "sim/PlanAdvisor.h"
 
 #include "core/Partition.h"
+#include "stencil/HaloAnalysis.h"
 #include "support/Error.h"
 #include "support/Format.h"
 
@@ -11,6 +12,21 @@
 using namespace icores;
 
 namespace {
+
+/// Whether fusing \p Depth steps is worth pricing on this grid: the
+/// widened step-0 dependence cone must not dwarf the grid itself (beyond
+/// 2x per dimension the redundant overlap work certainly loses), and the
+/// run must consist of whole epochs.
+bool temporalDepthFeasible(const StencilProgram &Program, const Box3 &Grid,
+                           int Depth, int TimeSteps) {
+  if (TimeSteps % Depth != 0)
+    return false;
+  Box3 Widest = temporalStepTargets(Program, Grid, Depth).front();
+  for (int D = 0; D != 3; ++D)
+    if (Widest.extent(D) > 2 * Grid.extent(D))
+      return false;
+  return true;
+}
 
 /// Adds one candidate if it is feasible on this grid/machine.
 void tryCandidate(std::vector<AdvisorCandidate> &Out,
@@ -62,16 +78,36 @@ AdvisorReport icores::adviseBestPlan(const StencilProgram &Program,
                "pure (3+1)D decomposition");
 
   // Islands: both 1D variants, a near-square 2D grid, and sub-socket
-  // island counts (powers of two dividing the cores).
+  // island counts (powers of two dividing the cores). The cache-blocked
+  // strategies are also priced with fused temporal epochs — the depth
+  // trades redundant cone compute against amortised DRAM streams and
+  // global barriers, so the winner is grid- and machine-dependent.
   for (PartitionVariant Variant :
-       {PartitionVariant::A, PartitionVariant::B}) {
+       {PartitionVariant::A, PartitionVariant::B})
+    for (int Depth : {1, 2, 4}) {
+      if (!temporalDepthFeasible(Program, Grid, Depth, TimeSteps))
+        continue;
+      Config = Base;
+      Config.Strat = Strategy::IslandsOfCores;
+      Config.Variant = Variant;
+      Config.TemporalDepth = Depth;
+      std::string Label =
+          formatString("islands 1D variant %c",
+                       Variant == PartitionVariant::A ? 'A' : 'B');
+      if (Depth > 1)
+        Label += formatString(", temporal depth %d", Depth);
+      tryCandidate(Report.Candidates, Program, Grid, Machine, TimeSteps,
+                   Config, std::move(Label));
+    }
+  for (int Depth : {2, 4}) {
+    if (!temporalDepthFeasible(Program, Grid, Depth, TimeSteps))
+      continue;
     Config = Base;
-    Config.Strat = Strategy::IslandsOfCores;
-    Config.Variant = Variant;
+    Config.Strat = Strategy::Block31D;
+    Config.TemporalDepth = Depth;
     tryCandidate(Report.Candidates, Program, Grid, Machine, TimeSteps,
                  Config,
-                 formatString("islands 1D variant %c",
-                              Variant == PartitionVariant::A ? 'A' : 'B'));
+                 formatString("pure (3+1)D, temporal depth %d", Depth));
   }
   if (Sockets > 1) {
     auto [Pi, Pj] = factorForGrid(Sockets);

@@ -53,6 +53,7 @@ IslandCosts simulateIsland(const IslandPlan &Island,
                            double KernelThroughput) {
   IslandCosts Costs;
   bool Blocked = Plan.Strat != Strategy::Original;
+  const int Depth = std::max(1, Plan.TemporalDepth);
   double TeamFlopRate = static_cast<double>(Island.NumThreads) *
                         Machine.peakFlopsPerCore() *
                         Machine.KernelEfficiency * KernelThroughput;
@@ -89,7 +90,18 @@ IslandCosts simulateIsland(const IslandPlan &Island,
         int64_t ReadBytes =
             In.readRegion(Pass.Region).numPoints() * Info.ElementBytes;
         if (Info.Role == ArrayRole::StepInput) {
-          if (Blocked) {
+          if (Depth > 1) {
+            // Temporal epochs read step inputs from the island-private
+            // import buffer (gathered once per epoch, charged at island
+            // level below); the per-pass re-reads are cache hits for the
+            // blocked strategies, full streams for Original.
+            Box3 &U = StepInputReads[In.Array];
+            U = U.unionWith(In.readRegion(Pass.Region));
+            if (Blocked)
+              IntermediateBytes += ReadBytes;
+            else
+              BlockDramBytes += ReadBytes;
+          } else if (Blocked) {
             Box3 &U = StepInputReads[In.Array];
             U = U.unionWith(In.readRegion(Pass.Region));
           } else {
@@ -101,11 +113,17 @@ IslandCosts simulateIsland(const IslandPlan &Island,
           BlockDramBytes += ReadBytes;
         }
       }
+      bool FinalStep = Block.StepInEpoch == Depth - 1;
       for (ArrayId Out : Stage.Outputs) {
         const ArrayInfo &Info = Program.array(Out);
         int64_t WriteBytes = static_cast<int64_t>(
             static_cast<double>(Points * Info.ElementBytes) * WriteFactor);
         if (Info.Role == ArrayRole::Intermediate && Blocked)
+          IntermediateBytes += WriteBytes;
+        else if (Depth > 1 && !FinalStep && Blocked)
+          // Intermediate fused steps write the island-private scratch
+          // buffer, not the shared array: cache-resident for blocked
+          // strategies, so it spills rather than streams.
           IntermediateBytes += WriteBytes;
         else
           BlockDramBytes += WriteBytes;
@@ -155,6 +173,29 @@ IslandCosts simulateIsland(const IslandPlan &Island,
     }
   }
 
+  // Temporal epochs gather each step input into a private buffer whose
+  // box is the feedback-paired union the executor allocates (a fed-back
+  // input's buffer doubles as the pair's scratch, so it also covers the
+  // source's write union); that gather is the island's per-epoch input
+  // stream.
+  if (Depth > 1) {
+    std::map<ArrayId, Box3> WriteUnions;
+    for (const BlockTask &Block : Island.Blocks)
+      for (const StagePass &Pass : Block.Passes)
+        for (ArrayId Out : Program.stage(Pass.Stage).Outputs)
+          if (Program.array(Out).Role == ArrayRole::StepOutput) {
+            Box3 &U = WriteUnions[Out];
+            U = U.unionWith(Pass.Region);
+          }
+    for (const FeedbackPair &FB : Program.feedbacks()) {
+      auto In = StepInputReads.find(FB.Target);
+      auto Out = WriteUnions.find(FB.Source);
+      if (In == StepInputReads.end() || Out == WriteUnions.end())
+        continue;
+      In->second = In->second.unionWith(Out->second);
+    }
+  }
+
   // Charge the island-wide step-input streams, overlapped with whatever
   // compute headroom the per-block accounting left unused. The slice of
   // the union outside the island's own part lives on neighbor islands'
@@ -187,7 +228,90 @@ IslandCosts simulateIsland(const IslandPlan &Island,
   if (RemoteRate > 0.0)
     Costs.Breakdown.Remote +=
         static_cast<double>(RemoteInputBytes) / RemoteRate;
+
+  // Temporal epochs: the executor brackets the epoch prologue with one
+  // team barrier and every fused-step rebind with two, and everything
+  // accumulated above covers all Depth fused steps — average it back to
+  // per-step costs.
+  if (Depth > 1) {
+    int Structural = 1 + 2 * (Depth - 1);
+    Costs.Breakdown.Barrier +=
+        Structural * Machine.barrierCost(Island.NumSockets,
+                                         Island.NumThreads);
+    Costs.Barriers += Structural;
+    double Inv = 1.0 / static_cast<double>(Depth);
+    Costs.Breakdown.Compute *= Inv;
+    Costs.Breakdown.Dram *= Inv;
+    Costs.Breakdown.Remote *= Inv;
+    Costs.Breakdown.Barrier *= Inv;
+    Costs.Breakdown.Overhead *= Inv;
+    Costs.Flops /= Depth;
+    Costs.DramBytes /= Depth;
+    Costs.RemoteBytes /= Depth;
+    Costs.Barriers /= Depth;
+    Costs.Elided /= Depth;
+  }
   return Costs;
+}
+
+/// Replicates ProgramExecutor's shared-traffic footprint computation for
+/// one island: import-buffer reads per epoch (feedback-paired boxes for
+/// T > 1, plain read unions for T == 1) plus final-step output writes.
+int64_t islandSharedBytesPerEpoch(const IslandPlan &Island,
+                                  const ExecutionPlan &Plan,
+                                  const StencilProgram &Program) {
+  const int Depth = std::max(1, Plan.TemporalDepth);
+  std::vector<Box3> ReadUnion(Program.numArrays());
+  std::vector<Box3> WriteUnion(Program.numArrays());
+  for (const BlockTask &Block : Island.Blocks)
+    for (const StagePass &Pass : Block.Passes) {
+      const StageDef &Stage = Program.stage(Pass.Stage);
+      for (const StageInput &In : Stage.Inputs)
+        if (Program.array(In.Array).Role == ArrayRole::StepInput) {
+          Box3 &Un = ReadUnion[static_cast<size_t>(In.Array)];
+          Un = Un.unionWith(In.readRegion(Pass.Region));
+        }
+      for (ArrayId Out : Stage.Outputs)
+        if (Program.array(Out).Role == ArrayRole::StepOutput) {
+          Box3 &Un = WriteUnion[static_cast<size_t>(Out)];
+          Un = Un.unionWith(Pass.Region);
+        }
+    }
+
+  int64_t Bytes = 0;
+  if (Depth > 1) {
+    std::vector<Box3> BufBox(Program.numArrays());
+    for (ArrayId In : Program.stepInputs())
+      BufBox[static_cast<size_t>(In)] = ReadUnion[static_cast<size_t>(In)];
+    for (ArrayId Out : Program.stepOutputs())
+      BufBox[static_cast<size_t>(Out)] =
+          WriteUnion[static_cast<size_t>(Out)];
+    for (const FeedbackPair &FB : Program.feedbacks()) {
+      Box3 Paired = BufBox[static_cast<size_t>(FB.Target)].unionWith(
+          BufBox[static_cast<size_t>(FB.Source)]);
+      BufBox[static_cast<size_t>(FB.Target)] = Paired;
+      BufBox[static_cast<size_t>(FB.Source)] = Paired;
+    }
+    for (ArrayId In : Program.stepInputs())
+      Bytes += BufBox[static_cast<size_t>(In)].numPoints() *
+               Program.array(In).ElementBytes;
+  } else {
+    for (ArrayId In : Program.stepInputs())
+      Bytes += ReadUnion[static_cast<size_t>(In)].numPoints() *
+               Program.array(In).ElementBytes;
+  }
+  for (ArrayId Out : Program.stepOutputs()) {
+    Box3 FinalOut;
+    for (const BlockTask &Block : Island.Blocks) {
+      if (Block.StepInEpoch != Depth - 1)
+        continue;
+      for (const StagePass &Pass : Block.Passes)
+        if (Pass.Stage == Program.producerOf(Out))
+          FinalOut = FinalOut.unionWith(Pass.Region);
+    }
+    Bytes += FinalOut.numPoints() * Program.array(Out).ElementBytes;
+  }
+  return Bytes;
 }
 
 } // namespace
@@ -205,6 +329,15 @@ double icores::kernelThroughputFactor(KernelVariant Variant) {
     return 1.0;
   }
   return 1.0;
+}
+
+int64_t
+icores::projectedSharedBytesPerStep(const ExecutionPlan &Plan,
+                                    const StencilProgram &Program) {
+  int64_t PerEpoch = 0;
+  for (const IslandPlan &Island : Plan.Islands)
+    PerEpoch += islandSharedBytesPerEpoch(Island, Plan, Program);
+  return PerEpoch / std::max(1, Plan.TemporalDepth);
 }
 
 SimResult icores::simulate(const ExecutionPlan &Plan,
@@ -227,6 +360,7 @@ SimResult icores::simulate(const ExecutionPlan &Plan,
   SimResult Result;
   Result.TimeSteps = TimeSteps;
   Result.ActiveSockets = ActiveSockets;
+  Result.SharedBytesPerStep = projectedSharedBytesPerStep(Plan, Program);
 
   double WorstIslandSeconds = 0.0;
   for (const IslandPlan &Island : Plan.Islands) {
@@ -263,9 +397,12 @@ SimResult icores::simulate(const ExecutionPlan &Plan,
   }
 
   // Shared per-step costs: end-of-step barrier across every active socket
-  // plus the fixed turnover (halo refresh, scheduler).
+  // plus the fixed turnover (halo refresh, scheduler). Temporal epochs
+  // cross the global barrier once per epoch, so both amortise over the
+  // fused steps.
   double Shared =
-      Machine.barrierCost(ActiveSockets) + Machine.StepOverheadSeconds;
+      (Machine.barrierCost(ActiveSockets) + Machine.StepOverheadSeconds) /
+      static_cast<double>(std::max(1, Plan.TemporalDepth));
   Result.CriticalIsland.Overhead += Shared;
 
   Result.StepSeconds = WorstIslandSeconds + Shared;

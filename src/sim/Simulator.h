@@ -34,6 +34,17 @@
 ///    optimization;
 ///  - overhead: per-step turnover plus the global end-of-step barrier.
 ///
+/// Temporal blocking (ExecutionPlan::TemporalDepth T > 1) is charged the
+/// way the executor runs it: all T fused steps' passes are accumulated
+/// per epoch and divided by T. Step-input reads and intermediate-step
+/// output writes are served by the island-private import/scratch buffers
+/// (cache-resident for the blocked strategies, so they pay only the
+/// calibrated spill fraction); the DRAM stream is the once-per-epoch
+/// import gather plus the final fused step's shared writes; the global
+/// step barrier and turnover amortise over the epoch; and the executor's
+/// structural rebind barriers (one prologue plus two per fused-step
+/// boundary) are charged at team-barrier cost.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ICORES_SIM_SIMULATOR_H
@@ -73,10 +84,18 @@ struct SimResult {
   int64_t RemoteBytesPerStep = 0; ///< Interconnect halo traffic.
 
   /// Team-barrier crossings charged per step across all islands (empty
-  /// passes are skipped, like the rest of the cost model).
+  /// passes are skipped, like the rest of the cost model). For temporal
+  /// plans this is the per-epoch count (pass barriers of all fused steps
+  /// plus the structural rebind barriers) divided by the depth.
   int64_t TeamBarriersPerStep = 0;
   /// Non-empty passes whose barrier the plan elides (not charged).
   int64_t ElidedBarriersPerStep = 0;
+
+  /// Projected logical traffic between the islands and the shared arrays
+  /// per time step, by the same formula the executor measures
+  /// (ProgramExecutor::sharedBytesPerStep): per-epoch import reads plus
+  /// final-step output writes, divided by the temporal depth.
+  int64_t SharedBytesPerStep = 0;
 
   int ActiveSockets = 0;
 
@@ -102,6 +121,15 @@ struct SimOptions {
 /// hot-cache Gflop/s on the dev host; scales MachineModel's
 /// KernelEfficiency in the compute term.
 double kernelThroughputFactor(KernelVariant Variant);
+
+/// The simulator's projection of ProgramExecutor::sharedBytesPerStep()
+/// for \p Plan: logical bytes each island exchanges with the shared
+/// arrays per time step, averaged over a temporal epoch. Pure plan
+/// geometry — no machine model involved — computed with the executor's
+/// own footprint formula so benches can compare projected against
+/// measured directly.
+int64_t projectedSharedBytesPerStep(const ExecutionPlan &Plan,
+                                    const StencilProgram &Program);
 
 /// Simulates \p TimeSteps homogeneous steps of \p Plan on \p Machine.
 SimResult simulate(const ExecutionPlan &Plan, const StencilProgram &Program,

@@ -11,7 +11,16 @@ ExtraElementsReport
 icores::countExtraElements(const StencilProgram &Program,
                            const Box3 &GlobalTarget,
                            const std::vector<Box3> &Parts) {
+  return countExtraElements(Program, GlobalTarget, Parts, 1);
+}
+
+ExtraElementsReport
+icores::countExtraElements(const StencilProgram &Program,
+                           const Box3 &GlobalTarget,
+                           const std::vector<Box3> &Parts,
+                           int TemporalDepth) {
   ICORES_CHECK(!Parts.empty(), "partition must have at least one part");
+  ICORES_CHECK(TemporalDepth >= 1, "temporal depth must be at least 1");
 
   // Sanity: parts must tile the target exactly (disjoint cover).
   int64_t CoveredPoints = 0;
@@ -23,18 +32,37 @@ icores::countExtraElements(const StencilProgram &Program,
   ICORES_CHECK(CoveredPoints == GlobalTarget.numPoints(),
                "partition does not exactly cover the global target");
 
+  // The baseline is the original (non-temporal) execution over the same
+  // number of time steps: one global one-step cone per step.
   RegionRequirements Global = computeRequirements(Program, GlobalTarget);
 
+  // Per-step global cones for the clipping bound: the widest regions any
+  // execution of this fused epoch evaluates. For TemporalDepth == 1 this
+  // is exactly {Global}.
+  std::vector<Box3> GlobalStepTargets =
+      temporalStepTargets(Program, GlobalTarget, TemporalDepth);
+  std::vector<RegionRequirements> GlobalStep;
+  GlobalStep.reserve(GlobalStepTargets.size());
+  for (const Box3 &G : GlobalStepTargets)
+    GlobalStep.push_back(computeRequirements(Program, G));
+
   ExtraElementsReport Report;
-  Report.BaselinePoints = Global.totalStagePoints();
+  Report.BaselinePoints = Global.totalStagePoints() * TemporalDepth;
   Report.PartPoints.reserve(Parts.size());
 
   for (const Box3 &Part : Parts) {
-    RegionRequirements Local = computeRequirements(Program, Part);
+    std::vector<Box3> StepTargets =
+        temporalStepTargets(Program, Part, TemporalDepth);
     int64_t PartTotal = 0;
-    for (unsigned S = 0; S != Program.numStages(); ++S) {
-      Box3 Clipped = Local.StageRegion[S].intersect(Global.StageRegion[S]);
-      PartTotal += Clipped.numPoints();
+    for (int T = 0; T != TemporalDepth; ++T) {
+      RegionRequirements Local =
+          computeRequirements(Program, StepTargets[static_cast<size_t>(T)]);
+      const RegionRequirements &Bound =
+          GlobalStep[static_cast<size_t>(T)];
+      for (unsigned S = 0; S != Program.numStages(); ++S) {
+        Box3 Clipped = Local.StageRegion[S].intersect(Bound.StageRegion[S]);
+        PartTotal += Clipped.numPoints();
+      }
     }
     Report.PartPoints.push_back(PartTotal);
     Report.PartitionedPoints += PartTotal;

@@ -55,6 +55,19 @@ ExtraElementsReport countExtraElements(const StencilProgram &Program,
                                        const Box3 &GlobalTarget,
                                        const std::vector<Box3> &Parts);
 
+/// Temporal-depth generalization: counts the work of one fused epoch of
+/// \p TemporalDepth time steps, where every part evaluates the widened
+/// per-step cones of temporalStepTargets() and the baseline is the
+/// original (non-temporal) execution of the same number of steps:
+/// TemporalDepth times the one-step global cone. Each part's per-step
+/// stage regions are clipped against the per-step *global* cones (the
+/// widest any temporally blocked execution of this epoch evaluates).
+/// TemporalDepth == 1 is exactly the three-argument overload.
+ExtraElementsReport countExtraElements(const StencilProgram &Program,
+                                       const Box3 &GlobalTarget,
+                                       const std::vector<Box3> &Parts,
+                                       int TemporalDepth);
+
 } // namespace icores
 
 #endif // ICORES_STENCIL_EXTRAELEMENTS_H

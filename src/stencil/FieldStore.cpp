@@ -33,6 +33,14 @@ void FieldStore::bindExternal(ArrayId Id, Array3D *External) {
   S.Ptr = External;
 }
 
+void FieldStore::rebindExternal(ArrayId Id, Array3D *External) {
+  ICORES_CHECK(External != nullptr, "rebinding to null external array");
+  Slot &S = slot(Id);
+  ICORES_CHECK(S.Ptr != nullptr && S.Owned == nullptr,
+               "rebinding a slot that is not externally bound");
+  S.Ptr = External;
+}
+
 Array3D &FieldStore::get(ArrayId Id) {
   Slot &S = slot(Id);
   ICORES_CHECK(S.Ptr != nullptr, "field store slot not populated");

@@ -49,6 +49,12 @@ public:
   /// pointee must outlive this store.
   void bindExternal(ArrayId Id, Array3D *External);
 
+  /// Re-points an already-bound external slot at different caller-owned
+  /// storage (temporal blocking rebinds feedback arrays to island-private
+  /// buffers between fused steps). The slot must currently be bound to an
+  /// external array, not owned storage.
+  void rebindExternal(ArrayId Id, Array3D *External);
+
   bool isBound(ArrayId Id) const { return slot(Id).Ptr != nullptr; }
 
   virtual Array3D &get(ArrayId Id);

@@ -45,6 +45,23 @@ RegionRequirements icores::computeRequirements(const StencilProgram &Program,
   return Req;
 }
 
+std::vector<Box3> icores::temporalStepTargets(const StencilProgram &Program,
+                                              const Box3 &Part, int Depth) {
+  ICORES_CHECK(Depth >= 1, "temporal depth must be at least 1");
+  std::vector<Box3> Tgt(static_cast<size_t>(Depth));
+  Tgt[static_cast<size_t>(Depth - 1)] = Part;
+  for (int T = Depth - 1; T > 0; --T) {
+    const Box3 &Cur = Tgt[static_cast<size_t>(T)];
+    RegionRequirements Req = computeRequirements(Program, Cur);
+    Box3 Prev = Cur;
+    for (const FeedbackPair &FB : Program.feedbacks())
+      Prev = Prev.unionWith(
+          Req.ArrayRegion[static_cast<size_t>(FB.Target)]);
+    Tgt[static_cast<size_t>(T - 1)] = Prev;
+  }
+  return Tgt;
+}
+
 std::array<int, 3> icores::inputHaloDepth(const StencilProgram &Program,
                                           const Box3 &Target) {
   ICORES_CHECK(!Target.empty(), "halo depth of an empty target");

@@ -44,6 +44,22 @@ struct RegionRequirements {
 RegionRequirements computeRequirements(const StencilProgram &Program,
                                        const Box3 &Target);
 
+/// Per-step target regions for a temporally blocked epoch of \p Depth
+/// fused time steps whose *final* step must finish exactly on \p Part.
+/// Element t is the region the step outputs must be computed on during
+/// fused step t (t == Depth-1 returns \p Part itself). The recursion runs
+/// the one-step cone backward through the program's feedback pairs:
+///
+///   Tgt[Depth-1] = Part
+///   Tgt[t-1]     = Tgt[t]  ∪  ⋃_FB computeRequirements(Tgt[t])
+///                                     .ArrayRegion[FB.Target]
+///
+/// The explicit union with Tgt[t] forces the targets to nest
+/// (Tgt[0] ⊇ Tgt[1] ⊇ ... ⊇ Part), so one import of the step inputs over
+/// the cone of Tgt[0] covers every fused step. Depth == 1 returns {Part}.
+std::vector<Box3> temporalStepTargets(const StencilProgram &Program,
+                                      const Box3 &Part, int Depth);
+
 /// Maximum halo depth (per dimension) any step input is read at, relative
 /// to \p Target. Arrays must be allocated with at least this margin.
 std::array<int, 3> inputHaloDepth(const StencilProgram &Program,

@@ -58,11 +58,28 @@ void TablePrinter::print(OStream &OS) const {
 }
 
 void TablePrinter::printCsv(OStream &OS) const {
+  // RFC 4180 quoting: a field containing a comma, a double quote or a
+  // line break is wrapped in double quotes, with embedded quotes doubled.
+  // Without this, cells like a plan label "islands, 2 per socket" used to
+  // shift every following column of the row.
+  auto printField = [&](const std::string &Cell) {
+    if (Cell.find_first_of(",\"\r\n") == std::string::npos) {
+      OS << Cell;
+      return;
+    }
+    OS << '"';
+    for (char C : Cell) {
+      if (C == '"')
+        OS << '"';
+      OS << C;
+    }
+    OS << '"';
+  };
   auto printRow = [&](const std::vector<std::string> &Cells) {
     for (size_t Col = 0; Col != Cells.size(); ++Col) {
       if (Col)
         OS << ',';
-      OS << Cells[Col];
+      printField(Cells[Col]);
     }
     OS << '\n';
   };

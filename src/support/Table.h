@@ -42,7 +42,10 @@ public:
   /// Renders as aligned ASCII with a header separator line.
   void print(OStream &OS) const;
 
-  /// Renders as CSV (no alignment padding).
+  /// Renders as CSV (no alignment padding), quoting per RFC 4180: fields
+  /// containing commas, quotes or line breaks are double-quoted with
+  /// embedded quotes doubled, so cells round-trip through any compliant
+  /// parser.
   void printCsv(OStream &OS) const;
 
   /// Renders to a string using print().

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <set>
+
 using namespace icores;
 
 namespace {
@@ -14,6 +17,117 @@ Box3 paperScaledTarget() {
   // A scaled-down version of the paper's 1024x512x64 grid with the same
   // 2:1 aspect between the first two dimensions.
   return Box3::fromExtents(128, 64, 32);
+}
+
+using Cell = std::array<int64_t, 3>;
+
+/// Brute-force backward dataflow: marks required cells one by one instead
+/// of reasoning about box corners, so any error in the cone arithmetic
+/// (most likely a swapped side of an asymmetric access window) shows up as
+/// a count mismatch. Kernels execute each stage over one rectangular
+/// region, so a stage's computed set is the bounding box of everything its
+/// consumers demand — rectangularize() models exactly that; the window
+/// expansion itself stays per-cell.
+std::set<Cell> rectangularize(const std::set<Cell> &Cells) {
+  if (Cells.empty())
+    return {};
+  Cell Lo = *Cells.begin(), Hi = *Cells.begin();
+  for (const Cell &C : Cells)
+    for (int D = 0; D != 3; ++D) {
+      Lo[D] = std::min(Lo[D], C[D]);
+      Hi[D] = std::max(Hi[D], C[D]);
+    }
+  std::set<Cell> Box;
+  for (int64_t I = Lo[0]; I <= Hi[0]; ++I)
+    for (int64_t J = Lo[1]; J <= Hi[1]; ++J)
+      for (int64_t K = Lo[2]; K <= Hi[2]; ++K)
+        Box.insert({I, J, K});
+  return Box;
+}
+
+std::vector<std::set<Cell>> bruteStageCells(const StencilProgram &P,
+                                            const Box3 &Target) {
+  std::vector<std::set<Cell>> ArrayNeed(P.numArrays());
+  std::vector<std::set<Cell>> StageNeed(P.numStages());
+  for (ArrayId A = 0; A != static_cast<ArrayId>(P.numArrays()); ++A)
+    if (P.array(A).Role == ArrayRole::StepOutput)
+      for (int64_t I = Target.Lo[0]; I != Target.Hi[0]; ++I)
+        for (int64_t J = Target.Lo[1]; J != Target.Hi[1]; ++J)
+          for (int64_t K = Target.Lo[2]; K != Target.Hi[2]; ++K)
+            ArrayNeed[static_cast<size_t>(A)].insert({I, J, K});
+  for (StageId S = static_cast<StageId>(P.numStages()) - 1; S >= 0; --S) {
+    const StageDef &D = P.stage(S);
+    std::set<Cell> Demanded;
+    for (ArrayId Out : D.Outputs)
+      Demanded.insert(ArrayNeed[static_cast<size_t>(Out)].begin(),
+                      ArrayNeed[static_cast<size_t>(Out)].end());
+    std::set<Cell> &Need = StageNeed[static_cast<size_t>(S)];
+    Need = rectangularize(Demanded);
+    for (const StageInput &In : D.Inputs)
+      for (const Cell &C : Need)
+        for (int DI = In.MinOff[0]; DI <= In.MaxOff[0]; ++DI)
+          for (int DJ = In.MinOff[1]; DJ <= In.MaxOff[1]; ++DJ)
+            for (int DK = In.MinOff[2]; DK <= In.MaxOff[2]; ++DK)
+              ArrayNeed[static_cast<size_t>(In.Array)].insert(
+                  {C[0] + DI, C[1] + DJ, C[2] + DK});
+  }
+  return StageNeed;
+}
+
+/// Per-cell recount of what countExtraElements() tallies with box
+/// arithmetic: every part evaluates its own cone, clipped per stage to the
+/// global cone.
+ExtraElementsReport bruteRecount(const StencilProgram &P, const Box3 &Target,
+                                 const std::vector<Box3> &Parts) {
+  std::vector<std::set<Cell>> Global = bruteStageCells(P, Target);
+  ExtraElementsReport R;
+  for (const std::set<Cell> &Cells : Global)
+    R.BaselinePoints += static_cast<int64_t>(Cells.size());
+  for (const Box3 &Part : Parts) {
+    std::vector<std::set<Cell>> Local = bruteStageCells(P, Part);
+    int64_t Total = 0;
+    for (unsigned S = 0; S != P.numStages(); ++S)
+      for (const Cell &C : Local[S])
+        if (Global[S].count(C))
+          ++Total;
+    R.PartPoints.push_back(Total);
+    R.PartitionedPoints += Total;
+  }
+  return R;
+}
+
+/// A deliberately lopsided three-stage chain: every access window is
+/// one-sided or skewed, on different dimensions per stage, so a symmetric
+/// (or side-swapped) overlap formula cannot reproduce the counts.
+StencilProgram buildAsymmetricProgram() {
+  StencilProgram P;
+  ArrayId In = P.addArray("in", ArrayRole::StepInput);
+  ArrayId Mid = P.addArray("mid", ArrayRole::Intermediate);
+  ArrayId Mid2 = P.addArray("mid2", ArrayRole::Intermediate);
+  ArrayId Out = P.addArray("out", ArrayRole::StepOutput);
+  StageDef S0;
+  S0.Name = "s0";
+  S0.Outputs = {Mid};
+  StageInput I0 = StageInput::center(In);
+  I0.MinOff = {-2, 0, 0};
+  I0.MaxOff = {0, 3, 0};
+  S0.Inputs = {I0};
+  P.addStage(S0);
+  StageDef S1;
+  S1.Name = "s1";
+  S1.Outputs = {Mid2};
+  StageInput I1 = StageInput::center(Mid);
+  I1.MinOff = {0, 0, -1};
+  I1.MaxOff = {1, 0, 2};
+  S1.Inputs = {I1, StageInput::center(In)};
+  P.addStage(S1);
+  StageDef S2;
+  S2.Name = "s2";
+  S2.Outputs = {Out};
+  S2.Inputs = {StageInput::alongDim(Mid2, 1, -2, 0),
+               StageInput::alongDim(Mid, 0, 0, 2)};
+  P.addStage(S2);
+  return P;
 }
 
 } // namespace
@@ -138,4 +252,95 @@ TEST(ExtraElements, ToyChainExactCount) {
   ExtraElementsReport R =
       countExtraElements(P, Target, partition1D(Target, 2, 0));
   EXPECT_EQ(R.extraPoints(), 2 * 4 * 4);
+}
+
+TEST(ExtraElements, AsymmetricWindowsMatchPerCellRecount) {
+  // Regression for the overlap math on one-sided / skewed access windows:
+  // compare the box-arithmetic counts against a brute-force per-cell
+  // recount for partitions along every dimension and a 2D grid.
+  StencilProgram P = buildAsymmetricProgram();
+  Box3 Target = Box3::fromExtents(12, 10, 6);
+  std::vector<std::vector<Box3>> Partitions = {
+      partition1D(Target, 3, 0), partition1D(Target, 2, 1),
+      partition1D(Target, 2, 2), partition2D(Target, 2, 2)};
+  for (const std::vector<Box3> &Parts : Partitions) {
+    ExtraElementsReport Fast = countExtraElements(P, Target, Parts);
+    ExtraElementsReport Slow = bruteRecount(P, Target, Parts);
+    EXPECT_EQ(Fast.BaselinePoints, Slow.BaselinePoints);
+    EXPECT_EQ(Fast.PartitionedPoints, Slow.PartitionedPoints);
+    ASSERT_EQ(Fast.PartPoints.size(), Slow.PartPoints.size());
+    for (size_t I = 0; I != Fast.PartPoints.size(); ++I)
+      EXPECT_EQ(Fast.PartPoints[I], Slow.PartPoints[I]) << "part " << I;
+  }
+}
+
+TEST(ExtraElements, OneSidedWindowsOverlapOnTheCorrectSide) {
+  // Directed check that each side of the window contributes its own width:
+  // a consumer window of [Lo, Hi] along the split dimension makes the left
+  // part reach Hi planes past the cut and the right part reach -Lo planes
+  // below it, so the overlap is (Hi - Lo) planes — NOT 2*max(|Lo|, Hi).
+  auto extraFor = [](int Lo, int Hi) {
+    StencilProgram P;
+    ArrayId In = P.addArray("in", ArrayRole::StepInput);
+    ArrayId Mid = P.addArray("mid", ArrayRole::Intermediate);
+    ArrayId Out = P.addArray("out", ArrayRole::StepOutput);
+    StageDef S0;
+    S0.Name = "s0";
+    S0.Outputs = {Mid};
+    S0.Inputs = {StageInput::center(In)};
+    P.addStage(S0);
+    StageDef S1;
+    S1.Name = "s1";
+    S1.Outputs = {Out};
+    S1.Inputs = {StageInput::alongDim(Mid, 0, Lo, Hi)};
+    P.addStage(S1);
+    Box3 Target = Box3::fromExtents(16, 4, 4);
+    return countExtraElements(P, Target, partition1D(Target, 2, 0))
+        .extraPoints();
+  };
+  const int64_t Cs = 4 * 4;
+  EXPECT_EQ(extraFor(0, 3), 3 * Cs);
+  EXPECT_EQ(extraFor(-2, 0), 2 * Cs);
+  EXPECT_EQ(extraFor(-2, 3), 5 * Cs);
+}
+
+TEST(ExtraElements, TemporalDepthOneMatchesBaseOverload) {
+  MpdataProgram M = buildMpdataProgram();
+  Box3 Target = paperScaledTarget();
+  std::vector<Box3> Parts = partition1D(Target, 4, 0);
+  ExtraElementsReport Base = countExtraElements(M.Program, Target, Parts);
+  ExtraElementsReport T1 = countExtraElements(M.Program, Target, Parts, 1);
+  EXPECT_EQ(T1.BaselinePoints, Base.BaselinePoints);
+  EXPECT_EQ(T1.PartitionedPoints, Base.PartitionedPoints);
+  EXPECT_EQ(T1.PartPoints, Base.PartPoints);
+}
+
+TEST(ExtraElements, TemporalToyFeedbackExactCount) {
+  // One +/-1 stage with out->in feedback, fused two steps deep.
+  // Baseline (unfused, 2 steps): 2*N points per cross-section column.
+  // Fused single part: step 1 on [0,N), step 0 on [-1,N+1) -> 2 extra
+  // planes from the epoch's widened first step. Splitting in two adds a
+  // 2-plane overlap on step 0's cones at the internal cut.
+  StencilProgram P;
+  ArrayId In = P.addArray("in", ArrayRole::StepInput);
+  ArrayId Out = P.addArray("out", ArrayRole::StepOutput);
+  StageDef S0;
+  S0.Name = "s0";
+  S0.Outputs = {Out};
+  S0.Inputs = {StageInput::alongDim(In, 0, -1, 1)};
+  P.addStage(S0);
+  P.addFeedback(Out, In);
+
+  Box3 Target = Box3::fromExtents(16, 4, 4);
+  const int64_t Cs = 4 * 4;
+  ExtraElementsReport Whole = countExtraElements(P, Target, {Target}, 2);
+  EXPECT_EQ(Whole.BaselinePoints, 2 * 16 * Cs);
+  EXPECT_EQ(Whole.extraPoints(), 2 * Cs);
+  ExtraElementsReport Split =
+      countExtraElements(P, Target, partition1D(Target, 2, 0), 2);
+  EXPECT_EQ(Split.extraPoints(), 4 * Cs);
+  // Deeper fusion widens every non-final step: extra grows with depth.
+  ExtraElementsReport Deep =
+      countExtraElements(P, Target, partition1D(Target, 2, 0), 4);
+  EXPECT_GT(Deep.extraPoints() , Split.extraPoints());
 }

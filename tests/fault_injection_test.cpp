@@ -211,6 +211,42 @@ TEST(FaultSpecTest, MalformedSpecsAreRejected) {
   EXPECT_FALSE(parseFaultSpec("1,drop=-0.5", Plan, Err));
 }
 
+TEST(FaultSpecTest, UnknownKeysNameTheValidOnes) {
+  // A typo'd key must fail the whole parse (no "clean run reported as
+  // chaos-enabled") and the error should teach the valid spelling.
+  FaultPlan Plan;
+  std::string Err;
+  ASSERT_FALSE(parseFaultSpec("1,dorp=0.5", Plan, Err));
+  EXPECT_NE(Err.find("unknown chaos field 'dorp'"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("drop"), std::string::npos) << Err;
+}
+
+TEST(FaultSpecTest, LatencyBoundsAloneKeepDefaultMixedPlan) {
+  // maxdelay/maxstall only bound injected latencies; they are not rates.
+  // A spec giving only bounds used to suppress the bare-seed defaults,
+  // yielding an all-zero plan that injected nothing while the run banner
+  // still said chaos was on.
+  FaultPlan Plan;
+  std::string Err;
+  ASSERT_TRUE(parseFaultSpec("9,maxstall=0.001,maxdelay=0.004", Plan, Err))
+      << Err;
+  EXPECT_TRUE(Plan.active());
+  EXPECT_EQ(Plan.DropRate, 0.05);
+  EXPECT_EQ(Plan.StallRate, 0.05);
+  EXPECT_EQ(Plan.MaxStallSeconds, 0.001);
+  EXPECT_EQ(Plan.MaxDelaySeconds, 0.004);
+}
+
+TEST(FaultSpecTest, DuplicateKeysAreRejected) {
+  FaultPlan Plan;
+  std::string Err;
+  ASSERT_FALSE(parseFaultSpec("1,drop=0.5,drop=0", Plan, Err));
+  EXPECT_NE(Err.find("duplicate chaos field 'drop'"), std::string::npos)
+      << Err;
+  ASSERT_FALSE(parseFaultSpec("1,maxstall=0.1,maxstall=0.2", Plan, Err));
+  EXPECT_NE(Err.find("duplicate"), std::string::npos) << Err;
+}
+
 //===----------------------------------------------------------------------===//
 // Property: recovered distributed runs are bit-identical to fault-free.
 //===----------------------------------------------------------------------===//

@@ -67,6 +67,12 @@ void printUsage() {
       "  --ni --nj --nk              grid (default 1024x512x64; execute\n"
       "                              mode defaults to 32x24x16)\n"
       "  --steps=N                   time steps (default 50; execute: 10)\n"
+      "  --temporal=T                fuse T time steps into one\n"
+      "                              cache-resident epoch (temporal\n"
+      "                              blocking; default 1). steps must be\n"
+      "                              a multiple of T; periodic boundaries\n"
+      "                              only. Applies to execute, simulate,\n"
+      "                              traffic, plan and lint modes\n"
       "  --profile=FILE              execute mode: record per-stage kernel\n"
       "                              and per-pass barrier-wait times and\n"
       "                              write the ExecStats JSON to FILE\n"
@@ -127,9 +133,9 @@ int main(int Argc, char **Argv) {
   CommandLine CL;
   for (const char *Opt : {"machine", "strategy", "sockets", "islands",
                           "variant", "placement", "kernels", "ni", "nj",
-                          "nk", "steps", "profile", "pin", "json",
-                          "no-audit", "no-elide", "barrier", "chaos",
-                          "help"})
+                          "nk", "steps", "temporal", "profile", "pin",
+                          "json", "no-audit", "no-elide", "barrier",
+                          "chaos", "help"})
     CL.registerOption(Opt, "");
   std::string Error;
   if (!CL.parse(Argc - 1, Argv + 1, Error)) {
@@ -161,12 +167,27 @@ int main(int Argc, char **Argv) {
   int NJ = static_cast<int>(CL.getInt("nj", Execute ? 24 : 512));
   int NK = static_cast<int>(CL.getInt("nk", Execute ? 16 : 64));
   int Steps = static_cast<int>(CL.getInt("steps", Execute ? 10 : 50));
+  int Temporal = static_cast<int>(CL.getInt("temporal", 1));
+  if (Temporal < 1) {
+    std::fprintf(stderr, "error: --temporal must be at least 1\n");
+    return 1;
+  }
+  bool ModeSteps =
+      Mode == "execute" || Mode == "simulate" || Mode == "traffic";
+  if (ModeSteps && Steps % Temporal != 0) {
+    std::fprintf(stderr,
+                 "error: --steps=%d is not a multiple of --temporal=%d "
+                 "(epochs fuse exactly T steps)\n",
+                 Steps, Temporal);
+    return 1;
+  }
 
   MpdataProgram M = buildMpdataProgram();
   Box3 Grid = Box3::fromExtents(NI, NJ, NK);
   PlanConfig Config;
   Config.Strat = Strat;
   Config.Sockets = Sockets;
+  Config.TemporalDepth = Temporal;
   Config.Variant = CL.getString("variant", "A") == "B"
                        ? PartitionVariant::B
                        : PartitionVariant::A;
@@ -332,11 +353,12 @@ int main(int Argc, char **Argv) {
                         Exec.velocity(2), Dom, 0.25, -0.2, 0.15);
     Exec.prepareCoefficients();
     double MassBefore = Exec.conservedMass();
-    if (!ProfilePath.empty() && Steps > 1) {
+    if (!ProfilePath.empty() && Steps > Temporal) {
       // Two run() calls on purpose: the profile's pool counters then
       // demonstrate thread reuse (run_calls 2, threads spawned once).
-      Exec.run(1);
-      Exec.run(Steps - 1);
+      // Each call still covers whole temporal epochs.
+      Exec.run(Temporal);
+      Exec.run(Steps - Temporal);
     } else {
       Exec.run(Steps);
     }
@@ -352,6 +374,13 @@ int main(int Argc, char **Argv) {
     double Diff = Exec.state().maxAbsDiff(Oracle.state(), Dom.coreBox());
     std::printf("executed %d steps of %s on %dx%dx%d with %d islands\n",
                 Steps, strategyName(Strat), NI, NJ, NK, Sockets);
+    if (Temporal > 1)
+      std::printf("temporal blocking: depth %d (%d fused epochs), shared "
+                  "traffic %s/step\n",
+                  Temporal, Steps / Temporal,
+                  formatBytes(static_cast<uint64_t>(
+                                  Exec.executor().sharedBytesPerStep()))
+                      .c_str());
     std::printf("mass drift: %.2e; max diff vs serial reference: %.3e %s\n",
                 Exec.conservedMass() - MassBefore, Diff,
                 Diff == 0.0 ? "(bit-exact)" : "");
