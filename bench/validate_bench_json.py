@@ -24,6 +24,27 @@ Accepted schemas:
   fault-injection counters "faults_injected", "retries", "timeouts" and
   "recovered" (ints >= 0); v2 documents remain valid without them.
 
+  icores.prove.v1 (src/verify/ProofDriver.cpp writeProveJson; emitted by
+  tools/icores_verify and `mpdata_cli verify`):
+  {
+    "schema": "icores.prove.v1",
+    "grid": str, "time_steps": int >= 1,
+    "plans": [{"label": str, "workload": str, "strategy": str,
+               "teams": int >= 1, "temporal_depth": int >= 1,
+               "elide": bool, "verdict": "proved"|"pruned"|"violated",
+               "errors": int >= 0,
+               optional "prune_reason"/"witness": str}, ...],
+    "protocol": {"barrier": [...], "barrier_mutants": [...],
+                 "comm": [...], "comm_mutants": [...]},
+    "mutation": {"classes": [{"class": str, "kill_id": str,
+                              "mutants": int, "killed": int}, ...],
+                 "kill_rate": float in [0, 1]},
+    "summary": {"plans", "proved", "pruned", "violated" (ints),
+                "protocol_ok": bool, "kill_rate": float, "ok": bool}
+  }
+  Cross-checks: summary counts must match the plans list, and every
+  protocol mutant must be caught when summary.ok is true.
+
 Two row shapes share the schema, distinguished by which field leads:
 
   strategy rows (bench_table3/4):
@@ -184,6 +205,145 @@ def validate_exec_stats(path, doc):
     return errors
 
 
+PROVE_PLAN_FIELDS = {
+    "label": str,
+    "workload": str,
+    "strategy": str,
+    "teams": int,
+    "temporal_depth": int,
+    "elide": bool,
+    "verdict": str,
+    "errors": int,
+}
+
+PROVE_MUTATION_CLASS_FIELDS = {
+    "class": str,
+    "kill_id": str,
+    "mutants": int,
+    "killed": int,
+}
+
+
+def validate_prove(path, doc):
+    errors = []
+    if not isinstance(doc.get("grid"), str) or not doc.get("grid"):
+        errors.append("%s: missing or empty 'grid'" % path)
+    if not isinstance(doc.get("time_steps"), int) or doc.get(
+            "time_steps", 0) < 1:
+        errors.append("%s: time_steps must be an int >= 1" % path)
+
+    plans = doc.get("plans")
+    if not isinstance(plans, list) or not plans:
+        errors.append("%s: 'plans' must be a non-empty list" % path)
+        plans = []
+    verdicts = {"proved": 0, "pruned": 0, "violated": 0}
+    labels = set()
+    for i, plan in enumerate(plans):
+        where = "%s: plans[%d]" % (path, i)
+        if not isinstance(plan, dict):
+            errors.append("%s: not an object" % where)
+            continue
+        for field, types in PROVE_PLAN_FIELDS.items():
+            if field not in plan:
+                errors.append("%s: missing field %r" % (where, field))
+            elif not isinstance(plan[field], types) or (
+                    types is not bool and isinstance(plan[field], bool)):
+                errors.append("%s: field %r has type %s"
+                              % (where, field, type(plan[field]).__name__))
+        if errors and errors[-1].startswith(where):
+            continue
+        if plan["verdict"] not in verdicts:
+            errors.append("%s: verdict = %r not in proved/pruned/violated"
+                          % (where, plan["verdict"]))
+            continue
+        verdicts[plan["verdict"]] += 1
+        if plan["label"] in labels:
+            errors.append("%s: duplicate label %r" % (where, plan["label"]))
+        labels.add(plan["label"])
+        if plan["teams"] < 1 or plan["temporal_depth"] < 1:
+            errors.append("%s: teams/temporal_depth must be >= 1" % where)
+        if plan["verdict"] == "pruned" and not plan.get("prune_reason"):
+            errors.append("%s: pruned plan without 'prune_reason'" % where)
+        if plan["verdict"] == "violated" and plan["errors"] < 1:
+            errors.append("%s: violated plan with errors = 0" % where)
+
+    protocol = doc.get("protocol")
+    if not isinstance(protocol, dict):
+        errors.append("%s: missing 'protocol' object" % path)
+        protocol = {}
+    for section in ("barrier", "comm"):
+        runs = protocol.get(section)
+        if not isinstance(runs, list) or not runs:
+            errors.append("%s: protocol.%s must be a non-empty list"
+                          % (path, section))
+            continue
+        for i, run in enumerate(runs):
+            if not isinstance(run, dict) or not isinstance(
+                    run.get("ok"), bool):
+                errors.append("%s: protocol.%s[%d] needs a bool 'ok'"
+                              % (path, section, i))
+    uncaught = []
+    for section in ("barrier_mutants", "comm_mutants"):
+        for mutant in protocol.get(section, []):
+            if not isinstance(mutant, dict) or not isinstance(
+                    mutant.get("caught"), bool):
+                errors.append("%s: protocol.%s entries need a bool 'caught'"
+                              % (path, section))
+            elif not mutant["caught"]:
+                uncaught.append(mutant.get("mutant", "?"))
+
+    mutation = doc.get("mutation")
+    if not isinstance(mutation, dict):
+        errors.append("%s: missing 'mutation' object" % path)
+        mutation = {}
+    for i, cls in enumerate(mutation.get("classes", [])):
+        where = "%s: mutation.classes[%d]" % (path, i)
+        if not isinstance(cls, dict):
+            errors.append("%s: not an object" % where)
+            continue
+        for field, types in PROVE_MUTATION_CLASS_FIELDS.items():
+            if not isinstance(cls.get(field), types) or isinstance(
+                    cls.get(field), bool):
+                errors.append("%s: field %r missing or mistyped"
+                              % (where, field))
+        if isinstance(cls.get("killed"), int) and isinstance(
+                cls.get("mutants"), int) and cls["killed"] > cls["mutants"]:
+            errors.append("%s: killed %d > mutants %d"
+                          % (where, cls["killed"], cls["mutants"]))
+    rate = mutation.get("kill_rate")
+    if not isinstance(rate, (int, float)) or isinstance(
+            rate, bool) or not 0 <= rate <= 1:
+        errors.append("%s: mutation.kill_rate must be in [0, 1]" % path)
+
+    summary = doc.get("summary")
+    if not isinstance(summary, dict):
+        errors.append("%s: missing 'summary' object" % path)
+        return errors
+    for field in ("plans", "proved", "pruned", "violated"):
+        if not isinstance(summary.get(field), int) or isinstance(
+                summary.get(field), bool):
+            errors.append("%s: summary.%s must be an int" % (path, field))
+    for field in ("protocol_ok", "ok"):
+        if not isinstance(summary.get(field), bool):
+            errors.append("%s: summary.%s must be a bool" % (path, field))
+    if errors:
+        return errors
+    if summary["plans"] != len(plans):
+        errors.append("%s: summary.plans = %d but plans list has %d"
+                      % (path, summary["plans"], len(plans)))
+    for verdict in ("proved", "pruned", "violated"):
+        if summary[verdict] != verdicts[verdict]:
+            errors.append("%s: summary.%s = %d but counted %d"
+                          % (path, verdict, summary[verdict],
+                             verdicts[verdict]))
+    if summary["ok"] and (summary["violated"] or not summary["protocol_ok"]):
+        errors.append("%s: summary.ok contradicts violations/protocol" % path)
+    if summary["ok"] and uncaught:
+        errors.append("%s: summary.ok with uncaught protocol mutants: %s"
+                      % (path, ", ".join(uncaught)))
+    return errors
+
+
 def validate(path):
     errors = []
     try:
@@ -197,9 +357,11 @@ def validate(path):
         return validate_exec_stats(path, doc)
     if schema == "icores.bench.v2":
         return validate_temporal(path, doc)
+    if schema == "icores.prove.v1":
+        return validate_prove(path, doc)
     if schema != "icores.bench.v1":
         errors.append("%s: schema is %r, want 'icores.bench.v1', "
-                      "'icores.bench.v2' or "
+                      "'icores.bench.v2', 'icores.prove.v1' or "
                       "'icores.exec_stats.v2'/'icores.exec_stats.v3'"
                       % (path, schema))
     if not isinstance(doc.get("bench"), str) or not doc.get("bench"):

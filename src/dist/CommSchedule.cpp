@@ -1,0 +1,101 @@
+//===- dist/CommSchedule.cpp - Static rank communication schedules --------===//
+
+#include "dist/CommSchedule.h"
+
+#include "mpdata/MpdataProgram.h"
+#include "stencil/HaloAnalysis.h"
+#include "support/MathUtil.h"
+
+using namespace icores;
+
+Box3 icores::rankOwnedBox(int Rank, int PI, int PJ, int NI, int NJ,
+                          int NK) {
+  int Pi = Rank / PJ;
+  int Pj = Rank % PJ;
+  return Box3(static_cast<int>(chunkBegin(NI, PI, Pi)),
+              static_cast<int>(chunkBegin(NJ, PJ, Pj)), 0,
+              static_cast<int>(chunkBegin(NI, PI, Pi + 1)),
+              static_cast<int>(chunkBegin(NJ, PJ, Pj + 1)), NK);
+}
+
+DimExchange icores::planDimExchange(int Rank, int PI, int PJ,
+                                    const Box3 &Owned, int Halo, int Dim,
+                                    const Box3 &Slab) {
+  int Pi = Rank / PJ;
+  int Pj = Rank % PJ;
+  int Parts = Dim == 0 ? PI : PJ;
+  int Pos = Dim == 0 ? Pi : Pj;
+  auto rankAt = [&](int P) {
+    P = (P % Parts + Parts) % Parts;
+    return Dim == 0 ? P * PJ + Pj : Pi * PJ + P;
+  };
+
+  DimExchange Ex;
+  Ex.Minus = rankAt(Pos - 1);
+  Ex.Plus = rankAt(Pos + 1);
+  Ex.SendLow = Ex.SendHigh = Ex.RecvLow = Ex.RecvHigh = Slab;
+  Ex.SendLow.Lo[Dim] = Owned.Lo[Dim];
+  Ex.SendLow.Hi[Dim] = Owned.Lo[Dim] + Halo;
+  Ex.SendHigh.Lo[Dim] = Owned.Hi[Dim] - Halo;
+  Ex.SendHigh.Hi[Dim] = Owned.Hi[Dim];
+  Ex.RecvLow.Lo[Dim] = Owned.Lo[Dim] - Halo;
+  Ex.RecvLow.Hi[Dim] = Owned.Lo[Dim];
+  Ex.RecvHigh.Lo[Dim] = Owned.Hi[Dim];
+  Ex.RecvHigh.Hi[Dim] = Owned.Hi[Dim] + Halo;
+  return Ex;
+}
+
+int icores::mpdataCommHaloDepth() {
+  MpdataProgram M = buildMpdataProgram();
+  return inputHaloDepth(M.Program, Box3::fromExtents(64, 64, 64))[0];
+}
+
+namespace {
+
+/// Appends one dimension's exchange in DistributedRank::exchangeAlongDim
+/// order: both sends first (buffered), then both recvs.
+void appendDimExchange(std::vector<CommOp> &Ops, const DimExchange &Ex,
+                       int TagBase) {
+  Ops.push_back(CommOp::send(Ex.Minus, TagBase + 0, Ex.SendLow.numPoints()));
+  Ops.push_back(CommOp::send(Ex.Plus, TagBase + 1, Ex.SendHigh.numPoints()));
+  Ops.push_back(CommOp::recv(Ex.Minus, TagBase + 1, Ex.RecvLow.numPoints()));
+  Ops.push_back(CommOp::recv(Ex.Plus, TagBase + 0, Ex.RecvHigh.numPoints()));
+}
+
+/// One full exchangeHalo: dimension 0 over the owned slab, then dimension
+/// 1 over the i-extended slab (corner forwarding). The local k wrap has
+/// no communication.
+void appendHaloExchange(std::vector<CommOp> &Ops, int Rank, int PI, int PJ,
+                        const Box3 &Owned, int Halo, int TagBase) {
+  appendDimExchange(Ops, planDimExchange(Rank, PI, PJ, Owned, Halo, 0, Owned),
+                    TagBase);
+  Box3 Slab1 = Owned;
+  Slab1.Lo[0] -= Halo;
+  Slab1.Hi[0] += Halo;
+  appendDimExchange(Ops, planDimExchange(Rank, PI, PJ, Owned, Halo, 1, Slab1),
+                    TagBase + 2);
+}
+
+} // namespace
+
+std::vector<RankCommSchedule> icores::buildMpdataCommSchedule(int PI, int PJ,
+                                                              int NI, int NJ,
+                                                              int NK,
+                                                              int Steps) {
+  int Halo = mpdataCommHaloDepth();
+  std::vector<RankCommSchedule> Schedules;
+  Schedules.reserve(static_cast<size_t>(PI) * PJ);
+  for (int R = 0; R != PI * PJ; ++R) {
+    RankCommSchedule S;
+    S.Rank = R;
+    Box3 Owned = rankOwnedBox(R, PI, PJ, NI, NJ, NK);
+    // prepareCoefficients: U1, U2, U3, Dens in turn, all at tag base 100.
+    for (int Coeff = 0; Coeff != 4; ++Coeff)
+      appendHaloExchange(S.Ops, R, PI, PJ, Owned, Halo, /*TagBase=*/100);
+    for (int Step = 0; Step != Steps; ++Step)
+      appendHaloExchange(S.Ops, R, PI, PJ, Owned, Halo, /*TagBase=*/0);
+    S.Ops.push_back(CommOp::barrier());
+    Schedules.push_back(std::move(S));
+  }
+  return Schedules;
+}

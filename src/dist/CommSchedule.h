@@ -1,0 +1,83 @@
+//===- dist/CommSchedule.h - Static rank communication schedules -*- C++ -*-===//
+//
+// Part of the icores project: islands-of-cores for heterogeneous stencils.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static side of the distributed halo protocol: the per-rank ordered
+/// send/recv/barrier schedules DistributedRank executes, extracted without
+/// running any rank. The peer, tag, and payload-shape computations here
+/// are the *same functions* DistributedSolver.cpp calls at runtime
+/// (rankOwnedBox, planDimExchange), so the extracted schedule cannot
+/// drift from the executed one. The protocol model checker
+/// (verify/ProtocolCheck.h) consumes these schedules to prove the
+/// exchange deadlock- and orphan-free, including under rank-death
+/// poisoning.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICORES_DIST_COMMSCHEDULE_H
+#define ICORES_DIST_COMMSCHEDULE_H
+
+#include "grid/Box3.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace icores {
+
+/// One communication action of one rank, in program order. Sends are
+/// buffered (they complete immediately); recvs block until the matching
+/// message arrives; barriers block until every live rank arrives.
+struct CommOp {
+  enum class Kind { Send, Recv, Barrier };
+  Kind K = Kind::Barrier;
+  int Peer = -1;     ///< Destination (Send) or source (Recv) rank.
+  int Tag = 0;       ///< Mailbox tag (Send/Recv).
+  int64_t Count = 0; ///< Payload doubles (Send/Recv).
+
+  static CommOp send(int Peer, int Tag, int64_t Count) {
+    return {Kind::Send, Peer, Tag, Count};
+  }
+  static CommOp recv(int Peer, int Tag, int64_t Count) {
+    return {Kind::Recv, Peer, Tag, Count};
+  }
+  static CommOp barrier() { return {Kind::Barrier, -1, 0, 0}; }
+};
+
+struct RankCommSchedule {
+  int Rank = 0;
+  std::vector<CommOp> Ops;
+};
+
+/// The core box rank \p Rank owns in a PI x PJ decomposition of an
+/// NI x NJ x NK grid (the same balanced chunking DistributedRank uses).
+Box3 rankOwnedBox(int Rank, int PI, int PJ, int NI, int NJ, int NK);
+
+/// The four slab transfers of one dimension's halo exchange: who the
+/// wrapped minus/plus neighbors are and which sub-boxes travel. Sends use
+/// tags TagBase + 0 (to minus) and TagBase + 1 (to plus); the matching
+/// recvs take TagBase + 1 (from minus) and TagBase + 0 (from plus).
+struct DimExchange {
+  int Minus = -1;
+  int Plus = -1;
+  Box3 SendLow, SendHigh, RecvLow, RecvHigh;
+};
+DimExchange planDimExchange(int Rank, int PI, int PJ, const Box3 &Owned,
+                            int Halo, int Dim, const Box3 &Slab);
+
+/// The MPDATA halo depth the distributed solver exchanges (from the
+/// program's input dependence cones, as DistributedRank computes it).
+int mpdataCommHaloDepth();
+
+/// The full communication schedule of runDistributedMpdata2D's rank loop:
+/// prepareCoefficients (four array exchanges at tag base 100), \p Steps
+/// state exchanges at tag base 0, and the closing barrier.
+std::vector<RankCommSchedule> buildMpdataCommSchedule(int PI, int PJ, int NI,
+                                                      int NJ, int NK,
+                                                      int Steps);
+
+} // namespace icores
+
+#endif // ICORES_DIST_COMMSCHEDULE_H

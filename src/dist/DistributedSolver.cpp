@@ -2,6 +2,7 @@
 
 #include "dist/DistributedSolver.h"
 
+#include "dist/CommSchedule.h"
 #include "grid/Domain.h"
 #include "mpdata/Kernels.h"
 #include "support/Error.h"
@@ -50,12 +51,7 @@ DistributedRank::DistributedRank(RankComm &Comm, int NI, int NJ, int NK,
       inputHaloDepth(M.Program, Box3::fromExtents(64, 64, 64));
   Halo = Depth[0];
 
-  int Pi = Comm.rank() / PJ;
-  int Pj = Comm.rank() % PJ;
-  Owned = Box3(static_cast<int>(chunkBegin(NI, PI, Pi)), //
-               static_cast<int>(chunkBegin(NJ, PJ, Pj)), 0,
-               static_cast<int>(chunkBegin(NI, PI, Pi + 1)),
-               static_cast<int>(chunkBegin(NJ, PJ, Pj + 1)), NK);
+  Owned = rankOwnedBox(Comm.rank(), PI, PJ, NI, NJ, NK);
   ICORES_CHECK(Owned.extent(0) >= Halo && Owned.extent(1) >= Halo,
                "rank part thinner than the halo depth");
   LocalAlloc = Owned.grownAll(Halo);
@@ -108,39 +104,24 @@ DistributedRank::DistributedRank(RankComm &Comm, int NI, int NJ, int NK,
 
 void DistributedRank::exchangeAlongDim(Array3D &A, int Dim,
                                        const Box3 &Slab, int TagBase) {
-  int Pi = Comm.rank() / PJ;
-  int Pj = Comm.rank() % PJ;
-  int Parts = Dim == 0 ? PI : PJ;
-  int Pos = Dim == 0 ? Pi : Pj;
-  auto rankAt = [&](int P) {
-    P = (P % Parts + Parts) % Parts;
-    return Dim == 0 ? P * PJ + Pj : Pi * PJ + P;
-  };
-  int Minus = rankAt(Pos - 1);
-  int Plus = rankAt(Pos + 1);
-
-  Box3 SendLow = Slab, SendHigh = Slab, RecvLow = Slab, RecvHigh = Slab;
-  SendLow.Lo[Dim] = Owned.Lo[Dim];
-  SendLow.Hi[Dim] = Owned.Lo[Dim] + Halo;
-  SendHigh.Lo[Dim] = Owned.Hi[Dim] - Halo;
-  SendHigh.Hi[Dim] = Owned.Hi[Dim];
-  RecvLow.Lo[Dim] = Owned.Lo[Dim] - Halo;
-  RecvLow.Hi[Dim] = Owned.Lo[Dim];
-  RecvHigh.Lo[Dim] = Owned.Hi[Dim];
-  RecvHigh.Hi[Dim] = Owned.Hi[Dim] + Halo;
+  // Peers, tags, and slab boxes come from the same planner the protocol
+  // model checker verifies (dist/CommSchedule.h), so the schedule proved
+  // deadlock-free is the schedule executed here.
+  DimExchange Ex =
+      planDimExchange(Comm.rank(), PI, PJ, Owned, Halo, Dim, Slab);
 
   std::vector<double> Buf;
-  packBox(A, SendLow, Buf);
-  Comm.send(Minus, TagBase + 0, Buf.data(), Buf.size());
-  packBox(A, SendHigh, Buf);
-  Comm.send(Plus, TagBase + 1, Buf.data(), Buf.size());
+  packBox(A, Ex.SendLow, Buf);
+  Comm.send(Ex.Minus, TagBase + 0, Buf.data(), Buf.size());
+  packBox(A, Ex.SendHigh, Buf);
+  Comm.send(Ex.Plus, TagBase + 1, Buf.data(), Buf.size());
 
-  Buf.resize(static_cast<size_t>(RecvLow.numPoints()));
-  Comm.recv(Minus, TagBase + 1, Buf.data(), Buf.size());
-  unpackBox(A, RecvLow, Buf);
-  Buf.resize(static_cast<size_t>(RecvHigh.numPoints()));
-  Comm.recv(Plus, TagBase + 0, Buf.data(), Buf.size());
-  unpackBox(A, RecvHigh, Buf);
+  Buf.resize(static_cast<size_t>(Ex.RecvLow.numPoints()));
+  Comm.recv(Ex.Minus, TagBase + 1, Buf.data(), Buf.size());
+  unpackBox(A, Ex.RecvLow, Buf);
+  Buf.resize(static_cast<size_t>(Ex.RecvHigh.numPoints()));
+  Comm.recv(Ex.Plus, TagBase + 0, Buf.data(), Buf.size());
+  unpackBox(A, Ex.RecvHigh, Buf);
 }
 
 void DistributedRank::exchangeHalo(Array3D &A, int TagBase) {

@@ -1,0 +1,67 @@
+//===- exec/ExecObserver.h - Execution observation hooks -------*- C++ -*-===//
+//
+// Part of the icores project: islands-of-cores for heterogeneous stencils.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Observer interface the threaded executor drives when
+/// ExecutorOptions::Observer is set. The hooks expose exactly the events a
+/// happens-before model needs: every barrier crossing (arrive before the
+/// real rendezvous, depart after it), every pass a worker runs (with the
+/// store resolved for the current fused step, so temporal rebinds are
+/// visible as the actual Array3D instances touched), and every epoch
+/// import gather. The shadow race detector (verify/ShadowStore.h) is the
+/// canonical implementation; the executor itself has no verify dependency.
+///
+/// Hooks run on worker threads. Implementations must be thread-safe; the
+/// executor guarantees that for one barrier site every participant's
+/// arrive happens (in real time) before any participant's depart of that
+/// crossing, which is what lets an implementation merge clocks at the
+/// rendezvous.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICORES_EXEC_EXECOBSERVER_H
+#define ICORES_EXEC_EXECOBSERVER_H
+
+#include "grid/Array3D.h"
+#include "grid/Box3.h"
+#include "stencil/FieldStore.h"
+#include "stencil/StencilIR.h"
+
+#include <cstdint>
+
+namespace icores {
+
+/// Barrier-site keys the executor reports: site 0 is the run-global
+/// barrier, site Island + 1 is that island's team barrier (the same
+/// numbering the chaos subsystem uses).
+class ExecObserver {
+public:
+  virtual ~ExecObserver() = default;
+
+  /// Worker \p Worker is about to enter barrier \p Site, which
+  /// \p Participants workers cross together.
+  virtual void onBarrierArrive(uint64_t Site, int Worker,
+                               int Participants) = 0;
+
+  /// Worker \p Worker has been released from barrier \p Site.
+  virtual void onBarrierDepart(uint64_t Site, int Worker) = 0;
+
+  /// Worker \p Worker is about to run stage \p Stage of \p Program over
+  /// \p Sub with array bindings \p Store (already rebound for the current
+  /// fused step). \p Sub is never empty.
+  virtual void onPass(int Worker, const StencilProgram &Program,
+                      FieldStore &Store, StageId Stage, const Box3 &Sub) = 0;
+
+  /// Worker \p Worker gathers \p Sub of import buffer \p Buf from the
+  /// shared array \p Src, reading periodically wrapped core positions
+  /// (wrap extents NI x NJ x NK).
+  virtual void onImport(int Worker, const Array3D &Src, const Array3D &Buf,
+                        const Box3 &Sub, int NI, int NJ, int NK) = 0;
+};
+
+} // namespace icores
+
+#endif // ICORES_EXEC_EXECOBSERVER_H

@@ -45,5 +45,11 @@ bool icores::runLintSuite(const StencilProgram &Program,
       Diags.finding(F).note("plan", PS.Label);
   }
 
+  // Temporal plans replay each epoch's schedule once per fused step, so
+  // the same defect can be reported verbatim several times; keep one copy
+  // per distinct id+context (the race ids carry a .step<k> suffix, so
+  // per-step findings survive the dedupe as distinct).
+  Diags.dedupe();
+
   return Diags.numErrors() == ErrorsBefore;
 }

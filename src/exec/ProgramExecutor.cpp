@@ -3,6 +3,7 @@
 #include "exec/ProgramExecutor.h"
 
 #include "exec/Affinity.h"
+#include "exec/ExecObserver.h"
 #include "exec/RegionSplit.h"
 #include "fault/FaultInjector.h"
 #include "support/Error.h"
@@ -262,11 +263,14 @@ void ProgramExecutor::rebindForStep(IslandState &IS, int StepInEpoch) {
 /// periodically wrapped copies of the shared arrays' core cells. The
 /// widened cones only ever read wrapped *core* positions, so the shared
 /// halos (stale after the epoch feedback swap) are never consulted.
-void ProgramExecutor::importEpochInputs(IslandState &IS, int ThreadInTeam,
-                                        int NumThreads) {
+void ProgramExecutor::importEpochInputs(IslandState &IS, int Worker,
+                                        int ThreadInTeam, int NumThreads) {
   for (auto &[Id, Buf] : IS.Imports) {
     const Array3D &Src = array(Id);
     Box3 Sub = teamSubRegion(Buf.indexSpace(), ThreadInTeam, NumThreads);
+    if (Opts.Observer && !Sub.empty())
+      Opts.Observer->onImport(Worker, Src, Buf, Sub, Dom.ni(), Dom.nj(),
+                              Dom.nk());
     for (int I = Sub.Lo[0]; I != Sub.Hi[0]; ++I) {
       int WI = Domain::wrapIndex(I, Dom.ni());
       for (int J = Sub.Lo[1]; J != Sub.Hi[1]; ++J) {
@@ -303,9 +307,15 @@ void ProgramExecutor::threadMain(int Worker, int Island, int ThreadInTeam,
       ++Accum.SpinWakes;
   };
 
-  const int Depth = this->Plan.TemporalDepth;
-  const int Epochs = Steps / Depth; // run() checked divisibility.
-  for (int Epoch = 0; Epoch != Epochs; ++Epoch) {
+  // Observation hooks: arrive is reported before the real rendezvous and
+  // depart after it, so an observer can merge happens-before clocks at
+  // the exact points the hardware orders the workers.
+  ExecObserver *const Obs = Opts.Observer;
+  const uint64_t TeamSite = static_cast<uint64_t>(Island) + 1;
+  auto globalBarrier = [&] {
+    if (Obs)
+      Obs->onBarrierArrive(/*Site=*/0, Worker,
+                           static_cast<int>(WorkerCoords.size()));
     if (Prof) {
       ProfileClock::time_point T0 = ProfileClock::now();
       countWake(Control.GlobalBarrier.arriveAndWait(Worker));
@@ -314,6 +324,21 @@ void ProgramExecutor::threadMain(int Worker, int Island, int ThreadInTeam,
     } else {
       Control.GlobalBarrier.arriveAndWait(Worker);
     }
+    if (Obs)
+      Obs->onBarrierDepart(/*Site=*/0, Worker);
+  };
+  auto teamBarrier = [&] {
+    if (Obs)
+      Obs->onBarrierArrive(TeamSite, Worker, IslandP.NumThreads);
+    countWake(IS.Team.arriveAndWait(ThreadInTeam));
+    if (Obs)
+      Obs->onBarrierDepart(TeamSite, Worker);
+  };
+
+  const int Depth = this->Plan.TemporalDepth;
+  const int Epochs = Steps / Depth; // run() checked divisibility.
+  for (int Epoch = 0; Epoch != Epochs; ++Epoch) {
+    globalBarrier();
     if (Island == 0 && ThreadInTeam == 0) {
       if (Epoch != 0)
         for (const FeedbackPair &FB : Program.feedbacks())
@@ -325,14 +350,7 @@ void ProgramExecutor::threadMain(int Worker, int Island, int ThreadInTeam,
         for (const FeedbackPair &FB : Program.feedbacks())
           Dom.fillHalo(array(FB.Target));
     }
-    if (Prof) {
-      ProfileClock::time_point T0 = ProfileClock::now();
-      countWake(Control.GlobalBarrier.arriveAndWait(Worker));
-      Accum.GlobalBarrierWaitSeconds +=
-          secondsSince(T0, ProfileClock::now());
-    } else {
-      Control.GlobalBarrier.arriveAndWait(Worker);
-    }
+    globalBarrier();
 
     if (Depth > 1) {
       // Epoch prologue: rebind for fused step 0 and gather the imports.
@@ -340,8 +358,8 @@ void ProgramExecutor::threadMain(int Worker, int Island, int ThreadInTeam,
       // state; the team barrier publishes both before any pass runs.
       if (ThreadInTeam == 0)
         rebindForStep(IS, 0);
-      importEpochInputs(IS, ThreadInTeam, IslandP.NumThreads);
-      countWake(IS.Team.arriveAndWait(ThreadInTeam));
+      importEpochInputs(IS, Worker, ThreadInTeam, IslandP.NumThreads);
+      teamBarrier();
     }
 
     int PassIndex = 0;
@@ -350,11 +368,11 @@ void ProgramExecutor::threadMain(int Worker, int Island, int ThreadInTeam,
       if (Depth > 1 && Block.StepInEpoch != CurStep) {
         // Structural fused-step boundary: quiesce the team, swap the
         // feedback bindings, and publish them before the next step.
-        countWake(IS.Team.arriveAndWait(ThreadInTeam));
+        teamBarrier();
         CurStep = Block.StepInEpoch;
         if (ThreadInTeam == 0)
           rebindForStep(IS, CurStep);
-        countWake(IS.Team.arriveAndWait(ThreadInTeam));
+        teamBarrier();
       }
       for (const StagePass &Pass : Block.Passes) {
         if (Opts.Chaos) {
@@ -367,15 +385,21 @@ void ProgramExecutor::threadMain(int Worker, int Island, int ThreadInTeam,
         ++PassIndex;
         Box3 Sub =
             teamSubRegion(Pass.Region, ThreadInTeam, IslandP.NumThreads);
+        if (Obs && !Sub.empty())
+          Obs->onPass(Worker, Program, IS.Store, Pass.Stage, Sub);
         if (Prof) {
           size_t Stage = static_cast<size_t>(Pass.Stage);
           ProfileClock::time_point T0 = ProfileClock::now();
           Kernels.run(IS.Store, Pass.Stage, Sub);
           ProfileClock::time_point T1 = ProfileClock::now();
           if (Pass.BarrierAfter) {
+            if (Obs)
+              Obs->onBarrierArrive(TeamSite, Worker, IslandP.NumThreads);
             countWake(IS.Team.arriveAndWait(ThreadInTeam));
             Accum.StageBarrierWaitSeconds[Stage] +=
                 secondsSince(T1, ProfileClock::now());
+            if (Obs)
+              Obs->onBarrierDepart(TeamSite, Worker);
           } else {
             ++Accum.StageBarriersElided[Stage];
           }
@@ -384,7 +408,7 @@ void ProgramExecutor::threadMain(int Worker, int Island, int ThreadInTeam,
         } else {
           Kernels.run(IS.Store, Pass.Stage, Sub);
           if (Pass.BarrierAfter)
-            IS.Team.arriveAndWait(ThreadInTeam);
+            teamBarrier();
         }
       }
     }

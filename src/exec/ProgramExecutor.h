@@ -46,6 +46,7 @@
 
 namespace icores {
 
+class ExecObserver;
 class FaultInjector;
 struct ThreadPlacement;
 
@@ -64,6 +65,11 @@ struct ExecutorOptions {
   /// bit-identical (faults here perturb timing, never data); injector
   /// counters are mirrored into ExecStats (schema v3).
   FaultInjector *Chaos = nullptr;
+  /// Observation hook: when non-null, worker threads report every barrier
+  /// crossing, pass, and epoch import (see exec/ExecObserver.h). The
+  /// shadow race detector rides on this. Results are bit-identical; only
+  /// timing changes.
+  ExecObserver *Observer = nullptr;
 };
 
 /// Threaded executor for one plan of one program over one domain.
@@ -130,7 +136,8 @@ private:
   void threadMain(int Worker, int Island, int ThreadInTeam, int Steps,
                   void *Control);
   void rebindForStep(IslandState &IS, int StepInEpoch);
-  void importEpochInputs(IslandState &IS, int ThreadInTeam, int NumThreads);
+  void importEpochInputs(IslandState &IS, int Worker, int ThreadInTeam,
+                         int NumThreads);
 
   StencilProgram Program;
   KernelTable Kernels;

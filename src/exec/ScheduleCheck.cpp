@@ -195,16 +195,22 @@ void checkEpoch(const StencilProgram &Program, const IslandSchedule &S,
                              "sub-region with no barrier between the passes",
                              S.Index, NameA.c_str(), ArrayName.c_str(),
                              NameB.c_str());
-      Diags
-          .report(Severity::Error,
-                  C.ConflictKind == PassConflict::Kind::WriteWrite
-                      ? "race.intra.write-write"
-                      : "race.intra.read-write",
-                  Msg)
-          .note("island", formatString("%d", S.Index))
+      // Temporal plans replay each conflicting pass pair once per fused
+      // step; encoding the epoch step keeps the id stable and distinct
+      // per step (the same textual conflict at step 0 and step 3 are two
+      // different findings, not duplicates).
+      std::string Id = C.ConflictKind == PassConflict::Kind::WriteWrite
+                           ? "race.intra.write-write"
+                           : "race.intra.read-write";
+      if (S.TemporalDepth > 1)
+        Id += formatString(".step%d", S.Passes[PI].StepInEpoch);
+      Finding &F = Diags.report(Severity::Error, Id, Msg);
+      F.note("island", formatString("%d", S.Index))
           .note("array", ArrayName)
           .note("threads", formatString("%d,%d", C.ThreadA, C.ThreadB))
           .note("overlap", C.Overlap.str());
+      if (S.TemporalDepth > 1)
+        F.note("step", formatString("%d", S.Passes[PI].StepInEpoch));
     }
 }
 

@@ -48,6 +48,25 @@ bool DiagnosticEngine::hasFinding(const std::string &Id) const {
   return false;
 }
 
+size_t DiagnosticEngine::dedupe() {
+  // Quadratic over the findings of one run — lint runs report dozens of
+  // findings, not thousands, and this keeps first-occurrence order
+  // without imposing an ordering or hash on Finding.
+  std::vector<Finding> Unique;
+  Unique.reserve(Findings.size());
+  for (Finding &F : Findings) {
+    bool Seen = false;
+    for (const Finding &U : Unique)
+      Seen |= U.Id == F.Id && U.Sev == F.Sev && U.Message == F.Message &&
+              U.Notes == F.Notes;
+    if (!Seen)
+      Unique.push_back(std::move(F));
+  }
+  size_t Removed = Findings.size() - Unique.size();
+  Findings = std::move(Unique);
+  return Removed;
+}
+
 std::string DiagnosticEngine::firstErrorMessage() const {
   for (const Finding &F : Findings)
     if (F.Sev == Severity::Error)

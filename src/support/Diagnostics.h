@@ -78,6 +78,14 @@ public:
   /// Message of the first finding with severity Error, or "" when clean.
   std::string firstErrorMessage() const;
 
+  /// Drops exact duplicate findings (same id, severity, message and
+  /// notes), keeping the first occurrence and the overall order. Analyses
+  /// that replay a schedule — e.g. each fused step of a temporal plan —
+  /// can report the same defect once per replay; drivers dedupe before
+  /// rendering so a finding appears once per distinct id+context. Returns
+  /// the number of findings removed.
+  size_t dedupe();
+
   /// Drops all findings.
   void clear() { Findings.clear(); }
 

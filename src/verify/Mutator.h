@@ -1,0 +1,82 @@
+//===- verify/Mutator.h - Analysis mutation testing ------------*- C++ -*-===//
+//
+// Part of the icores project: islands-of-cores for heterogeneous stencils.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Mutation testing *of the analyses*: seeded plan mutations that each
+/// introduce one class of real defect, paired with the finding class the
+/// static checkers must kill it with. A checker that silently stopped
+/// reporting would survive the satellite tests (which assert clean plans
+/// stay clean) — here it fails loudly, because its mutant class stops
+/// dying. Candidates are selected by *ground truth* (data-dependence and
+/// geometry arguments spelled out per class below), never by asking the
+/// checker under test, so a broken checker cannot bias the sample.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICORES_VERIFY_MUTATOR_H
+#define ICORES_VERIFY_MUTATOR_H
+
+#include "core/ExecutionPlan.h"
+#include "stencil/StencilIR.h"
+#include "support/Random.h"
+
+#include <string>
+
+namespace icores {
+
+class DiagnosticEngine;
+
+enum class MutantClass {
+  /// Clears the BarrierAfter bit between a producer pass and a consumer
+  /// pass where, under the executor's own teamSubRegion() split, another
+  /// thread's window-expanded read overlaps the writer's share — the
+  /// boundary cells then race. Killed by the schedule race check
+  /// (race.intra.*).
+  DropBarrier,
+  /// Widens one pass's computed window past the per-step global
+  /// dependence cone. Killed by plan.pass.exceeds-global.
+  WidenWindow,
+  /// Narrows a final-step output pass on a face only it reaches, opening
+  /// a coverage hole in the step output. Killed by plan.output.coverage.
+  NarrowWindow,
+  /// Swaps two blocks across a fused-step boundary, so a step-t+1 block
+  /// runs before the last step-t block. Killed by
+  /// plan.temporal.step-order. Applies only to TemporalDepth > 1 plans.
+  ReorderEpochStep,
+  /// Clips the low face of a producer pass in an island's first block
+  /// where a later pass's dependence cone touches that face — the
+  /// redundant halo plane is no longer computed, so the consumer reads
+  /// cells nothing produced. Killed by plan.pass.read-before-compute.
+  SkipHaloImport,
+};
+
+constexpr MutantClass AllMutantClasses[] = {
+    MutantClass::DropBarrier,     MutantClass::WidenWindow,
+    MutantClass::NarrowWindow,    MutantClass::ReorderEpochStep,
+    MutantClass::SkipHaloImport,
+};
+
+/// Kebab-case class name ("drop-barrier", ...), used in BENCH_prove.json.
+const char *mutantClassName(MutantClass Class);
+
+/// The finding-id prefix whose presence kills this class ("race.intra."
+/// for DropBarrier — the temporal step suffix still matches).
+const char *mutantKillIdPrefix(MutantClass Class);
+
+/// Applies one seeded mutation of \p Class to \p Plan. Returns false when
+/// the class has no ground-truth candidate in this plan (e.g. a temporal
+/// reorder on a T == 1 plan, or a one-thread-per-island plan for
+/// DropBarrier); the plan is unchanged in that case.
+bool applyMutation(ExecutionPlan &Plan, const StencilProgram &Program,
+                   MutantClass Class, SplitMix64 &Rng);
+
+/// Whether \p Diags contains a finding whose id starts with the class's
+/// kill prefix.
+bool mutantKilled(MutantClass Class, const DiagnosticEngine &Diags);
+
+} // namespace icores
+
+#endif // ICORES_VERIFY_MUTATOR_H

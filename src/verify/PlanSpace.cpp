@@ -1,0 +1,137 @@
+//===- verify/PlanSpace.cpp - Reachable plan-space enumeration ------------===//
+
+#include "verify/PlanSpace.h"
+
+#include "apps/AdvectionDiffusion.h"
+#include "core/Partition.h"
+#include "core/PlanBuilder.h"
+#include "core/ScheduleOptimizer.h"
+#include "mpdata/MpdataProgram.h"
+#include "stencil/HaloAnalysis.h"
+#include "support/Format.h"
+
+using namespace icores;
+
+MachineModel icores::planSpaceMachine(int Teams) {
+  MachineModel M = makeToyMachine();
+  M.Name = formatString("plan-space toy (%d sockets x %d cores)", Teams,
+                        M.CoresPerSocket);
+  M.NumSockets = Teams;
+  return M;
+}
+
+const char *icores::strategyKey(Strategy S) {
+  switch (S) {
+  case Strategy::Original:
+    return "original";
+  case Strategy::Block31D:
+    return "block31d";
+  case Strategy::IslandsOfCores:
+    return "islands";
+  }
+  return "?";
+}
+
+namespace {
+
+/// PlanAdvisor's temporal prune, mirrored verbatim: whole epochs only, and
+/// the widened step-0 cone must not exceed 2x the grid per dimension.
+std::string temporalPruneReason(const StencilProgram &Program,
+                                const Box3 &Grid, int Depth, int TimeSteps) {
+  if (TimeSteps % Depth != 0)
+    return formatString("time steps %d not divisible by temporal depth %d",
+                        TimeSteps, Depth);
+  Box3 Widest = temporalStepTargets(Program, Grid, Depth).front();
+  for (int D = 0; D != 3; ++D)
+    if (Widest.extent(D) > 2 * Grid.extent(D))
+      return formatString(
+          "widened step-0 cone extent %d exceeds 2x grid extent %d "
+          "along dim %d",
+          Widest.extent(D), Grid.extent(D), D);
+  return "";
+}
+
+/// PlanAdvisor's islands prune: enough planes along the partitioned
+/// dimension for every island.
+std::string islandsPruneReason(const Box3 &Grid, const PlanConfig &Config,
+                               const MachineModel &Machine) {
+  int Islands = Config.Sockets * Config.IslandsPerSocket;
+  if (Islands > Grid.extent(partitionDim(Config.Variant)))
+    return formatString("%d islands exceed the %d planes of the partition "
+                        "dimension",
+                        Islands, Grid.extent(partitionDim(Config.Variant)));
+  if (Machine.CoresPerSocket % Config.IslandsPerSocket != 0)
+    return "islands per socket does not divide the cores per socket";
+  return "";
+}
+
+} // namespace
+
+PlanSpaceEnumeration
+icores::enumeratePlanSpace(const PlanSpaceOptions &Opts) {
+  PlanSpaceEnumeration E;
+  E.Opts = Opts;
+
+  {
+    PlanSpaceWorkload W;
+    W.Name = "mpdata";
+    W.Program = buildMpdataProgram().Program;
+    E.Workloads.push_back(std::move(W));
+  }
+  {
+    PlanSpaceWorkload W;
+    W.Name = "advdiff";
+    W.Program = buildAdvDiffProgram().Program;
+    E.Workloads.push_back(std::move(W));
+  }
+
+  const Box3 Grid = Box3::fromExtents(Opts.NI, Opts.NJ, Opts.NK);
+  const Strategy Strategies[] = {Strategy::Original, Strategy::Block31D,
+                                 Strategy::IslandsOfCores};
+
+  for (size_t WI = 0; WI != E.Workloads.size(); ++WI) {
+    const StencilProgram &Program = E.Workloads[WI].Program;
+    for (Strategy Strat : Strategies)
+      for (int Teams : Opts.TeamCounts)
+        for (int Depth : Opts.TemporalDepths) {
+          MachineModel Machine = planSpaceMachine(Teams);
+          PlanConfig Config;
+          Config.Strat = Strat;
+          Config.Sockets = Teams;
+          Config.TemporalDepth = Depth;
+
+          std::string Prune =
+              temporalPruneReason(Program, Grid, Depth, Opts.TimeSteps);
+          if (Prune.empty() && Strat == Strategy::IslandsOfCores)
+            Prune = islandsPruneReason(Grid, Config, Machine);
+
+          ExecutionPlan Built;
+          if (Prune.empty())
+            Built = buildPlan(Program, Grid, Machine, Config);
+
+          for (bool Elide : {false, true}) {
+            EnumeratedPlan EP;
+            EP.Point.WorkloadIndex = WI;
+            EP.Point.Workload = E.Workloads[WI].Name;
+            EP.Point.Strat = Strat;
+            EP.Point.Teams = Teams;
+            EP.Point.TemporalDepth = Depth;
+            EP.Point.Elide = Elide;
+            EP.Point.Label = formatString(
+                "%s/%s/teams%d/T%d/%s", E.Workloads[WI].Name.c_str(),
+                strategyKey(Strat), Teams, Depth,
+                Elide ? "elide" : "lockstep");
+            EP.Feasible = Prune.empty();
+            EP.PruneReason = Prune;
+            if (EP.Feasible) {
+              EP.Plan = Built;
+              if (Elide)
+                EP.ElidedBarriers =
+                    optimizeBarriers(Program, EP.Plan).ElidedBarriers;
+            }
+            E.Plans.push_back(std::move(EP));
+          }
+        }
+  }
+  return E;
+}

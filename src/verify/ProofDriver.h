@@ -1,0 +1,133 @@
+//===- verify/ProofDriver.h - Plan-space static proof driver ----*- C++ -*-===//
+//
+// Part of the icores project: islands-of-cores for heterogeneous stencils.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives the full verification suite over the enumerated plan space
+/// (verify/PlanSpace.h) and the synchronization protocol models
+/// (verify/ProtocolCheck.h), and runs the analysis mutation suite
+/// (verify/Mutator.h) that proves the checkers still detect the defect
+/// classes they exist for. Emits one `icores.prove.v1` record per plan —
+/// verdict `proved`, `pruned`, or `violated`, with the first
+/// happens-before witness for any violation — plus the protocol and
+/// mutation results, to BENCH_prove.json.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICORES_VERIFY_PROOFDRIVER_H
+#define ICORES_VERIFY_PROOFDRIVER_H
+
+#include "verify/Mutator.h"
+#include "verify/PlanSpace.h"
+#include "verify/ProtocolCheck.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace icores {
+
+class OStream;
+
+struct ProofOptions {
+  PlanSpaceOptions Space;
+  /// Team sizes the barrier model is exhaustively explored for.
+  std::vector<int> BarrierThreadCounts = {2, 3, 5};
+  int BarrierCrossings = 2;
+  /// Rank grids the MPDATA comm schedule is checked on.
+  std::vector<std::pair<int, int>> CommGrids = {{1, 1}, {2, 1}, {2, 2}};
+  int CommNI = 16, CommNJ = 16, CommNK = 8, CommSteps = 2;
+  /// Analysis mutation testing (verify/Mutator.h).
+  bool RunMutation = true;
+  int MutantsPerClass = 4;
+  uint64_t MutationSeed = 0x1C0DE5u;
+};
+
+/// Static proof outcome for one enumerated plan.
+struct PlanProofRecord {
+  PlanPoint Point;
+  std::string Verdict; ///< "proved" | "pruned" | "violated".
+  std::string PruneReason;
+  size_t Errors = 0;
+  /// First error finding ("id: message [notes]") when violated — for race
+  /// findings this carries the thread pair and overlap box, i.e. the
+  /// happens-before witness.
+  std::string Witness;
+};
+
+struct BarrierProofRecord {
+  int Threads = 0;
+  int Crossings = 0;
+  int64_t States = 0;
+  bool Ok = false;
+  std::string Witness;
+};
+
+struct BarrierMutantRecord {
+  std::string Mutant;
+  bool Caught = false;
+};
+
+struct CommProofRecord {
+  int PI = 1, PJ = 1;
+  std::string Kind; ///< "clean" | "death".
+  int64_t Ops = 0;
+  bool Ok = false;
+  std::string Witness;
+};
+
+struct CommMutantRecord {
+  std::string Mutant;
+  bool Caught = false;
+};
+
+struct MutationClassRecord {
+  MutantClass Class = MutantClass::DropBarrier;
+  int Mutants = 0;
+  int Killed = 0;
+};
+
+struct ProofReport {
+  ProofOptions Opts;
+  std::vector<PlanProofRecord> Plans;
+  std::vector<BarrierProofRecord> Barrier;
+  std::vector<BarrierMutantRecord> BarrierMutants;
+  std::vector<CommProofRecord> Comm;
+  std::vector<CommMutantRecord> CommMutants;
+  std::vector<MutationClassRecord> Mutation;
+
+  size_t numWithVerdict(const char *Verdict) const;
+  /// Every feasible plan proved (pruned points do not count against).
+  bool allPlansProved() const;
+  /// Every barrier/comm exploration clean and every protocol mutant caught.
+  bool protocolOk() const;
+  /// Killed mutants / generated mutants, 1.0 when none were generated.
+  double killRate() const;
+  /// 100% kill rate and at least one mutant per class.
+  bool allMutantsKilled() const;
+  bool ok() const {
+    return allPlansProved() && protocolOk() && allMutantsKilled();
+  }
+};
+
+/// Runs the whole suite: plan-space proofs, protocol models (including
+/// the seeded model/schedule mutants), and the plan mutation suite.
+ProofReport runProofSuite(const ProofOptions &Opts = {});
+
+/// Verifies the temporal coverage model of one plan: the per-step targets
+/// nest (each fused step's cone contains the next) and the final step is
+/// exactly the global target. Reports plan.temporal.cone-nesting.
+bool checkTemporalCoverage(const StencilProgram &Program,
+                           const ExecutionPlan &Plan, DiagnosticEngine &Diags);
+
+/// Writes the report as one icores.prove.v1 JSON document.
+void writeProveJson(const ProofReport &Report, OStream &OS);
+
+/// Writes the JSON to \p Path; returns false on I/O failure.
+bool writeProveJsonFile(const ProofReport &Report, const std::string &Path);
+
+} // namespace icores
+
+#endif // ICORES_VERIFY_PROOFDRIVER_H

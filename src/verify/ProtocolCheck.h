@@ -1,0 +1,100 @@
+//===- verify/ProtocolCheck.h - Synchronization model checking -*- C++ -*-===//
+//
+// Part of the icores project: islands-of-cores for heterogeneous stencils.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bounded explicit-state model checking of the runtime's two
+/// synchronization protocols.
+///
+/// TeamBarrier: the arity-4 combining-tree sense-reversal barrier
+/// (exec/TeamBarrier.cpp) is modeled transition-for-transition — per-node
+/// arrival counters, the root's seq_cst epoch-publish-then-sleepers-check,
+/// and the hybrid waiter's spin / register / atomic-recheck / futex-block
+/// ladder — and every interleaving of up to 8 threads over multiple
+/// crossings is explored by breadth-first search. The checked property is
+/// deadlock freedom: no reachable non-terminal state without an enabled
+/// transition. A lost wakeup (sleeper blocked on a stale epoch with no
+/// notifier left) manifests exactly as such a state, so the property
+/// covers both "no deadlock" and "no lost wakeup". Two seeded model
+/// mutants re-introduce the classic bugs — notifying before publishing
+/// the epoch, and blocking without the atomic re-check — and must be
+/// caught, proving the checker can see the failure class at all.
+///
+/// RankComm: per-rank send/recv/barrier schedules (dist/CommSchedule.h)
+/// are executed symbolically. Sends are buffered, so greedy execution is
+/// confluent: if the greedy run completes, every interleaving does. The
+/// checker proves no cyclic wait (a blocked non-empty frontier), no
+/// orphaned message (undelivered payloads at termination), and matched
+/// payload sizes; under a world-poisoning transition (any single rank
+/// dying at any op) every surviving rank must still terminate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICORES_VERIFY_PROTOCOLCHECK_H
+#define ICORES_VERIFY_PROTOCOLCHECK_H
+
+#include "dist/CommSchedule.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace icores {
+
+class DiagnosticEngine;
+
+/// Model configuration for one barrier exploration.
+struct BarrierModelOptions {
+  int NumThreads = 4;
+  /// Barrier crossings each thread performs (>= 2 exercises epoch reuse).
+  int Crossings = 2;
+  /// Spurious-wakeup budget: how many times blocked sleepers may be woken
+  /// without an epoch advance (models chaos notifies and the futex spec's
+  /// spurious returns). 0 proves no-lost-wakeup strictly.
+  int SpuriousBudget = 0;
+  /// Explored-state cap; exceeding it fails the check explicitly rather
+  /// than silently truncating the proof.
+  int64_t MaxStates = 4000000;
+  /// Seeded model mutants (each must be *caught* by the checker).
+  bool MutantNotifyBeforePublish = false;
+  bool MutantBlockWithoutRecheck = false;
+};
+
+struct BarrierCheckResult {
+  bool Ok = false;
+  bool Deadlock = false;
+  bool StateCapHit = false;
+  int64_t StatesExplored = 0;
+  /// Human-readable witness of the first deadlock state, empty when Ok.
+  std::string Witness;
+};
+
+/// Explores every interleaving of the barrier model; reports
+/// protocol.barrier.deadlock / protocol.barrier.state-cap findings.
+BarrierCheckResult checkTeamBarrierProtocol(const BarrierModelOptions &Opts,
+                                            DiagnosticEngine &Diags);
+
+struct CommCheckResult {
+  bool Ok = false;
+  bool Deadlock = false;
+  int64_t OpsExecuted = 0;
+  int64_t OrphanedMessages = 0;
+  std::string Witness;
+};
+
+/// Symbolically executes \p Schedules (one per rank, dense rank ids).
+/// \p DeadRank >= 0 kills that rank before its op \p DeathOp and poisons
+/// the world, after which blocked ops fail fast instead of waiting —
+/// every surviving rank must still terminate. Orphans are only an error
+/// in the no-death run (a dead rank legitimately strands messages).
+/// Reports protocol.comm.deadlock / protocol.comm.orphan-message /
+/// protocol.comm.size-mismatch findings.
+CommCheckResult checkCommSchedule(const std::vector<RankCommSchedule> &Schedules,
+                                  DiagnosticEngine &Diags, int DeadRank = -1,
+                                  int DeathOp = 0);
+
+} // namespace icores
+
+#endif // ICORES_VERIFY_PROTOCOLCHECK_H

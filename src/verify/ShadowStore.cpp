@@ -1,0 +1,255 @@
+//===- verify/ShadowStore.cpp - Dynamic shadow race detection -------------===//
+
+#include "verify/ShadowStore.h"
+
+#include "stencil/FieldStore.h"
+#include "stencil/StencilIR.h"
+#include "support/Diagnostics.h"
+#include "support/Format.h"
+
+using namespace icores;
+
+/// Per-cell access metadata over one Array3D's index space. Reads keep a
+/// full per-worker map (a write must be ordered after *every* prior read,
+/// not just the latest), writes keep the FastTrack-style last-writer
+/// epoch: a new access is ordered after the last write iff the accessor's
+/// clock covers (writer, time).
+struct ShadowStore::ArrayShadow {
+  Box3 Space;
+  std::string Name;
+  std::vector<int32_t> Writer;
+  std::vector<uint64_t> WriteTime;
+  std::vector<std::map<int, uint64_t>> Reads;
+
+  explicit ArrayShadow(const Box3 &ASpace)
+      : Space(ASpace),
+        Writer(static_cast<size_t>(ASpace.numPoints()), -1),
+        WriteTime(static_cast<size_t>(ASpace.numPoints()), 0),
+        Reads(static_cast<size_t>(ASpace.numPoints())) {}
+
+  size_t index(int I, int J, int K) const {
+    return (static_cast<size_t>(I - Space.Lo[0]) *
+                static_cast<size_t>(Space.extent(1)) +
+            static_cast<size_t>(J - Space.Lo[1])) *
+               static_cast<size_t>(Space.extent(2)) +
+           static_cast<size_t>(K - Space.Lo[2]);
+  }
+};
+
+/// One barrier site's rendezvous bookkeeping. Generations handle reuse:
+/// a fast worker may re-arrive for crossing g+1 while a slow worker has
+/// not yet departed crossing g, so the merged clock of each crossing is
+/// published under its generation and garbage-collected once every
+/// participant departed.
+struct ShadowStore::BarrierSite {
+  uint64_t ArriveGen = 0;
+  int Arrived = 0;
+  VectorClock Accum;
+  std::map<uint64_t, VectorClock> Published;
+  std::map<uint64_t, int> Outstanding;
+  std::map<int, uint64_t> WorkerGen;
+};
+
+ShadowStore::ShadowStore() = default;
+ShadowStore::ShadowStore(Options AOpts) : Opts(AOpts) {}
+ShadowStore::~ShadowStore() = default;
+
+VectorClock &ShadowStore::clock(int Worker) {
+  if (static_cast<size_t>(Worker) >= Clocks.size())
+    Clocks.resize(static_cast<size_t>(Worker) + 1);
+  VectorClock &C = Clocks[static_cast<size_t>(Worker)];
+  if (C.get(Worker) == 0)
+    C.set(Worker, 1); // Each worker's own component starts live.
+  return C;
+}
+
+ShadowStore::ArrayShadow &ShadowStore::shadowFor(const Array3D &Arr,
+                                                 const std::string &Name) {
+  auto It = Arrays.find(&Arr);
+  if (It == Arrays.end())
+    It = Arrays.emplace(&Arr, ArrayShadow(Arr.indexSpace())).first;
+  if (!Name.empty())
+    It->second.Name = Name;
+  return It->second;
+}
+
+void ShadowStore::noteRace(const char *Kind, const ArrayShadow &AS, int I,
+                           int J, int K, int Prev, int Cur) {
+  ++TotalRaces;
+  if (Races.size() >= Opts.MaxWitnesses)
+    return;
+  Race R;
+  R.Kind = Kind;
+  R.Array = AS.Name.empty() ? "<unnamed>" : AS.Name;
+  R.Cell[0] = I;
+  R.Cell[1] = J;
+  R.Cell[2] = K;
+  R.PrevWorker = Prev;
+  R.CurWorker = Cur;
+  Races.push_back(std::move(R));
+}
+
+void ShadowStore::writeCells(int Worker, ArrayShadow &AS,
+                             const Box3 &Region) {
+  Box3 Clip = Region.intersect(AS.Space);
+  if (Clip.empty())
+    return;
+  const VectorClock &C = clock(Worker);
+  uint64_t Now = C.get(Worker);
+  for (int I = Clip.Lo[0]; I != Clip.Hi[0]; ++I)
+    for (int J = Clip.Lo[1]; J != Clip.Hi[1]; ++J)
+      for (int K = Clip.Lo[2]; K != Clip.Hi[2]; ++K) {
+        size_t Cell = AS.index(I, J, K);
+        ++Accesses;
+        int32_t W = AS.Writer[Cell];
+        if (W >= 0 && W != Worker && !C.covers(W, AS.WriteTime[Cell]))
+          noteRace("write-write", AS, I, J, K, W, Worker);
+        for (const auto &[Reader, Time] : AS.Reads[Cell])
+          if (Reader != Worker && !C.covers(Reader, Time))
+            noteRace("read-write", AS, I, J, K, Reader, Worker);
+        AS.Writer[Cell] = Worker;
+        AS.WriteTime[Cell] = Now;
+        // Unordered prior reads were reported above; ordered ones are
+        // subsumed by this write for every later access.
+        AS.Reads[Cell].clear();
+      }
+}
+
+void ShadowStore::readCells(int Worker, ArrayShadow &AS, const Box3 &Region) {
+  Box3 Clip = Region.intersect(AS.Space);
+  if (Clip.empty())
+    return;
+  const VectorClock &C = clock(Worker);
+  uint64_t Now = C.get(Worker);
+  for (int I = Clip.Lo[0]; I != Clip.Hi[0]; ++I)
+    for (int J = Clip.Lo[1]; J != Clip.Hi[1]; ++J)
+      for (int K = Clip.Lo[2]; K != Clip.Hi[2]; ++K) {
+        size_t Cell = AS.index(I, J, K);
+        ++Accesses;
+        int32_t W = AS.Writer[Cell];
+        if (W >= 0 && W != Worker && !C.covers(W, AS.WriteTime[Cell]))
+          noteRace("read-write", AS, I, J, K, W, Worker);
+        AS.Reads[Cell][Worker] = Now;
+      }
+}
+
+void ShadowStore::onBarrierArrive(uint64_t Site, int Worker,
+                                  int Participants) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  BarrierSite &S = Sites[Site];
+  S.Accum.merge(clock(Worker));
+  S.WorkerGen[Worker] = S.ArriveGen;
+  if (++S.Arrived == Participants) {
+    S.Outstanding[S.ArriveGen] = Participants;
+    S.Published[S.ArriveGen] = std::move(S.Accum);
+    S.Accum = VectorClock();
+    S.Arrived = 0;
+    ++S.ArriveGen;
+  }
+}
+
+void ShadowStore::onBarrierDepart(uint64_t Site, int Worker) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  BarrierSite &S = Sites[Site];
+  auto GenIt = S.WorkerGen.find(Worker);
+  if (GenIt == S.WorkerGen.end())
+    return; // Depart without arrive: ignore rather than corrupt clocks.
+  uint64_t Gen = GenIt->second;
+  auto PubIt = S.Published.find(Gen);
+  if (PubIt == S.Published.end())
+    return; // Same defensive stance.
+  VectorClock &C = clock(Worker);
+  C.merge(PubIt->second);
+  C.tick(Worker);
+  if (--S.Outstanding[Gen] == 0) {
+    S.Published.erase(Gen);
+    S.Outstanding.erase(Gen);
+  }
+}
+
+void ShadowStore::onPass(int Worker, const StencilProgram &Program,
+                         FieldStore &Store, StageId Stage, const Box3 &Sub) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  const StageDef &SD = Program.stage(Stage);
+  for (const StageInput &In : SD.Inputs)
+    readCells(Worker,
+              shadowFor(Store.get(In.Array), Program.array(In.Array).Name),
+              In.readRegion(Sub));
+  for (ArrayId Out : SD.Outputs)
+    writeCells(Worker, shadowFor(Store.get(Out), Program.array(Out).Name),
+               Sub);
+}
+
+void ShadowStore::onImport(int Worker, const Array3D &Src, const Array3D &Buf,
+                           const Box3 &Sub, int NI, int NJ, int NK) {
+  auto Wrap = [](int X, int N) { return ((X % N) + N) % N; };
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ArrayShadow &SrcAS = shadowFor(Src, "");
+  const VectorClock &C = clock(Worker);
+  // The gather reads periodically wrapped *core* positions of the shared
+  // array; record each as an ordinary read.
+  for (int I = Sub.Lo[0]; I != Sub.Hi[0]; ++I) {
+    int WI = Wrap(I, NI);
+    for (int J = Sub.Lo[1]; J != Sub.Hi[1]; ++J) {
+      int WJ = Wrap(J, NJ);
+      for (int K = Sub.Lo[2]; K != Sub.Hi[2]; ++K) {
+        int WK = Wrap(K, NK);
+        size_t Cell = SrcAS.index(WI, WJ, WK);
+        ++Accesses;
+        int32_t W = SrcAS.Writer[Cell];
+        if (W >= 0 && W != Worker && !C.covers(W, SrcAS.WriteTime[Cell]))
+          noteRace("read-write", SrcAS, WI, WJ, WK, W, Worker);
+        SrcAS.Reads[Cell][Worker] = C.get(Worker);
+      }
+    }
+  }
+  writeCells(Worker, shadowFor(Buf, ""), Sub);
+}
+
+void ShadowStore::recordWrite(int Worker, const Array3D &Arr,
+                              const Box3 &Region, const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  writeCells(Worker, shadowFor(Arr, Name), Region);
+}
+
+void ShadowStore::recordRead(int Worker, const Array3D &Arr,
+                             const Box3 &Region, const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  readCells(Worker, shadowFor(Arr, Name), Region);
+}
+
+size_t ShadowStore::raceCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return TotalRaces;
+}
+
+uint64_t ShadowStore::accessCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Accesses;
+}
+
+void ShadowStore::reportFindings(DiagnosticEngine &Diags) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (const Race &R : Races)
+    Diags
+        .report(Severity::Error, "shadow.race." + R.Kind,
+                formatString("unordered %s on %s at (%d, %d, %d)",
+                             R.Kind.c_str(), R.Array.c_str(), R.Cell[0],
+                             R.Cell[1], R.Cell[2]))
+        .note("array", R.Array)
+        .note("workers", formatString("%d vs %d", R.PrevWorker, R.CurWorker));
+  if (TotalRaces > Races.size())
+    Diags.report(Severity::Note, "shadow.race.truncated",
+                 formatString("%zu further races not stored",
+                              TotalRaces - Races.size()));
+}
+
+void ShadowStore::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Clocks.clear();
+  Arrays.clear();
+  Sites.clear();
+  Races.clear();
+  TotalRaces = 0;
+  Accesses = 0;
+}

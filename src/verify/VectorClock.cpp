@@ -1,0 +1,28 @@
+//===- verify/VectorClock.cpp - Happens-before vector clocks --------------===//
+
+#include "verify/VectorClock.h"
+
+#include <algorithm>
+
+using namespace icores;
+
+void VectorClock::ensureSize(int NumWorkers) {
+  if (static_cast<size_t>(NumWorkers) > Ticks.size())
+    Ticks.resize(static_cast<size_t>(NumWorkers), 0);
+}
+
+uint64_t VectorClock::get(int Worker) const {
+  size_t W = static_cast<size_t>(Worker);
+  return W < Ticks.size() ? Ticks[W] : 0;
+}
+
+void VectorClock::set(int Worker, uint64_t Value) {
+  ensureSize(Worker + 1);
+  Ticks[static_cast<size_t>(Worker)] = Value;
+}
+
+void VectorClock::merge(const VectorClock &Other) {
+  ensureSize(Other.size());
+  for (size_t W = 0; W != Other.Ticks.size(); ++W)
+    Ticks[W] = std::max(Ticks[W], Other.Ticks[W]);
+}

@@ -1,0 +1,59 @@
+//===- verify/VectorClock.h - Happens-before vector clocks -----*- C++ -*-===//
+//
+// Part of the icores project: islands-of-cores for heterogeneous stencils.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-width vector clock over worker indices, the ordering primitive
+/// of the shadow race detector (verify/ShadowStore.h). Each worker W owns
+/// component W; crossing a barrier merges the participants' clocks and
+/// then advances each participant's own component, so two accesses are
+/// ordered exactly when a chain of barrier crossings separates them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICORES_VERIFY_VECTORCLOCK_H
+#define ICORES_VERIFY_VECTORCLOCK_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace icores {
+
+class VectorClock {
+public:
+  VectorClock() = default;
+  explicit VectorClock(int NumWorkers)
+      : Ticks(static_cast<size_t>(NumWorkers), 0) {}
+
+  int size() const { return static_cast<int>(Ticks.size()); }
+
+  /// Grows to at least \p NumWorkers components (new ones start at 0).
+  void ensureSize(int NumWorkers);
+
+  /// The value of component \p Worker (0 when beyond the current size).
+  uint64_t get(int Worker) const;
+
+  void set(int Worker, uint64_t Value);
+
+  /// Advances component \p Worker by one.
+  void tick(int Worker) { set(Worker, get(Worker) + 1); }
+
+  /// Component-wise maximum with \p Other.
+  void merge(const VectorClock &Other);
+
+  /// Whether an event at scalar time \p Time on worker \p Worker
+  /// happens-before the point this clock describes.
+  bool covers(int Worker, uint64_t Time) const {
+    return get(Worker) >= Time;
+  }
+
+private:
+  std::vector<uint64_t> Ticks;
+};
+
+} // namespace icores
+
+#endif // ICORES_VERIFY_VECTORCLOCK_H

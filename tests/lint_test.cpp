@@ -26,6 +26,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 
@@ -99,6 +100,24 @@ TEST(Diagnostics, JsonGoldenFile) {
   EXPECT_EQ(Buf, Golden)
       << "icores.lint.v1 output drifted from the golden file; if the "
          "change is intentional, regenerate tests/golden/lint_sample.v1.json";
+}
+
+TEST(Diagnostics, DedupeDropsExactDuplicatesOnly) {
+  DiagnosticEngine Diags;
+  Diags.report(Severity::Error, "a.b", "msg").note("k", "v");
+  Diags.report(Severity::Error, "a.b", "msg").note("k", "v"); // duplicate
+  Diags.report(Severity::Error, "a.b", "msg").note("k", "w"); // distinct note
+  Diags.report(Severity::Warning, "a.b", "msg").note("k", "v"); // severity
+  Diags.report(Severity::Error, "a.c", "msg").note("k", "v"); // distinct id
+  EXPECT_EQ(Diags.dedupe(), 1u);
+  EXPECT_EQ(Diags.numFindings(), 4u);
+  // First-occurrence order is preserved.
+  EXPECT_EQ(Diags.finding(0).Notes[0].second, "v");
+  EXPECT_EQ(Diags.finding(1).Notes[0].second, "w");
+  EXPECT_EQ(Diags.finding(2).Sev, Severity::Warning);
+  EXPECT_EQ(Diags.finding(3).Id, "a.c");
+  // Idempotent.
+  EXPECT_EQ(Diags.dedupe(), 0u);
 }
 
 TEST(Diagnostics, JsonEmptyReportIsWellFormed) {
@@ -429,6 +448,29 @@ TEST(ScheduleCheck, OverlappingSubRegionsAreAWriteWriteRace) {
   EXPECT_TRUE(Diags.hasFinding("race.intra.write-write"));
 }
 
+TEST(ScheduleCheck, TemporalRaceIdsEncodeTheEpochStep) {
+  // The same dropped-barrier defect replayed at two fused steps must
+  // yield two *distinct* stable ids (.step0 / .step1) that both survive
+  // deduplication — a temporal plan's step-k finding is not a duplicate
+  // of its step-0 twin.
+  RaceApp App = makeRaceApp();
+  Box3 R = Box3::fromExtents(32, 8, 4);
+  IslandSchedule S;
+  S.NumThreads = 4;
+  S.TemporalDepth = 2;
+  S.Passes = {{App.S0, R, /*BarrierAfter=*/false, /*StepInEpoch=*/0},
+              {App.S1, R, /*BarrierAfter=*/true, /*StepInEpoch=*/0},
+              {App.S0, R, /*BarrierAfter=*/false, /*StepInEpoch=*/1},
+              {App.S1, R, /*BarrierAfter=*/true, /*StepInEpoch=*/1}};
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(checkScheduleRaces(App.P, {S}, Diags));
+  EXPECT_TRUE(Diags.hasFinding("race.intra.read-write.step0"));
+  EXPECT_TRUE(Diags.hasFinding("race.intra.read-write.step1"));
+  EXPECT_FALSE(Diags.hasFinding("race.intra.read-write"));
+  EXPECT_EQ(Diags.dedupe(), 0u);
+  EXPECT_EQ(Diags.numErrors(), 2u);
+}
+
 TEST(ScheduleCheck, SingleThreadTeamNeverRacesIntraIsland) {
   RaceApp App = makeRaceApp();
   Box3 R = Box3::fromExtents(32, 8, 4);
@@ -630,6 +672,62 @@ TEST(LintSuite, TagsPlanFindingsWithThePlanLabel) {
       if (Note.first == "plan" && Note.second == "seeded")
         Tagged = true;
   EXPECT_TRUE(Tagged);
+}
+
+TEST(LintSuite, TemporalJsonGoldenFile) {
+  // Byte-stable icores.lint.v1 snapshot of a seeded-defect temporal
+  // (T=4) plan: the flux->upwind barriers are dropped at the first and
+  // last fused step of island 0, putting 'flux1' (whose output 'f1' the
+  // i-split teams read at offset [0,1] along i) in one barrier-free
+  // epoch with 'upwind' — a race at step 0 and step 3, with ids carrying
+  // the .step<k> suffix. Set ICORES_UPDATE_GOLDEN=1 to regenerate the
+  // fixture after an intentional format change.
+  MpdataProgram M = buildMpdataProgram();
+  MachineModel Machine = makeToyMachine();
+  Box3 Target = Box3::fromExtents(48, 32, 32);
+  PlanConfig Config;
+  Config.Strat = Strategy::IslandsOfCores;
+  Config.Sockets = 2;
+  Config.TemporalDepth = 4;
+  ExecutionPlan Plan = buildPlan(M.Program, Target, Machine, Config);
+  ASSERT_EQ(Plan.TemporalDepth, 4);
+  ASSERT_EQ(Plan.Islands[0].Blocks.front().StepInEpoch, 0);
+  ASSERT_EQ(Plan.Islands[0].Blocks.back().StepInEpoch, 3);
+  for (size_t P = 0; P != 3; ++P) {
+    Plan.Islands[0].Blocks.front().Passes[P].BarrierAfter = false;
+    Plan.Islands[0].Blocks.back().Passes[P].BarrierAfter = false;
+  }
+
+  DiagnosticEngine Diags;
+  LintSuiteOptions Opts;
+  Opts.RunAccessAudit = false; // Plan checks only: keep the fixture small.
+  EXPECT_FALSE(
+      runLintSuite(M.Program, {}, {{"islands-T4", &Plan}}, Diags, Opts));
+  EXPECT_TRUE(Diags.hasFinding("race.intra.read-write.step0"));
+  EXPECT_TRUE(Diags.hasFinding("race.intra.read-write.step3"));
+  std::string Buf;
+  StringOStream OS(Buf);
+  Diags.printJson(OS);
+
+  std::string Path = std::string(ICORES_TEST_DATA_DIR) +
+                     "/golden/lint_temporal.v1.json";
+  if (std::getenv("ICORES_UPDATE_GOLDEN")) {
+    std::FILE *F = std::fopen(Path.c_str(), "wb");
+    ASSERT_NE(F, nullptr) << "cannot write golden file " << Path;
+    std::fwrite(Buf.data(), 1, Buf.size(), F);
+    std::fclose(F);
+    return;
+  }
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  ASSERT_NE(F, nullptr) << "missing golden file " << Path;
+  std::string Golden;
+  char Chunk[4096];
+  for (size_t N; (N = std::fread(Chunk, 1, sizeof(Chunk), F)) > 0;)
+    Golden.append(Chunk, N);
+  std::fclose(F);
+  EXPECT_EQ(Buf, Golden)
+      << "temporal icores.lint.v1 output drifted from the golden file; "
+         "rerun with ICORES_UPDATE_GOLDEN=1 if the change is intentional";
 }
 
 TEST(LintSuite, IncompleteKernelTableIsAnError) {

@@ -20,9 +20,29 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+
 using namespace icores;
 
 namespace {
+
+/// The sweep seed: each test's default, unless ICORES_PROPERTY_SEED is
+/// set, which overrides every sweep for deterministic reproduction of a
+/// reported failure. Pair with seedTrace() below so a failing assertion
+/// always names the seed that produced it.
+uint64_t propertySeed(uint64_t Default) {
+  if (const char *Env = std::getenv("ICORES_PROPERTY_SEED"))
+    return std::strtoull(Env, nullptr, 0);
+  return Default;
+}
+
+/// "seed=N (rerun with ICORES_PROPERTY_SEED=N)" for SCOPED_TRACE, so any
+/// failure inside the sweep prints how to reproduce it.
+std::string seedTrace(uint64_t Seed) {
+  return "seed=" + std::to_string(Seed) +
+         " (rerun with ICORES_PROPERTY_SEED=" + std::to_string(Seed) + ")";
+}
 
 Box3 randomBox(SplitMix64 &Rng, int Span) {
   Box3 B;
@@ -39,7 +59,9 @@ Box3 randomBox(SplitMix64 &Rng, int Span) {
 } // namespace
 
 TEST(BoxProperties, IntersectionLaws) {
-  SplitMix64 Rng(101);
+  uint64_t Seed = propertySeed(101);
+  SCOPED_TRACE(seedTrace(Seed));
+  SplitMix64 Rng(Seed);
   for (int Trial = 0; Trial != 500; ++Trial) {
     Box3 A = randomBox(Rng, 12);
     Box3 B = randomBox(Rng, 12);
@@ -61,7 +83,9 @@ TEST(BoxProperties, IntersectionLaws) {
 }
 
 TEST(BoxProperties, UnionBounds) {
-  SplitMix64 Rng(202);
+  uint64_t Seed = propertySeed(202);
+  SCOPED_TRACE(seedTrace(Seed));
+  SplitMix64 Rng(Seed);
   for (int Trial = 0; Trial != 500; ++Trial) {
     Box3 A = randomBox(Rng, 12);
     Box3 B = randomBox(Rng, 12);
@@ -78,7 +102,9 @@ TEST(BoxProperties, UnionBounds) {
 }
 
 TEST(BoxProperties, GrowShrinkRoundTrip) {
-  SplitMix64 Rng(303);
+  uint64_t Seed = propertySeed(303);
+  SCOPED_TRACE(seedTrace(Seed));
+  SplitMix64 Rng(Seed);
   for (int Trial = 0; Trial != 200; ++Trial) {
     Box3 A = randomBox(Rng, 10);
     if (A.empty())
@@ -91,7 +117,9 @@ TEST(BoxProperties, GrowShrinkRoundTrip) {
 TEST(HaloProperties, RequirementsMonotoneInTarget) {
   // A larger target never needs smaller stage regions.
   MpdataProgram M = buildMpdataProgram();
-  SplitMix64 Rng(404);
+  uint64_t Seed = propertySeed(404);
+  SCOPED_TRACE(seedTrace(Seed));
+  SplitMix64 Rng(Seed);
   for (int Trial = 0; Trial != 50; ++Trial) {
     int NI = 8 + static_cast<int>(Rng.nextBounded(24));
     int NJ = 8 + static_cast<int>(Rng.nextBounded(24));
@@ -109,7 +137,9 @@ TEST(HaloProperties, RequirementsTranslationInvariant) {
   MpdataProgram M = buildMpdataProgram();
   Box3 Base = Box3::fromExtents(16, 12, 8);
   RegionRequirements R0 = computeRequirements(M.Program, Base);
-  SplitMix64 Rng(505);
+  uint64_t Seed = propertySeed(505);
+  SCOPED_TRACE(seedTrace(Seed));
+  SplitMix64 Rng(Seed);
   for (int Trial = 0; Trial != 20; ++Trial) {
     int DI = static_cast<int>(Rng.nextBounded(20)) - 10;
     int DJ = static_cast<int>(Rng.nextBounded(20)) - 10;
@@ -151,7 +181,9 @@ TEST(ExtraElementProperties, IndependentOfUnsplitExtent) {
 
 TEST(PlannerProperties, RandomPlansAlwaysVerify) {
   MpdataProgram M = buildMpdataProgram();
-  SplitMix64 Rng(606);
+  uint64_t Seed = propertySeed(606);
+  SCOPED_TRACE(seedTrace(Seed));
+  SplitMix64 Rng(Seed);
   for (int Trial = 0; Trial != 30; ++Trial) {
     MachineModel Machine = makeToyMachine();
     Machine.NumSockets = 1 + static_cast<int>(Rng.nextBounded(6));

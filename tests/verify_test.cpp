@@ -1,0 +1,275 @@
+//===- tests/verify_test.cpp - Plan-space proof engine tests --------------===//
+//
+// The plan-space verification engine: enumeration coverage and pruning,
+// the proof driver's per-plan verdicts and icores.prove.v1 rendering, the
+// temporal coverage model check, and the analysis mutation suite — every
+// mutant class must have ground-truth candidates on real plans and be
+// killed by exactly the checker it targets.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PlanBuilder.h"
+#include "core/PlanVerifier.h"
+#include "exec/ScheduleCheck.h"
+#include "machine/MachineModel.h"
+#include "mpdata/MpdataProgram.h"
+#include "support/Diagnostics.h"
+#include "support/OStream.h"
+#include "support/Random.h"
+#include "verify/Mutator.h"
+#include "verify/PlanSpace.h"
+#include "verify/ProofDriver.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace icores;
+
+namespace {
+
+/// The reduced space most tests use: 2 workloads x 3 strategies x
+/// {1,2} teams x {1,2} depths x elision = 48 points, all feasible.
+PlanSpaceOptions smokeSpace() {
+  PlanSpaceOptions Opts;
+  Opts.TeamCounts = {1, 2};
+  Opts.TemporalDepths = {1, 2};
+  return Opts;
+}
+
+//===----------------------------------------------------------------------===//
+// Plan-space enumeration
+//===----------------------------------------------------------------------===//
+
+TEST(PlanSpaceTest, FullSpaceHas108UniqueLabelledPoints) {
+  PlanSpaceEnumeration E = enumeratePlanSpace();
+  ASSERT_EQ(E.Workloads.size(), 2u);
+  EXPECT_EQ(E.Workloads[0].Name, "mpdata");
+  EXPECT_EQ(E.Workloads[1].Name, "advdiff");
+  // 2 workloads x 3 strategies x 3 team counts x 3 depths x 2 elision.
+  EXPECT_EQ(E.Plans.size(), 108u);
+  std::set<std::string> Labels;
+  for (const EnumeratedPlan &P : E.Plans) {
+    EXPECT_TRUE(Labels.insert(P.Point.Label).second)
+        << "duplicate label " << P.Point.Label;
+    EXPECT_EQ(P.Feasible, P.PruneReason.empty()) << P.Point.Label;
+    if (P.Feasible) {
+      EXPECT_FALSE(P.Plan.Islands.empty()) << P.Point.Label;
+      EXPECT_EQ(P.Plan.TemporalDepth, P.Point.TemporalDepth)
+          << P.Point.Label;
+    }
+  }
+  // On the default grid every point is feasible: the prove record set
+  // covers the whole space with verdicts, not gaps.
+  for (const EnumeratedPlan &P : E.Plans)
+    EXPECT_TRUE(P.Feasible) << P.Point.Label << ": " << P.PruneReason;
+}
+
+TEST(PlanSpaceTest, ElisionVariantsActuallyElide) {
+  PlanSpaceEnumeration E = enumeratePlanSpace(smokeSpace());
+  int64_t Elided = 0;
+  for (const EnumeratedPlan &P : E.Plans) {
+    if (!P.Point.Elide)
+      EXPECT_EQ(P.ElidedBarriers, 0) << P.Point.Label;
+    else
+      Elided += P.ElidedBarriers;
+  }
+  EXPECT_GT(Elided, 0) << "no elide variant removed any barrier";
+}
+
+TEST(PlanSpaceTest, InfeasibleTemporalDepthsArePrunedWithAReason) {
+  // On an 8^3 grid the depth-4 MPDATA cone (grown by 18) exceeds the
+  // advisor's 2x bound, so every T=4 point must be pruned — same rule,
+  // same outcome, visible reason.
+  PlanSpaceOptions Opts;
+  Opts.NI = Opts.NJ = Opts.NK = 8;
+  Opts.TimeSteps = 8;
+  PlanSpaceEnumeration E = enumeratePlanSpace(Opts);
+  EXPECT_EQ(E.Plans.size(), 108u);
+  size_t Pruned = 0;
+  for (const EnumeratedPlan &P : E.Plans)
+    if (P.Point.Workload == "mpdata" && P.Point.TemporalDepth == 4) {
+      EXPECT_FALSE(P.Feasible) << P.Point.Label;
+      EXPECT_FALSE(P.PruneReason.empty()) << P.Point.Label;
+      ++Pruned;
+    }
+  EXPECT_EQ(Pruned, 18u); // 3 strategies x 3 team counts x 2 elision.
+}
+
+TEST(PlanSpaceTest, MachineMapsTeamsOntoSockets) {
+  for (int Teams : {1, 2, 4}) {
+    MachineModel M = planSpaceMachine(Teams);
+    EXPECT_EQ(M.NumSockets, Teams);
+  }
+  EXPECT_STREQ(strategyKey(Strategy::Original), "original");
+  EXPECT_STREQ(strategyKey(Strategy::Block31D), "block31d");
+  EXPECT_STREQ(strategyKey(Strategy::IslandsOfCores), "islands");
+}
+
+//===----------------------------------------------------------------------===//
+// Proof driver
+//===----------------------------------------------------------------------===//
+
+TEST(ProofDriverTest, SmokeSuiteProvesEveryPlanAndKillsEveryMutant) {
+  ProofOptions Opts;
+  Opts.Space = smokeSpace();
+  Opts.BarrierThreadCounts = {2, 3};
+  Opts.MutantsPerClass = 2;
+  ProofReport Report = runProofSuite(Opts);
+
+  EXPECT_EQ(Report.Plans.size(), 48u);
+  EXPECT_EQ(Report.numWithVerdict("proved"), 48u);
+  EXPECT_EQ(Report.numWithVerdict("violated"), 0u);
+  EXPECT_TRUE(Report.allPlansProved());
+
+  // Protocol: per-N barrier proofs, both model mutants caught, three
+  // comm grids in clean and death flavours, all comm mutants caught.
+  EXPECT_EQ(Report.Barrier.size(), 2u);
+  for (const BarrierProofRecord &R : Report.Barrier)
+    EXPECT_TRUE(R.Ok) << R.Threads << " threads: " << R.Witness;
+  EXPECT_EQ(Report.BarrierMutants.size(), 2u);
+  for (const BarrierMutantRecord &R : Report.BarrierMutants)
+    EXPECT_TRUE(R.Caught) << R.Mutant;
+  EXPECT_EQ(Report.Comm.size(), 6u);
+  for (const CommProofRecord &R : Report.Comm)
+    EXPECT_TRUE(R.Ok) << R.PI << "x" << R.PJ << " " << R.Kind;
+  for (const CommMutantRecord &R : Report.CommMutants)
+    EXPECT_TRUE(R.Caught) << R.Mutant;
+  EXPECT_TRUE(Report.protocolOk());
+
+  // Mutation suite: one record per class, full kill rate.
+  ASSERT_EQ(Report.Mutation.size(), 5u);
+  for (const MutationClassRecord &R : Report.Mutation) {
+    EXPECT_GE(R.Mutants, 1) << mutantClassName(R.Class);
+    EXPECT_EQ(R.Killed, R.Mutants) << mutantClassName(R.Class);
+  }
+  EXPECT_DOUBLE_EQ(Report.killRate(), 1.0);
+  EXPECT_TRUE(Report.allMutantsKilled());
+  EXPECT_TRUE(Report.ok());
+
+  // icores.prove.v1 rendering carries the verdicts and the summary.
+  std::string Json;
+  StringOStream OS(Json);
+  writeProveJson(Report, OS);
+  EXPECT_NE(Json.find("\"schema\": \"icores.prove.v1\""), std::string::npos);
+  EXPECT_NE(Json.find("\"verdict\": \"proved\""), std::string::npos);
+  EXPECT_NE(Json.find("\"kill_rate\": 1"), std::string::npos);
+  EXPECT_NE(Json.find("\"ok\": true"), std::string::npos);
+}
+
+TEST(ProofDriverTest, PrunedPointsGetPrunedVerdicts) {
+  ProofOptions Opts;
+  Opts.Space.NI = Opts.Space.NJ = Opts.Space.NK = 8;
+  Opts.Space.TeamCounts = {1};
+  Opts.Space.TemporalDepths = {1, 4};
+  Opts.RunMutation = false;
+  Opts.BarrierThreadCounts = {2};
+  ProofReport Report = runProofSuite(Opts);
+  EXPECT_GT(Report.numWithVerdict("pruned"), 0u);
+  EXPECT_EQ(Report.numWithVerdict("violated"), 0u);
+  EXPECT_TRUE(Report.allPlansProved());
+  for (const PlanProofRecord &R : Report.Plans)
+    if (R.Verdict == "pruned") {
+      EXPECT_FALSE(R.PruneReason.empty()) << R.Point.Label;
+    }
+  // With mutation off the report must not claim a kill rate of zero.
+  EXPECT_DOUBLE_EQ(Report.killRate(), 1.0);
+  EXPECT_TRUE(Report.ok());
+}
+
+TEST(ProofDriverTest, TemporalCoverageModelHoldsOnBuiltPlans) {
+  MpdataProgram M = buildMpdataProgram();
+  MachineModel Machine = planSpaceMachine(2);
+  for (int T : {1, 2, 4}) {
+    PlanConfig Config;
+    Config.Strat = Strategy::IslandsOfCores;
+    Config.Sockets = 2;
+    Config.TemporalDepth = T;
+    ExecutionPlan Plan = buildPlan(
+        M.Program, Box3::fromExtents(48, 32, 32), Machine, Config);
+    DiagnosticEngine Diags;
+    EXPECT_TRUE(checkTemporalCoverage(M.Program, Plan, Diags))
+        << "T=" << T << ": " << Diags.firstErrorMessage();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Analysis mutation testing
+//===----------------------------------------------------------------------===//
+
+/// Runs the same checkers the proof driver uses on one plan.
+void runCheckers(const StencilProgram &Program, const ExecutionPlan &Plan,
+                 DiagnosticEngine &Diags) {
+  verifyPlan(Plan, Program, Diags);
+  checkPlanRaces(Program, Plan, Diags);
+}
+
+TEST(MutatorTest, EveryClassIsKilledByItsOwnCheckerAcrossTheSpace) {
+  // Sample the same space the proof driver mutates: for each class, every
+  // plan with a ground-truth candidate must yield a mutant the matching
+  // checker kills, and each class must find candidates somewhere.
+  PlanSpaceEnumeration E = enumeratePlanSpace(smokeSpace());
+  for (MutantClass Class : AllMutantClasses) {
+    int Candidates = 0, Killed = 0;
+    for (const EnumeratedPlan &P : E.Plans) {
+      if (!P.Feasible)
+        continue;
+      const StencilProgram &Program =
+          E.Workloads[P.Point.WorkloadIndex].Program;
+      SplitMix64 Rng(42 + static_cast<uint64_t>(Candidates));
+      ExecutionPlan Mutant = P.Plan;
+      if (!applyMutation(Mutant, Program, Class, Rng))
+        continue;
+      ++Candidates;
+      DiagnosticEngine Diags;
+      runCheckers(Program, Mutant, Diags);
+      if (mutantKilled(Class, Diags))
+        ++Killed;
+      else
+        ADD_FAILURE() << mutantClassName(Class) << " survived on "
+                      << P.Point.Label << " (kill prefix "
+                      << mutantKillIdPrefix(Class)
+                      << "): " << Diags.firstErrorMessage();
+      if (Candidates == 6)
+        break; // A handful per class keeps the test fast.
+    }
+    EXPECT_GT(Candidates, 0)
+        << mutantClassName(Class) << ": no ground-truth candidate in space";
+    EXPECT_EQ(Killed, Candidates) << mutantClassName(Class);
+  }
+}
+
+TEST(MutatorTest, ClassesWithoutCandidatesDeclineUnsuitablePlans) {
+  MpdataProgram M = buildMpdataProgram();
+  // One socket, one thread per island, depth 1: no second thread to race
+  // with and no fused-step boundary to reorder across.
+  MachineModel Machine = planSpaceMachine(1);
+  Machine.CoresPerSocket = 1;
+  PlanConfig Config;
+  Config.Strat = Strategy::Original;
+  Config.Sockets = 1;
+  ExecutionPlan Plan =
+      buildPlan(M.Program, Box3::fromExtents(24, 16, 8), Machine, Config);
+  ASSERT_EQ(Plan.Islands[0].NumThreads, 1);
+  SplitMix64 Rng(7);
+  ExecutionPlan Copy = Plan;
+  EXPECT_FALSE(
+      applyMutation(Copy, M.Program, MutantClass::DropBarrier, Rng));
+  EXPECT_FALSE(
+      applyMutation(Copy, M.Program, MutantClass::ReorderEpochStep, Rng));
+}
+
+TEST(MutatorTest, KillPrefixMatchesTemporalStepSuffixedIds) {
+  // The race ids of temporal plans carry a .step<k> suffix; the
+  // drop-barrier kill test matches on the "race.intra." prefix, so the
+  // suffixed form must still count as a kill.
+  DiagnosticEngine Diags;
+  Diags.report(Severity::Error, "race.intra.read-write.step2", "seeded");
+  EXPECT_TRUE(mutantKilled(MutantClass::DropBarrier, Diags));
+  DiagnosticEngine Other;
+  Other.report(Severity::Error, "plan.output.coverage", "seeded");
+  EXPECT_FALSE(mutantKilled(MutantClass::DropBarrier, Other));
+  EXPECT_TRUE(mutantKilled(MutantClass::NarrowWindow, Other));
+}
+
+} // namespace

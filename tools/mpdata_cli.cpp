@@ -13,6 +13,7 @@
 //   mpdata_cli traffic   --strategy=original [--machine ...]
 //   mpdata_cli plan      --strategy=islands [--sockets ...]  (dump the plan)
 //   mpdata_cli lint      [--strategy=...] [--json] [--no-audit]
+//   mpdata_cli verify    [--out=FILE] [--json]  (plan-space proof suite)
 //
 // `simulate`, `advise`, `traffic` and `plan` are instantaneous model
 // queries; `execute` runs the real threaded numerics on this host and
@@ -41,6 +42,7 @@
 #include "support/Diagnostics.h"
 #include "support/Format.h"
 #include "support/OStream.h"
+#include "verify/ProofDriver.h"
 
 #include <cstdio>
 #include <cstring>
@@ -52,7 +54,7 @@ namespace {
 
 void printUsage() {
   std::printf(
-      "usage: mpdata_cli <simulate|execute|advise|traffic|plan|lint> "
+      "usage: mpdata_cli <simulate|execute|advise|traffic|plan|lint|verify> "
       "[options]\n"
       "  --machine=uv2000|knc|xeon   machine model (default uv2000)\n"
       "  --strategy=original|31d|islands (default islands)\n"
@@ -92,7 +94,11 @@ void printUsage() {
       "                              --profile JSON (exec_stats v3)\n"
       "  --json                      lint mode: emit icores.lint.v1 JSON\n"
       "  --no-audit                  lint mode: skip the kernel access "
-      "audit\n");
+      "audit\n"
+      "  --out=FILE                  verify mode: icores.prove.v1 output\n"
+      "                              path (default BENCH_prove.json); see\n"
+      "                              tools/icores_verify.cpp for the full\n"
+      "                              option set\n");
 }
 
 bool parseStrategy(const std::string &Name, Strategy &Out) {
@@ -135,7 +141,7 @@ int main(int Argc, char **Argv) {
                           "variant", "placement", "kernels", "ni", "nj",
                           "nk", "steps", "temporal", "profile", "pin",
                           "json", "no-audit", "no-elide", "barrier",
-                          "chaos", "help"})
+                          "chaos", "out", "help"})
     CL.registerOption(Opt, "");
   std::string Error;
   if (!CL.parse(Argc - 1, Argv + 1, Error)) {
@@ -246,6 +252,33 @@ int main(int Argc, char **Argv) {
                   Diags.numWarnings());
     }
     return Diags.hasErrors() ? 1 : 0;
+  }
+
+  if (Mode == "verify") {
+    // The full plan-space proof suite (see tools/icores_verify.cpp for
+    // the standalone driver with the complete option set).
+    ProofOptions Opts;
+    Opts.Space.NI = static_cast<int>(CL.getInt("ni", Opts.Space.NI));
+    Opts.Space.NJ = static_cast<int>(CL.getInt("nj", Opts.Space.NJ));
+    Opts.Space.NK = static_cast<int>(CL.getInt("nk", Opts.Space.NK));
+    if (CL.hasOption("steps"))
+      Opts.Space.TimeSteps = Steps;
+    ProofReport Report = runProofSuite(Opts);
+    std::string Out = CL.getString("out", "BENCH_prove.json");
+    if (!writeProveJsonFile(Report, Out)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", Out.c_str());
+      return 1;
+    }
+    if (CL.hasOption("json"))
+      writeProveJson(Report, outs());
+    std::printf("verify: %zu plans (%zu proved, %zu pruned, %zu violated), "
+                "protocol %s, kill rate %.2f -> %s\n",
+                Report.Plans.size(), Report.numWithVerdict("proved"),
+                Report.numWithVerdict("pruned"),
+                Report.numWithVerdict("violated"),
+                Report.protocolOk() ? "ok" : "FAILED", Report.killRate(),
+                Out.c_str());
+    return Report.ok() ? 0 : 1;
   }
 
   if (Mode == "simulate" || Mode == "traffic" || Mode == "plan") {
