@@ -188,6 +188,43 @@ std::string icores::bench::writeTemporalBenchJson(
   return Path;
 }
 
+std::string icores::bench::writeNumaBenchJson(
+    const std::string &BenchName,
+    const std::vector<NumaBenchJsonRow> &Rows) {
+  const char *Dir = std::getenv("ICORES_BENCH_DIR");
+  std::string Path = formatString("%s/BENCH_%s.json", Dir ? Dir : ".",
+                                  BenchName.c_str());
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::printf("note: could not write %s\n", Path.c_str());
+    return std::string();
+  }
+  std::fprintf(F, "{\n  \"schema\": \"icores.bench.v2\",\n");
+  std::fprintf(F, "  \"bench\": \"%s\",\n", BenchName.c_str());
+  std::fprintf(F, "  \"rows\": [");
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const NumaBenchJsonRow &R = Rows[I];
+    std::fprintf(F,
+                 "%s\n    {\"strategy\": \"%s\", \"temporal_depth\": %d, "
+                 "\"placement\": \"%s\", "
+                 "\"remote_bytes_per_step\": %lld, "
+                 "\"projected_remote_bytes_per_step\": %lld, "
+                 "\"pages_first_touched\": %lld, "
+                 "\"pin_failures\": %lld, "
+                 "\"seconds\": %.9g}",
+                 I ? "," : "", R.Strategy.c_str(), R.TemporalDepth,
+                 R.Placement.c_str(),
+                 static_cast<long long>(R.RemoteBytesPerStep),
+                 static_cast<long long>(R.ProjectedRemoteBytesPerStep),
+                 static_cast<long long>(R.PagesFirstTouched),
+                 static_cast<long long>(R.PinFailures), R.Seconds);
+  }
+  std::fprintf(F, "\n  ]\n}\n");
+  std::fclose(F);
+  std::printf("wrote %s\n", Path.c_str());
+  return Path;
+}
+
 MeasuredProfile icores::bench::measureHostRun(const MpdataProgram &M,
                                               Strategy Strat, int Islands,
                                               int NI, int NJ, int NK,

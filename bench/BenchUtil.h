@@ -121,6 +121,28 @@ std::string
 writeTemporalBenchJson(const std::string &BenchName,
                        const std::vector<TemporalBenchJsonRow> &Rows);
 
+/// One row of the NUMA-placement study (schema icores.bench.v2,
+/// distinguished from the temporal rows by the "placement" field): per
+/// (strategy, temporal depth, placement policy), the remote-socket DRAM
+/// traffic per time step — once from the executor's placement map (the
+/// "measured" side: the estimate armed in the real run, validated by the
+/// placed() invariant), once from the simulator's projection — plus the
+/// first-touch page count, pin failures, and wall time.
+struct NumaBenchJsonRow {
+  std::string Strategy;         ///< strategyName() of the plan.
+  int TemporalDepth = 1;        ///< Fused steps per epoch (T).
+  std::string Placement;        ///< placementPolicyName() of the policy.
+  int64_t RemoteBytesPerStep = 0; ///< Executor remoteBytesPerStep().
+  int64_t ProjectedRemoteBytesPerStep = 0; ///< Simulator projection.
+  int64_t PagesFirstTouched = 0; ///< Pages zeroed by the init epoch.
+  int64_t PinFailures = 0;       ///< sched_setaffinity rejections.
+  double Seconds = 0.0;          ///< Measured wall seconds for the run.
+};
+
+/// writeBenchJson() for NUMA-placement rows (schema icores.bench.v2).
+std::string writeNumaBenchJson(const std::string &BenchName,
+                               const std::vector<NumaBenchJsonRow> &Rows);
+
 /// Aggregate timings measured by running the real threaded executor with
 /// profiling enabled (exec/ExecStats) on this host.
 struct MeasuredProfile {

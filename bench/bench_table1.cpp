@@ -36,7 +36,7 @@ int main() {
   std::array<double, 14> Serial{}, FirstTouch{}, Blocked{};
   for (int P = 1; P <= PaperMaxCpus; ++P) {
     Serial[P - 1] = simulatePaperRun(M, Uv, Strategy::Original, P,
-                                     PagePlacement::SerialInit)
+                                     PagePlacement::None)
                         .TotalSeconds;
     FirstTouch[P - 1] =
         simulatePaperRun(M, Uv, Strategy::Original, P).TotalSeconds;

@@ -24,7 +24,7 @@ export ICORES_BENCH_DIR=$OUT_DIR
 
 STATUS=0
 for BENCH in bench_table1 bench_table2 bench_table3 bench_table4 \
-             bench_kernels bench_temporal; do
+             bench_kernels bench_temporal bench_numa; do
   BIN=$BUILD_DIR/bench/$BENCH
   [ -x "$BIN" ] || continue
   LOG=$OUT_DIR/$BENCH.log
@@ -47,6 +47,18 @@ if [ -x "$CLI" ]; then
        > "$OUT_DIR/temporal_smoke.log" 2>&1; then
     echo "   FAILED — tail of $OUT_DIR/temporal_smoke.log:"
     tail -5 "$OUT_DIR/temporal_smoke.log"
+    STATUS=1
+  fi
+
+  # NUMA smoke: a first-touch placed run must stay bit-exact and its
+  # --profile record (exec_stats v4 with the placement fields) must
+  # validate with everything else below.
+  echo "== numa smoke (mpdata_cli execute --place=firsttouch)"
+  if ! "$CLI" execute --strategy=islands --islands=2 --steps=4 \
+       --place=firsttouch --profile="$OUT_DIR/exec_stats_numa.json" \
+       > "$OUT_DIR/numa_smoke.log" 2>&1; then
+    echo "   FAILED — tail of $OUT_DIR/numa_smoke.log:"
+    tail -5 "$OUT_DIR/numa_smoke.log"
     STATUS=1
   fi
 fi

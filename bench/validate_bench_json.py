@@ -13,16 +13,27 @@ Accepted schemas:
     "rows": [...]
   }
 
-  icores.bench.v2 (bench/BenchUtil.cpp writeTemporalBenchJson): same
-  envelope, with temporal-blocking traffic rows:
+  icores.bench.v2 (bench/BenchUtil.cpp writeTemporalBenchJson and
+  writeNumaBenchJson): same envelope, with two row shapes distinguished
+  by the "placement" field. Temporal-blocking traffic rows:
       {"strategy": str, "temporal_depth": int >= 1,
        "measured_bytes_per_step": int > 0,
        "projected_bytes_per_step": int > 0, "seconds": float > 0}
+  NUMA-placement rows (bench_numa):
+      {"strategy": str, "temporal_depth": int >= 1,
+       "placement": "none"|"firsttouch"|"interleave",
+       "remote_bytes_per_step": int >= 0,
+       "projected_remote_bytes_per_step": int >= 0,
+       "pages_first_touched": int >= 0, "pin_failures": int >= 0,
+       "seconds": float > 0}
 
-  icores.exec_stats.v2 / icores.exec_stats.v3 (--profile output of
-  mpdata_cli, src/exec/ExecStats.cpp writeJson). v3 extends v2 with the
-  fault-injection counters "faults_injected", "retries", "timeouts" and
-  "recovered" (ints >= 0); v2 documents remain valid without them.
+  icores.exec_stats.v2 / icores.exec_stats.v3 / icores.exec_stats.v4
+  (--profile output of mpdata_cli, src/exec/ExecStats.cpp writeJson). v3
+  extends v2 with the fault-injection counters "faults_injected",
+  "retries", "timeouts" and "recovered" (ints >= 0); v2 documents remain
+  valid without them. v4 adds the NUMA placement fields "placement"
+  (none/firsttouch/interleave), "remote_bytes_est", "pages_first_touched"
+  and "pin_failures" (ints >= 0).
 
   icores.prove.v1 (src/verify/ProofDriver.cpp writeProveJson; emitted by
   tools/icores_verify and `mpdata_cli verify`):
@@ -103,6 +114,10 @@ EXEC_STATS_FIELDS = {
 EXEC_STATS_V3_FAULT_FIELDS = ("faults_injected", "retries", "timeouts",
                               "recovered")
 
+# v4 adds the NUMA placement fields (additive; see src/exec/ExecStats.cpp).
+EXEC_STATS_V4_PLACEMENT_FIELDS = ("remote_bytes_est", "pages_first_touched",
+                                  "pin_failures")
+
 TEMPORAL_ROW_FIELDS = {
     "strategy": str,
     "temporal_depth": int,
@@ -110,6 +125,49 @@ TEMPORAL_ROW_FIELDS = {
     "projected_bytes_per_step": int,
     "seconds": (int, float),
 }
+
+NUMA_ROW_FIELDS = {
+    "strategy": str,
+    "temporal_depth": int,
+    "placement": str,
+    "remote_bytes_per_step": int,
+    "projected_remote_bytes_per_step": int,
+    "pages_first_touched": int,
+    "pin_failures": int,
+    "seconds": (int, float),
+}
+
+PLACEMENT_NAMES = ("none", "firsttouch", "interleave")
+
+
+def validate_numa_row(where, row):
+    errors = []
+    for field, types in NUMA_ROW_FIELDS.items():
+        if field not in row:
+            errors.append("%s: missing field %r" % (where, field))
+        elif not isinstance(row[field], types) or isinstance(
+                row[field], bool):
+            errors.append("%s: field %r has type %s"
+                          % (where, field, type(row[field]).__name__))
+    if errors:
+        return errors
+    if not row["strategy"]:
+        errors.append("%s: empty strategy name" % where)
+    if row["temporal_depth"] < 1:
+        errors.append("%s: temporal_depth = %d < 1"
+                      % (where, row["temporal_depth"]))
+    if row["placement"] not in PLACEMENT_NAMES:
+        errors.append("%s: placement = %r not in %s"
+                      % (where, row["placement"],
+                         "/".join(PLACEMENT_NAMES)))
+    for field in ("remote_bytes_per_step",
+                  "projected_remote_bytes_per_step",
+                  "pages_first_touched", "pin_failures"):
+        if row[field] < 0:
+            errors.append("%s: %s = %d < 0" % (where, field, row[field]))
+    if row["seconds"] <= 0:
+        errors.append("%s: seconds = %g <= 0" % (where, row["seconds"]))
+    return errors
 
 
 def validate_temporal_row(where, row):
@@ -149,7 +207,10 @@ def validate_temporal(path, doc):
         if not isinstance(row, dict):
             errors.append("%s: not an object" % where)
             continue
-        errors.extend(validate_temporal_row(where, row))
+        if "placement" in row:
+            errors.extend(validate_numa_row(where, row))
+        else:
+            errors.extend(validate_temporal_row(where, row))
     return errors
 
 
@@ -173,6 +234,18 @@ def validate_exec_stats(path, doc):
                           % (path, field))
         elif doc[field] < 0:
             errors.append("%s: field %r = %d < 0" % (path, field, doc[field]))
+    if version == "v4":
+        placement = doc.get("placement")
+        if placement not in PLACEMENT_NAMES:
+            errors.append("%s: v4 requires 'placement' in %s, got %r"
+                          % (path, "/".join(PLACEMENT_NAMES), placement))
+        for field in EXEC_STATS_V4_PLACEMENT_FIELDS:
+            if field not in doc:
+                errors.append("%s: v4 requires field %r" % (path, field))
+            elif not isinstance(doc[field], int) or isinstance(
+                    doc[field], bool) or doc[field] < 0:
+                errors.append("%s: field %r must be an int >= 0"
+                              % (path, field))
     if errors:
         return errors
     if not 0 <= doc["barrier_share"] <= 1:
@@ -353,7 +426,8 @@ def validate(path):
         return ["%s: unreadable or invalid JSON: %s" % (path, e)]
 
     schema = doc.get("schema")
-    if schema in ("icores.exec_stats.v2", "icores.exec_stats.v3"):
+    if schema in ("icores.exec_stats.v2", "icores.exec_stats.v3",
+                  "icores.exec_stats.v4"):
         return validate_exec_stats(path, doc)
     if schema == "icores.bench.v2":
         return validate_temporal(path, doc)
@@ -362,7 +436,7 @@ def validate(path):
     if schema != "icores.bench.v1":
         errors.append("%s: schema is %r, want 'icores.bench.v1', "
                       "'icores.bench.v2', 'icores.prove.v1' or "
-                      "'icores.exec_stats.v2'/'icores.exec_stats.v3'"
+                      "'icores.exec_stats.v2'/'v3'/'v4'"
                       % (path, schema))
     if not isinstance(doc.get("bench"), str) or not doc.get("bench"):
         errors.append("%s: missing or empty 'bench' name" % path)

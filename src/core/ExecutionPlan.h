@@ -25,6 +25,7 @@
 #define ICORES_CORE_EXECUTIONPLAN_H
 
 #include "grid/Box3.h"
+#include "grid/Placement.h"
 #include "stencil/StencilIR.h"
 
 #include <cstdint>
@@ -42,12 +43,12 @@ enum class Strategy {
 /// Returns a human-readable strategy name.
 const char *strategyName(Strategy S);
 
-/// Where the pages of the shared arrays live (affects the simulator only;
-/// Table 1 contrasts the two for the Original strategy).
-enum class PagePlacement {
-  SerialInit, ///< All pages on socket 0 (naive serial initialization).
-  FirstTouch, ///< Distributed by first touch with parallel initialization.
-};
+/// Where the pages of the shared arrays live. Historically a simulator-only
+/// two-value knob (Table 1 contrasts serial init vs first touch for the
+/// Original strategy); now an alias for the grid-level PlacementPolicy the
+/// executor also enforces (grid/Placement.h adds Interleave; the old
+/// SerialInit is spelled PlacementPolicy::None).
+using PagePlacement = PlacementPolicy;
 
 /// One stage evaluated over one region by one island's work team. The team
 /// splits the region among its threads and, when BarrierAfter is set,

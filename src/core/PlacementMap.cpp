@@ -1,0 +1,197 @@
+//===- core/PlacementMap.cpp - Page-placement map and remote bytes --------===//
+
+#include "core/PlacementMap.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+
+using namespace icores;
+
+namespace {
+
+/// Sentinel half-extent for the outward extension of boundary parts. Any
+/// region box the estimator or the executor ever intersects a segment with
+/// is bounded by the domain plus a few halo cells, so "effectively
+/// unbounded" just needs to dominate those; keeping it modest also keeps
+/// Box3's int extents far from overflow.
+constexpr int SentinelSpan = 1 << 20;
+
+/// Extends \p Part outward on every face it shares with \p Target, so the
+/// adjacent halo slabs (and any wider temporal cone margin) belong to the
+/// nearest island. Interior faces are left alone, which makes the extended
+/// parts pairwise disjoint and a tiling of all of space whenever the parts
+/// tile the target.
+Box3 extendToHalo(const Box3 &Part, const Box3 &Target) {
+  if (Part.empty())
+    return Part;
+  Box3 R = Part;
+  for (int D = 0; D != 3; ++D) {
+    if (Part.Lo[D] == Target.Lo[D])
+      R.Lo[D] = Target.Lo[D] - SentinelSpan;
+    if (Part.Hi[D] == Target.Hi[D])
+      R.Hi[D] = Target.Hi[D] + SentinelSpan;
+  }
+  return R;
+}
+
+} // namespace
+
+int64_t PlacementMap::localPoints(const Box3 &Region, int Socket) const {
+  int64_t Points = 0;
+  for (const PlacementSegment &Seg : Segments)
+    if (Seg.HomeSocket == Socket)
+      Points += Region.intersect(Seg.Extended).numPoints();
+  return Points;
+}
+
+Box3 PlacementMap::arenaSegment(int Island, const Box3 &AllocBox) const {
+  ICORES_CHECK(Island >= 0 &&
+                   Island < static_cast<int>(Segments.size()),
+               "arenaSegment island out of range");
+  return Segments[static_cast<size_t>(Island)].Extended.intersect(AllocBox);
+}
+
+PlacementMap icores::buildPlacementMap(const ExecutionPlan &Plan,
+                                       PlacementPolicy Policy) {
+  ICORES_CHECK(!Plan.Islands.empty(), "plan has no islands");
+  PlacementMap Map;
+  Map.Policy = Policy;
+  Map.HomeNode = Plan.Islands.front().HomeSocket;
+  for (const IslandPlan &Island : Plan.Islands) {
+    Map.Segments.push_back({Island.Index, Island.HomeSocket,
+                            extendToHalo(Island.Part, Plan.GlobalTarget)});
+    for (int S = 0; S != Island.NumSockets; ++S)
+      Map.ActiveSockets.push_back(Island.HomeSocket + S);
+  }
+  std::sort(Map.ActiveSockets.begin(), Map.ActiveSockets.end());
+  Map.ActiveSockets.erase(
+      std::unique(Map.ActiveSockets.begin(), Map.ActiveSockets.end()),
+      Map.ActiveSockets.end());
+  return Map;
+}
+
+IslandRemoteTraffic icores::estimateIslandRemoteEpochTraffic(
+    const IslandPlan &Island, const ExecutionPlan &Plan,
+    const StencilProgram &Program, const PlacementMap &Map) {
+  const int Depth = std::max(1, Plan.TemporalDepth);
+  IslandRemoteTraffic Traffic;
+
+  // Classify one shared-array box against the map and accumulate its
+  // remote slice. Mirrors the residency rules in the file comment.
+  auto charge = [&](ArrayId Id, const Box3 &Box, bool IsWrite) {
+    if (Box.empty())
+      return;
+    const int64_t ElementBytes = Program.array(Id).ElementBytes;
+    const int64_t TotalPoints = Box.numPoints();
+    int64_t RemoteBytes = 0;
+    switch (Map.Policy) {
+    case PlacementPolicy::FirstTouch:
+      for (const PlacementSegment &Seg : Map.Segments) {
+        if (Seg.HomeSocket == Island.HomeSocket)
+          continue;
+        int64_t Bytes =
+            Box.intersect(Seg.Extended).numPoints() * ElementBytes;
+        if (Bytes == 0)
+          continue;
+        RemoteBytes += Bytes;
+        Traffic.BytesBySocket[Seg.HomeSocket] += Bytes;
+      }
+      break;
+    case PlacementPolicy::None:
+      // Serial init homes everything on the home node; islands living
+      // elsewhere stream the whole box over the interconnect.
+      if (Island.HomeSocket != Map.HomeNode) {
+        RemoteBytes = TotalPoints * ElementBytes;
+        Traffic.BytesBySocket[Map.HomeNode] += RemoteBytes;
+      }
+      break;
+    case PlacementPolicy::Interleave: {
+      const int64_t Sockets =
+          static_cast<int64_t>(Map.ActiveSockets.size());
+      if (Sockets <= 1)
+        break;
+      // A 1/S page slice of any region is local; the rest is spread
+      // evenly across the other sockets.
+      int64_t RemotePoints = TotalPoints - TotalPoints / Sockets;
+      RemoteBytes = RemotePoints * ElementBytes;
+      int64_t Share = RemoteBytes / (Sockets - 1);
+      int64_t Rest = RemoteBytes - Share * (Sockets - 1);
+      for (int S : Map.ActiveSockets) {
+        if (S == Island.HomeSocket)
+          continue;
+        Traffic.BytesBySocket[S] += Share + Rest;
+        Rest = 0;
+      }
+      break;
+    }
+    }
+    if (RemoteBytes == 0)
+      return;
+    Traffic.BytesByArray[Id] += RemoteBytes;
+    (IsWrite ? Traffic.WriteBytes : Traffic.ReadBytes) += RemoteBytes;
+  };
+
+  // Replicate the executor's per-epoch footprint boxes: read unions and
+  // write unions from the actual pass regions, feedback-paired into the
+  // import-buffer boxes for temporal plans.
+  std::vector<Box3> ReadUnion(Program.numArrays());
+  std::vector<Box3> WriteUnion(Program.numArrays());
+  for (const BlockTask &Block : Island.Blocks)
+    for (const StagePass &Pass : Block.Passes) {
+      const StageDef &Stage = Program.stage(Pass.Stage);
+      for (const StageInput &In : Stage.Inputs)
+        if (Program.array(In.Array).Role == ArrayRole::StepInput) {
+          Box3 &Un = ReadUnion[static_cast<size_t>(In.Array)];
+          Un = Un.unionWith(In.readRegion(Pass.Region));
+        }
+      for (ArrayId Out : Stage.Outputs)
+        if (Program.array(Out).Role == ArrayRole::StepOutput) {
+          Box3 &Un = WriteUnion[static_cast<size_t>(Out)];
+          Un = Un.unionWith(Pass.Region);
+        }
+    }
+
+  if (Depth > 1) {
+    std::vector<Box3> BufBox(Program.numArrays());
+    for (ArrayId In : Program.stepInputs())
+      BufBox[static_cast<size_t>(In)] = ReadUnion[static_cast<size_t>(In)];
+    for (ArrayId Out : Program.stepOutputs())
+      BufBox[static_cast<size_t>(Out)] =
+          WriteUnion[static_cast<size_t>(Out)];
+    for (const FeedbackPair &FB : Program.feedbacks()) {
+      Box3 Paired = BufBox[static_cast<size_t>(FB.Target)].unionWith(
+          BufBox[static_cast<size_t>(FB.Source)]);
+      BufBox[static_cast<size_t>(FB.Target)] = Paired;
+      BufBox[static_cast<size_t>(FB.Source)] = Paired;
+    }
+    for (ArrayId In : Program.stepInputs())
+      charge(In, BufBox[static_cast<size_t>(In)], /*IsWrite=*/false);
+  } else {
+    for (ArrayId In : Program.stepInputs())
+      charge(In, ReadUnion[static_cast<size_t>(In)], /*IsWrite=*/false);
+  }
+  for (ArrayId Out : Program.stepOutputs()) {
+    Box3 FinalOut;
+    for (const BlockTask &Block : Island.Blocks) {
+      if (Block.StepInEpoch != Depth - 1)
+        continue;
+      for (const StagePass &Pass : Block.Passes)
+        if (Pass.Stage == Program.producerOf(Out))
+          FinalOut = FinalOut.unionWith(Pass.Region);
+    }
+    charge(Out, FinalOut, /*IsWrite=*/true);
+  }
+  return Traffic;
+}
+
+int64_t icores::estimateRemoteBytesPerStep(const ExecutionPlan &Plan,
+                                           const StencilProgram &Program,
+                                           PlacementPolicy Policy) {
+  PlacementMap Map = buildPlacementMap(Plan, Policy);
+  int64_t PerEpoch = 0;
+  for (const IslandPlan &Island : Plan.Islands)
+    PerEpoch +=
+        estimateIslandRemoteEpochTraffic(Island, Plan, Program, Map).total();
+  return PerEpoch / std::max(1, Plan.TemporalDepth);
+}

@@ -3,6 +3,7 @@
 #include "exec/ExecStats.h"
 
 #include "core/ExecutionPlan.h"
+#include "grid/Placement.h"
 #include "support/Error.h"
 #include "support/Format.h"
 #include "support/OStream.h"
@@ -70,6 +71,10 @@ void ExecStats::initLayout(const ExecutionPlan &Plan, unsigned NumStages) {
   FaultRetries = 0;
   FaultTimeouts = 0;
   FaultsRecovered = 0;
+  Placement = placementPolicyName(PlacementPolicy::None);
+  RemoteBytesEst = 0;
+  PagesFirstTouched = 0;
+  PinFailures = 0;
 }
 
 void ExecStats::resetMeasurements() {
@@ -82,6 +87,7 @@ void ExecStats::resetMeasurements() {
   FaultRetries = 0;
   FaultTimeouts = 0;
   FaultsRecovered = 0;
+  RemoteBytesEst = 0;
   for (IslandStat &Island : Islands) {
     std::fill(Island.Stages.begin(), Island.Stages.end(), StageStat());
     for (ThreadStat &T : Island.Threads) {
@@ -178,10 +184,14 @@ std::string jsonNumber(double Value) {
 
 void ExecStats::writeJson(OStream &OS) const {
   OS << "{\n";
-  OS << "  \"schema\": \"icores.exec_stats.v3\",\n";
+  OS << "  \"schema\": \"icores.exec_stats.v4\",\n";
   OS << "  \"enabled\": " << Enabled << ",\n";
   OS << "  \"steps\": " << StepsRun << ",\n";
   OS << "  \"temporal_depth\": " << TemporalDepth << ",\n";
+  OS << "  \"placement\": \"" << Placement << "\",\n";
+  OS << "  \"remote_bytes_est\": " << RemoteBytesEst << ",\n";
+  OS << "  \"pages_first_touched\": " << PagesFirstTouched << ",\n";
+  OS << "  \"pin_failures\": " << PinFailures << ",\n";
   OS << "  \"shared_read_bytes\": " << SharedBytesRead << ",\n";
   OS << "  \"shared_written_bytes\": " << SharedBytesWritten << ",\n";
   OS << "  \"run_calls\": " << RunCalls << ",\n";

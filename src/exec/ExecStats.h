@@ -23,12 +23,14 @@
 /// (elided) and how remaining TeamBarrier waits were released (spin vs
 /// futex sleep), so the synchronization win is directly observable.
 ///
-/// Reporting: writeJson() emits the "icores.exec_stats.v3" schema
-/// (documented in README.md; v3 adds the chaos counters faults_injected /
+/// Reporting: writeJson() emits the "icores.exec_stats.v4" schema
+/// (documented in README.md; v3 added the chaos counters faults_injected /
 /// retries / timeouts / recovered mirrored from the FaultInjector — all
-/// zero on unarmed runs); writeCsv() renders per-(island, stage) rows
-/// through support/Table for spreadsheet-friendly dumps. v2 documents
-/// remain parseable by bench/validate_bench_json.py.
+/// zero on unarmed runs; v4 adds the NUMA placement fields placement /
+/// remote_bytes_est / pages_first_touched / pin_failures); writeCsv()
+/// renders per-(island, stage) rows through support/Table for
+/// spreadsheet-friendly dumps. v2 and v3 documents remain parseable by
+/// bench/validate_bench_json.py.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -126,6 +128,18 @@ struct ExecStats {
   int64_t FaultTimeouts = 0;
   int64_t FaultsRecovered = 0;
 
+  // NUMA placement fields (schema v4). Placement is the policy the
+  // executor enforced ("none" when it allocated serially); RemoteBytesEst
+  // is the placement model's remote-DRAM byte estimate accumulated over
+  // all run() calls (core/PlacementMap.h — the same function the
+  // simulator projects with, so measured-vs-projected parity is exact);
+  // PagesFirstTouched counts pages the init epoch's pinned workers
+  // touched; PinFailures mirrors WorkerPool::pinFailures().
+  std::string Placement = "none";
+  int64_t RemoteBytesEst = 0;
+  int64_t PagesFirstTouched = 0;
+  int64_t PinFailures = 0;
+
   std::vector<IslandStat> Islands;
 
   /// Sizes Islands/Stages/Threads to match \p Plan with \p NumStages
@@ -156,7 +170,7 @@ struct ExecStats {
   /// Barrier fraction of the per-step breakdown.
   double barrierShare() const;
 
-  /// Emits the icores.exec_stats.v3 JSON document.
+  /// Emits the icores.exec_stats.v4 JSON document.
   void writeJson(OStream &OS) const;
 
   /// Emits per-(island, stage) rows as CSV via support/Table.

@@ -8,6 +8,7 @@
 #include "fault/FaultInjector.h"
 #include "support/Error.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 #include <utility>
@@ -76,10 +77,18 @@ ProgramExecutor::ProgramExecutor(StencilProgram AProgram,
                    Dom.boundaryMode() == BoundaryMode::Periodic,
                "temporal blocking requires periodic boundaries");
 
+  // With a placement policy armed every allocation is left untouched so
+  // the init epoch's pinned workers produce the first (page-homing) write;
+  // None keeps the historical serial zero-fill.
+  const bool Placing = Opts.Placement != PlacementPolicy::None;
   Box3 Alloc = Dom.allocBox();
   for (unsigned A = 0; A != Program.numArrays(); ++A) {
     ArrayId Id = static_cast<ArrayId>(A);
-    if (Program.array(Id).Role != ArrayRole::Intermediate)
+    if (Program.array(Id).Role == ArrayRole::Intermediate)
+      continue;
+    if (Placing)
+      External[Id].resetUntouched(Alloc, Opts.PadKRows);
+    else
       External.emplace(Id, Array3D(Alloc, Opts.PadKRows));
   }
 
@@ -102,8 +111,13 @@ ProgramExecutor::ProgramExecutor(StencilProgram AProgram,
         continue;
       for (ArrayId Out : Program.stage(static_cast<StageId>(S)).Outputs)
         if (Program.array(Out).Role == ArrayRole::Intermediate &&
-            !IS->Store.isBound(Out))
-          IS->Store.allocateOwned(Out, StageUnion[S], Opts.PadKRows);
+            !IS->Store.isBound(Out)) {
+          if (Placing)
+            IS->Store.allocateOwnedUntouched(Out, StageUnion[S],
+                                             Opts.PadKRows);
+          else
+            IS->Store.allocateOwned(Out, StageUnion[S], Opts.PadKRows);
+        }
     }
 
     // Shared-traffic footprints from the actual pass regions: the union
@@ -145,13 +159,23 @@ ProgramExecutor::ProgramExecutor(StencilProgram AProgram,
         BufBox[static_cast<size_t>(FB.Source)] = Paired;
       }
       for (ArrayId In : Program.stepInputs())
-        if (!BufBox[static_cast<size_t>(In)].empty())
-          IS->Imports.emplace(
-              In, Array3D(BufBox[static_cast<size_t>(In)], Opts.PadKRows));
+        if (!BufBox[static_cast<size_t>(In)].empty()) {
+          if (Placing)
+            IS->Imports[In].resetUntouched(BufBox[static_cast<size_t>(In)],
+                                           Opts.PadKRows);
+          else
+            IS->Imports.emplace(
+                In, Array3D(BufBox[static_cast<size_t>(In)], Opts.PadKRows));
+        }
       for (ArrayId Out : Program.stepOutputs())
-        if (!BufBox[static_cast<size_t>(Out)].empty())
-          IS->Scratch.emplace(
-              Out, Array3D(BufBox[static_cast<size_t>(Out)], Opts.PadKRows));
+        if (!BufBox[static_cast<size_t>(Out)].empty()) {
+          if (Placing)
+            IS->Scratch[Out].resetUntouched(
+                BufBox[static_cast<size_t>(Out)], Opts.PadKRows);
+          else
+            IS->Scratch.emplace(
+                Out, Array3D(BufBox[static_cast<size_t>(Out)], Opts.PadKRows));
+        }
       // Epoch import: every import buffer is gathered once from the
       // shared arrays.
       for (const auto &[Id, Buf] : IS->Imports)
@@ -190,7 +214,157 @@ ProgramExecutor::ProgramExecutor(StencilProgram AProgram,
     for (int T = 0; T != Plan.Islands[Isl].NumThreads; ++T)
       WorkerCoords.emplace_back(static_cast<int>(Isl), T);
   Pool = std::make_unique<WorkerPool>(static_cast<int>(WorkerCoords.size()));
+
+  // Placement model: the page-ownership map under the requested policy and
+  // the remote slice of the per-epoch shared traffic it implies. Computed
+  // for every policy — None included — so profiled runs always report the
+  // remote stream their placement causes.
+  PMap = buildPlacementMap(Plan, Opts.Placement);
+  for (const IslandPlan &Island : Plan.Islands)
+    RemoteBytesPerEpoch +=
+        estimateIslandRemoteEpochTraffic(Island, Plan, Program, PMap).total();
+
+  if (Placing) {
+    // Pin before the init epoch: first touch only homes pages on the right
+    // socket when the touching thread already sits there, and the pool is
+    // about to spawn for the epoch — setThreadPinning() afterwards would
+    // be too late. Callers pass pinning through the options instead.
+    if (!Opts.Pinning.empty())
+      setThreadPinning(Opts.Pinning);
+    if (Opts.HugePages) {
+      for (auto &[Id, Arr] : External)
+        Arr.adviseHugePages();
+      for (const auto &IS : IslandStates) {
+        for (auto &[Id, Buf] : IS->Imports)
+          Buf.adviseHugePages();
+        for (auto &[Id, Buf] : IS->Scratch)
+          Buf.adviseHugePages();
+      }
+    }
+    runPlacementEpoch();
+    for (auto &[Id, Arr] : External)
+      Arr.markPlaced();
+  }
+
   Stats.initLayout(Plan, Program.numStages());
+  Stats.Placement = placementPolicyName(Opts.Placement);
+  Stats.PagesFirstTouched = PagesTouched;
+  Stats.PinFailures = Pool->pinFailures();
+}
+
+/// The placement init epoch: one pool dispatch in which every worker
+/// zero-fills the storage its policy assigns it, producing the first
+/// (page-homing) write of every allocation the constructor left untouched.
+/// FirstTouch: each island's team covers its arena segment of the shared
+/// arrays — split among the team threads in i/j like a kernel pass, so a
+/// multi-socket island spreads its segment across its sockets — plus all
+/// of its island-private buffers. The segments tile the allocation (see
+/// PlacementMap), so afterwards every element is zero, exactly as the
+/// serial constructor path leaves it. Interleave: the pages of every
+/// allocation, shared and private alike, round-robin across all workers.
+/// Either way the workers write pairwise-disjoint element ranges.
+void ProgramExecutor::runPlacementEpoch() {
+  const Box3 Alloc = Dom.allocBox();
+  const int64_t PageBytes = placementPageBytes();
+  const int TotalWorkers = static_cast<int>(WorkerCoords.size());
+  std::vector<int64_t> BytesTouched(static_cast<size_t>(TotalWorkers), 0);
+
+  // Zeroes the full (padded) k-rows of Sub's (i, j) rectangle: one
+  // contiguous run per i-plane. Sub must span the array's whole k extent.
+  auto zeroRows = [](Array3D &Arr, const Box3 &Sub) -> int64_t {
+    if (Sub.empty())
+      return 0;
+    const int KLo = Arr.indexSpace().Lo[2];
+    const int64_t RunElems =
+        static_cast<int64_t>(Sub.Hi[1] - Sub.Lo[1]) * Arr.strideJ();
+    for (int I = Sub.Lo[0]; I != Sub.Hi[0]; ++I)
+      std::fill_n(Arr.pointerTo(I, Sub.Lo[1], KLo),
+                  static_cast<size_t>(RunElems), 0.0);
+    return static_cast<int64_t>(Sub.Hi[0] - Sub.Lo[0]) * RunElems *
+           static_cast<int64_t>(sizeof(double));
+  };
+  // Zeroes this thread's 1/N linear slice of the physical buffer (private
+  // island buffers have no inter-island partition to honour).
+  auto zeroSlice = [](Array3D &Arr, int Thread, int Num) -> int64_t {
+    const int64_t Elems =
+        Arr.paddedBytes() / static_cast<int64_t>(sizeof(double));
+    int64_t Lo = Elems * Thread / Num;
+    int64_t Hi = Elems * (Thread + 1) / Num;
+    if (Hi <= Lo)
+      return 0;
+    std::fill(Arr.data() + Lo, Arr.data() + Hi, 0.0);
+    return (Hi - Lo) * static_cast<int64_t>(sizeof(double));
+  };
+  // Zeroes every TotalWorkers-th page of the buffer (page round-robin).
+  auto zeroInterleaved = [&](Array3D &Arr, int Worker) -> int64_t {
+    const int64_t Elems =
+        Arr.paddedBytes() / static_cast<int64_t>(sizeof(double));
+    const int64_t PageElems =
+        std::max<int64_t>(1, PageBytes / static_cast<int64_t>(sizeof(double)));
+    int64_t Bytes = 0;
+    for (int64_t Page = Worker,
+                 NumPages = (Elems + PageElems - 1) / PageElems;
+         Page < NumPages; Page += TotalWorkers) {
+      int64_t Lo = Page * PageElems;
+      int64_t Hi = std::min(Elems, Lo + PageElems);
+      std::fill(Arr.data() + Lo, Arr.data() + Hi, 0.0);
+      Bytes += (Hi - Lo) * static_cast<int64_t>(sizeof(double));
+    }
+    return Bytes;
+  };
+
+  Pool->runOnAll([&](int Worker) {
+    auto [Island, ThreadInTeam] = WorkerCoords[static_cast<size_t>(Worker)];
+    const IslandPlan &IP = Plan.Islands[static_cast<size_t>(Island)];
+    IslandState &IS = *IslandStates[static_cast<size_t>(Island)];
+    int64_t Bytes = 0;
+
+    // Visits the island state's private storage in deterministic order.
+    auto forEachPrivate = [this](IslandState &State, auto &&Fn) {
+      for (auto &[Id, Buf] : State.Imports)
+        Fn(Buf);
+      for (auto &[Id, Buf] : State.Scratch)
+        Fn(Buf);
+      for (unsigned A = 0; A != Program.numArrays(); ++A) {
+        ArrayId Id = static_cast<ArrayId>(A);
+        if (Program.array(Id).Role == ArrayRole::Intermediate &&
+            State.Store.isBound(Id))
+          Fn(State.Store.get(Id));
+      }
+    };
+
+    if (Opts.Placement == PlacementPolicy::Interleave) {
+      // Every worker touches its page residues of every allocation.
+      for (auto &[Id, Arr] : External)
+        Bytes += zeroInterleaved(Arr, Worker);
+      for (const auto &State : IslandStates)
+        forEachPrivate(*State, [&](Array3D &Buf) {
+          Bytes += zeroInterleaved(Buf, Worker);
+        });
+    } else { // FirstTouch
+      // Split the arena segment among the team in i/j only: collapse k
+      // before splitting, then restore the full k span, so each thread
+      // fills whole padded rows and no two threads share a row.
+      Box3 Seg = PMap.arenaSegment(Island, Alloc);
+      Box3 Flat = Seg;
+      Flat.Lo[2] = 0;
+      Flat.Hi[2] = Seg.empty() ? 0 : 1;
+      Box3 Sub = teamSubRegion(Flat, ThreadInTeam, IP.NumThreads);
+      if (!Sub.empty()) {
+        Sub.Lo[2] = Seg.Lo[2];
+        Sub.Hi[2] = Seg.Hi[2];
+        for (auto &[Id, Arr] : External)
+          Bytes += zeroRows(Arr, Sub);
+      }
+      forEachPrivate(IS, [&](Array3D &Buf) {
+        Bytes += zeroSlice(Buf, ThreadInTeam, IP.NumThreads);
+      });
+    }
+    BytesTouched[static_cast<size_t>(Worker)] = Bytes;
+  });
+
+  for (int64_t Bytes : BytesTouched)
+    PagesTouched += (Bytes + PageBytes - 1) / PageBytes;
 }
 
 ProgramExecutor::~ProgramExecutor() = default;
@@ -222,6 +396,10 @@ void ProgramExecutor::enableProfiling(bool On) {
 int64_t ProgramExecutor::sharedBytesPerStep() const {
   return (SharedReadBytesPerEpoch + SharedWriteBytesPerEpoch) /
          Plan.TemporalDepth;
+}
+
+int64_t ProgramExecutor::remoteBytesPerStep() const {
+  return RemoteBytesPerEpoch / Plan.TemporalDepth;
 }
 
 /// Points the island's feedback and output bindings at the storage fused
@@ -427,6 +605,15 @@ void ProgramExecutor::run(int Steps) {
   if (Steps == 0)
     return;
 
+  // Placement is established once, at construction; a reallocation after
+  // the init epoch would silently hand the pages back to whichever thread
+  // touches them next (see Array3D::placed()).
+  if (Opts.Placement != PlacementPolicy::None)
+    for (const auto &[Id, Arr] : External)
+      ICORES_CHECK(Arr.placed(),
+                   "shared array lost its NUMA placement (reallocated "
+                   "after the init epoch)");
+
   RunControl Control(static_cast<int>(WorkerCoords.size()), Opts);
   if (Opts.Chaos)
     Control.GlobalBarrier.armChaos(Opts.Chaos, /*Site=*/0);
@@ -445,8 +632,10 @@ void ProgramExecutor::run(int Steps) {
   int64_t Epochs = Steps / Plan.TemporalDepth;
   Stats.SharedBytesRead += SharedReadBytesPerEpoch * Epochs;
   Stats.SharedBytesWritten += SharedWriteBytesPerEpoch * Epochs;
+  Stats.RemoteBytesEst += RemoteBytesPerEpoch * Epochs;
   Stats.ThreadsSpawned = Pool->spawnedThreads();
   Stats.PoolDispatches = Pool->dispatches();
+  Stats.PinFailures = Pool->pinFailures();
   if (Opts.Chaos) {
     FaultStats FS = Opts.Chaos->stats();
     Stats.FaultsInjected = FS.Injected;

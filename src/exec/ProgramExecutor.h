@@ -30,6 +30,8 @@
 #define ICORES_EXEC_PROGRAMEXECUTOR_H
 
 #include "core/ExecutionPlan.h"
+#include "core/PlacementMap.h"
+#include "exec/Affinity.h"
 #include "exec/ExecStats.h"
 #include "exec/TeamBarrier.h"
 #include "exec/WorkerPool.h"
@@ -48,7 +50,6 @@ namespace icores {
 
 class ExecObserver;
 class FaultInjector;
-struct ThreadPlacement;
 
 /// Runtime knobs for the executor's barriers. Results are bit-identical
 /// for every setting; only latency/CPU-burn trade-offs change.
@@ -70,6 +71,24 @@ struct ExecutorOptions {
   /// shadow race detector rides on this. Results are bit-identical; only
   /// timing changes.
   ExecObserver *Observer = nullptr;
+  /// NUMA page placement for every array the executor allocates. None is
+  /// the legacy behaviour: the constructing thread zero-fills serially,
+  /// so all pages land on its node. FirstTouch and Interleave allocate
+  /// untouched storage and run a placement init epoch on the worker pool
+  /// before the constructor returns: FirstTouch has each island's team
+  /// zero its arena segment (and its private buffers), Interleave spreads
+  /// pages round-robin across all workers. Results are bit-identical for
+  /// every policy; only page residency (and therefore bandwidth) changes.
+  PlacementPolicy Placement = PlacementPolicy::None;
+  /// Advise transparent huge pages (madvise(MADV_HUGEPAGE)) on the arenas
+  /// between allocation and first touch. Best effort; Linux only.
+  bool HugePages = false;
+  /// Worker pinning applied *before* the placement init epoch, in the
+  /// (island, thread) order of computeThreadPlacement() — first touch
+  /// only places pages correctly when the touching thread already sits on
+  /// its socket. With Placement == None, setThreadPinning() before the
+  /// first run() remains equivalent.
+  std::vector<ThreadPlacement> Pinning;
 };
 
 /// Threaded executor for one plan of one program over one domain.
@@ -114,7 +133,10 @@ public:
 
   /// Requests that worker I be pinned to Placements[I].GlobalCore (the
   /// (island, thread) order of computeThreadPlacement). Takes effect only
-  /// if called before the first run(); best effort on the host.
+  /// if called before the first run(); best effort on the host. With a
+  /// placement policy armed the pool already spun up for the init epoch —
+  /// pass ExecutorOptions::Pinning instead so the touching threads are
+  /// pinned before they touch.
   void setThreadPinning(const std::vector<ThreadPlacement> &Placements);
 
   /// Advances \p Steps steps with the plan's threads. Afterwards each
@@ -130,6 +152,15 @@ public:
   /// SharedBytesPerStep projection.
   int64_t sharedBytesPerStep() const;
 
+  /// The placement model's remote-DRAM bytes per time step for this
+  /// plan under the options' policy (core/PlacementMap.h) — the measured
+  /// side of SimResult::PlacementRemoteBytesPerStep, equal to it by
+  /// construction.
+  int64_t remoteBytesPerStep() const;
+
+  /// The plan-derived page-ownership map the init epoch placed by.
+  const PlacementMap &placementMap() const { return PMap; }
+
 private:
   struct IslandState;
 
@@ -138,6 +169,7 @@ private:
   void rebindForStep(IslandState &IS, int StepInEpoch);
   void importEpochInputs(IslandState &IS, int Worker, int ThreadInTeam,
                          int NumThreads);
+  void runPlacementEpoch();
 
   StencilProgram Program;
   KernelTable Kernels;
@@ -157,6 +189,13 @@ private:
   /// construction from the plan's pass regions.
   int64_t SharedReadBytesPerEpoch = 0;
   int64_t SharedWriteBytesPerEpoch = 0;
+
+  /// Placement model state: the page-ownership map under Opts.Placement
+  /// and the remote slice of the per-epoch shared traffic it implies,
+  /// both fixed at construction.
+  PlacementMap PMap;
+  int64_t RemoteBytesPerEpoch = 0;
+  int64_t PagesTouched = 0; ///< Pages zeroed by the placement epoch.
 
   bool Profiling = false;
   ExecStats Stats;

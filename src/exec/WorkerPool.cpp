@@ -5,6 +5,8 @@
 #include "exec/Affinity.h"
 #include "support/Error.h"
 
+#include <cstdio>
+
 using namespace icores;
 
 WorkerPool::WorkerPool(int ANumThreads) : NumThreads(ANumThreads) {
@@ -49,8 +51,19 @@ void WorkerPool::runOnAll(const std::function<void(int)> &AJob) {
 }
 
 void WorkerPool::workerLoop(int Index) {
-  if (Index < static_cast<int>(PinCores.size()))
-    pinCurrentThreadToCore(PinCores[static_cast<size_t>(Index)]);
+  if (Index < static_cast<int>(PinCores.size())) {
+    int Core = PinCores[static_cast<size_t>(Index)];
+    if (!pinCurrentThreadToCore(Core)) {
+      // Best effort, never fatal: count every rejection so ExecStats can
+      // report it, but warn only once per pool to keep stderr readable.
+      PinFailures.fetch_add(1, std::memory_order_relaxed);
+      if (!PinWarned.exchange(true, std::memory_order_relaxed))
+        std::fprintf(stderr,
+                     "icores: warning: host rejected pinning worker %d to "
+                     "core %d (sched_setaffinity); continuing unpinned\n",
+                     Index, Core);
+    }
+  }
 
   uint64_t SeenGeneration = 0;
   for (;;) {

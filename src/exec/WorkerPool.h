@@ -18,6 +18,7 @@
 #ifndef ICORES_EXEC_WORKERPOOL_H
 #define ICORES_EXEC_WORKERPOOL_H
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -54,6 +55,15 @@ public:
   /// Number of completed runOnAll() dispatches.
   int64_t dispatches() const { return Dispatches; }
 
+  /// Workers whose sched_setaffinity request the host rejected. Pinning
+  /// is best-effort and never fatal: the first failure prints a one-line
+  /// warning to stderr, every failure is counted here, and the executor
+  /// mirrors the count into ExecStats (pin_failures) so profiled runs
+  /// record that their placement was not enforced.
+  int64_t pinFailures() const {
+    return PinFailures.load(std::memory_order_relaxed);
+  }
+
 private:
   void workerLoop(int Index);
   void ensureSpawned();
@@ -72,6 +82,8 @@ private:
 
   int64_t Spawned = 0;
   int64_t Dispatches = 0;
+  std::atomic<int64_t> PinFailures{0};
+  std::atomic<bool> PinWarned{false};
 };
 
 } // namespace icores

@@ -52,6 +52,15 @@ public:
     ::operator delete(P, std::align_val_t(Alignment));
   }
 
+  /// Default-initializing construct: vector::resize() placement-news each
+  /// element without writing it, so growing a fresh vector does not touch
+  /// its pages. That is the hook NUMA first-touch placement needs — the
+  /// pages stay unmapped until a pinned worker writes them (see
+  /// Array3D::resetUntouched). Value construction (assign/fill with an
+  /// explicit value) still goes through the allocator_traits placement-new
+  /// fallback and touches as before.
+  template <typename U> void construct(U *P) { ::new (static_cast<void *>(P)) U; }
+
   template <typename U> struct rebind {
     using other = AlignedAllocator<U, Alignment>;
   };
@@ -103,6 +112,23 @@ public:
       Data.assign(PhysicalElements, 0.0);
   }
 
+  /// Re-shapes to \p IndexSpace WITHOUT touching the new storage: the
+  /// allocation is default-initialized, so no page of it is mapped until
+  /// somebody writes it. This is the entry point for NUMA first-touch
+  /// placement — the executor allocates every shared field untouched,
+  /// then has each island's pinned team zero-fill its arena segment, so
+  /// the kernel homes each page on the socket that will stream it. Any
+  /// prior allocation (and its placement) is released first. The caller
+  /// owns the obligation to zero every element before it is read;
+  /// markPlaced() records that the fill happened under a placement
+  /// policy.
+  void resetUntouched(const Box3 &IndexSpace, int PadK = 0) {
+    resetShape(IndexSpace, PadK);
+    Data = decltype(Data)(); // Drop the old (already-placed) pages.
+    Data.resize(PhysicalElements);
+    Placed = false;
+  }
+
   const Box3 &indexSpace() const { return Space; }
   bool allocated() const { return !Data.empty(); }
 
@@ -148,14 +174,39 @@ public:
   }
 
   /// Sets every element (halo and padding included) to \p Value.
+  ///
+  /// Placement invariant: fill/fillRegion/copyRegionFrom run
+  /// single-threaded, but they CANNOT undo NUMA first-touch placement —
+  /// Linux homes a page at its first write and never migrates it on later
+  /// writes, so once the init epoch has placed the pages, any thread may
+  /// stream values into them. The only operation that loses placement is
+  /// reallocation (reset to a different shape or padding), which is why
+  /// those paths clear placed() and ProgramExecutor::run() asserts the
+  /// flag still holds.
   void fill(double Value) { Data.assign(Data.size(), Value); }
 
   /// Sets every element of \p Region to \p Value via contiguous k-runs.
+  /// Placement-safe: writes already-resident pages (see fill()).
   void fillRegion(const Box3 &Region, double Value);
 
   /// Copies the values of \p Region from \p Src; the region must be inside
   /// both index spaces. Row-wise memmove over contiguous k-runs.
+  /// Placement-safe: writes already-resident pages (see fill()).
   void copyRegionFrom(const Array3D &Src, const Box3 &Region);
+
+  /// Whether this array's pages were distributed by a placement policy
+  /// (recorded by markPlaced() after the first-touch init epoch) and the
+  /// allocation has not been dropped since. reset()/resetNoClear() with a
+  /// changed shape, and resetUntouched(), clear the flag — those are the
+  /// only paths that can lose page residency.
+  bool placed() const { return Placed; }
+  void markPlaced() { Placed = true; }
+
+  /// Advises the kernel to back this array's pages with transparent huge
+  /// pages (madvise(MADV_HUGEPAGE)); call between resetUntouched() and
+  /// the first-touch fill so the pages are still unmapped. Returns false
+  /// (never fails hard) when unsupported or the span is under a page.
+  bool adviseHugePages();
 
   /// Serial deterministic sum over \p Region (used by conservation tests;
   /// never parallelized so results are bit-stable).
@@ -171,6 +222,8 @@ private:
   /// (re)allocate), false when the existing storage can be reused as-is.
   bool resetShape(const Box3 &IndexSpace, int PadK) {
     bool Same = allocated() && Space == IndexSpace && Pad == PadK;
+    if (!Same)
+      Placed = false; // Reallocation drops page residency.
     Space = IndexSpace;
     Pad = PadK;
     StrideJ = Space.extent(2);
@@ -196,6 +249,7 @@ private:
   int64_t StrideI = 0;
   int64_t StrideJ = 0;
   size_t PhysicalElements = 0;
+  bool Placed = false;
   std::vector<double, AlignedAllocator<double, DataAlignment>> Data;
 };
 

@@ -1,0 +1,47 @@
+//===- grid/Placement.cpp - NUMA page-placement policy --------------------===//
+
+#include "grid/Placement.h"
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+using namespace icores;
+
+const char *icores::placementPolicyName(PlacementPolicy Policy) {
+  switch (Policy) {
+  case PlacementPolicy::None:
+    return "none";
+  case PlacementPolicy::FirstTouch:
+    return "firsttouch";
+  case PlacementPolicy::Interleave:
+    return "interleave";
+  }
+  return "none";
+}
+
+bool icores::parsePlacementPolicy(const std::string &Name,
+                                  PlacementPolicy &Out) {
+  if (Name == "none" || Name == "serial" || Name == "serialinit") {
+    Out = PlacementPolicy::None;
+    return true;
+  }
+  if (Name == "firsttouch" || Name == "first-touch") {
+    Out = PlacementPolicy::FirstTouch;
+    return true;
+  }
+  if (Name == "interleave") {
+    Out = PlacementPolicy::Interleave;
+    return true;
+  }
+  return false;
+}
+
+int64_t icores::placementPageBytes() {
+#if defined(__linux__) || defined(__APPLE__)
+  long Page = ::sysconf(_SC_PAGESIZE);
+  if (Page > 0)
+    return static_cast<int64_t>(Page);
+#endif
+  return 4096;
+}

@@ -24,6 +24,28 @@ int MachineModel::topologyDistance(int SocketA, int SocketB) const {
   return (SocketA / 2 == SocketB / 2) ? 1 : 2;
 }
 
+double MachineModel::remoteStreamBandwidth(int SocketA, int SocketB) const {
+  if (SocketA == SocketB || LinkBandwidth <= 0.0)
+    return DramBandwidthPerSocket;
+  double Rate = LinkBandwidth * RemoteAccessEfficiency;
+  if (topologyDistance(SocketA, SocketB) >= 2)
+    Rate *= RemoteHop2Factor;
+  return Rate;
+}
+
+double MachineModel::interleaveStreamBandwidth(
+    int Home, const std::vector<int> &Sockets) const {
+  if (Sockets.size() <= 1)
+    return DramBandwidthPerSocket;
+  // 1/S of the stream comes from each node; slices are consumed in page
+  // order, so the rates pipeline harmonically.
+  double SecondsPerByte = 0.0;
+  double Share = 1.0 / static_cast<double>(Sockets.size());
+  for (int S : Sockets)
+    SecondsPerByte += Share / remoteStreamBandwidth(Home, S);
+  return 1.0 / SecondsPerByte;
+}
+
 double MachineModel::barrierCost(int Sockets) const {
   return barrierCost(Sockets, Sockets * CoresPerSocket);
 }

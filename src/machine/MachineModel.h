@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace icores {
 
@@ -49,6 +50,11 @@ struct MachineModel {
   /// Fraction of on-demand remote halo transfer time hidden under compute
   /// by hardware prefetch and out-of-order execution.
   double RemoteOverlapFactor = 0.95;
+  /// Extra derating of the remote stream rate when the pages live two
+  /// topology hops away (across the backplane rather than within a
+  /// blade): longer NUMAlink path, one more router. Applied on top of
+  /// RemoteAccessEfficiency by remoteStreamBandwidth().
+  double RemoteHop2Factor = 0.85;
 
   // --- Behavioural coefficients (calibrated, see class comment) --------
   /// Fraction of per-socket peak the in-cache MPDATA kernels sustain.
@@ -94,6 +100,21 @@ struct MachineModel {
   /// Topology hop count between two sockets: 0 (same), 1 (same blade),
   /// 2 (via backplane). The UV 2000 packs two sockets per blade.
   int topologyDistance(int SocketA, int SocketB) const;
+
+  /// Sustained rate (B/s) at which a team on \p SocketA streams pages
+  /// homed on \p SocketB: full local DRAM bandwidth at hop 0, the
+  /// latency-derated link rate at hop 1, and hop 2 further derated by
+  /// RemoteHop2Factor. On single-node machines (LinkBandwidth == 0) every
+  /// page is local, so the local rate is returned — the graceful
+  /// single-node fallback of the placement model.
+  double remoteStreamBandwidth(int SocketA, int SocketB) const;
+
+  /// Effective stream rate a team on \p Home sees with its pages
+  /// interleaved round-robin across \p Sockets nodes (1/S of every stream
+  /// local, the rest paying the per-pair remote rate): the harmonic
+  /// pipeline rate of the per-slice rates.
+  double interleaveStreamBandwidth(int Home,
+                                   const std::vector<int> &Sockets) const;
 
   /// Team barrier cost for a barrier spanning \p Sockets sockets.
   /// The two-argument form adds the per-thread fan-in term for a team of

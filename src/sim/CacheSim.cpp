@@ -28,8 +28,10 @@ public:
       : Capacity(CapacityBytes), Stats(Stats) {}
 
   /// Touches a plane of \p Bytes; charges a read miss when absent and
-  /// \p IsWrite marks it dirty.
-  void access(PlaneKey Key, int64_t Bytes, bool IsWrite) {
+  /// \p IsWrite marks it dirty. Returns the bytes filled from main memory
+  /// by this access (0 on a clean hit or a write allocation) so the
+  /// caller can classify the fill's page locality.
+  int64_t access(PlaneKey Key, int64_t Bytes, bool IsWrite) {
     Stats.AccessedBytes += Bytes;
     auto It = Index.find(Key);
     if (It != Index.end()) {
@@ -47,8 +49,9 @@ public:
         It->second->Bytes = Bytes;
         Used += Growth;
         evictToCapacity();
+        return IsWrite ? 0 : Growth;
       }
-      return;
+      return 0;
     }
     // Miss. Writes of full planes allocate without a fill (the schedules
     // only ever write whole pass rows); reads fill from memory.
@@ -58,6 +61,7 @@ public:
     Index[Key] = Lru.begin();
     Used += Bytes;
     evictToCapacity();
+    return IsWrite ? 0 : Bytes;
   }
 
   /// Flushes remaining dirty planes (end of run).
@@ -96,12 +100,32 @@ private:
   std::map<PlaneKey, std::list<Entry>::iterator> Index;
 };
 
+/// Points of \p Region whose pages \p Map homes away from \p HomeSocket.
+int64_t remotePoints(const PlacementMap &Map, const Box3 &Region,
+                     int HomeSocket) {
+  int64_t Total = Region.numPoints();
+  if (Total == 0)
+    return 0;
+  switch (Map.Policy) {
+  case PlacementPolicy::FirstTouch:
+    return Total - Map.localPoints(Region, HomeSocket);
+  case PlacementPolicy::None:
+    return HomeSocket != Map.HomeNode ? Total : 0;
+  case PlacementPolicy::Interleave: {
+    int64_t Sockets = static_cast<int64_t>(Map.ActiveSockets.size());
+    return Sockets > 1 ? Total - Total / Sockets : 0;
+  }
+  }
+  return 0;
+}
+
 } // namespace
 
 CacheSimResult
 icores::replayIslandThroughCache(const IslandPlan &Island,
                                  const StencilProgram &Program,
-                                 int64_t CacheBytes, int TemporalDepth) {
+                                 int64_t CacheBytes, int TemporalDepth,
+                                 const PlacementMap *Placement) {
   ICORES_CHECK(CacheBytes > 0, "cache capacity must be positive");
   ICORES_CHECK(TemporalDepth >= 1, "temporal depth must be at least 1");
   CacheSimResult Stats;
@@ -135,7 +159,10 @@ icores::replayIslandThroughCache(const IslandPlan &Island,
       if (Pass.Region.empty())
         continue;
       const StageDef &Stage = Program.stage(Pass.Stage);
-      // Reads: every input plane the pass touches, in i order.
+      // Reads: every input plane the pass touches, in i order. Shared
+      // step-input fills (T == 1 only; temporal epochs read the private
+      // import buffers) are split local/remote by the plane's page
+      // ownership under the placement map.
       for (const StageInput &In : Stage.Inputs) {
         Box3 Read = In.readRegion(Pass.Region);
         int64_t PlaneBytes = static_cast<int64_t>(Read.extent(1)) *
@@ -143,8 +170,23 @@ icores::replayIslandThroughCache(const IslandPlan &Island,
                              Program.array(In.Array).ElementBytes;
         ArrayId Key = storageKey(In.Array, Block.StepInEpoch,
                                  /*IsWrite=*/false);
-        for (int I = Read.Lo[0]; I != Read.Hi[0]; ++I)
-          Cache.access({Key, I}, PlaneBytes, /*IsWrite=*/false);
+        bool SharedFill =
+            Placement && TemporalDepth == 1 &&
+            Program.array(In.Array).Role == ArrayRole::StepInput;
+        for (int I = Read.Lo[0]; I != Read.Hi[0]; ++I) {
+          int64_t Fill = Cache.access({Key, I}, PlaneBytes,
+                                      /*IsWrite=*/false);
+          if (Fill > 0 && SharedFill) {
+            Box3 Plane = Read;
+            Plane.Lo[0] = I;
+            Plane.Hi[0] = I + 1;
+            int64_t Total = Plane.numPoints();
+            if (Total > 0)
+              Stats.RemoteMissBytes +=
+                  Fill * remotePoints(*Placement, Plane, Island.HomeSocket) /
+                  Total;
+          }
+        }
       }
       // Writes: every output plane of the pass region.
       for (ArrayId Out : Stage.Outputs) {

@@ -23,6 +23,7 @@
 #define ICORES_SIM_CACHESIM_H
 
 #include "core/ExecutionPlan.h"
+#include "core/PlacementMap.h"
 #include "stencil/StencilIR.h"
 
 #include <cstdint>
@@ -34,6 +35,11 @@ struct CacheSimResult {
   int64_t AccessedBytes = 0;  ///< All bytes touched (hit or miss).
   int64_t ReadMissBytes = 0;  ///< Fills from main memory.
   int64_t WritebackBytes = 0; ///< Dirty evictions + final flush.
+  /// The slice of ReadMissBytes filled from pages a placement map homes
+  /// on another socket (zero without a map). Only shared-array fills can
+  /// be remote: island-private import/scratch buffers are first-touched
+  /// by the owning team, so their misses always fill locally.
+  int64_t RemoteMissBytes = 0;
 
   int64_t dramBytes() const { return ReadMissBytes + WritebackBytes; }
   double missRate() const {
@@ -54,10 +60,19 @@ struct CacheSimResult {
 /// the Target's id names the import buffer, the Source's the scratch —
 /// and the final fused step's shared-array writes are keyed separately
 /// (they stream out rather than revisit a resident buffer).
+///
+/// With a non-null \p Placement map, each shared-array read-miss fill is
+/// additionally classified local/remote by the plane's page ownership
+/// (proportional split when a plane straddles arena segments) into
+/// RemoteMissBytes. Only T == 1 step-input fills qualify: temporal epochs
+/// read through the island-private import buffers, which the placement
+/// init epoch homes locally.
 CacheSimResult replayIslandThroughCache(const IslandPlan &Island,
                                         const StencilProgram &Program,
                                         int64_t CacheBytes,
-                                        int TemporalDepth = 1);
+                                        int TemporalDepth = 1,
+                                        const PlacementMap *Placement =
+                                            nullptr);
 
 } // namespace icores
 

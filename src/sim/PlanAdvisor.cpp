@@ -132,6 +132,23 @@ AdvisorReport icores::adviseBestPlan(const StencilProgram &Program,
                  formatString("islands, %d per socket", PerSocket));
   }
 
+  // Placement alternatives: the serial-init original (Table 1's first
+  // row) prices what first-touch placement buys on this machine, and
+  // page-interleaved islands are the OS-level middle ground when
+  // per-island first-touch arenas are not available. Ties against the
+  // first-touch twin keep insertion order (stable sort), so the
+  // first-touch candidate stays ranked ahead.
+  Config = Base;
+  Config.Strat = Strategy::Original;
+  Config.Placement = PagePlacement::None;
+  tryCandidate(Report.Candidates, Program, Grid, Machine, TimeSteps, Config,
+               "original (serial init)");
+  Config = Base;
+  Config.Strat = Strategy::IslandsOfCores;
+  Config.Placement = PagePlacement::Interleave;
+  tryCandidate(Report.Candidates, Program, Grid, Machine, TimeSteps, Config,
+               "islands 1D variant A, interleaved pages");
+
   ICORES_CHECK(!Report.Candidates.empty(), "no feasible candidate plan");
   std::stable_sort(Report.Candidates.begin(), Report.Candidates.end(),
                    [](const AdvisorCandidate &A, const AdvisorCandidate &B) {

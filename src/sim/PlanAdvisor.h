@@ -10,8 +10,8 @@
 /// communication costs" so that "the optimal trade-off ... should be
 /// determined on this basis". PlanAdvisor is that component: it enumerates
 /// candidate configurations (strategy, partition variant, island grids,
-/// islands-per-socket), prices each with the simulator, and returns them
-/// ranked.
+/// islands-per-socket, page-placement policies), prices each with the
+/// simulator, and returns them ranked.
 ///
 //===----------------------------------------------------------------------===//
 

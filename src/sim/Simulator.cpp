@@ -2,6 +2,7 @@
 
 #include "sim/Simulator.h"
 
+#include "core/PlacementMap.h"
 #include "support/Error.h"
 
 #include <algorithm>
@@ -48,8 +49,8 @@ IslandCosts simulateIsland(const IslandPlan &Island,
                            const ExecutionPlan &Plan,
                            const StencilProgram &Program,
                            const MachineModel &Machine, double StreamRate,
-                           bool MultipleIslands,
-                           const std::vector<Box3> &SameSocketParts,
+                           bool MultipleIslands, const PlacementMap &Map,
+                           const IslandRemoteTraffic &RemoteTraffic,
                            double KernelThroughput) {
   IslandCosts Costs;
   bool Blocked = Plan.Strat != Strategy::Original;
@@ -197,25 +198,22 @@ IslandCosts simulateIsland(const IslandPlan &Island,
   }
 
   // Charge the island-wide step-input streams, overlapped with whatever
-  // compute headroom the per-block accounting left unused. The slice of
-  // the union outside the island's own part lives on neighbor islands'
-  // first-touch pages (phase 1 of the algorithm shares all inputs): those
-  // cone margins are cold remote DRAM reads over the interconnect.
+  // compute headroom the per-block accounting left unused. Under
+  // FirstTouch, the slice of the union outside the island's own arena
+  // segment lives on neighbor islands' first-touch pages (phase 1 of the
+  // algorithm shares all inputs): the placement map splits those cone
+  // margins out as cold remote DRAM reads, priced per home socket at the
+  // hop-aware remote stream rate. None's remoteness is priced by the
+  // home-node funnel StreamRate and Interleave's by the harmonic
+  // interleave StreamRate, so neither charges a separate remote term.
   int64_t InputBytes = 0;
   int64_t RemoteInputBytes = 0;
-  bool SingleSocketIsland = Island.NumSockets == 1 && MultipleIslands;
-  for (const auto &[Array, Region] : StepInputReads) {
-    int ElementBytes = Program.array(Array).ElementBytes;
-    InputBytes += Region.numPoints() * ElementBytes;
-    if (SingleSocketIsland) {
-      // Pages homed on this island's socket: its own part plus any
-      // sibling islands sharing the socket (parts are disjoint).
-      int64_t LocalPoints = 0;
-      for (const Box3 &Part : SameSocketParts)
-        LocalPoints += Region.intersect(Part).numPoints();
-      RemoteInputBytes += (Region.numPoints() - LocalPoints) * ElementBytes;
-    }
-  }
+  bool FirstTouchMargins = Map.Policy == PlacementPolicy::FirstTouch &&
+                           Island.NumSockets == 1 && MultipleIslands;
+  for (const auto &[Array, Region] : StepInputReads)
+    InputBytes += Region.numPoints() * Program.array(Array).ElementBytes;
+  if (FirstTouchMargins)
+    RemoteInputBytes = std::min(RemoteTraffic.ReadBytes, InputBytes);
   Costs.DramBytes += InputBytes;
   Costs.RemoteBytes += RemoteInputBytes;
   double InputSeconds =
@@ -225,9 +223,12 @@ IslandCosts simulateIsland(const IslandPlan &Island,
   double Headroom = ComputeTotal - Costs.Breakdown.Dram;
   if (InputSeconds > Headroom)
     Costs.Breakdown.Dram += InputSeconds - std::max(0.0, Headroom);
-  if (RemoteRate > 0.0)
-    Costs.Breakdown.Remote +=
-        static_cast<double>(RemoteInputBytes) / RemoteRate;
+  if (FirstTouchMargins)
+    for (const auto &[Socket, Bytes] : RemoteTraffic.BytesBySocket) {
+      double Rate = Machine.remoteStreamBandwidth(Island.HomeSocket, Socket);
+      if (Rate > 0.0)
+        Costs.Breakdown.Remote += static_cast<double>(Bytes) / Rate;
+    }
 
   // Temporal epochs: the executor brackets the epoch prologue with one
   // team barrier and every fused-step rebind with two, and everything
@@ -362,28 +363,41 @@ SimResult icores::simulate(const ExecutionPlan &Plan,
   Result.ActiveSockets = ActiveSockets;
   Result.SharedBytesPerStep = projectedSharedBytesPerStep(Plan, Program);
 
+  // The plan-derived page-ownership map under the plan's policy: the
+  // remote-byte projection it yields matches the executor's
+  // remote_bytes_est exactly (same function), and FirstTouch islands'
+  // cone-margin remoteness is priced from its per-socket split.
+  PlacementMap PMap = buildPlacementMap(Plan, Plan.Placement);
+  Result.PlacementRemoteBytesPerStep =
+      estimateRemoteBytesPerStep(Plan, Program, Plan.Placement);
+
   double WorstIslandSeconds = 0.0;
   for (const IslandPlan &Island : Plan.Islands) {
     double StreamRate;
-    if (Plan.Placement == PagePlacement::SerialInit) {
+    if (Plan.Placement == PagePlacement::None) {
       // Every island's traffic funnels through the home node, shared
       // among all concurrently streaming islands.
       StreamRate = Machine.homeNodeBandwidth(ActiveSockets) /
                    static_cast<double>(Plan.Islands.size());
+    } else if (Plan.Placement == PagePlacement::Interleave) {
+      // Pages round-robin over the active sockets: every stream is a
+      // pipeline of 1/S-local, rest-remote slices (harmonic mean rate),
+      // shared like the first-touch case among the socket's islands.
+      int Sharers = IslandsPerSocket[Island.HomeSocket];
+      StreamRate = Machine.interleaveStreamBandwidth(Island.HomeSocket,
+                                                     PMap.ActiveSockets) *
+                   Island.NumSockets / std::max(1, Sharers);
     } else {
-      // Sub-socket islands share their home socket's memory bandwidth.
+      // FirstTouch: sub-socket islands share their home socket's memory
+      // bandwidth.
       int Sharers = IslandsPerSocket[Island.HomeSocket];
       StreamRate = Machine.DramBandwidthPerSocket * Island.NumSockets /
                    std::max(1, Sharers);
     }
-    std::vector<Box3> SameSocketParts;
-    for (const IslandPlan &Other : Plan.Islands)
-      if (Other.HomeSocket == Island.HomeSocket)
-        SameSocketParts.push_back(Other.Part);
-    IslandCosts Costs =
-        simulateIsland(Island, Plan, Program, Machine, StreamRate,
-                       Plan.Islands.size() > 1, SameSocketParts,
-                       kernelThroughputFactor(Options.Kernels));
+    IslandCosts Costs = simulateIsland(
+        Island, Plan, Program, Machine, StreamRate, Plan.Islands.size() > 1,
+        PMap, estimateIslandRemoteEpochTraffic(Island, Plan, Program, PMap),
+        kernelThroughputFactor(Options.Kernels));
     Result.FlopsPerStep += Costs.Flops;
     Result.DramBytesPerStep += Costs.DramBytes;
     Result.RemoteBytesPerStep += Costs.RemoteBytes;

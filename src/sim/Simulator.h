@@ -97,6 +97,13 @@ struct SimResult {
   /// final-step output writes, divided by the temporal depth.
   int64_t SharedBytesPerStep = 0;
 
+  /// Projected remote-DRAM bytes per step under the plan's placement
+  /// policy, from core/PlacementMap.h — the same function that feeds the
+  /// executor's ExecStats remote_bytes_est, so projection and measurement
+  /// agree exactly by construction (the placement analogue of
+  /// SharedBytesPerStep).
+  int64_t PlacementRemoteBytesPerStep = 0;
+
   int ActiveSockets = 0;
 
   double sustainedGflops() const {

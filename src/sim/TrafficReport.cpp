@@ -2,6 +2,7 @@
 
 #include "sim/TrafficReport.h"
 
+#include "core/PlacementMap.h"
 #include "support/Error.h"
 #include "support/Format.h"
 #include "support/OStream.h"
@@ -28,6 +29,13 @@ int64_t TrafficReport::bytesForRole(ArrayRole Role) const {
   return Total;
 }
 
+int64_t TrafficReport::remoteBytes() const {
+  int64_t Total = 0;
+  for (const ArrayTraffic &A : PerArray)
+    Total += A.RemoteBytes;
+  return Total;
+}
+
 void TrafficReport::print(OStream &OS) const {
   std::vector<size_t> Order(PerArray.size());
   std::iota(Order.begin(), Order.end(), 0);
@@ -35,7 +43,12 @@ void TrafficReport::print(OStream &OS) const {
     return PerArray[A].totalBytes() > PerArray[B].totalBytes();
   });
 
-  TablePrinter Table({"array", "role", "read", "written", "total"});
+  bool ShowRemote = remoteBytes() > 0;
+  std::vector<std::string> Columns = {"array", "role", "read", "written",
+                                      "total"};
+  if (ShowRemote)
+    Columns.push_back("remote");
+  TablePrinter Table(Columns);
   auto roleName = [](ArrayRole Role) {
     switch (Role) {
     case ArrayRole::StepInput:
@@ -51,14 +64,22 @@ void TrafficReport::print(OStream &OS) const {
     const ArrayTraffic &A = PerArray[Index];
     if (A.totalBytes() == 0)
       continue;
-    Table.addRow({A.Name, roleName(A.Role),
-                  formatBytes(static_cast<uint64_t>(A.ReadBytes)),
-                  formatBytes(static_cast<uint64_t>(A.WriteBytes)),
-                  formatBytes(static_cast<uint64_t>(A.totalBytes()))});
+    std::vector<std::string> Row = {
+        A.Name, roleName(A.Role),
+        formatBytes(static_cast<uint64_t>(A.ReadBytes)),
+        formatBytes(static_cast<uint64_t>(A.WriteBytes)),
+        formatBytes(static_cast<uint64_t>(A.totalBytes()))};
+    if (ShowRemote)
+      Row.push_back(formatBytes(static_cast<uint64_t>(A.RemoteBytes)));
+    Table.addRow(Row);
   }
   Table.print(OS);
   OS << "total DRAM traffic over " << TimeSteps << " steps: "
-     << formatBytes(static_cast<uint64_t>(totalBytes())) << '\n';
+     << formatBytes(static_cast<uint64_t>(totalBytes()));
+  if (ShowRemote)
+    OS << " (remote: " << formatBytes(static_cast<uint64_t>(remoteBytes()))
+       << ')';
+  OS << '\n';
 }
 
 TrafficReport icores::accountTraffic(const ExecutionPlan &Plan,
@@ -120,9 +141,22 @@ TrafficReport icores::accountTraffic(const ExecutionPlan &Plan,
           Region.numPoints() * Program.array(Array).ElementBytes;
   }
 
+  // Remote slice of the shared-array traffic under the plan's placement
+  // policy, from the same per-array split the executor and simulator use.
+  PlacementMap PMap = buildPlacementMap(Plan, Plan.Placement);
+  const int Depth = std::max(1, Plan.TemporalDepth);
+  for (const IslandPlan &Island : Plan.Islands) {
+    IslandRemoteTraffic RT =
+        estimateIslandRemoteEpochTraffic(Island, Plan, Program, PMap);
+    for (const auto &[Array, Bytes] : RT.BytesByArray)
+      Report.PerArray[static_cast<size_t>(Array)].RemoteBytes +=
+          Bytes / Depth;
+  }
+
   for (ArrayTraffic &A : Report.PerArray) {
     A.ReadBytes *= TimeSteps;
     A.WriteBytes *= TimeSteps;
+    A.RemoteBytes *= TimeSteps;
   }
   return Report;
 }

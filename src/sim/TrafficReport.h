@@ -33,6 +33,11 @@ struct ArrayTraffic {
   ArrayRole Role = ArrayRole::Intermediate;
   int64_t ReadBytes = 0;
   int64_t WriteBytes = 0;
+  /// The slice of this array's traffic served from pages the plan's
+  /// placement policy homes on a different socket than the accessing
+  /// island (core/PlacementMap.h). Zero for intermediates — they are
+  /// island-private. Printed as its own column when any array has one.
+  int64_t RemoteBytes = 0;
 
   int64_t totalBytes() const { return ReadBytes + WriteBytes; }
 };
@@ -44,6 +49,9 @@ struct TrafficReport {
 
   int64_t totalBytes() const;
   int64_t bytesForRole(ArrayRole Role) const;
+  /// Whole-run remote bytes across all arrays (see
+  /// ArrayTraffic::RemoteBytes).
+  int64_t remoteBytes() const;
 
   /// Renders an aligned table, largest contributors first.
   void print(OStream &OS) const;

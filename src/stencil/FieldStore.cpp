@@ -26,6 +26,15 @@ void FieldStore::allocateOwned(ArrayId Id, const Box3 &IndexSpace,
   S.Ptr = S.Owned.get();
 }
 
+void FieldStore::allocateOwnedUntouched(ArrayId Id, const Box3 &IndexSpace,
+                                        int PadK) {
+  Slot &S = slot(Id);
+  ICORES_CHECK(S.Ptr == nullptr, "field store slot already populated");
+  S.Owned = std::make_unique<Array3D>();
+  S.Owned->resetUntouched(IndexSpace, PadK);
+  S.Ptr = S.Owned.get();
+}
+
 void FieldStore::bindExternal(ArrayId Id, Array3D *External) {
   ICORES_CHECK(External != nullptr, "binding null external array");
   Slot &S = slot(Id);

@@ -45,6 +45,13 @@ public:
   /// nor the traffic model.
   void allocateOwned(ArrayId Id, const Box3 &IndexSpace, int PadK = 0);
 
+  /// allocateOwned() without touching the new storage (see
+  /// Array3D::resetUntouched): the owner must zero the array before any
+  /// kernel reads it. The NUMA placement init epoch uses this so an
+  /// island's intermediates are first-touched by its own pinned team.
+  void allocateOwnedUntouched(ArrayId Id, const Box3 &IndexSpace,
+                              int PadK = 0);
+
   /// Binds \p Id to caller-owned storage (shared inputs/outputs). The
   /// pointee must outlive this store.
   void bindExternal(ArrayId Id, Array3D *External);

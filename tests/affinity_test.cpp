@@ -1,5 +1,6 @@
 //===- tests/affinity_test.cpp - Thread placement tests -------------------===//
 
+#include "core/PlacementMap.h"
 #include "core/PlanBuilder.h"
 #include "exec/Affinity.h"
 #include "machine/MachineModel.h"
@@ -8,6 +9,10 @@
 #include <gtest/gtest.h>
 
 #include <set>
+
+#ifdef __linux__
+#include <unistd.h>
+#endif
 
 using namespace icores;
 
@@ -77,6 +82,48 @@ TEST(AffinityTest, NeighbourPartsSitOnAdjacentSockets) {
   ExecutionPlan Plan = makePlan(M, Strategy::IslandsOfCores, 14);
   // Path 0-1 (same blade, 1), 1-2 (backplane, 2), ... alternating.
   EXPECT_EQ(adjacencyCost(Plan, M), 7 * 1 + 6 * 2);
+}
+
+TEST(AffinityTest, AdjacencyCostOnSubSocketIslands) {
+  // Two islands per socket: consecutive islands within one socket are
+  // zero hops apart, so only the one socket-crossing pair (islands 1-2)
+  // pays interconnect distance — a blade-local hop on the UV 2000.
+  MachineModel M = makeSgiUv2000();
+  ExecutionPlan Plan = makePlan(M, Strategy::IslandsOfCores, 2,
+                                /*IslandsPerSocket=*/2);
+  ASSERT_EQ(Plan.Islands.size(), 4u);
+  EXPECT_EQ(Plan.Islands[0].HomeSocket, Plan.Islands[1].HomeSocket);
+  EXPECT_EQ(Plan.Islands[2].HomeSocket, Plan.Islands[3].HomeSocket);
+  EXPECT_EQ(adjacencyCost(Plan, M),
+            M.topologyDistance(Plan.Islands[1].HomeSocket,
+                               Plan.Islands[2].HomeSocket));
+  EXPECT_EQ(adjacencyCost(Plan, M), 1);
+}
+
+TEST(AffinityTest, PlacementSurvivesHostWithFewerCoresThanPlan) {
+  // A 14-socket UV 2000 plan on a small host: the placement map is pure
+  // plan geometry, so it still tiles the grid per socket, and pinning to
+  // the cores the host lacks fails gracefully (false, no crash) — the
+  // executor's fallback path counts those as pin failures and continues
+  // unpinned.
+  MachineModel M = makeSgiUv2000();
+  ExecutionPlan Plan = makePlan(M, Strategy::IslandsOfCores, 14);
+  PlacementMap Map = buildPlacementMap(Plan, PlacementPolicy::FirstTouch);
+  int64_t Local = 0;
+  for (int Socket : Map.ActiveSockets)
+    Local += Map.localPoints(Plan.GlobalTarget, Socket);
+  EXPECT_EQ(Local, Plan.GlobalTarget.numPoints());
+
+  std::vector<ThreadPlacement> P = computeThreadPlacement(Plan, M);
+  ASSERT_EQ(P.size(), 112u);
+#ifdef __linux__
+  long HostCores = sysconf(_SC_NPROCESSORS_ONLN);
+  for (const ThreadPlacement &T : P) {
+    if (T.GlobalCore >= HostCores) {
+      EXPECT_FALSE(pinCurrentThreadToCore(T.GlobalCore));
+    }
+  }
+#endif
 }
 
 TEST(AffinityTest, PinningOutOfRangeFailsGracefully) {

@@ -394,7 +394,7 @@ TEST(FaultInjectionTest, SpuriousWakesSurviveEveryWaitPolicy) {
   }
 }
 
-TEST(FaultInjectionTest, ExecutorMirrorsFaultCountersIntoStatsV3) {
+TEST(FaultInjectionTest, ExecutorMirrorsFaultCountersIntoStatsV4) {
   Watchdog Dog(60.0, "fault_injection_test: stats v3 mirror");
   FaultPlan Plan;
   Plan.Seed = 13;
@@ -425,7 +425,7 @@ TEST(FaultInjectionTest, ExecutorMirrorsFaultCountersIntoStatsV3) {
   EXPECT_EQ(Stats.FaultsInjected, Injector.stats().Injected);
   EXPECT_GT(Stats.FaultsInjected, 0);
   std::string Json = Stats.toJsonString();
-  EXPECT_NE(Json.find("\"schema\": \"icores.exec_stats.v3\""),
+  EXPECT_NE(Json.find("\"schema\": \"icores.exec_stats.v4\""),
             std::string::npos);
   EXPECT_NE(Json.find("\"faults_injected\""), std::string::npos);
   EXPECT_NE(Json.find("\"timeouts\""), std::string::npos);

@@ -21,7 +21,7 @@ int main() {
   };
   std::printf("P  origSer(p)  orig(p)      31d(p)       isl(p)       islGfl util\n");
   for (int P = 1; P <= 14; ++P) {
-    SimResult OS = run(Strategy::Original, P, PagePlacement::SerialInit);
+    SimResult OS = run(Strategy::Original, P, PagePlacement::None);
     SimResult O = run(Strategy::Original, P, PagePlacement::FirstTouch);
     SimResult B = run(Strategy::Block31D, P, PagePlacement::FirstTouch);
     SimResult I = run(Strategy::IslandsOfCores, P, PagePlacement::FirstTouch);

@@ -62,6 +62,13 @@ void printUsage() {
       "  --islands=N                 alias for --sockets in execute mode\n"
       "  --variant=A|B               1D island mapping (default A)\n"
       "  --placement=firsttouch|serial (default firsttouch)\n"
+      "  --place=none|firsttouch|interleave\n"
+      "                              NUMA page placement; supersedes\n"
+      "                              --placement. simulate/traffic/plan\n"
+      "                              model it; execute mode arms the\n"
+      "                              executor's placement init epoch (with\n"
+      "                              worker pinning) so the shared arenas\n"
+      "                              are first-touched per island\n"
       "  --kernels=ref|opt|simd      kernel variant: execute mode runs\n"
       "                              it, simulate mode scales the model's\n"
       "                              compute term (default: execute ref,\n"
@@ -138,8 +145,8 @@ int main(int Argc, char **Argv) {
 
   CommandLine CL;
   for (const char *Opt : {"machine", "strategy", "sockets", "islands",
-                          "variant", "placement", "kernels", "ni", "nj",
-                          "nk", "steps", "temporal", "profile", "pin",
+                          "variant", "placement", "place", "kernels", "ni",
+                          "nj", "nk", "steps", "temporal", "profile", "pin",
                           "json", "no-audit", "no-elide", "barrier",
                           "chaos", "out", "help"})
     CL.registerOption(Opt, "");
@@ -198,8 +205,22 @@ int main(int Argc, char **Argv) {
                        ? PartitionVariant::B
                        : PartitionVariant::A;
   Config.Placement = CL.getString("placement", "firsttouch") == "serial"
-                         ? PagePlacement::SerialInit
+                         ? PagePlacement::None
                          : PagePlacement::FirstTouch;
+  // --place supersedes the legacy --placement spelling and additionally
+  // arms the executor's placement init epoch in execute mode.
+  const bool HavePlace = CL.hasOption("place");
+  PlacementPolicy Place = PlacementPolicy::FirstTouch;
+  if (HavePlace) {
+    if (!parsePlacementPolicy(CL.getString("place", "firsttouch"), Place)) {
+      std::fprintf(stderr,
+                   "error: unknown placement '%s' (expected none, "
+                   "firsttouch or interleave)\n",
+                   CL.getString("place", "").c_str());
+      return 1;
+    }
+    Config.Placement = Place;
+  }
 
   if (Mode == "lint") {
     KernelTable RefKernels = buildMpdataKernels(KernelVariant::Reference);
@@ -313,6 +334,11 @@ int main(int Argc, char **Argv) {
     std::printf("  DRAM traffic:        %s\n",
                 formatBytes(static_cast<uint64_t>(R.totalDramBytes()))
                     .c_str());
+    std::printf("  placement:           %s, remote %s/step\n",
+                placementPolicyName(Config.Placement),
+                formatBytes(static_cast<uint64_t>(
+                                R.PlacementRemoteBytesPerStep))
+                    .c_str());
     std::printf("  per-step: compute %s, dram %s, remote %s, barrier %s, "
                 "overhead %s\n",
                 formatSeconds(R.CriticalIsland.Compute).c_str(),
@@ -375,6 +401,15 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "error: unknown kernel variant\n");
       return 1;
     }
+    if (HavePlace) {
+      // Arm the placement init epoch: workers must already be pinned when
+      // they first-touch their arena segments, so the pinning goes in
+      // through ExecutorOptions rather than setThreadPinning() (which
+      // would only take effect after construction, too late for paging).
+      ExecOpts.Placement = Place;
+      if (Place != PlacementPolicy::None)
+        ExecOpts.Pinning = computeThreadPlacement(Plan, Host);
+    }
     PlanExecutor Exec(Dom, std::move(Plan), Kernels, ExecOpts);
     if (CL.hasOption("pin"))
       Exec.setThreadPinning(computeThreadPlacement(Exec.plan(), Host));
@@ -414,6 +449,17 @@ int main(int Argc, char **Argv) {
                   formatBytes(static_cast<uint64_t>(
                                   Exec.executor().sharedBytesPerStep()))
                       .c_str());
+    if (HavePlace) {
+      const ExecStats &PS = Exec.stats();
+      std::printf("placement: %s, remote %s/step (est), %lld pages "
+                  "first-touched, %lld pin failures\n",
+                  PS.Placement.c_str(),
+                  formatBytes(static_cast<uint64_t>(
+                                  Exec.executor().remoteBytesPerStep()))
+                      .c_str(),
+                  static_cast<long long>(PS.PagesFirstTouched),
+                  static_cast<long long>(PS.PinFailures));
+    }
     std::printf("mass drift: %.2e; max diff vs serial reference: %.3e %s\n",
                 Exec.conservedMass() - MassBefore, Diff,
                 Diff == 0.0 ? "(bit-exact)" : "");
