@@ -225,6 +225,43 @@ std::string icores::bench::writeNumaBenchJson(
   return Path;
 }
 
+std::string icores::bench::writeBalanceBenchJson(
+    const std::string &BenchName,
+    const std::vector<BalanceBenchJsonRow> &Rows) {
+  const char *Dir = std::getenv("ICORES_BENCH_DIR");
+  std::string Path = formatString("%s/BENCH_%s.json", Dir ? Dir : ".",
+                                  BenchName.c_str());
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::printf("note: could not write %s\n", Path.c_str());
+    return std::string();
+  }
+  std::fprintf(F, "{\n  \"schema\": \"icores.bench.v2\",\n");
+  std::fprintf(F, "  \"bench\": \"%s\",\n", BenchName.c_str());
+  std::fprintf(F, "  \"rows\": [");
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const BalanceBenchJsonRow &R = Rows[I];
+    std::fprintf(F,
+                 "%s\n    {\"balance\": \"%s\", \"stealing\": %s, "
+                 "\"temporal_depth\": %d, \"islands\": %d, "
+                 "\"predicted_skew_sim\": %.9g, "
+                 "\"predicted_skew_exec\": %.9g, "
+                 "\"measured_skew\": %.9g, \"max_imbalance\": %.9g, "
+                 "\"steals\": %lld, \"steal_failures\": %lld, "
+                 "\"idle_seconds\": %.9g, \"seconds\": %.9g}",
+                 I ? "," : "", R.Balance.c_str(),
+                 R.Stealing ? "true" : "false", R.TemporalDepth, R.Islands,
+                 R.PredictedSkewSim, R.PredictedSkewExec, R.MeasuredSkew,
+                 R.MaxImbalance, static_cast<long long>(R.Steals),
+                 static_cast<long long>(R.StealFailures), R.IdleSeconds,
+                 R.Seconds);
+  }
+  std::fprintf(F, "\n  ]\n}\n");
+  std::fclose(F);
+  std::printf("wrote %s\n", Path.c_str());
+  return Path;
+}
+
 MeasuredProfile icores::bench::measureHostRun(const MpdataProgram &M,
                                               Strategy Strat, int Islands,
                                               int NI, int NJ, int NK,

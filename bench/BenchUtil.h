@@ -143,6 +143,32 @@ struct NumaBenchJsonRow {
 std::string writeNumaBenchJson(const std::string &BenchName,
                                const std::vector<NumaBenchJsonRow> &Rows);
 
+/// One row of the load-balance study (schema icores.bench.v2,
+/// distinguished from the other v2 rows by the "balance" field): per
+/// (balance policy, stealing flag, temporal depth), the predicted island
+/// skew — from the simulator and from the executor, equal by
+/// construction (core/BalanceModel.h) — the measured skew and per-team
+/// imbalance, the steal counters, and the wall time.
+struct BalanceBenchJsonRow {
+  std::string Balance;     ///< balancePolicyName() of the plan.
+  bool Stealing = false;   ///< Work-stealing block scheduler armed.
+  int TemporalDepth = 1;   ///< Fused steps per epoch (T).
+  int Islands = 0;         ///< Island count of the plan.
+  double PredictedSkewSim = 1.0;  ///< Simulator predictedIslandSkew().
+  double PredictedSkewExec = 1.0; ///< Executor's ExecStats copy.
+  double MeasuredSkew = 1.0;      ///< ExecStats measuredIslandSkew().
+  double MaxImbalance = 1.0; ///< Max per-island team imbalance().
+  int64_t Steals = 0;        ///< Chunks claimed from teammates.
+  int64_t StealFailures = 0; ///< Lost steal races.
+  double IdleSeconds = 0.0;  ///< Out-of-work seconds, all threads.
+  double Seconds = 0.0;      ///< Measured wall seconds for the run.
+};
+
+/// writeBenchJson() for load-balance rows (schema icores.bench.v2).
+std::string
+writeBalanceBenchJson(const std::string &BenchName,
+                      const std::vector<BalanceBenchJsonRow> &Rows);
+
 /// Aggregate timings measured by running the real threaded executor with
 /// profiling enabled (exec/ExecStats) on this host.
 struct MeasuredProfile {

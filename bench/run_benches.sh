@@ -24,7 +24,7 @@ export ICORES_BENCH_DIR=$OUT_DIR
 
 STATUS=0
 for BENCH in bench_table1 bench_table2 bench_table3 bench_table4 \
-             bench_kernels bench_temporal bench_numa; do
+             bench_kernels bench_temporal bench_numa bench_balance; do
   BIN=$BUILD_DIR/bench/$BENCH
   [ -x "$BIN" ] || continue
   LOG=$OUT_DIR/$BENCH.log
@@ -59,6 +59,19 @@ if [ -x "$CLI" ]; then
        > "$OUT_DIR/numa_smoke.log" 2>&1; then
     echo "   FAILED — tail of $OUT_DIR/numa_smoke.log:"
     tail -5 "$OUT_DIR/numa_smoke.log"
+    STATUS=1
+  fi
+
+  # Balance smoke: cost cuts plus work stealing must stay bit-exact and
+  # the --profile record (exec_stats v5 with the balance fields) must
+  # validate with everything else below.
+  echo "== balance smoke (mpdata_cli execute --balance=cost --steal)"
+  if ! "$CLI" execute --strategy=islands --islands=4 --steps=4 \
+       --temporal=2 --balance=cost --steal \
+       --profile="$OUT_DIR/exec_stats_balance.json" \
+       > "$OUT_DIR/balance_smoke.log" 2>&1; then
+    echo "   FAILED — tail of $OUT_DIR/balance_smoke.log:"
+    tail -5 "$OUT_DIR/balance_smoke.log"
     STATUS=1
   fi
 fi

@@ -13,9 +13,11 @@ Accepted schemas:
     "rows": [...]
   }
 
-  icores.bench.v2 (bench/BenchUtil.cpp writeTemporalBenchJson and
-  writeNumaBenchJson): same envelope, with two row shapes distinguished
-  by the "placement" field. Temporal-blocking traffic rows:
+  icores.bench.v2 (bench/BenchUtil.cpp writeTemporalBenchJson,
+  writeNumaBenchJson and writeBalanceBenchJson): same envelope, with
+  three row shapes distinguished by field presence ("balance" marks a
+  load-balance row, else "placement" marks a NUMA row).
+  Temporal-blocking traffic rows:
       {"strategy": str, "temporal_depth": int >= 1,
        "measured_bytes_per_step": int > 0,
        "projected_bytes_per_step": int > 0, "seconds": float > 0}
@@ -26,14 +28,28 @@ Accepted schemas:
        "projected_remote_bytes_per_step": int >= 0,
        "pages_first_touched": int >= 0, "pin_failures": int >= 0,
        "seconds": float > 0}
+  Load-balance rows (bench_balance):
+      {"balance": "uniform"|"cost", "stealing": bool,
+       "temporal_depth": int >= 1, "islands": int >= 1,
+       "predicted_skew_sim": float >= 1 (== predicted_skew_exec: both
+       sides call the same predictedIslandSkew()),
+       "predicted_skew_exec": float >= 1, "measured_skew": float >= 1,
+       "max_imbalance": float >= 1, "steals": int >= 0,
+       "steal_failures": int >= 0, "idle_seconds": float >= 0,
+       "seconds": float > 0}
 
-  icores.exec_stats.v2 / icores.exec_stats.v3 / icores.exec_stats.v4
+  icores.exec_stats.v2 .. icores.exec_stats.v5
   (--profile output of mpdata_cli, src/exec/ExecStats.cpp writeJson). v3
   extends v2 with the fault-injection counters "faults_injected",
   "retries", "timeouts" and "recovered" (ints >= 0); v2 documents remain
   valid without them. v4 adds the NUMA placement fields "placement"
   (none/firsttouch/interleave), "remote_bytes_est", "pages_first_touched"
-  and "pin_failures" (ints >= 0).
+  and "pin_failures" (ints >= 0). v5 adds the load-balance fields
+  "balance" (uniform/cost), "stealing" (bool), "steals",
+  "steal_failures" (ints >= 0), "idle_seconds" (float >= 0),
+  "predicted_island_skew" and "measured_island_skew" (floats; >= 1 or
+  exactly 0 when unpriced), plus per-island "imbalance_per_step" lists
+  and per-thread "steals"/"steal_failures"/"idle_seconds".
 
   icores.prove.v1 (src/verify/ProofDriver.cpp writeProveJson; emitted by
   tools/icores_verify and `mpdata_cli verify`):
@@ -118,6 +134,10 @@ EXEC_STATS_V3_FAULT_FIELDS = ("faults_injected", "retries", "timeouts",
 EXEC_STATS_V4_PLACEMENT_FIELDS = ("remote_bytes_est", "pages_first_touched",
                                   "pin_failures")
 
+# v5 adds the load-balance fields (additive).
+EXEC_STATS_V5_COUNTER_FIELDS = ("steals", "steal_failures")
+EXEC_STATS_V5_SKEW_FIELDS = ("predicted_island_skew", "measured_island_skew")
+
 TEMPORAL_ROW_FIELDS = {
     "strategy": str,
     "temporal_depth": int,
@@ -138,6 +158,66 @@ NUMA_ROW_FIELDS = {
 }
 
 PLACEMENT_NAMES = ("none", "firsttouch", "interleave")
+
+BALANCE_NAMES = ("uniform", "cost")
+
+BALANCE_ROW_FIELDS = {
+    "balance": str,
+    "stealing": bool,
+    "temporal_depth": int,
+    "islands": int,
+    "predicted_skew_sim": (int, float),
+    "predicted_skew_exec": (int, float),
+    "measured_skew": (int, float),
+    "max_imbalance": (int, float),
+    "steals": int,
+    "steal_failures": int,
+    "idle_seconds": (int, float),
+    "seconds": (int, float),
+}
+
+
+def validate_balance_row(where, row):
+    errors = []
+    for field, types in BALANCE_ROW_FIELDS.items():
+        if field not in row:
+            errors.append("%s: missing field %r" % (where, field))
+        elif not isinstance(row[field], types) or (
+                types is not bool and isinstance(row[field], bool)):
+            errors.append("%s: field %r has type %s"
+                          % (where, field, type(row[field]).__name__))
+    if errors:
+        return errors
+    if row["balance"] not in BALANCE_NAMES:
+        errors.append("%s: balance = %r not in %s"
+                      % (where, row["balance"], "/".join(BALANCE_NAMES)))
+    if row["temporal_depth"] < 1:
+        errors.append("%s: temporal_depth = %d < 1"
+                      % (where, row["temporal_depth"]))
+    if row["islands"] < 1:
+        errors.append("%s: islands = %d < 1" % (where, row["islands"]))
+    # Skews and imbalances are max/mean ratios: >= 1 by construction.
+    for field in ("predicted_skew_sim", "predicted_skew_exec",
+                  "measured_skew", "max_imbalance"):
+        if row[field] < 1:
+            errors.append("%s: %s = %g < 1" % (where, field, row[field]))
+    # Parity by construction: both sides call the same model function.
+    if row["predicted_skew_sim"] != row["predicted_skew_exec"]:
+        errors.append("%s: predicted_skew_sim %g != predicted_skew_exec %g"
+                      % (where, row["predicted_skew_sim"],
+                         row["predicted_skew_exec"]))
+    for field in ("steals", "steal_failures"):
+        if row[field] < 0:
+            errors.append("%s: %s = %d < 0" % (where, field, row[field]))
+    if not row["stealing"] and row["steals"]:
+        errors.append("%s: steals = %d with stealing disabled"
+                      % (where, row["steals"]))
+    if row["idle_seconds"] < 0:
+        errors.append("%s: idle_seconds = %g < 0"
+                      % (where, row["idle_seconds"]))
+    if row["seconds"] <= 0:
+        errors.append("%s: seconds = %g <= 0" % (where, row["seconds"]))
+    return errors
 
 
 def validate_numa_row(where, row):
@@ -207,7 +287,9 @@ def validate_temporal(path, doc):
         if not isinstance(row, dict):
             errors.append("%s: not an object" % where)
             continue
-        if "placement" in row:
+        if "balance" in row:
+            errors.extend(validate_balance_row(where, row))
+        elif "placement" in row:
             errors.extend(validate_numa_row(where, row))
         else:
             errors.extend(validate_temporal_row(where, row))
@@ -234,18 +316,45 @@ def validate_exec_stats(path, doc):
                           % (path, field))
         elif doc[field] < 0:
             errors.append("%s: field %r = %d < 0" % (path, field, doc[field]))
-    if version == "v4":
+    if version in ("v4", "v5"):
         placement = doc.get("placement")
         if placement not in PLACEMENT_NAMES:
-            errors.append("%s: v4 requires 'placement' in %s, got %r"
-                          % (path, "/".join(PLACEMENT_NAMES), placement))
+            errors.append("%s: %s requires 'placement' in %s, got %r"
+                          % (path, version, "/".join(PLACEMENT_NAMES),
+                             placement))
         for field in EXEC_STATS_V4_PLACEMENT_FIELDS:
             if field not in doc:
-                errors.append("%s: v4 requires field %r" % (path, field))
+                errors.append("%s: %s requires field %r"
+                              % (path, version, field))
             elif not isinstance(doc[field], int) or isinstance(
                     doc[field], bool) or doc[field] < 0:
                 errors.append("%s: field %r must be an int >= 0"
                               % (path, field))
+    if version == "v5":
+        if doc.get("balance") not in BALANCE_NAMES:
+            errors.append("%s: v5 requires 'balance' in %s, got %r"
+                          % (path, "/".join(BALANCE_NAMES),
+                             doc.get("balance")))
+        if not isinstance(doc.get("stealing"), bool):
+            errors.append("%s: v5 requires a bool 'stealing'" % path)
+        for field in EXEC_STATS_V5_COUNTER_FIELDS:
+            if not isinstance(doc.get(field), int) or isinstance(
+                    doc.get(field), bool) or doc.get(field, 0) < 0:
+                errors.append("%s: v5 requires %r as an int >= 0"
+                              % (path, field))
+        if not isinstance(doc.get("idle_seconds"), (int, float)) \
+                or isinstance(doc.get("idle_seconds"), bool) \
+                or doc.get("idle_seconds", 0) < 0:
+            errors.append("%s: v5 requires 'idle_seconds' >= 0" % path)
+        # Skews are max/mean ratios (>= 1), except the unpriced
+        # predicted skew which the executor reports as exactly 0 when no
+        # machine model was supplied.
+        for field in EXEC_STATS_V5_SKEW_FIELDS:
+            value = doc.get(field)
+            if not isinstance(value, (int, float)) or isinstance(
+                    value, bool) or (value < 1 and value != 0):
+                errors.append("%s: v5 requires %r >= 1 (or 0 when "
+                              "unpriced)" % (path, field))
     if errors:
         return errors
     if not 0 <= doc["barrier_share"] <= 1:
@@ -275,6 +384,30 @@ def validate_exec_stats(path, doc):
         for field in ("island", "num_threads", "stages"):
             if field not in island:
                 errors.append("%s: missing field %r" % (where, field))
+        if version == "v5":
+            steps = island.get("imbalance_per_step")
+            if not isinstance(steps, list) or not all(
+                    isinstance(s, (int, float)) and not isinstance(s, bool)
+                    and (s >= 1 or s == 0) for s in steps):
+                errors.append("%s: v5 requires 'imbalance_per_step' as a "
+                              "list of ratios >= 1 (or 0)" % where)
+            for t, thread in enumerate(island.get("threads", [])):
+                twhere = "%s: threads[%d]" % (where, t)
+                if not isinstance(thread, dict):
+                    errors.append("%s: not an object" % twhere)
+                    continue
+                for field in ("steals", "steal_failures"):
+                    if not isinstance(thread.get(field), int) or isinstance(
+                            thread.get(field), bool) \
+                            or thread.get(field, 0) < 0:
+                        errors.append("%s: v5 requires %r as an int >= 0"
+                                      % (twhere, field))
+                if not isinstance(thread.get("idle_seconds"),
+                                  (int, float)) or isinstance(
+                        thread.get("idle_seconds"), bool) \
+                        or thread.get("idle_seconds", 0) < 0:
+                    errors.append("%s: v5 requires 'idle_seconds' >= 0"
+                                  % twhere)
     return errors
 
 
@@ -427,7 +560,7 @@ def validate(path):
 
     schema = doc.get("schema")
     if schema in ("icores.exec_stats.v2", "icores.exec_stats.v3",
-                  "icores.exec_stats.v4"):
+                  "icores.exec_stats.v4", "icores.exec_stats.v5"):
         return validate_exec_stats(path, doc)
     if schema == "icores.bench.v2":
         return validate_temporal(path, doc)
@@ -436,7 +569,7 @@ def validate(path):
     if schema != "icores.bench.v1":
         errors.append("%s: schema is %r, want 'icores.bench.v1', "
                       "'icores.bench.v2', 'icores.prove.v1' or "
-                      "'icores.exec_stats.v2'/'v3'/'v4'"
+                      "'icores.exec_stats.v2'/'v3'/'v4'/'v5'"
                       % (path, schema))
     if not isinstance(doc.get("bench"), str) or not doc.get("bench"):
         errors.append("%s: missing or empty 'bench' name" % path)

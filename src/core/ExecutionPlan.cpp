@@ -18,6 +18,16 @@ const char *icores::strategyName(Strategy S) {
   ICORES_UNREACHABLE("unknown strategy");
 }
 
+const char *icores::balancePolicyName(BalancePolicy P) {
+  switch (P) {
+  case BalancePolicy::Uniform:
+    return "uniform";
+  case BalancePolicy::Cost:
+    return "cost";
+  }
+  ICORES_UNREACHABLE("unknown balance policy");
+}
+
 int64_t IslandPlan::passPoints() const {
   int64_t Total = 0;
   for (const BlockTask &Block : Blocks)

@@ -50,6 +50,18 @@ const char *strategyName(Strategy S);
 /// SerialInit is spelled PlacementPolicy::None).
 using PagePlacement = PlacementPolicy;
 
+/// How the island partition sizes its slabs (core/BalanceModel.h prices
+/// the Cost policy; the plan records the choice so every consumer —
+/// executor, simulator, verifier, printers — can see how the cuts were
+/// made).
+enum class BalancePolicy {
+  Uniform, ///< Equal-extent slabs (the paper's partitioning).
+  Cost,    ///< Slabs sized so per-island predicted work is equal.
+};
+
+/// Returns the CLI spelling of a balance policy ("uniform" / "cost").
+const char *balancePolicyName(BalancePolicy P);
+
 /// One stage evaluated over one region by one island's work team. The team
 /// splits the region among its threads and, when BarrierAfter is set,
 /// barriers afterwards.
@@ -93,6 +105,7 @@ struct IslandPlan {
 struct ExecutionPlan {
   Strategy Strat = Strategy::Original;
   PagePlacement Placement = PagePlacement::FirstTouch;
+  BalancePolicy Balance = BalancePolicy::Uniform;
   Box3 GlobalTarget;
   /// Fused time steps per epoch (temporal blocking). 1 means the classic
   /// one-step plan. For T > 1 each island's block list covers T fused

@@ -17,12 +17,14 @@ namespace {
 /// Box3's int extents far from overflow.
 constexpr int SentinelSpan = 1 << 20;
 
+} // namespace
+
 /// Extends \p Part outward on every face it shares with \p Target, so the
 /// adjacent halo slabs (and any wider temporal cone margin) belong to the
 /// nearest island. Interior faces are left alone, which makes the extended
 /// parts pairwise disjoint and a tiling of all of space whenever the parts
 /// tile the target.
-Box3 extendToHalo(const Box3 &Part, const Box3 &Target) {
+Box3 icores::extendPartToHalo(const Box3 &Part, const Box3 &Target) {
   if (Part.empty())
     return Part;
   Box3 R = Part;
@@ -34,8 +36,6 @@ Box3 extendToHalo(const Box3 &Part, const Box3 &Target) {
   }
   return R;
 }
-
-} // namespace
 
 int64_t PlacementMap::localPoints(const Box3 &Region, int Socket) const {
   int64_t Points = 0;
@@ -60,7 +60,7 @@ PlacementMap icores::buildPlacementMap(const ExecutionPlan &Plan,
   Map.HomeNode = Plan.Islands.front().HomeSocket;
   for (const IslandPlan &Island : Plan.Islands) {
     Map.Segments.push_back({Island.Index, Island.HomeSocket,
-                            extendToHalo(Island.Part, Plan.GlobalTarget)});
+                            extendPartToHalo(Island.Part, Plan.GlobalTarget)});
     for (int S = 0; S != Island.NumSockets; ++S)
       Map.ActiveSockets.push_back(Island.HomeSocket + S);
   }

@@ -77,6 +77,13 @@ struct PlacementMap {
 PlacementMap buildPlacementMap(const ExecutionPlan &Plan,
                                PlacementPolicy Policy);
 
+/// The arena-segment geometry: \p Part extended outward (by a large
+/// sentinel span) on every face it shares with \p Target, so adjacent
+/// halo slabs belong to the nearest island. Exposed so the balance model
+/// (core/BalanceModel.h) prices first-touch remote margins with exactly
+/// the segment shapes the executor's init epoch touches.
+Box3 extendPartToHalo(const Box3 &Part, const Box3 &Target);
+
 /// One island's per-epoch remote traffic against a placement map.
 struct IslandRemoteTraffic {
   int64_t ReadBytes = 0;  ///< Epoch input reads off remote pages.

@@ -2,6 +2,7 @@
 
 #include "core/PlanBuilder.h"
 
+#include "core/BalanceModel.h"
 #include "core/BlockPlanner.h"
 #include "machine/MachineModel.h"
 #include "stencil/HaloAnalysis.h"
@@ -54,6 +55,7 @@ ExecutionPlan icores::buildPlan(const StencilProgram &Program,
   ExecutionPlan Plan;
   Plan.Strat = Config.Strat;
   Plan.Placement = Config.Placement;
+  Plan.Balance = Config.Balance;
   Plan.GlobalTarget = GlobalTarget;
   Plan.TemporalDepth = Config.TemporalDepth;
 
@@ -88,11 +90,25 @@ ExecutionPlan icores::buildPlan(const StencilProgram &Program,
                    Machine.CoresPerSocket % Config.IslandsPerSocket == 0,
                "islands per socket must divide the cores per socket");
   int NumIslands = Config.Sockets * Config.IslandsPerSocket;
+  int ThreadsPerIsland = Machine.CoresPerSocket / Config.IslandsPerSocket;
   std::vector<Box3> Parts;
   if (Config.GridPartsI > 0 && Config.GridPartsJ > 0) {
     ICORES_CHECK(Config.GridPartsI * Config.GridPartsJ == NumIslands,
                  "2D island grid must use exactly the configured islands");
+    // Cost balancing sizes 1D cut planes; 2D grids keep uniform cuts.
     Parts = partition2D(GlobalTarget, Config.GridPartsI, Config.GridPartsJ);
+  } else if (Config.Balance == BalancePolicy::Cost) {
+    // Size the slabs so predicted per-island seconds are equal: serial
+    // init homes pages on island 0's socket, and the interleave slice is
+    // over the sockets this plan activates.
+    std::vector<bool> OnHome;
+    OnHome.reserve(static_cast<size_t>(NumIslands));
+    for (int P = 0; P != NumIslands; ++P)
+      OnHome.push_back(P / Config.IslandsPerSocket == 0);
+    Parts = partitionCostBalanced(
+        Program, GlobalTarget, NumIslands, partitionDim(Config.Variant),
+        Config.TemporalDepth, ThreadsPerIsland, Machine, Config.Placement,
+        Config.Sockets, OnHome);
   } else {
     Parts =
         partition1D(GlobalTarget, NumIslands, partitionDim(Config.Variant));
@@ -105,7 +121,7 @@ ExecutionPlan icores::buildPlan(const StencilProgram &Program,
     Island.Index = P;
     Island.HomeSocket = P / Config.IslandsPerSocket;
     Island.NumSockets = 1;
-    Island.NumThreads = Machine.CoresPerSocket / Config.IslandsPerSocket;
+    Island.NumThreads = ThreadsPerIsland;
     Island.Part = Parts[static_cast<size_t>(P)];
     int Thickness = blockThickness(Program, Island.Part, IslandBudget);
     Island.Blocks = planTemporalBlocks(

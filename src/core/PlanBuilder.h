@@ -28,6 +28,13 @@ struct PlanConfig {
   /// Number of processors (sockets) participating; 1..machine sockets.
   int Sockets = 1;
   PagePlacement Placement = PagePlacement::FirstTouch;
+  /// How island slabs are sized: equal extents (the paper's cuts) or
+  /// equal predicted cost (core/BalanceModel.h — interior islands'
+  /// superlinear cone overlap shrinks their slabs so every island
+  /// reaches the step barrier together). Cost applies to the 1D island
+  /// partition; 2D island grids and the single-team strategies keep
+  /// uniform cuts.
+  BalancePolicy Balance = BalancePolicy::Uniform;
   /// 1D mapping variant for islands (Table 2's A or B).
   PartitionVariant Variant = PartitionVariant::A;
   /// When both are > 0, use a GridPartsI x GridPartsJ 2D island grid

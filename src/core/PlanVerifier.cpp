@@ -2,6 +2,7 @@
 
 #include "core/PlanVerifier.h"
 
+#include "core/BalanceModel.h"
 #include "stencil/HaloAnalysis.h"
 #include "support/Diagnostics.h"
 #include "support/Format.h"
@@ -30,6 +31,52 @@ bool icores::verifyPlan(const ExecutionPlan &Plan,
   for (const Box3 &G : temporalStepTargets(Program, Plan.GlobalTarget,
                                            Plan.TemporalDepth))
     GlobalStep.push_back(computeRequirements(Program, G));
+
+  // --- Partition geometry ---------------------------------------------
+  // Island parts must tile the global target exactly — no gaps, no
+  // overlaps — whichever balance policy placed the cuts, and every part
+  // must keep at least MinIslandPlanes planes per dimension (a thinner
+  // island could not own a single output plane).
+  {
+    int64_t PartPoints = 0;
+    for (const IslandPlan &Island : Plan.Islands) {
+      if (!Plan.GlobalTarget.containsBox(Island.Part))
+        Diags
+            .report(Severity::Error, "plan.partition.escapes-target",
+                    formatString("island %d part %s escapes the global "
+                                 "target %s",
+                                 Island.Index, Island.Part.str().c_str(),
+                                 Plan.GlobalTarget.str().c_str()))
+            .note("island", formatString("%d", Island.Index));
+      for (int D = 0; D != 3; ++D)
+        if (Island.Part.extent(D) < MinIslandPlanes)
+          Diags
+              .report(Severity::Error, "plan.partition.min-extent",
+                      formatString("island %d part %s is thinner than %d "
+                                   "plane(s) in dimension %d",
+                                   Island.Index, Island.Part.str().c_str(),
+                                   MinIslandPlanes, D))
+              .note("island", formatString("%d", Island.Index));
+      for (const IslandPlan &Other : Plan.Islands) {
+        if (Other.Index >= Island.Index)
+          break;
+        if (!Island.Part.intersect(Other.Part).empty())
+          Diags
+              .report(Severity::Error, "plan.partition.overlap",
+                      formatString("island parts %d and %d overlap",
+                                   Other.Index, Island.Index))
+              .note("islands",
+                    formatString("%d,%d", Other.Index, Island.Index));
+      }
+      PartPoints += Island.Part.numPoints();
+    }
+    if (PartPoints != Plan.GlobalTarget.numPoints())
+      Diags.report(Severity::Error, "plan.partition.gap",
+                   formatString("island parts cover %lld points of %lld",
+                                static_cast<long long>(PartPoints),
+                                static_cast<long long>(
+                                    Plan.GlobalTarget.numPoints())));
+  }
 
   // --- Per-island dataflow order and clipping -------------------------
   for (const IslandPlan &Island : Plan.Islands) {

@@ -35,15 +35,34 @@ int64_t IslandStat::teamPasses() const {
 }
 
 double IslandStat::imbalance() const {
-  if (Threads.empty())
-    return 0.0;
+  // Pinned edges: single-thread teams and zero-kernel-time islands are
+  // trivially balanced (1.0), never 0 — a ratio consumer comparing
+  // against the ideal 1.0 must not see "better than perfect".
+  if (Threads.size() < 2)
+    return 1.0;
   double Max = 0.0, Sum = 0.0;
   for (const ThreadStat &T : Threads) {
     Max = std::max(Max, T.KernelSeconds);
     Sum += T.KernelSeconds;
   }
   double Mean = Sum / static_cast<double>(Threads.size());
-  return Mean > 0.0 ? Max / Mean : 0.0;
+  return Mean > 0.0 ? Max / Mean : 1.0;
+}
+
+double IslandStat::imbalanceAtStep(int Step) const {
+  if (Threads.size() < 2)
+    return 1.0;
+  double Max = 0.0, Sum = 0.0;
+  for (const ThreadStat &T : Threads) {
+    double Seconds =
+        Step >= 0 && static_cast<size_t>(Step) < T.StepKernelSeconds.size()
+            ? T.StepKernelSeconds[static_cast<size_t>(Step)]
+            : 0.0;
+    Max = std::max(Max, Seconds);
+    Sum += Seconds;
+  }
+  double Mean = Sum / static_cast<double>(Threads.size());
+  return Mean > 0.0 ? Max / Mean : 1.0;
 }
 
 void ExecStats::initLayout(const ExecutionPlan &Plan, unsigned NumStages) {
@@ -55,8 +74,11 @@ void ExecStats::initLayout(const ExecutionPlan &Plan, unsigned NumStages) {
     Stat.NumThreads = Plan.Islands[I].NumThreads;
     Stat.Stages.assign(NumStages, StageStat());
     Stat.Threads.resize(static_cast<size_t>(Plan.Islands[I].NumThreads));
-    for (int T = 0; T != Stat.NumThreads; ++T)
+    for (int T = 0; T != Stat.NumThreads; ++T) {
       Stat.Threads[static_cast<size_t>(T)].ThreadInTeam = T;
+      Stat.Threads[static_cast<size_t>(T)].StepKernelSeconds.assign(
+          static_cast<size_t>(Plan.TemporalDepth), 0.0);
+    }
   }
   StepsRun = 0;
   TemporalDepth = Plan.TemporalDepth;
@@ -75,6 +97,9 @@ void ExecStats::initLayout(const ExecutionPlan &Plan, unsigned NumStages) {
   RemoteBytesEst = 0;
   PagesFirstTouched = 0;
   PinFailures = 0;
+  Balance = balancePolicyName(Plan.Balance);
+  Stealing = false;
+  PredictedIslandSkew = 0.0;
 }
 
 void ExecStats::resetMeasurements() {
@@ -92,8 +117,10 @@ void ExecStats::resetMeasurements() {
     std::fill(Island.Stages.begin(), Island.Stages.end(), StageStat());
     for (ThreadStat &T : Island.Threads) {
       int Keep = T.ThreadInTeam;
+      size_t Depth = T.StepKernelSeconds.size();
       T = ThreadStat();
       T.ThreadInTeam = Keep;
+      T.StepKernelSeconds.assign(Depth, 0.0);
     }
   }
 }
@@ -126,6 +153,13 @@ void ExecStats::mergeThread(int Island, int ThreadInTeam,
   }
   ThreadS.SpinWakes += Accum.SpinWakes;
   ThreadS.SleepWakes += Accum.SleepWakes;
+  ThreadS.Steals += Accum.Steals;
+  ThreadS.StealFailures += Accum.StealFailures;
+  ThreadS.IdleSeconds += Accum.IdleSeconds;
+  size_t Steps =
+      std::min(ThreadS.StepKernelSeconds.size(), Accum.StepKernelSeconds.size());
+  for (size_t S = 0; S != Steps; ++S)
+    ThreadS.StepKernelSeconds[S] += Accum.StepKernelSeconds[S];
   GlobalBarrierWaitSeconds += Accum.GlobalBarrierWaitSeconds;
 }
 
@@ -167,6 +201,43 @@ int64_t ExecStats::sleepWakes() const {
   return Sum;
 }
 
+int64_t ExecStats::steals() const {
+  int64_t Sum = 0;
+  for (const IslandStat &Island : Islands)
+    for (const ThreadStat &T : Island.Threads)
+      Sum += T.Steals;
+  return Sum;
+}
+
+int64_t ExecStats::stealFailures() const {
+  int64_t Sum = 0;
+  for (const IslandStat &Island : Islands)
+    for (const ThreadStat &T : Island.Threads)
+      Sum += T.StealFailures;
+  return Sum;
+}
+
+double ExecStats::idleSeconds() const {
+  double Sum = 0.0;
+  for (const IslandStat &Island : Islands)
+    for (const ThreadStat &T : Island.Threads)
+      Sum += T.IdleSeconds;
+  return Sum;
+}
+
+double ExecStats::measuredIslandSkew() const {
+  if (Islands.size() < 2)
+    return 1.0;
+  double Max = 0.0, Sum = 0.0;
+  for (const IslandStat &Island : Islands) {
+    double Seconds = Island.kernelSeconds();
+    Max = std::max(Max, Seconds);
+    Sum += Seconds;
+  }
+  double Mean = Sum / static_cast<double>(Islands.size());
+  return Mean > 0.0 ? Max / Mean : 1.0;
+}
+
 double ExecStats::barrierShare() const {
   double Kernel = kernelSeconds();
   double Barrier = teamBarrierWaitSeconds() + GlobalBarrierWaitSeconds;
@@ -184,7 +255,7 @@ std::string jsonNumber(double Value) {
 
 void ExecStats::writeJson(OStream &OS) const {
   OS << "{\n";
-  OS << "  \"schema\": \"icores.exec_stats.v4\",\n";
+  OS << "  \"schema\": \"icores.exec_stats.v5\",\n";
   OS << "  \"enabled\": " << Enabled << ",\n";
   OS << "  \"steps\": " << StepsRun << ",\n";
   OS << "  \"temporal_depth\": " << TemporalDepth << ",\n";
@@ -192,6 +263,15 @@ void ExecStats::writeJson(OStream &OS) const {
   OS << "  \"remote_bytes_est\": " << RemoteBytesEst << ",\n";
   OS << "  \"pages_first_touched\": " << PagesFirstTouched << ",\n";
   OS << "  \"pin_failures\": " << PinFailures << ",\n";
+  OS << "  \"balance\": \"" << Balance << "\",\n";
+  OS << "  \"stealing\": " << Stealing << ",\n";
+  OS << "  \"steals\": " << steals() << ",\n";
+  OS << "  \"steal_failures\": " << stealFailures() << ",\n";
+  OS << "  \"idle_seconds\": " << jsonNumber(idleSeconds()) << ",\n";
+  OS << "  \"predicted_island_skew\": " << jsonNumber(PredictedIslandSkew)
+     << ",\n";
+  OS << "  \"measured_island_skew\": " << jsonNumber(measuredIslandSkew())
+     << ",\n";
   OS << "  \"shared_read_bytes\": " << SharedBytesRead << ",\n";
   OS << "  \"shared_written_bytes\": " << SharedBytesWritten << ",\n";
   OS << "  \"run_calls\": " << RunCalls << ",\n";
@@ -222,7 +302,12 @@ void ExecStats::writeJson(OStream &OS) const {
        << ", \"kernel_seconds\": " << jsonNumber(Island.kernelSeconds())
        << ", \"barrier_wait_seconds\": "
        << jsonNumber(Island.barrierWaitSeconds())
-       << ", \"imbalance\": " << jsonNumber(Island.imbalance()) << ",\n";
+       << ", \"imbalance\": " << jsonNumber(Island.imbalance())
+       << ", \"imbalance_per_step\": [";
+    for (int Step = 0; Step != TemporalDepth; ++Step)
+      OS << (Step ? ", " : "")
+         << jsonNumber(Island.imbalanceAtStep(Step));
+    OS << "],\n";
     OS << "     \"stages\": [";
     bool First = true;
     for (size_t S = 0; S != Island.Stages.size(); ++S) {
@@ -249,6 +334,9 @@ void ExecStats::writeJson(OStream &OS) const {
          << ", \"elided_barriers\": " << Thread.BarriersElided
          << ", \"spin_wakes\": " << Thread.SpinWakes
          << ", \"sleep_wakes\": " << Thread.SleepWakes
+         << ", \"steals\": " << Thread.Steals
+         << ", \"steal_failures\": " << Thread.StealFailures
+         << ", \"idle_seconds\": " << jsonNumber(Thread.IdleSeconds)
          << ", \"kernel_seconds\": " << jsonNumber(Thread.KernelSeconds)
          << ", \"barrier_wait_seconds\": "
          << jsonNumber(Thread.BarrierWaitSeconds) << "}";

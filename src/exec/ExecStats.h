@@ -23,13 +23,16 @@
 /// (elided) and how remaining TeamBarrier waits were released (spin vs
 /// futex sleep), so the synchronization win is directly observable.
 ///
-/// Reporting: writeJson() emits the "icores.exec_stats.v4" schema
+/// Reporting: writeJson() emits the "icores.exec_stats.v5" schema
 /// (documented in README.md; v3 added the chaos counters faults_injected /
 /// retries / timeouts / recovered mirrored from the FaultInjector — all
-/// zero on unarmed runs; v4 adds the NUMA placement fields placement /
-/// remote_bytes_est / pages_first_touched / pin_failures); writeCsv()
-/// renders per-(island, stage) rows through support/Table for
-/// spreadsheet-friendly dumps. v2 and v3 documents remain parseable by
+/// zero on unarmed runs; v4 added the NUMA placement fields placement /
+/// remote_bytes_est / pages_first_touched / pin_failures; v5 adds the
+/// load-balance fields balance / stealing / steals / steal_failures /
+/// idle_seconds / predicted_island_skew / measured_island_skew and the
+/// per-island imbalance_per_step array); writeCsv() renders
+/// per-(island, stage) rows through support/Table for
+/// spreadsheet-friendly dumps. v2..v4 documents remain parseable by
 /// bench/validate_bench_json.py.
 ///
 //===----------------------------------------------------------------------===//
@@ -66,6 +69,16 @@ struct ThreadStat {
   int64_t BarriersElided = 0;      ///< Passes this thread ran barrier-free.
   int64_t SpinWakes = 0;  ///< Barrier releases observed while spinning.
   int64_t SleepWakes = 0; ///< Barrier releases via the futex sleep path.
+  int64_t Steals = 0;        ///< Chunks claimed from teammates' deques.
+  int64_t StealFailures = 0; ///< Lost steal races (CAS retries).
+  /// Out-of-work time: from the thread's last executed chunk to its entry
+  /// into the pass barrier, summed over stealing-scheduled passes. The
+  /// barrier wait itself is counted separately in BarrierWaitSeconds.
+  double IdleSeconds = 0.0;
+  /// Kernel seconds attributed to each fused step of the temporal epoch
+  /// (index = BlockTask::StepInEpoch; size = plan TemporalDepth), summed
+  /// over all epochs, so imbalance can be reported per step.
+  std::vector<double> StepKernelSeconds;
 };
 
 /// Per-island aggregation: per-stage and per-thread views of the same
@@ -81,8 +94,16 @@ struct IslandStat {
   int64_t teamPasses() const;
 
   /// Team imbalance: max over threads of kernel seconds divided by the
-  /// mean (1.0 = perfectly balanced; 0 when nothing ran).
+  /// mean. Pinned edge cases: a single-thread team and an island whose
+  /// kernels recorded zero seconds are both defined as 1.0 — a team that
+  /// cannot be unbalanced is trivially balanced, never 0 (which would
+  /// read as "better than perfect" to ratio consumers).
   double imbalance() const;
+
+  /// imbalance() restricted to fused step \p Step of the temporal epoch
+  /// (0 <= Step < the plan's TemporalDepth), from the threads'
+  /// StepKernelSeconds. Same pinned edge cases as imbalance().
+  double imbalanceAtStep(int Step) const;
 };
 
 /// Per-thread accumulator for one run() call; lives on the worker's stack.
@@ -91,14 +112,19 @@ struct ExecThreadAccum {
   std::vector<double> StageBarrierWaitSeconds;
   std::vector<int64_t> StagePasses;
   std::vector<int64_t> StageBarriersElided;
+  std::vector<double> StepKernelSeconds; ///< By fused step in epoch.
   double GlobalBarrierWaitSeconds = 0.0;
   int64_t SpinWakes = 0;  ///< Team + global barrier spin releases.
   int64_t SleepWakes = 0; ///< Team + global barrier sleep releases.
+  int64_t Steals = 0;        ///< Chunks claimed from teammates.
+  int64_t StealFailures = 0; ///< Lost steal races.
+  double IdleSeconds = 0.0;  ///< Out-of-work time before pass barriers.
 
-  explicit ExecThreadAccum(unsigned NumStages)
+  ExecThreadAccum(unsigned NumStages, unsigned TemporalDepth)
       : StageKernelSeconds(NumStages, 0.0),
         StageBarrierWaitSeconds(NumStages, 0.0), StagePasses(NumStages, 0),
-        StageBarriersElided(NumStages, 0) {}
+        StageBarriersElided(NumStages, 0),
+        StepKernelSeconds(NumStages == 0 ? 0 : TemporalDepth, 0.0) {}
 };
 
 /// Everything the executor measured, across all run() calls since the
@@ -140,6 +166,17 @@ struct ExecStats {
   int64_t PagesFirstTouched = 0;
   int64_t PinFailures = 0;
 
+  // Load-balance fields (schema v5). Balance names the plan's partition
+  // sizing policy; Stealing says whether the work-stealing block scheduler
+  // was armed; PredictedIslandSkew is core/BalanceModel.h's
+  // predictedIslandSkew() for the executed plan — the SAME function the
+  // simulator reports, so predicted-vs-predicted parity is exact by
+  // construction (0.0 when the executor was given no machine model to
+  // price with). The measured counterpart is measuredIslandSkew().
+  std::string Balance = "uniform";
+  bool Stealing = false;
+  double PredictedIslandSkew = 0.0;
+
   std::vector<IslandStat> Islands;
 
   /// Sizes Islands/Stages/Threads to match \p Plan with \p NumStages
@@ -165,12 +202,24 @@ struct ExecStats {
   int64_t spinWakes() const;
   int64_t sleepWakes() const;
 
+  /// Work-stealing totals over all threads: chunks claimed from
+  /// teammates, lost steal races, and out-of-work seconds.
+  int64_t steals() const;
+  int64_t stealFailures() const;
+  double idleSeconds() const;
+
+  /// Measured island skew: max over islands of measured kernel seconds
+  /// divided by the mean — the measured counterpart of
+  /// PredictedIslandSkew. 1.0 for single-island plans and when no kernel
+  /// time was recorded (the same pinned edges as IslandStat::imbalance).
+  double measuredIslandSkew() const;
+
   /// Measured share of barrier time: (team + global barrier waits) over
   /// (kernel + all barrier waits). The analogue of the simulator's
   /// Barrier fraction of the per-step breakdown.
   double barrierShare() const;
 
-  /// Emits the icores.exec_stats.v4 JSON document.
+  /// Emits the icores.exec_stats.v5 JSON document.
   void writeJson(OStream &OS) const;
 
   /// Emits per-(island, stage) rows as CSV via support/Table.

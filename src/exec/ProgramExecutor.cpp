@@ -2,14 +2,18 @@
 
 #include "exec/ProgramExecutor.h"
 
+#include "core/BalanceModel.h"
 #include "exec/Affinity.h"
 #include "exec/ExecObserver.h"
 #include "exec/RegionSplit.h"
 #include "fault/FaultInjector.h"
 #include "support/Error.h"
+#include "support/MathUtil.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <thread>
 #include <utility>
 
@@ -22,6 +26,29 @@ using ProfileClock = std::chrono::steady_clock;
 double secondsSince(ProfileClock::time_point Start,
                     ProfileClock::time_point End) {
   return std::chrono::duration<double>(End - Start).count();
+}
+
+// --- Work-stealing chunk deques ---------------------------------------
+//
+// One packed word per (island, thread): the open chunk-index range
+// [begin, end) this thread still owns, begin in the high 32 bits. The
+// owner claims the front (ascending chunk order keeps its streaming
+// locality), thieves claim the back; both by CAS, so every chunk is
+// claimed exactly once. No generation tag is needed: a pass's owner
+// drains its own word to empty before entering the pass-end barrier, so
+// a stale word observed by an early-arriving thief of the *next* pass
+// always reads empty (begin == end), and the zero-initialized word is
+// empty too. Chunk *data* is published by the pass-end barrier, not by
+// the deque, so relaxed failure ordering is sufficient.
+
+uint64_t packRange(uint32_t Begin, uint32_t End) {
+  return (static_cast<uint64_t>(Begin) << 32) | End;
+}
+uint32_t rangeBegin(uint64_t Word) {
+  return static_cast<uint32_t>(Word >> 32);
+}
+uint32_t rangeEnd(uint64_t Word) {
+  return static_cast<uint32_t>(Word);
 }
 
 } // namespace
@@ -39,10 +66,14 @@ struct ProgramExecutor::IslandState {
   TeamBarrier Team;
   std::map<ArrayId, Array3D> Imports; ///< Keyed by step-input array.
   std::map<ArrayId, Array3D> Scratch; ///< Keyed by step-output array.
+  /// Work-stealing chunk deques, one packed [begin, end) word per team
+  /// thread (see packRange above); stealing never leaves the island.
+  std::vector<std::atomic<uint64_t>> Deques;
 
   IslandState(unsigned NumArrays, int TeamSize, const ExecutorOptions &Opts)
       : Store(NumArrays),
-        Team(TeamSize, Opts.BarrierPolicy, Opts.BarrierSpinLimit) {}
+        Team(TeamSize, Opts.BarrierPolicy, Opts.BarrierSpinLimit),
+        Deques(static_cast<size_t>(TeamSize)) {}
 };
 
 namespace {
@@ -250,6 +281,10 @@ ProgramExecutor::ProgramExecutor(StencilProgram AProgram,
   Stats.Placement = placementPolicyName(Opts.Placement);
   Stats.PagesFirstTouched = PagesTouched;
   Stats.PinFailures = Pool->pinFailures();
+  Stats.Stealing = Opts.Stealing;
+  if (Opts.Machine)
+    Stats.PredictedIslandSkew =
+        predictedIslandSkew(Plan, Program, *Opts.Machine);
 }
 
 /// The placement init epoch: one pool dispatch in which every worker
@@ -477,7 +512,8 @@ void ProgramExecutor::threadMain(int Worker, int Island, int ThreadInTeam,
   IslandState &IS = *IslandStates[static_cast<size_t>(Island)];
 
   const bool Prof = Profiling;
-  ExecThreadAccum Accum(Prof ? Program.numStages() : 0);
+  ExecThreadAccum Accum(Prof ? Program.numStages() : 0,
+                        static_cast<unsigned>(this->Plan.TemporalDepth));
   auto countWake = [&Accum](TeamBarrier::Wake W) {
     if (W == TeamBarrier::Wake::Sleep)
       ++Accum.SleepWakes;
@@ -513,6 +549,19 @@ void ProgramExecutor::threadMain(int Worker, int Island, int ThreadInTeam,
       Obs->onBarrierDepart(TeamSite, Worker);
   };
 
+  // Work-stealing scheduler state. A pass is steal-eligible only when it
+  // is bracketed by real barriers on *both* sides: the preceding barrier
+  // means no earlier pass of the barrier-free group is still in flight
+  // (the barrier-elision proof of core/ScheduleOptimizer assumes the
+  // static teamSubRegion split within a group), and the trailing barrier
+  // publishes the stolen chunks' writes exactly as it publishes the
+  // static split's. Chunk geometry is a pure function of the pass region
+  // and the team size, so every thread derives the same chunks.
+  const bool Steal = Opts.Stealing;
+  const int StealChunks =
+      IslandP.NumThreads * std::max(1, Opts.StealChunksPerThread);
+  const int OwnChunks = StealChunks / IslandP.NumThreads;
+
   const int Depth = this->Plan.TemporalDepth;
   const int Epochs = Steps / Depth; // run() checked divisibility.
   for (int Epoch = 0; Epoch != Epochs; ++Epoch) {
@@ -542,6 +591,9 @@ void ProgramExecutor::threadMain(int Worker, int Island, int ThreadInTeam,
 
     int PassIndex = 0;
     int CurStep = 0;
+    // True when a real barrier separates the previous pass (or the epoch
+    // prologue) from the next one — the steal-eligibility precondition.
+    bool PrevBarrier = true;
     for (const BlockTask &Block : IslandP.Blocks) {
       if (Depth > 1 && Block.StepInEpoch != CurStep) {
         // Structural fused-step boundary: quiesce the team, swap the
@@ -551,6 +603,7 @@ void ProgramExecutor::threadMain(int Worker, int Island, int ThreadInTeam,
         if (ThreadInTeam == 0)
           rebindForStep(IS, CurStep);
         teamBarrier();
+        PrevBarrier = true;
       }
       for (const StagePass &Pass : Block.Passes) {
         if (Opts.Chaos) {
@@ -561,12 +614,103 @@ void ProgramExecutor::threadMain(int Worker, int Island, int ThreadInTeam,
                 std::chrono::duration<double>(Stall));
         }
         ++PassIndex;
+        const size_t Stage = static_cast<size_t>(Pass.Stage);
+        if (Steal && PrevBarrier && Pass.BarrierAfter &&
+            !Pass.Region.empty()) {
+          // Work-stealing path: dice the pass region into StealChunks
+          // chunks along the team split dimension, drain the own deque
+          // front-first, then steal teammates' backs until a full sweep
+          // claims nothing, and cross the pass-end barrier.
+          const int Dim = teamSplitDim(Pass.Region);
+          const int Extent = Pass.Region.extent(Dim);
+          auto runChunk = [&](uint32_t C,
+                             ProfileClock::time_point &LastWork) {
+            Box3 Sub = Pass.Region;
+            Sub.Lo[Dim] =
+                Pass.Region.Lo[Dim] +
+                static_cast<int>(chunkBegin(Extent, StealChunks, C));
+            Sub.Hi[Dim] =
+                Pass.Region.Lo[Dim] +
+                static_cast<int>(chunkBegin(Extent, StealChunks, C + 1));
+            if (Sub.empty())
+              return;
+            if (Obs)
+              Obs->onPass(Worker, Program, IS.Store, Pass.Stage, Sub);
+            if (Prof) {
+              ProfileClock::time_point T0 = ProfileClock::now();
+              Kernels.run(IS.Store, Pass.Stage, Sub);
+              LastWork = ProfileClock::now();
+              double Sec = secondsSince(T0, LastWork);
+              Accum.StageKernelSeconds[Stage] += Sec;
+              Accum.StepKernelSeconds[static_cast<size_t>(CurStep)] += Sec;
+            } else {
+              Kernels.run(IS.Store, Pass.Stage, Sub);
+            }
+          };
+
+          ProfileClock::time_point LastWork;
+          if (Prof)
+            LastWork = ProfileClock::now();
+          std::atomic<uint64_t> &Mine =
+              IS.Deques[static_cast<size_t>(ThreadInTeam)];
+          Mine.store(
+              packRange(static_cast<uint32_t>(ThreadInTeam * OwnChunks),
+                        static_cast<uint32_t>((ThreadInTeam + 1) *
+                                              OwnChunks)),
+              std::memory_order_release);
+          uint64_t W = Mine.load(std::memory_order_relaxed);
+          while (rangeBegin(W) < rangeEnd(W)) {
+            if (Mine.compare_exchange_weak(
+                    W, packRange(rangeBegin(W) + 1, rangeEnd(W)),
+                    std::memory_order_acq_rel, std::memory_order_relaxed)) {
+              runChunk(rangeBegin(W), LastWork);
+              W = Mine.load(std::memory_order_relaxed);
+            }
+          }
+          bool Claimed = IslandP.NumThreads > 1;
+          while (Claimed) {
+            Claimed = false;
+            for (int Off = 1; Off != IslandP.NumThreads; ++Off) {
+              std::atomic<uint64_t> &Victim =
+                  IS.Deques[static_cast<size_t>(
+                      (ThreadInTeam + Off) % IslandP.NumThreads)];
+              uint64_t V = Victim.load(std::memory_order_acquire);
+              while (rangeBegin(V) < rangeEnd(V)) {
+                if (Victim.compare_exchange_weak(
+                        V, packRange(rangeBegin(V), rangeEnd(V) - 1),
+                        std::memory_order_acq_rel,
+                        std::memory_order_relaxed)) {
+                  ++Accum.Steals;
+                  runChunk(rangeEnd(V) - 1, LastWork);
+                  Claimed = true;
+                  break;
+                }
+                ++Accum.StealFailures;
+              }
+            }
+          }
+          if (Prof) {
+            ProfileClock::time_point T1 = ProfileClock::now();
+            Accum.IdleSeconds += secondsSince(LastWork, T1);
+            if (Obs)
+              Obs->onBarrierArrive(TeamSite, Worker, IslandP.NumThreads);
+            countWake(IS.Team.arriveAndWait(ThreadInTeam));
+            Accum.StageBarrierWaitSeconds[Stage] +=
+                secondsSince(T1, ProfileClock::now());
+            if (Obs)
+              Obs->onBarrierDepart(TeamSite, Worker);
+            ++Accum.StagePasses[Stage];
+          } else {
+            teamBarrier();
+          }
+          PrevBarrier = true;
+          continue;
+        }
         Box3 Sub =
             teamSubRegion(Pass.Region, ThreadInTeam, IslandP.NumThreads);
         if (Obs && !Sub.empty())
           Obs->onPass(Worker, Program, IS.Store, Pass.Stage, Sub);
         if (Prof) {
-          size_t Stage = static_cast<size_t>(Pass.Stage);
           ProfileClock::time_point T0 = ProfileClock::now();
           Kernels.run(IS.Store, Pass.Stage, Sub);
           ProfileClock::time_point T1 = ProfileClock::now();
@@ -581,13 +725,16 @@ void ProgramExecutor::threadMain(int Worker, int Island, int ThreadInTeam,
           } else {
             ++Accum.StageBarriersElided[Stage];
           }
-          Accum.StageKernelSeconds[Stage] += secondsSince(T0, T1);
+          double Sec = secondsSince(T0, T1);
+          Accum.StageKernelSeconds[Stage] += Sec;
+          Accum.StepKernelSeconds[static_cast<size_t>(CurStep)] += Sec;
           ++Accum.StagePasses[Stage];
         } else {
           Kernels.run(IS.Store, Pass.Stage, Sub);
           if (Pass.BarrierAfter)
             teamBarrier();
         }
+        PrevBarrier = Pass.BarrierAfter;
       }
     }
   }

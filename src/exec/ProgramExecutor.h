@@ -50,6 +50,7 @@ namespace icores {
 
 class ExecObserver;
 class FaultInjector;
+struct MachineModel;
 
 /// Runtime knobs for the executor's barriers. Results are bit-identical
 /// for every setting; only latency/CPU-burn trade-offs change.
@@ -89,6 +90,25 @@ struct ExecutorOptions {
   /// its socket. With Placement == None, setThreadPinning() before the
   /// first run() remains equivalent.
   std::vector<ThreadPlacement> Pinning;
+  /// Work-stealing block scheduler: within an island, passes that are
+  /// bracketed by real barriers on both sides are diced into
+  /// NumThreads * StealChunksPerThread chunks along the team split
+  /// dimension; each thread drains its own chunk deque front-first
+  /// (LIFO-local order preserves streaming locality) and then steals from
+  /// teammates' backs. Stealing never crosses an island (sockets keep
+  /// their NUMA locality), stolen chunks run under the same pass-end
+  /// barrier, and barrier-elided pass groups keep the static split (the
+  /// race-freedom proof of core/ScheduleCheck assumes it), so results are
+  /// bit-identical with stealing on or off.
+  bool Stealing = false;
+  /// Chunks per team thread for the stealing scheduler (>= 1); more
+  /// chunks balance finer at slightly higher claim overhead.
+  int StealChunksPerThread = 4;
+  /// Optional machine model used to price the executed plan's predicted
+  /// island skew (core/BalanceModel.h) into ExecStats — the SAME function
+  /// the simulator reports, so predicted-vs-predicted parity is exact.
+  /// When null, ExecStats::PredictedIslandSkew stays 0.0.
+  const MachineModel *Machine = nullptr;
 };
 
 /// Threaded executor for one plan of one program over one domain.

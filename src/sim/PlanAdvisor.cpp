@@ -28,6 +28,27 @@ bool temporalDepthFeasible(const StencilProgram &Program, const Box3 &Grid,
   return true;
 }
 
+/// Temporal depths worth pricing for this run: every divisor of
+/// \p TimeSteps (runs consist of whole epochs only) that survives the
+/// cone-blowup prune, in increasing order, 1 first. Derived from the
+/// actual step count rather than a hard-coded {1, 2, 4} so e.g.
+/// --steps=6 prices depths 2 and 3 and --steps=7 prices 7 (if feasible)
+/// instead of nothing beyond 1.
+std::vector<int> temporalDepthCandidates(const StencilProgram &Program,
+                                         const Box3 &Grid, int TimeSteps) {
+  std::vector<int> Depths;
+  for (int Depth = 1; Depth <= TimeSteps; ++Depth) {
+    if (TimeSteps % Depth != 0)
+      continue;
+    if (!temporalDepthFeasible(Program, Grid, Depth, TimeSteps))
+      break; // The cone only widens with depth; deeper cannot pass.
+    Depths.push_back(Depth);
+  }
+  if (Depths.empty())
+    Depths.push_back(1);
+  return Depths;
+}
+
 /// Adds one candidate if it is feasible on this grid/machine.
 void tryCandidate(std::vector<AdvisorCandidate> &Out,
                   const StencilProgram &Program, const Box3 &Grid,
@@ -81,27 +102,40 @@ AdvisorReport icores::adviseBestPlan(const StencilProgram &Program,
   // island counts (powers of two dividing the cores). The cache-blocked
   // strategies are also priced with fused temporal epochs — the depth
   // trades redundant cone compute against amortised DRAM streams and
-  // global barriers, so the winner is grid- and machine-dependent.
+  // global barriers, so the winner is grid- and machine-dependent. The
+  // depths priced are the feasible divisors of the requested step count
+  // (temporalDepthCandidates), not a fixed set. Each multi-island 1D
+  // candidate is priced under both balance policies: cost-balanced cuts
+  // shrink the predicted island skew on skewed configurations at the
+  // price of wider interior cones.
+  const std::vector<int> Depths =
+      temporalDepthCandidates(Program, Grid, TimeSteps);
   for (PartitionVariant Variant :
        {PartitionVariant::A, PartitionVariant::B})
-    for (int Depth : {1, 2, 4}) {
-      if (!temporalDepthFeasible(Program, Grid, Depth, TimeSteps))
-        continue;
-      Config = Base;
-      Config.Strat = Strategy::IslandsOfCores;
-      Config.Variant = Variant;
-      Config.TemporalDepth = Depth;
-      std::string Label =
-          formatString("islands 1D variant %c",
-                       Variant == PartitionVariant::A ? 'A' : 'B');
-      if (Depth > 1)
-        Label += formatString(", temporal depth %d", Depth);
-      tryCandidate(Report.Candidates, Program, Grid, Machine, TimeSteps,
-                   Config, std::move(Label));
-    }
-  for (int Depth : {2, 4}) {
-    if (!temporalDepthFeasible(Program, Grid, Depth, TimeSteps))
-      continue;
+    for (int Depth : Depths)
+      for (BalancePolicy Balance :
+           {BalancePolicy::Uniform, BalancePolicy::Cost}) {
+        if (Balance == BalancePolicy::Cost &&
+            Sockets * Base.IslandsPerSocket < 2)
+          continue; // One island: nothing to balance.
+        Config = Base;
+        Config.Strat = Strategy::IslandsOfCores;
+        Config.Variant = Variant;
+        Config.TemporalDepth = Depth;
+        Config.Balance = Balance;
+        std::string Label =
+            formatString("islands 1D variant %c",
+                         Variant == PartitionVariant::A ? 'A' : 'B');
+        if (Depth > 1)
+          Label += formatString(", temporal depth %d", Depth);
+        if (Balance == BalancePolicy::Cost)
+          Label += ", cost-balanced";
+        tryCandidate(Report.Candidates, Program, Grid, Machine, TimeSteps,
+                     Config, std::move(Label));
+      }
+  for (int Depth : Depths) {
+    if (Depth == 1)
+      continue; // Depth-1 pure (3+1)D was priced above.
     Config = Base;
     Config.Strat = Strategy::Block31D;
     Config.TemporalDepth = Depth;

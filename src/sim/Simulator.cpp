@@ -2,6 +2,7 @@
 
 #include "sim/Simulator.h"
 
+#include "core/BalanceModel.h"
 #include "core/PlacementMap.h"
 #include "support/Error.h"
 
@@ -362,6 +363,7 @@ SimResult icores::simulate(const ExecutionPlan &Plan,
   Result.TimeSteps = TimeSteps;
   Result.ActiveSockets = ActiveSockets;
   Result.SharedBytesPerStep = projectedSharedBytesPerStep(Plan, Program);
+  Result.PredictedIslandSkew = predictedIslandSkew(Plan, Program, Machine);
 
   // The plan-derived page-ownership map under the plan's policy: the
   // remote-byte projection it yields matches the executor's

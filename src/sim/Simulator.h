@@ -104,6 +104,14 @@ struct SimResult {
   /// SharedBytesPerStep).
   int64_t PlacementRemoteBytesPerStep = 0;
 
+  /// Predicted island skew (max over islands of predicted seconds over
+  /// the mean) from core/BalanceModel.h's predictedIslandSkew() — the
+  /// SAME function the executor stamps into ExecStats, so the simulator
+  /// and the executor agree on the predicted skew by construction. 1.0
+  /// for single-island plans; cost-balanced partitions drive it toward
+  /// 1.0 on skewed configurations.
+  double PredictedIslandSkew = 1.0;
+
   int ActiveSockets = 0;
 
   double sustainedGflops() const {

@@ -205,7 +205,7 @@ TEST(ExecStatsTest, JsonReportIsWellFormed) {
   Exec->run(2);
   std::string Json = Exec->stats().toJsonString();
 
-  EXPECT_NE(Json.find("\"schema\": \"icores.exec_stats.v4\""),
+  EXPECT_NE(Json.find("\"schema\": \"icores.exec_stats.v5\""),
             std::string::npos);
   EXPECT_NE(Json.find("\"islands\""), std::string::npos);
   EXPECT_NE(Json.find("\"stages\""), std::string::npos);

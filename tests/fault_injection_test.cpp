@@ -394,7 +394,7 @@ TEST(FaultInjectionTest, SpuriousWakesSurviveEveryWaitPolicy) {
   }
 }
 
-TEST(FaultInjectionTest, ExecutorMirrorsFaultCountersIntoStatsV4) {
+TEST(FaultInjectionTest, ExecutorMirrorsFaultCountersIntoStatsV5) {
   Watchdog Dog(60.0, "fault_injection_test: stats v3 mirror");
   FaultPlan Plan;
   Plan.Seed = 13;
@@ -425,7 +425,7 @@ TEST(FaultInjectionTest, ExecutorMirrorsFaultCountersIntoStatsV4) {
   EXPECT_EQ(Stats.FaultsInjected, Injector.stats().Injected);
   EXPECT_GT(Stats.FaultsInjected, 0);
   std::string Json = Stats.toJsonString();
-  EXPECT_NE(Json.find("\"schema\": \"icores.exec_stats.v4\""),
+  EXPECT_NE(Json.find("\"schema\": \"icores.exec_stats.v5\""),
             std::string::npos);
   EXPECT_NE(Json.find("\"faults_injected\""), std::string::npos);
   EXPECT_NE(Json.find("\"timeouts\""), std::string::npos);

@@ -61,6 +61,16 @@ void printUsage() {
       "  --sockets=N                 sockets to use (default: all)\n"
       "  --islands=N                 alias for --sockets in execute mode\n"
       "  --variant=A|B               1D island mapping (default A)\n"
+      "  --balance=uniform|cost      island slab sizing (default uniform):\n"
+      "                              cost equalizes predicted per-island\n"
+      "                              work (redundant cones + remote bytes)\n"
+      "                              via core/BalanceModel. Applies to\n"
+      "                              execute, simulate, traffic, plan and\n"
+      "                              lint modes\n"
+      "  --steal                     execute mode: arm the work-stealing\n"
+      "                              block scheduler (per-island chunk\n"
+      "                              deques; stealing never crosses an\n"
+      "                              island). Results stay bit-exact\n"
       "  --placement=firsttouch|serial (default firsttouch)\n"
       "  --place=none|firsttouch|interleave\n"
       "                              NUMA page placement; supersedes\n"
@@ -145,10 +155,10 @@ int main(int Argc, char **Argv) {
 
   CommandLine CL;
   for (const char *Opt : {"machine", "strategy", "sockets", "islands",
-                          "variant", "placement", "place", "kernels", "ni",
-                          "nj", "nk", "steps", "temporal", "profile", "pin",
-                          "json", "no-audit", "no-elide", "barrier",
-                          "chaos", "out", "help"})
+                          "variant", "placement", "place", "balance",
+                          "steal", "kernels", "ni", "nj", "nk", "steps",
+                          "temporal", "profile", "pin", "json", "no-audit",
+                          "no-elide", "barrier", "chaos", "out", "help"})
     CL.registerOption(Opt, "");
   std::string Error;
   if (!CL.parse(Argc - 1, Argv + 1, Error)) {
@@ -220,6 +230,16 @@ int main(int Argc, char **Argv) {
       return 1;
     }
     Config.Placement = Place;
+  }
+  std::string BalanceName = CL.getString("balance", "uniform");
+  if (BalanceName == "cost") {
+    Config.Balance = BalancePolicy::Cost;
+  } else if (BalanceName != "uniform") {
+    std::fprintf(stderr,
+                 "error: unknown balance policy '%s' (expected uniform or "
+                 "cost)\n",
+                 BalanceName.c_str());
+    return 1;
   }
 
   if (Mode == "lint") {
@@ -339,6 +359,8 @@ int main(int Argc, char **Argv) {
                 formatBytes(static_cast<uint64_t>(
                                 R.PlacementRemoteBytesPerStep))
                     .c_str());
+    std::printf("  balance:             %s, predicted island skew %.4f\n",
+                balancePolicyName(Config.Balance), R.PredictedIslandSkew);
     std::printf("  per-step: compute %s, dram %s, remote %s, barrier %s, "
                 "overhead %s\n",
                 formatSeconds(R.CriticalIsland.Compute).c_str(),
@@ -364,6 +386,11 @@ int main(int Argc, char **Argv) {
     MachineModel Host = makeToyMachine();
     Host.NumSockets = Sockets;
     ExecutorOptions ExecOpts;
+    ExecOpts.Stealing = CL.hasOption("steal");
+    // Price the executed plan's predicted island skew with the same
+    // machine model the plan was built for, so the --profile JSON's
+    // predicted_island_skew matches `simulate` by construction.
+    ExecOpts.Machine = &Host;
     std::string BarrierName = CL.getString("barrier", "hybrid");
     if (!parseWaitPolicy(BarrierName, ExecOpts.BarrierPolicy)) {
       std::fprintf(stderr, "error: unknown barrier policy '%s'\n",
@@ -442,6 +469,13 @@ int main(int Argc, char **Argv) {
     double Diff = Exec.state().maxAbsDiff(Oracle.state(), Dom.coreBox());
     std::printf("executed %d steps of %s on %dx%dx%d with %d islands\n",
                 Steps, strategyName(Strat), NI, NJ, NK, Sockets);
+    if (Config.Balance == BalancePolicy::Cost || ExecOpts.Stealing) {
+      const ExecStats &BS = Exec.stats();
+      std::printf("balance: %s cuts, stealing %s, predicted island skew "
+                  "%.4f, measured %.4f\n",
+                  BS.Balance.c_str(), BS.Stealing ? "on" : "off",
+                  BS.PredictedIslandSkew, BS.measuredIslandSkew());
+    }
     if (Temporal > 1)
       std::printf("temporal blocking: depth %d (%d fused epochs), shared "
                   "traffic %s/step\n",
@@ -494,6 +528,12 @@ int main(int Argc, char **Argv) {
                   static_cast<long long>(Stats.spinWakes()),
                   static_cast<long long>(Stats.sleepWakes()),
                   waitPolicyName(ExecOpts.BarrierPolicy));
+      if (Stats.Stealing)
+        std::printf("profile: %lld chunks stolen (%lld lost races), idle "
+                    "%s across threads\n",
+                    static_cast<long long>(Stats.steals()),
+                    static_cast<long long>(Stats.stealFailures()),
+                    formatSeconds(Stats.idleSeconds()).c_str());
       std::printf("profile: %lld run() calls reused %lld pooled threads; "
                   "stats written to %s\n",
                   static_cast<long long>(Stats.RunCalls),
