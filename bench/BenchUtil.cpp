@@ -173,11 +173,13 @@ std::string icores::bench::writeTemporalBenchJson(
   for (size_t I = 0; I != Rows.size(); ++I) {
     const TemporalBenchJsonRow &R = Rows[I];
     std::fprintf(F,
-                 "%s\n    {\"strategy\": \"%s\", \"temporal_depth\": %d, "
+                 "%s\n    {\"workload\": \"%s\", \"strategy\": \"%s\", "
+                 "\"temporal_depth\": %d, "
                  "\"measured_bytes_per_step\": %lld, "
                  "\"projected_bytes_per_step\": %lld, "
                  "\"seconds\": %.9g}",
-                 I ? "," : "", R.Strategy.c_str(), R.TemporalDepth,
+                 I ? "," : "", R.Workload.c_str(), R.Strategy.c_str(),
+                 R.TemporalDepth,
                  static_cast<long long>(R.MeasuredBytesPerStep),
                  static_cast<long long>(R.ProjectedBytesPerStep),
                  R.Seconds);
@@ -205,15 +207,15 @@ std::string icores::bench::writeNumaBenchJson(
   for (size_t I = 0; I != Rows.size(); ++I) {
     const NumaBenchJsonRow &R = Rows[I];
     std::fprintf(F,
-                 "%s\n    {\"strategy\": \"%s\", \"temporal_depth\": %d, "
-                 "\"placement\": \"%s\", "
+                 "%s\n    {\"workload\": \"%s\", \"strategy\": \"%s\", "
+                 "\"temporal_depth\": %d, \"placement\": \"%s\", "
                  "\"remote_bytes_per_step\": %lld, "
                  "\"projected_remote_bytes_per_step\": %lld, "
                  "\"pages_first_touched\": %lld, "
                  "\"pin_failures\": %lld, "
                  "\"seconds\": %.9g}",
-                 I ? "," : "", R.Strategy.c_str(), R.TemporalDepth,
-                 R.Placement.c_str(),
+                 I ? "," : "", R.Workload.c_str(), R.Strategy.c_str(),
+                 R.TemporalDepth, R.Placement.c_str(),
                  static_cast<long long>(R.RemoteBytesPerStep),
                  static_cast<long long>(R.ProjectedRemoteBytesPerStep),
                  static_cast<long long>(R.PagesFirstTouched),
@@ -242,14 +244,15 @@ std::string icores::bench::writeBalanceBenchJson(
   for (size_t I = 0; I != Rows.size(); ++I) {
     const BalanceBenchJsonRow &R = Rows[I];
     std::fprintf(F,
-                 "%s\n    {\"balance\": \"%s\", \"stealing\": %s, "
+                 "%s\n    {\"workload\": \"%s\", \"balance\": \"%s\", "
+                 "\"stealing\": %s, "
                  "\"temporal_depth\": %d, \"islands\": %d, "
                  "\"predicted_skew_sim\": %.9g, "
                  "\"predicted_skew_exec\": %.9g, "
                  "\"measured_skew\": %.9g, \"max_imbalance\": %.9g, "
                  "\"steals\": %lld, \"steal_failures\": %lld, "
                  "\"idle_seconds\": %.9g, \"seconds\": %.9g}",
-                 I ? "," : "", R.Balance.c_str(),
+                 I ? "," : "", R.Workload.c_str(), R.Balance.c_str(),
                  R.Stealing ? "true" : "false", R.TemporalDepth, R.Islands,
                  R.PredictedSkewSim, R.PredictedSkewExec, R.MeasuredSkew,
                  R.MaxImbalance, static_cast<long long>(R.Steals),

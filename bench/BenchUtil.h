@@ -114,6 +114,7 @@ struct TemporalBenchJsonRow {
   int64_t MeasuredBytesPerStep = 0;  ///< Executor sharedBytesPerStep().
   int64_t ProjectedBytesPerStep = 0; ///< Simulator projection.
   double Seconds = 0.0;        ///< Measured wall seconds for the run.
+  std::string Workload = "mpdata"; ///< Registered workload name.
 };
 
 /// writeBenchJson() for temporal-blocking rows (schema icores.bench.v2).
@@ -137,6 +138,7 @@ struct NumaBenchJsonRow {
   int64_t PagesFirstTouched = 0; ///< Pages zeroed by the init epoch.
   int64_t PinFailures = 0;       ///< sched_setaffinity rejections.
   double Seconds = 0.0;          ///< Measured wall seconds for the run.
+  std::string Workload = "mpdata"; ///< Registered workload name.
 };
 
 /// writeBenchJson() for NUMA-placement rows (schema icores.bench.v2).
@@ -162,6 +164,7 @@ struct BalanceBenchJsonRow {
   int64_t StealFailures = 0; ///< Lost steal races.
   double IdleSeconds = 0.0;  ///< Out-of-work seconds, all threads.
   double Seconds = 0.0;      ///< Measured wall seconds for the run.
+  std::string Workload = "mpdata"; ///< Registered workload name.
 };
 
 /// writeBenchJson() for load-balance rows (schema icores.bench.v2).

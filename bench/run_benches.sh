@@ -76,11 +76,19 @@ if [ -x "$CLI" ]; then
   fi
 fi
 
+# The workload manifest pins every bench row's "workload" field to a
+# name the CLI actually registers.
+MANIFEST_ARGS=()
+if [ -x "$CLI" ] && "$CLI" list-workloads > "$OUT_DIR/workloads.txt" 2>&1; then
+  MANIFEST_ARGS=(--manifest="$OUT_DIR/workloads.txt")
+fi
+
 JSONS=("$OUT_DIR"/BENCH_*.json "$OUT_DIR"/exec_stats_*.json)
 JSONS=($(ls "${JSONS[@]}" 2> /dev/null || true))
 if [ -e "${JSONS[0]}" ]; then
   if command -v python3 > /dev/null 2>&1; then
-    python3 "$SCRIPT_DIR/validate_bench_json.py" "${JSONS[@]}" || STATUS=1
+    python3 "$SCRIPT_DIR/validate_bench_json.py" "${MANIFEST_ARGS[@]}" \
+      "${JSONS[@]}" || STATUS=1
   else
     echo "note: python3 not found; skipping BENCH_*.json schema validation"
   fi

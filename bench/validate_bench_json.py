@@ -1,7 +1,15 @@
 #!/usr/bin/env python3
 """Validates icores JSON records, dispatching on their "schema" field.
 
-Usage: validate_bench_json.py FILE [FILE...]
+Usage: validate_bench_json.py [--manifest=FILE] FILE [FILE...]
+
+Every icores.bench.v2 row may carry an optional "workload" field naming
+the registered workload the row was measured on (BenchUtil emits it;
+older records without it stay valid). With --manifest=FILE — a file
+holding the output of `mpdata_cli list-workloads`, whose first token
+per line is a workload name — any "workload" value not in the manifest
+is a validation failure, so bench records can never claim a workload
+the binary does not register.
 
 Accepted schemas:
 
@@ -17,6 +25,8 @@ Accepted schemas:
   writeNumaBenchJson and writeBalanceBenchJson): same envelope, with
   three row shapes distinguished by field presence ("balance" marks a
   load-balance row, else "placement" marks a NUMA row).
+  Every v2 row additionally accepts an optional "workload": str
+  (checked against the manifest under --manifest).
   Temporal-blocking traffic rows:
       {"strategy": str, "temporal_depth": int >= 1,
        "measured_bytes_per_step": int > 0,
@@ -177,8 +187,26 @@ BALANCE_ROW_FIELDS = {
 }
 
 
+# Workload manifest loaded from --manifest=FILE (None: accept any name).
+MANIFEST = None
+
+
+def validate_workload_field(where, row):
+    """The optional v2 "workload" field: a non-empty string, and — when a
+    manifest was supplied — one of the names the CLI registers."""
+    if "workload" not in row:
+        return []
+    workload = row["workload"]
+    if not isinstance(workload, str) or not workload:
+        return ["%s: 'workload' must be a non-empty string" % where]
+    if MANIFEST is not None and workload not in MANIFEST:
+        return ["%s: workload = %r not in the manifest (%s)"
+                % (where, workload, ", ".join(sorted(MANIFEST)))]
+    return []
+
+
 def validate_balance_row(where, row):
-    errors = []
+    errors = validate_workload_field(where, row)
     for field, types in BALANCE_ROW_FIELDS.items():
         if field not in row:
             errors.append("%s: missing field %r" % (where, field))
@@ -221,7 +249,7 @@ def validate_balance_row(where, row):
 
 
 def validate_numa_row(where, row):
-    errors = []
+    errors = validate_workload_field(where, row)
     for field, types in NUMA_ROW_FIELDS.items():
         if field not in row:
             errors.append("%s: missing field %r" % (where, field))
@@ -251,7 +279,7 @@ def validate_numa_row(where, row):
 
 
 def validate_temporal_row(where, row):
-    errors = []
+    errors = validate_workload_field(where, row)
     for field, types in TEMPORAL_ROW_FIELDS.items():
         if field not in row:
             errors.append("%s: missing field %r" % (where, field))
@@ -639,12 +667,36 @@ def validate_kernel_row(where, row):
     return errors
 
 
+def load_manifest(path):
+    """Workload names from `mpdata_cli list-workloads` output: the first
+    whitespace-separated token of every non-empty line."""
+    try:
+        with open(path) as f:
+            names = {line.split()[0] for line in f if line.split()}
+    except OSError as e:
+        print("FAIL %s: unreadable manifest: %s" % (path, e))
+        return None
+    if not names:
+        print("FAIL %s: empty workload manifest" % path)
+        return None
+    return names
+
+
 def main(argv):
-    if len(argv) < 2:
+    global MANIFEST
+    files = []
+    for arg in argv[1:]:
+        if arg.startswith("--manifest="):
+            MANIFEST = load_manifest(arg[len("--manifest="):])
+            if MANIFEST is None:
+                return 1
+        else:
+            files.append(arg)
+    if not files:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     failures = 0
-    for path in argv[1:]:
+    for path in files:
         errors = validate(path)
         if errors:
             failures += 1

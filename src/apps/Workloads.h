@@ -1,0 +1,38 @@
+//===- apps/Workloads.h - Built-in workload registrations -------*- C++ -*-===//
+//
+// Part of the icores project: islands-of-cores for heterogeneous stencils.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Registration of the repository's built-in workloads into a
+/// WorkloadRegistry. This is the only place that knows the full roster;
+/// planners, runtimes, CLIs and tests enumerate the registry instead of
+/// naming apps. Adding a workload means adding its program/kernels under
+/// src/apps (or another app library) and one registration entry here —
+/// nothing under src/exec, src/core or src/sim changes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ICORES_APPS_WORKLOADS_H
+#define ICORES_APPS_WORKLOADS_H
+
+#include "stencil/WorkloadRegistry.h"
+
+namespace icores {
+
+class DiagnosticEngine;
+
+/// Registers every built-in workload (mpdata, advdiff, cfl-advect, ...)
+/// into \p R. Registration failures surface as `registry.*` findings in
+/// \p Diags; returns true when all built-ins registered cleanly.
+bool registerBuiltinWorkloads(WorkloadRegistry &R, DiagnosticEngine &Diags);
+
+/// The process-wide registry of built-in workloads, built on first use.
+/// Built-ins are maintained in-tree, so a registration failure here is a
+/// programming error and fatal.
+const WorkloadRegistry &builtinWorkloads();
+
+} // namespace icores
+
+#endif // ICORES_APPS_WORKLOADS_H

@@ -108,6 +108,34 @@ ProgramExecutor::ProgramExecutor(StencilProgram AProgram,
                    Dom.boundaryMode() == BoundaryMode::Periodic,
                "temporal blocking requires periodic boundaries");
 
+  // Reductions: bindings in declaration order, the per-stage fold lists,
+  // and the (island, step, reduction) partial scratch. The fold reads the
+  // whole pass region on the team's thread 0, so in a multi-thread team
+  // every non-empty pass producing a reduced array must keep its trailing
+  // barrier — the same rule ScheduleCheck enforces and the barrier
+  // elision optimizer preserves.
+  Reductions = orderedReductionBindings(Program, Opts.Reductions);
+  ReductionLog.resize(Reductions.size());
+  StageFolds.resize(Program.numStages());
+  for (size_t R = 0; R != Program.reductions().size(); ++R) {
+    StageId Producer = Program.producerOf(Program.reductions()[R].Array);
+    if (Producer != NoStage)
+      StageFolds[static_cast<size_t>(Producer)].push_back(R);
+  }
+  Partials.resize(Plan.Islands.size() *
+                  static_cast<size_t>(Plan.TemporalDepth) *
+                  Reductions.size());
+  if (!Reductions.empty())
+    for (const IslandPlan &Island : Plan.Islands)
+      for (const BlockTask &Block : Island.Blocks)
+        for (const StagePass &Pass : Block.Passes)
+          ICORES_CHECK(Island.NumThreads == 1 || Pass.Region.empty() ||
+                           Pass.BarrierAfter ||
+                           StageFolds[static_cast<size_t>(Pass.Stage)]
+                               .empty(),
+                       "pass producing a reduced array lacks its trailing "
+                       "barrier (reduction fold would race)");
+
   // With a placement policy armed every allocation is left untouched so
   // the init epoch's pinned workers produce the first (page-homing) write;
   // None keeps the historical serial zero-fill.
@@ -495,6 +523,67 @@ void ProgramExecutor::importEpochInputs(IslandState &IS, int Worker,
   }
 }
 
+double &ProgramExecutor::partialAt(size_t Island, int StepInEpoch,
+                                   size_t R) {
+  return Partials[(Island * static_cast<size_t>(Plan.TemporalDepth) +
+                   static_cast<size_t>(StepInEpoch)) *
+                      Reductions.size() +
+                  R];
+}
+
+/// Seeds the island's per-epoch partials with the fold identities. Called
+/// by the island's thread 0 right after the epoch-start global barriers,
+/// before it reaches any pass-end barrier, so no fold can precede it.
+void ProgramExecutor::resetIslandPartials(size_t Island) {
+  for (int Step = 0; Step != Plan.TemporalDepth; ++Step)
+    for (size_t R = 0; R != Reductions.size(); ++R)
+      partialAt(Island, Step, R) = Reductions[R].Identity;
+}
+
+/// Folds \p Pass's region of each reduced array the pass produced into
+/// the island's partial for the current fused step. Runs on the team's
+/// thread 0 right after the pass-end barrier published every teammate's
+/// sub-region; the store still holds the step's bindings (scratch buffers
+/// at intermediate fused steps, the shared arrays at the final one).
+/// Islands' widened cone regions overlap under temporal blocking, but the
+/// overlapping cells carry bit-identical (periodically wrapped) values,
+/// so the duplicate-tolerant combiner contract keeps the combined value
+/// exactly the serial core scan's.
+void ProgramExecutor::foldPassReduction(IslandState &IS, size_t Island,
+                                        int StepInEpoch,
+                                        const StagePass &Pass) {
+  for (size_t R : StageFolds[static_cast<size_t>(Pass.Stage)]) {
+    const Array3D &Arr = IS.Store.get(Program.reductions()[R].Array);
+    const ReductionBinding &B = Reductions[R];
+    double V = partialAt(Island, StepInEpoch, R);
+    for (int I = Pass.Region.Lo[0]; I != Pass.Region.Hi[0]; ++I)
+      for (int J = Pass.Region.Lo[1]; J != Pass.Region.Hi[1]; ++J)
+        for (int K = Pass.Region.Lo[2]; K != Pass.Region.Hi[2]; ++K)
+          V = B.Combine(V, Arr.at(I, J, K));
+    partialAt(Island, StepInEpoch, R) = V;
+  }
+}
+
+/// Combines the islands' partials of the epoch just finished, in island
+/// order, and appends one global value per (fused step, reduction) to the
+/// log. Runs with every worker quiesced at a global barrier (or after the
+/// pool dispatch returned), so the partial reads need no further
+/// synchronisation.
+void ProgramExecutor::appendEpochReductions() {
+  for (int Step = 0; Step != Plan.TemporalDepth; ++Step)
+    for (size_t R = 0; R != Reductions.size(); ++R) {
+      double V = Reductions[R].Identity;
+      for (size_t Isl = 0; Isl != IslandStates.size(); ++Isl)
+        V = Reductions[R].Combine(V, partialAt(Isl, Step, R));
+      ReductionLog[R].push_back(V);
+    }
+}
+
+const std::vector<double> &ProgramExecutor::reductionHistory(size_t R) const {
+  ICORES_CHECK(R < ReductionLog.size(), "reduction index out of range");
+  return ReductionLog[R];
+}
+
 void ProgramExecutor::setThreadPinning(
     const std::vector<ThreadPlacement> &Placements) {
   std::vector<int> Cores;
@@ -567,9 +656,15 @@ void ProgramExecutor::threadMain(int Worker, int Island, int ThreadInTeam,
   for (int Epoch = 0; Epoch != Epochs; ++Epoch) {
     globalBarrier();
     if (Island == 0 && ThreadInTeam == 0) {
-      if (Epoch != 0)
+      if (Epoch != 0) {
+        // Every worker is quiesced between the two global barriers, so
+        // the previous epoch's reduction partials are complete — combine
+        // them across islands before anyone resets them for this epoch.
+        if (!Reductions.empty())
+          appendEpochReductions();
         for (const FeedbackPair &FB : Program.feedbacks())
           std::swap(array(FB.Source), array(FB.Target));
+      }
       // T == 1 reads the shared inputs in place, so the feedback halos
       // must be refreshed; temporal epochs instead wrap-gather imports
       // from the core cells and never read the shared halos.
@@ -578,6 +673,8 @@ void ProgramExecutor::threadMain(int Worker, int Island, int ThreadInTeam,
           Dom.fillHalo(array(FB.Target));
     }
     globalBarrier();
+    if (ThreadInTeam == 0 && !Reductions.empty())
+      resetIslandPartials(static_cast<size_t>(Island));
 
     if (Depth > 1) {
       // Epoch prologue: rebind for fused step 0 and gather the imports.
@@ -703,6 +800,9 @@ void ProgramExecutor::threadMain(int Worker, int Island, int ThreadInTeam,
           } else {
             teamBarrier();
           }
+          if (ThreadInTeam == 0 && !StageFolds[Stage].empty())
+            foldPassReduction(IS, static_cast<size_t>(Island), CurStep,
+                              Pass);
           PrevBarrier = true;
           continue;
         }
@@ -734,6 +834,12 @@ void ProgramExecutor::threadMain(int Worker, int Island, int ThreadInTeam,
           if (Pass.BarrierAfter)
             teamBarrier();
         }
+        // The pass-end barrier just published every teammate's sub-region
+        // (single-thread teams need no barrier for that), so thread 0 can
+        // fold the pass's share of any reduced array it produced.
+        if (ThreadInTeam == 0 && !StageFolds[Stage].empty() &&
+            (Pass.BarrierAfter || IslandP.NumThreads == 1))
+          foldPassReduction(IS, static_cast<size_t>(Island), CurStep, Pass);
         PrevBarrier = Pass.BarrierAfter;
       }
     }
@@ -790,6 +896,12 @@ void ProgramExecutor::run(int Steps) {
     Stats.FaultTimeouts = FS.Timeouts;
     Stats.FaultsRecovered = FS.Recovered;
   }
+
+  // The workers combined every epoch's reduction partials except the
+  // final epoch's (there is no next epoch-start barrier); fold them now
+  // that the pool dispatch has quiesced.
+  if (!Reductions.empty())
+    appendEpochReductions();
 
   // The last step left the results in the Source arrays; expose them
   // through the feedback Targets.

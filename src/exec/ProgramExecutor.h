@@ -109,6 +109,16 @@ struct ExecutorOptions {
   /// the simulator reports, so predicted-vs-predicted parity is exact.
   /// When null, ExecStats::PredictedIslandSkew stays 0.0.
   const MachineModel *Machine = nullptr;
+  /// Combiners for the program's declared reductions (see ReductionBinding
+  /// in stencil/StencilIR.h; workloads registered in the WorkloadRegistry
+  /// carry them). Must cover every declared reduction — checked at
+  /// construction. After each fused step, the team's thread 0 folds its
+  /// island's share of each reduced array right after the producing pass's
+  /// barrier; the per-island partials are combined in island order at the
+  /// next global barrier, so every schedule yields values bit-identical to
+  /// the serial stepper's canonical scan (the combiner contract makes the
+  /// fold order and the islands' redundant cone overlap immaterial).
+  std::vector<ReductionBinding> Reductions;
 };
 
 /// Threaded executor for one plan of one program over one domain.
@@ -181,6 +191,11 @@ public:
   /// The plan-derived page-ownership map the init epoch placed by.
   const PlacementMap &placementMap() const { return PMap; }
 
+  /// Per-step global values of the program's \p R-th reduction, one entry
+  /// per step run so far — bit-identical to the serial stepper's
+  /// reductionHistory for every plan shape.
+  const std::vector<double> &reductionHistory(size_t R) const;
+
 private:
   struct IslandState;
 
@@ -190,6 +205,11 @@ private:
   void importEpochInputs(IslandState &IS, int Worker, int ThreadInTeam,
                          int NumThreads);
   void runPlacementEpoch();
+  double &partialAt(size_t Island, int StepInEpoch, size_t R);
+  void resetIslandPartials(size_t Island);
+  void foldPassReduction(IslandState &IS, size_t Island, int StepInEpoch,
+                         const StagePass &Pass);
+  void appendEpochReductions();
 
   StencilProgram Program;
   KernelTable Kernels;
@@ -216,6 +236,17 @@ private:
   PlacementMap PMap;
   int64_t RemoteBytesPerEpoch = 0;
   int64_t PagesTouched = 0; ///< Pages zeroed by the placement epoch.
+
+  /// Reduction machinery (empty when the program declares none).
+  /// Reductions holds the combiners in ReductionDef order;
+  /// StageFolds[stage] lists the reduction indices the stage produces;
+  /// Partials is the (island, step-in-epoch, reduction) scratch the teams'
+  /// thread 0s write (reset per epoch, combined at global barriers);
+  /// ReductionLog accumulates the per-step global values.
+  std::vector<ReductionBinding> Reductions;
+  std::vector<std::vector<size_t>> StageFolds;
+  std::vector<double> Partials;
+  std::vector<std::vector<double>> ReductionLog;
 
   bool Profiling = false;
   ExecStats Stats;

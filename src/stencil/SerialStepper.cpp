@@ -9,10 +9,13 @@
 using namespace icores;
 
 SerialStepper::SerialStepper(StencilProgram AProgram, KernelTable AKernels,
-                             const Domain &ADom)
+                             const Domain &ADom,
+                             std::vector<ReductionBinding> AReductions)
     : Program(std::move(AProgram)), Kernels(std::move(AKernels)), Dom(ADom),
       Req(computeRequirements(Program, Dom.coreBox())),
       Fields(Program.numArrays()) {
+  Reductions = orderedReductionBindings(Program, std::move(AReductions));
+  ReductionLog.resize(Reductions.size());
   ICORES_CHECK(Kernels.coversProgram(Program),
                "kernel table does not cover the program");
   std::array<int, 3> Depth = inputHaloDepth(Program, Dom.coreBox());
@@ -56,8 +59,26 @@ void SerialStepper::step() {
     Dom.fillHalo(array(FB.Target));
   for (unsigned S = 0; S != Program.numStages(); ++S)
     Kernels.run(Fields, static_cast<StageId>(S), Req.StageRegion[S]);
+  // Fold the freshly produced outputs before the feedback swap: the
+  // canonical i,j,k core scan is the reduction oracle every threaded
+  // schedule must reproduce bit for bit.
+  for (size_t R = 0; R != Reductions.size(); ++R) {
+    const Array3D &Arr = array(Program.reductions()[R].Array);
+    const Box3 Core = Dom.coreBox();
+    double V = Reductions[R].Identity;
+    for (int I = Core.Lo[0]; I != Core.Hi[0]; ++I)
+      for (int J = Core.Lo[1]; J != Core.Hi[1]; ++J)
+        for (int K = Core.Lo[2]; K != Core.Hi[2]; ++K)
+          V = Reductions[R].Combine(V, Arr.at(I, J, K));
+    ReductionLog[R].push_back(V);
+  }
   for (const FeedbackPair &FB : Program.feedbacks())
     std::swap(array(FB.Source), array(FB.Target));
+}
+
+const std::vector<double> &SerialStepper::reductionHistory(size_t R) const {
+  ICORES_CHECK(R < ReductionLog.size(), "reduction index out of range");
+  return ReductionLog[R];
 }
 
 void SerialStepper::run(int Steps) {

@@ -32,8 +32,11 @@ namespace icores {
 class SerialStepper {
 public:
   /// The domain's halo depth must cover the program's input halo (checked).
+  /// When the program declares reductions, \p Reductions must bind a
+  /// combiner for each of them (by name, checked).
   SerialStepper(StencilProgram Program, KernelTable Kernels,
-                const Domain &Dom);
+                const Domain &Dom,
+                std::vector<ReductionBinding> Reductions = {});
 
   const Domain &domain() const { return Dom; }
   const StencilProgram &program() const { return Program; }
@@ -51,6 +54,11 @@ public:
   /// the newest state.
   void run(int Steps);
 
+  /// Per-step values of the program's \p R-th reduction (one entry per
+  /// step run so far), folded over the domain core in canonical i,j,k
+  /// order — the oracle every threaded schedule must match bit for bit.
+  const std::vector<double> &reductionHistory(size_t R) const;
+
 private:
   void step();
 
@@ -60,6 +68,9 @@ private:
   RegionRequirements Req;
   FieldStore Fields;
   std::map<ArrayId, Array3D> External; ///< Step inputs and outputs.
+  /// Combiners in ReductionDef order, resolved by name at construction.
+  std::vector<ReductionBinding> Reductions;
+  std::vector<std::vector<double>> ReductionLog; ///< Per reduction.
 };
 
 } // namespace icores

@@ -51,6 +51,44 @@ void StencilProgram::addFeedback(ArrayId Source, ArrayId Target) {
   Feedbacks.push_back({Source, Target});
 }
 
+void StencilProgram::addReduction(ReductionDef Def) {
+  checkArray(Def.Array);
+  Reductions.push_back(std::move(Def));
+}
+
+bool StencilProgram::stageWritesReduced(StageId Stage) const {
+  for (ArrayId Out : Stages[checkStage(Stage)].Outputs)
+    for (const ReductionDef &R : Reductions)
+      if (R.Array == Out)
+        return true;
+  return false;
+}
+
+ArrayId icores::findArrayId(const StencilProgram &Program,
+                            const std::string &Name) {
+  for (unsigned A = 0; A != Program.numArrays(); ++A)
+    if (Program.array(static_cast<ArrayId>(A)).Name == Name)
+      return static_cast<ArrayId>(A);
+  return -1;
+}
+
+std::vector<ReductionBinding>
+icores::orderedReductionBindings(const StencilProgram &Program,
+                                 std::vector<ReductionBinding> Bindings) {
+  std::vector<ReductionBinding> Ordered;
+  Ordered.reserve(Program.reductions().size());
+  for (const ReductionDef &Def : Program.reductions()) {
+    const ReductionBinding *Found = nullptr;
+    for (const ReductionBinding &B : Bindings)
+      if (B.Name == Def.Name)
+        Found = &B;
+    ICORES_CHECK(Found && Found->Combine,
+                 "program reduction has no callable combiner binding");
+    Ordered.push_back(*Found);
+  }
+  return Ordered;
+}
+
 std::vector<ArrayId> StencilProgram::stepInputs() const {
   std::vector<ArrayId> Result;
   for (size_t A = 0; A != Arrays.size(); ++A)
@@ -170,6 +208,31 @@ bool StencilProgram::validate(DiagnosticEngine &Diags) const {
                   formatString("step output '%s' is never produced",
                                Info.Name.c_str()))
           .note("array", Info.Name);
+  }
+  for (size_t RI = 0; RI != Reductions.size(); ++RI) {
+    const ReductionDef &R = Reductions[RI];
+    const ArrayInfo &Info = Arrays[checkArray(R.Array)];
+    if (R.Name.empty())
+      Diags
+          .report(Severity::Error, "program.reduction.empty-name",
+                  formatString("reduction over '%s' has an empty name",
+                               Info.Name.c_str()))
+          .note("array", Info.Name);
+    if (Info.Role != ArrayRole::StepOutput)
+      Diags
+          .report(Severity::Error, "program.reduction.role-mismatch",
+                  formatString("reduction '%s' folds array '%s', which is "
+                               "not a step output",
+                               R.Name.c_str(), Info.Name.c_str()))
+          .note("reduction", R.Name)
+          .note("array", Info.Name);
+    for (size_t RJ = 0; RJ != RI; ++RJ)
+      if (Reductions[RJ].Name == R.Name)
+        Diags
+            .report(Severity::Error, "program.reduction.duplicate-name",
+                    formatString("reduction name '%s' is declared twice",
+                                 R.Name.c_str()))
+            .note("reduction", R.Name);
   }
   for (const FeedbackPair &FB : Feedbacks) {
     if (Arrays[checkArray(FB.Source)].Role != ArrayRole::StepOutput ||

@@ -22,6 +22,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -103,6 +104,35 @@ struct FeedbackPair {
   ArrayId Target = 0; ///< A StepInput array.
 };
 
+/// Static declaration of a per-step global reduction: after every time
+/// step the runtime folds the core values of one StepOutput array into a
+/// single scalar (e.g. a CFL number or a max norm). The declaration is
+/// structural — which array, under which name — so every plan-level
+/// consumer (ScheduleCheck, ScheduleOptimizer, the registry) can reason
+/// about the all-threads dependence it creates; the executable combiner
+/// lives in a ReductionBinding, exactly as kernels live in a KernelTable
+/// apart from their StageDefs.
+struct ReductionDef {
+  std::string Name;  ///< Stable key, unique within the program.
+  ArrayId Array = 0; ///< The reduced StepOutput array.
+};
+
+/// Executable half of a reduction: the fold the runtimes apply over the
+/// reduced array's values, keyed by the ReductionDef name.
+///
+/// Contract: Combine must be associative, commutative and duplicate
+/// tolerant (folding the same value twice must not change the result —
+/// max/min/absmax-style folds qualify, a plain sum does not). Temporal
+/// islands plans evaluate overlapping dependence cones redundantly, so a
+/// cell's bit-identical value may enter the fold once per island; the
+/// contract is what keeps every schedule's reduction bit-identical to the
+/// serial stepper's canonical i,j,k scan.
+struct ReductionBinding {
+  std::string Name; ///< Matches a ReductionDef of the program.
+  std::function<double(double, double)> Combine;
+  double Identity = 0.0; ///< Fold seed (and value over an empty region).
+};
+
 /// An ordered heterogeneous stencil program.
 ///
 /// Invariants checked by validate():
@@ -128,6 +158,16 @@ public:
   void addFeedback(ArrayId Source, ArrayId Target);
 
   const std::vector<FeedbackPair> &feedbacks() const { return Feedbacks; }
+
+  /// Declares a per-step global reduction over a StepOutput array.
+  void addReduction(ReductionDef Def);
+
+  const std::vector<ReductionDef> &reductions() const { return Reductions; }
+
+  /// Whether \p Stage produces any reduced array. The runtimes fold a
+  /// reduced array right after its producing pass, so such passes must
+  /// keep their trailing team barrier (see exec/ScheduleCheck.h).
+  bool stageWritesReduced(StageId Stage) const;
 
   unsigned numArrays() const { return static_cast<unsigned>(Arrays.size()); }
   unsigned numStages() const { return static_cast<unsigned>(Stages.size()); }
@@ -165,7 +205,21 @@ private:
   std::vector<StageDef> Stages;
   std::vector<StageId> Producer; // Parallel to Arrays.
   std::vector<FeedbackPair> Feedbacks;
+  std::vector<ReductionDef> Reductions;
 };
+
+/// Array id of the program array named \p Name, or -1 when absent.
+ArrayId findArrayId(const StencilProgram &Program, const std::string &Name);
+
+/// Reorders \p Bindings into the program's ReductionDef order, checking
+/// (fatally) that every declared reduction has a binding with a callable
+/// Combine. A program without reductions yields an empty list. Runtimes
+/// use this so their fold loops can index bindings and declarations in
+/// lockstep; the registry reports the same mismatches as structured
+/// `registry.*` findings before any runtime is constructed.
+std::vector<ReductionBinding>
+orderedReductionBindings(const StencilProgram &Program,
+                         std::vector<ReductionBinding> Bindings);
 
 } // namespace icores
 

@@ -2,13 +2,16 @@
 
 #include "verify/PlanSpace.h"
 
-#include "apps/AdvectionDiffusion.h"
+#include "apps/Workloads.h"
 #include "core/Partition.h"
 #include "core/PlanBuilder.h"
 #include "core/ScheduleOptimizer.h"
-#include "mpdata/MpdataProgram.h"
 #include "stencil/HaloAnalysis.h"
+#include "stencil/WorkloadRegistry.h"
+#include "support/Error.h"
 #include "support/Format.h"
+
+#include <algorithm>
 
 using namespace icores;
 
@@ -72,18 +75,23 @@ icores::enumeratePlanSpace(const PlanSpaceOptions &Opts) {
   PlanSpaceEnumeration E;
   E.Opts = Opts;
 
-  {
+  // The space covers the registry roster, not a hand-maintained list: a
+  // workload registered in apps/Workloads.cpp is enumerated (and proved)
+  // with no change here.
+  for (const WorkloadSpec &Spec : builtinWorkloads().workloads()) {
+    if (!Opts.Workloads.empty() &&
+        std::find(Opts.Workloads.begin(), Opts.Workloads.end(), Spec.Name) ==
+            Opts.Workloads.end())
+      continue;
     PlanSpaceWorkload W;
-    W.Name = "mpdata";
-    W.Program = buildMpdataProgram().Program;
+    W.Name = Spec.Name;
+    W.Program = Spec.Program;
     E.Workloads.push_back(std::move(W));
   }
-  {
-    PlanSpaceWorkload W;
-    W.Name = "advdiff";
-    W.Program = buildAdvDiffProgram().Program;
-    E.Workloads.push_back(std::move(W));
-  }
+  ICORES_CHECK(Opts.Workloads.empty() ||
+                   E.Workloads.size() == Opts.Workloads.size(),
+               "plan-space workload filter names an unregistered workload");
+  ICORES_CHECK(!E.Workloads.empty(), "plan space has no workloads");
 
   const Box3 Grid = Box3::fromExtents(Opts.NI, Opts.NJ, Opts.NK);
   const Strategy Strategies[] = {Strategy::Original, Strategy::Block31D,

@@ -6,9 +6,10 @@
 ///
 /// \file
 /// Enumerates every reachable ExecutionPlan configuration of the proof
-/// driver's verification space: both workloads (MPDATA and the
-/// advection-diffusion app) x all three strategies x team counts
-/// {1, 2, 4} x temporal depths {1, 2, 4} x barrier elision on/off.
+/// driver's verification space: every registered workload (the built-in
+/// WorkloadRegistry roster — MPDATA, the advection-diffusion app, the
+/// reduction-carrying CFL advection, ...) x all three strategies x team
+/// counts {1, 2, 4} x temporal depths {1, 2, 4} x barrier elision on/off.
 /// Infeasible points are pruned by the same rules PlanAdvisor uses
 /// (whole-epoch step counts, widened cones bounded by 2x the grid, enough
 /// planes along the partition dimension) but are still *emitted*, tagged
@@ -37,11 +38,15 @@ struct PlanSpaceOptions {
   int TimeSteps = 8;
   std::vector<int> TeamCounts = {1, 2, 4};
   std::vector<int> TemporalDepths = {1, 2, 4};
+  /// Registered workload names to restrict the space to; empty means
+  /// every workload of the built-in registry. Unknown names are fatal
+  /// (the proof suite must never silently verify nothing).
+  std::vector<std::string> Workloads;
 };
 
 /// One workload the space is enumerated over.
 struct PlanSpaceWorkload {
-  std::string Name; ///< "mpdata" or "advdiff".
+  std::string Name; ///< Registry name: "mpdata", "advdiff", ...
   StencilProgram Program;
 };
 

@@ -2,21 +2,21 @@
 //
 // Exercises the whole library stack — IR, halo analysis, planners,
 // verifier, generic serial stepper and generic threaded executor — on a
-// program that is NOT MPDATA: the advection-diffusion RK2 app. This is
-// the "bring your own heterogeneous stencils" guarantee.
+// program that is NOT MPDATA: the advection-diffusion RK2 app, consumed
+// through its WorkloadRegistry registration. This is the "bring your own
+// heterogeneous stencils" guarantee; the physics-specific assertions
+// (conservation, diffusion contraction, fixed points) that need bespoke
+// initial conditions keep their own SerialStepper setups.
 //
 //===----------------------------------------------------------------------===//
 
+#include "TestMatrix.h"
+
 #include "apps/AdvectionDiffusion.h"
-#include "core/PlanBuilder.h"
+#include "apps/Workloads.h"
 #include "core/PlanVerifier.h"
-#include "exec/ProgramExecutor.h"
-#include "machine/MachineModel.h"
 #include "sim/Simulator.h"
 #include "stencil/ExtraElements.h"
-#include "stencil/SerialStepper.h"
-#include "core/Partition.h"
-#include "support/Random.h"
 
 #include <gtest/gtest.h>
 
@@ -28,65 +28,44 @@ namespace {
 
 constexpr int NI = 20, NJ = 14, NK = 8;
 
-/// Fills the standard workload into any runner exposing array(ArrayId).
-template <typename Runner>
-void initWorkload(Runner &R, const AdvDiffProgram &A, const Domain &Dom) {
-  SplitMix64 Rng(4242);
-  Box3 Core = Dom.coreBox();
-  for (int I = Core.Lo[0]; I != Core.Hi[0]; ++I)
-    for (int J = Core.Lo[1]; J != Core.Hi[1]; ++J)
-      for (int K = Core.Lo[2]; K != Core.Hi[2]; ++K) {
-        R.array(A.Phi).at(I, J, K) = Rng.nextInRange(0.5, 1.5);
-        R.array(A.Kappa).at(I, J, K) = Rng.nextInRange(0.02, 0.08);
-      }
-  R.array(A.U1).fill(0.2);
-  R.array(A.U2).fill(-0.15);
-  R.array(A.U3).fill(0.1);
-  R.prepareInputs();
-}
+const WorkloadSpec &advdiff() { return *builtinWorkloads().find("advdiff"); }
 
-Domain makeDomain() {
-  return Domain(NI, NJ, NK, advDiffHaloDepth());
-}
-
-/// Serial oracle result after \p Steps steps.
-Array3D serialResult(int Steps) {
-  AdvDiffProgram A = buildAdvDiffProgram();
-  Domain Dom = makeDomain();
-  SerialStepper Stepper(A.Program, buildAdvDiffKernels(), Dom);
-  initWorkload(Stepper, A, Dom);
-  Stepper.run(Steps);
-  Array3D Out(Dom.allocBox());
-  Out.copyRegionFrom(Stepper.array(A.Phi), Dom.coreBox());
-  return Out;
-}
+Domain makeDomain() { return workloadDomain(advdiff(), NI, NJ, NK); }
 
 } // namespace
 
 TEST(AdvDiffTest, ProgramShape) {
-  AdvDiffProgram A = buildAdvDiffProgram();
+  const WorkloadSpec &Spec = advdiff();
   std::string Error;
-  EXPECT_TRUE(A.Program.validate(Error)) << Error;
-  EXPECT_EQ(A.Program.numStages(), 8u);
-  EXPECT_EQ(A.Program.stepInputs().size(), 5u);
-  EXPECT_EQ(A.Program.stepOutputs().size(), 1u);
-  ASSERT_EQ(A.Program.feedbacks().size(), 1u);
-  EXPECT_EQ(A.Program.feedbacks()[0].Source, A.PhiOut);
-  EXPECT_EQ(A.Program.feedbacks()[0].Target, A.Phi);
+  StencilProgram Program = Spec.Program;
+  EXPECT_TRUE(Program.validate(Error)) << Error;
+  EXPECT_EQ(Program.numStages(), 8u);
+  EXPECT_EQ(Program.stepInputs().size(), 5u);
+  EXPECT_EQ(Program.stepOutputs().size(), 1u);
+  ASSERT_EQ(Program.feedbacks().size(), 1u);
+  AdvDiffProgram A = buildAdvDiffProgram();
+  EXPECT_EQ(Program.feedbacks()[0].Source, A.PhiOut);
+  EXPECT_EQ(Program.feedbacks()[0].Target, A.Phi);
 }
 
-TEST(AdvDiffTest, HaloDepthIsTwo) { EXPECT_EQ(advDiffHaloDepth(), 2); }
+TEST(AdvDiffTest, HaloDepthIsTwo) {
+  EXPECT_EQ(advDiffHaloDepth(), 2);
+  EXPECT_EQ(advdiff().HaloDepth, 2);
+}
 
 TEST(AdvDiffTest, KernelsCoverProgram) {
-  AdvDiffProgram A = buildAdvDiffProgram();
-  EXPECT_TRUE(buildAdvDiffKernels().coversProgram(A.Program));
+  const WorkloadSpec &Spec = advdiff();
+  EXPECT_TRUE(Spec.Kernels(KernelVariant::Reference)
+                  .coversProgram(Spec.Program));
 }
 
 TEST(AdvDiffTest, ConservesScalarUnderPeriodicBoundaries) {
+  const WorkloadSpec &Spec = advdiff();
   AdvDiffProgram A = buildAdvDiffProgram();
   Domain Dom = makeDomain();
-  SerialStepper Stepper(A.Program, buildAdvDiffKernels(), Dom);
-  initWorkload(Stepper, A, Dom);
+  SerialStepper Stepper(Spec.Program, Spec.Kernels(KernelVariant::Reference),
+                        Dom);
+  initWorkload(Spec, Stepper, /*Seed=*/4242);
   double Before = Stepper.array(A.Phi).sumRegion(Dom.coreBox());
   Stepper.run(10);
   double After = Stepper.array(A.Phi).sumRegion(Dom.coreBox());
@@ -94,12 +73,12 @@ TEST(AdvDiffTest, ConservesScalarUnderPeriodicBoundaries) {
 }
 
 TEST(AdvDiffTest, DiffusionContractsTheRange) {
-  // Pure diffusion (no advection): max decreases, min increases.
+  // Pure diffusion (no advection): max decreases, min increases. Bespoke
+  // initial conditions (zero velocity), so not the registered init.
   AdvDiffProgram A = buildAdvDiffProgram();
   Domain Dom = makeDomain();
   SerialStepper Stepper(A.Program, buildAdvDiffKernels(), Dom);
   SplitMix64 Rng(7);
-  Box3 Core = Dom.coreBox();
   for (int I = 0; I != NI; ++I)
     for (int J = 0; J != NJ; ++J)
       for (int K = 0; K != NK; ++K)
@@ -122,7 +101,6 @@ TEST(AdvDiffTest, DiffusionContractsTheRange) {
   auto [Lo1, Hi1] = rangeOf(Stepper.array(A.Phi));
   EXPECT_GT(Lo1, Lo0);
   EXPECT_LT(Hi1, Hi0);
-  (void)Core;
 }
 
 TEST(AdvDiffTest, ConstantFieldIsAFixedPoint) {
@@ -144,26 +122,25 @@ TEST(AdvDiffTest, ConstantFieldIsAFixedPoint) {
 }
 
 TEST(AdvDiffTest, AllStrategiesMatchTheSerialOracle) {
-  Array3D Reference = serialResult(4);
+  const WorkloadSpec &Spec = advdiff();
+  Domain Dom = makeDomain();
+  auto Oracle = serialOracle(Spec, Dom, 4, /*Seed=*/4242);
   for (Strategy Strat : {Strategy::Original, Strategy::Block31D,
                          Strategy::IslandsOfCores}) {
-    AdvDiffProgram A = buildAdvDiffProgram();
-    Domain Dom = makeDomain();
-    MachineModel Machine = makeToyMachine();
-    Machine.NumSockets = 3;
-    PlanConfig Config;
-    Config.Strat = Strat;
-    Config.Sockets = Strat == Strategy::IslandsOfCores ? 3 : 2;
-    ExecutionPlan Plan =
-        buildPlan(A.Program, Dom.coreBox(), Machine, Config);
-    PlanVerification V = verifyPlan(Plan, A.Program);
+    ExecutionPlan Plan = makeTestPlan(
+        Spec.Program, Dom, Strat, /*TemporalDepth=*/1,
+        /*ElideBarriers=*/false,
+        /*Sockets=*/Strat == Strategy::IslandsOfCores ? 3 : 2);
+    PlanVerification V = verifyPlan(Plan, Spec.Program);
     ASSERT_TRUE(V.Ok) << V.FirstError;
 
-    ProgramExecutor Exec(A.Program, buildAdvDiffKernels(), Dom,
-                         std::move(Plan));
-    initWorkload(Exec, A, Dom);
-    Exec.run(4);
-    EXPECT_EQ(Exec.array(A.Phi).maxAbsDiff(Reference, Dom.coreBox()), 0.0)
+    auto Exec = makeWorkloadExecutor(Spec, Dom, std::move(Plan),
+                                     KernelVariant::Reference, {},
+                                     /*Seed=*/4242);
+    Exec->run(4);
+    EXPECT_EQ(
+        maxNewestStateDiff(Spec.Program, *Exec, *Oracle, Dom.coreBox()),
+        0.0)
         << strategyName(Strat);
   }
 }
@@ -172,26 +149,26 @@ TEST(AdvDiffTest, ExtraElementsScaleWithTheShallowerCone) {
   // The advection-diffusion cone (depth 2) is shallower than MPDATA's
   // (depth 3): its per-boundary redundancy must be smaller on the same
   // grid.
-  AdvDiffProgram A = buildAdvDiffProgram();
+  const WorkloadSpec &Spec = advdiff();
   Box3 Target = Box3::fromExtents(128, 64, 32);
   ExtraElementsReport R =
-      countExtraElements(A.Program, Target, partition1D(Target, 4, 0));
+      countExtraElements(Spec.Program, Target, partition1D(Target, 4, 0));
   EXPECT_GT(R.extraFraction(), 0.0);
   EXPECT_LT(R.extraFraction(), 0.05);
 }
 
 TEST(AdvDiffTest, SimulatorPricesThisProgramToo) {
-  AdvDiffProgram A = buildAdvDiffProgram();
+  const WorkloadSpec &Spec = advdiff();
   MachineModel Uv = makeSgiUv2000();
   Box3 Grid = Box3::fromExtents(1024, 512, 64);
   PlanConfig Config;
   Config.Sockets = 14;
   Config.Strat = Strategy::IslandsOfCores;
-  ExecutionPlan Islands = buildPlan(A.Program, Grid, Uv, Config);
+  ExecutionPlan Islands = buildPlan(Spec.Program, Grid, Uv, Config);
   Config.Strat = Strategy::Original;
-  ExecutionPlan Original = buildPlan(A.Program, Grid, Uv, Config);
-  SimResult RI = simulate(Islands, A.Program, Uv, 50);
-  SimResult RO = simulate(Original, A.Program, Uv, 50);
+  ExecutionPlan Original = buildPlan(Spec.Program, Grid, Uv, Config);
+  SimResult RI = simulate(Islands, Spec.Program, Uv, 50);
+  SimResult RO = simulate(Original, Spec.Program, Uv, 50);
   // Lower arithmetic intensity than MPDATA, but islands still win.
   EXPECT_LT(RI.TotalSeconds, RO.TotalSeconds);
   EXPECT_GT(RI.FlopsPerStep, 0);

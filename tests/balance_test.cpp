@@ -11,14 +11,14 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "TestMatrix.h"
+
 #include "core/BalanceModel.h"
 #include "core/Partition.h"
-#include "core/PlanBuilder.h"
 #include "core/PlanVerifier.h"
 #include "exec/ExecStats.h"
 #include "exec/PlanExecutor.h"
 #include "fault/FaultInjector.h"
-#include "machine/MachineModel.h"
 #include "mpdata/InitialConditions.h"
 #include "mpdata/Solver.h"
 #include "sim/PlanAdvisor.h"
@@ -33,39 +33,6 @@
 
 using namespace icores;
 
-namespace {
-
-/// Deterministic PRNG for the property tests (split-mix style, so a
-/// failing case number is a complete reproducer).
-struct Rng {
-  uint64_t State;
-  explicit Rng(uint64_t Seed) : State(Seed) {}
-  uint64_t next() {
-    State += 0x9e3779b97f4a7c15ULL;
-    uint64_t Z = State;
-    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
-    return Z ^ (Z >> 31);
-  }
-  int range(int Lo, int Hi) { // Inclusive bounds.
-    return Lo + static_cast<int>(next() % static_cast<uint64_t>(
-                                     Hi - Lo + 1));
-  }
-};
-
-/// A random target box, not necessarily at the origin: the partitioner
-/// must place cuts relative to Target.Lo, not absolute plane indices.
-Box3 randomTarget(Rng &R, int MinExtent0) {
-  Box3 T;
-  for (int D = 0; D != 3; ++D) {
-    T.Lo[D] = R.range(-4, 4);
-    T.Hi[D] = T.Lo[D] + R.range(D == 0 ? MinExtent0 : 3, D == 0 ? 48 : 12);
-  }
-  return T;
-}
-
-} // namespace
-
 TEST(BalancePartitionTest, CostCutsTileEveryRandomDomain) {
   MpdataProgram M = buildMpdataProgram();
   MachineModel Toy = makeToyMachine();
@@ -75,7 +42,7 @@ TEST(BalancePartitionTest, CostCutsTileEveryRandomDomain) {
   // domain and a naive bisection ceiling is infeasible.
   MachineModel SlowLink = makeToyMachine();
   SlowLink.LinkBandwidth *= 1e-3;
-  Rng R(2024);
+  TestRng R(2024);
   for (int Case = 0; Case != 40; ++Case) {
     const MachineModel &Machine = Case % 2 ? SlowLink : Toy;
     const int Parts = R.range(2, 5);
@@ -135,7 +102,7 @@ TEST(BalancePartitionTest, ConeFlopsMatchExtraElementsRecount) {
   std::string Error;
   ASSERT_TRUE(P.validate(Error)) << Error;
 
-  Rng R(7);
+  TestRng R(7);
   for (int Case = 0; Case != 20; ++Case) {
     const int Parts = R.range(2, 4);
     const int Depth = R.range(1, 3);
@@ -220,12 +187,17 @@ Array3D referenceResult() {
   return Result;
 }
 
-Array3D stealingResult(const PlanConfig &Config,
-                       const MachineModel &Machine, KernelVariant Kernels,
+/// Runs the stealing scheduler over a TestMatrix plan; the plan-building
+/// conventions (toy machine, socket raising) live in makeTestPlan.
+Array3D stealingResult(Strategy Strat, int Sockets,
+                       PartitionVariant Variant, BalancePolicy Balance,
+                       int Depth, KernelVariant Kernels,
                        FaultInjector *Chaos = nullptr) {
   MpdataProgram M = buildMpdataProgram();
   Domain Dom(GridNI, GridNJ, GridNK, mpdataHaloDepth());
-  ExecutionPlan Plan = buildPlan(M.Program, Dom.coreBox(), Machine, Config);
+  ExecutionPlan Plan =
+      makeTestPlan(M.Program, Dom, Strat, Depth, /*ElideBarriers=*/false,
+                   Sockets, Balance, Variant);
   ExecutorOptions Opts;
   Opts.Stealing = true;
   Opts.Chaos = Chaos;
@@ -263,15 +235,8 @@ TEST(StealingEquivalenceTest, BitExactAcrossStrategiesBackendsAndDepths) {
          {KernelVariant::Reference, KernelVariant::Optimized,
           KernelVariant::Simd})
       for (int Depth : {1, 2, 4}) {
-        MachineModel Machine = makeToyMachine();
-        Machine.NumSockets = C.Sockets;
-        PlanConfig Config;
-        Config.Strat = C.Strat;
-        Config.Sockets = C.Sockets;
-        Config.Variant = C.Variant;
-        Config.Balance = C.Balance;
-        Config.TemporalDepth = Depth;
-        Array3D Result = stealingResult(Config, Machine, Kernels);
+        Array3D Result = stealingResult(C.Strat, C.Sockets, C.Variant,
+                                        C.Balance, Depth, Kernels);
         EXPECT_EQ(Result.maxAbsDiff(Reference, Core), 0.0)
             << "strategy " << strategyName(C.Strat) << " sockets "
             << C.Sockets << " kernels " << kernelVariantName(Kernels)
@@ -290,15 +255,9 @@ TEST(StealingEquivalenceTest, BitExactUnderChaosStalls) {
   Plan.MaxStallSeconds = 5e-4;
   FaultInjector Chaos(Plan);
 
-  MachineModel Machine = makeToyMachine();
-  Machine.NumSockets = 4;
-  PlanConfig Config;
-  Config.Strat = Strategy::IslandsOfCores;
-  Config.Sockets = 4;
-  Config.Balance = BalancePolicy::Cost;
-  Config.TemporalDepth = 2;
-  Array3D Result = stealingResult(Config, Machine,
-                                  KernelVariant::Reference, &Chaos);
+  Array3D Result = stealingResult(
+      Strategy::IslandsOfCores, /*Sockets=*/4, PartitionVariant::A,
+      BalancePolicy::Cost, /*Depth=*/2, KernelVariant::Reference, &Chaos);
   EXPECT_EQ(Result.maxAbsDiff(Reference, Core), 0.0);
 }
 

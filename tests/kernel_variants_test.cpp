@@ -4,47 +4,24 @@
 // kernels must be bit-identical to the reference kernels: same
 // floating-point expression order, different loop machinery. Property-
 // tested per (stage, variant) over random fields — both unpadded and
-// vector-padded storage — and over whole multi-step runs.
+// vector-padded storage (via TestMatrix's fillStorePairRandom) — and over
+// whole multi-step runs through the registered workload's serial stepper.
 //
 //===----------------------------------------------------------------------===//
 
-#include "stencil/FieldStore.h"
-#include "mpdata/InitialConditions.h"
+#include "TestMatrix.h"
+
+#include "apps/Workloads.h"
 #include "mpdata/Kernels.h"
 #include "mpdata/MpdataProgram.h"
-#include "mpdata/Solver.h"
-#include "support/Random.h"
 
 #include <gtest/gtest.h>
+
+#include <utility>
 
 using namespace icores;
 
 namespace {
-
-/// Builds a field store with every array filled from one random stream.
-/// \p B gets vector-padded rows so the comparison also proves padding
-/// does not change results.
-void makeStores(const MpdataProgram &M, const Box3 &Alloc, uint64_t Seed,
-                FieldStore &A, FieldStore &B) {
-  SplitMix64 Rng(Seed);
-  for (unsigned Id = 0; Id != M.Program.numArrays(); ++Id) {
-    A.allocateOwned(static_cast<ArrayId>(Id), Alloc);
-    B.allocateOwned(static_cast<ArrayId>(Id), Alloc, Array3D::VectorPadK);
-    Array3D &ArrA = A.get(static_cast<ArrayId>(Id));
-    Array3D &ArrB = B.get(static_cast<ArrayId>(Id));
-    bool IsVelocity = static_cast<ArrayId>(Id) == M.U1 ||
-                      static_cast<ArrayId>(Id) == M.U2 ||
-                      static_cast<ArrayId>(Id) == M.U3;
-    for (int I = Alloc.Lo[0]; I != Alloc.Hi[0]; ++I)
-      for (int J = Alloc.Lo[1]; J != Alloc.Hi[1]; ++J)
-        for (int K = Alloc.Lo[2]; K != Alloc.Hi[2]; ++K) {
-          double V = IsVelocity ? Rng.nextInRange(-0.4, 0.4)
-                                : Rng.nextInRange(0.05, 1.5);
-          ArrA.at(I, J, K) = V;
-          ArrB.at(I, J, K) = V;
-        }
-  }
-}
 
 class KernelVariantEquality
     : public ::testing::TestWithParam<std::tuple<int, KernelVariant>> {};
@@ -60,9 +37,19 @@ TEST_P(KernelVariantEquality, MatchesReferenceBitExactly) {
   Box3 Target(1, 2, 3, 8, 9, 12);
   Box3 Alloc = Target.grownAll(4);
 
+  // \p Var gets vector-padded rows so the comparison also proves padding
+  // does not change results.
   FieldStore Ref(M.Program.numArrays());
   FieldStore Var(M.Program.numArrays());
-  makeStores(M, Alloc, 0xC0FFEE + static_cast<uint64_t>(Stage), Ref, Var);
+  fillStorePairRandom(M.Program, Alloc,
+                      0xC0FFEE + static_cast<uint64_t>(Stage), Ref, Var,
+                      [&](ArrayId Id) {
+                        bool IsVelocity =
+                            Id == M.U1 || Id == M.U2 || Id == M.U3;
+                        return IsVelocity
+                                   ? std::make_pair(-0.4, 0.4)
+                                   : std::make_pair(0.05, 1.5);
+                      });
 
   runMpdataStage(M, Ref, Stage, Target, KernelVariant::Reference);
   runMpdataStage(M, Var, Stage, Target, Variant);
@@ -87,25 +74,23 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 TEST(KernelVariantsTest, WholeRunMatchesAcrossVariants) {
-  auto runWith = [](KernelVariant Variant) {
-    SolverOptions Opts;
-    Opts.Kernels = Variant;
-    ReferenceSolver Solver(18, 14, 10, Opts);
-    fillRandomPositive(Solver.stateIn(), Solver.domain(), 99, 0.1, 2.0);
-    setConstantVelocity(Solver.velocity(0), Solver.velocity(1),
-                        Solver.velocity(2), Solver.domain(), 0.3, -0.2,
-                        0.15);
-    Solver.prepareCoefficients();
-    Solver.run(5);
-    Array3D Out(Solver.domain().allocBox());
-    Out.copyRegionFrom(Solver.state(), Solver.domain().coreBox());
-    return Out;
-  };
-  Array3D Ref = runWith(KernelVariant::Reference);
-  Array3D Opt = runWith(KernelVariant::Optimized);
-  Array3D Simd = runWith(KernelVariant::Simd);
-  EXPECT_EQ(Opt.maxAbsDiff(Ref, Box3::fromExtents(18, 14, 10)), 0.0);
-  EXPECT_EQ(Simd.maxAbsDiff(Ref, Box3::fromExtents(18, 14, 10)), 0.0);
+  // Every backend a registered workload advertises must agree with its
+  // reference backend over a whole seeded multi-step serial run.
+  for (const WorkloadSpec &Spec : builtinWorkloads().workloads()) {
+    Domain Dom = workloadDomain(Spec, 18, 14, 10);
+    auto Ref = serialOracle(Spec, Dom, 5, /*Seed=*/99,
+                            KernelVariant::Reference);
+    for (KernelVariant V : Spec.Variants) {
+      if (V == KernelVariant::Reference)
+        continue;
+      auto Run = serialOracle(Spec, Dom, 5, /*Seed=*/99, V);
+      EXPECT_EQ(
+          maxNewestStateDiff(Spec.Program, *Run, *Ref, Dom.coreBox()), 0.0)
+          << Spec.Name << " variant " << kernelVariantName(V);
+      EXPECT_TRUE(reductionHistoriesMatch(Spec.Program, *Run, *Ref))
+          << Spec.Name << " variant " << kernelVariantName(V);
+    }
+  }
 }
 
 TEST(KernelVariantsTest, EmptyRegionIsANoOpForBothVariants) {

@@ -5,82 +5,42 @@
 // exactly, barrier elision and the race check must stay green on fused
 // plans, the chaos harness must replay deterministically at T > 1, and the
 // executor must reject configurations the epoch protocol cannot honour.
+// Runs on the registered MPDATA workload through the shared TestMatrix
+// scaffolding; the per-workload generalization of the bit-exactness sweeps
+// lives in workload_conformance_test.cpp.
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/PlanBuilder.h"
+#include "TestMatrix.h"
+
+#include "apps/Workloads.h"
 #include "core/PlanVerifier.h"
-#include "core/ScheduleOptimizer.h"
-#include "exec/ProgramExecutor.h"
 #include "exec/ScheduleCheck.h"
 #include "fault/FaultInjector.h"
-#include "machine/MachineModel.h"
-#include "mpdata/InitialConditions.h"
-#include "mpdata/Kernels.h"
-#include "mpdata/MpdataProgram.h"
-#include "mpdata/Solver.h"
 #include "sim/Simulator.h"
 #include "support/Diagnostics.h"
-#include "stencil/SerialStepper.h"
 
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <utility>
 
 using namespace icores;
 
 namespace {
 
-/// Initializes an MPDATA workload through the generic array(ArrayId) API.
-template <typename Runner>
-void initMpdata(Runner &R, const MpdataProgram &M, const Domain &Dom) {
-  GaussianBlob Blob;
-  Blob.CenterI = Dom.ni() / 3.0;
-  Blob.CenterJ = Dom.nj() / 2.0;
-  Blob.CenterK = Dom.nk() / 2.0;
-  Blob.Sigma = 2.5;
-  fillGaussian(R.array(M.XIn), Dom, Blob);
-  R.array(M.U1).fill(0.25);
-  R.array(M.U2).fill(-0.2);
-  R.array(M.U3).fill(0.1);
-  R.array(M.H).fill(1.0);
-  R.prepareInputs();
-}
-
-/// The serial oracle: same program, same kernels, one step at a time.
-Array3D serialOracle(const MpdataProgram &M, const Domain &Dom, int Steps) {
-  SerialStepper Stepper(M.Program, buildMpdataKernels(), Dom);
-  initMpdata(Stepper, M, Dom);
-  Stepper.run(Steps);
-  Array3D Out(Dom.allocBox());
-  Out.copyRegionFrom(Stepper.array(M.XIn), Dom.coreBox());
-  return Out;
-}
-
-ExecutionPlan makePlan(const MpdataProgram &M, const Domain &Dom,
-                       Strategy Strat, int TemporalDepth,
-                       bool ElideBarriers = false) {
-  MachineModel Machine = makeToyMachine();
-  PlanConfig Config;
-  Config.Strat = Strat;
-  Config.Sockets = Strat == Strategy::Original ? 1 : 2;
-  Config.TemporalDepth = TemporalDepth;
-  ExecutionPlan Plan = buildPlan(M.Program, Dom.coreBox(), Machine, Config);
-  if (ElideBarriers)
-    optimizeBarriers(M.Program, Plan);
-  return Plan;
-}
+const WorkloadSpec &mpdata() { return *builtinWorkloads().find("mpdata"); }
 
 } // namespace
 
 TEST(TemporalPlanTest, FusedPlansVerifyAndPassTheRaceCheck) {
-  MpdataProgram M = buildMpdataProgram();
-  Domain Dom(18, 12, 8, mpdataHaloDepth());
+  const WorkloadSpec &M = mpdata();
+  Domain Dom = workloadDomain(M, 18, 12, 8);
   for (Strategy Strat : {Strategy::Original, Strategy::Block31D,
                          Strategy::IslandsOfCores})
     for (int T : {1, 2, 4})
       for (bool Elide : {false, true}) {
-        ExecutionPlan Plan = makePlan(M, Dom, Strat, T, Elide);
+        ExecutionPlan Plan = makeTestPlan(M.Program, Dom, Strat, T, Elide);
         EXPECT_EQ(Plan.TemporalDepth, T);
         PlanVerification V = verifyPlan(Plan, M.Program);
         EXPECT_TRUE(V.Ok) << strategyName(Strat) << " T=" << T
@@ -93,9 +53,10 @@ TEST(TemporalPlanTest, FusedPlansVerifyAndPassTheRaceCheck) {
 }
 
 TEST(TemporalPlanTest, BlocksAreStampedWithIncreasingStepsInEpoch) {
-  MpdataProgram M = buildMpdataProgram();
-  Domain Dom(18, 12, 8, mpdataHaloDepth());
-  ExecutionPlan Plan = makePlan(M, Dom, Strategy::IslandsOfCores, 4);
+  const WorkloadSpec &M = mpdata();
+  Domain Dom = workloadDomain(M, 18, 12, 8);
+  ExecutionPlan Plan =
+      makeTestPlan(M.Program, Dom, Strategy::IslandsOfCores, 4);
   for (const IslandPlan &Island : Plan.Islands) {
     int Cur = 0;
     bool SawFinal = false;
@@ -110,79 +71,79 @@ TEST(TemporalPlanTest, BlocksAreStampedWithIncreasingStepsInEpoch) {
 }
 
 TEST(TemporalExecutorTest, BitExactAcrossDepthsStrategiesAndBackends) {
-  MpdataProgram M = buildMpdataProgram();
-  Domain Dom(18, 12, 8, mpdataHaloDepth());
+  const WorkloadSpec &M = mpdata();
+  Domain Dom = workloadDomain(M, 18, 12, 8);
   const int Steps = 4;
-  Array3D Oracle = serialOracle(M, Dom, Steps);
+  auto Oracle = serialOracle(M, Dom, Steps);
   for (Strategy Strat : {Strategy::Original, Strategy::Block31D,
                          Strategy::IslandsOfCores})
     for (int T : {1, 2, 4})
       for (KernelVariant V : {KernelVariant::Reference,
                               KernelVariant::Optimized,
                               KernelVariant::Simd}) {
-        ProgramExecutor Exec(M.Program, buildMpdataKernels(V), Dom,
-                             makePlan(M, Dom, Strat, T));
-        initMpdata(Exec, M, Dom);
-        Exec.run(Steps);
-        EXPECT_EQ(Exec.array(M.XIn).maxAbsDiff(Oracle, Dom.coreBox()), 0.0)
+        auto Exec = makeWorkloadExecutor(
+            M, Dom, makeTestPlan(M.Program, Dom, Strat, T), V);
+        Exec->run(Steps);
+        EXPECT_EQ(
+            maxNewestStateDiff(M.Program, *Exec, *Oracle, Dom.coreBox()),
+            0.0)
             << strategyName(Strat) << " T=" << T << " variant="
             << kernelVariantName(V);
       }
 }
 
 TEST(TemporalExecutorTest, BitExactUnderBothBarrierPoliciesAndElision) {
-  MpdataProgram M = buildMpdataProgram();
-  Domain Dom(18, 12, 8, mpdataHaloDepth());
+  const WorkloadSpec &M = mpdata();
+  Domain Dom = workloadDomain(M, 18, 12, 8);
   const int Steps = 4;
-  Array3D Oracle = serialOracle(M, Dom, Steps);
+  auto Oracle = serialOracle(M, Dom, Steps);
   for (TeamBarrier::WaitPolicy Policy : {TeamBarrier::WaitPolicy::Spin,
                                          TeamBarrier::WaitPolicy::Block})
     for (bool Elide : {false, true}) {
       ExecutorOptions Opts;
       Opts.BarrierPolicy = Policy;
-      ProgramExecutor Exec(
-          M.Program, buildMpdataKernels(KernelVariant::Optimized), Dom,
-          makePlan(M, Dom, Strategy::IslandsOfCores, 2, Elide), Opts);
-      initMpdata(Exec, M, Dom);
-      Exec.run(Steps);
-      EXPECT_EQ(Exec.array(M.XIn).maxAbsDiff(Oracle, Dom.coreBox()), 0.0)
+      auto Exec = makeWorkloadExecutor(
+          M, Dom,
+          makeTestPlan(M.Program, Dom, Strategy::IslandsOfCores, 2, Elide),
+          KernelVariant::Optimized, Opts);
+      Exec->run(Steps);
+      EXPECT_EQ(
+          maxNewestStateDiff(M.Program, *Exec, *Oracle, Dom.coreBox()),
+          0.0)
           << "elide=" << Elide;
     }
 }
 
 TEST(TemporalExecutorTest, MultipleEpochsMatchOneLongRun) {
   // run(2) + run(4) at T = 2 must equal run(6) at T = 2 and the oracle.
-  MpdataProgram M = buildMpdataProgram();
-  Domain Dom(16, 12, 8, mpdataHaloDepth());
+  const WorkloadSpec &M = mpdata();
+  Domain Dom = workloadDomain(M, 16, 12, 8);
   auto make = [&]() {
-    auto Exec = std::make_unique<ProgramExecutor>(
-        M.Program, buildMpdataKernels(), Dom,
-        makePlan(M, Dom, Strategy::IslandsOfCores, 2));
-    initMpdata(*Exec, M, Dom);
-    return Exec;
+    return makeWorkloadExecutor(
+        M, Dom, makeTestPlan(M.Program, Dom, Strategy::IslandsOfCores, 2));
   };
   auto Split = make();
   Split->run(2);
   Split->run(4);
   auto Whole = make();
   Whole->run(6);
-  EXPECT_EQ(Split->array(M.XIn).maxAbsDiff(Whole->array(M.XIn),
-                                           Dom.coreBox()),
+  EXPECT_EQ(maxNewestStateDiff(M.Program, *Split, *Whole, Dom.coreBox()),
             0.0);
-  Array3D Oracle = serialOracle(M, Dom, 6);
-  EXPECT_EQ(Whole->array(M.XIn).maxAbsDiff(Oracle, Dom.coreBox()), 0.0);
+  auto Oracle = serialOracle(M, Dom, 6);
+  EXPECT_EQ(maxNewestStateDiff(M.Program, *Whole, *Oracle, Dom.coreBox()),
+            0.0);
 }
 
 TEST(TemporalExecutorTest, SharedTrafficPerStepShrinksWithDepth) {
   // The fused-step import cones widen by the halo depth per extra step, so
   // temporal reuse only pays on grids where the core dominates the halo;
   // tiny boxes would make redundant imports outweigh the saved re-reads.
-  MpdataProgram M = buildMpdataProgram();
-  Domain Dom(64, 48, 48, mpdataHaloDepth());
+  const WorkloadSpec &M = mpdata();
+  Domain Dom = workloadDomain(M, 64, 48, 48);
   auto bytesPerStep = [&](int T) {
-    ProgramExecutor Exec(M.Program, buildMpdataKernels(), Dom,
-                         makePlan(M, Dom, Strategy::IslandsOfCores, T));
-    return Exec.sharedBytesPerStep();
+    auto Exec = makeWorkloadExecutor(
+        M, Dom, makeTestPlan(M.Program, Dom, Strategy::IslandsOfCores, T));
+    return Exec->sharedBytesPerStep();
   };
   int64_t B1 = bytesPerStep(1);
   int64_t B2 = bytesPerStep(2);
@@ -196,16 +157,15 @@ TEST(TemporalExecutorTest, SimulatorProjectionMatchesExecutorAccounting) {
   // The simulator prices temporal plans from the plan alone; its shared
   // traffic projection must replicate the executor's transfer accounting
   // exactly — this is what lets PlanAdvisor pick T without running.
-  MpdataProgram M = buildMpdataProgram();
-  Domain Dom(24, 18, 12, mpdataHaloDepth());
+  const WorkloadSpec &M = mpdata();
+  Domain Dom = workloadDomain(M, 24, 18, 12);
   for (Strategy Strat :
        {Strategy::Original, Strategy::Block31D, Strategy::IslandsOfCores})
     for (int T : {1, 2, 4}) {
-      ExecutionPlan Plan = makePlan(M, Dom, Strat, T);
+      ExecutionPlan Plan = makeTestPlan(M.Program, Dom, Strat, T);
       int64_t Projected = projectedSharedBytesPerStep(Plan, M.Program);
-      ProgramExecutor Exec(M.Program, buildMpdataKernels(), Dom,
-                           std::move(Plan));
-      EXPECT_EQ(Projected, Exec.sharedBytesPerStep())
+      auto Exec = makeWorkloadExecutor(M, Dom, std::move(Plan));
+      EXPECT_EQ(Projected, Exec->sharedBytesPerStep())
           << strategyName(Strat) << " T=" << T;
     }
 }
@@ -213,8 +173,9 @@ TEST(TemporalExecutorTest, SimulatorProjectionMatchesExecutorAccounting) {
 TEST(TemporalExecutorTest, ChaosReplayIsDeterministicAtDepthTwo) {
   // Same seed + same plan => bit-identical state and identical injector
   // counters, with temporal blocking active.
-  MpdataProgram M = buildMpdataProgram();
-  Domain Dom(16, 12, 8, mpdataHaloDepth());
+  const WorkloadSpec &M = mpdata();
+  Domain Dom = workloadDomain(M, 16, 12, 8);
+  ArrayId State = newestStateArrays(M.Program).front();
   auto run = [&](uint64_t Seed) {
     FaultPlan Plan;
     Plan.Seed = Seed;
@@ -224,13 +185,12 @@ TEST(TemporalExecutorTest, ChaosReplayIsDeterministicAtDepthTwo) {
     FaultInjector Injector(Plan);
     ExecutorOptions Opts;
     Opts.Chaos = &Injector;
-    ProgramExecutor Exec(M.Program, buildMpdataKernels(), Dom,
-                         makePlan(M, Dom, Strategy::IslandsOfCores, 2),
-                         Opts);
-    initMpdata(Exec, M, Dom);
-    Exec.run(4);
+    auto Exec = makeWorkloadExecutor(
+        M, Dom, makeTestPlan(M.Program, Dom, Strategy::IslandsOfCores, 2),
+        KernelVariant::Reference, Opts);
+    Exec->run(4);
     Array3D Out(Dom.allocBox());
-    Out.copyRegionFrom(Exec.array(M.XIn), Dom.coreBox());
+    Out.copyRegionFrom(Exec->array(State), Dom.coreBox());
     return std::make_pair(std::move(Out), Injector.stats().Injected);
   };
   auto A = run(42);
@@ -238,32 +198,33 @@ TEST(TemporalExecutorTest, ChaosReplayIsDeterministicAtDepthTwo) {
   EXPECT_EQ(A.first.maxAbsDiff(B.first, Dom.coreBox()), 0.0);
   EXPECT_EQ(A.second, B.second);
   // And chaos must not perturb the data: still the serial answer.
-  Array3D Oracle = serialOracle(M, Dom, 4);
-  EXPECT_EQ(A.first.maxAbsDiff(Oracle, Dom.coreBox()), 0.0);
+  auto Oracle = serialOracle(M, Dom, 4);
+  EXPECT_EQ(A.first.maxAbsDiff(Oracle->array(State), Dom.coreBox()), 0.0);
 }
 
 TEST(TemporalExecutorTest, RejectsPartialEpochs) {
-  MpdataProgram M = buildMpdataProgram();
-  Domain Dom(16, 12, 8, mpdataHaloDepth());
-  ProgramExecutor Exec(M.Program, buildMpdataKernels(), Dom,
-                       makePlan(M, Dom, Strategy::IslandsOfCores, 2));
-  initMpdata(Exec, M, Dom);
-  EXPECT_DEATH(Exec.run(3), "whole number of temporal epochs");
+  const WorkloadSpec &M = mpdata();
+  Domain Dom = workloadDomain(M, 16, 12, 8);
+  auto Exec = makeWorkloadExecutor(
+      M, Dom, makeTestPlan(M.Program, Dom, Strategy::IslandsOfCores, 2));
+  EXPECT_DEATH(Exec->run(3), "whole number of temporal epochs");
 }
 
 TEST(TemporalExecutorTest, RejectsNonPeriodicBoundaries) {
-  MpdataProgram M = buildMpdataProgram();
-  Domain Dom(16, 12, 8, mpdataHaloDepth(), BoundaryMode::ZeroGradient);
-  EXPECT_DEATH(ProgramExecutor(M.Program, buildMpdataKernels(), Dom,
-                               makePlan(M, Dom, Strategy::IslandsOfCores,
-                                        2)),
-               "[Pp]eriodic");
+  const WorkloadSpec &M = mpdata();
+  Domain Dom =
+      workloadDomain(M, 16, 12, 8, BoundaryMode::ZeroGradient);
+  EXPECT_DEATH(
+      makeWorkloadExecutor(
+          M, Dom, makeTestPlan(M.Program, Dom, Strategy::IslandsOfCores, 2)),
+      "[Pp]eriodic");
 }
 
 TEST(TemporalPlanVerifierTest, RejectsOutOfOrderSteps) {
-  MpdataProgram M = buildMpdataProgram();
-  Domain Dom(16, 12, 8, mpdataHaloDepth());
-  ExecutionPlan Plan = makePlan(M, Dom, Strategy::IslandsOfCores, 2);
+  const WorkloadSpec &M = mpdata();
+  Domain Dom = workloadDomain(M, 16, 12, 8);
+  ExecutionPlan Plan =
+      makeTestPlan(M.Program, Dom, Strategy::IslandsOfCores, 2);
   ASSERT_GE(Plan.Islands[0].Blocks.size(), 2u);
   // Swap the first two blocks' step stamps: step order now decreases.
   std::swap(Plan.Islands[0].Blocks.front().StepInEpoch,
@@ -273,9 +234,10 @@ TEST(TemporalPlanVerifierTest, RejectsOutOfOrderSteps) {
 }
 
 TEST(TemporalPlanVerifierTest, RejectsInvalidDepth) {
-  MpdataProgram M = buildMpdataProgram();
-  Domain Dom(16, 12, 8, mpdataHaloDepth());
-  ExecutionPlan Plan = makePlan(M, Dom, Strategy::IslandsOfCores, 1);
+  const WorkloadSpec &M = mpdata();
+  Domain Dom = workloadDomain(M, 16, 12, 8);
+  ExecutionPlan Plan =
+      makeTestPlan(M.Program, Dom, Strategy::IslandsOfCores, 1);
   Plan.TemporalDepth = 0;
   PlanVerification V = verifyPlan(Plan, M.Program);
   EXPECT_FALSE(V.Ok);

@@ -8,11 +8,13 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "apps/Workloads.h"
 #include "core/PlanBuilder.h"
 #include "core/PlanVerifier.h"
 #include "exec/ScheduleCheck.h"
 #include "machine/MachineModel.h"
 #include "mpdata/MpdataProgram.h"
+#include "stencil/WorkloadRegistry.h"
 #include "support/Diagnostics.h"
 #include "support/OStream.h"
 #include "support/Random.h"
@@ -28,8 +30,14 @@ using namespace icores;
 
 namespace {
 
-/// The reduced space most tests use: 2 workloads x 3 strategies x
-/// {1,2} teams x {1,2} depths x elision = 48 points, all feasible.
+/// Workloads in the built-in registry. Expected point counts derive from
+/// this so registering a new workload (the registry contract's whole
+/// point) never requires edits here.
+size_t numWorkloads() { return builtinWorkloads().size(); }
+
+/// The reduced space most tests use: every registered workload x
+/// 3 strategies x {1,2} teams x {1,2} depths x elision = 24 points per
+/// workload, all feasible.
 PlanSpaceOptions smokeSpace() {
   PlanSpaceOptions Opts;
   Opts.TeamCounts = {1, 2};
@@ -41,13 +49,15 @@ PlanSpaceOptions smokeSpace() {
 // Plan-space enumeration
 //===----------------------------------------------------------------------===//
 
-TEST(PlanSpaceTest, FullSpaceHas108UniqueLabelledPoints) {
+TEST(PlanSpaceTest, FullSpaceCoversEveryRegisteredWorkload) {
   PlanSpaceEnumeration E = enumeratePlanSpace();
-  ASSERT_EQ(E.Workloads.size(), 2u);
-  EXPECT_EQ(E.Workloads[0].Name, "mpdata");
-  EXPECT_EQ(E.Workloads[1].Name, "advdiff");
-  // 2 workloads x 3 strategies x 3 team counts x 3 depths x 2 elision.
-  EXPECT_EQ(E.Plans.size(), 108u);
+  ASSERT_EQ(E.Workloads.size(), numWorkloads());
+  ASSERT_GE(E.Workloads.size(), 3u);
+  for (size_t W = 0; W != E.Workloads.size(); ++W)
+    EXPECT_EQ(E.Workloads[W].Name,
+              builtinWorkloads().workloads()[W].Name);
+  // Per workload: 3 strategies x 3 team counts x 3 depths x 2 elision.
+  EXPECT_EQ(E.Plans.size(), numWorkloads() * 54u);
   std::set<std::string> Labels;
   for (const EnumeratedPlan &P : E.Plans) {
     EXPECT_TRUE(Labels.insert(P.Point.Label).second)
@@ -85,7 +95,7 @@ TEST(PlanSpaceTest, InfeasibleTemporalDepthsArePrunedWithAReason) {
   Opts.NI = Opts.NJ = Opts.NK = 8;
   Opts.TimeSteps = 8;
   PlanSpaceEnumeration E = enumeratePlanSpace(Opts);
-  EXPECT_EQ(E.Plans.size(), 108u);
+  EXPECT_EQ(E.Plans.size(), numWorkloads() * 54u);
   size_t Pruned = 0;
   for (const EnumeratedPlan &P : E.Plans)
     if (P.Point.Workload == "mpdata" && P.Point.TemporalDepth == 4) {
@@ -117,8 +127,8 @@ TEST(ProofDriverTest, SmokeSuiteProvesEveryPlanAndKillsEveryMutant) {
   Opts.MutantsPerClass = 2;
   ProofReport Report = runProofSuite(Opts);
 
-  EXPECT_EQ(Report.Plans.size(), 48u);
-  EXPECT_EQ(Report.numWithVerdict("proved"), 48u);
+  EXPECT_EQ(Report.Plans.size(), numWorkloads() * 24u);
+  EXPECT_EQ(Report.numWithVerdict("proved"), numWorkloads() * 24u);
   EXPECT_EQ(Report.numWithVerdict("violated"), 0u);
   EXPECT_TRUE(Report.allPlansProved());
 

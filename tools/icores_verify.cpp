@@ -1,7 +1,8 @@
 //===- tools/icores_verify.cpp - Plan-space verification driver -----------===//
 //
-// Enumerates the reachable ExecutionPlan space (both workloads x all
-// strategies x team counts x temporal depths x barrier elision), statically
+// Enumerates the reachable ExecutionPlan space (every registered workload
+// x all strategies x team counts x temporal depths x barrier elision),
+// statically
 // proves every feasible plan race- and deadlock-free (PlanVerifier +
 // ScheduleCheck + the temporal coverage model), model-checks the
 // TeamBarrier and RankComm protocols, and runs the analysis mutation
@@ -11,13 +12,14 @@
 //
 //   icores_verify [--all] [--out=PATH] [--json] [--steps=N]
 //                 [--ni= --nj= --nk=] [--barrier-threads=N]
-//                 [--no-mutate]
+//                 [--no-mutate] [--workload=NAME]
 //
 // Without --all a reduced smoke space (teams {1,2}, temporal {1,2}) is
 // checked; CI's verify-smoke job runs --all.
 //
 //===----------------------------------------------------------------------===//
 
+#include "apps/Workloads.h"
 #include "support/CommandLine.h"
 #include "support/Format.h"
 #include "support/OStream.h"
@@ -42,7 +44,11 @@ void printUsage() {
       "  --ni= --nj= --nk=     plan-space grid (default 48x32x32)\n"
       "  --barrier-threads=N   model the barrier for N threads only\n"
       "                        (default: 2, 3 and 5)\n"
-      "  --no-mutate           skip the analysis mutation suite\n");
+      "  --no-mutate           skip the analysis mutation suite\n"
+      "  --workload=NAME       restrict the space to one registered\n"
+      "                        workload (repeatable via a comma list;\n"
+      "                        default: every workload in the registry —\n"
+      "                        `mpdata_cli list-workloads` prints them)\n");
 }
 
 } // namespace
@@ -50,7 +56,8 @@ void printUsage() {
 int main(int Argc, char **Argv) {
   CommandLine CL;
   for (const char *Opt : {"all", "out", "json", "steps", "ni", "nj", "nk",
-                          "barrier-threads", "no-mutate", "help"})
+                          "barrier-threads", "no-mutate", "workload",
+                          "help"})
     CL.registerOption(Opt, "");
   std::string Error;
   if (!CL.parse(Argc, Argv, Error)) {
@@ -77,6 +84,31 @@ int main(int Argc, char **Argv) {
     Opts.BarrierThreadCounts = {
         static_cast<int>(CL.getInt("barrier-threads", 4))};
   Opts.RunMutation = !CL.hasOption("no-mutate");
+  if (CL.hasOption("workload")) {
+    // Comma-separated list of registered workload names.
+    std::string Names = CL.getString("workload", "");
+    size_t Pos = 0;
+    while (Pos <= Names.size()) {
+      size_t Comma = Names.find(',', Pos);
+      if (Comma == std::string::npos)
+        Comma = Names.size();
+      if (Comma > Pos)
+        Opts.Space.Workloads.push_back(Names.substr(Pos, Comma - Pos));
+      Pos = Comma + 1;
+    }
+    if (Opts.Space.Workloads.empty()) {
+      std::fprintf(stderr, "error: --workload needs at least one name\n");
+      return 1;
+    }
+    for (const std::string &Name : Opts.Space.Workloads)
+      if (!builtinWorkloads().find(Name)) {
+        std::fprintf(stderr,
+                     "error: unknown workload '%s' (mpdata_cli "
+                     "list-workloads prints the manifest)\n",
+                     Name.c_str());
+        return 1;
+      }
+  }
 
   ProofReport Report = runProofSuite(Opts);
 

@@ -23,6 +23,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "apps/Workloads.h"
 #include "core/PlanBuilder.h"
 #include "core/PlanPrinter.h"
 #include "core/PlanVerifier.h"
@@ -30,11 +31,14 @@
 #include "exec/Affinity.h"
 #include "exec/LintSuite.h"
 #include "exec/PlanExecutor.h"
+#include "exec/ProgramExecutor.h"
 #include "fault/FaultInjector.h"
 #include "machine/MachineModel.h"
 #include "mpdata/InitialConditions.h"
 #include "mpdata/Kernels.h"
 #include "mpdata/Solver.h"
+#include "stencil/SerialStepper.h"
+#include "stencil/WorkloadRegistry.h"
 #include "sim/PlanAdvisor.h"
 #include "sim/Simulator.h"
 #include "sim/TrafficReport.h"
@@ -44,6 +48,7 @@
 #include "support/OStream.h"
 #include "verify/ProofDriver.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -54,8 +59,18 @@ namespace {
 
 void printUsage() {
   std::printf(
-      "usage: mpdata_cli <simulate|execute|advise|traffic|plan|lint|verify> "
-      "[options]\n"
+      "usage: mpdata_cli <simulate|execute|advise|traffic|plan|lint|verify|"
+      "list-workloads> [options]\n"
+      "  --workload=NAME             registered workload to drive (default\n"
+      "                              mpdata; `mpdata_cli list-workloads`\n"
+      "                              prints the manifest). Applies to every\n"
+      "                              mode; execute runs the workload's\n"
+      "                              program through the generic runtime,\n"
+      "                              checks it bit-exact against the serial\n"
+      "                              stepper, and reports each declared\n"
+      "                              per-step reduction\n"
+      "  --seed=N                    seed for the workload's registered\n"
+      "                              initial conditions (default 7)\n"
       "  --machine=uv2000|knc|xeon   machine model (default uv2000)\n"
       "  --strategy=original|31d|islands (default islands)\n"
       "  --sockets=N                 sockets to use (default: all)\n"
@@ -158,7 +173,8 @@ int main(int Argc, char **Argv) {
                           "variant", "placement", "place", "balance",
                           "steal", "kernels", "ni", "nj", "nk", "steps",
                           "temporal", "profile", "pin", "json", "no-audit",
-                          "no-elide", "barrier", "chaos", "out", "help"})
+                          "no-elide", "barrier", "chaos", "out", "workload",
+                          "seed", "help"})
     CL.registerOption(Opt, "");
   std::string Error;
   if (!CL.parse(Argc - 1, Argv + 1, Error)) {
@@ -169,6 +185,24 @@ int main(int Argc, char **Argv) {
   if (Mode == "help" || CL.hasOption("help")) {
     printUsage();
     return 0;
+  }
+
+  const WorkloadRegistry &Registry = builtinWorkloads();
+  if (Mode == "list-workloads" || Mode == "--list-workloads") {
+    // The workload manifest: one name per line (first token), then the
+    // description. bench/validate_bench_json.py consumes this.
+    for (const WorkloadSpec &Spec : Registry.workloads())
+      std::printf("%-12s %s\n", Spec.Name.c_str(), Spec.Description.c_str());
+    return 0;
+  }
+  std::string WorkloadName = CL.getString("workload", "mpdata");
+  const WorkloadSpec *Workload = Registry.find(WorkloadName);
+  if (!Workload) {
+    std::fprintf(stderr,
+                 "error: unknown workload '%s' (mpdata_cli list-workloads "
+                 "prints the manifest)\n",
+                 WorkloadName.c_str());
+    return 1;
   }
 
   MachineModel Machine;
@@ -205,7 +239,7 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
-  MpdataProgram M = buildMpdataProgram();
+  const StencilProgram &Prog = Workload->Program;
   Box3 Grid = Box3::fromExtents(NI, NJ, NK);
   PlanConfig Config;
   Config.Strat = Strat;
@@ -243,12 +277,14 @@ int main(int Argc, char **Argv) {
   }
 
   if (Mode == "lint") {
-    KernelTable RefKernels = buildMpdataKernels(KernelVariant::Reference);
-    KernelTable OptKernels = buildMpdataKernels(KernelVariant::Optimized);
-    KernelTable SimdKernels = buildMpdataKernels(KernelVariant::Simd);
-    std::vector<LintKernelSet> KernelSets = {{"ref", &RefKernels},
-                                             {"opt", &OptKernels},
-                                             {"simd", &SimdKernels}};
+    // One kernel set per backend the workload advertises.
+    std::vector<KernelTable> Tables;
+    Tables.reserve(Workload->Variants.size());
+    std::vector<LintKernelSet> KernelSets;
+    for (KernelVariant V : Workload->Variants) {
+      Tables.push_back(Workload->Kernels(V));
+      KernelSets.push_back({kernelVariantName(V), &Tables.back()});
+    }
     // --kernels=<v> restricts the audit to one backend.
     if (CL.hasOption("kernels")) {
       KernelVariant Only;
@@ -256,7 +292,17 @@ int main(int Argc, char **Argv) {
         std::fprintf(stderr, "error: unknown kernel variant\n");
         return 1;
       }
-      KernelSets = {KernelSets[static_cast<size_t>(Only)]};
+      std::vector<LintKernelSet> Filtered;
+      for (const LintKernelSet &Set : KernelSets)
+        if (Set.Label == kernelVariantName(Only))
+          Filtered.push_back(Set);
+      if (Filtered.empty()) {
+        std::fprintf(stderr,
+                     "error: workload '%s' has no '%s' kernel backend\n",
+                     Workload->Name.c_str(), kernelVariantName(Only));
+        return 1;
+      }
+      KernelSets = Filtered;
     }
     // Without an explicit --strategy, lint the plans of all three.
     std::vector<std::pair<std::string, Strategy>> Strategies;
@@ -274,16 +320,16 @@ int main(int Argc, char **Argv) {
     std::vector<LintPlanSet> PlanSets;
     for (const auto &S : Strategies) {
       Config.Strat = S.second;
-      Plans.push_back(buildPlan(M.Program, Grid, Machine, Config));
+      Plans.push_back(buildPlan(Prog, Grid, Machine, Config));
       PlanSets.push_back({S.first, &Plans.back()});
       Plans.push_back(Plans.back());
-      optimizeBarriers(M.Program, Plans.back());
+      optimizeBarriers(Prog, Plans.back());
       PlanSets.push_back({S.first + "+elide", &Plans.back()});
     }
     LintSuiteOptions Opts;
     Opts.RunAccessAudit = !CL.hasOption("no-audit");
     DiagnosticEngine Diags;
-    runLintSuite(M.Program, KernelSets, PlanSets, Diags, Opts);
+    runLintSuite(Prog, KernelSets, PlanSets, Diags, Opts);
     if (CL.hasOption("json")) {
       Diags.printJson(outs());
     } else {
@@ -304,6 +350,8 @@ int main(int Argc, char **Argv) {
     Opts.Space.NK = static_cast<int>(CL.getInt("nk", Opts.Space.NK));
     if (CL.hasOption("steps"))
       Opts.Space.TimeSteps = Steps;
+    if (CL.hasOption("workload"))
+      Opts.Space.Workloads = {WorkloadName};
     ProofReport Report = runProofSuite(Opts);
     std::string Out = CL.getString("out", "BENCH_prove.json");
     if (!writeProveJsonFile(Report, Out)) {
@@ -323,16 +371,16 @@ int main(int Argc, char **Argv) {
   }
 
   if (Mode == "simulate" || Mode == "traffic" || Mode == "plan") {
-    ExecutionPlan Plan = buildPlan(M.Program, Grid, Machine, Config);
+    ExecutionPlan Plan = buildPlan(Prog, Grid, Machine, Config);
     if (Mode == "plan") {
-      PlanVerification V = verifyPlan(Plan, M.Program);
+      PlanVerification V = verifyPlan(Plan, Prog);
       std::printf("verification: %s\n",
                   V.Ok ? "OK" : V.FirstError.c_str());
-      printPlanSummary(Plan, M.Program, outs());
+      printPlanSummary(Plan, Prog, outs());
       return V.Ok ? 0 : 1;
     }
     if (Mode == "traffic") {
-      accountTraffic(Plan, M.Program, Machine, Steps).print(outs());
+      accountTraffic(Plan, Prog, Machine, Steps).print(outs());
       return 0;
     }
     SimOptions SimOpts;
@@ -341,7 +389,7 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "error: unknown kernel variant\n");
       return 1;
     }
-    SimResult R = simulate(Plan, M.Program, Machine, Steps, SimOpts);
+    SimResult R = simulate(Plan, Prog, Machine, Steps, SimOpts);
     std::printf("%s on %s, %dx%dx%d, P=%d, %d steps (%s kernels):\n",
                 strategyName(Strat), Machine.Name.c_str(), NI, NJ, NK,
                 Sockets, Steps, kernelVariantName(SimOpts.Kernels));
@@ -373,7 +421,7 @@ int main(int Argc, char **Argv) {
 
   if (Mode == "advise") {
     AdvisorReport Report =
-        adviseBestPlan(M.Program, Grid, Machine, Sockets, Steps);
+        adviseBestPlan(Prog, Grid, Machine, Sockets, Steps);
     for (size_t I = 0; I != Report.Candidates.size(); ++I) {
       const AdvisorCandidate &C = Report.Candidates[I];
       std::printf("%2zu. %-28s %10s\n", I + 1, C.Label.c_str(),
@@ -414,20 +462,115 @@ int main(int Argc, char **Argv) {
       ExecOpts.Chaos = Chaos.get();
       std::printf("chaos: %s\n", faultPlanSummary(ChaosPlan).c_str());
     }
-    ExecutionPlan Plan = buildPlan(M.Program, Grid, Host, Config);
+    ExecutionPlan Plan = buildPlan(Prog, Grid, Host, Config);
     if (!CL.hasOption("no-elide")) {
-      ScheduleOptimizerReport Report = optimizeBarriers(M.Program, Plan);
+      ScheduleOptimizerReport Report = optimizeBarriers(Prog, Plan);
       std::printf("barrier elision: %lld of %lld team barriers removed "
                   "per step (use --no-elide to keep all)\n",
                   static_cast<long long>(Report.ElidedBarriers),
                   static_cast<long long>(Report.TotalPasses));
     }
-    Domain Dom(NI, NJ, NK, mpdataHaloDepth());
     KernelVariant Kernels = KernelVariant::Reference;
     if (!parseKernelVariant(CL.getString("kernels", "ref"), Kernels)) {
       std::fprintf(stderr, "error: unknown kernel variant\n");
       return 1;
     }
+
+    // With an explicit --workload, drive the registered program through
+    // the generic runtime: ProgramExecutor against the SerialStepper
+    // oracle, both seeded from the workload's registered init, with every
+    // declared per-step reduction checked and reported.
+    if (CL.hasOption("workload")) {
+      bool HaveVariant = false;
+      for (KernelVariant V : Workload->Variants)
+        HaveVariant = HaveVariant || V == Kernels;
+      if (!HaveVariant) {
+        std::fprintf(stderr,
+                     "error: workload '%s' has no '%s' kernel backend\n",
+                     Workload->Name.c_str(), kernelVariantName(Kernels));
+        return 1;
+      }
+      uint64_t Seed = static_cast<uint64_t>(CL.getInt("seed", 7));
+      Domain Dom = workloadDomain(*Workload, NI, NJ, NK);
+      if (HavePlace) {
+        ExecOpts.Placement = Place;
+        if (Place != PlacementPolicy::None)
+          ExecOpts.Pinning = computeThreadPlacement(Plan, Host);
+      }
+      ExecOpts.Reductions = Workload->Reductions;
+      ProgramExecutor Exec(Prog, Workload->Kernels(Kernels), Dom,
+                           std::move(Plan), ExecOpts);
+      if (CL.hasOption("pin"))
+        Exec.setThreadPinning(computeThreadPlacement(Exec.plan(), Host));
+      std::string ProfilePath = CL.getString("profile", "");
+      if (!ProfilePath.empty())
+        Exec.enableProfiling(true);
+      initWorkload(*Workload, Exec, Seed);
+      Exec.run(Steps);
+
+      SerialStepper Oracle(Prog, Workload->Kernels(Kernels), Dom,
+                           Workload->Reductions);
+      initWorkload(*Workload, Oracle, Seed);
+      Oracle.run(Steps);
+
+      // After run() the newest state of a feedback pair lives in its
+      // Target array; a step output without feedback keeps its own.
+      double Diff = 0.0;
+      std::vector<ArrayId> Compare;
+      for (const FeedbackPair &FB : Prog.feedbacks())
+        Compare.push_back(FB.Target);
+      for (ArrayId Out : Prog.stepOutputs()) {
+        bool FedBack = false;
+        for (const FeedbackPair &FB : Prog.feedbacks())
+          FedBack = FedBack || FB.Source == Out;
+        if (!FedBack)
+          Compare.push_back(Out);
+      }
+      for (ArrayId Id : Compare)
+        Diff = std::max(Diff, Exec.array(Id).maxAbsDiff(Oracle.array(Id),
+                                                        Dom.coreBox()));
+      std::printf("executed %d steps of %s/%s on %dx%dx%d with %d "
+                  "islands\n",
+                  Steps, Workload->Name.c_str(), strategyName(Strat), NI,
+                  NJ, NK, Sockets);
+      for (size_t R = 0; R != Prog.reductions().size(); ++R) {
+        const std::vector<double> &Got = Exec.reductionHistory(R);
+        const std::vector<double> &Want = Oracle.reductionHistory(R);
+        bool Match = Got == Want;
+        if (!Match)
+          Diff = std::max(Diff, 1.0);
+        std::printf("reduction '%s': final %.17g over %zu steps %s\n",
+                    Prog.reductions()[R].Name.c_str(),
+                    Got.empty() ? 0.0 : Got.back(), Got.size(),
+                    Match ? "(bit-exact vs serial)" : "(MISMATCH)");
+      }
+      std::printf("max diff vs serial reference: %.3e %s\n", Diff,
+                  Diff == 0.0 ? "(bit-exact)" : "");
+      if (Chaos) {
+        FaultStats FS = Chaos->stats();
+        std::printf("chaos: %lld faults injected (%lld stall-timeouts "
+                    "detected); result %s under fault injection\n",
+                    static_cast<long long>(FS.Injected),
+                    static_cast<long long>(FS.Timeouts),
+                    Diff == 0.0 ? "bit-exact" : "DIVERGED");
+      }
+      if (!ProfilePath.empty()) {
+        const ExecStats &Stats = Exec.stats();
+        std::FILE *F = std::fopen(ProfilePath.c_str(), "w");
+        if (!F) {
+          std::fprintf(stderr, "error: cannot open '%s' for writing\n",
+                       ProfilePath.c_str());
+          return 1;
+        }
+        FileOStream OS(F);
+        Stats.writeJson(OS);
+        std::fclose(F);
+        std::printf("profile: stats written to %s\n", ProfilePath.c_str());
+      }
+      return Diff == 0.0 ? 0 : 1;
+    }
+
+    Domain Dom(NI, NJ, NK, mpdataHaloDepth());
     if (HavePlace) {
       // Arm the placement init epoch: workers must already be pinned when
       // they first-touch their arena segments, so the pinning goes in
