@@ -4,6 +4,7 @@
 
 #include "apps/AdvectionDiffusion.h"
 #include "apps/CflAdvection.h"
+#include "apps/Hotspot.h"
 #include "grid/Array3D.h"
 #include "mpdata/InitialConditions.h"
 #include "mpdata/Kernels.h"
@@ -116,6 +117,30 @@ bool registerCflAdvection(WorkloadRegistry &R, DiagnosticEngine &Diags) {
   return R.add(std::move(Spec), Diags);
 }
 
+bool registerHotspot(WorkloadRegistry &R, DiagnosticEngine &Diags) {
+  HotspotProgram A = buildHotspotProgram();
+  WorkloadSpec Spec;
+  Spec.Name = "hotspot";
+  Spec.Description = "4-stage explicit thermal diffusion (face-flux 7-point "
+                     "Laplacian, static power map, Newtonian cooling)";
+  Spec.HaloDepth = hotspotHaloDepth();
+  Spec.Variants = {KernelVariant::Reference};
+  Spec.Kernels = [](KernelVariant) { return buildHotspotKernels(); };
+  ArrayId T = A.T, Power = A.Power;
+  Spec.Init = [T, Power](const WorkloadInitContext &Ctx) {
+    const Domain &D = Ctx.Dom;
+    // A die that starts near ambient with seed-jittered spatial noise,
+    // heated by a static random power map (a few hot cells on a cool
+    // background, like a floorplan's active blocks).
+    fillRandomPositive(Ctx.Array(T), D, Ctx.Seed ^ 0x686f740000000001ULL,
+                       HotspotTamb - 2.0, HotspotTamb + 2.0);
+    fillRandomPositive(Ctx.Array(Power), D,
+                       Ctx.Seed ^ 0x686f740000000002ULL, 0.0, 2.0);
+  };
+  Spec.Program = std::move(A.Program);
+  return R.add(std::move(Spec), Diags);
+}
+
 } // namespace
 
 bool icores::registerBuiltinWorkloads(WorkloadRegistry &R,
@@ -123,6 +148,7 @@ bool icores::registerBuiltinWorkloads(WorkloadRegistry &R,
   bool Ok = registerMpdata(R, Diags);
   Ok = registerAdvDiff(R, Diags) && Ok;
   Ok = registerCflAdvection(R, Diags) && Ok;
+  Ok = registerHotspot(R, Diags) && Ok;
   return Ok;
 }
 
